@@ -1,0 +1,116 @@
+//! Robustness evaluation: accuracy under attack.
+
+use crate::attack::{perturb, AttackConfig};
+use rand::Rng;
+use rt_nn::{Layer, Mode, Result};
+use rt_tensor::{reduce, Tensor};
+
+/// Clean top-1 accuracy of `model` on one `(images, labels)` batch.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn clean_accuracy(model: &mut dyn Layer, images: &Tensor, labels: &[usize]) -> Result<f64> {
+    let logits = model.forward(images, Mode::Eval)?;
+    let pred = reduce::argmax_rows(&logits)?;
+    let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f64 / labels.len().max(1) as f64)
+}
+
+/// Top-1 accuracy of `model` on adversarially perturbed inputs
+/// ("Adv-Acc" in the paper's Table I).
+///
+/// # Errors
+///
+/// Propagates attack and model errors.
+pub fn adversarial_accuracy<R: Rng>(
+    model: &mut dyn Layer,
+    images: &Tensor,
+    labels: &[usize],
+    config: &AttackConfig,
+    rng: &mut R,
+) -> Result<f64> {
+    let adv = perturb(model, images, labels, config, rng)?;
+    clean_accuracy(model, &adv, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_nn::layers::{Flatten, Linear};
+    use rt_nn::Sequential;
+    use rt_tensor::rng::rng_from_seed;
+
+    /// A linear model whose weights make class prediction depend on the
+    /// input mean — trivially attackable.
+    fn mean_classifier() -> Sequential {
+        let mut rng = rng_from_seed(0);
+        let mut lin = Linear::new(4, 2, &mut rng).unwrap();
+        // Logit 0 = +mean, logit 1 = −mean (weights ±0.25).
+        lin.params_mut()[0].data = Tensor::from_vec(
+            vec![2, 4],
+            vec![0.25; 4].into_iter().chain(vec![-0.25; 4]).collect(),
+        )
+        .unwrap();
+        lin.params_mut()[1].data.fill(0.0);
+        Sequential::new(vec![Box::new(Flatten::new()), Box::new(lin)])
+    }
+
+    #[test]
+    fn clean_accuracy_on_separable_data() {
+        let mut model = mean_classifier();
+        // Class 0: positive pixels; class 1: negative pixels.
+        let x = Tensor::from_vec(
+            vec![2, 1, 2, 2],
+            vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0],
+        )
+        .unwrap();
+        let acc = clean_accuracy(&mut model, &x, &[0, 1]).unwrap();
+        assert_eq!(acc, 1.0);
+        let flipped = clean_accuracy(&mut model, &x, &[1, 0]).unwrap();
+        assert_eq!(flipped, 0.0);
+    }
+
+    #[test]
+    fn strong_attack_destroys_weak_margin() {
+        let mut model = mean_classifier();
+        // Samples barely on the correct side (margin 0.1 in pixel space).
+        let x = Tensor::from_vec(
+            vec![2, 1, 2, 2],
+            vec![0.1, 0.1, 0.1, 0.1, -0.1, -0.1, -0.1, -0.1],
+        )
+        .unwrap();
+        let labels = [0usize, 1];
+        let mut rng = rng_from_seed(1);
+        let clean = clean_accuracy(&mut model, &x, &labels).unwrap();
+        assert_eq!(clean, 1.0);
+        // ε = 0.5 > margin: the attack can flip every pixel's sign.
+        let adv = adversarial_accuracy(
+            &mut model,
+            &x,
+            &labels,
+            &AttackConfig::pgd(0.5, 5),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(adv, 0.0, "attack must break the weak margin");
+        // ε smaller than the margin cannot flip anything.
+        let safe = adversarial_accuracy(
+            &mut model,
+            &x,
+            &labels,
+            &AttackConfig::pgd(0.05, 5),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(safe, 1.0, "sub-margin attack must fail");
+    }
+
+    #[test]
+    fn empty_batch_accuracy_is_zero_not_nan() {
+        let mut model = mean_classifier();
+        let x = Tensor::zeros(&[0, 1, 2, 2]);
+        let acc = clean_accuracy(&mut model, &x, &[]).unwrap();
+        assert_eq!(acc, 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Adversarial machinery: ℓ∞ attacks (FGSM, PGD), randomized-smoothing
+//! utilities, and robust-accuracy evaluation.
+//!
+//! The paper robustifies pretrained models with PGD adversarial training
+//! [Madry et al.] and validates generality with randomized smoothing
+//! [Cohen et al.]. This crate provides the attack/noise primitives; the
+//! training loops that consume them live in `rt-transfer` (which owns the
+//! dataset plumbing).
+//!
+//! Attacks differentiate through the *exact* network backward pass down to
+//! the pixels (see `rt-nn`'s layer contract), and are run in
+//! [`Mode::Eval`](rt_nn::Mode) so BatchNorm running statistics are neither
+//! used ambiguously nor polluted by attack iterations.
+//!
+//! # Example
+//!
+//! ```rust
+//! use rt_adv::attack::AttackConfig;
+//!
+//! let pgd = AttackConfig::pgd(0.25, 5);
+//! assert_eq!(pgd.steps, 5);
+//! let fgsm = AttackConfig::fgsm(0.25);
+//! assert_eq!(fgsm.steps, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod eval;
+pub mod smoothing;
+pub mod square;
+
+pub use attack::AttackConfig;
+pub use square::SquareConfig;

@@ -1,0 +1,126 @@
+//! Randomized-smoothing utilities [Cohen et al., ICML 2019].
+//!
+//! The paper uses randomized smoothing as an *alternative* robustness prior
+//! (Fig. 6): the model is trained on Gaussian-noised inputs, and smoothed
+//! inference averages softmax outputs over noise draws. We provide the
+//! noise augmentation (consumed by the pretraining pipeline) and the
+//! smoothed classifier.
+
+use rand::Rng;
+use rt_nn::{Layer, Mode, Result};
+use rt_tensor::{init, special, Tensor};
+
+/// Returns a copy of `images` with i.i.d. Gaussian noise of standard
+/// deviation `sigma` added — the randomized-smoothing training
+/// augmentation.
+pub fn gaussian_augment<R: Rng>(images: &Tensor, sigma: f32, rng: &mut R) -> Tensor {
+    if sigma <= 0.0 {
+        return images.clone();
+    }
+    let noise = init::normal(images.shape(), 0.0, sigma, rng);
+    let mut out = images.clone();
+    out.add_assign(&noise).expect("same shape");
+    out
+}
+
+/// Smoothed prediction: averages the softmax output of `model` over
+/// `samples` Gaussian perturbations of the input.
+///
+/// Returns the averaged class-probability matrix `[N, K]`.
+///
+/// # Errors
+///
+/// Propagates model and softmax errors.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn smoothed_probs<R: Rng>(
+    model: &mut dyn Layer,
+    images: &Tensor,
+    sigma: f32,
+    samples: usize,
+    rng: &mut R,
+) -> Result<Tensor> {
+    assert!(samples > 0, "smoothing needs at least one sample");
+    let mut acc: Option<Tensor> = None;
+    for _ in 0..samples {
+        let noisy = gaussian_augment(images, sigma, rng);
+        let logits = model.forward(&noisy, Mode::Eval)?;
+        let probs = special::softmax_rows(&logits)?;
+        match &mut acc {
+            None => acc = Some(probs),
+            Some(a) => a.add_assign(&probs)?,
+        }
+    }
+    let mut mean = acc.expect("samples > 0");
+    mean.scale(1.0 / samples as f32);
+    Ok(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_nn::layers::{Flatten, Linear};
+    use rt_nn::Sequential;
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let mut rng = rng_from_seed(0);
+        assert_eq!(gaussian_augment(&x, 0.0, &mut rng), x);
+    }
+
+    #[test]
+    fn augment_perturbs_with_expected_scale() {
+        let x = Tensor::zeros(&[1, 1, 50, 50]);
+        let mut rng = rng_from_seed(1);
+        let noisy = gaussian_augment(&x, 0.5, &mut rng);
+        let rms = (noisy.data().iter().map(|&v| v * v).sum::<f32>() / noisy.len() as f32).sqrt();
+        assert!((rms - 0.5).abs() < 0.05, "rms {rms}");
+    }
+
+    #[test]
+    fn smoothed_probs_are_distributions() {
+        let mut rng = rng_from_seed(2);
+        let mut model = Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 3, &mut rng).unwrap()),
+        ]);
+        let x = Tensor::ones(&[2, 1, 2, 2]);
+        let p = smoothed_probs(&mut model, &x, 0.3, 8, &mut rng).unwrap();
+        assert_eq!(p.shape(), &[2, 3]);
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_confidence_spread() {
+        // Averaging over noise cannot make the output *more* extreme than
+        // the single-sample maximum.
+        let mut rng = rng_from_seed(3);
+        let mut model = Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 2, &mut rng).unwrap()),
+        ]);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let sharp = smoothed_probs(&mut model, &x, 0.0, 1, &mut rng).unwrap();
+        let smooth = smoothed_probs(&mut model, &x, 2.0, 32, &mut rng).unwrap();
+        let conf = |p: &Tensor| p.data().iter().copied().fold(f32::MIN, f32::max);
+        assert!(conf(&smooth) <= conf(&sharp) + 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let mut rng = rng_from_seed(4);
+        let mut model = Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 2, &mut rng).unwrap()),
+        ]);
+        let _ = smoothed_probs(&mut model, &Tensor::ones(&[1, 1, 2, 2]), 0.1, 0, &mut rng);
+    }
+}

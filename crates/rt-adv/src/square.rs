@@ -1,0 +1,250 @@
+//! The Square attack (Andriushchenko et al., ECCV 2020 — the paper's
+//! black-box reference \[1\]): a query-efficient random-search ℓ∞ attack
+//! that needs **no gradients**, only forward passes.
+//!
+//! Each iteration proposes flipping the perturbation to ±ε inside one
+//! random square window of one random channel and keeps the proposal iff
+//! it increases the margin loss. Included so the robustness claims of the
+//! reproduction can be sanity-checked against a gradient-free adversary
+//! (gradient masking would fool PGD but not Square).
+
+use rand::Rng;
+use rt_nn::{Layer, Mode, Result};
+use rt_tensor::{Tensor, TensorError};
+
+/// Configuration of a Square-attack run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareConfig {
+    /// ℓ∞ radius.
+    pub epsilon: f32,
+    /// Number of random-search iterations (each costs one forward pass on
+    /// the still-unbroken samples).
+    pub iterations: usize,
+    /// Initial square side as a fraction of the image side (shrinks over
+    /// the run, as in the original schedule).
+    pub initial_fraction: f32,
+}
+
+impl SquareConfig {
+    /// A sensible default: 100 iterations, squares starting at 1/2 of the
+    /// image side.
+    pub fn new(epsilon: f32) -> Self {
+        SquareConfig {
+            epsilon,
+            iterations: 100,
+            initial_fraction: 0.5,
+        }
+    }
+
+    /// Returns a copy with a different iteration budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+}
+
+/// Margin loss of the true class: `logit_y − max_{c≠y} logit_c`. Negative
+/// = misclassified. The attack minimizes this.
+fn margins(logits: &Tensor, labels: &[usize]) -> Vec<f32> {
+    let k = logits.shape()[1];
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            let row = &logits.data()[i * k..(i + 1) * k];
+            let correct = row[y];
+            let best_other = row
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| *c != y)
+                .map(|(_, &v)| v)
+                .fold(f32::NEG_INFINITY, f32::max);
+            correct - best_other
+        })
+        .collect()
+}
+
+/// Runs the Square attack, returning the adversarial images.
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW images and propagates model errors.
+pub fn square_attack<R: Rng>(
+    model: &mut dyn Layer,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SquareConfig,
+    rng: &mut R,
+) -> Result<Tensor> {
+    if images.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: images.ndim(),
+            op: "square_attack",
+        }
+        .into());
+    }
+    let s = images.shape().to_vec();
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let eps = config.epsilon;
+    if eps <= 0.0 || n == 0 {
+        return Ok(images.clone());
+    }
+
+    // Vertical-stripe initialization (the original attack's init).
+    let mut adv = images.clone();
+    {
+        let data = adv.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                for x in 0..w {
+                    let sign = if rng.gen::<bool>() { eps } else { -eps };
+                    for y in 0..h {
+                        data[((b * c + ch) * h + y) * w + x] += sign;
+                    }
+                }
+            }
+        }
+    }
+    let mut best_margin = margins(&model.forward(&adv, Mode::Eval)?, labels);
+
+    for iter in 0..config.iterations {
+        // Square side shrinks over the run (halving schedule).
+        let progress = iter as f32 / config.iterations.max(1) as f32;
+        let frac = config.initial_fraction * (1.0 - progress).max(0.1);
+        let side = ((h.min(w) as f32 * frac).round() as usize).clamp(1, h.min(w));
+
+        // Propose one square per sample.
+        let mut proposal = adv.clone();
+        let mut windows = Vec::with_capacity(n);
+        for b in 0..n {
+            let ch = rng.gen_range(0..c);
+            let y0 = rng.gen_range(0..=h - side);
+            let x0 = rng.gen_range(0..=w - side);
+            let sign = if rng.gen::<bool>() { eps } else { -eps };
+            windows.push((b, ch, y0, x0, sign));
+            let data = proposal.data_mut();
+            for y in y0..y0 + side {
+                for x in x0..x0 + side {
+                    let idx = ((b * c + ch) * h + y) * w + x;
+                    // Set the perturbation inside the window to ±ε exactly.
+                    data[idx] = images.data()[idx] + sign;
+                }
+            }
+        }
+        let new_margin = margins(&model.forward(&proposal, Mode::Eval)?, labels);
+        // Accept per-sample improvements.
+        for (b, &m_new) in new_margin.iter().enumerate() {
+            if m_new < best_margin[b] {
+                best_margin[b] = m_new;
+                let (bb, ch, y0, x0, sign) = windows[b];
+                debug_assert_eq!(bb, b);
+                let data = adv.data_mut();
+                for y in y0..y0 + side {
+                    for x in x0..x0 + side {
+                        let idx = ((b * c + ch) * h + y) * w + x;
+                        data[idx] = images.data()[idx] + sign;
+                    }
+                }
+            }
+        }
+    }
+    // Final projection (defensive; all writes above are within the ball).
+    let mut out = adv;
+    for (a, &o) in out.data_mut().iter_mut().zip(images.data()) {
+        *a = a.clamp(o - eps, o + eps);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_nn::layers::{Flatten, Linear};
+    use rt_nn::Sequential;
+    use rt_tensor::init;
+    use rt_tensor::rng::rng_from_seed;
+
+    fn toy_model(seed: u64) -> Sequential {
+        let mut rng = rng_from_seed(seed);
+        Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(12, 3, &mut rng).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn stays_in_the_ball() {
+        let mut model = toy_model(0);
+        let mut rng = rng_from_seed(1);
+        let x = init::normal(&[3, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let cfg = SquareConfig::new(0.3).with_iterations(20);
+        let adv = square_attack(&mut model, &x, &[0, 1, 2], &cfg, &mut rng).unwrap();
+        for (a, o) in adv.data().iter().zip(x.data()) {
+            assert!((a - o).abs() <= 0.3 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn margin_never_increases_over_iterations() {
+        // The accept rule only keeps improvements, so the final margin is
+        // no worse than the stripe-init margin.
+        let mut model = toy_model(2);
+        let mut rng = rng_from_seed(3);
+        let x = init::normal(&[4, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let labels = [0usize, 1, 2, 0];
+        let clean = margins(&model.forward(&x, Mode::Eval).unwrap(), &labels);
+        let cfg = SquareConfig::new(0.5).with_iterations(60);
+        let adv = square_attack(&mut model, &x, &labels, &cfg, &mut rng).unwrap();
+        let attacked = margins(&model.forward(&adv, Mode::Eval).unwrap(), &labels);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&attacked) < mean(&clean),
+            "attack should reduce the mean margin: {attacked:?} vs {clean:?}"
+        );
+    }
+
+    #[test]
+    fn gradient_free_attack_breaks_weak_margins() {
+        use crate::eval::clean_accuracy;
+        // A mean-classifier with tiny margins, as in the eval tests.
+        let mut rng = rng_from_seed(4);
+        let mut lin = Linear::new(4, 2, &mut rng).unwrap();
+        lin.params_mut()[0].data = Tensor::from_vec(
+            vec![2, 4],
+            vec![0.25, 0.25, 0.25, 0.25, -0.25, -0.25, -0.25, -0.25],
+        )
+        .unwrap();
+        lin.params_mut()[1].data.fill(0.0);
+        let mut model = Sequential::new(vec![Box::new(Flatten::new()), Box::new(lin)]);
+        let x = Tensor::from_vec(
+            vec![2, 1, 2, 2],
+            vec![0.1, 0.1, 0.1, 0.1, -0.1, -0.1, -0.1, -0.1],
+        )
+        .unwrap();
+        let labels = [0usize, 1];
+        assert_eq!(clean_accuracy(&mut model, &x, &labels).unwrap(), 1.0);
+        let cfg = SquareConfig::new(0.5).with_iterations(80);
+        let adv = square_attack(&mut model, &x, &labels, &cfg, &mut rng).unwrap();
+        let acc = clean_accuracy(&mut model, &adv, &labels).unwrap();
+        assert!(acc < 1.0, "square attack should break at least one sample");
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        let mut model = toy_model(5);
+        let mut rng = rng_from_seed(6);
+        let x = init::normal(&[1, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let cfg = SquareConfig::new(0.0);
+        let adv = square_attack(&mut model, &x, &[0], &cfg, &mut rng).unwrap();
+        assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn rejects_non_nchw() {
+        let mut model = toy_model(7);
+        let mut rng = rng_from_seed(8);
+        let x = Tensor::ones(&[2, 12]);
+        assert!(square_attack(&mut model, &x, &[0, 1], &SquareConfig::new(0.1), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for attack invariants: the ℓ∞ projection must hold
+//! for every configuration, and attacks never help the model.
+
+use proptest::prelude::*;
+use rt_adv::attack::{perturb, AttackConfig};
+use rt_adv::eval::{adversarial_accuracy, clean_accuracy};
+use rt_adv::smoothing::gaussian_augment;
+use rt_nn::layers::{Flatten, Linear};
+use rt_nn::Sequential;
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::{init, Tensor};
+
+fn toy_model(seed: u64) -> Sequential {
+    let mut rng = rng_from_seed(seed);
+    Sequential::new(vec![
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(8, 3, &mut rng).unwrap()),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every perturbed pixel stays within the ε ball, for any ε, step
+    /// size, and step count.
+    #[test]
+    fn linf_projection_always_holds(
+        eps in 0.01f32..1.0,
+        step_frac in 0.1f32..3.0,
+        steps in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut model = toy_model(seed);
+        let x = init::normal(&[2, 2, 2, 2], 0.0, 1.0, &mut rng_from_seed(seed + 1));
+        let cfg = AttackConfig {
+            epsilon: eps,
+            step_size: eps * step_frac,
+            steps,
+            random_start: true,
+        };
+        let adv = perturb(&mut model, &x, &[0, 1], &cfg, &mut rng_from_seed(seed + 2)).unwrap();
+        for (a, o) in adv.data().iter().zip(x.data()) {
+            prop_assert!((a - o).abs() <= eps + 1e-5, "|delta|={} eps={}", (a - o).abs(), eps);
+        }
+    }
+
+    /// Adversarial accuracy never exceeds clean accuracy on the same data
+    /// (the attacked points are chosen to hurt).
+    #[test]
+    fn attack_never_helps(seed in 0u64..50, eps in 0.05f32..0.6) {
+        let mut model = toy_model(seed);
+        let x = init::normal(&[6, 2, 2, 2], 0.0, 1.0, &mut rng_from_seed(seed + 3));
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        let clean = clean_accuracy(&mut model, &x, &labels).unwrap();
+        let adv = adversarial_accuracy(
+            &mut model,
+            &x,
+            &labels,
+            &AttackConfig::pgd(eps, 4),
+            &mut rng_from_seed(seed + 4),
+        )
+        .unwrap();
+        // A linear model attacked along the exact gradient cannot gain.
+        prop_assert!(adv <= clean + 1e-9, "adv {adv} > clean {clean}");
+    }
+
+    /// Larger ε never yields *higher* adversarial accuracy on a linear
+    /// model (monotone degradation).
+    #[test]
+    fn degradation_is_monotone_in_eps(seed in 0u64..30) {
+        let mut model = toy_model(seed);
+        let x = init::normal(&[8, 2, 2, 2], 0.0, 1.0, &mut rng_from_seed(seed + 5));
+        let labels = [0usize, 1, 2, 0, 1, 2, 0, 1];
+        let mut last = f64::INFINITY;
+        for eps in [0.05f32, 0.2, 0.6] {
+            // FGSM on a linear model is the optimal ℓ∞ attack, so
+            // monotonicity must hold exactly.
+            let acc = adversarial_accuracy(
+                &mut model,
+                &x,
+                &labels,
+                &AttackConfig::fgsm(eps),
+                &mut rng_from_seed(seed + 6),
+            )
+            .unwrap();
+            prop_assert!(acc <= last + 1e-9, "eps {eps}: {acc} > {last}");
+            last = acc;
+        }
+    }
+
+    /// Gaussian augmentation is unbiased: the mean perturbation vanishes
+    /// as the batch grows.
+    #[test]
+    fn gaussian_noise_is_centered(seed in 0u64..50, sigma in 0.1f32..1.0) {
+        let x = Tensor::zeros(&[1, 1, 40, 40]);
+        let noisy = gaussian_augment(&x, sigma, &mut rng_from_seed(seed));
+        let mean = noisy.mean();
+        prop_assert!(mean.abs() < 4.0 * sigma / 40.0, "mean {mean}");
+    }
+}

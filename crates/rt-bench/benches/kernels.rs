@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the compute kernels and pipeline stages
+//! that dominate experiment wall-clock: convolution lowering, matmul,
+//! forward/backward passes, PGD attack steps, and ticket drawing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_adv::attack::{perturb, AttackConfig};
+use rt_data::{FamilyConfig, TaskFamily};
+use rt_models::{MicroResNet, ResNetConfig};
+use rt_nn::loss::CrossEntropyLoss;
+use rt_nn::optim::Sgd;
+use rt_nn::{Layer, Mode};
+use rt_prune::{omp, Granularity, OmpConfig};
+use rt_tensor::conv::{im2col_single, ConvGeometry};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::{init, linalg, Tensor};
+use std::hint::black_box;
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    group.sample_size(20);
+
+    let mut rng = rng_from_seed(0);
+    let a = init::normal(&[64, 72], 0.0, 1.0, &mut rng);
+    let b = init::normal(&[72, 256], 0.0, 1.0, &mut rng);
+    group.bench_function("matmul_64x72x256", |bench| {
+        bench.iter(|| linalg::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+    });
+
+    let sample = init::normal(&[3 * 16 * 16], 0.0, 1.0, &mut rng).into_vec();
+    let geo = ConvGeometry::new(3, 1, 1);
+    group.bench_function("im2col_3x16x16_k3", |bench| {
+        bench.iter(|| im2col_single(black_box(&sample), 3, 16, 16, geo).expect("im2col"))
+    });
+
+    let logits = init::normal(&[64, 12], 0.0, 2.0, &mut rng);
+    group.bench_function("softmax_rows_64x12", |bench| {
+        bench.iter(|| rt_tensor::special::softmax_rows(black_box(&logits)).expect("softmax"))
+    });
+    group.finish();
+}
+
+fn bench_model_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model");
+    group.sample_size(10);
+
+    let mut rng = rng_from_seed(1);
+    let mut r18 = MicroResNet::new(&ResNetConfig::r18_analog(12), &mut rng).expect("model");
+    let x = init::normal(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
+    group.bench_function("r18_forward_b16", |bench| {
+        bench.iter(|| r18.forward(black_box(&x), Mode::Eval).expect("forward"))
+    });
+
+    let loss_fn = CrossEntropyLoss::new();
+    let labels: Vec<usize> = (0..16).map(|i| i % 12).collect();
+    group.bench_function("r18_train_step_b16", |bench| {
+        let opt = Sgd::paper_recipe(0.01);
+        bench.iter(|| {
+            let logits = r18.forward(black_box(&x), Mode::Train).expect("forward");
+            let out = loss_fn.forward(&logits, &labels).expect("loss");
+            r18.backward(&out.grad).expect("backward");
+            opt.step(&mut r18).expect("step");
+        })
+    });
+
+    let mut r50 = MicroResNet::new(&ResNetConfig::r50_analog(12), &mut rng).expect("model");
+    group.bench_function("r50_forward_b16", |bench| {
+        bench.iter(|| r50.forward(black_box(&x), Mode::Eval).expect("forward"))
+    });
+    group.finish();
+}
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial");
+    group.sample_size(10);
+
+    let mut rng = rng_from_seed(2);
+    let mut model = MicroResNet::new(&ResNetConfig::r18_analog(12), &mut rng).expect("model");
+    let x = init::normal(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 12).collect();
+    model.forward(&x, Mode::Train).expect("warm bn");
+    model.zero_grad();
+
+    group.bench_function("pgd3_b16", |bench| {
+        let cfg = AttackConfig::pgd(0.4, 3);
+        bench.iter(|| perturb(&mut model, black_box(&x), &labels, &cfg, &mut rng).expect("perturb"))
+    });
+    group.bench_function("fgsm_b16", |bench| {
+        let cfg = AttackConfig::fgsm(0.4);
+        bench.iter(|| perturb(&mut model, black_box(&x), &labels, &cfg, &mut rng).expect("perturb"))
+    });
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(20);
+
+    let mut rng = rng_from_seed(3);
+    let model = MicroResNet::new(&ResNetConfig::r18_analog(12), &mut rng).expect("model");
+    group.bench_function("omp_unstructured_r18", |bench| {
+        bench.iter(|| omp(black_box(&model), &OmpConfig::unstructured(0.9)).expect("omp"))
+    });
+    group.bench_function("omp_channel_r18", |bench| {
+        bench.iter(|| {
+            omp(
+                black_box(&model),
+                &OmpConfig::structured(0.5, Granularity::Channel),
+            )
+            .expect("omp")
+        })
+    });
+    group.finish();
+}
+
+fn bench_data_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data");
+    group.sample_size(10);
+    group.bench_function("source_task_128", |bench| {
+        bench.iter(|| {
+            let family = TaskFamily::new(FamilyConfig::paper(), black_box(11));
+            family.source_task(128, 0).expect("task")
+        })
+    });
+    group.bench_function("fid_128x64", |bench| {
+        let mut rng = rng_from_seed(4);
+        let a = init::normal(&[128, 64], 0.0, 1.0, &mut rng);
+        let b = init::normal(&[128, 64], 0.5, 1.2, &mut rng);
+        bench.iter(|| rt_data::fid::fid(black_box(&a), black_box(&b)).expect("fid"))
+    });
+    group.finish();
+}
+
+fn bench_eval_support(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(30);
+    let mut rng = rng_from_seed(5);
+    let logits = init::normal(&[256, 12], 0.0, 2.0, &mut rng);
+    let labels: Vec<usize> = (0..256).map(|i| i % 12).collect();
+    group.bench_function("ece_256x12", |bench| {
+        bench.iter(|| {
+            rt_metrics::expected_calibration_error(black_box(&logits), &labels, 15).expect("ece")
+        })
+    });
+    let pos: Vec<f64> = (0..512).map(|i| (i % 97) as f64 / 97.0).collect();
+    let neg: Vec<f64> = (0..512).map(|i| (i % 89) as f64 / 120.0).collect();
+    group.bench_function("roc_auc_512x512", |bench| {
+        bench.iter(|| rt_metrics::roc_auc(black_box(&pos), black_box(&neg)))
+    });
+    let _ = Tensor::zeros(&[1]);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tensor_kernels,
+    bench_model_passes,
+    bench_adversarial,
+    bench_pruning,
+    bench_data_generation,
+    bench_eval_support
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **Fig. 3** — Structured robust tickets (row / kernel / channel
+//! granularity) vs. structured natural tickets, drawn via OMP from the R50
+//! analog and evaluated under both finetuning and linear evaluation.
+//!
+//! Expected shape: robust wins at every granularity, but the gain shrinks
+//! as the pattern coarsens (channel < kernel < row), because coarse groups
+//! inherit fewer robustness priors.
+
+use rt_bench::{family_for, finish, omp_sweep, pretrained_model, source_task, win_count, Protocol};
+use rt_prune::Granularity;
+use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
+use rt_transfer::pretrain::PretrainScheme;
+
+fn main() {
+    let scale = Scale::from_args();
+    let preset = Preset::new(scale);
+    let family = family_for(&preset);
+    let source = source_task(&preset, &family);
+    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+
+    let arch = preset.arch_r50();
+    let natural = pretrained_model(&preset, "r50", &arch, &source, PretrainScheme::Natural);
+    let robust = pretrained_model(&preset, "r50", &arch, &source, preset.adversarial_scheme());
+
+    // Structured pruning is harsher; cap the sweep below the extreme tail.
+    let sparsities: Vec<f64> = preset
+        .sparsity_grid
+        .iter()
+        .copied()
+        .filter(|&s| s <= 0.9)
+        .collect();
+
+    let mut record = ExperimentRecord::new(
+        "fig3",
+        "structured OMP tickets (row/kernel/channel) from the R50 analog",
+        scale,
+    );
+    let mut per_gran_gap = Vec::new();
+    for granularity in Granularity::structured() {
+        let gran_label = format!("{granularity:?}").to_lowercase();
+        let mut gap_sum = 0.0;
+        let mut gap_n = 0usize;
+        for protocol in [Protocol::Finetune, Protocol::Linear] {
+            let mut pair = Vec::new();
+            for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
+                pair.push(omp_sweep(
+                    &preset,
+                    pre,
+                    &task,
+                    granularity,
+                    protocol,
+                    format!("{kind}/{gran_label}/{}", protocol.label()),
+                    &sparsities,
+                ));
+            }
+            let (_, _) = win_count(&pair[1], &pair[0]);
+            for (pr, pn) in pair[1].points.iter().zip(&pair[0].points) {
+                gap_sum += pr.y - pn.y;
+                gap_n += 1;
+            }
+            record.series.extend(pair);
+        }
+        per_gran_gap.push((gran_label, gap_sum / gap_n.max(1) as f64));
+    }
+
+    for (gran, gap) in &per_gran_gap {
+        record.notes.push(format!(
+            "mean robust-minus-natural gap at {gran}: {gap:+.4}"
+        ));
+    }
+    record.notes.push(
+        "paper shape: robust wins at every granularity; the gain shrinks as \
+         the sparsity pattern coarsens (row > kernel > channel)"
+            .to_string(),
+    );
+    finish(&record, &preset);
+}

@@ -1,0 +1,154 @@
+//! **Fig. 4** — Robust tickets drawn by A-IMP vs. natural tickets drawn by
+//! vanilla IMP, each performed either on the upstream source task ("US")
+//! or on the downstream task ("DS"), evaluated by whole-model finetuning
+//! across the IMP sparsity trajectory.
+//!
+//! Expected shape: the robust variants win across most sparsities; US
+//! robust is strongest at mild sparsity while DS catches up at high
+//! sparsity where task-specific sparsity patterns matter; on the harder
+//! (CIFAR-100-analog) task natural tickets may overtake at extreme
+//! sparsity.
+
+use rt_bench::{family_for, finish, pretrained_model, source_task, Protocol};
+use rt_data::Task;
+use rt_prune::ImpConfig;
+use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
+use rt_transfer::pretrain::{PretrainScheme, Pretrained};
+use rt_transfer::ticket::imp_ticket_trajectory;
+use rt_transfer::training::Objective;
+
+/// Runs one IMP trajectory and scores each round's ticket by finetuning.
+fn imp_curve(
+    preset: &Preset,
+    pre: &Pretrained,
+    prune_data_task: &Task,
+    eval_task: &Task,
+    objective: Objective,
+    label: String,
+) -> Series {
+    let imp_cfg = ImpConfig::paper(preset.imp_final_sparsity, preset.imp_rounds);
+    let round_cfg = preset.imp_round_cfg(objective, 77);
+    let mut model = pre.fresh_model(5).expect("model");
+    // Size the head for the pruning task (IMP trains on it).
+    model
+        .replace_head(
+            prune_data_task.train.num_classes(),
+            &mut rt_tensor::rng::SeedStream::new(6).rng(),
+        )
+        .expect("head");
+    let trajectory = imp_ticket_trajectory(
+        &mut model,
+        pre,
+        &prune_data_task.train,
+        &imp_cfg,
+        &round_cfg,
+    )
+    .expect("imp trajectory");
+
+    let mut series = Series::new(label.clone());
+    for (i, (sparsity, ticket)) in trajectory.iter().enumerate() {
+        // Single-seed scoring: fig4 already runs 16 IMP trajectories; the
+        // four-curve-per-panel structure averages out per-point noise.
+        let mut single = preset.clone();
+        single.eval_seeds = 1;
+        let acc = rt_bench::score_ticket_avg(
+            &single,
+            pre,
+            ticket,
+            eval_task,
+            Protocol::Finetune,
+            100 + i as u64,
+        );
+        eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
+        series.push(*sparsity, acc);
+    }
+    series
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let preset = Preset::new(scale);
+    let family = family_for(&preset);
+    let source = source_task(&preset, &family);
+    let tasks = [
+        family.downstream_task(&preset.c10_spec()).expect("c10"),
+        family.downstream_task(&preset.c100_spec()).expect("c100"),
+    ];
+
+    let mut record = ExperimentRecord::new(
+        "fig4",
+        "A-IMP (robust) vs IMP (natural) tickets, upstream vs downstream",
+        scale,
+    );
+    for (arch_label, arch) in [("r18", preset.arch_r18()), ("r50", preset.arch_r50())] {
+        let natural =
+            pretrained_model(&preset, arch_label, &arch, &source, PretrainScheme::Natural);
+        let robust = pretrained_model(
+            &preset,
+            arch_label,
+            &arch,
+            &source,
+            preset.adversarial_scheme(),
+        );
+        let adv_objective = Objective::Adversarial(preset.pretrain_attack);
+        for task in &tasks {
+            // US curves prune on the source data, DS curves on the task data.
+            record.series.push(imp_curve(
+                &preset,
+                &robust,
+                &source,
+                task,
+                adv_objective,
+                format!("robust-US/{arch_label}/{}", task.name),
+            ));
+            record.series.push(imp_curve(
+                &preset,
+                &robust,
+                task,
+                task,
+                adv_objective,
+                format!("robust-DS/{arch_label}/{}", task.name),
+            ));
+            record.series.push(imp_curve(
+                &preset,
+                &natural,
+                &source,
+                task,
+                Objective::Natural,
+                format!("natural-US/{arch_label}/{}", task.name),
+            ));
+            record.series.push(imp_curve(
+                &preset,
+                &natural,
+                task,
+                task,
+                Objective::Natural,
+                format!("natural-DS/{arch_label}/{}", task.name),
+            ));
+        }
+    }
+
+    // Shape check: per panel, count sparsities where the best robust curve
+    // beats the best natural curve.
+    let mut robust_wins = 0;
+    let mut cells = 0;
+    for panel in record.series.chunks(4) {
+        let [r_us, r_ds, n_us, n_ds] = panel else {
+            continue;
+        };
+        for i in 0..r_us.points.len() {
+            let rbest = r_us.points[i].y.max(r_ds.points[i].y);
+            let nbest = n_us.points[i].y.max(n_ds.points[i].y);
+            cells += 1;
+            if rbest > nbest {
+                robust_wins += 1;
+            }
+        }
+    }
+    record.notes.push(format!(
+        "shape check: best-robust beats best-natural at {robust_wins}/{cells} \
+         sparsity cells (paper: robust wins most, natural can take extreme \
+         sparsity on the harder task)"
+    ));
+    finish(&record, &preset);
+}

@@ -1,0 +1,62 @@
+//! **Fig. 6** — Are adversarially-trained models the only source of good
+//! robustness priors? Compares OMP tickets drawn from naturally,
+//! adversarially (PGD), and randomized-smoothing (RS) pretrained R50
+//! analogs.
+//!
+//! Expected shape: RS tickets sit between natural and adversarial —
+//! inferior to PGD-robust tickets but still ahead of natural ones.
+
+use rt_bench::{family_for, finish, omp_sweep, pretrained_model, source_task, Protocol};
+use rt_prune::Granularity;
+use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
+use rt_transfer::pretrain::PretrainScheme;
+
+fn main() {
+    let scale = Scale::from_args();
+    let preset = Preset::new(scale);
+    let family = family_for(&preset);
+    let source = source_task(&preset, &family);
+    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+
+    let arch = preset.arch_r50();
+    let schemes = [
+        ("natural", PretrainScheme::Natural),
+        ("adversarial", preset.adversarial_scheme()),
+        ("smoothing", preset.smoothing_scheme()),
+    ];
+
+    let mut record = ExperimentRecord::new(
+        "fig6",
+        "tickets from different pretraining schemes (natural / PGD / RS)",
+        scale,
+    );
+    for protocol in [Protocol::Finetune, Protocol::Linear] {
+        for (kind, scheme) in &schemes {
+            let pre = pretrained_model(&preset, "r50", &arch, &source, *scheme);
+            record.series.push(omp_sweep(
+                &preset,
+                &pre,
+                &task,
+                Granularity::Element,
+                protocol,
+                format!("{kind}/{}", protocol.label()),
+                &preset.sparsity_grid,
+            ));
+        }
+    }
+
+    // Shape check: mean accuracy ordering natural ≤ smoothing ≤ adversarial
+    // per protocol.
+    for chunk in record.series.chunks(3) {
+        let mean = |s: &rt_transfer::experiment::Series| {
+            s.points.iter().map(|p| p.y).sum::<f64>() / s.points.len().max(1) as f64
+        };
+        let (nat, adv, rs) = (mean(&chunk[0]), mean(&chunk[1]), mean(&chunk[2]));
+        record.notes.push(format!(
+            "{}: mean acc natural={nat:.4} smoothing={rs:.4} adversarial={adv:.4} \
+             (paper: natural < smoothing < adversarial)",
+            chunk[0].label.split('/').next_back().unwrap_or("?")
+        ));
+    }
+    finish(&record, &preset);
+}

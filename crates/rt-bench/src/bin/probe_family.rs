@@ -1,0 +1,111 @@
+//! Generator-calibration probe: sweeps `FamilyConfig` amplitude knobs (via
+//! environment variables) and reports robust-vs-natural transfer at two
+//! sparsities and two domain gaps. Used to tune the synthetic universe so
+//! the paper's phenomenon is expressed; see DESIGN.md.
+//!
+//! Knobs: `ROBUST_AMP`, `FRAGILE_AMP`, `NOISE_STD`, `PRETRAIN_EPS`,
+//! `MAX_SHIFT`, `GAP_A`, `GAP_B`, `PRETRAIN_EPOCHS`, `DOWN_TRAIN`.
+
+use rt_adv::attack::AttackConfig;
+use rt_data::{DownstreamSpec, TaskFamily};
+use rt_prune::{omp, OmpConfig};
+use rt_transfer::evaluate::{evaluate, evaluate_adversarial};
+use rt_transfer::experiment::{Preset, Scale};
+use rt_transfer::finetune::finetune;
+use rt_transfer::linear::linear_eval;
+use rt_transfer::pretrain::{pretrain, PretrainScheme};
+
+fn env_f32(key: &str, default: f32) -> f32 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let mut preset = Preset::new(Scale::Standard);
+    preset.family.robust_amp = env_f32("ROBUST_AMP", preset.family.robust_amp);
+    preset.family.fragile_amp = env_f32("FRAGILE_AMP", preset.family.fragile_amp);
+    preset.family.noise_std = env_f32("NOISE_STD", preset.family.noise_std);
+    preset.family.max_shift = env_usize("MAX_SHIFT", preset.family.max_shift as usize) as i64;
+    let eps = env_f32("PRETRAIN_EPS", preset.pretrain_attack.epsilon);
+    preset.pretrain_attack = AttackConfig::pgd(eps, preset.pretrain_attack.steps);
+    preset.pretrain_epochs = env_usize("PRETRAIN_EPOCHS", preset.pretrain_epochs);
+    let down_train = env_usize("DOWN_TRAIN", preset.downstream_train);
+    preset.finetune_epochs = env_usize("FT_EPOCHS", preset.finetune_epochs);
+    preset.finetune_lr = env_f32("FT_LR", preset.finetune_lr);
+    let gap_a = env_f32("GAP_A", 0.35);
+    let gap_b = env_f32("GAP_B", 0.7);
+
+    println!(
+        "family: robust={} fragile={} noise={} shift={} eps={} epochs={} down_train={down_train}",
+        preset.family.robust_amp,
+        preset.family.fragile_amp,
+        preset.family.noise_std,
+        preset.family.max_shift,
+        eps,
+        preset.pretrain_epochs,
+    );
+
+    let family = TaskFamily::new(preset.family, preset.seed);
+    let source = family
+        .source_task(preset.source_train, preset.source_test)
+        .expect("source");
+    let arch = preset.arch_r18();
+
+    let natural = pretrain(
+        &arch,
+        &source,
+        PretrainScheme::Natural,
+        preset.pretrain_epochs,
+        preset.pretrain_lr,
+        1,
+    )
+    .expect("natural pretrain");
+    let robust = pretrain(
+        &arch,
+        &source,
+        PretrainScheme::Adversarial(preset.pretrain_attack),
+        preset.pretrain_epochs,
+        preset.pretrain_lr,
+        1,
+    )
+    .expect("adv pretrain");
+
+    for (name, pre) in [("natural", &natural), ("robust ", &robust)] {
+        let mut m = pre.fresh_model(1).expect("model");
+        let clean = evaluate(&mut m, &source.test).expect("eval").accuracy;
+        let adv = evaluate_adversarial(&mut m, &source.test, &preset.eval_attack, 7).expect("adv");
+        println!("source {name}: clean={clean:.3} adv={adv:.3}");
+    }
+
+    for (gname, gap) in [("gapA", gap_a), ("gapB", gap_b)] {
+        let spec = DownstreamSpec {
+            name: format!("probe-{gname}"),
+            gap,
+            num_classes: 6,
+            train_size: down_train,
+            test_size: preset.downstream_test,
+        };
+        let task = family.downstream_task(&spec).expect("task");
+        for sparsity in [0.5f64, 0.9] {
+            let mut row = format!("{gname} g={gap:.2} s={sparsity:.1} |");
+            for (name, pre) in [("nat", &natural), ("rob", &robust)] {
+                let mut m = pre.fresh_model(2).expect("model");
+                let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
+                ticket.apply(&mut m).expect("apply");
+                let lin = linear_eval(&mut m, &task, &preset.linear).expect("linear");
+                let ft = finetune(&mut m, &task, &preset.finetune_cfg(11)).expect("ft");
+                row.push_str(&format!(" {name}: lin={lin:.3} ft={:.3} |", ft.accuracy));
+            }
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Quick diagnostic: does the core "robust tickets transfer better"
+//! phenomenon emerge in this synthetic universe? Runs a single-sparsity
+//! robust-vs-natural OMP comparison under both transfer protocols and
+//! prints the raw numbers. Not one of the paper's figures — a calibration
+//! tool for the data generator (see DESIGN.md).
+
+use rt_bench::{family_for, pretrained_model, source_task};
+use rt_prune::{omp, OmpConfig};
+use rt_transfer::evaluate::{evaluate, evaluate_adversarial};
+use rt_transfer::experiment::{Preset, Scale};
+use rt_transfer::finetune::finetune;
+use rt_transfer::linear::linear_eval;
+use rt_transfer::pretrain::PretrainScheme;
+
+fn main() {
+    let scale = Scale::from_args();
+    let preset = Preset::new(scale);
+    let family = family_for(&preset);
+    let source = source_task(&preset, &family);
+    let c10 = family.downstream_task(&preset.c10_spec()).expect("task");
+
+    let t0 = std::time::Instant::now();
+    let arch = preset.arch_r18();
+    let natural = pretrained_model(&preset, "r18", &arch, &source, PretrainScheme::Natural);
+    eprintln!("[time] natural pretrain {:?}", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
+    eprintln!("[time] adversarial pretrain {:?}", t1.elapsed());
+
+    // Source-task sanity: clean and adversarial accuracy of both models.
+    for (name, pre) in [("natural", &natural), ("robust", &robust)] {
+        let mut m = pre.fresh_model(1).expect("model");
+        let clean = evaluate(&mut m, &source.test).expect("eval");
+        let adv =
+            evaluate_adversarial(&mut m, &source.test, &preset.eval_attack, 7).expect("adv eval");
+        println!("source {name}: clean={:.3} adv={:.3}", clean.accuracy, adv);
+    }
+
+    for sparsity in [0.5f64, 0.9] {
+        for (name, pre) in [("natural", &natural), ("robust", &robust)] {
+            let t = std::time::Instant::now();
+            let mut m = pre.fresh_model(2).expect("model");
+            let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
+            ticket.apply(&mut m).expect("apply");
+            let lin = linear_eval(&mut m, &c10, &preset.linear).expect("linear");
+            let ft = finetune(&mut m, &c10, &preset.finetune_cfg(11)).expect("finetune");
+            println!(
+                "s={sparsity:.2} {name}: linear={lin:.3} finetune={:.3}  ({:?})",
+                ft.accuracy,
+                t.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Aggregates every JSON [`ExperimentRecord`] under `results/` into one
+//! report: markdown tables, Unicode charts, and the shape-check notes.
+//! Run after `./run_standard.sh` to get the whole evaluation at a glance:
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin summarize_results [-- --dir results]
+//! ```
+
+use rt_transfer::chart::{render_chart, ChartOptions};
+use rt_transfer::experiment::ExperimentRecord;
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--dir" {
+            return PathBuf::from(&pair[1]);
+        }
+    }
+    PathBuf::from("results")
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut records: Vec<(PathBuf, ExperimentRecord)> = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|json| serde_json::from_str::<ExperimentRecord>(&json).ok())
+        {
+            Some(record) => records.push((path, record)),
+            None => eprintln!("[skip] {} is not an experiment record", path.display()),
+        }
+    }
+    if records.is_empty() {
+        eprintln!("no experiment records found under {}", dir.display());
+        std::process::exit(1);
+    }
+    records.sort_by(|a, b| a.1.id.cmp(&b.1.id));
+
+    println!("# Experiment summary ({} records)\n", records.len());
+    for (path, record) in &records {
+        println!("{}", record.to_markdown());
+        // Charts are only legible for a handful of series; plot the first
+        // eight at most.
+        let take = record.series.len().min(8);
+        if take >= 1 && record.series[0].points.len() >= 2 {
+            println!("```text");
+            print!(
+                "{}",
+                render_chart(&record.series[..take], &ChartOptions::default())
+            );
+            println!("```");
+        }
+        println!("_source: {}_\n", path.display());
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared plumbing for the experiment drivers in `src/bin/` — one driver
+//! per figure/table of the paper (see DESIGN.md's experiment index).
+//!
+//! Every driver accepts `--scale {smoke|standard|paper}` and emits:
+//!
+//! * a human-readable markdown table on stdout, and
+//! * a JSON [`ExperimentRecord`]
+//!   under `results/`.
+//!
+//! [`ExperimentRecord`]: rt_transfer::experiment::ExperimentRecord
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rt_data::{Task, TaskFamily};
+use rt_models::ResNetConfig;
+use rt_transfer::experiment::{ExperimentRecord, Preset};
+use rt_transfer::pretrain::{pretrain_cached, PretrainScheme, Pretrained};
+
+/// Materializes the synthetic universe for a preset.
+pub fn family_for(preset: &Preset) -> TaskFamily {
+    TaskFamily::new(preset.family, preset.seed)
+}
+
+/// Materializes the source task for a preset.
+///
+/// # Panics
+///
+/// Panics on internal generator errors (deterministic construction).
+pub fn source_task(preset: &Preset, family: &TaskFamily) -> Task {
+    family
+        .source_task(preset.source_train, preset.source_test)
+        .expect("source task generation is infallible for valid presets")
+}
+
+/// Pretrains (or loads from cache) a dense model for `(arch, scheme)`.
+///
+/// # Panics
+///
+/// Panics on training errors — drivers are binaries, failing loudly is the
+/// right behavior.
+pub fn pretrained_model(
+    preset: &Preset,
+    arch_label: &str,
+    arch: &ResNetConfig,
+    source: &Task,
+    scheme: PretrainScheme,
+) -> Pretrained {
+    let key = preset.cache_key(arch_label, &scheme);
+    eprintln!("[pretrain] {key}");
+    pretrain_cached(
+        &preset.cache_dir(),
+        &key,
+        arch,
+        source,
+        scheme,
+        preset.pretrain_epochs,
+        preset.pretrain_lr,
+        preset.seed ^ 0x5eed,
+    )
+    .expect("pretraining failed")
+}
+
+/// Transfer protocol used when scoring a ticket downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Whole-model finetuning (Fig. 1 style).
+    Finetune,
+    /// Linear evaluation on frozen features (Fig. 2 style).
+    Linear,
+}
+
+impl Protocol {
+    /// Short label for series names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Finetune => "ft",
+            Protocol::Linear => "lin",
+        }
+    }
+}
+
+/// Scores one already-masked model on `task` under `protocol`.
+///
+/// # Panics
+///
+/// Panics on pipeline errors (drivers fail loudly).
+pub fn score_ticketed_model(
+    model: &mut rt_models::MicroResNet,
+    task: &Task,
+    preset: &Preset,
+    protocol: Protocol,
+    seed: u64,
+) -> f64 {
+    match protocol {
+        Protocol::Finetune => {
+            rt_transfer::finetune::finetune(model, task, &preset.finetune_cfg(seed))
+                .expect("finetune failed")
+                .accuracy
+        }
+        Protocol::Linear => {
+            let mut cfg = preset.linear;
+            cfg.seed = seed;
+            rt_transfer::linear::linear_eval(model, task, &cfg).expect("linear eval failed")
+        }
+    }
+}
+
+/// Scores a ticket by applying it to `eval_seeds` fresh restorations of
+/// the pretrained model and averaging the transfer accuracy — the variance
+/// of a single finetune run at this scale would otherwise swamp the
+/// robust-vs-natural gaps.
+///
+/// # Panics
+///
+/// Panics on pipeline errors.
+pub fn score_ticket_avg(
+    preset: &Preset,
+    pre: &Pretrained,
+    ticket: &rt_prune::TicketMask,
+    task: &Task,
+    protocol: Protocol,
+    base_seed: u64,
+) -> f64 {
+    let n = preset.eval_seeds.max(1);
+    let mut total = 0.0;
+    for k in 0..n {
+        let mut model = pre.fresh_model(base_seed + 31 * k as u64).expect("model");
+        ticket.apply(&mut model).expect("apply ticket");
+        total += score_ticketed_model(
+            &mut model,
+            task,
+            preset,
+            protocol,
+            base_seed + 977 * k as u64,
+        );
+    }
+    total / n as f64
+}
+
+/// Sweeps OMP sparsities for one pretrained model / downstream task /
+/// protocol, producing a labeled accuracy-vs-sparsity series (each point
+/// averaged over the preset's `eval_seeds`).
+///
+/// # Panics
+///
+/// Panics on pipeline errors.
+pub fn omp_sweep(
+    preset: &Preset,
+    pre: &Pretrained,
+    task: &Task,
+    granularity: rt_prune::Granularity,
+    protocol: Protocol,
+    label: String,
+    sparsities: &[f64],
+) -> rt_transfer::experiment::Series {
+    let mut series = rt_transfer::experiment::Series::new(label.clone());
+    for (i, &sparsity) in sparsities.iter().enumerate() {
+        let model = pre.fresh_model(1000 + i as u64).expect("model");
+        let ticket = rt_prune::omp(
+            &model,
+            &rt_prune::OmpConfig::structured(sparsity, granularity),
+        )
+        .expect("omp");
+        let acc = score_ticket_avg(preset, pre, &ticket, task, protocol, 7 + i as u64);
+        eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
+        series.push(sparsity, acc);
+    }
+    series
+}
+
+/// Counts, over the x-grid shared by two series, how often the first
+/// series' y beats the second's. Used for the shape-check notes.
+pub fn win_count(
+    a: &rt_transfer::experiment::Series,
+    b: &rt_transfer::experiment::Series,
+) -> (usize, usize) {
+    let mut wins = 0;
+    let mut total = 0;
+    for pa in &a.points {
+        if let Some(pb) = b.points.iter().find(|p| (p.x - pa.x).abs() < 1e-9) {
+            total += 1;
+            if pa.y > pb.y {
+                wins += 1;
+            }
+        }
+    }
+    (wins, total)
+}
+
+/// Prints the record and saves it under `results/`.
+pub fn finish(record: &ExperimentRecord, preset: &Preset) {
+    println!("{}", record.to_markdown());
+    match record.save(&preset.results_dir()) {
+        Ok(path) => eprintln!("[saved] {}", path.display()),
+        Err(e) => eprintln!("[warn] could not save record: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_transfer::Scale;
+
+    #[test]
+    fn smoke_universe_materializes() {
+        let preset = Preset::new(Scale::Smoke);
+        let family = family_for(&preset);
+        let source = source_task(&preset, &family);
+        assert_eq!(source.train.len(), preset.source_train);
+        assert_eq!(source.train.num_classes(), preset.family.base_classes);
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests of the experiment-driver plumbing at smoke scale —
+//! the library paths every `src/bin/` driver shares.
+
+use rt_bench::{
+    family_for, omp_sweep, pretrained_model, score_ticket_avg, source_task, win_count, Protocol,
+};
+use rt_prune::{omp, Granularity, OmpConfig};
+use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
+use rt_transfer::pretrain::PretrainScheme;
+
+fn preset_with_tmp_cache() -> Preset {
+    // Use the default target-dir cache; keys are scale-prefixed so smoke
+    // runs never collide with standard results.
+    Preset::new(Scale::Smoke)
+}
+
+#[test]
+fn omp_sweep_produces_monotone_x_and_valid_accuracies() {
+    let preset = preset_with_tmp_cache();
+    let family = family_for(&preset);
+    let source = source_task(&preset, &family);
+    let task = family.downstream_task(&preset.c10_spec()).expect("task");
+    let pre = pretrained_model(
+        &preset,
+        "r18",
+        &preset.arch_r18(),
+        &source,
+        PretrainScheme::Natural,
+    );
+    for protocol in [Protocol::Finetune, Protocol::Linear] {
+        let series = omp_sweep(
+            &preset,
+            &pre,
+            &task,
+            Granularity::Element,
+            protocol,
+            format!("test/{}", protocol.label()),
+            &preset.sparsity_grid,
+        );
+        assert_eq!(series.points.len(), preset.sparsity_grid.len());
+        for pair in series.points.windows(2) {
+            assert!(pair[0].x < pair[1].x);
+        }
+        assert!(series.points.iter().all(|p| (0.0..=1.0).contains(&p.y)));
+    }
+}
+
+#[test]
+fn score_ticket_avg_is_deterministic_and_bounded() {
+    let preset = preset_with_tmp_cache();
+    let family = family_for(&preset);
+    let source = source_task(&preset, &family);
+    let task = family.downstream_task(&preset.c10_spec()).expect("task");
+    let pre = pretrained_model(
+        &preset,
+        "r18",
+        &preset.arch_r18(),
+        &source,
+        PretrainScheme::Natural,
+    );
+    let model = pre.fresh_model(0).expect("model");
+    let ticket = omp(&model, &OmpConfig::unstructured(0.5)).expect("omp");
+    let a = score_ticket_avg(&preset, &pre, &ticket, &task, Protocol::Linear, 3);
+    let b = score_ticket_avg(&preset, &pre, &ticket, &task, Protocol::Linear, 3);
+    assert_eq!(a, b, "same seed, same score");
+    assert!((0.0..=1.0).contains(&a));
+}
+
+#[test]
+fn win_count_handles_partial_grids() {
+    let mut a = Series::new("a");
+    a.push(0.5, 0.9);
+    a.push(0.9, 0.6);
+    a.push(0.95, 0.5);
+    let mut b = Series::new("b");
+    b.push(0.5, 0.8);
+    b.push(0.9, 0.7);
+    // 0.95 missing from b — only shared x values count.
+    let (wins, total) = win_count(&a, &b);
+    assert_eq!(total, 2);
+    assert_eq!(wins, 1);
+}
+
+#[test]
+fn records_round_trip_through_the_results_directory() {
+    let preset = preset_with_tmp_cache();
+    let mut record = ExperimentRecord::new("itest", "integration", Scale::Smoke);
+    let mut s = Series::new("series");
+    s.push(0.5, 0.75);
+    record.series.push(s);
+    let dir = std::env::temp_dir().join("rt-driver-logic-results");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = record.save(&dir).expect("save");
+    let json = std::fs::read_to_string(&path).expect("read");
+    let back: ExperimentRecord = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back, record);
+    assert!(back.to_markdown().contains("0.7500"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = preset;
+}
+
+#[test]
+fn pretrain_cache_is_shared_between_driver_invocations() {
+    let preset = preset_with_tmp_cache();
+    let family = family_for(&preset);
+    let source = source_task(&preset, &family);
+    // Two calls with the same key: the second must load the first's weights.
+    let a = pretrained_model(
+        &preset,
+        "r18",
+        &preset.arch_r18(),
+        &source,
+        PretrainScheme::Natural,
+    );
+    let b = pretrained_model(
+        &preset,
+        "r18",
+        &preset.arch_r18(),
+        &source,
+        PretrainScheme::Natural,
+    );
+    assert_eq!(a.snapshot, b.snapshot);
+}

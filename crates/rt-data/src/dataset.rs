@@ -1,0 +1,233 @@
+use crate::Result;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rt_tensor::Tensor;
+
+/// An in-memory labeled image dataset (NCHW images + class labels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Bundles images and labels into a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank 4, if the label count differs from the
+    /// image count, or if any label is `>= num_classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.ndim(), 4, "dataset images must be NCHW");
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "image/label count mismatch"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The images, shape `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Shape of one sample: `[C, H, W]`.
+    pub fn sample_shape(&self) -> [usize; 3] {
+        let s = self.images.shape();
+        [s[1], s[2], s[3]]
+    }
+
+    /// Gathers the samples at `indices` into a new `(images, labels)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>)> {
+        let [c, h, w] = self.sample_shape();
+        let sample_len = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(rt_tensor::TensorError::IndexOutOfBounds {
+                    index: vec![i],
+                    shape: self.images.shape().to_vec(),
+                });
+            }
+            data.extend_from_slice(&self.images.data()[i * sample_len..(i + 1) * sample_len]);
+            labels.push(self.labels[i]);
+        }
+        Ok((
+            Tensor::from_vec(vec![indices.len(), c, h, w], data)?,
+            labels,
+        ))
+    }
+
+    /// Returns a new dataset containing the first `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn take(&self, n: usize) -> Dataset {
+        assert!(n <= self.len());
+        let (images, labels) = self.gather(&(0..n).collect::<Vec<_>>()).expect("in range");
+        Dataset::new(images, labels, self.num_classes)
+    }
+
+    /// Splits the dataset into shuffled minibatches. The final batch may be
+    /// smaller than `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled_batches<R: Rng>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.gather(chunk).expect("indices in range"))
+            .collect()
+    }
+
+    /// Splits into sequential (unshuffled) minibatches for evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let order: Vec<usize> = (0..self.len()).collect();
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.gather(chunk).expect("indices in range"))
+            .collect()
+    }
+
+    /// Per-class sample counts (useful for balance assertions in tests).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::rng::rng_from_seed;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| i as f32);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = dataset(6);
+        assert_eq!(d.len(), 6);
+        assert!(!d.is_empty());
+        assert_eq!(d.sample_shape(), [1, 2, 2]);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.class_histogram(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn gather_selects_correct_samples() {
+        let d = dataset(4);
+        let (imgs, labels) = d.gather(&[2, 0]).unwrap();
+        assert_eq!(imgs.shape(), &[2, 1, 2, 2]);
+        assert_eq!(imgs.data()[0], 8.0); // sample 2 starts at flat index 8
+        assert_eq!(imgs.data()[4], 0.0);
+        assert_eq!(labels, vec![2, 0]);
+        assert!(d.gather(&[9]).is_err());
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let d = dataset(10);
+        let mut rng = rng_from_seed(0);
+        let batches = d.shuffled_batches(3, &mut rng);
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 10);
+        // Every image value appears exactly once (values identify samples).
+        let mut firsts: Vec<f32> = batches
+            .iter()
+            .flat_map(|(imgs, l)| (0..l.len()).map(move |i| imgs.data()[i * 4]))
+            .collect();
+        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f32> = (0..10).map(|i| (i * 4) as f32).collect();
+        assert_eq!(firsts, expect);
+    }
+
+    #[test]
+    fn shuffling_differs_between_seeds() {
+        let d = dataset(16);
+        let a = d.shuffled_batches(16, &mut rng_from_seed(1));
+        let b = d.shuffled_batches(16, &mut rng_from_seed(2));
+        assert_ne!(a[0].1, b[0].1);
+        // Same seed → same order.
+        let c = d.shuffled_batches(16, &mut rng_from_seed(1));
+        assert_eq!(a[0].1, c[0].1);
+    }
+
+    #[test]
+    fn take_prefix() {
+        let d = dataset(5);
+        let t = d.take(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.labels(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "image/label count mismatch")]
+    fn rejects_count_mismatch() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![0], 3);
+    }
+}

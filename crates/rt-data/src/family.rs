@@ -1,0 +1,595 @@
+//! The synthetic task family: one source task plus arbitrarily many
+//! downstream tasks at controlled domain gaps.
+
+use crate::prototype::{channel_mix, hflip, normalize_rms, pixel_code, roll, smooth_pattern};
+use crate::{Dataset, Result};
+use rand::Rng;
+use rt_tensor::rng::SeedStream;
+use rt_tensor::{init, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Global knobs of the synthetic generator.
+///
+/// The amplitudes encode the paper's mechanism: `robust_amp` is the energy
+/// of the transferable low-frequency class structure, `fragile_amp` the
+/// energy of the dataset-specific shortcut features that ℓ∞ perturbations
+/// of ε ≈ `fragile_amp` erase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FamilyConfig {
+    /// Square image side length.
+    pub image_size: usize,
+    /// Image channels (3 ≈ RGB).
+    pub channels: usize,
+    /// Number of classes in the source prototype pool.
+    pub base_classes: usize,
+    /// Amplitude of the smooth class prototypes.
+    pub robust_amp: f32,
+    /// Amplitude of the per-class pixel codes.
+    pub fragile_amp: f32,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Upsampling factor of the smooth patterns (higher = smoother).
+    pub coarse_factor: usize,
+    /// Maximum instance translation (pixels, circular).
+    pub max_shift: i64,
+}
+
+impl FamilyConfig {
+    /// The default experiment scale: 16×16×3 images, 12 base classes.
+    ///
+    /// The amplitudes were calibrated empirically (see DESIGN.md and the
+    /// `probe_family` driver) so that the paper's phenomenon is expressed:
+    /// the fragile codes are individually faint (amplitude 0.3, well below
+    /// the pixel noise) but in aggregate highly predictive, so natural
+    /// training exploits them while a PGD ball of ε ≈ 0.4 erases them.
+    pub fn paper() -> Self {
+        FamilyConfig {
+            image_size: 16,
+            channels: 3,
+            base_classes: 12,
+            robust_amp: 1.0,
+            fragile_amp: 0.3,
+            noise_std: 0.6,
+            coarse_factor: 4,
+            max_shift: 3,
+        }
+    }
+
+    /// A tiny scale for unit tests and CI smoke runs.
+    pub fn smoke() -> Self {
+        FamilyConfig {
+            image_size: 8,
+            channels: 3,
+            base_classes: 4,
+            robust_amp: 1.0,
+            fragile_amp: 0.5,
+            noise_std: 0.3,
+            coarse_factor: 2,
+            max_shift: 1,
+        }
+    }
+}
+
+impl Default for FamilyConfig {
+    fn default() -> Self {
+        FamilyConfig::paper()
+    }
+}
+
+/// Description of one downstream task derived from a [`TaskFamily`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DownstreamSpec {
+    /// Human-readable task name (appears in experiment reports).
+    pub name: String,
+    /// Domain gap `g ∈ [0, 1]`: 0 = identical to the source distribution
+    /// (minus the fragile codes), 1 = fully fresh prototypes.
+    pub gap: f32,
+    /// Number of classes (must not exceed the family's base class count).
+    pub num_classes: usize,
+    /// Training-set size (downstream tasks are data-poor by design).
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+}
+
+impl DownstreamSpec {
+    /// The CIFAR-10 analog: moderate gap, half the base classes.
+    pub fn c10_analog(base_classes: usize, train: usize, test: usize) -> Self {
+        DownstreamSpec {
+            name: "c10-analog".to_string(),
+            gap: 0.35,
+            num_classes: (base_classes / 2).max(2),
+            train_size: train,
+            test_size: test,
+        }
+    }
+
+    /// The CIFAR-100 analog: larger gap and the full class pool (a harder,
+    /// more complex task, mirroring CIFAR-100 vs CIFAR-10).
+    pub fn c100_analog(base_classes: usize, train: usize, test: usize) -> Self {
+        DownstreamSpec {
+            name: "c100-analog".to_string(),
+            gap: 0.5,
+            num_classes: base_classes,
+            train_size: train,
+            test_size: test,
+        }
+    }
+}
+
+/// A materialized task: train/test datasets plus provenance.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Task name (`"source"` or the downstream spec's name).
+    pub name: String,
+    /// Training split.
+    pub train: Dataset,
+    /// Test split.
+    pub test: Dataset,
+    /// Domain gap from the source distribution (0 for the source itself).
+    pub gap: f32,
+}
+
+/// Factory for the whole synthetic universe: source task, downstream tasks,
+/// the VTAB-like suite, and OoD data. Deterministic given `(config, seed)`.
+#[derive(Debug, Clone)]
+pub struct TaskFamily {
+    config: FamilyConfig,
+    seeds: SeedStream,
+    prototypes: Vec<Tensor>,
+    source_codes: Vec<Tensor>,
+}
+
+impl TaskFamily {
+    /// Creates a family, generating the source prototype pool.
+    pub fn new(config: FamilyConfig, seed: u64) -> Self {
+        let seeds = SeedStream::new(seed);
+        let (c, s) = (config.channels, config.image_size);
+        let prototypes = (0..config.base_classes)
+            .map(|k| {
+                let mut rng = seeds.child("prototype").child_idx(k as u64).rng();
+                smooth_pattern(c, s, s, config.coarse_factor, &mut rng)
+            })
+            .collect();
+        let source_codes = (0..config.base_classes)
+            .map(|k| {
+                let mut rng = seeds.child("code").child_idx(k as u64).rng();
+                pixel_code(c, s, s, &mut rng)
+            })
+            .collect();
+        TaskFamily {
+            config,
+            seeds,
+            prototypes,
+            source_codes,
+        }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &FamilyConfig {
+        &self.config
+    }
+
+    /// Draws one image of class `label` given the class pattern set.
+    fn sample_image<R: Rng>(
+        &self,
+        proto: &Tensor,
+        code: &Tensor,
+        background: Option<&Tensor>,
+        rng: &mut R,
+    ) -> Tensor {
+        let cfg = &self.config;
+        // Instance-level geometric jitter applies to the robust structure
+        // only; the fragile code is a pixel-aligned shortcut by design.
+        let dy = rng.gen_range(-cfg.max_shift..=cfg.max_shift);
+        let dx = rng.gen_range(-cfg.max_shift..=cfg.max_shift);
+        let mut p = roll(proto, dy, dx);
+        if rng.gen::<bool>() {
+            p = hflip(&p);
+        }
+        let alpha = cfg.robust_amp * rng.gen_range(0.8..1.2);
+        let mut x = p.mul_scalar(alpha);
+        x.axpy(cfg.fragile_amp, code).expect("same shape");
+        if let Some(bg) = background {
+            x.add_assign(bg).expect("same shape");
+        }
+        let noise = init::normal(x.shape(), 0.0, cfg.noise_std, rng);
+        x.add_assign(&noise).expect("same shape");
+        x
+    }
+
+    fn sample_dataset<R: Rng>(
+        &self,
+        protos: &[Tensor],
+        codes: &[Tensor],
+        background: Option<&Tensor>,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Dataset> {
+        let classes = protos.len();
+        let cfg = &self.config;
+        let (c, s) = (cfg.channels, cfg.image_size);
+        let mut data = Vec::with_capacity(n * c * s * s);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % classes; // balanced by construction
+            let img = self.sample_image(&protos[label], &codes[label], background, rng);
+            data.extend_from_slice(img.data());
+            labels.push(label);
+        }
+        Ok(Dataset::new(
+            Tensor::from_vec(vec![n, c, s, s], data)?,
+            labels,
+            classes,
+        ))
+    }
+
+    /// Materializes the source (pretraining) task with all base classes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor construction errors (internal consistency only).
+    pub fn source_task(&self, train_size: usize, test_size: usize) -> Result<Task> {
+        let mut train_rng = self.seeds.child("source/train").rng();
+        let mut test_rng = self.seeds.child("source/test").rng();
+        Ok(Task {
+            name: "source".to_string(),
+            train: self.sample_dataset(
+                &self.prototypes,
+                &self.source_codes,
+                None,
+                train_size,
+                &mut train_rng,
+            )?,
+            test: self.sample_dataset(
+                &self.prototypes,
+                &self.source_codes,
+                None,
+                test_size,
+                &mut test_rng,
+            )?,
+            gap: 0.0,
+        })
+    }
+
+    /// Materializes a downstream task from a spec.
+    ///
+    /// The transformation implements the domain gap `g`:
+    ///
+    /// 1. each class prototype is blended with a fresh smooth pattern:
+    ///    `P' = normalize((1−g)·P + g·Q)`,
+    /// 2. color channels are remixed by `(1−g)·I + g·R`,
+    /// 3. a task-specific background field of amplitude `0.5·g` is added,
+    /// 4. the fragile pixel codes are **always** resampled — shortcut
+    ///    features never transfer, regardless of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.num_classes` exceeds the family's base class count
+    /// or is zero.
+    pub fn downstream_task(&self, spec: &DownstreamSpec) -> Result<Task> {
+        let cfg = &self.config;
+        assert!(
+            spec.num_classes > 0 && spec.num_classes <= cfg.base_classes,
+            "downstream classes must be in 1..={}",
+            cfg.base_classes
+        );
+        let task_seeds = self.seeds.child("task").child(&spec.name);
+        let g = spec.gap.clamp(0.0, 1.0);
+        let (c, s) = (cfg.channels, cfg.image_size);
+
+        // Channel remix matrix (1−g)·I + g·R with row-normalized random R.
+        let mut mix_rng = task_seeds.child("mix").rng();
+        let mix: Vec<Vec<f32>> = (0..c)
+            .map(|row| {
+                let mut r: Vec<f32> = (0..c).map(|_| mix_rng.gen_range(-1.0..1.0)).collect();
+                let norm = r.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+                r.iter_mut().for_each(|v| *v = *v / norm * g);
+                r[row] += 1.0 - g;
+                r
+            })
+            .collect();
+
+        let protos: Vec<Tensor> = (0..spec.num_classes)
+            .map(|k| {
+                let mut rng = task_seeds.child("proto").child_idx(k as u64).rng();
+                let fresh = smooth_pattern(c, s, s, cfg.coarse_factor, &mut rng);
+                let mut blended = self.prototypes[k].mul_scalar(1.0 - g);
+                blended.axpy(g, &fresh).expect("same shape");
+                let mut mixed = channel_mix(&blended, &mix);
+                normalize_rms(&mut mixed);
+                mixed
+            })
+            .collect();
+
+        // Fresh fragile codes: downstream shortcuts are task-specific.
+        let codes: Vec<Tensor> = (0..spec.num_classes)
+            .map(|k| {
+                let mut rng = task_seeds.child("code").child_idx(k as u64).rng();
+                pixel_code(c, s, s, &mut rng)
+            })
+            .collect();
+
+        // Task-level background shift (class-uninformative, affects FID).
+        let background = if g > 0.0 {
+            let mut rng = task_seeds.child("background").rng();
+            Some(smooth_pattern(c, s, s, cfg.coarse_factor, &mut rng).mul_scalar(0.5 * g))
+        } else {
+            None
+        };
+
+        let mut train_rng = task_seeds.child("train").rng();
+        let mut test_rng = task_seeds.child("test").rng();
+        Ok(Task {
+            name: spec.name.clone(),
+            train: self.sample_dataset(
+                &protos,
+                &codes,
+                background.as_ref(),
+                spec.train_size,
+                &mut train_rng,
+            )?,
+            test: self.sample_dataset(
+                &protos,
+                &codes,
+                background.as_ref(),
+                spec.test_size,
+                &mut test_rng,
+            )?,
+            gap: g,
+        })
+    }
+
+    /// The 12-task VTAB-like suite: domain gaps sweep from near-source to
+    /// far-domain, with alternating class counts, emulating the paper's
+    /// Fig. 9 / Tab. II spread.
+    pub fn vtab_suite(&self, train_size: usize, test_size: usize) -> Vec<DownstreamSpec> {
+        let gaps = [
+            0.05, 0.12, 0.2, 0.28, 0.36, 0.44, 0.52, 0.6, 0.68, 0.76, 0.85, 0.95,
+        ];
+        gaps.iter()
+            .enumerate()
+            .map(|(i, &gap)| DownstreamSpec {
+                name: format!("vtab{i:02}-g{:02}", (gap * 100.0) as u32),
+                gap,
+                num_classes: if i % 2 == 0 {
+                    (self.config.base_classes / 2).max(2)
+                } else {
+                    (2 * self.config.base_classes / 3).max(2)
+                },
+                train_size,
+                test_size,
+            })
+            .collect()
+    }
+
+    /// Generates an out-of-distribution dataset: samples built from fresh
+    /// prototypes outside the source pool (labels are placeholders — OoD
+    /// detection only uses the images).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors.
+    pub fn ood_dataset(&self, n: usize) -> Result<Dataset> {
+        let cfg = &self.config;
+        let (c, s) = (cfg.channels, cfg.image_size);
+        let ood_seeds = self.seeds.child("ood");
+        let classes = cfg.base_classes.max(1);
+        let protos: Vec<Tensor> = (0..classes)
+            .map(|k| {
+                let mut rng = ood_seeds.child("proto").child_idx(k as u64).rng();
+                smooth_pattern(c, s, s, cfg.coarse_factor, &mut rng)
+            })
+            .collect();
+        let codes: Vec<Tensor> = (0..classes)
+            .map(|k| {
+                let mut rng = ood_seeds.child("code").child_idx(k as u64).rng();
+                pixel_code(c, s, s, &mut rng)
+            })
+            .collect();
+        let mut rng = ood_seeds.child("samples").rng();
+        self.sample_dataset(&protos, &codes, None, n, &mut rng)
+    }
+
+    /// Borrow of the source prototypes (used by the segmentation scene
+    /// generator).
+    pub(crate) fn prototypes(&self) -> &[Tensor] {
+        &self.prototypes
+    }
+
+    /// Seed-stream accessor for sibling generators in this crate.
+    pub(crate) fn seeds(&self) -> &SeedStream {
+        &self.seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> TaskFamily {
+        TaskFamily::new(FamilyConfig::smoke(), 7)
+    }
+
+    #[test]
+    fn source_task_shapes_and_balance() {
+        let f = family();
+        let task = f.source_task(40, 20).unwrap();
+        assert_eq!(task.train.len(), 40);
+        assert_eq!(task.test.len(), 20);
+        assert_eq!(task.train.num_classes(), 4);
+        assert_eq!(task.train.sample_shape(), [3, 8, 8]);
+        assert_eq!(task.gap, 0.0);
+        // Balanced classes.
+        assert!(task.train.class_histogram().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = family().source_task(8, 4).unwrap();
+        let b = family().source_task(8, 4).unwrap();
+        assert_eq!(a.train.images(), b.train.images());
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    fn downstream_task_respects_spec() {
+        let f = family();
+        let spec = DownstreamSpec {
+            name: "t".to_string(),
+            gap: 0.4,
+            num_classes: 3,
+            train_size: 12,
+            test_size: 6,
+        };
+        let task = f.downstream_task(&spec).unwrap();
+        assert_eq!(task.train.num_classes(), 3);
+        assert_eq!(task.train.len(), 12);
+        assert_eq!(task.gap, 0.4);
+    }
+
+    #[test]
+    fn zero_gap_task_shares_prototypes_but_not_codes() {
+        // At g=0 the class means should correlate strongly with the source
+        // prototypes (codes differ, noise differs).
+        let f = family();
+        let spec = DownstreamSpec {
+            name: "zero-gap".to_string(),
+            gap: 0.0,
+            num_classes: 2,
+            train_size: 40,
+            test_size: 4,
+        };
+        let task = f.downstream_task(&spec).unwrap();
+        // Average all class-0 images; compare with prototype 0.
+        let [c, h, w] = task.train.sample_shape();
+        let mut mean = vec![0.0f32; c * h * w];
+        let mut count = 0;
+        for (i, &l) in task.train.labels().iter().enumerate() {
+            if l == 0 {
+                let img = &task.train.images().data()[i * c * h * w..(i + 1) * c * h * w];
+                for (m, &v) in mean.iter_mut().zip(img) {
+                    *m += v;
+                }
+                count += 1;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= count as f32);
+        let proto = &f.prototypes()[0];
+        let dot: f32 = mean.iter().zip(proto.data()).map(|(&a, &b)| a * b).sum();
+        let norm_m = mean.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let norm_p = proto.l2_norm();
+        let cosine = dot / (norm_m * norm_p).max(1e-6);
+        // The class mean also contains the task's fragile code and the
+        // jitter-blurred prototype, so alignment is partial but clear.
+        assert!(
+            cosine > 0.35,
+            "class mean should align with prototype, cos={cosine}"
+        );
+    }
+
+    #[test]
+    fn larger_gap_decorrelates_prototypes() {
+        let f = family();
+        let mk = |gap: f32, name: &str| {
+            let spec = DownstreamSpec {
+                name: name.to_string(),
+                gap,
+                num_classes: 2,
+                train_size: 60,
+                test_size: 4,
+            };
+            let task = f.downstream_task(&spec).unwrap();
+            let [c, h, w] = task.train.sample_shape();
+            let mut mean = vec![0.0f32; c * h * w];
+            let mut count = 0.0f32;
+            for (i, &l) in task.train.labels().iter().enumerate() {
+                if l == 0 {
+                    for (m, &v) in mean
+                        .iter_mut()
+                        .zip(&task.train.images().data()[i * c * h * w..(i + 1) * c * h * w])
+                    {
+                        *m += v;
+                    }
+                    count += 1.0;
+                }
+            }
+            let proto = &f.prototypes()[0];
+            let dot: f32 = mean.iter().zip(proto.data()).map(|(&a, &b)| a * b).sum();
+            let nm = mean.iter().map(|v| v * v).sum::<f32>().sqrt();
+            (dot / (nm * proto.l2_norm()).max(1e-6), count)
+        };
+        let (near, _) = mk(0.1, "near");
+        let (far, _) = mk(0.9, "far");
+        assert!(
+            near.abs() > far.abs() || near > 0.4,
+            "gap should reduce prototype correlation: near={near}, far={far}"
+        );
+    }
+
+    #[test]
+    fn vtab_suite_has_twelve_increasing_gaps() {
+        let f = family();
+        let suite = f.vtab_suite(16, 8);
+        assert_eq!(suite.len(), 12);
+        for pair in suite.windows(2) {
+            assert!(pair[0].gap < pair[1].gap);
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn ood_differs_from_source() {
+        let f = family();
+        let source = f.source_task(16, 8).unwrap();
+        let ood = f.ood_dataset(16).unwrap();
+        assert_eq!(ood.len(), 16);
+        assert_ne!(
+            source.train.images().data()[..64],
+            ood.images().data()[..64]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "downstream classes")]
+    fn too_many_classes_panics() {
+        let f = family();
+        let spec = DownstreamSpec {
+            name: "bad".to_string(),
+            gap: 0.5,
+            num_classes: 99,
+            train_size: 4,
+            test_size: 4,
+        };
+        let _ = f.downstream_task(&spec);
+    }
+
+    #[test]
+    fn analog_constructors() {
+        let c10 = DownstreamSpec::c10_analog(12, 100, 50);
+        assert_eq!(c10.num_classes, 6);
+        let c100 = DownstreamSpec::c100_analog(12, 100, 50);
+        assert_eq!(c100.num_classes, 12);
+        assert!(c100.gap > c10.gap);
+    }
+
+    #[test]
+    fn images_are_finite_and_varied() {
+        let f = family();
+        let task = f.source_task(8, 4).unwrap();
+        assert!(task.train.images().all_finite());
+        let imgs = task.train.images();
+        // Different samples differ (noise + jitter).
+        let a = &imgs.data()[..192];
+        let b = &imgs.data()[192..384];
+        assert_ne!(a, b);
+    }
+}

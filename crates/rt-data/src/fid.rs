@@ -1,0 +1,239 @@
+//! Fréchet Inception Distance, computed exactly as the paper does but with
+//! features from this workspace's own pretrained backbone instead of
+//! Inception-v3 (see DESIGN.md: FID is used as a *relative* domain-gap
+//! ranking, which any fixed feature extractor preserves).
+//!
+//! `FID(a, b) = ‖μₐ − μᵦ‖² + Tr(Σₐ + Σᵦ − 2·(Σₐ½ Σᵦ Σₐ½)½)`
+
+use crate::Result;
+use rt_tensor::{linalg, Tensor, TensorError};
+
+/// First and second moments of a feature cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStats {
+    /// Mean feature vector, shape `[F]`.
+    pub mean: Tensor,
+    /// Covariance matrix, shape `[F, F]`.
+    pub cov: Tensor,
+}
+
+/// Computes mean and covariance of `[N, F]` feature rows.
+///
+/// Uses the biased (1/N) covariance — the convention of the original FID
+/// implementation is 1/(N−1); at the sample counts used here the ranking is
+/// unaffected and 1/N is well-defined for N = 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 input and
+/// [`TensorError::EmptyTensor`] for zero rows.
+pub fn feature_stats(features: &Tensor) -> Result<FeatureStats> {
+    if features.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: features.ndim(),
+            op: "feature_stats",
+        });
+    }
+    let (n, f) = (features.shape()[0], features.shape()[1]);
+    if n == 0 {
+        return Err(TensorError::EmptyTensor {
+            op: "feature_stats",
+        });
+    }
+    let inv_n = 1.0 / n as f32;
+    let data = features.data();
+    let mut mean = vec![0.0f32; f];
+    for row in data.chunks(f) {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m *= inv_n);
+    // Centered covariance.
+    let mut cov = vec![0.0f32; f * f];
+    let mut centered = vec![0.0f32; f];
+    for row in data.chunks(f) {
+        for ((c, &v), &m) in centered.iter_mut().zip(row).zip(&mean) {
+            *c = v - m;
+        }
+        for i in 0..f {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let dst = &mut cov[i * f..(i + 1) * f];
+            for (d, &cj) in dst.iter_mut().zip(&centered) {
+                *d += ci * cj;
+            }
+        }
+    }
+    cov.iter_mut().for_each(|c| *c *= inv_n);
+    Ok(FeatureStats {
+        mean: Tensor::from_vec(vec![f], mean)?,
+        cov: Tensor::from_vec(vec![f, f], cov)?,
+    })
+}
+
+/// Matrix square root of a symmetric PSD matrix via eigendecomposition,
+/// clamping small negative eigenvalues (roundoff) to zero.
+fn sqrtm_psd(a: &Tensor) -> Result<Tensor> {
+    let (vals, v) = linalg::sym_eigen(a, 30)?;
+    let n = vals.len();
+    // S = V diag(sqrt(max(λ, 0))) Vᵀ
+    let mut scaled = v.clone(); // columns scaled by sqrt(λ)
+    let sd = scaled.data_mut();
+    for (j, &lam) in vals.iter().enumerate() {
+        let s = lam.max(0.0).sqrt();
+        for i in 0..n {
+            sd[i * n + j] *= s;
+        }
+    }
+    let vt = linalg::transpose(&v)?;
+    linalg::matmul(&scaled, &vt)
+}
+
+/// Fréchet distance between two feature-moment pairs.
+///
+/// # Errors
+///
+/// Returns a shape error if the dimensions disagree.
+pub fn frechet_distance(a: &FeatureStats, b: &FeatureStats) -> Result<f64> {
+    if a.mean.shape() != b.mean.shape() || a.cov.shape() != b.cov.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.mean.shape().to_vec(),
+            rhs: b.mean.shape().to_vec(),
+            op: "frechet_distance",
+        });
+    }
+    let mean_term: f64 = a
+        .mean
+        .data()
+        .iter()
+        .zip(b.mean.data())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    let sa = sqrtm_psd(&a.cov)?;
+    let inner = linalg::matmul(&linalg::matmul(&sa, &b.cov)?, &sa)?;
+    let cross = sqrtm_psd(&inner)?;
+    let f = a.mean.len();
+    let trace = |t: &Tensor| -> f64 { (0..f).map(|i| t.data()[i * f + i] as f64).sum() };
+    let cov_term = trace(&a.cov) + trace(&b.cov) - 2.0 * trace(&cross);
+    // Numerical floor: the true distance is non-negative.
+    Ok((mean_term + cov_term).max(0.0))
+}
+
+/// One-call FID between two `[N, F]` feature clouds.
+///
+/// # Errors
+///
+/// Propagates moment-computation and shape errors.
+///
+/// # Example
+///
+/// ```rust
+/// use rt_data::fid::fid;
+/// use rt_tensor::{init, rng::rng_from_seed, Tensor};
+///
+/// # fn main() -> Result<(), rt_tensor::TensorError> {
+/// let mut rng = rng_from_seed(0);
+/// let a = init::normal(&[200, 4], 0.0, 1.0, &mut rng);
+/// let b = init::normal(&[200, 4], 3.0, 1.0, &mut rng);
+/// assert!(fid(&a, &b)? > fid(&a, &a)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fid(features_a: &Tensor, features_b: &Tensor) -> Result<f64> {
+    let sa = feature_stats(features_a)?;
+    let sb = feature_stats(features_b)?;
+    frechet_distance(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::init;
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn stats_match_manual_computation() {
+        let f = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let s = feature_stats(&f).unwrap();
+        assert_eq!(s.mean.data(), &[2.0, 4.0]);
+        // cov = E[(x−μ)(x−μ)ᵀ] with 1/N: [[1, 2], [2, 4]]
+        assert_eq!(s.cov.data(), &[1.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn identical_clouds_have_near_zero_fid() {
+        let mut rng = rng_from_seed(1);
+        let a = init::normal(&[300, 6], 0.0, 1.0, &mut rng);
+        let d = fid(&a, &a).unwrap();
+        assert!(d < 1e-2, "self-FID should vanish, got {d}");
+    }
+
+    #[test]
+    fn mean_shift_dominates_for_equal_covariance() {
+        // Two unit Gaussians 3 apart per dim: FID ≈ F · 9 for F dims.
+        let mut rng = rng_from_seed(2);
+        let a = init::normal(&[2000, 3], 0.0, 1.0, &mut rng);
+        let b = init::normal(&[2000, 3], 3.0, 1.0, &mut rng);
+        let d = fid(&a, &b).unwrap();
+        assert!((d - 27.0).abs() < 4.0, "expected ≈27, got {d}");
+    }
+
+    #[test]
+    fn variance_difference_contributes() {
+        // Same mean, different scale: FID = Σ (σ1 − σ2)² per dim.
+        let mut rng = rng_from_seed(3);
+        let a = init::normal(&[4000, 2], 0.0, 1.0, &mut rng);
+        let b = init::normal(&[4000, 2], 0.0, 3.0, &mut rng);
+        let d = fid(&a, &b).unwrap();
+        assert!((d - 8.0).abs() < 1.5, "expected ≈8, got {d}");
+    }
+
+    #[test]
+    fn fid_is_symmetric() {
+        let mut rng = rng_from_seed(4);
+        let a = init::normal(&[300, 4], 0.0, 1.0, &mut rng);
+        let b = init::normal(&[300, 4], 1.0, 2.0, &mut rng);
+        let dab = fid(&a, &b).unwrap();
+        let dba = fid(&b, &a).unwrap();
+        assert!((dab - dba).abs() / dab.max(1.0) < 0.02);
+    }
+
+    #[test]
+    fn monotone_in_shift_magnitude() {
+        let mut rng = rng_from_seed(5);
+        let a = init::normal(&[500, 4], 0.0, 1.0, &mut rng);
+        let mut last = -1.0;
+        for shift in [0.5f32, 1.0, 2.0, 4.0] {
+            let b = init::normal(&[500, 4], shift, 1.0, &mut rng);
+            let d = fid(&a, &b).unwrap();
+            assert!(d > last, "FID must grow with shift: {d} after {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(feature_stats(&Tensor::zeros(&[3])).is_err());
+        assert!(feature_stats(&Tensor::zeros(&[0, 4])).is_err());
+        let a = feature_stats(&Tensor::ones(&[2, 3])).unwrap();
+        let b = feature_stats(&Tensor::ones(&[2, 4])).unwrap();
+        assert!(frechet_distance(&a, &b).is_err());
+    }
+
+    #[test]
+    fn sqrtm_recovers_known_root() {
+        // A = diag(4, 9) → sqrt = diag(2, 3).
+        let a = Tensor::from_vec(vec![2, 2], vec![4.0, 0.0, 0.0, 9.0]).unwrap();
+        let s = sqrtm_psd(&a).unwrap();
+        assert!((s.at(&[0, 0]).unwrap() - 2.0).abs() < 1e-4);
+        assert!((s.at(&[1, 1]).unwrap() - 3.0).abs() < 1e-4);
+        assert!(s.at(&[0, 1]).unwrap().abs() < 1e-4);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic vision tasks for the robust-tickets reproduction.
+//!
+//! The paper pretrains on ImageNet and transfers to CIFAR-10/100, eleven
+//! VTAB tasks, and PASCAL VOC segmentation — none of which are available
+//! (or tractable) in this environment. This crate implements the synthetic
+//! substitute described in DESIGN.md, engineered so the *mechanism* the
+//! paper studies is present by construction:
+//!
+//! * **Robust signal** — each class owns a smooth, low-frequency spatial
+//!   prototype with high amplitude. This is the structure adversarial
+//!   training forces a model to rely on.
+//! * **Fragile signal** — each class also owns a high-frequency, pixel-level
+//!   code with low amplitude. It is highly predictive on the source
+//!   distribution (a natural model happily exploits it) but is destroyed by
+//!   ℓ∞ perturbations of moderate ε — and, crucially, it is **resampled**
+//!   on every downstream task, modeling dataset-specific shortcut features
+//!   that never transfer.
+//! * **Domain-gap knob** — a downstream task at gap `g ∈ [0, 1]` blends each
+//!   class prototype with a fresh pattern, remixes color channels, and adds
+//!   a task-specific background field. `g` monotonically controls the true
+//!   distribution distance, which [`fid`] then measures exactly as the
+//!   paper does (Fréchet distance on feature statistics).
+//!
+//! The [`TaskFamily`] type is the factory for everything: the source task,
+//! parameterized downstream tasks, a 12-task VTAB-like suite, an OoD set,
+//! and dense segmentation scenes built from the same prototype family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod prototype;
+
+pub mod augment;
+pub mod family;
+pub mod fid;
+pub mod seg;
+
+pub use dataset::Dataset;
+pub use family::{DownstreamSpec, FamilyConfig, Task, TaskFamily};
+pub use seg::SegTask;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, rt_tensor::TensorError>;

@@ -1,0 +1,213 @@
+//! Internal pattern generators: smooth (robust) prototypes, pixel-level
+//! (fragile) codes, and instance augmentations.
+
+use rand::Rng;
+use rt_tensor::init;
+use rt_tensor::Tensor;
+
+/// Generates a smooth low-frequency pattern of shape `[C, H, W]` by drawing
+/// a coarse `[C, H/f, W/f]` grid of standard normals and upsampling it with
+/// bilinear interpolation. The result is normalized to unit RMS so every
+/// prototype carries the same energy.
+pub fn smooth_pattern<R: Rng>(
+    channels: usize,
+    height: usize,
+    width: usize,
+    coarse_factor: usize,
+    rng: &mut R,
+) -> Tensor {
+    let ch = (height / coarse_factor).max(2);
+    let cw = (width / coarse_factor).max(2);
+    let coarse = init::normal(&[channels, ch, cw], 0.0, 1.0, rng);
+    let mut out = Tensor::zeros(&[channels, height, width]);
+    let od = out.data_mut();
+    let cd = coarse.data();
+    for c in 0..channels {
+        for y in 0..height {
+            // Map the output pixel to coarse-grid coordinates.
+            let fy = y as f32 * (ch - 1) as f32 / (height - 1).max(1) as f32;
+            let y0 = fy.floor() as usize;
+            let y1 = (y0 + 1).min(ch - 1);
+            let ty = fy - y0 as f32;
+            for x in 0..width {
+                let fx = x as f32 * (cw - 1) as f32 / (width - 1).max(1) as f32;
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(cw - 1);
+                let tx = fx - x0 as f32;
+                let g = |yy: usize, xx: usize| cd[(c * ch + yy) * cw + xx];
+                let v = g(y0, x0) * (1.0 - ty) * (1.0 - tx)
+                    + g(y0, x1) * (1.0 - ty) * tx
+                    + g(y1, x0) * ty * (1.0 - tx)
+                    + g(y1, x1) * ty * tx;
+                od[(c * height + y) * width + x] = v;
+            }
+        }
+    }
+    normalize_rms(&mut out);
+    out
+}
+
+/// Generates a high-frequency ±1 pixel code of shape `[C, H, W]` (unit RMS
+/// by construction).
+pub fn pixel_code<R: Rng>(channels: usize, height: usize, width: usize, rng: &mut R) -> Tensor {
+    Tensor::from_fn(&[channels, height, width], |_| {
+        if rng.gen::<bool>() {
+            1.0
+        } else {
+            -1.0
+        }
+    })
+}
+
+/// Rescales a pattern to unit root-mean-square amplitude in place.
+pub fn normalize_rms(t: &mut Tensor) {
+    let rms = (t.data().iter().map(|&x| x * x).sum::<f32>() / t.len().max(1) as f32).sqrt();
+    if rms > 1e-12 {
+        t.scale(1.0 / rms);
+    }
+}
+
+/// Circularly shifts a `[C, H, W]` pattern by `(dy, dx)` pixels — the
+/// instance-level translation augmentation.
+pub fn roll(t: &Tensor, dy: i64, dx: i64) -> Tensor {
+    let s = t.shape();
+    let (c, h, w) = (s[0], s[1], s[2]);
+    let mut out = Tensor::zeros(s);
+    let od = out.data_mut();
+    let td = t.data();
+    let wrap = |v: i64, m: usize| -> usize {
+        let m = m as i64;
+        (((v % m) + m) % m) as usize
+    };
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = wrap(y as i64 - dy, h);
+            for x in 0..w {
+                let sx = wrap(x as i64 - dx, w);
+                od[(ch * h + y) * w + x] = td[(ch * h + sy) * w + sx];
+            }
+        }
+    }
+    out
+}
+
+/// Horizontally flips a `[C, H, W]` pattern.
+pub fn hflip(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    let (c, h, w) = (s[0], s[1], s[2]);
+    let mut out = Tensor::zeros(s);
+    let od = out.data_mut();
+    let td = t.data();
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                od[(ch * h + y) * w + x] = td[(ch * h + y) * w + (w - 1 - x)];
+            }
+        }
+    }
+    out
+}
+
+/// Applies a `[C, C]` channel-mixing matrix to a `[C, H, W]` pattern:
+/// `out[c'] = Σ_c M[c', c] · in[c]`. Used by the downstream-task color
+/// remix.
+pub fn channel_mix(t: &Tensor, mix: &[Vec<f32>]) -> Tensor {
+    let s = t.shape();
+    let (c, h, w) = (s[0], s[1], s[2]);
+    debug_assert_eq!(mix.len(), c);
+    let mut out = Tensor::zeros(s);
+    let od = out.data_mut();
+    let td = t.data();
+    let plane = h * w;
+    for (cp, row) in mix.iter().enumerate() {
+        for (cc, &coeff) in row.iter().enumerate() {
+            if coeff == 0.0 {
+                continue;
+            }
+            for p in 0..plane {
+                od[cp * plane + p] += coeff * td[cc * plane + p];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn smooth_pattern_is_unit_rms_and_low_frequency() {
+        let mut rng = rng_from_seed(0);
+        let p = smooth_pattern(3, 16, 16, 4, &mut rng);
+        let rms = (p.data().iter().map(|&x| x * x).sum::<f32>() / p.len() as f32).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4);
+        // Low frequency: neighboring pixels are highly correlated, so the
+        // mean absolute horizontal difference is much smaller than the RMS.
+        let mut diff_sum = 0.0;
+        let mut count = 0;
+        for c in 0..3 {
+            for y in 0..16 {
+                for x in 0..15 {
+                    let a = p.at(&[c, y, x]).unwrap();
+                    let b = p.at(&[c, y, x + 1]).unwrap();
+                    diff_sum += (a - b).abs();
+                    count += 1;
+                }
+            }
+        }
+        let mean_abs_diff = diff_sum / count as f32;
+        assert!(
+            mean_abs_diff < 0.5,
+            "smooth pattern should vary slowly, mean |Δ| = {mean_abs_diff}"
+        );
+    }
+
+    #[test]
+    fn pixel_code_is_high_frequency() {
+        let mut rng = rng_from_seed(1);
+        let p = pixel_code(1, 16, 16, &mut rng);
+        assert!(p.data().iter().all(|&v| v == 1.0 || v == -1.0));
+        // Roughly balanced.
+        let pos = p.data().iter().filter(|&&v| v > 0.0).count();
+        assert!(pos > 80 && pos < 176, "pos count {pos}");
+    }
+
+    #[test]
+    fn roll_wraps_and_preserves_content() {
+        let t = Tensor::from_fn(&[1, 2, 3], |i| i as f32);
+        let r = roll(&t, 0, 1);
+        assert_eq!(r.data(), &[2.0, 0.0, 1.0, 5.0, 3.0, 4.0]);
+        let back = roll(&r, 0, -1);
+        assert_eq!(back, t);
+        // Vertical roll.
+        let rv = roll(&t, 1, 0);
+        assert_eq!(rv.data(), &[3.0, 4.0, 5.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn hflip_is_involutive() {
+        let t = Tensor::from_fn(&[2, 2, 3], |i| i as f32);
+        assert_eq!(hflip(&hflip(&t)), t);
+        let f = hflip(&t);
+        assert_eq!(f.at(&[0, 0, 0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn channel_mix_identity_is_noop() {
+        let t = Tensor::from_fn(&[2, 2, 2], |i| i as f32);
+        let eye = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(channel_mix(&t, &eye), t);
+        let swap = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let s = channel_mix(&t, &swap);
+        assert_eq!(s.at(&[0, 0, 0]).unwrap(), t.at(&[1, 0, 0]).unwrap());
+    }
+
+    #[test]
+    fn normalize_rms_handles_zero() {
+        let mut z = Tensor::zeros(&[4]);
+        normalize_rms(&mut z); // must not divide by zero
+        assert_eq!(z.sum(), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Calibration metrics: expected calibration error and negative
+//! log-likelihood (the ECE ↓ / NLL ↓ rows of the paper's Table I).
+
+use rt_tensor::{reduce, special, Result, Tensor, TensorError};
+
+fn check(logits: &Tensor, labels: &[usize], op: &'static str) -> Result<(usize, usize)> {
+    if logits.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.ndim(),
+            op,
+        });
+    }
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    if n != labels.len() {
+        return Err(TensorError::LengthMismatch {
+            shape: logits.shape().to_vec(),
+            expected: n,
+            actual: labels.len(),
+        });
+    }
+    if labels.iter().any(|&l| l >= k) {
+        return Err(TensorError::IndexOutOfBounds {
+            index: labels.iter().copied().filter(|&l| l >= k).collect(),
+            shape: vec![k],
+        });
+    }
+    Ok((n, k))
+}
+
+/// Expected calibration error with equal-width confidence bins.
+///
+/// `ECE = Σ_b (n_b / N) · |acc(b) − conf(b)|` over `bins` bins of the
+/// predicted-class confidence.
+///
+/// # Errors
+///
+/// Returns shape/label errors as for [`crate::accuracy`], and an error when
+/// `bins == 0`.
+pub fn expected_calibration_error(logits: &Tensor, labels: &[usize], bins: usize) -> Result<f64> {
+    if bins == 0 {
+        return Err(TensorError::EmptyTensor {
+            op: "expected_calibration_error",
+        });
+    }
+    let (n, _) = check(logits, labels, "expected_calibration_error")?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let probs = special::softmax_rows(logits)?;
+    let pred = reduce::argmax_rows(&probs)?;
+    let conf = reduce::max_rows(&probs)?;
+    let mut bin_count = vec![0usize; bins];
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_acc = vec![0.0f64; bins];
+    for i in 0..n {
+        let c = conf.data()[i] as f64;
+        // Confidence lives in (1/K, 1]; map to a bin index, clamping 1.0
+        // into the last bin.
+        let b = ((c * bins as f64) as usize).min(bins - 1);
+        bin_count[b] += 1;
+        bin_conf[b] += c;
+        if pred[i] == labels[i] {
+            bin_acc[b] += 1.0;
+        }
+    }
+    let mut ece = 0.0f64;
+    for b in 0..bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let w = bin_count[b] as f64 / n as f64;
+        let avg_conf = bin_conf[b] / bin_count[b] as f64;
+        let avg_acc = bin_acc[b] / bin_count[b] as f64;
+        ece += w * (avg_conf - avg_acc).abs();
+    }
+    Ok(ece)
+}
+
+/// Mean negative log-likelihood of the true labels under the softmax of
+/// `logits`.
+///
+/// # Errors
+///
+/// Returns shape/label errors as for [`crate::accuracy`].
+pub fn negative_log_likelihood(logits: &Tensor, labels: &[usize]) -> Result<f64> {
+    let (n, k) = check(logits, labels, "negative_log_likelihood")?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let log_probs = special::log_softmax_rows(logits)?;
+    let total: f64 = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| -(log_probs.data()[i * k + l] as f64))
+        .sum();
+    Ok(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_confident_predictions_have_low_ece_and_nll() {
+        // Very confident and always correct.
+        let logits =
+            Tensor::from_vec(vec![3, 2], vec![10.0, -10.0, -10.0, 10.0, 10.0, -10.0]).unwrap();
+        let labels = [0usize, 1, 0];
+        let ece = expected_calibration_error(&logits, &labels, 10).unwrap();
+        let nll = negative_log_likelihood(&logits, &labels).unwrap();
+        assert!(ece < 1e-4, "ece {ece}");
+        assert!(nll < 1e-4, "nll {nll}");
+    }
+
+    #[test]
+    fn confident_but_wrong_is_badly_calibrated() {
+        let logits = Tensor::from_vec(vec![2, 2], vec![10.0, -10.0, 10.0, -10.0]).unwrap();
+        let labels = [1usize, 1]; // always wrong
+        let ece = expected_calibration_error(&logits, &labels, 10).unwrap();
+        assert!(ece > 0.99, "ece {ece}");
+        let nll = negative_log_likelihood(&logits, &labels).unwrap();
+        assert!(nll > 5.0, "nll {nll}");
+    }
+
+    #[test]
+    fn half_right_at_half_confidence_is_calibrated() {
+        // Two classes, uniform logits: confidence 0.5, accuracy 0.5 → ECE 0.
+        let logits = Tensor::zeros(&[4, 2]);
+        let labels = [0usize, 1, 0, 1];
+        let ece = expected_calibration_error(&logits, &labels, 10).unwrap();
+        // argmax ties resolve to class 0: accuracy 0.5 at confidence 0.5.
+        assert!(ece < 1e-6, "ece {ece}");
+    }
+
+    #[test]
+    fn nll_matches_manual_value() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![0.0, 0.0]).unwrap();
+        let nll = negative_log_likelihood(&logits, &[0]).unwrap();
+        assert!((nll - (2.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(expected_calibration_error(&logits, &[0], 10).is_err());
+        assert!(expected_calibration_error(&logits, &[0, 1], 0).is_err());
+        assert!(negative_log_likelihood(&logits, &[0, 9]).is_err());
+        assert_eq!(
+            negative_log_likelihood(&Tensor::zeros(&[0, 3]), &[]).unwrap(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Top-1/top-k accuracy and confusion matrices.
+
+use rt_tensor::{reduce, Result, Tensor, TensorError};
+
+/// Top-1 accuracy of `[N, K]` logits against `N` labels.
+///
+/// Returns `0.0` for an empty batch.
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrix logits and
+/// [`TensorError::LengthMismatch`] if the label count disagrees.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64> {
+    if logits.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.ndim(),
+            op: "accuracy",
+        });
+    }
+    if logits.shape()[0] != labels.len() {
+        return Err(TensorError::LengthMismatch {
+            shape: logits.shape().to_vec(),
+            expected: logits.shape()[0],
+            actual: labels.len(),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let pred = reduce::argmax_rows(logits)?;
+    let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f64 / labels.len() as f64)
+}
+
+/// Top-`k` accuracy: the fraction of rows whose true label is among the `k`
+/// highest logits.
+///
+/// # Errors
+///
+/// Same conditions as [`accuracy`], plus an error when `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f64> {
+    if k == 0 {
+        return Err(TensorError::EmptyTensor {
+            op: "top_k_accuracy",
+        });
+    }
+    if logits.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.ndim(),
+            op: "top_k_accuracy",
+        });
+    }
+    let (n, classes) = (logits.shape()[0], logits.shape()[1]);
+    if n != labels.len() {
+        return Err(TensorError::LengthMismatch {
+            shape: logits.shape().to_vec(),
+            expected: n,
+            actual: labels.len(),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let k = k.min(classes);
+    let data = logits.data();
+    let mut hits = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &data[i * classes..(i + 1) * classes];
+        let target = row[label];
+        // The label is in the top-k iff fewer than k entries are strictly
+        // greater (ties resolve in the label's favor, matching argmax-first
+        // conventions closely enough for metric purposes).
+        let greater = row.iter().filter(|&&v| v > target).count();
+        if greater < k {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / labels.len() as f64)
+}
+
+/// `K × K` confusion matrix (rows = true class, columns = predicted).
+///
+/// # Errors
+///
+/// Same conditions as [`accuracy`], plus an index error if any label is out
+/// of range for the logit width.
+pub fn confusion_matrix(logits: &Tensor, labels: &[usize]) -> Result<Vec<Vec<usize>>> {
+    if logits.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.ndim(),
+            op: "confusion_matrix",
+        });
+    }
+    let classes = logits.shape()[1];
+    if logits.shape()[0] != labels.len() {
+        return Err(TensorError::LengthMismatch {
+            shape: logits.shape().to_vec(),
+            expected: logits.shape()[0],
+            actual: labels.len(),
+        });
+    }
+    let pred = reduce::argmax_rows(logits)?;
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&p, &l) in pred.iter().zip(labels) {
+        if l >= classes {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![l],
+                shape: vec![classes],
+            });
+        }
+        m[l][p] += 1;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Tensor {
+        // Predictions: 1, 0, 2, 2
+        Tensor::from_vec(
+            vec![4, 3],
+            vec![
+                0.1, 0.8, 0.1, // -> 1
+                0.9, 0.0, 0.1, // -> 0
+                0.1, 0.2, 0.7, // -> 2
+                0.0, 0.3, 0.6, // -> 2
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn top1_accuracy() {
+        let acc = accuracy(&logits(), &[1, 0, 2, 0]).unwrap();
+        assert!((acc - 0.75).abs() < 1e-9);
+        assert_eq!(accuracy(&logits(), &[1, 0, 2, 2]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn topk_accuracy_monotone_in_k() {
+        let labels = [2usize, 1, 0, 1];
+        let a1 = top_k_accuracy(&logits(), &labels, 1).unwrap();
+        let a2 = top_k_accuracy(&logits(), &labels, 2).unwrap();
+        let a3 = top_k_accuracy(&logits(), &labels, 3).unwrap();
+        assert!(a1 <= a2 && a2 <= a3);
+        assert_eq!(a3, 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&logits(), &[1, 0, 2, 0]).unwrap();
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][2], 1); // true 0 predicted 2
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(accuracy(&logits(), &[0]).is_err());
+        assert!(accuracy(&Tensor::zeros(&[3]), &[0, 0, 0]).is_err());
+        assert!(top_k_accuracy(&logits(), &[0, 0, 0, 0], 0).is_err());
+        assert!(confusion_matrix(&logits(), &[5, 0, 0, 0]).is_err());
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 3]), &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Evaluation metrics for the robust-tickets reproduction: classification
+//! accuracy, calibration (ECE, NLL), out-of-distribution ROC-AUC, and
+//! segmentation mIoU — the full column set of the paper's Table I plus the
+//! mIoU axis of Fig. 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auc;
+pub mod calibration;
+pub mod classification;
+pub mod miou;
+
+pub use auc::roc_auc;
+pub use calibration::{expected_calibration_error, negative_log_likelihood};
+pub use classification::{accuracy, confusion_matrix, top_k_accuracy};
+pub use miou::mean_iou;

@@ -1,0 +1,113 @@
+//! Mean intersection-over-union for semantic segmentation (Fig. 7's axis).
+
+/// Sentinel label for pixels excluded from the metric (mirrors
+/// `rt_nn::loss::IGNORE_LABEL`).
+pub const IGNORE_LABEL: usize = usize::MAX;
+
+/// Mean IoU over `num_classes` classes.
+///
+/// `predictions` and `targets` are flat per-pixel class indices of equal
+/// length. Pixels whose target is [`IGNORE_LABEL`] are skipped. Classes
+/// that never appear in either predictions or targets are excluded from the
+/// mean (the PASCAL VOC convention).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, if `num_classes == 0`, or if any
+/// non-ignored index is `>= num_classes`.
+pub fn mean_iou(predictions: &[usize], targets: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
+    assert!(num_classes > 0, "need at least one class");
+    let mut intersection = vec![0usize; num_classes];
+    let mut pred_count = vec![0usize; num_classes];
+    let mut target_count = vec![0usize; num_classes];
+    for (&p, &t) in predictions.iter().zip(targets) {
+        if t == IGNORE_LABEL {
+            continue;
+        }
+        assert!(p < num_classes, "prediction {p} out of range");
+        assert!(t < num_classes, "target {t} out of range");
+        pred_count[p] += 1;
+        target_count[t] += 1;
+        if p == t {
+            intersection[p] += 1;
+        }
+    }
+    let mut total = 0.0f64;
+    let mut classes = 0usize;
+    for c in 0..num_classes {
+        let union = pred_count[c] + target_count[c] - intersection[c];
+        if union == 0 {
+            continue; // class absent everywhere: excluded from the mean
+        }
+        total += intersection[c] as f64 / union as f64;
+        classes += 1;
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        total / classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        let t = [0usize, 1, 2, 1, 0];
+        assert_eq!(mean_iou(&t, &t, 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_prediction_is_zero() {
+        let p = [0usize, 0, 0];
+        let t = [1usize, 1, 1];
+        assert_eq!(mean_iou(&p, &t, 2), 0.0);
+    }
+
+    #[test]
+    fn known_partial_overlap() {
+        // Class 0: inter 1 (idx0), union 3 (pred {0,1}, target {0,3}... )
+        let p = [0usize, 0, 1, 1];
+        let t = [0usize, 1, 1, 0];
+        // class0: inter 1, pred 2, target 2 → union 3 → 1/3
+        // class1: inter 1, pred 2, target 2 → union 3 → 1/3
+        let miou = mean_iou(&p, &t, 2);
+        assert!((miou - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignored_pixels_are_skipped() {
+        let p = [0usize, 1, 0];
+        let t = [0usize, IGNORE_LABEL, 1];
+        // only pixels 0 and 2 count: class0 inter 1 / union 2; class1 0 / 1.
+        let miou = mean_iou(&p, &t, 2);
+        assert!((miou - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_excluded_from_mean() {
+        // Class 2 never appears: mean over classes 0 and 1 only.
+        let p = [0usize, 1];
+        let t = [0usize, 1];
+        assert_eq!(mean_iou(&p, &t, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = mean_iou(&[0], &[0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = mean_iou(&[5], &[0], 2);
+    }
+}

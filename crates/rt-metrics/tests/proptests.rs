@@ -1,0 +1,99 @@
+//! Property-based tests for metric invariants.
+
+use proptest::prelude::*;
+use rt_metrics::{
+    accuracy, expected_calibration_error, mean_iou, negative_log_likelihood, roc_auc,
+    top_k_accuracy,
+};
+use rt_tensor::Tensor;
+
+fn logits_and_labels() -> impl Strategy<Value = (Tensor, Vec<usize>)> {
+    (2usize..=6, 2usize..=5).prop_flat_map(|(n, k)| {
+        (
+            prop::collection::vec(-5.0f32..5.0, n * k),
+            prop::collection::vec(0usize..k, n),
+        )
+            .prop_map(move |(data, labels)| {
+                (Tensor::from_vec(vec![n, k], data).expect("shape"), labels)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accuracy is in [0, 1] and invariant to adding a constant to every
+    /// logit of a row.
+    #[test]
+    fn accuracy_bounds_and_shift_invariance((logits, labels) in logits_and_labels(), c in -3.0f32..3.0) {
+        let a = accuracy(&logits, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&a));
+        let shifted = logits.add_scalar(c);
+        prop_assert_eq!(a, accuracy(&shifted, &labels).unwrap());
+    }
+
+    /// Top-k accuracy is monotone in k and reaches 1.0 at k = K.
+    #[test]
+    fn topk_monotone((logits, labels) in logits_and_labels()) {
+        let k_max = logits.shape()[1];
+        let mut last = 0.0;
+        for k in 1..=k_max {
+            let a = top_k_accuracy(&logits, &labels, k).unwrap();
+            prop_assert!(a + 1e-12 >= last);
+            last = a;
+        }
+        prop_assert_eq!(last, 1.0);
+    }
+
+    /// ECE is in [0, 1]; NLL is non-negative.
+    #[test]
+    fn calibration_bounds((logits, labels) in logits_and_labels()) {
+        let ece = expected_calibration_error(&logits, &labels, 15).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ece));
+        let nll = negative_log_likelihood(&logits, &labels).unwrap();
+        prop_assert!(nll >= 0.0);
+    }
+
+    /// NLL lower-bounds cross-entropy of the uniform prediction only when
+    /// the model is better than uniform on average — but it always exceeds
+    /// −log p for the largest assigned probability. Cheap sanity: scaling
+    /// logits by a positive constant preserves accuracy.
+    #[test]
+    fn accuracy_scale_invariance((logits, labels) in logits_and_labels(), s in 0.1f32..5.0) {
+        let a = accuracy(&logits, &labels).unwrap();
+        let scaled = logits.mul_scalar(s);
+        prop_assert_eq!(a, accuracy(&scaled, &labels).unwrap());
+    }
+
+    /// AUC is antisymmetric: swapping positives and negatives maps
+    /// a → 1 − a. And it is invariant under any strictly increasing
+    /// transform of the scores.
+    #[test]
+    fn auc_antisymmetry_and_monotone_invariance(
+        pos in prop::collection::vec(-10.0f64..10.0, 1..30),
+        neg in prop::collection::vec(-10.0f64..10.0, 1..30),
+    ) {
+        let a = roc_auc(&pos, &neg);
+        let b = roc_auc(&neg, &pos);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+        // Strictly increasing transform: x -> x^3 + 2x (monotone on R).
+        let f = |v: f64| v.powi(3) + 2.0 * v;
+        let pos_t: Vec<f64> = pos.iter().map(|&v| f(v)).collect();
+        let neg_t: Vec<f64> = neg.iter().map(|&v| f(v)).collect();
+        prop_assert!((roc_auc(&pos_t, &neg_t) - a).abs() < 1e-9);
+    }
+
+    /// mIoU is 1 exactly for perfect predictions and in [0, 1] always.
+    #[test]
+    fn miou_bounds(
+        pair in (1usize..64).prop_flat_map(|n| (
+            prop::collection::vec(0usize..4, n),
+            prop::collection::vec(0usize..4, n),
+        )),
+    ) {
+        let (preds, targets) = pair;
+        let v = mean_iou(&preds, &targets, 4);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert_eq!(mean_iou(&targets, &targets, 4), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Model zoo for the robust-tickets reproduction.
+//!
+//! The paper evaluates ResNet-18 and ResNet-50 ImageNet feature extractors.
+//! On a single CPU core we reproduce the *topology* at micro scale:
+//! [`MicroResNet`] keeps the stem → four residual stages → global average
+//! pool → linear classifier layout, with [`block::BasicBlock`] for the
+//! ResNet-18 analog and [`block::Bottleneck`] for the ResNet-50 analog (see
+//! DESIGN.md for the substitution rationale).
+//!
+//! The backbone exposes three entry points the transfer pipelines need:
+//!
+//! * `MicroResNet::forward` (via [`rt_nn::Layer`]) — full classification forward pass,
+//! * [`MicroResNet::forward_features`] — pooled `[N, F]` embeddings for
+//!   linear evaluation and FID,
+//! * [`MicroResNet::forward_to_featmap`] / backward counterpart — the
+//!   spatial feature map consumed by the [`seg::SegmentationNet`] FCN head.
+//!
+//! # Example
+//!
+//! ```rust
+//! use rt_models::{MicroResNet, ResNetConfig};
+//! use rt_nn::{Layer, Mode};
+//! use rt_tensor::{rng::SeedStream, Tensor};
+//!
+//! # fn main() -> Result<(), rt_nn::NnError> {
+//! let config = ResNetConfig::smoke(4);
+//! let mut model = MicroResNet::new(&config, &mut SeedStream::new(0).rng())?;
+//! let logits = model.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)?;
+//! assert_eq!(logits.shape(), &[2, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod resnet;
+pub mod seg;
+
+pub use block::{BasicBlock, Bottleneck};
+pub use resnet::{BlockKind, MicroResNet, ResNetConfig};
+pub use seg::SegmentationNet;

@@ -1,0 +1,511 @@
+//! The MicroResNet backbone family.
+
+use crate::block::{BasicBlock, Bottleneck};
+use rand::Rng;
+use rt_nn::layers::{BatchNorm2d, Conv2d, Conv2dConfig, GlobalAvgPool, Linear, Relu};
+use rt_nn::{Layer, Mode, NnError, Param, Result};
+use rt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which residual block a [`MicroResNet`] stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Two 3×3 convolutions (ResNet-18 style).
+    Basic,
+    /// 1×1 → 3×3 → 1×1 with channel expansion (ResNet-50 style).
+    Bottleneck,
+}
+
+/// Architecture description for a [`MicroResNet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// Residual block style.
+    pub block: BlockKind,
+    /// Base width of each of the four stages.
+    pub stage_widths: [usize; 4],
+    /// Residual blocks per stage.
+    pub blocks_per_stage: [usize; 4],
+    /// Input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Number of classifier outputs.
+    pub num_classes: usize,
+    /// Bottleneck channel expansion (ignored for [`BlockKind::Basic`]).
+    pub expansion: usize,
+}
+
+impl ResNetConfig {
+    /// The ResNet-18 analog: basic blocks, `[2, 2, 2, 2]` per stage.
+    pub fn r18_analog(num_classes: usize) -> Self {
+        ResNetConfig {
+            block: BlockKind::Basic,
+            stage_widths: [8, 16, 32, 64],
+            blocks_per_stage: [2, 2, 2, 2],
+            in_channels: 3,
+            num_classes,
+            expansion: 1,
+        }
+    }
+
+    /// The ResNet-50 analog: bottleneck blocks with the real ResNet
+    /// expansion of 4 — noticeably more over-parameterized than the R18
+    /// analog, mirroring the paper's R18-vs-R50 contrast at micro scale.
+    pub fn r50_analog(num_classes: usize) -> Self {
+        ResNetConfig {
+            block: BlockKind::Bottleneck,
+            stage_widths: [8, 16, 32, 64],
+            blocks_per_stage: [2, 2, 2, 2],
+            in_channels: 3,
+            num_classes,
+            expansion: 4,
+        }
+    }
+
+    /// A minimal configuration for fast tests and smoke-scale experiments.
+    pub fn smoke(num_classes: usize) -> Self {
+        ResNetConfig {
+            block: BlockKind::Basic,
+            stage_widths: [4, 8, 8, 16],
+            blocks_per_stage: [1, 1, 1, 1],
+            in_channels: 3,
+            num_classes,
+            expansion: 1,
+        }
+    }
+
+    /// Returns a copy with a different class count (head size).
+    pub fn with_classes(mut self, num_classes: usize) -> Self {
+        self.num_classes = num_classes;
+        self
+    }
+
+    /// Output channel count of the final stage (= pooled feature dim).
+    pub fn feature_dim(&self) -> usize {
+        match self.block {
+            BlockKind::Basic => self.stage_widths[3],
+            BlockKind::Bottleneck => self.stage_widths[3] * self.expansion,
+        }
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // few instances, heap indirection not worth it
+enum AnyBlock {
+    Basic(BasicBlock),
+    Bottleneck(Bottleneck),
+}
+
+impl AnyBlock {
+    fn as_layer(&self) -> &dyn Layer {
+        match self {
+            AnyBlock::Basic(b) => b,
+            AnyBlock::Bottleneck(b) => b,
+        }
+    }
+
+    fn as_layer_mut(&mut self) -> &mut dyn Layer {
+        match self {
+            AnyBlock::Basic(b) => b,
+            AnyBlock::Bottleneck(b) => b,
+        }
+    }
+}
+
+/// A micro-scale ResNet: stem convolution → four residual stages → global
+/// average pooling → linear classifier.
+///
+/// The spatial resolution halves at stages 2–4 (stride-2 first block), so a
+/// 16×16 input yields a 2×2 final feature map.
+pub struct MicroResNet {
+    config: ResNetConfig,
+    stem_conv: Conv2d,
+    stem_bn: BatchNorm2d,
+    stem_relu: Relu,
+    blocks: Vec<AnyBlock>,
+    gap: GlobalAvgPool,
+    fc: Linear,
+}
+
+impl MicroResNet {
+    /// Builds a randomly initialized network from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for degenerate configurations
+    /// (zero widths, zero blocks, zero classes).
+    pub fn new<R: Rng>(config: &ResNetConfig, rng: &mut R) -> Result<Self> {
+        if config.num_classes == 0
+            || config.in_channels == 0
+            || config.stage_widths.contains(&0)
+            || config.blocks_per_stage.contains(&0)
+        {
+            return Err(NnError::InvalidConfig {
+                detail: format!("degenerate resnet config: {config:?}"),
+            });
+        }
+        let stem_width = config.stage_widths[0];
+        let stem_conv = Conv2d::new(config.in_channels, stem_width, Conv2dConfig::same3x3(), rng)?;
+        let stem_bn = BatchNorm2d::new(stem_width);
+
+        let mut blocks = Vec::new();
+        let mut in_ch = stem_width;
+        for (stage, (&width, &count)) in config
+            .stage_widths
+            .iter()
+            .zip(&config.blocks_per_stage)
+            .enumerate()
+        {
+            for b in 0..count {
+                // First block of stages 2-4 downsamples.
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                let block = match config.block {
+                    BlockKind::Basic => {
+                        let blk = BasicBlock::new(in_ch, width, stride, rng)?;
+                        in_ch = width;
+                        AnyBlock::Basic(blk)
+                    }
+                    BlockKind::Bottleneck => {
+                        let blk = Bottleneck::new(in_ch, width, config.expansion, stride, rng)?;
+                        in_ch = width * config.expansion;
+                        AnyBlock::Bottleneck(blk)
+                    }
+                };
+                blocks.push(block);
+            }
+        }
+        let fc = Linear::new(in_ch, config.num_classes, rng)?;
+        let mut net = MicroResNet {
+            config: config.clone(),
+            stem_conv,
+            stem_bn,
+            stem_relu: Relu::new(),
+            blocks,
+            gap: GlobalAvgPool::new(),
+            fc,
+        };
+        net.assign_param_names();
+        Ok(net)
+    }
+
+    fn assign_param_names(&mut self) {
+        // Stable hierarchical names for diagnostics and checkpoints.
+        for p in self.stem_conv.params_mut() {
+            p.name = format!("stem.{}", p.name);
+        }
+        for p in self.stem_bn.params_mut() {
+            p.name = format!("stem.{}", p.name);
+        }
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            for p in block.as_layer_mut().params_mut() {
+                p.name = format!("block{i}.{}", p.name);
+            }
+        }
+        for p in self.fc.params_mut() {
+            p.name = format!("head.{}", p.name);
+        }
+    }
+
+    /// The architecture this network was built from.
+    pub fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+
+    /// Dimension of the pooled feature vector.
+    pub fn feature_dim(&self) -> usize {
+        self.config.feature_dim()
+    }
+
+    /// Runs stem + residual stages only, returning the spatial feature map
+    /// `[N, C, h, w]` (the segmentation head consumes this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_to_featmap(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let x = self.stem_conv.forward(input, mode)?;
+        let x = self.stem_bn.forward(&x, mode)?;
+        let mut x = self.stem_relu.forward(&x, mode)?;
+        for block in &mut self.blocks {
+            x = block.as_layer_mut().forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Backpropagates a gradient arriving at the spatial feature map down
+    /// to the pixels. Counterpart of [`MicroResNet::forward_to_featmap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] without a prior forward.
+    pub fn backward_from_featmap(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let mut g = grad.clone();
+        for block in self.blocks.iter_mut().rev() {
+            g = block.as_layer_mut().backward(&g)?;
+        }
+        let g = self.stem_relu.backward(&g)?;
+        let g = self.stem_bn.backward(&g)?;
+        self.stem_conv.backward(&g)
+    }
+
+    /// Pooled `[N, feature_dim]` embeddings (no classifier). This is the
+    /// representation used for linear evaluation and FID.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_features(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let fm = self.forward_to_featmap(input, mode)?;
+        self.gap.forward(&fm, mode)
+    }
+
+    /// Replaces the classification head with a freshly initialized
+    /// `feature_dim → num_classes` linear layer (the transfer-learning
+    /// "new classifier").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero classes.
+    pub fn replace_head<R: Rng>(&mut self, num_classes: usize, rng: &mut R) -> Result<()> {
+        self.fc = Linear::new(self.feature_dim(), num_classes, rng)?;
+        for p in self.fc.params_mut() {
+            p.name = format!("head.{}", p.name);
+        }
+        self.config.num_classes = num_classes;
+        Ok(())
+    }
+
+    /// Freezes or unfreezes every parameter outside the classifier head.
+    /// Linear evaluation freezes the backbone.
+    pub fn set_backbone_trainable(&mut self, trainable: bool) {
+        for p in self.stem_conv.params_mut() {
+            p.trainable = trainable;
+        }
+        for p in self.stem_bn.params_mut() {
+            p.trainable = trainable;
+        }
+        for block in &mut self.blocks {
+            for p in block.as_layer_mut().params_mut() {
+                p.trainable = trainable;
+            }
+        }
+    }
+
+    /// Immutable access to the classifier head.
+    pub fn head(&self) -> &Linear {
+        &self.fc
+    }
+}
+
+impl std::fmt::Debug for MicroResNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroResNet")
+            .field("config", &self.config)
+            .field("blocks", &self.blocks.len())
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl Layer for MicroResNet {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let feats = self.forward_features(input, mode)?;
+        self.fc.forward(&feats, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let g = self.fc.backward(grad_output)?;
+        let g = self.gap.backward(&g)?;
+        self.backward_from_featmap(&g)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = Vec::new();
+        v.extend(self.stem_conv.params());
+        v.extend(self.stem_bn.params());
+        for block in &self.blocks {
+            v.extend(block.as_layer().params());
+        }
+        v.extend(self.fc.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = Vec::new();
+        v.extend(self.stem_conv.params_mut());
+        v.extend(self.stem_bn.params_mut());
+        for block in &mut self.blocks {
+            v.extend(block.as_layer_mut().params_mut());
+        }
+        v.extend(self.fc.params_mut());
+        v
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        let mut v = Vec::new();
+        v.extend(self.stem_bn.buffers());
+        for block in &self.blocks {
+            v.extend(block.as_layer().buffers());
+        }
+        v
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v = Vec::new();
+        v.extend(self.stem_bn.buffers_mut());
+        for block in &mut self.blocks {
+            v.extend(block.as_layer_mut().buffers_mut());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_nn::checkpoint::StateDict;
+    use rt_nn::loss::CrossEntropyLoss;
+    use rt_nn::optim::Sgd;
+    use rt_tensor::init;
+    use rt_tensor::rng::{rng_from_seed, SeedStream};
+
+    #[test]
+    fn r18_analog_shapes() {
+        let mut model =
+            MicroResNet::new(&ResNetConfig::r18_analog(10), &mut rng_from_seed(0)).unwrap();
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = model.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+        assert_eq!(model.feature_dim(), 64);
+        // Feature map is 2x2 after three downsamples of 16x16.
+        let fm = model.forward_to_featmap(&x, Mode::Eval).unwrap();
+        assert_eq!(fm.shape(), &[2, 64, 2, 2]);
+    }
+
+    #[test]
+    fn r50_analog_has_more_params_than_r18() {
+        let r18 = MicroResNet::new(&ResNetConfig::r18_analog(10), &mut rng_from_seed(0)).unwrap();
+        let r50 = MicroResNet::new(&ResNetConfig::r50_analog(10), &mut rng_from_seed(0)).unwrap();
+        assert!(
+            r50.param_count() > r18.param_count(),
+            "r50 {} !> r18 {}",
+            r50.param_count(),
+            r18.param_count()
+        );
+        assert_eq!(r50.feature_dim(), 256);
+    }
+
+    #[test]
+    fn smoke_model_trains_on_tiny_task() {
+        // Two linearly separable "classes" of constant images.
+        let mut model = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(1)).unwrap();
+        let mut x = Tensor::zeros(&[8, 3, 8, 8]);
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            let v = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let start = i * 3 * 64;
+            for p in &mut x.data_mut()[start..start + 3 * 64] {
+                *p = v;
+            }
+            labels.push(i % 2);
+        }
+        let loss_fn = CrossEntropyLoss::new();
+        let opt = Sgd::new(0.05).with_momentum(0.9);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let logits = model.forward(&x, Mode::Train).unwrap();
+            let out = loss_fn.forward(&logits, &labels).unwrap();
+            model.backward(&out.grad).unwrap();
+            opt.step(&mut model).unwrap();
+            first.get_or_insert(out.loss);
+            last = out.loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.5,
+            "loss failed to halve: {first:?} -> {last}"
+        );
+    }
+
+    #[test]
+    fn head_replacement_changes_output_dim() {
+        let mut model = MicroResNet::new(&ResNetConfig::smoke(5), &mut rng_from_seed(2)).unwrap();
+        model.replace_head(7, &mut rng_from_seed(3)).unwrap();
+        let y = model
+            .forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.shape(), &[1, 7]);
+        assert_eq!(model.config().num_classes, 7);
+    }
+
+    #[test]
+    fn backbone_freeze_marks_params() {
+        let mut model = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(4)).unwrap();
+        model.set_backbone_trainable(false);
+        let frozen = model.params().iter().filter(|p| !p.trainable).count();
+        let trainable = model.params().iter().filter(|p| p.trainable).count();
+        assert_eq!(trainable, 2, "only head weight+bias stay trainable");
+        assert!(frozen > 10);
+        // Unfreeze restores everything.
+        model.set_backbone_trainable(true);
+        assert!(model.params().iter().all(|p| p.trainable));
+    }
+
+    #[test]
+    fn featmap_backward_round_trip() {
+        let mut model = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(5)).unwrap();
+        let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(6));
+        let fm = model.forward_to_featmap(&x, Mode::Train).unwrap();
+        let gx = model
+            .backward_from_featmap(&Tensor::ones(fm.shape()))
+            .unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let seeds = SeedStream::new(7);
+        let mut model = MicroResNet::new(&ResNetConfig::smoke(3), &mut seeds.rng()).unwrap();
+        let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.child("x").rng());
+        model.forward(&x, Mode::Train).unwrap(); // move BN stats
+        let snap = StateDict::capture(&model);
+        let y_before = model.forward(&x, Mode::Eval).unwrap();
+
+        // Perturb, restore, verify bit-identical eval output.
+        for p in model.params_mut() {
+            p.data.map_inplace(|v| v + 1.0);
+        }
+        snap.restore(&mut model).unwrap();
+        let y_after = model.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y_before, y_after);
+    }
+
+    #[test]
+    fn param_names_are_hierarchical_and_unique_per_layer() {
+        let model = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(8)).unwrap();
+        let names: Vec<&str> = model.params().iter().map(|p| p.name.as_str()).collect();
+        assert!(names[0].starts_with("stem."));
+        assert!(names.iter().any(|n| n.starts_with("block0.")));
+        assert!(names.iter().any(|n| n.starts_with("head.")));
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let mut bad = ResNetConfig::smoke(0);
+        assert!(MicroResNet::new(&bad, &mut rng_from_seed(9)).is_err());
+        bad = ResNetConfig::smoke(2);
+        bad.stage_widths[2] = 0;
+        assert!(MicroResNet::new(&bad, &mut rng_from_seed(9)).is_err());
+    }
+
+    #[test]
+    fn input_gradient_flows_to_pixels() {
+        // The gradient w.r.t. the image must be non-zero — PGD depends on it.
+        let mut model = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(10)).unwrap();
+        let x = init::normal(&[1, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(11));
+        model.forward(&x, Mode::Train).unwrap(); // warm BN
+        let logits = model.forward(&x, Mode::Eval).unwrap();
+        let out = CrossEntropyLoss::new().forward(&logits, &[0]).unwrap();
+        let gx = model.backward(&out.grad).unwrap();
+        assert!(gx.l1_norm() > 0.0);
+        assert!(gx.all_finite());
+    }
+}

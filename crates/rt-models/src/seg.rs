@@ -1,0 +1,224 @@
+//! FCN-style semantic segmentation head on a [`MicroResNet`] backbone.
+//!
+//! This reproduces the paper's Fig. 7 transfer path: a pruned/ticketed
+//! backbone whose spatial feature map is decoded to per-pixel class logits
+//! by a small convolutional head with nearest-neighbour upsampling.
+
+use crate::MicroResNet;
+use rand::Rng;
+use rt_nn::layers::{BatchNorm2d, Conv2d, Conv2dConfig, Relu};
+use rt_nn::{Layer, Mode, NnError, Param, Result};
+use rt_tensor::conv::{upsample2x, upsample2x_backward};
+use rt_tensor::Tensor;
+
+/// A segmentation network: MicroResNet backbone (its classifier head is
+/// unused) + decode head (3×3 conv → BN → ReLU → repeated 2× upsampling →
+/// 1×1 classifier conv).
+///
+/// The backbone downsamples 16×16 inputs to 2×2, so the head applies three
+/// 2× upsamplings to restore full resolution.
+pub struct SegmentationNet {
+    backbone: MicroResNet,
+    decode_conv: Conv2d,
+    decode_bn: BatchNorm2d,
+    decode_relu: Relu,
+    classifier: Conv2d,
+    upsample_steps: usize,
+    featmap_shapes: Option<Vec<Vec<usize>>>,
+}
+
+impl SegmentationNet {
+    /// Wraps a (possibly pretrained and pruned) backbone with a fresh
+    /// decode head producing `num_classes` per-pixel logits.
+    ///
+    /// `upsample_steps` is the number of 2× upsamplings needed to restore
+    /// the input resolution (3 for 16×16 inputs through this backbone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero classes.
+    pub fn new<R: Rng>(
+        backbone: MicroResNet,
+        num_classes: usize,
+        upsample_steps: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if num_classes == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: "segmentation head needs at least one class".to_string(),
+            });
+        }
+        let feat = backbone.feature_dim();
+        let decode_width = feat.max(8);
+        Ok(SegmentationNet {
+            decode_conv: Conv2d::new(feat, decode_width, Conv2dConfig::same3x3(), rng)?,
+            decode_bn: BatchNorm2d::new(decode_width),
+            decode_relu: Relu::new(),
+            classifier: Conv2d::new(
+                decode_width,
+                num_classes,
+                Conv2dConfig::pointwise().with_bias(true),
+                rng,
+            )?,
+            backbone,
+            upsample_steps,
+            featmap_shapes: None,
+        })
+    }
+
+    /// Immutable access to the backbone.
+    pub fn backbone(&self) -> &MicroResNet {
+        &self.backbone
+    }
+
+    /// Mutable access to the backbone (for pruning/freezing).
+    pub fn backbone_mut(&mut self) -> &mut MicroResNet {
+        &mut self.backbone
+    }
+}
+
+impl std::fmt::Debug for SegmentationNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentationNet")
+            .field("backbone", &self.backbone)
+            .field("upsample_steps", &self.upsample_steps)
+            .finish()
+    }
+}
+
+impl Layer for SegmentationNet {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let fm = self.backbone.forward_to_featmap(input, mode)?;
+        let x = self.decode_conv.forward(&fm, mode)?;
+        let x = self.decode_bn.forward(&x, mode)?;
+        let mut x = self.decode_relu.forward(&x, mode)?;
+        let mut shapes = Vec::with_capacity(self.upsample_steps);
+        for _ in 0..self.upsample_steps {
+            shapes.push(x.shape().to_vec());
+            x = upsample2x(&x)?;
+        }
+        self.featmap_shapes = Some(shapes);
+        self.classifier.forward(&x, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shapes = self
+            .featmap_shapes
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "SegmentationNet",
+            })?
+            .clone();
+        let mut g = self.classifier.backward(grad_output)?;
+        for shape in shapes.iter().rev() {
+            g = upsample2x_backward(&g, shape)?;
+        }
+        let g = self.decode_relu.backward(&g)?;
+        let g = self.decode_bn.backward(&g)?;
+        let g = self.decode_conv.backward(&g)?;
+        self.backbone.backward_from_featmap(&g)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = self.backbone.params();
+        // Drop the unused classification head of the backbone so the
+        // optimizer and pruning never touch it.
+        v.retain(|p| !p.name.starts_with("head."));
+        v.extend(self.decode_conv.params());
+        v.extend(self.decode_bn.params());
+        v.extend(self.classifier.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.backbone.params_mut();
+        v.retain(|p| !p.name.starts_with("head."));
+        v.extend(self.decode_conv.params_mut());
+        v.extend(self.decode_bn.params_mut());
+        v.extend(self.classifier.params_mut());
+        v
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        let mut v = self.backbone.buffers();
+        v.extend(self.decode_bn.buffers());
+        v
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v = self.backbone.buffers_mut();
+        v.extend(self.decode_bn.buffers_mut());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResNetConfig;
+    use rt_nn::loss::CrossEntropyLoss;
+    use rt_nn::optim::Sgd;
+    use rt_tensor::init;
+    use rt_tensor::rng::rng_from_seed;
+
+    fn seg_net(seed: u64) -> SegmentationNet {
+        let mut rng = rng_from_seed(seed);
+        let backbone = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng).unwrap();
+        SegmentationNet::new(backbone, 3, 3, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn output_restores_input_resolution() {
+        let mut net = seg_net(0);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 16, 16]);
+    }
+
+    #[test]
+    fn backward_produces_pixel_gradients() {
+        let mut net = seg_net(1);
+        let x = init::normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(2));
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let labels: Vec<usize> = (0..16 * 16).map(|i| i % 3).collect();
+        let out = CrossEntropyLoss::new().forward_pixels(&y, &labels).unwrap();
+        let gx = net.backward(&out.grad).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.l1_norm() > 0.0);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn excludes_backbone_classifier_head() {
+        let net = seg_net(3);
+        assert!(net.params().iter().all(|p| !p.name.starts_with("head.")));
+    }
+
+    #[test]
+    fn training_reduces_pixel_loss() {
+        let mut net = seg_net(4);
+        // Trivial task: left half class 0, right half class 1.
+        let x = Tensor::from_fn(&[4, 3, 16, 16], |i| if (i % 16) < 8 { 1.0 } else { -1.0 });
+        let labels: Vec<usize> = (0..4 * 16 * 16).map(|i| usize::from(i % 16 >= 8)).collect();
+        let loss_fn = CrossEntropyLoss::new();
+        let opt = Sgd::new(0.05).with_momentum(0.9);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..25 {
+            let y = net.forward(&x, Mode::Train).unwrap();
+            let out = loss_fn.forward_pixels(&y, &labels).unwrap();
+            net.backward(&out.grad).unwrap();
+            opt.step(&mut net).unwrap();
+            first.get_or_insert(out.loss);
+            last = out.loss;
+        }
+        assert!(last < first.unwrap() * 0.7, "{first:?} -> {last}");
+    }
+
+    #[test]
+    fn zero_classes_rejected() {
+        let mut rng = rng_from_seed(5);
+        let backbone = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng).unwrap();
+        assert!(SegmentationNet::new(backbone, 0, 3, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: MicroResNet shape/gradient invariants across
+//! randomized architectures.
+
+use proptest::prelude::*;
+use rt_models::{BlockKind, MicroResNet, ResNetConfig};
+use rt_nn::{Layer, Mode};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::{init, Tensor};
+
+fn arbitrary_config() -> impl Strategy<Value = ResNetConfig> {
+    (
+        prop::bool::ANY,
+        1usize..=3, // width base (scaled ×4)
+        1usize..=2, // blocks per stage
+        2usize..=5, // classes
+        1usize..=2, // expansion
+    )
+        .prop_map(|(bottleneck, wb, bps, classes, expansion)| {
+            let w = 4 * wb;
+            ResNetConfig {
+                block: if bottleneck {
+                    BlockKind::Bottleneck
+                } else {
+                    BlockKind::Basic
+                },
+                stage_widths: [w, w, 2 * w, 2 * w],
+                blocks_per_stage: [bps, 1, 1, bps],
+                in_channels: 3,
+                num_classes: classes,
+                expansion,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any valid config builds, runs forward to the declared logit width,
+    /// and produces finite activations and feature vectors.
+    #[test]
+    fn forward_shapes_hold_for_arbitrary_configs(config in arbitrary_config(), seed in 0u64..50) {
+        let mut model = MicroResNet::new(&config, &mut rng_from_seed(seed)).unwrap();
+        let x = init::normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(seed + 1));
+        let logits = model.forward(&x, Mode::Train).unwrap();
+        prop_assert_eq!(logits.shape(), &[2, config.num_classes]);
+        prop_assert!(logits.all_finite());
+        let feats = model.forward_features(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(feats.shape(), &[2, config.feature_dim()]);
+        // Feature map is 2x2 after three downsamples of 16x16.
+        let fm = model.forward_to_featmap(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(fm.shape(), &[2, config.feature_dim(), 2, 2]);
+    }
+
+    /// Backward produces a finite, input-shaped, generically non-zero
+    /// pixel gradient for every architecture — the property PGD requires.
+    #[test]
+    fn pixel_gradients_exist_for_arbitrary_configs(config in arbitrary_config(), seed in 0u64..50) {
+        let mut model = MicroResNet::new(&config, &mut rng_from_seed(seed)).unwrap();
+        let x = init::normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(seed + 2));
+        let logits = model.forward(&x, Mode::Train).unwrap();
+        let grad_out = Tensor::from_fn(logits.shape(), |i| if i == 0 { 1.0 } else { -0.3 });
+        let gx = model.backward(&grad_out).unwrap();
+        prop_assert_eq!(gx.shape(), x.shape());
+        prop_assert!(gx.all_finite());
+        prop_assert!(gx.l1_norm() > 0.0);
+    }
+
+    /// Head replacement preserves the backbone: features before and after
+    /// replacing the classifier are identical.
+    #[test]
+    fn head_swap_preserves_features(config in arbitrary_config(), seed in 0u64..50) {
+        let mut model = MicroResNet::new(&config, &mut rng_from_seed(seed)).unwrap();
+        let x = init::normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(seed + 3));
+        // Warm BN stats once so Eval features are stable.
+        model.forward(&x, Mode::Train).unwrap();
+        model.zero_grad();
+        let before = model.forward_features(&x, Mode::Eval).unwrap();
+        model.replace_head(7, &mut rng_from_seed(seed + 4)).unwrap();
+        let after = model.forward_features(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(model.forward(&x, Mode::Eval).unwrap().shape()[1], 7);
+    }
+
+    /// Parameter count decomposes: dense params == sum over layers of the
+    /// sparsity report totals plus non-prunable params.
+    #[test]
+    fn sparsity_report_accounts_for_every_prunable_weight(config in arbitrary_config(), seed in 0u64..20) {
+        use rt_prune::{layer_sparsity_report, PruneScope};
+        let model = MicroResNet::new(&config, &mut rng_from_seed(seed)).unwrap();
+        let scope = PruneScope::backbone();
+        let report_total: usize = layer_sparsity_report(&model, &scope)
+            .iter()
+            .map(|l| l.total)
+            .sum();
+        let manual: usize = model
+            .params()
+            .iter()
+            .filter(|p| scope.is_prunable(p))
+            .map(|p| p.len())
+            .sum();
+        prop_assert_eq!(report_total, manual);
+        prop_assert!(report_total < model.param_count());
+    }
+}

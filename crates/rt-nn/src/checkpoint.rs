@@ -1,0 +1,214 @@
+//! Model state capture and restore.
+//!
+//! A [`StateDict`] snapshots every parameter tensor and every buffer
+//! (BatchNorm running statistics) of a model in the model's own stable
+//! iteration order. It round-trips through `serde`, so checkpoints can be
+//! written to JSON. Crucially for the ticket-drawing pipelines, restoring a
+//! state dict is how IMP *rewinds* a trained model back to its pretrained
+//! weights.
+
+use crate::{Layer, NnError, Result};
+use rt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A named parameter snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateEntry {
+    /// Parameter name (metadata; matching is positional).
+    pub name: String,
+    /// The captured tensor.
+    pub tensor: Tensor,
+}
+
+/// A full snapshot of a model's parameters and buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StateDict {
+    /// Parameter snapshots, in `Layer::params` order.
+    pub params: Vec<StateEntry>,
+    /// Buffer snapshots (e.g. BatchNorm running stats), in `Layer::buffers`
+    /// order.
+    pub buffers: Vec<Tensor>,
+}
+
+impl StateDict {
+    /// Captures the current state of `model`.
+    pub fn capture(model: &dyn Layer) -> Self {
+        StateDict {
+            params: model
+                .params()
+                .into_iter()
+                .map(|p| StateEntry {
+                    name: p.name.clone(),
+                    tensor: p.data.clone(),
+                })
+                .collect(),
+            buffers: model.buffers().into_iter().cloned().collect(),
+        }
+    }
+
+    /// Restores this snapshot into `model`, replacing parameter data and
+    /// buffers. Gradients, momentum buffers, and masks are untouched —
+    /// callers that rewind during IMP re-apply masks afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateDictMismatch`] if the counts or any tensor
+    /// shape disagree with the model.
+    pub fn restore(&self, model: &mut dyn Layer) -> Result<()> {
+        let params = model.params_mut();
+        if params.len() != self.params.len() {
+            return Err(NnError::StateDictMismatch {
+                detail: format!(
+                    "model has {} params, snapshot has {}",
+                    params.len(),
+                    self.params.len()
+                ),
+            });
+        }
+        for (p, entry) in params.into_iter().zip(&self.params) {
+            if p.data.shape() != entry.tensor.shape() {
+                return Err(NnError::StateDictMismatch {
+                    detail: format!(
+                        "param `{}`: model shape {:?} vs snapshot shape {:?}",
+                        p.name,
+                        p.data.shape(),
+                        entry.tensor.shape()
+                    ),
+                });
+            }
+            p.data = entry.tensor.clone();
+        }
+        let buffers = model.buffers_mut();
+        if buffers.len() != self.buffers.len() {
+            return Err(NnError::StateDictMismatch {
+                detail: format!(
+                    "model has {} buffers, snapshot has {}",
+                    buffers.len(),
+                    self.buffers.len()
+                ),
+            });
+        }
+        for (b, snap) in buffers.into_iter().zip(&self.buffers) {
+            if b.shape() != snap.shape() {
+                return Err(NnError::StateDictMismatch {
+                    detail: format!(
+                        "buffer shape {:?} vs snapshot shape {:?}",
+                        b.shape(),
+                        snap.shape()
+                    ),
+                });
+            }
+            *b = snap.clone();
+        }
+        Ok(())
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateDictMismatch`] on serializer failure (should
+    /// not occur for finite tensors).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| NnError::StateDictMismatch {
+            detail: format!("serialize failed: {e}"),
+        })
+    }
+
+    /// Deserializes from a JSON string produced by [`StateDict::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateDictMismatch`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| NnError::StateDictMismatch {
+            detail: format!("deserialize failed: {e}"),
+        })
+    }
+
+    /// Total number of scalars captured (parameters only).
+    pub fn param_scalar_count(&self) -> usize {
+        self.params.iter().map(|e| e.tensor.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Conv2dConfig, Linear};
+    use crate::{Mode, Sequential};
+    use rt_tensor::rng::rng_from_seed;
+
+    fn model() -> Sequential {
+        let mut rng = rng_from_seed(42);
+        Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, Conv2dConfig::same3x3(), &mut rng).unwrap()),
+            Box::new(BatchNorm2d::new(2)),
+        ])
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let mut m = model();
+        let snap = StateDict::capture(&m);
+        // Perturb the model, run BN forward to move running stats.
+        for p in m.params_mut() {
+            p.data.fill(9.0);
+        }
+        m.forward(&Tensor::ones(&[2, 1, 4, 4]), Mode::Train)
+            .unwrap();
+        snap.restore(&mut m).unwrap();
+        let snap2 = StateDict::capture(&m);
+        assert_eq!(snap, snap2);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_model() {
+        let m = model();
+        let snap = StateDict::capture(&m);
+        let mut rng = rng_from_seed(0);
+        let mut other = Sequential::new(vec![Box::new(Linear::new(2, 2, &mut rng).unwrap())]);
+        assert!(matches!(
+            snap.restore(&mut other),
+            Err(NnError::StateDictMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shapes() {
+        let m = model();
+        let mut snap = StateDict::capture(&m);
+        snap.params[0].tensor = Tensor::zeros(&[1]);
+        let mut m2 = model();
+        assert!(snap.restore(&mut m2).is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = model();
+        let snap = StateDict::capture(&m);
+        let json = snap.to_json().unwrap();
+        let back = StateDict::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        assert!(StateDict::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn captures_buffers() {
+        let mut m = model();
+        // Move the BN running stats away from their init.
+        m.forward(&Tensor::full(&[2, 1, 4, 4], 5.0), Mode::Train)
+            .unwrap();
+        let snap = StateDict::capture(&m);
+        assert_eq!(snap.buffers.len(), 2);
+        assert!(snap.buffers[0].l1_norm() > 0.0, "running mean moved");
+    }
+
+    #[test]
+    fn scalar_count() {
+        let m = model();
+        let snap = StateDict::capture(&m);
+        // conv weight 2*1*3*3 = 18, bn gamma 2 + beta 2.
+        assert_eq!(snap.param_scalar_count(), 22);
+    }
+}

@@ -1,0 +1,98 @@
+use rt_tensor::TensorError;
+use std::fmt;
+
+/// Error type for layer, loss, and optimizer operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor kernel failed.
+    Tensor(TensorError),
+    /// `backward` was called before any `forward` populated the caches.
+    BackwardBeforeForward {
+        /// Name of the layer that was misused.
+        layer: &'static str,
+    },
+    /// A label index was outside the number of classes.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes in the logits.
+        classes: usize,
+    },
+    /// Batch sizes of two inputs to a loss disagreed.
+    BatchMismatch {
+        /// Batch size of the predictions.
+        predictions: usize,
+        /// Number of targets provided.
+        targets: usize,
+    },
+    /// A state-dict could not be loaded into the model.
+    StateDictMismatch {
+        /// Human-readable description of the incompatibility.
+        detail: String,
+    },
+    /// A configuration value was invalid (e.g. a negative learning rate).
+    InvalidConfig {
+        /// Human-readable description of the invalid value.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "`{layer}` backward called before forward")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::BatchMismatch {
+                predictions,
+                targets,
+            } => write!(
+                f,
+                "batch mismatch: {predictions} predictions vs {targets} targets"
+            ),
+            NnError::StateDictMismatch { detail } => {
+                write!(f, "state dict mismatch: {detail}")
+            }
+            NnError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error as _;
+        let e: NnError = TensorError::EmptyTensor { op: "max" }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("max"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

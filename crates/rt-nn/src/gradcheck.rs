@@ -1,0 +1,270 @@
+//! Finite-difference gradient verification.
+//!
+//! Every layer's hand-written backward pass in this workspace is validated
+//! against central finite differences through these helpers. The scalar
+//! objective is `L = Σᵢ wᵢ·yᵢ` with fixed pseudo-random coefficients `wᵢ`,
+//! whose gradient w.r.t. the output is exactly `w` — so a single backward
+//! call checks the whole Jacobian-vector product.
+
+use crate::{Layer, Mode, Result};
+use rt_tensor::Tensor;
+
+/// Deterministic pseudo-random coefficient for output position `i`.
+fn coeff(i: usize) -> f32 {
+    // A fixed irrational stride gives well-spread coefficients in [-1, 1].
+    let x = (i as f32 + 1.0) * 0.754_877_7;
+    2.0 * (x - x.floor()) - 1.0
+}
+
+fn weighted_sum(y: &Tensor) -> f32 {
+    y.data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| coeff(i) * v)
+        .sum()
+}
+
+fn coeff_tensor(shape: &[usize]) -> Tensor {
+    Tensor::from_fn(shape, coeff)
+}
+
+/// Report from a gradient check: the largest absolute and relative
+/// discrepancies between analytic and numeric gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference.
+    pub max_abs_diff: f32,
+    /// Maximum relative difference (normalized by
+    /// `max(|analytic|, |numeric|, 1e-3)`).
+    pub max_rel_diff: f32,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed at the given relative tolerance.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_diff <= tol
+    }
+}
+
+/// Checks a layer's *input* gradient against central finite differences.
+///
+/// `mode` should normally be [`Mode::Eval`] (BatchNorm batch statistics make
+/// the train-mode loss a non-local function of each input, which finite
+/// differences still handle, but running-stat updates would perturb repeated
+/// evaluations — the checker snapshots and restores buffers to compensate).
+///
+/// # Errors
+///
+/// Propagates any layer error.
+pub fn check_input_gradient(
+    layer: &mut dyn Layer,
+    input: &Tensor,
+    mode: Mode,
+    eps: f32,
+) -> Result<GradCheckReport> {
+    let buffers_before: Vec<Tensor> = layer.buffers().into_iter().cloned().collect();
+    let restore = |layer: &mut dyn Layer| {
+        for (b, snap) in layer.buffers_mut().into_iter().zip(&buffers_before) {
+            *b = snap.clone();
+        }
+    };
+
+    let y = layer.forward(input, mode)?;
+    let grad_out = coeff_tensor(y.shape());
+    layer.zero_grad();
+    let analytic = layer.backward(&grad_out)?;
+    restore(layer);
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+        let lp = weighted_sum(&layer.forward(&plus, mode)?);
+        restore(layer);
+        let lm = weighted_sum(&layer.forward(&minus, mode)?);
+        restore(layer);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1e-3);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    Ok(GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+    })
+}
+
+/// Checks a layer's *parameter* gradients against central finite
+/// differences, perturbing every scalar of every parameter.
+///
+/// # Errors
+///
+/// Propagates any layer error.
+pub fn check_param_gradients(
+    layer: &mut dyn Layer,
+    input: &Tensor,
+    mode: Mode,
+    eps: f32,
+) -> Result<GradCheckReport> {
+    let buffers_before: Vec<Tensor> = layer.buffers().into_iter().cloned().collect();
+
+    let y = layer.forward(input, mode)?;
+    let grad_out = coeff_tensor(y.shape());
+    layer.zero_grad();
+    layer.backward(&grad_out)?;
+    let analytic: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+    for (b, snap) in layer.buffers_mut().into_iter().zip(&buffers_before) {
+        *b = snap.clone();
+    }
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    let n_params = layer.params().len();
+    #[allow(clippy::needless_range_loop)] // `analytic[pi]` pairs with re-borrowed params
+    for pi in 0..n_params {
+        let len = layer.params()[pi].len();
+        for i in 0..len {
+            let original = layer.params()[pi].data.data()[i];
+            layer.params_mut()[pi].data.data_mut()[i] = original + eps;
+            let lp = weighted_sum(&layer.forward(input, mode)?);
+            for (b, snap) in layer.buffers_mut().into_iter().zip(&buffers_before) {
+                *b = snap.clone();
+            }
+            layer.params_mut()[pi].data.data_mut()[i] = original - eps;
+            let lm = weighted_sum(&layer.forward(input, mode)?);
+            for (b, snap) in layer.buffers_mut().into_iter().zip(&buffers_before) {
+                *b = snap.clone();
+            }
+            layer.params_mut()[pi].data.data_mut()[i] = original;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[pi].data()[i];
+            let abs = (a - numeric).abs();
+            let rel = abs / a.abs().max(numeric.abs()).max(1e-3);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    Ok(GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{
+        BatchNorm2d, Conv2d, Conv2dConfig, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+    };
+    use crate::Sequential;
+    use rt_tensor::init;
+    use rt_tensor::rng::rng_from_seed;
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    fn smooth_input(shape: &[usize], seed: u64) -> Tensor {
+        // Keep values away from ReLU/maxpool kink points for stable FD.
+        let mut rng = rng_from_seed(seed);
+        init::normal(shape, 0.0, 1.0, &mut rng).map(|x| x + 0.05 * x.signum())
+    }
+
+    #[test]
+    fn linear_gradients() {
+        let mut rng = rng_from_seed(0);
+        let mut layer = Linear::new(4, 3, &mut rng).unwrap();
+        let x = smooth_input(&[3, 4], 1);
+        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        assert!(rin.passes(TOL), "{rin:?}");
+        let rp = check_param_gradients(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        assert!(rp.passes(TOL), "{rp:?}");
+    }
+
+    #[test]
+    fn conv_gradients() {
+        let mut rng = rng_from_seed(2);
+        let mut layer =
+            Conv2d::new(2, 3, Conv2dConfig::same3x3().with_bias(true), &mut rng).unwrap();
+        let x = smooth_input(&[2, 2, 4, 4], 3);
+        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        assert!(rin.passes(TOL), "{rin:?}");
+        let rp = check_param_gradients(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        assert!(rp.passes(TOL), "{rp:?}");
+    }
+
+    #[test]
+    fn strided_conv_gradients() {
+        let mut rng = rng_from_seed(4);
+        let mut layer =
+            Conv2d::new(2, 2, Conv2dConfig::same3x3().with_stride(2), &mut rng).unwrap();
+        let x = smooth_input(&[1, 2, 6, 6], 5);
+        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        assert!(rin.passes(TOL), "{rin:?}");
+    }
+
+    #[test]
+    fn batchnorm_train_gradients() {
+        let mut layer = BatchNorm2d::new(2);
+        let x = smooth_input(&[3, 2, 3, 3], 6);
+        let rin = check_input_gradient(&mut layer, &x, Mode::Train, EPS).unwrap();
+        assert!(rin.passes(TOL), "{rin:?}");
+        let rp = check_param_gradients(&mut layer, &x, Mode::Train, EPS).unwrap();
+        assert!(rp.passes(TOL), "{rp:?}");
+    }
+
+    #[test]
+    fn batchnorm_eval_gradients() {
+        let mut layer = BatchNorm2d::new(2);
+        // Populate running stats first.
+        let warm = smooth_input(&[4, 2, 3, 3], 7);
+        layer.forward(&warm, Mode::Train).unwrap();
+        let x = smooth_input(&[2, 2, 3, 3], 8);
+        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        assert!(rin.passes(TOL), "{rin:?}");
+    }
+
+    #[test]
+    fn relu_and_pool_gradients() {
+        let mut relu = Relu::new();
+        let x = smooth_input(&[2, 8], 9);
+        let r = check_input_gradient(&mut relu, &x, Mode::Eval, 1e-3).unwrap();
+        assert!(r.passes(TOL), "{r:?}");
+
+        let mut pool = MaxPool2d::new(2, 2);
+        let xp = smooth_input(&[1, 2, 4, 4], 10);
+        let rp = check_input_gradient(&mut pool, &xp, Mode::Eval, 1e-3).unwrap();
+        assert!(rp.passes(TOL), "{rp:?}");
+
+        let mut gap = GlobalAvgPool::new();
+        let rg = check_input_gradient(&mut gap, &xp, Mode::Eval, EPS).unwrap();
+        assert!(rg.passes(TOL), "{rg:?}");
+    }
+
+    #[test]
+    fn deep_stack_gradients() {
+        // A realistic micro conv-net: conv → bn → relu → pool → flatten → fc.
+        let mut rng = rng_from_seed(11);
+        let mut model = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, Conv2dConfig::same3x3(), &mut rng).unwrap()),
+            Box::new(BatchNorm2d::new(4)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 3 * 3, 3, &mut rng).unwrap()),
+        ]);
+        // Warm up running stats so Eval mode is meaningful.
+        model
+            .forward(&smooth_input(&[4, 1, 6, 6], 12), Mode::Train)
+            .unwrap();
+        let x = smooth_input(&[2, 1, 6, 6], 13);
+        let rin = check_input_gradient(&mut model, &x, Mode::Eval, EPS).unwrap();
+        assert!(rin.passes(TOL), "{rin:?}");
+        let rp = check_param_gradients(&mut model, &x, Mode::Eval, EPS).unwrap();
+        assert!(rp.passes(TOL), "{rp:?}");
+    }
+}

@@ -1,0 +1,233 @@
+use crate::{Param, Result};
+use rt_tensor::Tensor;
+
+/// Forward-pass mode. Train mode uses batch statistics in BatchNorm and
+/// updates its running estimates; Eval mode uses the running estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: batch statistics, caches populated for backward.
+    Train,
+    /// Evaluation: running statistics, no running-stat updates.
+    #[default]
+    Eval,
+}
+
+/// An object-safe neural-network layer with explicit backpropagation.
+///
+/// Contract:
+///
+/// * [`Layer::forward`] consumes an activation and may cache whatever its
+///   backward pass needs. Calling it again overwrites the cache.
+/// * [`Layer::backward`] consumes `∂L/∂output`, **accumulates** parameter
+///   gradients into each [`Param::grad`], and returns `∂L/∂input` — exact,
+///   so adversarial attacks can differentiate through the whole network to
+///   the pixels.
+/// * Gradients accumulate across calls until [`Layer::zero_grad`].
+pub trait Layer {
+    /// Computes the layer output for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Backpropagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] if no forward pass
+    /// populated the caches, or a shape error if `grad_output` is
+    /// inconsistent with the cached forward pass.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// All parameters of the layer (possibly none), in a stable order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable access to all parameters, in the same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of parameter scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Non-trainable state that must survive checkpointing (e.g. BatchNorm
+    /// running statistics), in a stable order. Empty by default.
+    fn buffers(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable access to the buffers, in the same order as
+    /// [`Layer::buffers`].
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+}
+
+/// A layer that runs its children in order, threading activations forward
+/// and gradients backward.
+///
+/// # Example
+///
+/// ```rust
+/// use rt_nn::layers::{Flatten, Relu};
+/// use rt_nn::{Layer, Mode, Sequential};
+/// use rt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), rt_nn::NnError> {
+/// let mut seq = Sequential::new(vec![Box::new(Relu::new()), Box::new(Flatten::new())]);
+/// let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![-1.0, 2.0, -3.0, 4.0])?;
+/// let y = seq.forward(&x, Mode::Eval)?;
+/// assert_eq!(y.shape(), &[1, 4]);
+/// assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Sequential {
+    children: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds a sequential container from child layers.
+    pub fn new(children: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { children }
+    }
+
+    /// An empty container (children can be pushed later).
+    pub fn empty() -> Self {
+        Sequential {
+            children: Vec::new(),
+        }
+    }
+
+    /// Appends a child layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.children.push(layer);
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether the container has no children.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Immutable access to the child layers.
+    pub fn children(&self) -> &[Box<dyn Layer>] {
+        &self.children
+    }
+
+    /// Mutable access to the child layers.
+    pub fn children_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.children
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("children", &self.children.len())
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for child in &mut self.children {
+            x = child.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for child in self.children.iter_mut().rev() {
+            g = child.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.children.iter().flat_map(|c| c.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.children
+            .iter_mut()
+            .flat_map(|c| c.params_mut())
+            .collect()
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.children.iter().flat_map(|c| c.buffers()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.children
+            .iter_mut()
+            .flat_map(|c| c.buffers_mut())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn sequential_threads_forward_and_backward() {
+        let mut rng = rng_from_seed(0);
+        let mut seq = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, &mut rng).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(5, 2, &mut rng).unwrap()),
+        ]);
+        let x = Tensor::ones(&[4, 3]);
+        let y = seq.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[4, 2]);
+        let gin = seq.backward(&Tensor::ones(&[4, 2])).unwrap();
+        assert_eq!(gin.shape(), &[4, 3]);
+        // Parameters received gradients.
+        assert!(seq.params().iter().any(|p| p.grad.l1_norm() > 0.0));
+        seq.zero_grad();
+        assert!(seq.params().iter().all(|p| p.grad.l1_norm() == 0.0));
+    }
+
+    #[test]
+    fn param_count_sums_children() {
+        let mut rng = rng_from_seed(1);
+        let seq = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, &mut rng).unwrap()),
+            Box::new(Linear::new(5, 2, &mut rng).unwrap()),
+        ]);
+        // (3*5 + 5) + (5*2 + 2)
+        assert_eq!(seq.param_count(), 20 + 12);
+        assert_eq!(seq.len(), 2);
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut seq = Sequential::empty();
+        assert!(seq.is_empty());
+        let x = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        assert_eq!(seq.forward(&x, Mode::Eval).unwrap(), x);
+        assert_eq!(seq.backward(&x).unwrap(), x);
+    }
+}

@@ -1,0 +1,99 @@
+use crate::{Layer, Mode, NnError, Param, Result};
+use rt_tensor::{Tensor, TensorError};
+
+/// Rectified linear unit: `y = max(x, 0)`.
+///
+/// The backward pass routes gradients only through positions that were
+/// strictly positive in the forward pass (the subgradient at 0 is taken
+/// as 0, matching PyTorch).
+#[derive(Debug, Default)]
+pub struct Relu {
+    positive: Option<Vec<bool>>,
+    shape: Vec<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu {
+            positive: None,
+            shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        self.positive = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        self.shape = input.shape().to_vec();
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let positive = self
+            .positive
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Relu" })?;
+        if grad_output.shape() != self.shape.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: self.shape.clone(),
+                op: "relu.backward",
+            }
+            .into());
+        }
+        let data: Vec<f32> = grad_output
+            .data()
+            .iter()
+            .zip(positive)
+            .map(|(&g, &p)| if p { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(self.shape.clone(), data)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-2.0, 0.0, 1.0, 3.0]).unwrap();
+        let y = relu.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-2.0, 0.0, 1.0, 3.0]).unwrap();
+        relu.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::full(&[4], 5.0);
+        let gx = relu.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[0.0, 0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward_and_matching_shape() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::ones(&[2])).is_err());
+        relu.forward(&Tensor::ones(&[2]), Mode::Train).unwrap();
+        assert!(relu.backward(&Tensor::ones(&[3])).is_err());
+    }
+
+    #[test]
+    fn has_no_params() {
+        let relu = Relu::new();
+        assert!(relu.params().is_empty());
+        assert_eq!(relu.param_count(), 0);
+    }
+}

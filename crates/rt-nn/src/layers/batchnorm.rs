@@ -1,0 +1,361 @@
+use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+use rt_tensor::{reduce, Tensor, TensorError};
+
+/// Batch normalization over the channel axis of NCHW activations.
+///
+/// Train mode normalizes with batch statistics and updates exponential
+/// running estimates; Eval mode normalizes with the running estimates.
+/// The backward pass is exact in both modes — in Eval mode the statistics
+/// are constants, which is the correct linearization for PGD attacks run
+/// against a frozen network.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    mode: Mode,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm layer with γ=1, β=0, running mean 0, running
+    /// variance 1, momentum 0.1, and ε=1e-5.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new("bn.gamma", Tensor::ones(&[channels]), ParamKind::BnScale),
+            beta: Param::new("bn.beta", Tensor::zeros(&[channels]), ParamKind::BnShift),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// Channel count this layer normalizes.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Current running mean estimate.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Current running variance estimate.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// Replaces the running statistics (used when loading checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateDictMismatch`] if either tensor does not have
+    /// shape `[channels]`.
+    pub fn set_running_stats(&mut self, mean: Tensor, var: Tensor) -> Result<()> {
+        if mean.shape() != [self.channels] || var.shape() != [self.channels] {
+            return Err(NnError::StateDictMismatch {
+                detail: format!(
+                    "running stats must have shape [{}], got {:?} / {:?}",
+                    self.channels,
+                    mean.shape(),
+                    var.shape()
+                ),
+            });
+        }
+        self.running_mean = mean;
+        self.running_var = var;
+        Ok(())
+    }
+
+    fn check_input(&self, input: &Tensor, op: &'static str) -> Result<[usize; 4]> {
+        if input.ndim() != 4 || input.shape()[1] != self.channels {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: vec![0, self.channels, 0, 0],
+                op,
+            }
+            .into());
+        }
+        let s = input.shape();
+        Ok([s[0], s[1], s[2], s[3]])
+    }
+}
+
+impl std::fmt::Debug for BatchNorm2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchNorm2d")
+            .field("channels", &self.channels)
+            .field("momentum", &self.momentum)
+            .field("eps", &self.eps)
+            .finish()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let [n, c, h, w] = self.check_input(input, "batchnorm.forward")?;
+        let m = (n * h * w) as f32;
+        let (mean, var): (Vec<f32>, Vec<f32>) = match mode {
+            Mode::Train => {
+                let sums = reduce::channel_sums(input)?;
+                let sq = reduce::channel_sq_sums(input)?;
+                let mean: Vec<f32> = sums.data().iter().map(|&s| s / m).collect();
+                let var: Vec<f32> = sq
+                    .data()
+                    .iter()
+                    .zip(&mean)
+                    .map(|(&s, &mu)| (s / m - mu * mu).max(0.0))
+                    .collect();
+                // Exponential moving update of the running estimates.
+                for ((rm, rv), (&bm, &bv)) in self
+                    .running_mean
+                    .data_mut()
+                    .iter_mut()
+                    .zip(self.running_var.data_mut())
+                    .zip(mean.iter().zip(&var))
+                {
+                    *rm = (1.0 - self.momentum) * *rm + self.momentum * bm;
+                    *rv = (1.0 - self.momentum) * *rv + self.momentum * bv;
+                }
+                (mean, var)
+            }
+            Mode::Eval => (
+                self.running_mean.data().to_vec(),
+                self.running_var.data().to_vec(),
+            ),
+        };
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+
+        let plane = h * w;
+        let mut x_hat = Tensor::zeros(input.shape());
+        let mut out = Tensor::zeros(input.shape());
+        {
+            let xd = input.data();
+            let xh = x_hat.data_mut();
+            let od = out.data_mut();
+            let gd = self.gamma.data.data();
+            let bd = self.beta.data.data();
+            for b in 0..n {
+                for ch in 0..c {
+                    let start = (b * c + ch) * plane;
+                    let (mu, is, g, be) = (mean[ch], inv_std[ch], gd[ch], bd[ch]);
+                    for i in start..start + plane {
+                        let xn = (xd[i] - mu) * is;
+                        xh[i] = xn;
+                        od[i] = g * xn + be;
+                    }
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            mode,
+        });
+        Ok(out)
+    }
+
+    #[allow(clippy::needless_range_loop)] // channel index addresses several arrays
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "BatchNorm2d",
+        })?;
+        let [n, c, h, w] = self.check_input(grad_output, "batchnorm.backward")?;
+        if grad_output.shape() != cache.x_hat.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: cache.x_hat.shape().to_vec(),
+                op: "batchnorm.backward",
+            }
+            .into());
+        }
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+
+        // Parameter gradients are identical in both modes.
+        let dgamma = reduce::channel_dot(grad_output, &cache.x_hat)?;
+        let dbeta = reduce::channel_sums(grad_output)?;
+        self.gamma.grad.add_assign(&dgamma)?;
+        self.beta.grad.add_assign(&dbeta)?;
+
+        let mut grad_input = Tensor::zeros(grad_output.shape());
+        let god = grad_output.data();
+        let xh = cache.x_hat.data();
+        let gd = self.gamma.data.data();
+        let gid = grad_input.data_mut();
+        match cache.mode {
+            Mode::Train => {
+                // dx = γ·inv_std/m · (m·dy − Σdy − x̂·Σ(dy·x̂)) per channel.
+                let sum_dy = dbeta.data();
+                let sum_dy_xhat = dgamma.data();
+                for b in 0..n {
+                    for ch in 0..c {
+                        let start = (b * c + ch) * plane;
+                        let coeff = gd[ch] * cache.inv_std[ch] / m;
+                        let (s1, s2) = (sum_dy[ch], sum_dy_xhat[ch]);
+                        for i in start..start + plane {
+                            gid[i] = coeff * (m * god[i] - s1 - xh[i] * s2);
+                        }
+                    }
+                }
+            }
+            Mode::Eval => {
+                // Statistics are constants: dx = dy · γ · inv_std.
+                for b in 0..n {
+                    for ch in 0..c {
+                        let start = (b * c + ch) * plane;
+                        let coeff = gd[ch] * cache.inv_std[ch];
+                        for i in start..start + plane {
+                            gid[i] = god[i] * coeff;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        vec![&self.running_mean, &self.running_var]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::init;
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn train_mode_normalizes_batch() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = rng_from_seed(0);
+        let x = init::normal(&[4, 2, 3, 3], 5.0, 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel output mean ≈ 0, variance ≈ 1.
+        let sums = reduce::channel_sums(&y).unwrap();
+        let sq = reduce::channel_sq_sums(&y).unwrap();
+        let m = (4 * 3 * 3) as f32;
+        for ch in 0..2 {
+            let mean = sums.data()[ch] / m;
+            let var = sq.data()[ch] / m - mean * mean;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_track_batch_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[2, 1, 2, 2], 10.0);
+        for _ in 0..200 {
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        // Constant input: batch mean 10, var 0; running stats converge there.
+        assert!((bn.running_mean().data()[0] - 10.0).abs() < 1e-3);
+        assert!(bn.running_var().data()[0] < 1e-3);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.set_running_stats(
+            Tensor::from_vec(vec![1], vec![2.0]).unwrap(),
+            Tensor::from_vec(vec![1], vec![4.0]).unwrap(),
+        )
+        .unwrap();
+        let x = Tensor::full(&[1, 1, 1, 2], 4.0);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // (4 - 2) / sqrt(4 + eps) ≈ 1.0
+        assert!((y.data()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gamma_beta_affine_applied() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.data.fill(3.0);
+        bn.beta.data.fill(-1.0);
+        let x = Tensor::from_vec(vec![1, 1, 1, 2], vec![-1.0, 1.0]).unwrap();
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // x_hat = [-1, 1] (mean 0, var 1), y = 3*x_hat - 1.
+        assert!((y.data()[0] + 4.0).abs() < 1e-2);
+        assert!((y.data()[1] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn train_backward_gradient_sums_to_zero() {
+        // In train mode, the per-channel input gradient sums to zero because
+        // shifting all inputs equally does not change the normalized output.
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = rng_from_seed(1);
+        let x = init::normal(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
+        bn.forward(&x, Mode::Train).unwrap();
+        let g = init::normal(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let gx = bn.backward(&g).unwrap();
+        let per_channel = reduce::channel_sums(&gx).unwrap();
+        for &s in per_channel.data() {
+            assert!(s.abs() < 1e-3, "channel grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn eval_backward_is_diagonal_scaling() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.set_running_stats(
+            Tensor::zeros(&[1]),
+            Tensor::from_vec(vec![1], vec![0.25]).unwrap(),
+        )
+        .unwrap();
+        bn.gamma.data.fill(2.0);
+        let x = Tensor::ones(&[1, 1, 1, 2]);
+        bn.forward(&x, Mode::Eval).unwrap();
+        let g = Tensor::from_vec(vec![1, 1, 1, 2], vec![1.0, -1.0]).unwrap();
+        let gx = bn.backward(&g).unwrap();
+        // coeff = gamma / sqrt(var + eps) = 2 / 0.5 = 4.
+        assert!((gx.data()[0] - 4.0).abs() < 1e-3);
+        assert!((gx.data()[1] + 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn
+            .forward(&Tensor::ones(&[1, 2, 2, 2]), Mode::Train)
+            .is_err());
+        assert!(bn
+            .set_running_stats(Tensor::zeros(&[2]), Tensor::ones(&[3]))
+            .is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(1);
+        assert!(matches!(
+            bn.backward(&Tensor::ones(&[1, 1, 1, 1])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+}

@@ -1,0 +1,408 @@
+use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+use rand::Rng;
+use rt_tensor::conv::{col2im_single, im2col_single, ConvGeometry};
+use rt_tensor::{init, linalg, Tensor, TensorError};
+
+/// Configuration of a [`Conv2d`] layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dConfig {
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied to each border.
+    pub padding: usize,
+    /// Whether the layer has a bias term. Convolutions followed by
+    /// BatchNorm conventionally omit it.
+    pub bias: bool,
+}
+
+impl Conv2dConfig {
+    /// A 3×3 "same" convolution (stride 1, padding 1, no bias) — the
+    /// ResNet workhorse.
+    pub fn same3x3() -> Self {
+        Conv2dConfig {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            bias: false,
+        }
+    }
+
+    /// A 1×1 convolution (projection), no bias.
+    pub fn pointwise() -> Self {
+        Conv2dConfig {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            bias: false,
+        }
+    }
+
+    /// Returns a copy with a different stride.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Returns a copy with bias enabled/disabled.
+    pub fn with_bias(mut self, bias: bool) -> Self {
+        self.bias = bias;
+        self
+    }
+}
+
+impl Default for Conv2dConfig {
+    fn default() -> Self {
+        Conv2dConfig::same3x3()
+    }
+}
+
+/// 2-D convolution over NCHW activations, lowered to matrix multiplication
+/// via `im2col`.
+///
+/// Weight layout is `[out_channels, in_channels, k, k]`; the forward pass
+/// views it as an `[O, C·k·k]` matrix. The backward pass recomputes the
+/// `im2col` lowering instead of caching it, trading a little compute for a
+/// large memory saving.
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    geo: ConvGeometry,
+    in_channels: usize,
+    out_channels: usize,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    input: Tensor,
+    h: usize,
+    w: usize,
+    h_out: usize,
+    w_out: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero channels or kernel.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        config: Conv2dConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || config.kernel == 0 || config.stride == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!(
+                    "conv2d needs non-zero channels/kernel/stride, got in={in_channels} \
+                     out={out_channels} k={} s={}",
+                    config.kernel, config.stride
+                ),
+            });
+        }
+        let k = config.kernel;
+        let fan_in = in_channels * k * k;
+        let weight = Param::new(
+            "conv.weight",
+            init::kaiming_normal(&[out_channels, in_channels, k, k], fan_in, rng),
+            ParamKind::Weight,
+        );
+        let bias = config
+            .bias
+            .then(|| Param::new("conv.bias", Tensor::zeros(&[out_channels]), ParamKind::Bias));
+        Ok(Conv2d {
+            weight,
+            bias,
+            geo: ConvGeometry::new(k, config.stride, config.padding),
+            in_channels,
+            out_channels,
+            cache: None,
+        })
+    }
+
+    /// The convolution geometry (kernel/stride/padding).
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geo
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn weight_matrix(&self) -> Result<Tensor> {
+        let k = self.geo.kernel;
+        Ok(self
+            .weight
+            .data
+            .reshape(&[self.out_channels, self.in_channels * k * k])?)
+    }
+}
+
+impl std::fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conv2d")
+            .field("in_channels", &self.in_channels)
+            .field("out_channels", &self.out_channels)
+            .field("geometry", &self.geo)
+            .field("bias", &self.bias.is_some())
+            .finish()
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.ndim() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.ndim(),
+                op: "conv2d.forward",
+            }
+            .into());
+        }
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        if c != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: vec![n, self.in_channels, h, w],
+                op: "conv2d.forward",
+            }
+            .into());
+        }
+        let h_out = self.geo.out_dim(h)?;
+        let w_out = self.geo.out_dim(w)?;
+        let w_mat = self.weight_matrix()?;
+        let chw = c * h * w;
+        let out_plane = h_out * w_out;
+        let mut out = Tensor::zeros(&[n, self.out_channels, h_out, w_out]);
+        for s in 0..n {
+            let sample = &input.data()[s * chw..(s + 1) * chw];
+            let cols = im2col_single(sample, c, h, w, self.geo)?;
+            let out_mat = linalg::matmul(&w_mat, &cols)?;
+            let dst = &mut out.data_mut()
+                [s * self.out_channels * out_plane..(s + 1) * self.out_channels * out_plane];
+            dst.copy_from_slice(out_mat.data());
+            if let Some(bias) = &self.bias {
+                for (o, &b) in bias.data.data().iter().enumerate() {
+                    for v in &mut dst[o * out_plane..(o + 1) * out_plane] {
+                        *v += b;
+                    }
+                }
+            }
+        }
+        self.cache = Some(ConvCache {
+            input: input.clone(),
+            h,
+            w,
+            h_out,
+            w_out,
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let (h, w, h_out, w_out) = (cache.h, cache.w, cache.h_out, cache.w_out);
+        let n = cache.input.shape()[0];
+        let c = self.in_channels;
+        let o = self.out_channels;
+        if grad_output.shape() != [n, o, h_out, w_out] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: vec![n, o, h_out, w_out],
+                op: "conv2d.backward",
+            }
+            .into());
+        }
+        let w_mat = self.weight_matrix()?;
+        let k = self.geo.kernel;
+        let chw = c * h * w;
+        let out_plane = h_out * w_out;
+        let mut grad_input = Tensor::zeros(cache.input.shape());
+        let mut grad_w_mat = Tensor::zeros(&[o, c * k * k]);
+        let mut grad_bias = self.bias.as_ref().map(|_| vec![0.0f32; o]);
+        for s in 0..n {
+            let sample = &cache.input.data()[s * chw..(s + 1) * chw];
+            let cols = im2col_single(sample, c, h, w, self.geo)?;
+            let go_mat = Tensor::from_vec(
+                vec![o, out_plane],
+                grad_output.data()[s * o * out_plane..(s + 1) * o * out_plane].to_vec(),
+            )?;
+            // dW += dY × colsᵀ
+            let gw = linalg::matmul_a_bt(&go_mat, &cols)?;
+            grad_w_mat.add_assign(&gw)?;
+            // dcols = Wᵀ × dY, scattered back to image space.
+            let gcols = linalg::matmul_at_b(&w_mat, &go_mat)?;
+            col2im_single(
+                &gcols,
+                c,
+                h,
+                w,
+                self.geo,
+                &mut grad_input.data_mut()[s * chw..(s + 1) * chw],
+            )?;
+            if let Some(gb) = &mut grad_bias {
+                for (ch, g) in gb.iter_mut().enumerate() {
+                    *g += go_mat.data()[ch * out_plane..(ch + 1) * out_plane]
+                        .iter()
+                        .sum::<f32>();
+                }
+            }
+        }
+        // Accumulate into the [O, C, k, k] gradient (identical flat layout).
+        for (dst, &src) in self
+            .weight
+            .grad
+            .data_mut()
+            .iter_mut()
+            .zip(grad_w_mat.data())
+        {
+            *dst += src;
+        }
+        if let (Some(bias), Some(gb)) = (&mut self.bias, grad_bias) {
+            for (dst, src) in bias.grad.data_mut().iter_mut().zip(gb) {
+                *dst += src;
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = rng_from_seed(0);
+        let mut conv = Conv2d::new(3, 8, Conv2dConfig::same3x3(), &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+
+        let mut strided =
+            Conv2d::new(3, 4, Conv2dConfig::same3x3().with_stride(2), &mut rng).unwrap();
+        let y2 = strided.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y2.shape(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn pointwise_is_channel_mix() {
+        let mut rng = rng_from_seed(1);
+        let mut conv = Conv2d::new(2, 1, Conv2dConfig::pointwise(), &mut rng).unwrap();
+        // Set weight to [1, 2]: output = 1*ch0 + 2*ch1.
+        conv.weight.data = Tensor::from_vec(vec![1, 2, 1, 1], vec![1.0, 2.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 2.0, 10.0, 20.0]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.data(), &[21.0, 42.0]);
+    }
+
+    #[test]
+    fn known_3x3_convolution_value() {
+        let mut rng = rng_from_seed(2);
+        let mut conv = Conv2d::new(1, 1, Conv2dConfig::same3x3(), &mut rng).unwrap();
+        conv.weight.data = Tensor::ones(&[1, 1, 3, 3]);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        // Sum of the window at each position; corners see 4 ones.
+        assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut rng = rng_from_seed(3);
+        let mut conv =
+            Conv2d::new(1, 2, Conv2dConfig::pointwise().with_bias(true), &mut rng).unwrap();
+        conv.weight.data.fill(0.0);
+        if let Some(b) = &mut conv.bias {
+            b.data = Tensor::from_vec(vec![2], vec![1.5, -2.5]).unwrap();
+        }
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.data()[..4], [1.5; 4]);
+        assert_eq!(y.data()[4..], [-2.5; 4]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = rng_from_seed(4);
+        let mut conv = Conv2d::new(1, 1, Conv2dConfig::same3x3(), &mut rng).unwrap();
+        let err = conv.backward(&Tensor::zeros(&[1, 1, 3, 3])).unwrap_err();
+        assert!(matches!(err, NnError::BackwardBeforeForward { .. }));
+    }
+
+    #[test]
+    fn backward_shapes_and_accumulation() {
+        let mut rng = rng_from_seed(5);
+        let mut conv =
+            Conv2d::new(2, 3, Conv2dConfig::same3x3().with_bias(true), &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 2, 4, 4]);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let g1 = conv.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(g1.shape(), x.shape());
+        let w_grad_after_one = conv.params()[0].grad.clone();
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        let w_grad_after_two = &conv.params()[0].grad;
+        // Gradients accumulate across backward calls.
+        for (a, b) in w_grad_after_one.data().iter().zip(w_grad_after_two.data()) {
+            assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut rng = rng_from_seed(6);
+        let mut conv = Conv2d::new(3, 4, Conv2dConfig::same3x3(), &mut rng).unwrap();
+        assert!(conv
+            .forward(&Tensor::ones(&[1, 2, 4, 4]), Mode::Eval)
+            .is_err());
+        assert!(conv.forward(&Tensor::ones(&[4, 4]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut rng = rng_from_seed(7);
+        assert!(Conv2d::new(0, 4, Conv2dConfig::same3x3(), &mut rng).is_err());
+        let bad = Conv2dConfig {
+            kernel: 0,
+            stride: 1,
+            padding: 0,
+            bias: false,
+        };
+        assert!(Conv2d::new(1, 1, bad, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+use crate::{Layer, Mode, NnError, Param, Result};
+use rt_tensor::rng::{rng_from_seed, SeedStream};
+use rt_tensor::{Tensor, TensorError};
+
+/// Inverted dropout: in train mode each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so eval mode is
+/// the identity (no rescaling needed at inference).
+///
+/// The layer owns a deterministic RNG stream (seeded at construction), so
+/// training runs remain reproducible without threading an RNG through
+/// [`Layer::forward`].
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    seeds: SeedStream,
+    step: u64,
+    mask: Option<Vec<f32>>,
+    shape: Vec<usize>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                detail: format!("dropout probability must be in [0, 1), got {p}"),
+            });
+        }
+        Ok(Dropout {
+            p,
+            seeds: SeedStream::new(seed),
+            step: 0,
+            mask: None,
+            shape: Vec::new(),
+        })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.shape = input.shape().to_vec();
+        match mode {
+            Mode::Eval => {
+                self.mask = None;
+                Ok(input.clone())
+            }
+            Mode::Train => {
+                if self.p == 0.0 {
+                    self.mask = None;
+                    return Ok(input.clone());
+                }
+                use rand::Rng as _;
+                let mut rng = rng_from_seed(self.seeds.child_idx(self.step).seed());
+                self.step += 1;
+                let scale = 1.0 / (1.0 - self.p);
+                let mask: Vec<f32> = (0..input.len())
+                    .map(|_| {
+                        if rng.gen::<f32>() < self.p {
+                            0.0
+                        } else {
+                            scale
+                        }
+                    })
+                    .collect();
+                let data: Vec<f32> = input
+                    .data()
+                    .iter()
+                    .zip(&mask)
+                    .map(|(&x, &m)| x * m)
+                    .collect();
+                self.mask = Some(mask);
+                Ok(Tensor::from_vec(self.shape.clone(), data)?)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if grad_output.shape() != self.shape.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: self.shape.clone(),
+                op: "dropout.backward",
+            }
+            .into());
+        }
+        match &self.mask {
+            None => Ok(grad_output.clone()),
+            Some(mask) => {
+                let data: Vec<f32> = grad_output
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Ok(Tensor::from_vec(self.shape.clone(), data)?)
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0).unwrap();
+        let x = Tensor::from_fn(&[4, 4], |i| i as f32);
+        assert_eq!(d.forward(&x, Mode::Eval).unwrap(), x);
+        // Backward in eval mode passes gradients through.
+        assert_eq!(d.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction_and_rescales() {
+        let mut d = Dropout::new(0.25, 1).unwrap();
+        let x = Tensor::ones(&[1, 4000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let zeros = y.count_zeros();
+        let frac = zeros as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "dropped {frac}");
+        // Survivors are scaled by 4/3; the mean stays ≈ 1 (inverted dropout).
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 2).unwrap();
+        let x = Tensor::ones(&[2, 8]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[2, 8])).unwrap();
+        // Gradient is zero exactly where the activation was dropped.
+        for (&yv, &gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv == 0.0, gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn masks_differ_across_steps_but_runs_are_reproducible() {
+        let mut d1 = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones(&[1, 64]);
+        let a = d1.forward(&x, Mode::Train).unwrap();
+        let b = d1.forward(&x, Mode::Train).unwrap();
+        assert_ne!(a, b, "fresh mask every step");
+        let mut d2 = Dropout::new(0.5, 3).unwrap();
+        let a2 = d2.forward(&x, Mode::Train).unwrap();
+        assert_eq!(a, a2, "same seed, same sequence");
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 4).unwrap();
+        let x = Tensor::from_fn(&[3, 3], |i| i as f32);
+        assert_eq!(d.forward(&x, Mode::Train).unwrap(), x);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+use crate::{Layer, Mode, NnError, Param, Result};
+use rt_tensor::Tensor;
+
+/// Flattens `[N, d1, d2, …]` into `[N, d1·d2·…]`. Free (a reshape).
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let shape = input.shape();
+        let n = shape.first().copied().unwrap_or(0);
+        let rest: usize = shape.iter().skip(1).product();
+        self.input_shape = Some(shape.to_vec());
+        Ok(input.reshape(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .input_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Flatten" })?;
+        Ok(grad_output.reshape(shape)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// The identity layer. Useful as a placeholder shortcut connection.
+#[derive(Debug, Default)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates an identity layer.
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl Layer for Identity {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        Ok(input.clone())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        Ok(grad_output.clone())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut flat = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = flat.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let gx = flat.backward(&y).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gx.data(), x.data());
+    }
+
+    #[test]
+    fn flatten_backward_requires_forward() {
+        let mut flat = Flatten::new();
+        assert!(flat.backward(&Tensor::ones(&[1, 4])).is_err());
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let mut id = Identity::new();
+        let x = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(id.forward(&x, Mode::Eval).unwrap(), x);
+        assert_eq!(id.backward(&x).unwrap(), x);
+        assert!(id.params().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+use rand::Rng;
+use rt_tensor::{init, linalg, reduce, Tensor, TensorError};
+
+/// Fully connected layer: `y = x Wᵀ + b` over `[N, in_features]` inputs.
+///
+/// Weight layout is `[out_features, in_features]` (PyTorch convention), so
+/// row `o` of the weight is the receptive field of output feature `o` —
+/// which is also the "row" granularity unit for structured pruning.
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero feature counts.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!(
+                    "linear needs non-zero features, got in={in_features} out={out_features}"
+                ),
+            });
+        }
+        Ok(Linear {
+            weight: Param::new(
+                "linear.weight",
+                init::xavier_uniform(&[out_features, in_features], in_features, out_features, rng),
+                ParamKind::Weight,
+            ),
+            bias: Param::new(
+                "linear.bias",
+                Tensor::zeros(&[out_features]),
+                ParamKind::Bias,
+            ),
+            in_features,
+            out_features,
+            cached_input: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl std::fmt::Debug for Linear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Linear")
+            .field("in_features", &self.in_features)
+            .field("out_features", &self.out_features)
+            .finish()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.ndim() != 2 || input.shape()[1] != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: vec![
+                    input.shape().first().copied().unwrap_or(0),
+                    self.in_features,
+                ],
+                op: "linear.forward",
+            }
+            .into());
+        }
+        let mut out = linalg::matmul_a_bt(input, &self.weight.data)?;
+        out.add_row_inplace(&self.bias.data)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Linear" })?;
+        let n = input.shape()[0];
+        if grad_output.shape() != [n, self.out_features] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: vec![n, self.out_features],
+                op: "linear.backward",
+            }
+            .into());
+        }
+        // dW += dYᵀ X ; db += column sums of dY ; dX = dY W.
+        let gw = linalg::matmul_at_b(grad_output, input)?;
+        self.weight.grad.add_assign(&gw)?;
+        let gb = reduce::col_sums(grad_output)?;
+        self.bias.grad.add_assign(&gb)?;
+        Ok(linalg::matmul(grad_output, &self.weight.data)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = rng_from_seed(0);
+        let mut lin = Linear::new(2, 2, &mut rng).unwrap();
+        lin.weight.data = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        lin.bias.data = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        let y = lin.forward(&x, Mode::Eval).unwrap();
+        // y0 = 1*1 + 2*1 + 0.5 ; y1 = 3 + 4 - 0.5
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_manual() {
+        let mut rng = rng_from_seed(1);
+        let mut lin = Linear::new(2, 1, &mut rng).unwrap();
+        lin.weight.data = Tensor::from_vec(vec![1, 2], vec![2.0, -1.0]).unwrap();
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        lin.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::from_vec(vec![2, 1], vec![1.0, 1.0]).unwrap();
+        let gx = lin.backward(&g).unwrap();
+        // dW = sum over batch of g_i * x_i = [1+3, 2+4]
+        assert_eq!(lin.weight.grad.data(), &[4.0, 6.0]);
+        assert_eq!(lin.bias.grad.data(), &[2.0]);
+        // dX = g * W
+        assert_eq!(gx.data(), &[2.0, -1.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut rng = rng_from_seed(2);
+        let mut lin = Linear::new(3, 2, &mut rng).unwrap();
+        assert!(lin.forward(&Tensor::ones(&[1, 4]), Mode::Eval).is_err());
+        assert!(lin.forward(&Tensor::ones(&[3]), Mode::Eval).is_err());
+        assert!(Linear::new(0, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = rng_from_seed(3);
+        let mut lin = Linear::new(2, 2, &mut rng).unwrap();
+        assert!(matches!(
+            lin.backward(&Tensor::ones(&[1, 2])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn params_order_is_weight_then_bias() {
+        let mut rng = rng_from_seed(4);
+        let lin = Linear::new(2, 3, &mut rng).unwrap();
+        let params = lin.params();
+        assert_eq!(params[0].kind, ParamKind::Weight);
+        assert_eq!(params[1].kind, ParamKind::Bias);
+        assert_eq!(lin.param_count(), 6 + 3);
+    }
+}

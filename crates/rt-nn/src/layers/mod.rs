@@ -1,0 +1,21 @@
+//! Concrete layers.
+//!
+//! Every layer implements [`crate::Layer`]: it caches the minimum state
+//! needed for its own backward pass during `forward` and produces exact
+//! input gradients during `backward`.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use conv::{Conv2d, Conv2dConfig};
+pub use dropout::Dropout;
+pub use flatten::{Flatten, Identity};
+pub use linear::Linear;
+pub use pool::{GlobalAvgPool, MaxPool2d};

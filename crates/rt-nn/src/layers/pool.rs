@@ -1,0 +1,118 @@
+use crate::{Layer, Mode, NnError, Param, Result};
+use rt_tensor::conv::{
+    global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, ConvGeometry,
+};
+use rt_tensor::Tensor;
+
+/// 2-D max pooling.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    geo: ConvGeometry,
+    cache: Option<(Vec<u32>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given window geometry.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            geo: ConvGeometry::new(kernel, stride, 0),
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = max_pool2d(input, self.geo)?;
+        self.cache = Some((out.argmax, input.shape().to_vec()));
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (argmax, shape) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "MaxPool2d" })?;
+        Ok(max_pool2d_backward(grad_output, argmax, shape)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = global_avg_pool(input)?;
+        self.input_shape = Some(input.shape().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .input_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "GlobalAvgPool",
+            })?;
+        Ok(global_avg_pool_backward(grad_output, shape)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_round_trip() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[4.0]);
+        let gx = pool.backward(&Tensor::ones(&[1, 1, 1, 1])).unwrap();
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gap_layer_round_trip() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let y = gap.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.data(), &[2.0, 6.0]);
+        let gx = gap.backward(&Tensor::ones(&[1, 2])).unwrap();
+        assert_eq!(gx.data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut pool = MaxPool2d::new(2, 2);
+        assert!(pool.backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
+        let mut gap = GlobalAvgPool::new();
+        assert!(gap.backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+}

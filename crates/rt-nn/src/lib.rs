@@ -1,0 +1,71 @@
+//! Neural-network building blocks with explicit, layer-local backpropagation.
+//!
+//! Instead of a general autodiff tape, every [`Layer`] caches what its own
+//! backward pass needs during [`Layer::forward`] and implements
+//! [`Layer::backward`] by hand. This keeps the substrate small, auditable,
+//! and fast on a single CPU core — and it returns exact gradients with
+//! respect to the *input*, which is precisely what the adversarial attacks
+//! in `rt-adv` consume.
+//!
+//! The crate provides:
+//!
+//! * [`Param`]: a trainable tensor bundling data, gradient, momentum buffer,
+//!   an optional pruning mask, and the frozen-copy/score machinery used by
+//!   learnable-mask pruning (LMP).
+//! * [`Layer`]: the object-safe forward/backward trait, plus [`Sequential`].
+//! * Concrete layers in [`layers`]: `Conv2d`, `Linear`, `BatchNorm2d`,
+//!   `Relu`, `MaxPool2d`, `GlobalAvgPool`, `Flatten`, `Identity`.
+//! * [`loss`]: fused softmax cross-entropy (with optional label smoothing)
+//!   and mean-squared error, each returning the loss *and* the logit
+//!   gradient.
+//! * [`optim`]: SGD with momentum/weight-decay that re-applies pruning masks
+//!   after every step, plus LR schedules in [`schedule`].
+//! * [`checkpoint`]: state-dict save/load.
+//! * [`gradcheck`]: finite-difference gradient verification used throughout
+//!   the workspace's test suites.
+//!
+//! # Example
+//!
+//! ```rust
+//! use rt_nn::layers::{Linear, Relu};
+//! use rt_nn::{loss::CrossEntropyLoss, optim::Sgd, Layer, Mode, Sequential};
+//! use rt_tensor::rng::SeedStream;
+//! use rt_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), rt_nn::NnError> {
+//! let seeds = SeedStream::new(0);
+//! let mut model = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 8, &mut seeds.child("l1").rng())?),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(8, 3, &mut seeds.child("l2").rng())?),
+//! ]);
+//! let x = Tensor::ones(&[2, 4]);
+//! let logits = model.forward(&x, Mode::Train)?;
+//! let loss = CrossEntropyLoss::new();
+//! let out = loss.forward(&logits, &[0, 2])?;
+//! model.backward(&out.grad)?;
+//! Sgd::new(0.1).step(&mut model)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod layer;
+mod param;
+
+pub mod checkpoint;
+pub mod gradcheck;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod schedule;
+
+pub use error::NnError;
+pub use layer::{Layer, Mode, Sequential};
+pub use param::{Param, ParamKind};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

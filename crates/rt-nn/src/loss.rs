@@ -1,0 +1,360 @@
+//! Loss functions. Each returns the scalar loss *and* the gradient with
+//! respect to its first argument, so callers never re-derive the chain rule.
+
+use crate::{NnError, Result};
+use rt_tensor::{special, Tensor, TensorError};
+
+/// Result of a loss evaluation: the batch-mean scalar and the gradient of
+/// that scalar with respect to the predictions.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Batch-mean loss value.
+    pub loss: f32,
+    /// `∂loss/∂predictions`, same shape as the predictions.
+    pub grad: Tensor,
+}
+
+/// Fused softmax + cross-entropy with optional label smoothing.
+///
+/// The fused formulation gives the numerically clean logit gradient
+/// `(softmax(z) − target) / N` directly.
+///
+/// # Example
+///
+/// ```rust
+/// use rt_nn::loss::CrossEntropyLoss;
+/// use rt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), rt_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![1, 3], vec![2.0, 0.0, 0.0])?;
+/// let out = CrossEntropyLoss::new().forward(&logits, &[0])?;
+/// assert!(out.loss < 1.0); // confident-and-correct is cheap
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss {
+    smoothing: f32,
+}
+
+impl CrossEntropyLoss {
+    /// Creates an unsmoothed cross-entropy loss.
+    pub fn new() -> Self {
+        CrossEntropyLoss { smoothing: 0.0 }
+    }
+
+    /// Creates a label-smoothed cross-entropy (`smoothing` mass spread
+    /// uniformly over all classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `smoothing` is outside `[0, 1)`.
+    pub fn with_smoothing(smoothing: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&smoothing),
+            "label smoothing must be in [0, 1)"
+        );
+        CrossEntropyLoss { smoothing }
+    }
+
+    /// Computes the batch-mean cross-entropy of `[N, K]` logits against `N`
+    /// class labels, and its logit gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] if `labels.len() != N` and
+    /// [`NnError::LabelOutOfRange`] for labels `>= K`.
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+        if logits.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: logits.ndim(),
+                op: "cross_entropy",
+            }
+            .into());
+        }
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        if labels.len() != n {
+            return Err(NnError::BatchMismatch {
+                predictions: n,
+                targets: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+            return Err(NnError::LabelOutOfRange {
+                label: bad,
+                classes: k,
+            });
+        }
+        let log_probs = special::log_softmax_rows(logits)?;
+        let probs = log_probs.map(f32::exp);
+        let uniform = self.smoothing / k as f32;
+        let on_target = 1.0 - self.smoothing + uniform;
+        let inv_n = 1.0 / n as f32;
+
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        {
+            let gd = grad.data_mut();
+            let lp = log_probs.data();
+            for (i, &label) in labels.iter().enumerate() {
+                let row = i * k;
+                // loss_i = −Σ_c target_c · log p_c
+                loss -= (on_target - uniform) * lp[row + label];
+                if self.smoothing > 0.0 {
+                    loss -= uniform * lp[row..row + k].iter().sum::<f32>();
+                }
+                // grad = (p − target) / N
+                for c in 0..k {
+                    let target = if c == label { on_target } else { uniform };
+                    gd[row + c] = (gd[row + c] - target) * inv_n;
+                }
+            }
+        }
+        Ok(LossOutput {
+            loss: loss * inv_n,
+            grad,
+        })
+    }
+
+    /// Per-pixel cross-entropy for dense prediction: `[N, K, H, W]` logits
+    /// against `N·H·W` labels in row-major `(n, y, x)` order. Pixels labeled
+    /// [`IGNORE_LABEL`] contribute neither loss nor gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] / [`NnError::LabelOutOfRange`] on
+    /// inconsistent labels, and a rank error for non-NCHW logits.
+    pub fn forward_pixels(&self, logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+        if logits.ndim() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: logits.ndim(),
+                op: "cross_entropy_pixels",
+            }
+            .into());
+        }
+        let s = logits.shape();
+        let (n, k, h, w) = (s[0], s[1], s[2], s[3]);
+        let pixels = n * h * w;
+        if labels.len() != pixels {
+            return Err(NnError::BatchMismatch {
+                predictions: pixels,
+                targets: labels.len(),
+            });
+        }
+        // Gather each pixel's class scores into a row matrix, reuse the 2-D
+        // path, then scatter the gradient back into NCHW layout.
+        let mut rows = vec![0.0f32; pixels * k];
+        let ld = logits.data();
+        let plane = h * w;
+        for b in 0..n {
+            for p in 0..plane {
+                let row = b * plane + p;
+                for c in 0..k {
+                    rows[row * k + c] = ld[(b * k + c) * plane + p];
+                }
+            }
+        }
+        let row_logits = Tensor::from_vec(vec![pixels, k], rows)?;
+        // Replace ignored pixels with label 0 for the dense computation,
+        // then zero their contribution.
+        let valid: Vec<bool> = labels.iter().map(|&l| l != IGNORE_LABEL).collect();
+        let safe_labels: Vec<usize> = labels
+            .iter()
+            .map(|&l| if l == IGNORE_LABEL { 0 } else { l })
+            .collect();
+        if let Some(&bad) = safe_labels.iter().find(|&&l| l >= k) {
+            return Err(NnError::LabelOutOfRange {
+                label: bad,
+                classes: k,
+            });
+        }
+        let log_probs = special::log_softmax_rows(&row_logits)?;
+        let probs = log_probs.map(f32::exp);
+        let valid_count = valid.iter().filter(|&&v| v).count().max(1);
+        let inv = 1.0 / valid_count as f32;
+        let uniform = self.smoothing / k as f32;
+        let on_target = 1.0 - self.smoothing + uniform;
+
+        let mut loss = 0.0f32;
+        let mut grad_rows = probs;
+        {
+            let gd = grad_rows.data_mut();
+            let lp = log_probs.data();
+            for (i, (&label, &is_valid)) in safe_labels.iter().zip(&valid).enumerate() {
+                let row = i * k;
+                if !is_valid {
+                    gd[row..row + k].iter_mut().for_each(|g| *g = 0.0);
+                    continue;
+                }
+                loss -= (on_target - uniform) * lp[row + label];
+                if self.smoothing > 0.0 {
+                    loss -= uniform * lp[row..row + k].iter().sum::<f32>();
+                }
+                for c in 0..k {
+                    let target = if c == label { on_target } else { uniform };
+                    gd[row + c] = (gd[row + c] - target) * inv;
+                }
+            }
+        }
+        // Scatter back to NCHW.
+        let mut grad = Tensor::zeros(logits.shape());
+        let gdst = grad.data_mut();
+        let gsrc = grad_rows.data();
+        for b in 0..n {
+            for p in 0..plane {
+                let row = b * plane + p;
+                for c in 0..k {
+                    gdst[(b * k + c) * plane + p] = gsrc[row * k + c];
+                }
+            }
+        }
+        Ok(LossOutput {
+            loss: loss * inv,
+            grad,
+        })
+    }
+}
+
+/// Sentinel label for pixels excluded from the segmentation loss
+/// (e.g. boundary pixels, matching PASCAL VOC's ignore region).
+pub const IGNORE_LABEL: usize = usize::MAX;
+
+/// Mean-squared error: `mean((pred − target)²)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates an MSE loss.
+    pub fn new() -> Self {
+        MseLoss
+    }
+
+    /// Computes the MSE and its gradient with respect to `pred`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the operands differ in shape.
+    pub fn forward(&self, pred: &Tensor, target: &Tensor) -> Result<LossOutput> {
+        let diff = pred.sub(target)?;
+        let n = diff.len().max(1) as f32;
+        let loss = diff.data().iter().map(|&d| d * d).sum::<f32>() / n;
+        let grad = diff.mul_scalar(2.0 / n);
+        Ok(LossOutput { loss, grad })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = CrossEntropyLoss::new().forward(&logits, &[0, 3]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 0.5, 3.0, 3.0, -1.0]).unwrap();
+        let out = CrossEntropyLoss::new().forward(&logits, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![0.3, -0.7, 1.1]).unwrap();
+        let labels = [1usize];
+        let loss_fn = CrossEntropyLoss::new();
+        let out = loss_fn.forward(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let num = (loss_fn.forward(&plus, &labels).unwrap().loss
+                - loss_fn.forward(&minus, &labels).unwrap().loss)
+                / (2.0 * eps);
+            assert!(
+                (num - out.grad.data()[i]).abs() < 1e-3,
+                "dim {i}: numeric {num} vs analytic {}",
+                out.grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn label_smoothing_softens_target() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![10.0, -10.0]).unwrap();
+        let sharp = CrossEntropyLoss::new().forward(&logits, &[0]).unwrap();
+        let smooth = CrossEntropyLoss::with_smoothing(0.2)
+            .forward(&logits, &[0])
+            .unwrap();
+        // Smoothing penalizes over-confidence: higher loss for a confident
+        // correct prediction.
+        assert!(smooth.loss > sharp.loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "label smoothing")]
+    fn invalid_smoothing_panics() {
+        let _ = CrossEntropyLoss::with_smoothing(1.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let logits = Tensor::zeros(&[2, 3]);
+        let loss = CrossEntropyLoss::new();
+        assert!(matches!(
+            loss.forward(&logits, &[0]),
+            Err(NnError::BatchMismatch { .. })
+        ));
+        assert!(matches!(
+            loss.forward(&logits, &[0, 3]),
+            Err(NnError::LabelOutOfRange { .. })
+        ));
+        assert!(loss.forward(&Tensor::zeros(&[3]), &[0]).is_err());
+    }
+
+    #[test]
+    fn pixel_loss_matches_dense_loss_on_1x1_images() {
+        // A [N, K, 1, 1] pixel loss is exactly the [N, K] dense loss.
+        let logits2d = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, -1.0, 0.5, 0.2, 0.9]).unwrap();
+        let logits4d = logits2d.reshape(&[2, 3, 1, 1]).unwrap();
+        let labels = [0usize, 2];
+        let loss = CrossEntropyLoss::new();
+        let dense = loss.forward(&logits2d, &labels).unwrap();
+        let pix = loss.forward_pixels(&logits4d, &labels).unwrap();
+        assert!((dense.loss - pix.loss).abs() < 1e-6);
+        for (a, b) in dense.grad.data().iter().zip(pix.grad.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ignored_pixels_contribute_nothing() {
+        let logits = Tensor::from_fn(&[1, 2, 1, 2], |i| i as f32);
+        let loss = CrossEntropyLoss::new();
+        let full = loss.forward_pixels(&logits, &[0, 1]).unwrap();
+        let half = loss.forward_pixels(&logits, &[0, IGNORE_LABEL]).unwrap();
+        assert!(full.loss != half.loss);
+        // Ignored pixel's gradient column is zero.
+        assert_eq!(half.grad.at(&[0, 0, 0, 1]).unwrap(), 0.0);
+        assert_eq!(half.grad.at(&[0, 1, 0, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let pred = Tensor::from_vec(vec![2], vec![1.0, 3.0]).unwrap();
+        let target = Tensor::from_vec(vec![2], vec![0.0, 1.0]).unwrap();
+        let out = MseLoss::new().forward(&pred, &target).unwrap();
+        assert!((out.loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(out.grad.data(), &[1.0, 2.0]); // 2·diff / n
+    }
+}

@@ -1,0 +1,494 @@
+//! Optimizers. The paper's finetuning protocol uses SGD with momentum 0.9
+//! and weight decay 1e-4; [`Sgd`] implements exactly that, with two
+//! pruning-aware details:
+//!
+//! 1. gradients at masked positions are zeroed before the update, and
+//! 2. the mask is re-applied to the weights after the update,
+//!
+//! so pruned weights stay *exactly* zero throughout training.
+
+use crate::{Layer, NnError, ParamKind, Result};
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+///
+/// Weight decay is applied only to [`ParamKind::Weight`] parameters
+/// (biases and BatchNorm affines are exempt, the standard recipe).
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate (no momentum, no decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Returns a copy with momentum `mu` (classic heavy-ball).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is outside `[0, 1)`.
+    pub fn with_momentum(mut self, mu: f32) -> Self {
+        assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
+        self.momentum = mu;
+        self
+    }
+
+    /// Returns a copy with L2 weight decay `wd` on weight parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wd` is negative.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// The paper's finetuning recipe: momentum 0.9, weight decay 1e-4.
+    pub fn paper_recipe(lr: f32) -> Self {
+        Sgd::new(lr).with_momentum(0.9).with_weight_decay(1e-4)
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (used by LR schedules between epochs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `lr` is not finite and positive.
+    pub fn set_lr(&mut self, lr: f32) -> Result<()> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(NnError::InvalidConfig {
+                detail: format!("learning rate must be positive, got {lr}"),
+            });
+        }
+        self.lr = lr;
+        Ok(())
+    }
+
+    /// Applies one update step to every trainable parameter of `model`,
+    /// then zeroes the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (which indicate an internal
+    /// inconsistency between a parameter and its buffers).
+    pub fn step(&self, model: &mut dyn Layer) -> Result<()> {
+        for p in model.params_mut() {
+            if !p.trainable {
+                p.zero_grad();
+                continue;
+            }
+            p.mask_grad();
+            let wd = if p.kind == ParamKind::Weight {
+                self.weight_decay
+            } else {
+                0.0
+            };
+            let mu = self.momentum;
+            let lr = self.lr;
+            for ((d, g), v) in p
+                .data
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(p.velocity.data_mut())
+            {
+                let grad = g + wd * *d;
+                *v = mu * *v + grad;
+                *d -= lr * *v;
+            }
+            p.apply_mask();
+            p.zero_grad();
+        }
+        Ok(())
+    }
+}
+
+/// Clips the global L2 norm of every trainable parameter's gradient to
+/// `max_norm`, returning the pre-clip norm. A standard stabilizer for the
+/// adversarial training loops (large PGD ε occasionally produces gradient
+/// spikes on the micro-models).
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not finite and positive.
+pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f32) -> f32 {
+    assert!(
+        max_norm.is_finite() && max_norm > 0.0,
+        "max_norm must be positive"
+    );
+    let total_sq: f32 = model
+        .params()
+        .iter()
+        .filter(|p| p.trainable)
+        .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
+        .sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for p in model.params_mut() {
+            if p.trainable {
+                p.grad.scale(scale);
+            }
+        }
+    }
+    norm
+}
+
+/// Adam optimizer (Kingma & Ba) with pruning-mask awareness, provided as
+/// an alternative to the paper's SGD recipe (the `finetune_optimizer`
+/// ablation uses it).
+///
+/// The first/second-moment buffers live in the optimizer, keyed by
+/// parameter position, so one `Adam` instance must stay paired with one
+/// model.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step_count: u64,
+    moments: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β = (0.9, 0.999),
+    /// ε = 1e-8 defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step_count: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with L2 weight decay on weight parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wd` is negative.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one Adam step to every trainable parameter of `model`, then
+    /// zeroes the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateDictMismatch`] if the model's parameter
+    /// structure changed between steps (the moment buffers would no longer
+    /// correspond).
+    pub fn step(&mut self, model: &mut dyn Layer) -> Result<()> {
+        let params = model.params_mut();
+        if self.moments.is_empty() {
+            self.moments = params
+                .iter()
+                .map(|p| (vec![0.0; p.len()], vec![0.0; p.len()]))
+                .collect();
+        }
+        if self.moments.len() != params.len()
+            || self
+                .moments
+                .iter()
+                .zip(&params)
+                .any(|((m, _), p)| m.len() != p.len())
+        {
+            return Err(NnError::StateDictMismatch {
+                detail: "model structure changed under an Adam instance".to_string(),
+            });
+        }
+        self.step_count += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step_count as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step_count as i32);
+        for (p, (m, v)) in params.into_iter().zip(&mut self.moments) {
+            if !p.trainable {
+                p.zero_grad();
+                continue;
+            }
+            p.mask_grad();
+            let wd = if p.kind == ParamKind::Weight {
+                self.weight_decay
+            } else {
+                0.0
+            };
+            for (((d, g), mi), vi) in p
+                .data
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                let grad = g + wd * *d;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * grad;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * grad * grad;
+                let m_hat = *mi / bias1;
+                let v_hat = *vi / bias2;
+                *d -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.apply_mask();
+            p.zero_grad();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::{Mode, Sequential};
+    use rt_tensor::rng::rng_from_seed;
+    use rt_tensor::Tensor;
+
+    fn toy_model() -> Sequential {
+        let mut rng = rng_from_seed(0);
+        Sequential::new(vec![Box::new(Linear::new(2, 1, &mut rng).unwrap())])
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut model = toy_model();
+        let before = model.params()[0].data.clone();
+        model.params_mut()[0].grad.fill(1.0);
+        Sgd::new(0.5).step(&mut model).unwrap();
+        let after = &model.params()[0].data;
+        for (b, a) in before.data().iter().zip(after.data()) {
+            assert!((b - 0.5 - a).abs() < 1e-6);
+        }
+        // Gradients are zeroed after the step.
+        assert_eq!(model.params()[0].grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut model = toy_model();
+        let opt = Sgd::new(0.1).with_momentum(0.9);
+        let w0 = model.params()[0].data.data()[0];
+        model.params_mut()[0].grad.fill(1.0);
+        opt.step(&mut model).unwrap();
+        let w1 = model.params()[0].data.data()[0];
+        model.params_mut()[0].grad.fill(1.0);
+        opt.step(&mut model).unwrap();
+        let w2 = model.params()[0].data.data()[0];
+        // Second step is larger: v2 = 0.9·v1 + 1 = 1.9.
+        let step1 = w0 - w1;
+        let step2 = w1 - w2;
+        assert!((step1 - 0.1).abs() < 1e-6);
+        assert!((step2 - 0.19).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_not_biases() {
+        let mut model = toy_model();
+        // Zero gradient: only decay acts.
+        let w0 = model.params()[0].data.data()[0];
+        let b0 = model.params()[1].data.data()[0];
+        Sgd::new(1.0)
+            .with_weight_decay(0.1)
+            .step(&mut model)
+            .unwrap();
+        let w1 = model.params()[0].data.data()[0];
+        let b1 = model.params()[1].data.data()[0];
+        assert!((w1 - w0 * 0.9).abs() < 1e-6, "weight decays");
+        assert_eq!(b0, b1, "bias is exempt from decay");
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_through_updates() {
+        let mut model = toy_model();
+        let mask = Tensor::from_vec(vec![1, 2], vec![1.0, 0.0]).unwrap();
+        model.params_mut()[0].set_mask(mask).unwrap();
+        let opt = Sgd::new(0.1).with_momentum(0.9).with_weight_decay(0.01);
+        for _ in 0..5 {
+            // Simulate a training step with a dense gradient.
+            model.params_mut()[0].grad.fill(3.0);
+            opt.step(&mut model).unwrap();
+            assert_eq!(
+                model.params()[0].data.data()[1],
+                0.0,
+                "pruned weight must remain exactly zero"
+            );
+            assert_ne!(model.params()[0].data.data()[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn frozen_params_are_skipped() {
+        let mut model = toy_model();
+        model.params_mut()[0].trainable = false;
+        let before = model.params()[0].data.clone();
+        model.params_mut()[0].grad.fill(1.0);
+        Sgd::new(0.5).step(&mut model).unwrap();
+        assert_eq!(model.params()[0].data, before);
+    }
+
+    #[test]
+    fn end_to_end_loss_decreases() {
+        // Fit y = x0 - x1 with a linear model; loss must drop monotonically
+        // enough to halve within 50 steps.
+        use crate::loss::MseLoss;
+        let mut model = toy_model();
+        let opt = Sgd::new(0.1).with_momentum(0.9);
+        let x =
+            Tensor::from_vec(vec![4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]).unwrap();
+        let y = Tensor::from_vec(vec![4, 1], vec![1.0, -1.0, 0.0, 3.0]).unwrap();
+        let loss_fn = MseLoss::new();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..50 {
+            let pred = model.forward(&x, Mode::Train).unwrap();
+            let out = loss_fn.forward(&pred, &y).unwrap();
+            model.backward(&out.grad).unwrap();
+            opt.step(&mut model).unwrap();
+            first.get_or_insert(out.loss);
+            last = out.loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "{last} vs {first:?}");
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales_only_when_needed() {
+        let mut model = toy_model();
+        // Gradient vector (1,1) on weights + (1) on bias → norm sqrt(3).
+        for p in model.params_mut() {
+            p.grad.fill(1.0);
+        }
+        let norm = clip_grad_norm(&mut model, 10.0);
+        assert!((norm - 3.0f32.sqrt()).abs() < 1e-5);
+        // Under the threshold: untouched.
+        assert_eq!(model.params()[0].grad.data()[0], 1.0);
+
+        let norm2 = clip_grad_norm(&mut model, 0.5);
+        assert!((norm2 - 3.0f32.sqrt()).abs() < 1e-5);
+        // Rescaled to exactly max_norm.
+        let total_sq: f32 = model
+            .params()
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
+            .sum();
+        assert!((total_sq.sqrt() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_ignores_frozen_params() {
+        let mut model = toy_model();
+        for p in model.params_mut() {
+            p.grad.fill(10.0);
+        }
+        model.params_mut()[1].trainable = false;
+        clip_grad_norm(&mut model, 1.0);
+        // Frozen bias keeps its raw gradient.
+        assert_eq!(model.params()[1].grad.data()[0], 10.0);
+        assert!(model.params()[0].grad.data()[0] < 10.0);
+    }
+
+    #[test]
+    fn adam_reduces_loss_on_toy_regression() {
+        use crate::loss::MseLoss;
+        use crate::{Layer as _, Mode};
+        let mut model = toy_model();
+        let mut opt = Adam::new(0.05);
+        let x =
+            Tensor::from_vec(vec![4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]).unwrap();
+        let y = Tensor::from_vec(vec![4, 1], vec![1.0, -1.0, 0.0, 3.0]).unwrap();
+        let loss_fn = MseLoss::new();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let pred = model.forward(&x, Mode::Train).unwrap();
+            let out = loss_fn.forward(&pred, &y).unwrap();
+            model.backward(&out.grad).unwrap();
+            opt.step(&mut model).unwrap();
+            first.get_or_insert(out.loss);
+            last = out.loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "{first:?} -> {last}");
+    }
+
+    #[test]
+    fn adam_respects_masks_and_frozen_params() {
+        let mut model = toy_model();
+        let mask = Tensor::from_vec(vec![1, 2], vec![1.0, 0.0]).unwrap();
+        model.params_mut()[0].set_mask(mask).unwrap();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..3 {
+            model.params_mut()[0].grad.fill(2.0);
+            opt.step(&mut model).unwrap();
+            assert_eq!(model.params()[0].data.data()[1], 0.0);
+        }
+        // Freezing stops updates.
+        let w = model.params()[0].data.data()[0];
+        model.params_mut()[0].trainable = false;
+        model.params_mut()[0].grad.fill(2.0);
+        opt.step(&mut model).unwrap();
+        assert_eq!(model.params()[0].data.data()[0], w);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the first Adam step is ≈ lr·sign(grad).
+        let mut model = toy_model();
+        let w0 = model.params()[0].data.data()[0];
+        let mut opt = Adam::new(0.01);
+        model.params_mut()[0].grad.fill(3.0);
+        opt.step(&mut model).unwrap();
+        let w1 = model.params()[0].data.data()[0];
+        assert!(((w0 - w1) - 0.01).abs() < 1e-4, "step {}", w0 - w1);
+    }
+
+    #[test]
+    fn adam_detects_structure_change() {
+        let mut m1 = toy_model();
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut m1).unwrap();
+        let mut rng = rng_from_seed(9);
+        let mut m2 = Sequential::new(vec![Box::new(Linear::new(5, 2, &mut rng).unwrap())]);
+        assert!(opt.step(&mut m2).is_err());
+    }
+
+    #[test]
+    fn set_lr_validates() {
+        let mut opt = Sgd::new(0.1);
+        assert!(opt.set_lr(0.05).is_ok());
+        assert_eq!(opt.lr(), 0.05);
+        assert!(opt.set_lr(0.0).is_err());
+        assert!(opt.set_lr(f32::NAN).is_err());
+    }
+}

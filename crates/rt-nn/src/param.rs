@@ -1,0 +1,223 @@
+use crate::{NnError, Result};
+use rt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Role of a parameter inside its layer. Pruning only ever touches
+/// [`ParamKind::Weight`]; biases and BatchNorm affine parameters are left
+/// dense, matching the paper's protocol (and common practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A prunable weight matrix/kernel.
+    Weight,
+    /// A bias vector.
+    Bias,
+    /// BatchNorm scale (γ).
+    BnScale,
+    /// BatchNorm shift (β).
+    BnShift,
+}
+
+/// A trainable tensor with everything the training loop needs co-located:
+/// value, gradient, SGD momentum buffer, an optional pruning mask, and the
+/// frozen-weights + learnable-scores pair used by LMP.
+///
+/// # Invariants
+///
+/// * `grad`, `velocity`, and (when present) `mask`, `frozen`, `scores` all
+///   share `data`'s shape.
+/// * If `mask` is `Some`, every element of `data` at a zero mask position is
+///   zero after [`Param::apply_mask`]; the optimizer re-establishes this
+///   after each step.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Stable human-readable name (e.g. `"stage1.block0.conv1.weight"`).
+    pub name: String,
+    /// The parameter value.
+    pub data: Tensor,
+    /// Accumulated gradient (same shape as `data`).
+    pub grad: Tensor,
+    /// SGD momentum buffer (same shape as `data`).
+    pub velocity: Tensor,
+    /// Binary pruning mask (`1.0` = keep, `0.0` = pruned). `None` = dense.
+    pub mask: Option<Tensor>,
+    /// Frozen copy of the pretrained weights, used by LMP where the weights
+    /// are never updated but the mask is learned on top of them.
+    pub frozen: Option<Tensor>,
+    /// Learnable mask scores for LMP (updated via straight-through
+    /// estimation); same shape as `data`.
+    pub scores: Option<Tensor>,
+    /// What role this parameter plays (weight/bias/BN affine).
+    pub kind: ParamKind,
+    /// Whether the optimizer updates `data`. LMP freezes weights by setting
+    /// this to `false` while learning `scores`.
+    pub trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter with zeroed gradient and momentum.
+    pub fn new(name: impl Into<String>, data: Tensor, kind: ParamKind) -> Self {
+        let shape = data.shape().to_vec();
+        Param {
+            name: name.into(),
+            grad: Tensor::zeros(&shape),
+            velocity: Tensor::zeros(&shape),
+            data,
+            mask: None,
+            frozen: None,
+            scores: None,
+            kind,
+            trainable: true,
+        }
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Installs a pruning mask and immediately applies it to the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateDictMismatch`] if the mask shape differs from
+    /// the parameter shape.
+    pub fn set_mask(&mut self, mask: Tensor) -> Result<()> {
+        if mask.shape() != self.data.shape() {
+            return Err(NnError::StateDictMismatch {
+                detail: format!(
+                    "mask shape {:?} does not match param `{}` shape {:?}",
+                    mask.shape(),
+                    self.name,
+                    self.data.shape()
+                ),
+            });
+        }
+        self.mask = Some(mask);
+        self.apply_mask();
+        Ok(())
+    }
+
+    /// Removes the mask (the zeroed weights stay zero until trained again).
+    pub fn clear_mask(&mut self) {
+        self.mask = None;
+    }
+
+    /// Multiplies `data` by the mask, forcing pruned weights to exactly zero.
+    /// A no-op for dense parameters.
+    pub fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (d, &m) in self.data.data_mut().iter_mut().zip(mask.data()) {
+                *d *= m;
+            }
+        }
+    }
+
+    /// Multiplies `grad` by the mask so pruned weights receive no update.
+    /// A no-op for dense parameters.
+    pub fn mask_grad(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (g, &m) in self.grad.data_mut().iter_mut().zip(mask.data()) {
+                *g *= m;
+            }
+        }
+    }
+
+    /// Fraction of weights removed by the mask (`0.0` for dense parameters).
+    pub fn sparsity(&self) -> f64 {
+        match &self.mask {
+            None => 0.0,
+            Some(mask) => {
+                if mask.is_empty() {
+                    0.0
+                } else {
+                    mask.count_zeros() as f64 / mask.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Number of weights kept by the mask (all of them for dense params).
+    pub fn active_count(&self) -> usize {
+        match &self.mask {
+            None => self.data.len(),
+            Some(mask) => mask.len() - mask.count_zeros(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param() -> Param {
+        Param::new(
+            "w",
+            Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.0, -4.0]).unwrap(),
+            ParamKind::Weight,
+        )
+    }
+
+    #[test]
+    fn new_param_has_zero_grad_and_velocity() {
+        let p = param();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.velocity.sum(), 0.0);
+        assert_eq!(p.grad.shape(), p.data.shape());
+        assert!(p.trainable);
+        assert_eq!(p.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn mask_application_zeroes_weights() {
+        let mut p = param();
+        let mask = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        p.set_mask(mask).unwrap();
+        assert_eq!(p.data.data(), &[1.0, 0.0, 0.0, -4.0]);
+        assert_eq!(p.sparsity(), 0.5);
+        assert_eq!(p.active_count(), 2);
+    }
+
+    #[test]
+    fn mask_shape_is_validated() {
+        let mut p = param();
+        assert!(p.set_mask(Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn mask_grad_blocks_pruned_updates() {
+        let mut p = param();
+        p.set_mask(Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 1.0, 0.0]).unwrap())
+            .unwrap();
+        p.grad.fill(5.0);
+        p.mask_grad();
+        assert_eq!(p.grad.data(), &[5.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = param();
+        p.grad.fill(2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn clear_mask_restores_dense_accounting() {
+        let mut p = param();
+        p.set_mask(Tensor::zeros(&[2, 2])).unwrap();
+        assert_eq!(p.active_count(), 0);
+        p.clear_mask();
+        assert_eq!(p.active_count(), 4);
+        assert_eq!(p.sparsity(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Learning-rate schedules.
+//!
+//! The paper finetunes for 150 epochs with step decay (×0.1 at epochs 50 and
+//! 100); [`StepDecay::paper_recipe`] scales that protocol to any epoch
+//! budget by placing the milestones at 1/3 and 2/3 of training.
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+pub trait LrSchedule {
+    /// Learning rate to use during `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr {
+    /// The learning rate.
+    pub lr: f32,
+}
+
+impl ConstantLr {
+    /// Creates a constant schedule.
+    pub fn new(lr: f32) -> Self {
+        ConstantLr { lr }
+    }
+}
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.lr
+    }
+}
+
+/// Step decay: multiply the base LR by `gamma` at each milestone epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepDecay {
+    base: f32,
+    gamma: f32,
+    milestones: Vec<usize>,
+}
+
+impl StepDecay {
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `milestones` is not sorted ascending.
+    pub fn new(base: f32, gamma: f32, milestones: Vec<usize>) -> Self {
+        assert!(
+            milestones.windows(2).all(|w| w[0] <= w[1]),
+            "milestones must be sorted"
+        );
+        StepDecay {
+            base,
+            gamma,
+            milestones,
+        }
+    }
+
+    /// The paper's protocol (decay ×0.1 at 1/3 and 2/3 of training) scaled
+    /// to `total_epochs`.
+    pub fn paper_recipe(base: f32, total_epochs: usize) -> Self {
+        StepDecay::new(base, 0.1, vec![total_epochs / 3, 2 * total_epochs / 3])
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let decays = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base * self.gamma.powi(decays as i32)
+    }
+}
+
+/// Cosine annealing from `base` down to `min_lr` over `total` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineLr {
+    base: f32,
+    min_lr: f32,
+    total: usize,
+}
+
+impl CosineLr {
+    /// Creates a cosine schedule over `total` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(base: f32, min_lr: f32, total: usize) -> Self {
+        assert!(total > 0, "cosine schedule needs at least one epoch");
+        CosineLr {
+            base,
+            min_lr,
+            total,
+        }
+    }
+}
+
+impl LrSchedule for CosineLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total) as f32) / self.total as f32;
+        self.min_lr + 0.5 * (self.base - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = ConstantLr::new(0.1);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_applies_at_milestones() {
+        let s = StepDecay::new(1.0, 0.1, vec![5, 10]);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(4), 1.0);
+        assert!((s.lr_at(5) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(9) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(10) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn paper_recipe_milestones() {
+        let s = StepDecay::paper_recipe(0.01, 150);
+        assert_eq!(s.lr_at(49), 0.01);
+        assert!((s.lr_at(50) - 0.001).abs() < 1e-8);
+        assert!((s.lr_at(100) - 0.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_milestones_panic() {
+        let _ = StepDecay::new(1.0, 0.1, vec![10, 5]);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotonicity() {
+        let s = CosineLr::new(1.0, 0.0, 10);
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(10) < 1e-6);
+        for e in 0..10 {
+            assert!(s.lr_at(e) >= s.lr_at(e + 1));
+        }
+        // Clamps past the horizon.
+        assert_eq!(s.lr_at(20), s.lr_at(10));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for layer/loss/optimizer invariants.
+
+use proptest::prelude::*;
+use rt_nn::layers::{BatchNorm2d, Conv2d, Conv2dConfig, Linear, Relu};
+use rt_nn::loss::{CrossEntropyLoss, MseLoss};
+use rt_nn::optim::Sgd;
+use rt_nn::{Layer, Mode};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::{init, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Linear layers are, well, linear: f(ax) - f(0) = a(f(x) - f(0)).
+    #[test]
+    fn linear_layer_is_affine(seed in 0u64..100, a in -3.0f32..3.0) {
+        let mut rng = rng_from_seed(seed);
+        let mut lin = Linear::new(5, 3, &mut rng).unwrap();
+        let x = init::normal(&[2, 5], 0.0, 1.0, &mut rng);
+        let zero = Tensor::zeros(&[2, 5]);
+        let fx = lin.forward(&x, Mode::Eval).unwrap();
+        let f0 = lin.forward(&zero, Mode::Eval).unwrap();
+        let fax = lin.forward(&x.mul_scalar(a), Mode::Eval).unwrap();
+        for i in 0..fx.len() {
+            let lhs = fax.data()[i] - f0.data()[i];
+            let rhs = a * (fx.data()[i] - f0.data()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// Convolution commutes with input scaling (bias-free conv is linear).
+    #[test]
+    fn conv_is_homogeneous(seed in 0u64..100, a in 0.1f32..3.0) {
+        let mut rng = rng_from_seed(seed);
+        let mut conv = Conv2d::new(2, 3, Conv2dConfig::same3x3(), &mut rng).unwrap();
+        let x = init::normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let fx = conv.forward(&x, Mode::Eval).unwrap();
+        let fax = conv.forward(&x.mul_scalar(a), Mode::Eval).unwrap();
+        for (l, r) in fax.data().iter().zip(fx.data()) {
+            prop_assert!((l - a * r).abs() < 1e-3 * (1.0 + (a * r).abs()));
+        }
+    }
+
+    /// ReLU output is non-negative and idempotent.
+    #[test]
+    fn relu_properties(seed in 0u64..100) {
+        let mut relu = Relu::new();
+        let x = init::normal(&[3, 7], 0.0, 2.0, &mut rng_from_seed(seed));
+        let y = relu.forward(&x, Mode::Eval).unwrap();
+        prop_assert!(y.min().unwrap() >= 0.0);
+        let yy = relu.forward(&y, Mode::Eval).unwrap();
+        prop_assert_eq!(yy, y);
+    }
+
+    /// BatchNorm in train mode is invariant to affine rescaling of its
+    /// input: bn(a·x + b) == bn(x) for a > 0 (per-channel statistics absorb
+    /// it).
+    #[test]
+    fn batchnorm_absorbs_input_affine(seed in 0u64..50, a in 0.2f32..4.0, b in -2.0f32..2.0) {
+        let mut bn1 = BatchNorm2d::new(2);
+        let mut bn2 = BatchNorm2d::new(2);
+        let x = init::normal(&[4, 2, 3, 3], 0.0, 1.0, &mut rng_from_seed(seed));
+        let y1 = bn1.forward(&x, Mode::Train).unwrap();
+        let scaled = x.mul_scalar(a).add_scalar(b);
+        let y2 = bn2.forward(&scaled, Mode::Train).unwrap();
+        for (u, v) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((u - v).abs() < 2e-2, "{u} vs {v}");
+        }
+    }
+
+    /// Cross-entropy is minimized by the true label: pushing the correct
+    /// logit up never increases the loss.
+    #[test]
+    fn ce_decreases_with_correct_logit(seed in 0u64..100, boost in 0.1f32..5.0) {
+        let mut rng = rng_from_seed(seed);
+        let logits = init::normal(&[1, 4], 0.0, 1.0, &mut rng);
+        let label = [2usize];
+        let loss = CrossEntropyLoss::new();
+        let base = loss.forward(&logits, &label).unwrap().loss;
+        let mut boosted = logits.clone();
+        boosted.data_mut()[2] += boost;
+        let better = loss.forward(&boosted, &label).unwrap().loss;
+        prop_assert!(better <= base + 1e-6);
+    }
+
+    /// The CE gradient at the true label is negative, and positive
+    /// everywhere else (softmax minus one-hot).
+    #[test]
+    fn ce_gradient_signs(seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let logits = init::normal(&[2, 5], 0.0, 1.5, &mut rng);
+        let labels = [1usize, 4];
+        let out = CrossEntropyLoss::new().forward(&logits, &labels).unwrap();
+        for (i, &label) in labels.iter().enumerate() {
+            for c in 0..5 {
+                let g = out.grad.data()[i * 5 + c];
+                if c == label {
+                    prop_assert!(g < 0.0);
+                } else {
+                    prop_assert!(g > 0.0);
+                }
+            }
+        }
+    }
+
+    /// MSE is zero iff prediction equals target, and symmetric.
+    #[test]
+    fn mse_properties(seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let a = init::normal(&[6], 0.0, 1.0, &mut rng);
+        let b = init::normal(&[6], 0.0, 1.0, &mut rng);
+        let loss = MseLoss::new();
+        prop_assert!(loss.forward(&a, &a).unwrap().loss < 1e-12);
+        let ab = loss.forward(&a, &b).unwrap().loss;
+        let ba = loss.forward(&b, &a).unwrap().loss;
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!(ab >= 0.0);
+    }
+
+    /// One SGD step with learning rate 0+ε moves weights by O(ε): the
+    /// update is proportional to the learning rate.
+    #[test]
+    fn sgd_step_scales_with_lr(seed in 0u64..50, lr in 0.001f32..0.1) {
+        let mut rng = rng_from_seed(seed);
+        let mut m1 = Linear::new(3, 2, &mut rng).unwrap();
+        let mut m2 = Linear::new(3, 2, &mut rng_from_seed(seed)).unwrap();
+        // Same deterministic gradient on both.
+        for m in [&mut m1, &mut m2] {
+            for p in m.params_mut() {
+                p.grad.fill(1.0);
+            }
+        }
+        Sgd::new(lr).step(&mut m1).unwrap();
+        Sgd::new(2.0 * lr).step(&mut m2).unwrap();
+        // m2 moved exactly twice as far (no momentum, no decay).
+        let w0 = Linear::new(3, 2, &mut rng_from_seed(seed)).unwrap();
+        for ((p1, p2), p0) in m1.params().iter().zip(m2.params()).zip(w0.params()) {
+            for ((&a, &b), &o) in p1.data.data().iter().zip(p2.data.data()).zip(p0.data.data()) {
+                let d1 = o - a;
+                let d2 = o - b;
+                prop_assert!((d2 - 2.0 * d1).abs() < 1e-5);
+            }
+        }
+    }
+}

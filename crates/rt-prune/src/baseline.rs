@@ -1,0 +1,214 @@
+//! Control baselines for ticket experiments: random tickets and
+//! saliency-scored (SNIP-style) one-shot pruning.
+//!
+//! The paper's thesis is that *which* prior selects the subnetwork matters;
+//! these baselines let downstream experiments verify that (a) magnitude
+//! beats chance (random tickets) and (b) how a first-order saliency prior
+//! compares to pure magnitude.
+
+use crate::granularity::Granularity;
+use crate::mask::{PruneScope, TicketMask};
+use crate::Result;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rt_nn::{Layer, NnError};
+use rt_tensor::Tensor;
+
+/// Draws a *random* ticket at the given sparsity: every prunable weight is
+/// kept or pruned by a fair shuffle, ignoring magnitudes entirely. The
+/// classic lottery-ticket control.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if `sparsity` is outside `[0, 1)`.
+pub fn random_ticket<R: Rng>(
+    model: &dyn Layer,
+    sparsity: f64,
+    scope: &PruneScope,
+    rng: &mut R,
+) -> Result<TicketMask> {
+    if !(0.0..1.0).contains(&sparsity) {
+        return Err(NnError::InvalidConfig {
+            detail: format!("sparsity must be in [0, 1), got {sparsity}"),
+        });
+    }
+    let params = model.params();
+    let mut masks: Vec<Option<Tensor>> = vec![None; params.len()];
+    for (i, p) in params.iter().enumerate() {
+        if !scope.is_prunable(p) {
+            continue;
+        }
+        let n = p.data.len();
+        let prune = ((n as f64) * sparsity).round() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut mask = Tensor::ones(p.data.shape());
+        for &idx in order.iter().take(prune) {
+            mask.data_mut()[idx] = 0.0;
+        }
+        masks[i] = Some(mask);
+    }
+    Ok(TicketMask::from_masks(masks))
+}
+
+/// Draws a saliency-scored one-shot ticket: weights are ranked by the
+/// SNIP-style first-order saliency `|w · ∂L/∂w|` instead of `|w|`. The
+/// caller must have run at least one backward pass so every prunable
+/// parameter's `grad` holds the loss gradient (do **not** zero the grads
+/// first).
+///
+/// Ranking is global across layers, matching the paper's OMP protocol.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if `sparsity` is outside `[0, 1)` or
+/// if every gradient is exactly zero (no backward pass ran).
+pub fn saliency_ticket(model: &dyn Layer, sparsity: f64, scope: &PruneScope) -> Result<TicketMask> {
+    if !(0.0..1.0).contains(&sparsity) {
+        return Err(NnError::InvalidConfig {
+            detail: format!("sparsity must be in [0, 1), got {sparsity}"),
+        });
+    }
+    let params = model.params();
+    let mut total_grad = 0.0f32;
+    struct ScoredWeight {
+        param: usize,
+        index: usize,
+        score: f32,
+    }
+    let mut weights: Vec<ScoredWeight> = Vec::new();
+    let mut total = 0usize;
+    for (i, p) in params.iter().enumerate() {
+        if !scope.is_prunable(p) {
+            continue;
+        }
+        total += p.data.len();
+        total_grad += p.grad.l1_norm();
+        weights.extend(
+            p.data
+                .data()
+                .iter()
+                .zip(p.grad.data())
+                .enumerate()
+                .map(|(j, (&w, &g))| ScoredWeight {
+                    param: i,
+                    index: j,
+                    score: (w * g).abs(),
+                }),
+        );
+    }
+    if total_grad == 0.0 {
+        return Err(NnError::InvalidConfig {
+            detail: "saliency ticket needs accumulated gradients (run backward first)".to_string(),
+        });
+    }
+    weights.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    let target = (total as f64 * sparsity).round() as usize;
+
+    let mut masks: Vec<Option<Tensor>> = vec![None; params.len()];
+    for (i, p) in params.iter().enumerate() {
+        if scope.is_prunable(p) {
+            masks[i] = Some(Tensor::ones(p.data.shape()));
+        }
+    }
+    for sw in weights.iter().take(target) {
+        masks[sw.param]
+            .as_mut()
+            .expect("initialized above")
+            .data_mut()[sw.index] = 0.0;
+    }
+    Ok(TicketMask::from_masks(masks))
+}
+
+/// Convenience: the granularity a baseline ticket uses (always
+/// unstructured — structured baselines are not part of the protocol).
+pub fn baseline_granularity() -> Granularity {
+    Granularity::Element
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_models::{MicroResNet, ResNetConfig};
+    use rt_nn::loss::CrossEntropyLoss;
+    use rt_nn::Mode;
+    use rt_tensor::init;
+    use rt_tensor::rng::rng_from_seed;
+
+    fn model() -> MicroResNet {
+        MicroResNet::new(&ResNetConfig::smoke(3), &mut rng_from_seed(0)).unwrap()
+    }
+
+    #[test]
+    fn random_ticket_hits_sparsity_and_varies_with_seed() {
+        let m = model();
+        let scope = PruneScope::backbone();
+        let a = random_ticket(&m, 0.7, &scope, &mut rng_from_seed(1)).unwrap();
+        let b = random_ticket(&m, 0.7, &scope, &mut rng_from_seed(2)).unwrap();
+        assert!((a.sparsity() - 0.7).abs() < 0.02);
+        assert!((b.sparsity() - 0.7).abs() < 0.02);
+        assert_ne!(a, b, "different seeds must draw different tickets");
+        // Same seed reproduces.
+        let a2 = random_ticket(&m, 0.7, &scope, &mut rng_from_seed(1)).unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn random_ticket_validates_sparsity() {
+        let m = model();
+        let scope = PruneScope::backbone();
+        assert!(random_ticket(&m, 1.0, &scope, &mut rng_from_seed(0)).is_err());
+    }
+
+    #[test]
+    fn saliency_requires_gradients() {
+        let m = model();
+        let err = saliency_ticket(&m, 0.5, &PruneScope::backbone()).unwrap_err();
+        assert!(matches!(err, NnError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn saliency_ticket_prunes_low_saliency_weights() {
+        let mut m = model();
+        // One backward pass to populate gradients.
+        let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(3));
+        let logits = m.forward(&x, Mode::Train).unwrap();
+        let out = CrossEntropyLoss::new()
+            .forward(&logits, &[0, 1, 2, 0])
+            .unwrap();
+        m.backward(&out.grad).unwrap();
+
+        let ticket = saliency_ticket(&m, 0.6, &PruneScope::backbone()).unwrap();
+        assert!((ticket.sparsity() - 0.6).abs() < 0.02);
+        // Kept weights have saliency >= pruned weights, per global ranking.
+        let mut kept_min = f32::MAX;
+        let mut pruned_max: f32 = 0.0;
+        for (mask, p) in ticket.masks().iter().zip(m.params()) {
+            let Some(mask) = mask else { continue };
+            for ((&w, &g), &keep) in p.data.data().iter().zip(p.grad.data()).zip(mask.data()) {
+                let s = (w * g).abs();
+                if keep > 0.0 {
+                    kept_min = kept_min.min(s);
+                } else {
+                    pruned_max = pruned_max.max(s);
+                }
+            }
+        }
+        assert!(kept_min >= pruned_max, "{kept_min} < {pruned_max}");
+    }
+
+    #[test]
+    fn saliency_differs_from_magnitude() {
+        use crate::omp::{omp, OmpConfig};
+        let mut m = model();
+        let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(4));
+        let logits = m.forward(&x, Mode::Train).unwrap();
+        let out = CrossEntropyLoss::new()
+            .forward(&logits, &[0, 1, 2, 0])
+            .unwrap();
+        m.backward(&out.grad).unwrap();
+        let saliency = saliency_ticket(&m, 0.5, &PruneScope::backbone()).unwrap();
+        let magnitude = omp(&m, &OmpConfig::unstructured(0.5)).unwrap();
+        assert_ne!(saliency, magnitude, "criteria should disagree somewhere");
+    }
+}

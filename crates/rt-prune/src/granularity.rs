@@ -1,0 +1,129 @@
+//! Structured sparsity granularities (Fig. 3 of the paper).
+//!
+//! A granularity partitions a weight tensor into *groups* that are kept or
+//! pruned atomically. Coarser groups map better to real hardware but, as
+//! the paper shows, inherit less of the robustness prior.
+
+use serde::{Deserialize, Serialize};
+
+/// How weights are grouped for pruning, from finest to coarsest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Granularity {
+    /// Unstructured: every scalar is its own group.
+    #[default]
+    Element,
+    /// One row of a kernel (length-`k` contiguous run): for a conv weight
+    /// `[O, C, k, k]` each `(o, c, ky)` row; for a linear weight `[O, I]`
+    /// each output row.
+    Row,
+    /// One whole `k×k` kernel per `(o, c)` pair (linear: output row).
+    Kernel,
+    /// One whole output filter `[C, k, k]` per output channel `o`
+    /// (linear: output row).
+    Channel,
+}
+
+impl Granularity {
+    /// The three structured granularities benchmarked in Fig. 3.
+    pub fn structured() -> [Granularity; 3] {
+        [Granularity::Row, Granularity::Kernel, Granularity::Channel]
+    }
+
+    /// Group size (in scalars) for a weight tensor of the given shape.
+    /// Rank-2 weights (linear layers) degenerate to per-output-row groups
+    /// for every structured granularity.
+    pub fn group_len(&self, shape: &[usize]) -> usize {
+        match (self, shape.len()) {
+            (Granularity::Element, _) => 1,
+            // Linear [O, I]: all structured granularities are per-row.
+            (_, 2) => shape[1],
+            (Granularity::Row, 4) => shape[3],
+            (Granularity::Kernel, 4) => shape[2] * shape[3],
+            (Granularity::Channel, 4) => shape[1] * shape[2] * shape[3],
+            // Other ranks (e.g. rank-1): treat as unstructured.
+            _ => 1,
+        }
+    }
+
+    /// Number of groups for a weight tensor of the given shape.
+    pub fn group_count(&self, shape: &[usize]) -> usize {
+        let total: usize = shape.iter().product();
+        total.checked_div(self.group_len(shape)).unwrap_or(0)
+    }
+}
+
+/// Scores every group of `weight_data` (flat, row-major for `shape`) by its
+/// mean absolute magnitude. Returns one score per group, in group order
+/// (group `g` covers flat range `[g·len, (g+1)·len)`).
+///
+/// Mean (not sum) magnitude makes scores comparable across granularities
+/// and layer shapes, which the global OMP ranking relies on.
+pub fn group_scores(weight_data: &[f32], shape: &[usize], granularity: Granularity) -> Vec<f32> {
+    let len = granularity.group_len(shape);
+    debug_assert!(len > 0 && weight_data.len().is_multiple_of(len));
+    weight_data
+        .chunks(len)
+        .map(|g| g.iter().map(|w| w.abs()).sum::<f32>() / len as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_geometry_conv() {
+        let shape = [4usize, 3, 5, 5]; // O C k k
+        assert_eq!(Granularity::Element.group_len(&shape), 1);
+        assert_eq!(Granularity::Row.group_len(&shape), 5);
+        assert_eq!(Granularity::Kernel.group_len(&shape), 25);
+        assert_eq!(Granularity::Channel.group_len(&shape), 75);
+        assert_eq!(Granularity::Element.group_count(&shape), 300);
+        assert_eq!(Granularity::Row.group_count(&shape), 60);
+        assert_eq!(Granularity::Kernel.group_count(&shape), 12);
+        assert_eq!(Granularity::Channel.group_count(&shape), 4);
+    }
+
+    #[test]
+    fn group_geometry_linear_degenerates_to_rows() {
+        let shape = [6usize, 10];
+        for g in Granularity::structured() {
+            assert_eq!(g.group_len(&shape), 10);
+            assert_eq!(g.group_count(&shape), 6);
+        }
+        assert_eq!(Granularity::Element.group_count(&shape), 60);
+    }
+
+    #[test]
+    fn scores_are_mean_abs() {
+        let data = [1.0f32, -3.0, 0.0, 2.0];
+        let shape = [2usize, 2];
+        let elem = group_scores(&data, &shape, Granularity::Element);
+        assert_eq!(elem, vec![1.0, 3.0, 0.0, 2.0]);
+        let rows = group_scores(&data, &shape, Granularity::Row);
+        assert_eq!(rows, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_channel_scores() {
+        // [2, 1, 2, 2]: filter 0 all ones, filter 1 all ±3.
+        let data = [1.0f32, 1.0, 1.0, 1.0, 3.0, -3.0, 3.0, -3.0];
+        let shape = [2usize, 1, 2, 2];
+        let ch = group_scores(&data, &shape, Granularity::Channel);
+        assert_eq!(ch, vec![1.0, 3.0]);
+        let kr = group_scores(&data, &shape, Granularity::Kernel);
+        assert_eq!(kr, vec![1.0, 3.0]); // C=1 so kernel == channel here
+        let rows = group_scores(&data, &shape, Granularity::Row);
+        assert_eq!(rows, vec![1.0, 1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn structured_order_is_fine_to_coarse() {
+        let shape = [8usize, 4, 3, 3];
+        let sizes: Vec<usize> = Granularity::structured()
+            .iter()
+            .map(|g| g.group_len(&shape))
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

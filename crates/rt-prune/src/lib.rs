@@ -1,0 +1,44 @@
+//! Ticket-drawing schemes from *"Robust Tickets Can Transfer Better"*.
+//!
+//! A *ticket* is a binary mask `m` over a pretrained model's weights; the
+//! subnetwork is `f(·; m ⊙ θ_pre)`. This crate implements the paper's three
+//! schemes for deriving `m`:
+//!
+//! * [`omp()`] — **One-shot magnitude pruning**: rank weights (or structured
+//!   weight groups) by magnitude and zero the smallest, globally or per
+//!   layer. Robust vs. natural tickets differ only in the pretrained
+//!   weights the ranking reads (Sec. II-B ①).
+//! * [`imp()`] — **Iterative magnitude pruning**: alternate train → prune →
+//!   rewind-to-pretrained rounds until the target sparsity (Sec. II-B ②).
+//!   The training objective is a *callback*, so vanilla IMP and the paper's
+//!   adversarial A-IMP (Eq. 1) are the same driver with different closures
+//!   — `rt-transfer` supplies both.
+//! * [`lmp`] — **Learnable mask pruning**: freeze the pretrained weights,
+//!   learn per-weight scores, binarize the top-k per layer in the forward
+//!   pass, and update scores with straight-through estimation (Sec. II-B ③,
+//!   Eq. 2).
+//!
+//! Structured sparsity patterns (row / kernel / channel, Fig. 3) are
+//! expressed through [`Granularity`] and compose with OMP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod granularity;
+pub mod imp;
+pub mod lmp;
+pub mod mask;
+pub mod omp;
+pub mod stats;
+
+pub use baseline::{random_ticket, saliency_ticket};
+pub use granularity::Granularity;
+pub use imp::{imp, imp_with_observer, ImpConfig};
+pub use lmp::{finalize_lmp, init_lmp, lmp_apply_masks, lmp_update_scores, ScoreInit};
+pub use mask::{PruneScope, TicketMask};
+pub use omp::{omp, OmpConfig};
+pub use stats::{layer_sparsity_report, model_sparsity, LayerSparsity};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, rt_nn::NnError>;

@@ -1,0 +1,309 @@
+//! Learnable mask pruning (LMP) — scheme ③ of the paper (Eq. 2).
+//!
+//! LMP learns a *task-specific* mask on top of frozen pretrained weights:
+//! in the forward pass the effective weight is `m̂ ⊙ θ_pre` where `m̂`
+//! binarizes the top-k scores per layer; in the backward pass the scores
+//! receive straight-through gradients `∂L/∂m̂ ≈ ∂L/∂W_eff ⊙ θ_pre`
+//! (following Ramanujan et al., "What's hidden in a randomly weighted
+//! network?").
+//!
+//! The protocol per optimization step is:
+//!
+//! 1. [`lmp_apply_masks`] — rebuild `W_eff` from the current scores,
+//! 2. forward + backward (normal `rt-nn` calls),
+//! 3. [`lmp_update_scores`] — SGD on the scores via the STE gradient,
+//! 4. let the regular optimizer update whatever is still `trainable`
+//!    (classifier head, BatchNorm affines).
+
+use crate::mask::{PruneScope, TicketMask};
+use crate::Result;
+use rand::Rng;
+use rt_nn::{Layer, NnError};
+use rt_tensor::{init, Tensor};
+
+/// How LMP scores are initialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreInit {
+    /// Scores start at `|θ_pre|`, so the initial mask coincides with
+    /// layer-wise OMP (the paper's natural starting point).
+    Magnitude,
+    /// Scores start from small random values (the `--score-init` ablation).
+    Random,
+}
+
+/// Puts `model` into LMP mode: every prunable weight gets a frozen copy of
+/// its current (pretrained) value and a learnable score tensor, and is
+/// marked non-trainable so the regular optimizer leaves it alone.
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for interface stability.
+pub fn init_lmp<R: Rng>(
+    model: &mut dyn Layer,
+    scope: &PruneScope,
+    score_init: ScoreInit,
+    rng: &mut R,
+) -> Result<()> {
+    for p in model.params_mut() {
+        if !scope.is_prunable(p) {
+            continue;
+        }
+        p.frozen = Some(p.data.clone());
+        p.scores = Some(match score_init {
+            ScoreInit::Magnitude => p.data.abs(),
+            ScoreInit::Random => init::uniform(p.data.shape(), 0.0, 1.0, rng),
+        });
+        p.trainable = false;
+    }
+    Ok(())
+}
+
+/// Rebuilds every LMP parameter's effective weight from its scores:
+/// `W_eff = binarize_topk(scores) ⊙ θ_pre`, keeping the top
+/// `(1 − sparsity)` fraction of scores *per layer*.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if `sparsity` is outside `[0, 1)`.
+pub fn lmp_apply_masks(model: &mut dyn Layer, sparsity: f64) -> Result<()> {
+    if !(0.0..1.0).contains(&sparsity) {
+        return Err(NnError::InvalidConfig {
+            detail: format!("sparsity must be in [0, 1), got {sparsity}"),
+        });
+    }
+    for p in model.params_mut() {
+        let (Some(frozen), Some(scores)) = (&p.frozen, &p.scores) else {
+            continue;
+        };
+        let keep = ((1.0 - sparsity) * scores.len() as f64).round() as usize;
+        let mask = topk_mask(scores, keep);
+        let mut eff = frozen.clone();
+        eff.mul_assign(&mask)?;
+        p.data = eff;
+        p.mask = Some(mask);
+    }
+    Ok(())
+}
+
+/// Applies one straight-through SGD step to every LMP score tensor:
+/// `scores -= lr · (∂L/∂W_eff ⊙ θ_pre)`, then clears the weight gradients.
+///
+/// # Errors
+///
+/// Propagates shape errors (internal inconsistency only).
+pub fn lmp_update_scores(model: &mut dyn Layer, lr: f32) -> Result<()> {
+    for p in model.params_mut() {
+        let (Some(frozen), Some(scores)) = (&p.frozen, &mut p.scores) else {
+            continue;
+        };
+        for ((s, &g), &w) in scores
+            .data_mut()
+            .iter_mut()
+            .zip(p.grad.data())
+            .zip(frozen.data())
+        {
+            *s -= lr * g * w;
+        }
+        p.zero_grad();
+    }
+    Ok(())
+}
+
+/// Leaves LMP mode: fixes the final binary mask, restores
+/// `W = θ_pre ⊙ mask`, clears the score/frozen machinery, re-marks the
+/// weights trainable, and returns the learned ticket.
+///
+/// # Errors
+///
+/// Propagates shape errors (internal inconsistency only).
+pub fn finalize_lmp(model: &mut dyn Layer, sparsity: f64) -> Result<TicketMask> {
+    lmp_apply_masks(model, sparsity)?;
+    for p in model.params_mut() {
+        if p.frozen.is_none() {
+            continue;
+        }
+        p.frozen = None;
+        p.scores = None;
+        p.trainable = true;
+    }
+    Ok(TicketMask::capture(model))
+}
+
+/// Binary mask keeping the `keep` highest-valued entries of `scores`
+/// (ties broken by index order).
+fn topk_mask(scores: &Tensor, keep: usize) -> Tensor {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores.data()[b]
+            .partial_cmp(&scores.data()[a])
+            .expect("finite scores")
+    });
+    let mut mask = Tensor::zeros(scores.shape());
+    for &i in order.iter().take(keep) {
+        mask.data_mut()[i] = 1.0;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_models::{MicroResNet, ResNetConfig};
+    use rt_nn::loss::CrossEntropyLoss;
+    use rt_nn::optim::Sgd;
+    use rt_nn::Mode;
+    use rt_tensor::rng::rng_from_seed;
+
+    fn model() -> MicroResNet {
+        MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(0)).unwrap()
+    }
+
+    #[test]
+    fn topk_mask_selects_highest() {
+        let scores = Tensor::from_vec(vec![5], vec![0.1, 0.9, 0.5, 0.3, 0.7]).unwrap();
+        let mask = topk_mask(&scores, 2);
+        assert_eq!(mask.data(), &[0.0, 1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(topk_mask(&scores, 0).sum(), 0.0);
+        assert_eq!(topk_mask(&scores, 5).sum(), 5.0);
+    }
+
+    #[test]
+    fn init_freezes_prunable_weights() {
+        let mut m = model();
+        let scope = PruneScope::backbone();
+        init_lmp(&mut m, &scope, ScoreInit::Magnitude, &mut rng_from_seed(1)).unwrap();
+        for p in m.params() {
+            if scope.is_prunable(p) {
+                assert!(!p.trainable);
+                assert!(p.frozen.is_some());
+                assert!(p.scores.is_some());
+                // Magnitude init: scores equal |w|.
+                let s = p.scores.as_ref().unwrap();
+                for (&sv, &wv) in s.data().iter().zip(p.data.data()) {
+                    assert_eq!(sv, wv.abs());
+                }
+            } else {
+                assert!(p.trainable);
+                assert!(p.frozen.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_masks_hits_per_layer_sparsity() {
+        let mut m = model();
+        init_lmp(
+            &mut m,
+            &PruneScope::backbone(),
+            ScoreInit::Random,
+            &mut rng_from_seed(2),
+        )
+        .unwrap();
+        lmp_apply_masks(&mut m, 0.6).unwrap();
+        for p in m.params() {
+            if let Some(frozen) = &p.frozen {
+                let s = p.sparsity();
+                assert!((s - 0.6).abs() < 0.05, "{}: {s}", p.name);
+                // Effective weights are frozen ⊙ mask.
+                let mask = p.mask.as_ref().unwrap();
+                for ((&w, &f), &k) in p.data.data().iter().zip(frozen.data()).zip(mask.data()) {
+                    assert_eq!(w, f * k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ste_moves_scores_against_gradient() {
+        let mut m = model();
+        init_lmp(
+            &mut m,
+            &PruneScope::backbone(),
+            ScoreInit::Magnitude,
+            &mut rng_from_seed(3),
+        )
+        .unwrap();
+        lmp_apply_masks(&mut m, 0.3).unwrap();
+        let before: Vec<Tensor> = m.params().iter().filter_map(|p| p.scores.clone()).collect();
+        // One training step.
+        let x = Tensor::from_fn(&[4, 3, 8, 8], |i| ((i % 5) as f32 - 2.0) * 0.3);
+        let labels = [0usize, 1, 0, 1];
+        let logits = m.forward(&x, Mode::Train).unwrap();
+        let out = CrossEntropyLoss::new().forward(&logits, &labels).unwrap();
+        m.backward(&out.grad).unwrap();
+        lmp_update_scores(&mut m, 0.5).unwrap();
+        let after: Vec<Tensor> = m.params().iter().filter_map(|p| p.scores.clone()).collect();
+        let moved = before
+            .iter()
+            .zip(&after)
+            .any(|(b, a)| b.sub(a).unwrap().l1_norm() > 0.0);
+        assert!(moved, "scores must change under STE updates");
+        // Gradients were cleared for LMP params.
+        for p in m.params() {
+            if p.scores.is_some() {
+                assert_eq!(p.grad.l1_norm(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn finalize_returns_ticket_and_restores_trainability() {
+        let mut m = model();
+        init_lmp(
+            &mut m,
+            &PruneScope::backbone(),
+            ScoreInit::Magnitude,
+            &mut rng_from_seed(4),
+        )
+        .unwrap();
+        lmp_apply_masks(&mut m, 0.5).unwrap();
+        let ticket = finalize_lmp(&mut m, 0.5).unwrap();
+        assert!((ticket.sparsity() - 0.5).abs() < 0.05);
+        for p in m.params() {
+            assert!(p.trainable);
+            assert!(p.frozen.is_none());
+            assert!(p.scores.is_none());
+        }
+    }
+
+    #[test]
+    fn lmp_training_loop_improves_loss_without_touching_frozen_weights() {
+        let mut m = model();
+        let scope = PruneScope::backbone();
+        init_lmp(&mut m, &scope, ScoreInit::Magnitude, &mut rng_from_seed(5)).unwrap();
+        let frozen_before: Vec<Tensor> =
+            m.params().iter().filter_map(|p| p.frozen.clone()).collect();
+
+        let x = Tensor::from_fn(
+            &[8, 3, 8, 8],
+            |i| if (i / 64) % 2 == 0 { 0.8 } else { -0.8 },
+        );
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let loss_fn = CrossEntropyLoss::new();
+        let head_opt = Sgd::new(0.05).with_momentum(0.9);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..15 {
+            lmp_apply_masks(&mut m, 0.4).unwrap();
+            let logits = m.forward(&x, Mode::Train).unwrap();
+            let out = loss_fn.forward(&logits, &labels).unwrap();
+            m.backward(&out.grad).unwrap();
+            lmp_update_scores(&mut m, 0.1).unwrap();
+            head_opt.step(&mut m).unwrap();
+            first.get_or_insert(out.loss);
+            last = out.loss;
+        }
+        assert!(last < first.unwrap(), "{first:?} -> {last}");
+        // Frozen copies never change.
+        let frozen_after: Vec<Tensor> =
+            m.params().iter().filter_map(|p| p.frozen.clone()).collect();
+        assert_eq!(frozen_before, frozen_after);
+    }
+
+    #[test]
+    fn invalid_sparsity_rejected() {
+        let mut m = model();
+        assert!(lmp_apply_masks(&mut m, 1.0).is_err());
+        assert!(lmp_apply_masks(&mut m, -0.2).is_err());
+    }
+}

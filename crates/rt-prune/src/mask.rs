@@ -1,0 +1,237 @@
+//! Ticket masks and pruning scope.
+
+use crate::Result;
+use rt_nn::{Layer, NnError, Param, ParamKind};
+use rt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which parameters a pruning pass may touch.
+///
+/// The default scope prunes weight matrices/kernels of the feature
+/// extractor only: biases and BatchNorm affines stay dense (standard
+/// practice), and the classifier head is excluded because transfer learning
+/// replaces it per downstream task anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PruneScope {
+    /// Whether the classifier head's weights may be pruned.
+    pub include_head: bool,
+}
+
+impl PruneScope {
+    /// The paper's scope: backbone weights only.
+    pub fn backbone() -> Self {
+        PruneScope {
+            include_head: false,
+        }
+    }
+
+    /// Prune every weight parameter, including the head.
+    pub fn all_weights() -> Self {
+        PruneScope { include_head: true }
+    }
+
+    /// Whether `param` is prunable under this scope.
+    pub fn is_prunable(&self, param: &Param) -> bool {
+        param.kind == ParamKind::Weight && (self.include_head || !param.name.starts_with("head."))
+    }
+}
+
+impl Default for PruneScope {
+    fn default() -> Self {
+        PruneScope::backbone()
+    }
+}
+
+/// A ticket: one optional binary mask per model parameter, aligned with the
+/// model's stable [`Layer::params`] order. `None` entries are dense.
+///
+/// Masks serialize to JSON, so tickets can be stored and re-applied to a
+/// freshly restored pretrained model — the paper's pipeline of drawing a
+/// ticket once and transferring it to many downstream tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TicketMask {
+    masks: Vec<Option<Tensor>>,
+}
+
+impl TicketMask {
+    /// A fully dense ticket for `model` (no pruning anywhere).
+    pub fn dense(model: &dyn Layer) -> Self {
+        TicketMask {
+            masks: vec![None; model.params().len()],
+        }
+    }
+
+    /// Builds a ticket from explicit per-parameter masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a provided mask's shape disagrees with any later
+    /// application target — shape checking happens in [`TicketMask::apply`].
+    pub fn from_masks(masks: Vec<Option<Tensor>>) -> Self {
+        TicketMask { masks }
+    }
+
+    /// Captures the masks currently installed on `model`.
+    pub fn capture(model: &dyn Layer) -> Self {
+        TicketMask {
+            masks: model.params().iter().map(|p| p.mask.clone()).collect(),
+        }
+    }
+
+    /// Number of mask slots (= model parameter count).
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the ticket has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Immutable access to the per-parameter masks.
+    pub fn masks(&self) -> &[Option<Tensor>] {
+        &self.masks
+    }
+
+    /// Mutable access to the per-parameter masks.
+    pub fn masks_mut(&mut self) -> &mut [Option<Tensor>] {
+        &mut self.masks
+    }
+
+    /// Installs the ticket on `model`: every `Some` mask is applied (zeroing
+    /// the pruned weights), every `None` slot has its mask cleared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateDictMismatch`] if slot count or any mask
+    /// shape disagrees with the model.
+    pub fn apply(&self, model: &mut dyn Layer) -> Result<()> {
+        let params = model.params_mut();
+        if params.len() != self.masks.len() {
+            return Err(NnError::StateDictMismatch {
+                detail: format!(
+                    "ticket has {} slots, model has {} params",
+                    self.masks.len(),
+                    params.len()
+                ),
+            });
+        }
+        for (p, m) in params.into_iter().zip(&self.masks) {
+            match m {
+                Some(mask) => p.set_mask(mask.clone())?,
+                None => p.clear_mask(),
+            }
+        }
+        Ok(())
+    }
+
+    /// Overall sparsity across masked slots: pruned / total elements of
+    /// parameters that have a mask. `0.0` for a dense ticket.
+    pub fn sparsity(&self) -> f64 {
+        let (mut zeros, mut total) = (0usize, 0usize);
+        for m in self.masks.iter().flatten() {
+            zeros += m.count_zeros();
+            total += m.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
+
+    /// Total number of weights governed by masks.
+    pub fn masked_weight_count(&self) -> usize {
+        self.masks.iter().flatten().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_models::{MicroResNet, ResNetConfig};
+    use rt_tensor::rng::rng_from_seed;
+
+    fn model() -> MicroResNet {
+        MicroResNet::new(&ResNetConfig::smoke(3), &mut rng_from_seed(0)).unwrap()
+    }
+
+    #[test]
+    fn scope_excludes_head_and_non_weights() {
+        let m = model();
+        let scope = PruneScope::backbone();
+        for p in m.params() {
+            let prunable = scope.is_prunable(p);
+            if p.name.starts_with("head.") {
+                assert!(!prunable, "{}", p.name);
+            }
+            if p.kind != rt_nn::ParamKind::Weight {
+                assert!(!prunable, "{}", p.name);
+            }
+        }
+        let all = PruneScope::all_weights();
+        let head_weight = m
+            .params()
+            .into_iter()
+            .find(|p| p.name == "head.linear.weight")
+            .unwrap();
+        assert!(all.is_prunable(head_weight));
+    }
+
+    #[test]
+    fn dense_ticket_round_trip() {
+        let mut m = model();
+        let ticket = TicketMask::dense(&m);
+        assert_eq!(ticket.len(), m.params().len());
+        assert_eq!(ticket.sparsity(), 0.0);
+        ticket.apply(&mut m).unwrap();
+        assert!(m.params().iter().all(|p| p.mask.is_none()));
+    }
+
+    #[test]
+    fn apply_and_capture_round_trip() {
+        let mut m = model();
+        let mut ticket = TicketMask::dense(&m);
+        // Mask the first weight param halfway.
+        let shape = m.params()[0].data.shape().to_vec();
+        let mask = Tensor::from_fn(&shape, |i| (i % 2) as f32);
+        ticket.masks_mut()[0] = Some(mask);
+        ticket.apply(&mut m).unwrap();
+        let captured = TicketMask::capture(&m);
+        assert_eq!(captured, ticket);
+        assert!(captured.sparsity() > 0.0);
+    }
+
+    #[test]
+    fn apply_rejects_mismatched_ticket() {
+        let mut m = model();
+        let bad = TicketMask::from_masks(vec![None; 3]);
+        assert!(matches!(
+            bad.apply(&mut m),
+            Err(NnError::StateDictMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sparsity_accounting() {
+        let masks = vec![
+            Some(Tensor::from_vec(vec![4], vec![1.0, 0.0, 0.0, 0.0]).unwrap()),
+            None,
+            Some(Tensor::ones(&[4])),
+        ];
+        let t = TicketMask::from_masks(masks);
+        assert_eq!(t.masked_weight_count(), 8);
+        assert!((t.sparsity() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = model();
+        let mut ticket = TicketMask::dense(&m);
+        let shape = m.params()[0].data.shape().to_vec();
+        ticket.masks_mut()[0] = Some(Tensor::zeros(&shape));
+        let json = serde_json::to_string(&ticket).unwrap();
+        let back: TicketMask = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ticket);
+    }
+}

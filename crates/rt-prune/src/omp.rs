@@ -1,0 +1,310 @@
+//! One-shot magnitude pruning (OMP) — scheme ① of the paper.
+
+use crate::granularity::{group_scores, Granularity};
+use crate::mask::{PruneScope, TicketMask};
+use crate::Result;
+use rt_nn::{Layer, NnError};
+use rt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an OMP pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OmpConfig {
+    /// Target fraction of prunable weights to remove, in `[0, 1)`.
+    pub sparsity: f64,
+    /// Pruning granularity (Fig. 3's row/kernel/channel patterns).
+    pub granularity: Granularity,
+    /// Which parameters may be pruned.
+    pub scope: PruneScope,
+    /// `false` (default, the paper's setting): rank all groups globally
+    /// across layers. `true`: prune each layer to the target sparsity
+    /// independently (the `omp_scope` ablation).
+    pub layerwise: bool,
+}
+
+impl OmpConfig {
+    /// Unstructured global OMP at the given sparsity.
+    pub fn unstructured(sparsity: f64) -> Self {
+        OmpConfig {
+            sparsity,
+            granularity: Granularity::Element,
+            scope: PruneScope::backbone(),
+            layerwise: false,
+        }
+    }
+
+    /// Structured OMP at the given sparsity and granularity.
+    pub fn structured(sparsity: f64, granularity: Granularity) -> Self {
+        OmpConfig {
+            sparsity,
+            granularity,
+            scope: PruneScope::backbone(),
+            layerwise: false,
+        }
+    }
+
+    /// Returns a copy with layer-wise (per-layer) thresholds.
+    pub fn with_layerwise(mut self, layerwise: bool) -> Self {
+        self.layerwise = layerwise;
+        self
+    }
+}
+
+/// Draws a ticket from `model`'s current weights by magnitude pruning.
+///
+/// The model itself is *not* modified — apply the returned
+/// [`TicketMask`] explicitly. Whether the result is a *robust* or a
+/// *natural* ticket depends solely on whether `model` holds adversarially
+/// or naturally pretrained weights (Sec. II-B of the paper).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if `sparsity` is outside `[0, 1)`.
+pub fn omp(model: &dyn Layer, config: &OmpConfig) -> Result<TicketMask> {
+    if !(0.0..1.0).contains(&config.sparsity) {
+        return Err(NnError::InvalidConfig {
+            detail: format!("sparsity must be in [0, 1), got {}", config.sparsity),
+        });
+    }
+    let params = model.params();
+    let mut masks: Vec<Option<Tensor>> = vec![None; params.len()];
+    if config.sparsity == 0.0 {
+        // Dense masks on prunable params so sparsity accounting is uniform.
+        for (i, p) in params.iter().enumerate() {
+            if config.scope.is_prunable(p) {
+                masks[i] = Some(Tensor::ones(p.data.shape()));
+            }
+        }
+        return Ok(TicketMask::from_masks(masks));
+    }
+
+    if config.layerwise {
+        for (i, p) in params.iter().enumerate() {
+            if !config.scope.is_prunable(p) {
+                continue;
+            }
+            let scores = group_scores(p.data.data(), p.data.shape(), config.granularity);
+            let glen = config.granularity.group_len(p.data.shape());
+            let prune_groups = ((scores.len() as f64) * config.sparsity).round() as usize;
+            masks[i] = Some(mask_from_pruned_groups(
+                p.data.shape(),
+                &scores,
+                glen,
+                &lowest_k_groups(&scores, prune_groups),
+            ));
+        }
+    } else {
+        // Global ranking: gather every group of every prunable param.
+        struct GroupRef {
+            param: usize,
+            group: usize,
+            len: usize,
+            score: f32,
+        }
+        let mut groups: Vec<GroupRef> = Vec::new();
+        let mut total_weights = 0usize;
+        for (i, p) in params.iter().enumerate() {
+            if !config.scope.is_prunable(p) {
+                continue;
+            }
+            let scores = group_scores(p.data.data(), p.data.shape(), config.granularity);
+            let glen = config.granularity.group_len(p.data.shape());
+            total_weights += p.data.len();
+            groups.extend(scores.iter().enumerate().map(|(g, &score)| GroupRef {
+                param: i,
+                group: g,
+                len: glen,
+                score,
+            }));
+        }
+        groups.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+        let target = (total_weights as f64 * config.sparsity).round() as usize;
+        // Initialize prunable masks to ones, then zero the lowest groups
+        // until the weight budget is met.
+        for (i, p) in params.iter().enumerate() {
+            if config.scope.is_prunable(p) {
+                masks[i] = Some(Tensor::ones(p.data.shape()));
+            }
+        }
+        let mut pruned = 0usize;
+        for g in &groups {
+            if pruned >= target {
+                break;
+            }
+            let mask = masks[g.param].as_mut().expect("initialized above");
+            let start = g.group * g.len;
+            for v in &mut mask.data_mut()[start..start + g.len] {
+                *v = 0.0;
+            }
+            pruned += g.len;
+        }
+    }
+    Ok(TicketMask::from_masks(masks))
+}
+
+/// Indices of the `k` lowest-scoring groups.
+fn lowest_k_groups(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    order.truncate(k);
+    order
+}
+
+fn mask_from_pruned_groups(
+    shape: &[usize],
+    scores: &[f32],
+    group_len: usize,
+    pruned: &[usize],
+) -> Tensor {
+    let _ = scores;
+    let mut mask = Tensor::ones(shape);
+    for &g in pruned {
+        let start = g * group_len;
+        for v in &mut mask.data_mut()[start..start + group_len] {
+            *v = 0.0;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_models::{MicroResNet, ResNetConfig};
+    use rt_nn::{Mode, Param};
+    use rt_tensor::rng::rng_from_seed;
+    use rt_tensor::Tensor;
+
+    fn model() -> MicroResNet {
+        MicroResNet::new(&ResNetConfig::smoke(3), &mut rng_from_seed(0)).unwrap()
+    }
+
+    #[test]
+    fn global_omp_hits_target_sparsity() {
+        let m = model();
+        for target in [0.3f64, 0.7, 0.95] {
+            let ticket = omp(&m, &OmpConfig::unstructured(target)).unwrap();
+            let got = ticket.sparsity();
+            assert!((got - target).abs() < 0.02, "target {target} got {got}");
+        }
+    }
+
+    #[test]
+    fn omp_prunes_smallest_magnitudes() {
+        // Hand-built parameter: magnitudes 1..=8; pruning 50% must zero 1-4.
+        let mut m = model();
+        {
+            let mut params = m.params_mut();
+            let p: &mut Param = params[0];
+            let n = p.data.len();
+            p.data = Tensor::from_fn(p.data.shape(), |i| ((i % n) + 1) as f32 * 0.001);
+        }
+        let ticket = omp(&m, &OmpConfig::unstructured(0.5)).unwrap();
+        let mask0 = ticket.masks()[0].as_ref().unwrap();
+        let w0 = &m.params()[0].data;
+        // All kept weights in param 0 must have magnitude >= all pruned ones.
+        let mut kept_min = f32::MAX;
+        let mut pruned_max: f32 = 0.0;
+        for (&w, &keep) in w0.data().iter().zip(mask0.data()) {
+            if keep > 0.0 {
+                kept_min = kept_min.min(w.abs());
+            } else {
+                pruned_max = pruned_max.max(w.abs());
+            }
+        }
+        assert!(kept_min >= pruned_max, "{kept_min} < {pruned_max}");
+    }
+
+    #[test]
+    fn zero_sparsity_is_dense() {
+        let m = model();
+        let ticket = omp(&m, &OmpConfig::unstructured(0.0)).unwrap();
+        assert_eq!(ticket.sparsity(), 0.0);
+        assert!(ticket.masked_weight_count() > 0);
+    }
+
+    #[test]
+    fn invalid_sparsity_rejected() {
+        let m = model();
+        assert!(omp(&m, &OmpConfig::unstructured(1.0)).is_err());
+        assert!(omp(&m, &OmpConfig::unstructured(-0.1)).is_err());
+    }
+
+    #[test]
+    fn structured_masks_zero_whole_groups() {
+        let m = model();
+        for gran in Granularity::structured() {
+            let ticket = omp(&m, &OmpConfig::structured(0.5, gran)).unwrap();
+            for (mask, p) in ticket.masks().iter().zip(m.params()) {
+                let Some(mask) = mask else { continue };
+                let glen = gran.group_len(p.data.shape());
+                for group in mask.data().chunks(glen) {
+                    let sum: f32 = group.iter().sum();
+                    assert!(
+                        sum == 0.0 || sum == glen as f32,
+                        "partial group under {gran:?}"
+                    );
+                }
+            }
+            assert!((ticket.sparsity() - 0.5).abs() < 0.06, "{gran:?}");
+        }
+    }
+
+    #[test]
+    fn layerwise_prunes_every_layer_equally() {
+        let m = model();
+        let ticket = omp(&m, &OmpConfig::unstructured(0.6).with_layerwise(true)).unwrap();
+        for (mask, p) in ticket.masks().iter().zip(m.params()) {
+            let Some(mask) = mask else { continue };
+            let s = mask.count_zeros() as f64 / mask.len() as f64;
+            assert!(
+                (s - 0.6).abs() < 0.05,
+                "layer {} sparsity {s} far from 0.6",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn global_omp_can_prune_layers_unevenly() {
+        // Make one layer's weights tiny: global OMP should prune it harder
+        // than the others.
+        let mut m = model();
+        m.params_mut()[0].data.scale(1e-4);
+        let ticket = omp(&m, &OmpConfig::unstructured(0.5)).unwrap();
+        let first = ticket.masks()[0].as_ref().unwrap();
+        let s0 = first.count_zeros() as f64 / first.len() as f64;
+        assert!(
+            s0 > 0.95,
+            "tiny layer should be pruned almost fully, got {s0}"
+        );
+    }
+
+    #[test]
+    fn head_is_excluded_by_default() {
+        let m = model();
+        let ticket = omp(&m, &OmpConfig::unstructured(0.9)).unwrap();
+        for (mask, p) in ticket.masks().iter().zip(m.params()) {
+            if p.name.starts_with("head.") {
+                assert!(mask.is_none(), "head must stay dense");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_model_still_runs() {
+        let mut m = model();
+        let ticket = omp(&m, &OmpConfig::unstructured(0.8)).unwrap();
+        ticket.apply(&mut m).unwrap();
+        let y = m.forward(&Tensor::ones(&[1, 3, 8, 8]), Mode::Eval).unwrap();
+        assert!(y.all_finite());
+        // Weights at pruned positions are exactly zero.
+        let p0 = &m.params()[0];
+        let mask0 = p0.mask.as_ref().unwrap();
+        for (&w, &k) in p0.data.data().iter().zip(mask0.data()) {
+            if k == 0.0 {
+                assert_eq!(w, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Sparsity accounting and reporting.
+
+use crate::mask::PruneScope;
+use rt_nn::Layer;
+use serde::{Deserialize, Serialize};
+
+/// Per-parameter sparsity record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSparsity {
+    /// Parameter name.
+    pub name: String,
+    /// Fraction of weights pruned.
+    pub sparsity: f64,
+    /// Weights kept.
+    pub active: usize,
+    /// Total weights.
+    pub total: usize,
+}
+
+/// Overall sparsity of the prunable weights of `model` (masked zeros over
+/// total prunable weights). Dense parameters count as fully active.
+pub fn model_sparsity(model: &dyn Layer, scope: &PruneScope) -> f64 {
+    let (mut active, mut total) = (0usize, 0usize);
+    for p in model.params() {
+        if !scope.is_prunable(p) {
+            continue;
+        }
+        active += p.active_count();
+        total += p.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        1.0 - active as f64 / total as f64
+    }
+}
+
+/// Detailed per-parameter sparsity breakdown of the prunable weights.
+pub fn layer_sparsity_report(model: &dyn Layer, scope: &PruneScope) -> Vec<LayerSparsity> {
+    model
+        .params()
+        .iter()
+        .filter(|p| scope.is_prunable(p))
+        .map(|p| LayerSparsity {
+            name: p.name.clone(),
+            sparsity: p.sparsity(),
+            active: p.active_count(),
+            total: p.len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omp::{omp, OmpConfig};
+    use rt_models::{MicroResNet, ResNetConfig};
+    use rt_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn dense_model_has_zero_sparsity() {
+        let m = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(0)).unwrap();
+        assert_eq!(model_sparsity(&m, &PruneScope::backbone()), 0.0);
+        let report = layer_sparsity_report(&m, &PruneScope::backbone());
+        assert!(!report.is_empty());
+        assert!(report
+            .iter()
+            .all(|l| l.sparsity == 0.0 && l.active == l.total));
+    }
+
+    #[test]
+    fn sparsity_tracks_applied_ticket() {
+        let mut m = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(1)).unwrap();
+        let ticket = omp(&m, &OmpConfig::unstructured(0.6)).unwrap();
+        ticket.apply(&mut m).unwrap();
+        let s = model_sparsity(&m, &PruneScope::backbone());
+        assert!((s - 0.6).abs() < 0.02, "{s}");
+        let report = layer_sparsity_report(&m, &PruneScope::backbone());
+        let total: usize = report.iter().map(|l| l.total).sum();
+        let active: usize = report.iter().map(|l| l.active).sum();
+        assert!(((1.0 - active as f64 / total as f64) - s).abs() < 1e-12);
+    }
+}

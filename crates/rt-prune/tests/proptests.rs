@@ -1,0 +1,106 @@
+//! Property-based tests for the pruning invariants the paper's pipelines
+//! depend on.
+
+use proptest::prelude::*;
+use rt_models::{MicroResNet, ResNetConfig};
+use rt_nn::Layer;
+use rt_prune::{omp, Granularity, OmpConfig, PruneScope, TicketMask};
+use rt_tensor::rng::rng_from_seed;
+
+fn model(seed: u64) -> MicroResNet {
+    MicroResNet::new(&ResNetConfig::smoke(3), &mut rng_from_seed(seed)).expect("model")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// OMP hits any requested sparsity within one group of tolerance.
+    #[test]
+    fn omp_sparsity_is_accurate(sparsity in 0.05f64..0.97, seed in 0u64..50) {
+        let m = model(seed);
+        let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
+        prop_assert!((ticket.sparsity() - sparsity).abs() < 0.03,
+            "target {} got {}", sparsity, ticket.sparsity());
+    }
+
+    /// Higher sparsity targets produce masks that are subsets: every weight
+    /// pruned at s1 is also pruned at s2 >= s1 (magnitude ranking is a
+    /// total order, so thresholds nest).
+    #[test]
+    fn omp_masks_nest_with_sparsity(lo in 0.1f64..0.5, extra in 0.05f64..0.45, seed in 0u64..20) {
+        let hi = (lo + extra).min(0.98);
+        let m = model(seed);
+        let t_lo = omp(&m, &OmpConfig::unstructured(lo)).expect("omp");
+        let t_hi = omp(&m, &OmpConfig::unstructured(hi)).expect("omp");
+        for (a, b) in t_lo.masks().iter().zip(t_hi.masks()) {
+            if let (Some(ma), Some(mb)) = (a, b) {
+                for (&keep_lo, &keep_hi) in ma.data().iter().zip(mb.data()) {
+                    prop_assert!(!(keep_lo == 0.0 && keep_hi == 1.0),
+                        "weight pruned at {} resurrected at {}", lo, hi);
+                }
+            }
+        }
+    }
+
+    /// Structured masks never split a group, at any granularity/sparsity.
+    #[test]
+    fn structured_groups_are_atomic(
+        sparsity in 0.1f64..0.9,
+        gran_idx in 0usize..3,
+        seed in 0u64..20,
+    ) {
+        let gran = Granularity::structured()[gran_idx];
+        let m = model(seed);
+        let ticket = omp(&m, &OmpConfig::structured(sparsity, gran)).expect("omp");
+        for (mask, p) in ticket.masks().iter().zip(m.params()) {
+            let Some(mask) = mask else { continue };
+            let glen = gran.group_len(p.data.shape());
+            for group in mask.data().chunks(glen) {
+                let sum: f32 = group.iter().sum();
+                prop_assert!(sum == 0.0 || sum == glen as f32);
+            }
+        }
+    }
+
+    /// Applying then capturing a ticket is the identity.
+    #[test]
+    fn apply_capture_round_trip(sparsity in 0.1f64..0.9, seed in 0u64..20) {
+        let mut m = model(seed);
+        let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
+        ticket.apply(&mut m).expect("apply");
+        let captured = TicketMask::capture(&m);
+        prop_assert_eq!(captured, ticket);
+    }
+
+    /// Layer-wise OMP leaves every prunable layer within tolerance of the
+    /// target.
+    #[test]
+    fn layerwise_omp_is_uniform(sparsity in 0.2f64..0.9, seed in 0u64..20) {
+        let m = model(seed);
+        let ticket = omp(
+            &m,
+            &OmpConfig::unstructured(sparsity).with_layerwise(true),
+        ).expect("omp");
+        let scope = PruneScope::backbone();
+        for (mask, p) in ticket.masks().iter().zip(m.params()) {
+            if !scope.is_prunable(p) { continue; }
+            let Some(mask) = mask else { continue };
+            let s = mask.count_zeros() as f64 / mask.len() as f64;
+            // Tolerance: one group quantization step per layer.
+            prop_assert!((s - sparsity).abs() < 0.6 / (mask.len() as f64).sqrt() + 0.02,
+                "{}: {} vs {}", p.name, s, sparsity);
+        }
+    }
+
+    /// The pruned model's forward pass stays finite at any sparsity.
+    #[test]
+    fn pruned_forward_is_finite(sparsity in 0.0f64..0.99, seed in 0u64..10) {
+        use rt_nn::Mode;
+        use rt_tensor::Tensor;
+        let mut m = model(seed);
+        let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
+        ticket.apply(&mut m).expect("apply");
+        let y = m.forward(&Tensor::ones(&[2, 3, 8, 8]), Mode::Eval).expect("forward");
+        prop_assert!(y.all_finite());
+    }
+}

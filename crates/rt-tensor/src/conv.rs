@@ -1,0 +1,491 @@
+//! Convolution lowering (`im2col`/`col2im`) and pooling kernels for NCHW
+//! activations.
+//!
+//! Convolution is computed per-sample: lowering one sample's `[C, H, W]`
+//! activation to a `[C·k·k, H_out·W_out]` patch matrix lets the convolution
+//! forward pass become a single [`crate::linalg::matmul`] with the `[O, C·k·k]`
+//! weight matrix, whose output is already in `[O, H_out, W_out]` layout.
+//! The backward pass reuses the same lowering: `col2im` scatters patch-space
+//! gradients back into image space.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied to each border.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry descriptor.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvGeometry {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial extent for an input extent of `size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel (after padding)
+    /// does not fit in the input or the stride is zero.
+    pub fn out_dim(&self, size: usize) -> Result<usize> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry {
+                detail: "stride must be non-zero".to_string(),
+            });
+        }
+        let padded = size + 2 * self.padding;
+        if self.kernel == 0 || self.kernel > padded {
+            return Err(TensorError::InvalidGeometry {
+                detail: format!(
+                    "kernel {} does not fit input {} with padding {}",
+                    self.kernel, size, self.padding
+                ),
+            });
+        }
+        Ok((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+fn check_nchw(t: &Tensor, op: &'static str) -> Result<[usize; 4]> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    let s = t.shape();
+    Ok([s[0], s[1], s[2], s[3]])
+}
+
+/// Lowers one `[C, H, W]` sample (given as a flat slice) into a patch matrix
+/// of shape `[C·k·k, H_out·W_out]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] if the window does not fit.
+pub fn im2col_single(
+    sample: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+) -> Result<Tensor> {
+    let h_out = geo.out_dim(height)?;
+    let w_out = geo.out_dim(width)?;
+    let k = geo.kernel;
+    let rows = channels * k * k;
+    let cols = h_out * w_out;
+    let mut out = vec![0.0f32; rows * cols];
+    for c in 0..channels {
+        let plane = &sample[c * height * width..(c + 1) * height * width];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..h_out {
+                    // Input y for this output row; may fall in the padding.
+                    let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * width..(iy as usize + 1) * width];
+                    for ox in 0..w_out {
+                        let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                        if ix < 0 || ix >= width as isize {
+                            continue;
+                        }
+                        out_row[oy * w_out + ox] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![rows, cols], out)
+}
+
+/// Inverse of [`im2col_single`]: accumulates a `[C·k·k, H_out·W_out]` patch
+/// matrix back into a flat `[C, H, W]` image buffer (`+=` semantics, so
+/// overlapping windows sum — exactly what the convolution backward needs).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] / [`TensorError::ShapeMismatch`]
+/// if the geometry or the patch matrix shape is inconsistent.
+pub fn col2im_single(
+    cols_mat: &Tensor,
+    channels: usize,
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    image: &mut [f32],
+) -> Result<()> {
+    let h_out = geo.out_dim(height)?;
+    let w_out = geo.out_dim(width)?;
+    let k = geo.kernel;
+    let rows = channels * k * k;
+    let cols = h_out * w_out;
+    if cols_mat.shape() != [rows, cols] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols_mat.shape().to_vec(),
+            rhs: vec![rows, cols],
+            op: "col2im_single",
+        });
+    }
+    if image.len() != channels * height * width {
+        return Err(TensorError::LengthMismatch {
+            shape: vec![channels, height, width],
+            expected: channels * height * width,
+            actual: image.len(),
+        });
+    }
+    let data = cols_mat.data();
+    for c in 0..channels {
+        let plane = &mut image[c * height * width..(c + 1) * height * width];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let src_row = &data[row * cols..(row + 1) * cols];
+                for oy in 0..h_out {
+                    let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    for ox in 0..w_out {
+                        let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                        if ix < 0 || ix >= width as isize {
+                            continue;
+                        }
+                        plane[iy as usize * width + ix as usize] += src_row[oy * w_out + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Output of [`max_pool2d`]: the pooled tensor plus the flat argmax index of
+/// every pooled element (relative to its input plane), needed by
+/// [`max_pool2d_backward`].
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled activations, shape `[N, C, H_out, W_out]`.
+    pub output: Tensor,
+    /// For each pooled element, the flat `(y * W + x)` index of the input
+    /// element that won the max, per `(n, c)` plane.
+    pub argmax: Vec<u32>,
+}
+
+/// 2-D max pooling over an NCHW tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-NCHW input and
+/// [`TensorError::InvalidGeometry`] if the window does not fit.
+pub fn max_pool2d(input: &Tensor, geo: ConvGeometry) -> Result<MaxPoolOutput> {
+    let [n, c, h, w] = check_nchw(input, "max_pool2d")?;
+    let h_out = geo.out_dim(h)?;
+    let w_out = geo.out_dim(w)?;
+    let mut out = vec![f32::NEG_INFINITY; n * c * h_out * w_out];
+    let mut argmax = vec![0u32; n * c * h_out * w_out];
+    let data = input.data();
+    for plane_idx in 0..n * c {
+        let plane = &data[plane_idx * h * w..(plane_idx + 1) * h * w];
+        let out_plane = &mut out[plane_idx * h_out * w_out..(plane_idx + 1) * h_out * w_out];
+        let arg_plane = &mut argmax[plane_idx * h_out * w_out..(plane_idx + 1) * h_out * w_out];
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0u32;
+                for ky in 0..geo.kernel {
+                    let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..geo.kernel {
+                        let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let idx = iy as usize * w + ix as usize;
+                        let v = plane[idx];
+                        if v > best {
+                            best = v;
+                            best_idx = idx as u32;
+                        }
+                    }
+                }
+                out_plane[oy * w_out + ox] = best;
+                arg_plane[oy * w_out + ox] = best_idx;
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(vec![n, c, h_out, w_out], out)?,
+        argmax,
+    })
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// element that won the max.
+///
+/// # Errors
+///
+/// Returns a shape error if `grad_output` disagrees with the recorded argmax
+/// bookkeeping.
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    argmax: &[u32],
+    input_shape: &[usize],
+) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(&Tensor::zeros(input_shape), "max_pool2d_backward")?;
+    if grad_output.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch {
+            shape: grad_output.shape().to_vec(),
+            expected: argmax.len(),
+            actual: grad_output.len(),
+        });
+    }
+    let planes = n * c;
+    let out_plane_len = grad_output.len() / planes;
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gi = grad_in.data_mut();
+    let go = grad_output.data();
+    for plane_idx in 0..planes {
+        let in_plane = &mut gi[plane_idx * h * w..(plane_idx + 1) * h * w];
+        let go_plane = &go[plane_idx * out_plane_len..(plane_idx + 1) * out_plane_len];
+        let arg_plane = &argmax[plane_idx * out_plane_len..(plane_idx + 1) * out_plane_len];
+        for (g, &idx) in go_plane.iter().zip(arg_plane) {
+            in_plane[idx as usize] += *g;
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-NCHW input and
+/// [`TensorError::EmptyTensor`] if the spatial extent is zero.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(input, "global_avg_pool")?;
+    if h * w == 0 {
+        return Err(TensorError::EmptyTensor {
+            op: "global_avg_pool",
+        });
+    }
+    let inv = 1.0 / (h * w) as f32;
+    let data = input.data();
+    let mut out = vec![0.0f32; n * c];
+    for (plane_idx, o) in out.iter_mut().enumerate() {
+        let plane = &data[plane_idx * h * w..(plane_idx + 1) * h * w];
+        *o = plane.iter().sum::<f32>() * inv;
+    }
+    Tensor::from_vec(vec![n, c], out)
+}
+
+/// Backward pass of [`global_avg_pool`]: broadcasts each `[N, C]` gradient
+/// uniformly over its `H×W` plane.
+///
+/// # Errors
+///
+/// Returns a shape error if `grad_output` is not `[N, C]` for the given
+/// input shape.
+pub fn global_avg_pool_backward(grad_output: &Tensor, input_shape: &[usize]) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(&Tensor::zeros(input_shape), "global_avg_pool_backward")?;
+    if grad_output.shape() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.shape().to_vec(),
+            rhs: vec![n, c],
+            op: "global_avg_pool_backward",
+        });
+    }
+    let inv = 1.0 / (h * w) as f32;
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gi = grad_in.data_mut();
+    for (plane_idx, &g) in grad_output.data().iter().enumerate() {
+        let plane = &mut gi[plane_idx * h * w..(plane_idx + 1) * h * w];
+        let v = g * inv;
+        plane.iter_mut().for_each(|x| *x = v);
+    }
+    Ok(grad_in)
+}
+
+/// Nearest-neighbour 2× upsampling for NCHW tensors (used by the FCN
+/// segmentation head).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-NCHW input.
+pub fn upsample2x(input: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(input, "upsample2x")?;
+    let mut out = Tensor::zeros(&[n, c, h * 2, w * 2]);
+    let src = input.data();
+    let dst = out.data_mut();
+    for plane_idx in 0..n * c {
+        let sp = &src[plane_idx * h * w..(plane_idx + 1) * h * w];
+        let dp = &mut dst[plane_idx * 4 * h * w..(plane_idx + 1) * 4 * h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let v = sp[y * w + x];
+                let base = (2 * y) * (2 * w) + 2 * x;
+                dp[base] = v;
+                dp[base + 1] = v;
+                dp[base + 2 * w] = v;
+                dp[base + 2 * w + 1] = v;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`upsample2x`]: sums each 2×2 output block into its
+/// source input element.
+///
+/// # Errors
+///
+/// Returns a shape error if `grad_output` is not exactly twice the spatial
+/// extent of `input_shape`.
+pub fn upsample2x_backward(grad_output: &Tensor, input_shape: &[usize]) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(&Tensor::zeros(input_shape), "upsample2x_backward")?;
+    if grad_output.shape() != [n, c, 2 * h, 2 * w] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.shape().to_vec(),
+            rhs: vec![n, c, 2 * h, 2 * w],
+            op: "upsample2x_backward",
+        });
+    }
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gi = grad_in.data_mut();
+    let go = grad_output.data();
+    for plane_idx in 0..n * c {
+        let ip = &mut gi[plane_idx * h * w..(plane_idx + 1) * h * w];
+        let op = &go[plane_idx * 4 * h * w..(plane_idx + 1) * 4 * h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let base = (2 * y) * (2 * w) + 2 * x;
+                ip[y * w + x] = op[base] + op[base + 1] + op[base + 2 * w] + op[base + 2 * w + 1];
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        let geo = ConvGeometry::new(3, 1, 1);
+        assert_eq!(geo.out_dim(8).unwrap(), 8); // "same" convolution
+        let geo2 = ConvGeometry::new(2, 2, 0);
+        assert_eq!(geo2.out_dim(8).unwrap(), 4);
+        assert!(ConvGeometry::new(5, 1, 0).out_dim(3).is_err());
+        assert!(ConvGeometry::new(3, 0, 0).out_dim(8).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is the identity layout.
+        let sample: Vec<f32> = (0..2 * 3 * 3).map(|i| i as f32).collect();
+        let cols = im2col_single(&sample, 2, 3, 3, ConvGeometry::new(1, 1, 0)).unwrap();
+        assert_eq!(cols.shape(), &[2, 9]);
+        assert_eq!(cols.data(), sample.as_slice());
+    }
+
+    #[test]
+    fn im2col_with_padding_zero_fills() {
+        let sample = vec![1.0, 2.0, 3.0, 4.0]; // 1 channel, 2x2
+        let cols = im2col_single(&sample, 1, 2, 2, ConvGeometry::new(3, 1, 1)).unwrap();
+        assert_eq!(cols.shape(), &[9, 4]);
+        // Center tap (ky=1, kx=1) reproduces the image.
+        let center_row = &cols.data()[4 * 4..5 * 4];
+        assert_eq!(center_row, &[1.0, 2.0, 3.0, 4.0]);
+        // Top-left tap sees padding everywhere except bottom-right output.
+        let tl_row = &cols.data()[0..4];
+        assert_eq!(tl_row, &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_inverts_im2col_for_disjoint_windows() {
+        // With stride == kernel the windows are disjoint so col2im(im2col(x))
+        // equals x exactly.
+        let sample: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let geo = ConvGeometry::new(2, 2, 0);
+        let cols = im2col_single(&sample, 1, 4, 4, geo).unwrap();
+        let mut back = vec![0.0f32; 16];
+        col2im_single(&cols, 1, 4, 4, geo, &mut back).unwrap();
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn col2im_counts_overlaps() {
+        // A 3x3 stride-1 padded lowering of an all-ones 3x3 image: col2im of
+        // im2col gives, per pixel, the number of windows covering it.
+        let sample = vec![1.0f32; 9];
+        let geo = ConvGeometry::new(3, 1, 1);
+        let cols = im2col_single(&sample, 1, 3, 3, geo).unwrap();
+        let mut back = vec![0.0f32; 9];
+        col2im_single(&cols, 1, 3, 3, geo, &mut back).unwrap();
+        assert_eq!(back, vec![4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            vec![1, 1, 2, 4],
+            vec![1.0, 3.0, 2.0, 4.0, 5.0, 6.0, 8.0, 7.0],
+        )
+        .unwrap();
+        let geo = ConvGeometry::new(2, 2, 0);
+        let pooled = max_pool2d(&input, geo).unwrap();
+        assert_eq!(pooled.output.shape(), &[1, 1, 1, 2]);
+        assert_eq!(pooled.output.data(), &[6.0, 8.0]);
+
+        let grad_out = Tensor::from_vec(vec![1, 1, 1, 2], vec![10.0, 20.0]).unwrap();
+        let grad_in = max_pool2d_backward(&grad_out, &pooled.argmax, &[1, 1, 2, 4]).unwrap();
+        assert_eq!(grad_in.data(), &[0.0, 0.0, 0.0, 0.0, 0.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_round_trip() {
+        let input = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let pooled = global_avg_pool(&input).unwrap();
+        assert_eq!(pooled.shape(), &[2, 3]);
+        assert_eq!(pooled.at(&[0, 0]).unwrap(), 1.5); // mean of 0..4
+
+        let grad = Tensor::ones(&[2, 3]);
+        let back = global_avg_pool_backward(&grad, &[2, 3, 2, 2]).unwrap();
+        assert!(back.data().iter().all(|&g| (g - 0.25).abs() < 1e-7));
+    }
+
+    #[test]
+    fn upsample_forward_and_backward_are_adjoint() {
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32 + 1.0);
+        let up = upsample2x(&x).unwrap();
+        assert_eq!(up.shape(), &[1, 2, 4, 4]);
+        assert_eq!(up.at(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(up.at(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(up.at(&[0, 0, 2, 3]).unwrap(), 4.0);
+
+        // <up(x), y> == <x, up_backward(y)> (adjointness of linear maps).
+        let y = Tensor::from_fn(&[1, 2, 4, 4], |i| (i % 5) as f32 - 2.0);
+        let lhs: f32 = up.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let yt = upsample2x_backward(&y, &[1, 2, 2, 2]).unwrap();
+        let rhs: f32 = x.data().iter().zip(yt.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,135 @@
+use std::fmt;
+
+/// Error type for every fallible tensor operation in this crate.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger: the offending shapes or sizes are embedded in the variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two operands were required to have identical shapes but did not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A buffer's length did not match the element count implied by a shape.
+    LengthMismatch {
+        /// The requested shape.
+        shape: Vec<usize>,
+        /// Number of elements implied by `shape`.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// The operation requires a tensor of a particular rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank of the argument.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Inner dimensions of a matrix product did not agree.
+    MatmulDim {
+        /// `[m, k]` of the left operand.
+        lhs: [usize; 2],
+        /// `[k2, n]` of the right operand.
+        rhs: [usize; 2],
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending multi-index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A shape with zero total elements (or a zero axis where it is invalid)
+    /// was passed to an operation that requires a non-empty tensor.
+    EmptyTensor {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A convolution/pooling geometry was inconsistent (e.g. kernel larger
+    /// than the padded input).
+    InvalidGeometry {
+        /// Human-readable description of the geometry violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::LengthMismatch {
+                shape,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "buffer length {actual} does not match shape {shape:?} (expected {expected})"
+            ),
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "`{op}` requires rank {expected}, got rank {actual}"),
+            TensorError::MatmulDim { lhs, rhs } => write!(
+                f,
+                "matmul inner dimensions disagree: [{}, {}] x [{}, {}]",
+                lhs[0], lhs[1], rhs[0], rhs[1]
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::EmptyTensor { op } => {
+                write!(f, "`{op}` requires a non-empty tensor")
+            }
+            TensorError::InvalidGeometry { detail } => {
+                write!(f, "invalid geometry: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+            op: "add",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn matmul_dim_display() {
+        let err = TensorError::MatmulDim {
+            lhs: [2, 3],
+            rhs: [4, 5],
+        };
+        assert!(err.to_string().contains("[2, 3] x [4, 5]"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Weight initializers.
+//!
+//! Normal deviates are produced with an internal Box–Muller transform rather
+//! than `rand_distr`, keeping the dependency set to the workspace-approved
+//! crates.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Draws one standard-normal deviate via Box–Muller.
+fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Tensor of i.i.d. normal deviates with the given mean and standard
+/// deviation.
+pub fn normal<R: Rng>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    Tensor::from_fn(shape, |_| mean + std * standard_normal(rng))
+}
+
+/// Tensor of i.i.d. uniform deviates in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    assert!(lo <= hi, "uniform: lo must not exceed hi");
+    Tensor::from_fn(shape, |_| lo + (hi - lo) * rng.gen::<f32>())
+}
+
+/// Kaiming (He) normal initialization for ReLU networks:
+/// `std = sqrt(2 / fan_in)`.
+///
+/// `fan_in` for a conv weight `[O, C, k, k]` is `C·k·k`; for a linear weight
+/// `[O, I]` it is `I`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_normal<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "kaiming_normal: fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// Kaiming uniform initialization: `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "kaiming_uniform: fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`. Used for the final classifier.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    assert!(
+        fan_in + fan_out > 0,
+        "xavier_uniform: fans must be positive"
+    );
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = rng_from_seed(11);
+        let t = normal(&[10_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rng_from_seed(3);
+        let t = uniform(&[1000], -0.25, 0.75, &mut rng);
+        assert!(t.min().unwrap() >= -0.25);
+        assert!(t.max().unwrap() < 0.75);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = rng_from_seed(5);
+        let narrow = kaiming_normal(&[5000], 8, &mut rng);
+        let wide = kaiming_normal(&[5000], 512, &mut rng);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            t.map(|x| (x - m) * (x - m)).mean().sqrt()
+        };
+        let expected_narrow = (2.0f32 / 8.0).sqrt();
+        let expected_wide = (2.0f32 / 512.0).sqrt();
+        assert!((std(&narrow) - expected_narrow).abs() / expected_narrow < 0.1);
+        assert!((std(&wide) - expected_wide).abs() / expected_wide < 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kaiming_uniform(&[16], 4, &mut rng_from_seed(77));
+        let b = kaiming_uniform(&[16], 4, &mut rng_from_seed(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = rng_from_seed(9);
+        let t = xavier_uniform(&[2000], 10, 14, &mut rng);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(t.max().unwrap() < bound);
+        assert!(t.min().unwrap() >= -bound);
+    }
+
+    #[test]
+    fn all_finite_outputs() {
+        let mut rng = rng_from_seed(1);
+        assert!(normal(&[4096], 0.0, 1.0, &mut rng).all_finite());
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense `f32` tensor kernels for the `robust-tickets` workspace.
+//!
+//! This crate is the numerical substrate of the reproduction of
+//! *"Robust Tickets Can Transfer Better"* (DAC 2023). It provides exactly the
+//! operations the rest of the workspace needs — no more, no less:
+//!
+//! * [`Tensor`]: a contiguous, row-major, owned `f32` tensor with shape
+//!   metadata, elementwise arithmetic, broadcasting against scalars and rows,
+//!   and in-place variants of the hot-path operations.
+//! * [`linalg`]: matrix multiplication (`sgemm`-style with accumulate) and
+//!   2-D transposes, used by the linear layers and by im2col convolution.
+//! * [`conv`]: `im2col`/`col2im` lowering plus max/average pooling forward
+//!   and backward kernels for NCHW activations.
+//! * [`reduce`]: full and row-wise reductions (sum/mean/max/argmax).
+//! * [`special`]: numerically stable `softmax`/`log_softmax`/`logsumexp`.
+//! * [`init`]: Kaiming/Xavier/uniform weight initializers.
+//! * [`rng`]: a [`SeedStream`](rng::SeedStream) splittable seed derivation
+//!   utility so every experiment stage gets an independent, reproducible RNG.
+//!
+//! # Example
+//!
+//! ```rust
+//! use rt_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), rt_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+//! let b = Tensor::full(&[2, 2], 0.5);
+//! let c = a.mul(&b)?;
+//! assert_eq!(c.data(), &[0.5, 1.0, 1.5, 2.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod linalg;
+pub mod reduce;
+pub mod rng;
+pub mod special;
+
+pub use error::TensorError;
+pub use tensor::Tensor;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

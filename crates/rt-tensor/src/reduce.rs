@@ -1,0 +1,240 @@
+//! Reductions over rows, columns, and NCHW channels.
+
+use crate::{Result, Tensor, TensorError};
+
+fn as_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// Sums each row of a `[N, F]` tensor, producing `[N]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 input.
+pub fn row_sums(t: &Tensor) -> Result<Tensor> {
+    let (n, f) = as_matrix(t, "row_sums")?;
+    let data = t.data();
+    let out: Vec<f32> = (0..n)
+        .map(|i| data[i * f..(i + 1) * f].iter().sum())
+        .collect();
+    Tensor::from_vec(vec![n], out)
+}
+
+/// Sums each column of a `[N, F]` tensor, producing `[F]`. This is the bias
+/// gradient of a linear layer.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 input.
+pub fn col_sums(t: &Tensor) -> Result<Tensor> {
+    let (n, f) = as_matrix(t, "col_sums")?;
+    let mut out = vec![0.0f32; f];
+    let data = t.data();
+    for i in 0..n {
+        for (o, &v) in out.iter_mut().zip(&data[i * f..(i + 1) * f]) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(vec![f], out)
+}
+
+/// Index of the maximum element of each row of a `[N, F]` tensor.
+///
+/// Ties resolve to the first maximal index.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 input and
+/// [`TensorError::EmptyTensor`] for zero columns.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    let (n, f) = as_matrix(t, "argmax_rows")?;
+    if f == 0 {
+        return Err(TensorError::EmptyTensor { op: "argmax_rows" });
+    }
+    let data = t.data();
+    Ok((0..n)
+        .map(|i| {
+            let row = &data[i * f..(i + 1) * f];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect())
+}
+
+/// Maximum element of each row of a `[N, F]` tensor.
+///
+/// # Errors
+///
+/// Same conditions as [`argmax_rows`].
+pub fn max_rows(t: &Tensor) -> Result<Tensor> {
+    let (n, f) = as_matrix(t, "max_rows")?;
+    if f == 0 {
+        return Err(TensorError::EmptyTensor { op: "max_rows" });
+    }
+    let data = t.data();
+    let out: Vec<f32> = (0..n)
+        .map(|i| {
+            data[i * f..(i + 1) * f]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
+        .collect();
+    Tensor::from_vec(vec![n], out)
+}
+
+fn check_nchw(t: &Tensor, op: &'static str) -> Result<[usize; 4]> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    let s = t.shape();
+    Ok([s[0], s[1], s[2], s[3]])
+}
+
+/// Per-channel sum over batch and spatial axes of an NCHW tensor: `[C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input.
+pub fn channel_sums(t: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(t, "channel_sums")?;
+    let plane = h * w;
+    let data = t.data();
+    let mut out = vec![0.0f32; c];
+    for b in 0..n {
+        for (ch, o) in out.iter_mut().enumerate() {
+            let start = (b * c + ch) * plane;
+            *o += data[start..start + plane].iter().sum::<f32>();
+        }
+    }
+    Tensor::from_vec(vec![c], out)
+}
+
+/// Per-channel sum of squares over batch and spatial axes: `[C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input.
+pub fn channel_sq_sums(t: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(t, "channel_sq_sums")?;
+    let plane = h * w;
+    let data = t.data();
+    let mut out = vec![0.0f32; c];
+    for b in 0..n {
+        for (ch, o) in out.iter_mut().enumerate() {
+            let start = (b * c + ch) * plane;
+            *o += data[start..start + plane]
+                .iter()
+                .map(|&x| x * x)
+                .sum::<f32>();
+        }
+    }
+    Tensor::from_vec(vec![c], out)
+}
+
+/// Per-channel sum of `g ⊙ x̂` where both operands are NCHW — the BatchNorm
+/// scale-gradient reduction.
+///
+/// # Errors
+///
+/// Returns a rank or shape error if the operands are not identically-shaped
+/// NCHW tensors.
+pub fn channel_dot(g: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(g, "channel_dot")?;
+    if g.shape() != x.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: g.shape().to_vec(),
+            rhs: x.shape().to_vec(),
+            op: "channel_dot",
+        });
+    }
+    let plane = h * w;
+    let gd = g.data();
+    let xd = x.data();
+    let mut out = vec![0.0f32; c];
+    for b in 0..n {
+        for (ch, o) in out.iter_mut().enumerate() {
+            let start = (b * c + ch) * plane;
+            *o += gd[start..start + plane]
+                .iter()
+                .zip(&xd[start..start + plane])
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>();
+        }
+    }
+    Tensor::from_vec(vec![c], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_col_sums() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(row_sums(&t).unwrap().data(), &[6.0, 15.0]);
+        assert_eq!(col_sums(&t).unwrap().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 3.0, 3.0, -1.0, -5.0, -1.0]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn max_rows_matches_argmax() {
+        let t = Tensor::from_vec(vec![2, 2], vec![0.5, -2.0, 7.0, 7.5]).unwrap();
+        assert_eq!(max_rows(&t).unwrap().data(), &[0.5, 7.5]);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let t = Tensor::zeros(&[4]);
+        assert!(row_sums(&t).is_err());
+        assert!(argmax_rows(&t).is_err());
+        assert!(channel_sums(&t).is_err());
+    }
+
+    #[test]
+    fn channel_reductions() {
+        // [N=2, C=2, H=1, W=2]
+        let t = Tensor::from_vec(
+            vec![2, 2, 1, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap();
+        let sums = channel_sums(&t).unwrap();
+        assert_eq!(sums.data(), &[1.0 + 2.0 + 5.0 + 6.0, 3.0 + 4.0 + 7.0 + 8.0]);
+        let sq = channel_sq_sums(&t).unwrap();
+        assert_eq!(
+            sq.data(),
+            &[1.0 + 4.0 + 25.0 + 36.0, 9.0 + 16.0 + 49.0 + 64.0]
+        );
+    }
+
+    #[test]
+    fn channel_dot_matches_manual() {
+        let g = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 1.0, 2.0, 2.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(channel_dot(&g, &x).unwrap().data(), &[7.0, 22.0]);
+        let bad = Tensor::zeros(&[1, 2, 2, 2]);
+        assert!(channel_dot(&g, &bad).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Numerically stable softmax-family functions over the rows of `[N, F]`
+//! tensors. These back the cross-entropy loss, confidence-based OoD scores,
+//! and calibration metrics.
+
+use crate::{Result, Tensor, TensorError};
+
+fn as_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    let (n, f) = (t.shape()[0], t.shape()[1]);
+    if f == 0 {
+        return Err(TensorError::EmptyTensor { op });
+    }
+    Ok((n, f))
+}
+
+/// Row-wise softmax of a `[N, F]` logit matrix.
+///
+/// Uses the max-subtraction trick, so arbitrarily large logits are safe.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 input and
+/// [`TensorError::EmptyTensor`] for zero classes.
+///
+/// # Example
+///
+/// ```rust
+/// use rt_tensor::{special, Tensor};
+///
+/// # fn main() -> Result<(), rt_tensor::TensorError> {
+/// let logits = Tensor::from_vec(vec![1, 2], vec![0.0, 0.0])?;
+/// let p = special::softmax_rows(&logits)?;
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let (n, f) = as_matrix(logits, "softmax_rows")?;
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for i in 0..n {
+        let row = &mut data[i * f..(i + 1) * f];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        row.iter_mut().for_each(|v| *v *= inv);
+    }
+    Ok(out)
+}
+
+/// Row-wise log-softmax of a `[N, F]` logit matrix.
+///
+/// # Errors
+///
+/// Same conditions as [`softmax_rows`].
+pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let (n, f) = as_matrix(logits, "log_softmax_rows")?;
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for i in 0..n {
+        let row = &mut data[i * f..(i + 1) * f];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+        row.iter_mut().for_each(|v| *v -= lse);
+    }
+    Ok(out)
+}
+
+/// Row-wise log-sum-exp of a `[N, F]` logit matrix, producing `[N]`.
+///
+/// `logsumexp` is the (negative) energy score used for OoD detection.
+///
+/// # Errors
+///
+/// Same conditions as [`softmax_rows`].
+pub fn logsumexp_rows(logits: &Tensor) -> Result<Tensor> {
+    let (n, f) = as_matrix(logits, "logsumexp_rows")?;
+    let data = logits.data();
+    let out: Vec<f32> = (0..n)
+        .map(|i| {
+            let row = &data[i * f..(i + 1) * f];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln()
+        })
+        .collect();
+    Tensor::from_vec(vec![n], out)
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(t: &Tensor) -> Tensor {
+    t.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Larger logit gets larger probability.
+        assert!(p.at(&[0, 2]).unwrap() > p.at(&[0, 0]).unwrap());
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![1e4, 1e4 - 1.0]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        assert!(p.all_finite());
+        assert!((p.data()[0] + p.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let logits = Tensor::from_vec(vec![1, 4], vec![0.5, -0.5, 2.0, 1.0]).unwrap();
+        let ls = log_softmax_rows(&logits).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        for (a, b) in ls.data().iter().zip(p.data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn logsumexp_shift_invariance_relation() {
+        // lse(x + c) = lse(x) + c
+        let x = Tensor::from_vec(vec![1, 3], vec![0.1, 0.2, 0.3]).unwrap();
+        let xc = x.add_scalar(5.0);
+        let a = logsumexp_rows(&x).unwrap().data()[0];
+        let b = logsumexp_rows(&xc).unwrap().data()[0];
+        assert!((b - a - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_endpoints() {
+        let t = Tensor::from_vec(vec![3], vec![-100.0, 0.0, 100.0]).unwrap();
+        let s = sigmoid(&t);
+        assert!(s.data()[0] < 1e-6);
+        assert!((s.data()[1] - 0.5).abs() < 1e-7);
+        assert!(s.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn rejects_empty_rows() {
+        let t = Tensor::zeros(&[2, 0]);
+        assert!(softmax_rows(&t).is_err());
+    }
+}

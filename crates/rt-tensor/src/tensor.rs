@@ -1,0 +1,872 @@
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous, row-major, owned `f32` tensor.
+///
+/// `Tensor` is deliberately simple: no views, no strides, no lazy evaluation.
+/// Every operation either consumes/borrows contiguous buffers or produces a
+/// new one. At the scale of this reproduction (micro-ResNets on 16×16 images)
+/// this is faster and far less error-prone than a general strided design.
+///
+/// The flat buffer layout is row-major ("C order"): for shape `[d0, d1, d2]`
+/// the element `(i, j, k)` lives at `((i * d1) + j) * d2 + k`.
+///
+/// # Example
+///
+/// ```rust
+/// use rt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), rt_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])?;
+/// assert_eq!(t.at(&[1, 2])?, 5.0);
+/// assert_eq!(t.sum(), 15.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawTensor", into = "RawTensor")]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// Serialization mirror of [`Tensor`] used to validate deserialized buffers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RawTensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl TryFrom<RawTensor> for Tensor {
+    type Error = TensorError;
+
+    fn try_from(raw: RawTensor) -> Result<Self> {
+        Tensor::from_vec(raw.shape, raw.data)
+    }
+}
+
+impl From<Tensor> for RawTensor {
+    fn from(t: Tensor) -> Self {
+        RawTensor {
+            shape: t.shape,
+            data: t.data,
+        }
+    }
+}
+
+/// Computes the number of elements implied by a shape.
+#[inline]
+pub(crate) fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------------
+
+    /// Creates a tensor of zeros with the given shape.
+    ///
+    /// ```rust
+    /// # use rt_tensor::Tensor;
+    /// let t = Tensor::zeros(&[2, 2]);
+    /// assert_eq!(t.sum(), 0.0);
+    /// ```
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel(shape)],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the product of `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let expected = numel(&shape);
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                shape,
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = numel(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Creates a rank-0-like scalar tensor of shape `[1]`.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: vec![1],
+            data: vec![value],
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------------
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Converts a multi-index into a flat offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
+    /// rank or any coordinate exceeds its axis length.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len() || index.iter().zip(&self.shape).any(|(&i, &d)| i >= d) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        let mut off = 0;
+        for (&i, &d) in index.iter().zip(&self.shape) {
+            off = off * d + i;
+        }
+        Ok(off)
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::offset`].
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a copy with a new shape holding the same number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self> {
+        let mut out = self.clone();
+        out.set_shape(shape)?;
+        Ok(out)
+    }
+
+    /// Changes the shape in place (free — the buffer is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn set_shape(&mut self, shape: &[usize]) -> Result<()> {
+        let expected = numel(shape);
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                shape: shape.to_vec(),
+                expected,
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Extracts rows `[start, end)` of a rank-2 tensor as a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 input and
+    /// [`TensorError::IndexOutOfBounds`] for an invalid row range.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Self> {
+        if self.ndim() < 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.ndim(),
+                op: "slice_rows",
+            });
+        }
+        let rows = self.shape[0];
+        if start > end || end > rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![start, end],
+                shape: self.shape.clone(),
+            });
+        }
+        let row_len: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        Tensor::from_vec(shape, self.data[start * row_len..end * row_len].to_vec())
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise arithmetic (fallible, shape-checked)
+    // ---------------------------------------------------------------------
+
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient. Division by zero follows IEEE-754 (`inf`/`nan`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, "div", |a, b| a / b)
+    }
+
+    /// Applies `f` elementwise to a pair of same-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self> {
+        self.check_same_shape(other, op)?;
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Applies `f(self[i], other[i])` in place on `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_apply(
+        &mut self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(&mut f32, f32),
+    ) -> Result<()> {
+        self.check_same_shape(other, op)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            f(a, b);
+        }
+        Ok(())
+    }
+
+    /// In-place elementwise sum: `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_apply(other, "add_assign", |a, b| *a += b)
+    }
+
+    /// In-place elementwise difference: `self -= other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_apply(other, "sub_assign", |a, b| *a -= b)
+    }
+
+    /// In-place elementwise product: `self *= other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_apply(other, "mul_assign", |a, b| *a *= b)
+    }
+
+    /// In-place scaled accumulate: `self += alpha * other` (BLAS `axpy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.zip_apply(other, "axpy", |a, b| *a += alpha * b)
+    }
+
+    // ---------------------------------------------------------------------
+    // Scalar and unary operations
+    // ---------------------------------------------------------------------
+
+    /// Returns `self + s` elementwise.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|x| x + s)
+    }
+
+    /// Returns `self * s` elementwise.
+    pub fn mul_scalar(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// In-place scale: `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Self {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise sign (`-1`, `0`, or `1`).
+    pub fn signum(&self) -> Self {
+        self.map(|x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    // ---------------------------------------------------------------------
+    // Row broadcasting (rank-2 convenience used by linear layers)
+    // ---------------------------------------------------------------------
+
+    /// Adds a length-`F` row vector to every row of a `[N, F]` tensor, in
+    /// place. Used for bias addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 `self` and
+    /// [`TensorError::ShapeMismatch`] if `row.len() != F`.
+    pub fn add_row_inplace(&mut self, row: &Tensor) -> Result<()> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.ndim(),
+                op: "add_row_inplace",
+            });
+        }
+        let cols = self.shape[1];
+        if row.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: row.shape.clone(),
+                op: "add_row_inplace",
+            });
+        }
+        for chunk in self.data.chunks_mut(cols) {
+            for (a, &b) in chunk.iter_mut().zip(&row.data) {
+                *a += b;
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Norms and global statistics
+    // ---------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (`0.0` for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// L2 (Frobenius) norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |m| m.max(x)))
+            })
+            .ok_or(TensorError::EmptyTensor { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |m| m.min(x)))
+            })
+            .ok_or(TensorError::EmptyTensor { op: "min" })
+    }
+
+    /// Number of elements equal to exactly `0.0`.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&x| x == 0.0).count()
+    }
+
+    /// Concatenates tensors along axis 0. All inputs must agree on every
+    /// trailing dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] if trailing dimensions disagree.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use rt_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), rt_tensor::TensorError> {
+    /// let a = Tensor::ones(&[1, 3]);
+    /// let b = Tensor::zeros(&[2, 3]);
+    /// let c = Tensor::concat_rows(&[&a, &b])?;
+    /// assert_eq!(c.shape(), &[3, 3]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn concat_rows(parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or(TensorError::EmptyTensor { op: "concat_rows" })?;
+        let trailing = &first.shape()[1..];
+        let mut rows = 0usize;
+        for p in parts {
+            if p.ndim() != first.ndim() || &p.shape()[1..] != trailing {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape().to_vec(),
+                    rhs: p.shape().to_vec(),
+                    op: "concat_rows",
+                });
+            }
+            rows += p.shape()[0];
+        }
+        let mut data = Vec::with_capacity(rows * trailing.iter().product::<usize>());
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        let mut shape = first.shape().to_vec();
+        shape[0] = rows;
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Stacks equal-shape tensors along a new leading axis: `k` tensors of
+    /// shape `S` become one tensor of shape `[k, S...]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] if any shape differs from the first.
+    pub fn stack(parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or(TensorError::EmptyTensor { op: "stack" })?;
+        let mut data = Vec::with_capacity(parts.len() * first.len());
+        for p in parts {
+            if p.shape() != first.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape().to_vec(),
+                    rhs: p.shape().to_vec(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(p.data());
+        }
+        let mut shape = vec![parts.len()];
+        shape.extend_from_slice(first.shape());
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Whether every element is finite (no NaN/inf). Useful as a training
+    /// sanity check.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+// Operator overloads are provided for ergonomic expression code in examples
+// and tests. They panic on shape mismatch (documented), mirroring `ndarray`.
+impl std::ops::Add for &Tensor {
+    type Output = Tensor;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Tensor::add`] for a fallible call.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs).expect("tensor + tensor: shapes must match")
+    }
+}
+
+impl std::ops::Sub for &Tensor {
+    type Output = Tensor;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Tensor::sub`] for a fallible call.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs).expect("tensor - tensor: shapes must match")
+    }
+}
+
+impl std::ops::Mul for &Tensor {
+    type Output = Tensor;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Tensor::mul`] for a fallible call.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs).expect("tensor * tensor: shapes must match")
+    }
+}
+
+impl std::ops::Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Default for Tensor {
+    /// An empty tensor of shape `[0]`.
+    fn default() -> Self {
+        Tensor {
+            shape: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec(vec![2, 2], vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn offset_is_row_major() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| i as f32);
+        assert_eq!(t.at(&[0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(t.at(&[0, 0, 3]).unwrap(), 3.0);
+        assert_eq!(t.at(&[0, 1, 0]).unwrap(), 4.0);
+        assert_eq!(t.at(&[1, 0, 0]).unwrap(), 12.0);
+        assert_eq!(t.at(&[1, 2, 3]).unwrap(), 23.0);
+    }
+
+    #[test]
+    fn at_rejects_bad_indices() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.at(&[2, 0]).is_err());
+        assert!(t.at(&[0]).is_err());
+        assert!(t.at(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let err = a.add(&b).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { op: "add", .. }));
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![10.0, 20.0]).unwrap();
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.data(), &[11.0, 22.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[16.0, 32.0]);
+        a.scale(0.25);
+        assert_eq!(a.data(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(&[2, 6], |i| i as f32);
+        let r = t.reshape(&[3, 4]).unwrap();
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn slice_rows_extracts_contiguous_rows() {
+        let t = Tensor::from_fn(&[4, 3], |i| i as f32);
+        let s = t.slice_rows(1, 3).unwrap();
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.data(), &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert!(t.slice_rows(3, 5).is_err());
+        assert!(t.slice_rows(2, 1).is_err());
+    }
+
+    #[test]
+    fn slice_rows_works_on_rank4() {
+        let t = Tensor::from_fn(&[3, 2, 2, 2], |i| i as f32);
+        let s = t.slice_rows(2, 3).unwrap();
+        assert_eq!(s.shape(), &[1, 2, 2, 2]);
+        assert_eq!(s.data()[0], 16.0);
+    }
+
+    #[test]
+    fn add_row_broadcasts_bias() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        let bias = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        t.add_row_inplace(&bias).unwrap();
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn norms_and_stats() {
+        let t = Tensor::from_vec(vec![4], vec![-3.0, 0.0, 4.0, 0.0]).unwrap();
+        assert_eq!(t.l1_norm(), 7.0);
+        assert_eq!(t.l2_norm(), 5.0);
+        assert_eq!(t.max().unwrap(), 4.0);
+        assert_eq!(t.min().unwrap(), -3.0);
+        assert_eq!(t.count_zeros(), 2);
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn empty_tensor_max_errors() {
+        let t = Tensor::zeros(&[0]);
+        assert!(matches!(t.max(), Err(TensorError::EmptyTensor { .. })));
+    }
+
+    #[test]
+    fn nan_detection() {
+        let mut t = Tensor::ones(&[2]);
+        assert!(t.all_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![3.0, 4.0]).unwrap();
+        assert_eq!((&a + &b).data(), &[4.0, 6.0]);
+        assert_eq!((&a - &b).data(), &[-2.0, -2.0]);
+        assert_eq!((&a * &b).data(), &[3.0, 8.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn clamp_abs_signum() {
+        let t = Tensor::from_vec(vec![3], vec![-2.0, 0.0, 5.0]).unwrap();
+        assert_eq!(t.clamp(-1.0, 1.0).data(), &[-1.0, 0.0, 1.0]);
+        assert_eq!(t.abs().data(), &[2.0, 0.0, 5.0]);
+        assert_eq!(t.signum().data(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_rows_joins_and_validates() {
+        let a = Tensor::from_fn(&[1, 3], |i| i as f32);
+        let b = Tensor::from_fn(&[2, 3], |i| 10.0 + i as f32);
+        let c = Tensor::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[3, 3]);
+        assert_eq!(c.data()[0..3], [0.0, 1.0, 2.0]);
+        assert_eq!(c.data()[3], 10.0);
+        // Mismatched trailing dims and empty lists are rejected.
+        let bad = Tensor::zeros(&[1, 4]);
+        assert!(Tensor::concat_rows(&[&a, &bad]).is_err());
+        assert!(Tensor::concat_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn stack_adds_leading_axis() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.at(&[0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(s.at(&[1, 1, 1]).unwrap(), 0.0);
+        assert!(Tensor::stack(&[&a, &Tensor::zeros(&[3])]).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_and_validation() {
+        let t = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+
+        // A corrupted payload whose buffer disagrees with the shape must be
+        // rejected at deserialization time.
+        let bad = r#"{"shape":[2,3],"data":[1.0,2.0]}"#;
+        assert!(serde_json::from_str::<Tensor>(bad).is_err());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let t = Tensor::default();
+        assert!(t.is_empty());
+        assert_eq!(t.shape(), &[0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the tensor substrate: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use proptest::prelude::*;
+use rt_tensor::{conv, linalg, reduce, special, Tensor};
+
+/// Strategy producing a tensor with the given shape and bounded finite data.
+fn tensor_with_shape(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(shape.clone(), data).expect("consistent shape"))
+}
+
+/// Strategy for a small matrix with dims in 1..=6.
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(m, n)| tensor_with_shape(vec![m, n]))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(m in 1usize..=5, n in 1usize..=5, seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let a = Tensor::from_fn(&[m, n], |i| ((seed_a.wrapping_add(i as u64) % 1000) as f32) / 100.0 - 5.0);
+        let b = Tensor::from_fn(&[m, n], |i| ((seed_b.wrapping_add(i as u64) % 1000) as f32) / 100.0 - 5.0);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(pair in (1usize..=5, 1usize..=5).prop_flat_map(|(m, n)| {
+        (tensor_with_shape(vec![m, n]), tensor_with_shape(vec![m, n]))
+    })) {
+        let (t, u) = pair;
+        let diff = t.sub(&u).unwrap();
+        let back = diff.add(&u).unwrap();
+        for (x, y) in back.data().iter().zip(t.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_matches_mul_scalar(t in small_matrix(), s in -4.0f32..4.0) {
+        let mut a = t.clone();
+        a.scale(s);
+        prop_assert_eq!(a, t.mul_scalar(s));
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in small_matrix()) {
+        let n = t.len();
+        let flat = t.reshape(&[n]).unwrap();
+        prop_assert!((flat.sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involutive(t in small_matrix()) {
+        let tt = linalg::transpose(&linalg::transpose(&t).unwrap()).unwrap();
+        prop_assert_eq!(tt, t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        m in 1usize..=4, k in 1usize..=4, n in 1usize..=4, seed in any::<u64>(),
+    ) {
+        let gen = |off: u64, shape: &[usize]| {
+            Tensor::from_fn(shape, |i| {
+                (((seed ^ off).wrapping_mul(6364136223846793005).wrapping_add((i as u64).wrapping_mul(1442695040888963407)) >> 33) % 200) as f32 / 50.0 - 2.0
+            })
+        };
+        let a = gen(1, &[m, k]);
+        let b = gen(2, &[k, n]);
+        let c = gen(3, &[k, n]);
+        let lhs = linalg::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = linalg::matmul(&a, &b).unwrap().add(&linalg::matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_variants_consistent(
+        m in 1usize..=4, k in 1usize..=4, n in 1usize..=4, seed in any::<u64>(),
+    ) {
+        let gen = |off: u64, shape: &[usize]| {
+            Tensor::from_fn(shape, |i| {
+                (((seed ^ off).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64) >> 17) % 100) as f32 / 25.0 - 2.0
+            })
+        };
+        let a = gen(10, &[k, m]);
+        let b = gen(11, &[k, n]);
+        let at = linalg::transpose(&a).unwrap();
+        let direct = linalg::matmul(&at, &b).unwrap();
+        let fused = linalg::matmul_at_b(&a, &b).unwrap();
+        for (x, y) in direct.data().iter().zip(fused.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+
+        let c = gen(12, &[m, k]);
+        let d = gen(13, &[n, k]);
+        let dt = linalg::transpose(&d).unwrap();
+        let direct2 = linalg::matmul(&c, &dt).unwrap();
+        let fused2 = linalg::matmul_a_bt(&c, &d).unwrap();
+        for (x, y) in direct2.data().iter().zip(fused2.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_matrix()) {
+        let p = special::softmax_rows(&t).unwrap();
+        let (n, f) = (t.shape()[0], t.shape()[1]);
+        for i in 0..n {
+            let row = &p.data()[i * f..(i + 1) * f];
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance(t in small_matrix(), c in -5.0f32..5.0) {
+        let p1 = special::softmax_rows(&t).unwrap();
+        let p2 = special::softmax_rows(&t.add_scalar(c)).unwrap();
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn row_sums_equal_total(t in small_matrix()) {
+        let rs = reduce::row_sums(&t).unwrap();
+        prop_assert!((rs.sum() - t.sum()).abs() < 1e-3);
+        let cs = reduce::col_sums(&t).unwrap();
+        prop_assert!((cs.sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn argmax_picks_maximum(t in small_matrix()) {
+        let idx = reduce::argmax_rows(&t).unwrap();
+        let (n, f) = (t.shape()[0], t.shape()[1]);
+        for i in 0..n {
+            let row = &t.data()[i * f..(i + 1) * f];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(row[idx[i]], max);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..=3, h in 3usize..=6, w in 3usize..=6,
+        k in 1usize..=3, s in 1usize..=2, p in 0usize..=1, seed in any::<u64>(),
+    ) {
+        let geo = conv::ConvGeometry::new(k, s, p);
+        prop_assume!(geo.out_dim(h).is_ok() && geo.out_dim(w).is_ok());
+        let gen = |off: u64, n: usize| -> Vec<f32> {
+            (0..n).map(|i| {
+                (((seed ^ off).wrapping_mul(0x2545F4914F6CDD1D).wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 40) % 64) as f32 / 16.0 - 2.0
+            }).collect()
+        };
+        // <im2col(x), y> must equal <x, col2im(y)> since the maps are adjoint.
+        let x = gen(1, c * h * w);
+        let cols = conv::im2col_single(&x, c, h, w, geo).unwrap();
+        let y_data = gen(2, cols.len());
+        let y = Tensor::from_vec(cols.shape().to_vec(), y_data).unwrap();
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let mut xt = vec![0.0f32; c * h * w];
+        conv::col2im_single(&y, c, h, w, geo, &mut xt).unwrap();
+        let rhs: f32 = x.iter().zip(&xt).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn maxpool_backward_conserves_gradient_mass(
+        n in 1usize..=2, c in 1usize..=2, seed in any::<u64>(),
+    ) {
+        // Kernel 2 stride 2 on 4x4: every output grad lands on exactly one
+        // input cell, so total mass is conserved.
+        let x = Tensor::from_fn(&[n, c, 4, 4], |i| {
+            ((seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 30) % 97) as f32
+        });
+        let geo = conv::ConvGeometry::new(2, 2, 0);
+        let out = conv::max_pool2d(&x, geo).unwrap();
+        let g = Tensor::ones(out.output.shape());
+        let gi = conv::max_pool2d_backward(&g, &out.argmax, x.shape()).unwrap();
+        prop_assert!((gi.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn serde_round_trip(t in small_matrix()) {
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

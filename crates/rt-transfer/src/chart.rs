@@ -1,0 +1,198 @@
+//! Terminal line-chart rendering for experiment records.
+//!
+//! The reproduction is driven entirely from a terminal, so every
+//! [`ExperimentRecord`](crate::experiment::ExperimentRecord) can render
+//! itself as a Unicode chart: series are drawn over a character grid with
+//! one glyph per series, the y-axis is labeled, and a legend follows.
+
+use crate::experiment::Series;
+
+/// Rendering options for [`render_chart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChartOptions {
+    /// Plot-area width in columns (excluding the y-axis gutter).
+    pub width: usize,
+    /// Plot-area height in rows.
+    pub height: usize,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 56,
+            height: 14,
+        }
+    }
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 8] = ['●', '○', '▲', '△', '■', '□', '◆', '◇'];
+
+/// Renders a set of series as a Unicode line chart with a legend.
+///
+/// Points are plotted at their (x, y) positions scaled into the plot area,
+/// with straight-line interpolation between consecutive points of a
+/// series. Returns an empty string when there is nothing to plot.
+///
+/// # Example
+///
+/// ```rust
+/// use rt_transfer::chart::{render_chart, ChartOptions};
+/// use rt_transfer::experiment::Series;
+///
+/// let mut s = Series::new("robust");
+/// s.push(0.5, 0.9);
+/// s.push(0.9, 0.7);
+/// let chart = render_chart(&[s], &ChartOptions::default());
+/// assert!(chart.contains("robust"));
+/// assert!(chart.contains('●'));
+/// ```
+pub fn render_chart(series: &[Series], options: &ChartOptions) -> String {
+    let (w, h) = (options.width.max(8), options.height.max(3));
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| (p.x, p.y)))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; w]; h];
+    let to_col = |x: f64| (((x - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize;
+    let to_row = |y: f64| {
+        let t = (y - y_min) / (y_max - y_min);
+        ((1.0 - t) * (h - 1) as f64).round() as usize
+    };
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Interpolated segments first so markers overwrite them.
+        for pair in s.points.windows(2) {
+            let (c0, r0) = (to_col(pair[0].x), to_row(pair[0].y));
+            let (c1, r1) = (to_col(pair[1].x), to_row(pair[1].y));
+            let steps = c0.abs_diff(c1).max(r0.abs_diff(r1)).max(1);
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let c = (c0 as f64 + t * (c1 as f64 - c0 as f64)).round() as usize;
+                let r = (r0 as f64 + t * (r1 as f64 - r0 as f64)).round() as usize;
+                if grid[r][c] == ' ' {
+                    grid[r][c] = '·';
+                }
+            }
+        }
+        for p in &s.points {
+            if p.x.is_finite() && p.y.is_finite() {
+                grid[to_row(p.y)][to_col(p.x)] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:8.3} ┤")
+        } else if r == h - 1 {
+            format!("{y_min:8.3} ┤")
+        } else {
+            "         │".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("         └");
+    out.extend(std::iter::repeat_n('─', w));
+    out.push('\n');
+    out.push_str(&format!(
+        "          {:<w$.3}{:>.3}\n",
+        x_min,
+        x_max,
+        w = w.saturating_sub(5)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(f64, f64)]) -> Series {
+        let mut s = Series::new(label);
+        for &(x, y) in pts {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let a = series("robust", &[(0.5, 0.9), (0.7, 0.85), (0.9, 0.7)]);
+        let b = series("natural", &[(0.5, 0.95), (0.7, 0.8), (0.9, 0.5)]);
+        let chart = render_chart(&[a, b], &ChartOptions::default());
+        assert!(chart.contains('●'));
+        assert!(chart.contains('○'));
+        assert!(chart.contains("robust"));
+        assert!(chart.contains("natural"));
+        // Y-axis endpoints are labeled.
+        assert!(chart.contains("0.950"));
+        assert!(chart.contains("0.500"));
+    }
+
+    #[test]
+    fn empty_series_render_nothing() {
+        assert!(render_chart(&[], &ChartOptions::default()).is_empty());
+        let empty = Series::new("none");
+        assert!(render_chart(&[empty], &ChartOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_plottable() {
+        let s = series("dot", &[(1.0, 2.0)]);
+        let chart = render_chart(&[s], &ChartOptions::default());
+        assert!(chart.contains('●'));
+    }
+
+    #[test]
+    fn higher_values_plot_higher() {
+        let s = series("line", &[(0.0, 0.0), (1.0, 1.0)]);
+        let chart = render_chart(
+            &[s],
+            &ChartOptions {
+                width: 20,
+                height: 5,
+            },
+        );
+        let rows: Vec<&str> = chart.lines().collect();
+        // The y=1 endpoint is in the first row, the y=0 endpoint in the
+        // last plot row.
+        assert!(rows[0].contains('●'), "{chart}");
+        assert!(rows[4].contains('●'), "{chart}");
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let mut s = Series::new("bad");
+        s.push(0.0, f64::NAN);
+        s.push(1.0, 1.0);
+        s.push(2.0, 2.0);
+        let chart = render_chart(&[s], &ChartOptions::default());
+        assert!(chart.contains('●'));
+    }
+}

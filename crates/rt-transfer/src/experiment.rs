@@ -1,0 +1,551 @@
+//! Experiment scaffolding: scale presets shared by every `rt-bench` driver
+//! and the result-record types they emit.
+
+use crate::linear::LinearEvalConfig;
+use crate::pretrain::PretrainScheme;
+use crate::ticket::{LmpRunConfig, LmpScoreInit};
+use crate::training::{Objective, SchedulePolicy, TrainConfig};
+use rt_adv::attack::AttackConfig;
+use rt_data::{DownstreamSpec, FamilyConfig};
+use rt_models::ResNetConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Experiment scale.
+///
+/// * `Smoke` — seconds; used by tests and CI to exercise every driver.
+/// * `Standard` — minutes per driver on one CPU core; the scale at which
+///   EXPERIMENTS.md records results.
+/// * `Paper` — the largest configuration; hours on one core. Same code
+///   path, bigger numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Scale {
+    /// CI-sized.
+    Smoke,
+    /// The reported scale.
+    #[default]
+    Standard,
+    /// Full scale.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `smoke` / `standard` / `paper` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "standard" => Some(Scale::Standard),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Reads `--scale <value>` from process arguments, defaulting to
+    /// [`Scale::Standard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unrecognized scale name.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for pair in args.windows(2) {
+            if pair[0] == "--scale" {
+                return Scale::parse(&pair[1]).unwrap_or_else(|| {
+                    panic!("unknown scale `{}` (smoke|standard|paper)", pair[1])
+                });
+            }
+        }
+        Scale::Standard
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Smoke => write!(f, "smoke"),
+            Scale::Standard => write!(f, "standard"),
+            Scale::Paper => write!(f, "paper"),
+        }
+    }
+}
+
+/// Every knob an experiment driver needs, resolved per scale.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// Scale this preset was built for.
+    pub scale: Scale,
+    /// Synthetic-generator configuration.
+    pub family: FamilyConfig,
+    /// Root seed of the whole experiment universe.
+    pub seed: u64,
+    /// Source-task sizes.
+    pub source_train: usize,
+    /// Source test-set size.
+    pub source_test: usize,
+    /// Downstream (CIFAR-analog) sizes.
+    pub downstream_train: usize,
+    /// Downstream test-set size.
+    pub downstream_test: usize,
+    /// Pretraining epochs.
+    pub pretrain_epochs: usize,
+    /// Pretraining learning rate.
+    pub pretrain_lr: f32,
+    /// PGD configuration used for adversarial pretraining.
+    pub pretrain_attack: AttackConfig,
+    /// Gaussian σ for randomized-smoothing pretraining.
+    pub smoothing_sigma: f32,
+    /// PGD configuration used when *evaluating* adversarial accuracy.
+    pub eval_attack: AttackConfig,
+    /// Whole-model finetuning epochs.
+    pub finetune_epochs: usize,
+    /// Finetuning learning rate.
+    pub finetune_lr: f32,
+    /// Minibatch size for finetuning/IMP rounds.
+    pub batch_size: usize,
+    /// Linear-evaluation configuration.
+    pub linear: LinearEvalConfig,
+    /// OMP sparsity grid (Fig. 1/2/3/6/7's x-axis).
+    pub sparsity_grid: Vec<f64>,
+    /// IMP configuration: final sparsity and round count.
+    pub imp_final_sparsity: f64,
+    /// IMP rounds (each round yields one sparsity point).
+    pub imp_rounds: usize,
+    /// Training epochs inside each IMP round.
+    pub imp_round_epochs: usize,
+    /// LMP epochs.
+    pub lmp_epochs: usize,
+    /// OoD set size.
+    pub ood_samples: usize,
+    /// Samples per side for FID estimation.
+    pub fid_samples: usize,
+    /// Segmentation scenes (train).
+    pub seg_train: usize,
+    /// Segmentation scenes (test).
+    pub seg_test: usize,
+    /// Segmentation foreground classes.
+    pub seg_classes: usize,
+    /// Segmentation training epochs.
+    pub seg_epochs: usize,
+    /// Independent finetune/eval seeds averaged per reported cell (reduces
+    /// the single-run variance that would otherwise swamp the paper's
+    /// robust-vs-natural gaps at this scale).
+    pub eval_seeds: usize,
+}
+
+impl Preset {
+    /// Builds the preset for a scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => Preset {
+                scale,
+                family: FamilyConfig::smoke(),
+                seed: 2023,
+                source_train: 64,
+                source_test: 32,
+                downstream_train: 32,
+                downstream_test: 32,
+                pretrain_epochs: 3,
+                pretrain_lr: 0.05,
+                pretrain_attack: AttackConfig::pgd(0.5, 2),
+                smoothing_sigma: 0.5,
+                eval_attack: AttackConfig::pgd(0.25, 2),
+                finetune_epochs: 2,
+                finetune_lr: 0.03,
+                batch_size: 16,
+                linear: LinearEvalConfig {
+                    steps: 80,
+                    lr: 0.5,
+                    seed: 0,
+                },
+                sparsity_grid: vec![0.5, 0.9],
+                imp_final_sparsity: 0.9,
+                imp_rounds: 2,
+                imp_round_epochs: 1,
+                lmp_epochs: 2,
+                ood_samples: 32,
+                fid_samples: 48,
+                seg_train: 16,
+                seg_test: 8,
+                seg_classes: 3,
+                seg_epochs: 2,
+                eval_seeds: 1,
+            },
+            Scale::Standard => Preset {
+                scale,
+                family: FamilyConfig::paper(),
+                seed: 2023,
+                source_train: 384,
+                source_test: 192,
+                downstream_train: 160,
+                downstream_test: 192,
+                pretrain_epochs: 8,
+                pretrain_lr: 0.05,
+                pretrain_attack: AttackConfig::pgd(0.4, 3),
+                smoothing_sigma: 0.4,
+                eval_attack: AttackConfig::pgd(0.25, 4),
+                finetune_epochs: 10,
+                finetune_lr: 0.01,
+                batch_size: 32,
+                linear: LinearEvalConfig {
+                    steps: 250,
+                    lr: 0.5,
+                    seed: 0,
+                },
+                sparsity_grid: vec![0.5, 0.7, 0.9, 0.95, 0.99],
+                imp_final_sparsity: 0.99,
+                imp_rounds: 4,
+                imp_round_epochs: 2,
+                lmp_epochs: 4,
+                ood_samples: 192,
+                fid_samples: 256,
+                seg_train: 96,
+                seg_test: 48,
+                seg_classes: 4,
+                seg_epochs: 8,
+                eval_seeds: 2,
+            },
+            Scale::Paper => Preset {
+                scale,
+                family: FamilyConfig::paper(),
+                seed: 2023,
+                source_train: 2048,
+                source_test: 512,
+                downstream_train: 512,
+                downstream_test: 512,
+                pretrain_epochs: 30,
+                pretrain_lr: 0.05,
+                pretrain_attack: AttackConfig::pgd(0.4, 5),
+                smoothing_sigma: 0.4,
+                eval_attack: AttackConfig::pgd(0.25, 7),
+                finetune_epochs: 20,
+                finetune_lr: 0.01,
+                batch_size: 64,
+                linear: LinearEvalConfig {
+                    steps: 500,
+                    lr: 0.5,
+                    seed: 0,
+                },
+                sparsity_grid: vec![0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99],
+                imp_final_sparsity: 0.99,
+                imp_rounds: 8,
+                imp_round_epochs: 4,
+                lmp_epochs: 10,
+                ood_samples: 512,
+                fid_samples: 512,
+                seg_train: 384,
+                seg_test: 128,
+                seg_classes: 6,
+                seg_epochs: 12,
+                eval_seeds: 3,
+            },
+        }
+    }
+
+    /// The ResNet-18-analog architecture at this scale.
+    pub fn arch_r18(&self) -> ResNetConfig {
+        match self.scale {
+            Scale::Smoke => ResNetConfig::smoke(self.family.base_classes),
+            _ => ResNetConfig::r18_analog(self.family.base_classes),
+        }
+    }
+
+    /// The ResNet-50-analog architecture at this scale (the smoke scale
+    /// substitutes a second tiny architecture to keep CI fast).
+    pub fn arch_r50(&self) -> ResNetConfig {
+        match self.scale {
+            Scale::Smoke => {
+                let mut cfg = ResNetConfig::smoke(self.family.base_classes);
+                cfg.stage_widths = [4, 8, 12, 20];
+                cfg
+            }
+            _ => ResNetConfig::r50_analog(self.family.base_classes),
+        }
+    }
+
+    /// CIFAR-10-analog downstream spec.
+    pub fn c10_spec(&self) -> DownstreamSpec {
+        DownstreamSpec::c10_analog(
+            self.family.base_classes,
+            self.downstream_train,
+            self.downstream_test,
+        )
+    }
+
+    /// CIFAR-100-analog downstream spec.
+    pub fn c100_spec(&self) -> DownstreamSpec {
+        DownstreamSpec::c100_analog(
+            self.family.base_classes,
+            self.downstream_train,
+            self.downstream_test,
+        )
+    }
+
+    /// Finetuning configuration (the paper's recipe at this scale).
+    pub fn finetune_cfg(&self, seed: u64) -> TrainConfig {
+        TrainConfig::paper_finetune(
+            self.finetune_epochs,
+            self.batch_size,
+            self.finetune_lr,
+            seed,
+        )
+    }
+
+    /// IMP round-training configuration with the given objective.
+    pub fn imp_round_cfg(&self, objective: Objective, seed: u64) -> TrainConfig {
+        TrainConfig {
+            epochs: self.imp_round_epochs,
+            batch_size: self.batch_size,
+            lr: self.finetune_lr,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            schedule: SchedulePolicy::Constant,
+            objective,
+            seed,
+        }
+    }
+
+    /// LMP configuration at a target sparsity.
+    pub fn lmp_cfg(&self, sparsity: f64, seed: u64) -> LmpRunConfig {
+        LmpRunConfig {
+            sparsity,
+            epochs: self.lmp_epochs,
+            batch_size: self.batch_size,
+            score_lr: 0.1,
+            head_lr: self.finetune_lr,
+            init: LmpScoreInit::Magnitude,
+            seed,
+        }
+    }
+
+    /// Adversarial pretraining scheme at this scale.
+    pub fn adversarial_scheme(&self) -> PretrainScheme {
+        PretrainScheme::Adversarial(self.pretrain_attack)
+    }
+
+    /// Randomized-smoothing pretraining scheme at this scale.
+    pub fn smoothing_scheme(&self) -> PretrainScheme {
+        PretrainScheme::RandomSmoothing(self.smoothing_sigma)
+    }
+
+    /// Disk cache directory for pretrained snapshots.
+    pub fn cache_dir(&self) -> PathBuf {
+        PathBuf::from("target").join("pretrain-cache")
+    }
+
+    /// Cache key for a `(architecture, scheme)` pretraining run at this
+    /// scale.
+    pub fn cache_key(&self, arch_label: &str, scheme: &PretrainScheme) -> String {
+        format!(
+            "{}-{}-{}-seed{}",
+            self.scale,
+            arch_label,
+            scheme.label(),
+            self.seed
+        )
+    }
+
+    /// Directory where drivers write their JSON records.
+    pub fn results_dir(&self) -> PathBuf {
+        PathBuf::from("results")
+    }
+}
+
+/// One (x, y) point of a reported curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// X coordinate (usually sparsity).
+    pub x: f64,
+    /// Y coordinate (accuracy, mIoU, AUC, …).
+    pub y: f64,
+}
+
+/// A labeled curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"robust/R18/c10"`).
+    pub label: String,
+    /// The curve's points, in x order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(SeriesPoint { x, y });
+    }
+}
+
+/// A full experiment record: everything needed to regenerate one figure or
+/// table of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Stable identifier (`"fig1"`, `"table1"`, …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Scale the record was produced at.
+    pub scale: String,
+    /// The measured curves.
+    pub series: Vec<Series>,
+    /// Free-form notes (shape checks, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, scale: Scale) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            title: title.into(),
+            scale: scale.to_string(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renders the record as a GitHub-flavored markdown table (x down the
+    /// rows, one column per series).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "### {} — {} (scale: {})\n\n",
+            self.id, self.title, self.scale
+        );
+        // Collect the union of x values.
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        out.push_str("| x |");
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.label));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("| {x:.4} |"));
+            for s in &self.series {
+                match s.points.iter().find(|p| (p.x - x).abs() < 1e-12) {
+                    Some(p) => out.push_str(&format!(" {:.4} |", p.y)),
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes the record as pretty JSON into `dir/<id>-<scale>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory cannot be created or written.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}-{}.json", self.id, self.scale));
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("STANDARD"), Some(Scale::Standard));
+        assert_eq!(Scale::parse("Paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::Smoke.to_string(), "smoke");
+    }
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let smoke = Preset::new(Scale::Smoke);
+        let standard = Preset::new(Scale::Standard);
+        let paper = Preset::new(Scale::Paper);
+        assert!(smoke.source_train < standard.source_train);
+        assert!(standard.source_train < paper.source_train);
+        assert!(smoke.pretrain_epochs < standard.pretrain_epochs);
+        assert!(standard.pretrain_epochs < paper.pretrain_epochs);
+        assert!(standard.sparsity_grid.len() <= paper.sparsity_grid.len());
+    }
+
+    #[test]
+    fn cache_keys_distinguish_everything() {
+        let p = Preset::new(Scale::Standard);
+        let k1 = p.cache_key("r18", &PretrainScheme::Natural);
+        let k2 = p.cache_key("r50", &PretrainScheme::Natural);
+        let k3 = p.cache_key("r18", &p.adversarial_scheme());
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn r50_arch_is_larger_than_r18() {
+        for scale in [Scale::Smoke, Scale::Standard] {
+            let p = Preset::new(scale);
+            use rt_nn::Layer as _;
+            use rt_tensor::rng::rng_from_seed;
+            let r18 = rt_models::MicroResNet::new(&p.arch_r18(), &mut rng_from_seed(0)).unwrap();
+            let r50 = rt_models::MicroResNet::new(&p.arch_r50(), &mut rng_from_seed(0)).unwrap();
+            assert!(r50.param_count() > r18.param_count(), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn record_markdown_layout() {
+        let mut rec = ExperimentRecord::new("figX", "demo", Scale::Smoke);
+        let mut a = Series::new("robust");
+        a.push(0.5, 0.9);
+        a.push(0.9, 0.8);
+        let mut b = Series::new("natural");
+        b.push(0.5, 0.85);
+        rec.series.push(a);
+        rec.series.push(b);
+        rec.notes.push("robust wins".to_string());
+        let md = rec.to_markdown();
+        assert!(md.contains("| x | robust | natural |"));
+        assert!(md.contains("| 0.5000 | 0.9000 | 0.8500 |"));
+        assert!(md.contains("| 0.9000 | 0.8000 | — |"));
+        assert!(md.contains("- robust wins"));
+    }
+
+    #[test]
+    fn record_save_round_trip() {
+        let dir = std::env::temp_dir().join("rt-record-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = ExperimentRecord::new("figY", "demo", Scale::Smoke);
+        let path = rec.save(&dir).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,38 @@
+//! Transfer-learning pipelines for the robust-tickets reproduction.
+//!
+//! This crate wires the substrates together into the paper's experimental
+//! protocol:
+//!
+//! 1. **Pretrain** a dense [`MicroResNet`](rt_models::MicroResNet) on the
+//!    synthetic source task under one of three schemes — natural training,
+//!    PGD adversarial training (the robustness prior), or randomized
+//!    smoothing ([`pretrain()`]). Pretrained snapshots are cached on disk so
+//!    the nine experiment drivers share them.
+//! 2. **Draw a ticket** with OMP / IMP / A-IMP / LMP ([`ticket`]).
+//! 3. **Transfer**: whole-model finetuning ([`finetune`]) or linear
+//!    evaluation on frozen features ([`linear`]).
+//! 4. **Measure** accuracy, calibration, adversarial accuracy, OoD AUC,
+//!    and FID ([`evaluate`]).
+//!
+//! [`experiment`] holds the scale presets (smoke / standard / paper) and
+//! the result-record types the `rt-bench` drivers serialize.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod evaluate;
+pub mod experiment;
+pub mod finetune;
+pub mod linear;
+pub mod pretrain;
+pub mod ticket;
+pub mod training;
+
+pub use evaluate::EvalReport;
+pub use experiment::{Preset, Scale};
+pub use pretrain::{pretrain, PretrainScheme, Pretrained};
+pub use training::{train, Objective, TrainConfig, TrainReport};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, rt_nn::NnError>;

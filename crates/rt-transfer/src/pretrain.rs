@@ -1,0 +1,356 @@
+//! Source-task pretraining under the three schemes of the paper, with a
+//! disk cache so the experiment drivers share pretrained models.
+
+use crate::training::{train, Objective, SchedulePolicy, TrainConfig};
+use crate::Result;
+use rt_adv::attack::AttackConfig;
+use rt_data::Task;
+use rt_models::{MicroResNet, ResNetConfig};
+use rt_nn::checkpoint::StateDict;
+use rt_nn::NnError;
+use rt_tensor::rng::SeedStream;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// How the dense source model is pretrained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PretrainScheme {
+    /// Plain cross-entropy training → *natural* tickets.
+    Natural,
+    /// PGD adversarial training → *robust* tickets.
+    Adversarial(AttackConfig),
+    /// Randomized-smoothing (Gaussian-noise) training → the alternative
+    /// robustness prior of Fig. 6.
+    RandomSmoothing(f32),
+}
+
+impl PretrainScheme {
+    /// Short stable label (used in cache keys and report rows).
+    pub fn label(&self) -> String {
+        match self {
+            PretrainScheme::Natural => "natural".to_string(),
+            PretrainScheme::Adversarial(a) => {
+                format!("adv-e{:.3}-s{}", a.epsilon, a.steps)
+            }
+            PretrainScheme::RandomSmoothing(sigma) => format!("rs-{sigma:.3}"),
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        match self {
+            PretrainScheme::Natural => Objective::Natural,
+            PretrainScheme::Adversarial(a) => Objective::Adversarial(*a),
+            PretrainScheme::RandomSmoothing(sigma) => Objective::GaussianNoise(*sigma),
+        }
+    }
+}
+
+/// A pretrained dense model plus its weight snapshot (the `θ_pre` every
+/// ticket scheme reads) and provenance.
+pub struct Pretrained {
+    /// The trained model (weights == `snapshot`).
+    pub model: MicroResNet,
+    /// Snapshot of the pretrained weights and buffers, used for IMP
+    /// rewinding and for re-materializing fresh copies.
+    pub snapshot: StateDict,
+    /// The scheme that produced it.
+    pub scheme: PretrainScheme,
+    /// The architecture (for rebuilding models from the snapshot).
+    pub arch: ResNetConfig,
+}
+
+impl Pretrained {
+    /// Builds a fresh model carrying the pretrained weights — cheap
+    /// insurance against accidental cross-experiment state leaks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction/restore errors.
+    pub fn fresh_model(&self, seed: u64) -> Result<MicroResNet> {
+        let mut model = MicroResNet::new(&self.arch, &mut SeedStream::new(seed).rng())?;
+        self.snapshot.restore(&mut model)?;
+        Ok(model)
+    }
+}
+
+/// Pretrains a dense model of architecture `arch` on `source.train` under
+/// `scheme`.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn pretrain(
+    arch: &ResNetConfig,
+    source: &Task,
+    scheme: PretrainScheme,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) -> Result<Pretrained> {
+    let seeds = SeedStream::new(seed);
+    let arch = arch.clone().with_classes(source.train.num_classes());
+    let mut model = MicroResNet::new(&arch, &mut seeds.child("init").rng())?;
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 32,
+        lr,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: SchedulePolicy::PaperStep,
+        objective: scheme.objective(),
+        seed: seeds.child("train").seed(),
+    };
+    train(&mut model, &source.train, &cfg)?;
+    let snapshot = StateDict::capture(&model);
+    Ok(Pretrained {
+        model,
+        snapshot,
+        scheme,
+        arch,
+    })
+}
+
+/// Cached snapshot payload (architecture + weights) as stored on disk.
+#[derive(Serialize, Deserialize)]
+struct CacheEntry {
+    arch: ResNetConfig,
+    scheme_label: String,
+    snapshot: StateDict,
+}
+
+/// Pretrains with a JSON disk cache: if `(key)` was pretrained before, the
+/// snapshot is loaded instead of retrained. The cache key should encode
+/// every input that affects the result (architecture, scheme, scale,
+/// seed) — [`crate::Preset`] builds such keys.
+///
+/// # Errors
+///
+/// Propagates training errors; I/O problems fall back to retraining (a
+/// cache must never change results).
+#[allow(clippy::too_many_arguments)] // a flat config mirror of `pretrain` + cache keys
+pub fn pretrain_cached(
+    cache_dir: &Path,
+    key: &str,
+    arch: &ResNetConfig,
+    source: &Task,
+    scheme: PretrainScheme,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) -> Result<Pretrained> {
+    let path = cache_path(cache_dir, key);
+    if let Some(hit) = try_load(&path, arch) {
+        let mut model = MicroResNet::new(
+            &arch.clone().with_classes(source.train.num_classes()),
+            &mut SeedStream::new(seed).rng(),
+        )?;
+        hit.snapshot.restore(&mut model)?;
+        return Ok(Pretrained {
+            model,
+            snapshot: hit.snapshot,
+            scheme,
+            arch: hit.arch,
+        });
+    }
+    let result = pretrain(arch, source, scheme, epochs, lr, seed)?;
+    let entry = CacheEntry {
+        arch: result.arch.clone(),
+        scheme_label: scheme.label(),
+        snapshot: result.snapshot.clone(),
+    };
+    if let Ok(json) = serde_json::to_string(&entry) {
+        let _ = std::fs::create_dir_all(cache_dir);
+        let _ = std::fs::write(&path, json);
+    }
+    Ok(result)
+}
+
+fn cache_path(dir: &Path, key: &str) -> PathBuf {
+    // Keys are generated internally and filesystem-safe by construction;
+    // sanitize defensively anyway.
+    let safe: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{safe}.json"))
+}
+
+fn try_load(path: &Path, expected_arch: &ResNetConfig) -> Option<CacheEntry> {
+    let json = std::fs::read_to_string(path).ok()?;
+    let entry: CacheEntry = serde_json::from_str(&json).ok()?;
+    // Architectural drift invalidates the cache (class count may differ —
+    // it is set from the task at restore time).
+    let mut a = entry.arch.clone();
+    let mut b = expected_arch.clone();
+    a.num_classes = 0;
+    b.num_classes = 0;
+    (a == b).then_some(entry)
+}
+
+/// Validates that a snapshot can be restored into `arch`; exposed for
+/// integration tests.
+///
+/// # Errors
+///
+/// Returns [`NnError::StateDictMismatch`] on incompatibility.
+pub fn validate_snapshot(arch: &ResNetConfig, snapshot: &StateDict, classes: usize) -> Result<()> {
+    let mut model = MicroResNet::new(
+        &arch.clone().with_classes(classes),
+        &mut SeedStream::new(0).rng(),
+    )?;
+    snapshot.restore(&mut model).map_err(|e| match e {
+        NnError::StateDictMismatch { detail } => NnError::StateDictMismatch { detail },
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_data::{FamilyConfig, TaskFamily};
+    use rt_metrics::accuracy;
+    use rt_nn::{Layer, Mode};
+
+    fn source() -> Task {
+        TaskFamily::new(FamilyConfig::smoke(), 5)
+            .source_task(48, 24)
+            .unwrap()
+    }
+
+    #[test]
+    fn natural_pretraining_beats_chance() {
+        let task = source();
+        let mut pre = pretrain(
+            &ResNetConfig::smoke(4),
+            &task,
+            PretrainScheme::Natural,
+            8,
+            0.05,
+            1,
+        )
+        .unwrap();
+        let logits = pre.model.forward(task.test.images(), Mode::Eval).unwrap();
+        let acc = accuracy(&logits, task.test.labels()).unwrap();
+        assert!(acc > 0.4, "pretrained accuracy {acc} ≤ chance (0.25)");
+    }
+
+    #[test]
+    fn scheme_labels_are_distinct() {
+        let a = PretrainScheme::Natural.label();
+        let b = PretrainScheme::Adversarial(AttackConfig::pgd(0.25, 3)).label();
+        let c = PretrainScheme::RandomSmoothing(0.25).label();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fresh_model_matches_snapshot() {
+        let task = source();
+        let pre = pretrain(
+            &ResNetConfig::smoke(4),
+            &task,
+            PretrainScheme::Natural,
+            2,
+            0.05,
+            2,
+        )
+        .unwrap();
+        let mut fresh = pre.fresh_model(99).unwrap();
+        let mut orig = pre.fresh_model(100).unwrap();
+        let x = task.test.images().slice_rows(0, 4).unwrap();
+        let y1 = fresh.forward(&x, Mode::Eval).unwrap();
+        let y2 = orig.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y1, y2, "fresh models from the same snapshot must agree");
+    }
+
+    #[test]
+    fn cache_round_trip_preserves_weights() {
+        let dir = std::env::temp_dir().join("rt-pretrain-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let task = source();
+        let arch = ResNetConfig::smoke(4);
+        let first = pretrain_cached(
+            &dir,
+            "unit-test-key",
+            &arch,
+            &task,
+            PretrainScheme::Natural,
+            2,
+            0.05,
+            3,
+        )
+        .unwrap();
+        // Second call must hit the cache and restore identical weights.
+        let second = pretrain_cached(
+            &dir,
+            "unit-test-key",
+            &arch,
+            &task,
+            PretrainScheme::Natural,
+            2,
+            0.05,
+            3,
+        )
+        .unwrap();
+        assert_eq!(first.snapshot, second.snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_rejects_architecture_drift() {
+        let dir = std::env::temp_dir().join("rt-pretrain-cache-drift");
+        let _ = std::fs::remove_dir_all(&dir);
+        let task = source();
+        pretrain_cached(
+            &dir,
+            "drift-key",
+            &ResNetConfig::smoke(4),
+            &task,
+            PretrainScheme::Natural,
+            1,
+            0.05,
+            4,
+        )
+        .unwrap();
+        // Same key, different architecture: must retrain, not corrupt.
+        let other = pretrain_cached(
+            &dir,
+            "drift-key",
+            &ResNetConfig::r18_analog(4),
+            &task,
+            PretrainScheme::Natural,
+            1,
+            0.05,
+            4,
+        )
+        .unwrap();
+        assert_eq!(
+            other.arch.stage_widths,
+            ResNetConfig::r18_analog(4).stage_widths
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_snapshot_detects_mismatch() {
+        let task = source();
+        let pre = pretrain(
+            &ResNetConfig::smoke(4),
+            &task,
+            PretrainScheme::Natural,
+            1,
+            0.05,
+            5,
+        )
+        .unwrap();
+        assert!(validate_snapshot(&ResNetConfig::smoke(4), &pre.snapshot, 4).is_ok());
+        assert!(validate_snapshot(&ResNetConfig::r18_analog(4), &pre.snapshot, 4).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! High-level ticket-drawing pipelines combining the `rt-prune` schemes
+//! with this crate's training loops.
+
+use crate::pretrain::Pretrained;
+use crate::training::{train, Objective, TrainConfig};
+use crate::Result;
+use rt_adv::attack::AttackConfig;
+use rt_data::{Dataset, Task};
+use rt_models::MicroResNet;
+use rt_nn::loss::CrossEntropyLoss;
+use rt_nn::optim::Sgd;
+use rt_nn::{Layer, Mode};
+use rt_prune::{
+    finalize_lmp, imp, init_lmp, lmp_apply_masks, lmp_update_scores, ImpConfig, PruneScope,
+    ScoreInit, TicketMask,
+};
+use rt_tensor::rng::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// Builds the IMP rewind target: the pretrained weights for every
+/// parameter whose name and shape still match, and the model's current
+/// value elsewhere (the classifier head after a downstream replacement).
+/// Rewinding to the raw source snapshot would clash with the replaced
+/// head's shape.
+fn rewind_target_for(model: &MicroResNet, pretrained: &Pretrained) -> rt_nn::checkpoint::StateDict {
+    let mut target = rt_nn::checkpoint::StateDict::capture(model);
+    for entry in &mut target.params {
+        if let Some(pre) = pretrained
+            .snapshot
+            .params
+            .iter()
+            .find(|p| p.name == entry.name && p.tensor.shape() == entry.tensor.shape())
+        {
+            entry.tensor = pre.tensor.clone();
+        }
+    }
+    for (dst, src) in target.buffers.iter_mut().zip(&pretrained.snapshot.buffers) {
+        if dst.shape() == src.shape() {
+            *dst = src.clone();
+        }
+    }
+    target
+}
+
+/// Where IMP's iterative pruning runs (Fig. 4's "US"/"DS" variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImpSite {
+    /// On the upstream (source) task.
+    Upstream,
+    /// On the downstream task.
+    Downstream,
+}
+
+/// Draws an IMP or A-IMP ticket: the objective in `round_cfg` selects
+/// vanilla IMP ([`Objective::Natural`]) or the paper's A-IMP
+/// ([`Objective::Adversarial`], Eq. 1).
+///
+/// `model` must already carry the pretrained weights and a head sized for
+/// `data`. After the call, `model` holds `m ⊙ θ_pre` (rewound + masked).
+///
+/// # Errors
+///
+/// Propagates IMP and training errors.
+pub fn imp_ticket(
+    model: &mut MicroResNet,
+    pretrained: &Pretrained,
+    data: &Dataset,
+    imp_cfg: &ImpConfig,
+    round_cfg: &TrainConfig,
+) -> Result<TicketMask> {
+    let base_seed = round_cfg.seed;
+    let rewind_target = rewind_target_for(model, pretrained);
+    imp(model, &rewind_target, imp_cfg, |net, round| {
+        let cfg = round_cfg.with_seed(
+            SeedStream::new(base_seed)
+                .child("imp-round")
+                .child_idx(round as u64)
+                .seed(),
+        );
+        // The IMP driver hands us `&mut dyn Layer`; our training loop is
+        // already dynamic, so this is a straight delegation.
+        train(net, data, &cfg).map(|_| ())
+    })
+}
+
+/// Like [`imp_ticket`], but returns the *whole trajectory*: one
+/// `(sparsity, ticket)` pair per IMP round. One call yields every point of
+/// a Fig. 4 curve. The model is left at the final ticket.
+///
+/// # Errors
+///
+/// Propagates IMP and training errors.
+pub fn imp_ticket_trajectory(
+    model: &mut MicroResNet,
+    pretrained: &Pretrained,
+    data: &Dataset,
+    imp_cfg: &ImpConfig,
+    round_cfg: &TrainConfig,
+) -> Result<Vec<(f64, TicketMask)>> {
+    let base_seed = round_cfg.seed;
+    let rewind_target = rewind_target_for(model, pretrained);
+    let mut trajectory = Vec::with_capacity(imp_cfg.rounds);
+    rt_prune::imp_with_observer(
+        model,
+        &rewind_target,
+        imp_cfg,
+        |net, round| {
+            let cfg = round_cfg.with_seed(
+                SeedStream::new(base_seed)
+                    .child("imp-round")
+                    .child_idx(round as u64)
+                    .seed(),
+            );
+            train(net, data, &cfg).map(|_| ())
+        },
+        |round, ticket| {
+            trajectory.push((imp_cfg.sparsity_at_round(round), ticket.clone()));
+        },
+    )?;
+    Ok(trajectory)
+}
+
+/// A-IMP convenience: [`imp_ticket`] with the adversarial objective.
+///
+/// # Errors
+///
+/// Propagates IMP and training errors.
+pub fn adversarial_imp_ticket(
+    model: &mut MicroResNet,
+    pretrained: &Pretrained,
+    data: &Dataset,
+    imp_cfg: &ImpConfig,
+    round_cfg: &TrainConfig,
+    attack: AttackConfig,
+) -> Result<TicketMask> {
+    let cfg = round_cfg.with_objective(Objective::Adversarial(attack));
+    imp_ticket(model, pretrained, data, imp_cfg, &cfg)
+}
+
+/// Hyper-parameters of an LMP run (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LmpRunConfig {
+    /// Target sparsity of the learned mask.
+    pub sparsity: f64,
+    /// Epochs of mask/head learning on the downstream task.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate of the straight-through score updates.
+    pub score_lr: f32,
+    /// Learning rate of the trainable parameters (head, BatchNorm affine).
+    pub head_lr: f32,
+    /// Score initialization.
+    pub init: LmpScoreInit,
+    /// Seed for shuffling and initialization.
+    pub seed: u64,
+}
+
+/// Serializable mirror of [`ScoreInit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LmpScoreInit {
+    /// Scores start at `|θ_pre|`.
+    Magnitude,
+    /// Scores start random.
+    Random,
+}
+
+impl From<LmpScoreInit> for ScoreInit {
+    fn from(v: LmpScoreInit) -> ScoreInit {
+        match v {
+            LmpScoreInit::Magnitude => ScoreInit::Magnitude,
+            LmpScoreInit::Random => ScoreInit::Random,
+        }
+    }
+}
+
+/// Result of an LMP run: the learned task-specific ticket and the test
+/// accuracy of the masked, frozen-weight subnetwork.
+#[derive(Debug, Clone)]
+pub struct LmpOutcome {
+    /// The learned mask.
+    pub ticket: TicketMask,
+    /// Test accuracy of `m_t ⊙ θ_pre` with the trained head.
+    pub test_accuracy: f64,
+}
+
+/// Runs LMP on a downstream task: freezes the pretrained weights, learns a
+/// per-layer top-k mask by straight-through estimation while a fresh head
+/// (and the BatchNorm affines) train normally, then evaluates.
+///
+/// # Errors
+///
+/// Propagates layer/optimizer errors.
+pub fn lmp_run(model: &mut MicroResNet, task: &Task, cfg: &LmpRunConfig) -> Result<LmpOutcome> {
+    let seeds = SeedStream::new(cfg.seed);
+    model.replace_head(task.train.num_classes(), &mut seeds.child("head").rng())?;
+    let scope = PruneScope::backbone();
+    init_lmp(
+        model,
+        &scope,
+        cfg.init.into(),
+        &mut seeds.child("scores").rng(),
+    )?;
+
+    let loss_fn = CrossEntropyLoss::new();
+    let head_opt = Sgd::new(cfg.head_lr).with_momentum(0.9);
+    for epoch in 0..cfg.epochs {
+        let mut rng = seeds.child("epoch").child_idx(epoch as u64).rng();
+        for (images, labels) in task.train.shuffled_batches(cfg.batch_size, &mut rng) {
+            lmp_apply_masks(model, cfg.sparsity)?;
+            let logits = model.forward(&images, Mode::Train)?;
+            let out = loss_fn.forward(&logits, &labels)?;
+            model.backward(&out.grad)?;
+            lmp_update_scores(model, cfg.score_lr)?;
+            head_opt.step(model)?;
+        }
+    }
+    let ticket = finalize_lmp(model, cfg.sparsity)?;
+    let report = crate::evaluate::evaluate(model, &task.test)?;
+    Ok(LmpOutcome {
+        ticket,
+        test_accuracy: report.accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretrain::{pretrain, PretrainScheme};
+    use rt_data::{DownstreamSpec, FamilyConfig, TaskFamily};
+    use rt_models::ResNetConfig;
+    use rt_prune::model_sparsity;
+
+    fn setup() -> (TaskFamily, Task, Pretrained) {
+        let family = TaskFamily::new(FamilyConfig::smoke(), 51);
+        let source = family.source_task(48, 16).unwrap();
+        let spec = DownstreamSpec {
+            name: "ticket-test".to_string(),
+            gap: 0.3,
+            num_classes: 2,
+            train_size: 24,
+            test_size: 24,
+        };
+        let task = family.downstream_task(&spec).unwrap();
+        let pre = pretrain(
+            &ResNetConfig::smoke(4),
+            &source,
+            PretrainScheme::Natural,
+            4,
+            0.05,
+            1,
+        )
+        .unwrap();
+        (family, task, pre)
+    }
+
+    #[test]
+    fn upstream_imp_ticket_reaches_sparsity() {
+        let (_, _, pre) = setup();
+        let family = TaskFamily::new(FamilyConfig::smoke(), 51);
+        let source = family.source_task(48, 16).unwrap();
+        let mut model = pre.fresh_model(3).unwrap();
+        let imp_cfg = ImpConfig::paper(0.6, 2);
+        let round_cfg = TrainConfig::paper_finetune(1, 8, 0.05, 9);
+        let ticket = imp_ticket(&mut model, &pre, &source.train, &imp_cfg, &round_cfg).unwrap();
+        assert!((ticket.sparsity() - 0.6).abs() < 0.03);
+        assert!((model_sparsity(&model, &PruneScope::backbone()) - 0.6).abs() < 0.03);
+    }
+
+    #[test]
+    fn adversarial_imp_ticket_runs() {
+        let (_, task, pre) = setup();
+        let mut model = pre.fresh_model(4).unwrap();
+        model
+            .replace_head(task.train.num_classes(), &mut SeedStream::new(5).rng())
+            .unwrap();
+        let imp_cfg = ImpConfig::paper(0.5, 2);
+        let round_cfg = TrainConfig::paper_finetune(1, 8, 0.05, 10);
+        let ticket = adversarial_imp_ticket(
+            &mut model,
+            &pre,
+            &task.train,
+            &imp_cfg,
+            &round_cfg,
+            AttackConfig::pgd(0.2, 2),
+        )
+        .unwrap();
+        assert!((ticket.sparsity() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn lmp_learns_a_mask_with_frozen_weights() {
+        let (_, task, pre) = setup();
+        let mut model = pre.fresh_model(6).unwrap();
+        let cfg = LmpRunConfig {
+            sparsity: 0.5,
+            epochs: 3,
+            batch_size: 8,
+            score_lr: 0.1,
+            head_lr: 0.05,
+            init: LmpScoreInit::Magnitude,
+            seed: 11,
+        };
+        let outcome = lmp_run(&mut model, &task, &cfg).unwrap();
+        assert!((outcome.ticket.sparsity() - 0.5).abs() < 0.05);
+        assert!(outcome.test_accuracy >= 0.4, "{}", outcome.test_accuracy);
+        // Kept weights equal the pretrained values (weights were frozen).
+        let pre_params = &pre.snapshot.params;
+        for (p, snap) in model.params().iter().zip(pre_params) {
+            if p.name.starts_with("head.") || p.kind != rt_nn::ParamKind::Weight {
+                continue;
+            }
+            let Some(mask) = &p.mask else { continue };
+            for ((&w, &orig), &keep) in p
+                .data
+                .data()
+                .iter()
+                .zip(snap.tensor.data())
+                .zip(mask.data())
+            {
+                if keep > 0.0 {
+                    assert_eq!(w, orig, "frozen weight changed in {}", p.name);
+                } else {
+                    assert_eq!(w, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lmp_random_init_also_works() {
+        let (_, task, pre) = setup();
+        let mut model = pre.fresh_model(7).unwrap();
+        let cfg = LmpRunConfig {
+            sparsity: 0.3,
+            epochs: 2,
+            batch_size: 8,
+            score_lr: 0.1,
+            head_lr: 0.05,
+            init: LmpScoreInit::Random,
+            seed: 12,
+        };
+        let outcome = lmp_run(&mut model, &task, &cfg).unwrap();
+        assert!((outcome.ticket.sparsity() - 0.3).abs() < 0.05);
+    }
+}

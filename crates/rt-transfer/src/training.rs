@@ -1,0 +1,275 @@
+//! The generic minibatch training loop shared by pretraining, IMP rounds,
+//! and finetuning.
+
+use crate::Result;
+use rt_adv::attack::{perturb, AttackConfig};
+use rt_adv::smoothing::gaussian_augment;
+use rt_data::Dataset;
+use rt_nn::loss::CrossEntropyLoss;
+use rt_nn::optim::Sgd;
+use rt_nn::schedule::{ConstantLr, CosineLr, LrSchedule, StepDecay};
+use rt_nn::{Layer, Mode, NnError};
+use rt_tensor::rng::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// Training objective: what the inner loss sees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Standard cross-entropy on clean inputs.
+    Natural,
+    /// The paper's Eq. 1 minimax: cross-entropy on PGD-perturbed inputs
+    /// (adversarial training, Madry et al.).
+    Adversarial(AttackConfig),
+    /// Randomized-smoothing pretraining: cross-entropy on Gaussian-noised
+    /// inputs with the given σ (Cohen et al.).
+    GaussianNoise(f32),
+}
+
+/// Learning-rate schedule selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SchedulePolicy {
+    /// Constant learning rate.
+    #[default]
+    Constant,
+    /// The paper's step decay: ×0.1 at 1/3 and 2/3 of training.
+    PaperStep,
+    /// Cosine annealing to zero.
+    Cosine,
+}
+
+/// Hyper-parameters of one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay (weights only).
+    pub weight_decay: f32,
+    /// Learning-rate schedule.
+    pub schedule: SchedulePolicy,
+    /// Training objective.
+    pub objective: Objective,
+    /// Seed for shuffling, attack random starts, and noise.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's finetuning recipe (momentum 0.9, weight decay 1e-4,
+    /// step-decay schedule) with a natural objective.
+    pub fn paper_finetune(epochs: usize, batch_size: usize, lr: f32, seed: u64) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size,
+            lr,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            schedule: SchedulePolicy::PaperStep,
+            objective: Objective::Natural,
+            seed,
+        }
+    }
+
+    /// Returns a copy with a different objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean loss of each epoch, in order.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch (`NaN`-free by construction; `0.0` if no
+    /// epochs ran).
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(0.0)
+    }
+}
+
+fn make_schedule(cfg: &TrainConfig) -> Box<dyn LrSchedule> {
+    match cfg.schedule {
+        SchedulePolicy::Constant => Box::new(ConstantLr::new(cfg.lr)),
+        SchedulePolicy::PaperStep => Box::new(StepDecay::paper_recipe(cfg.lr, cfg.epochs)),
+        SchedulePolicy::Cosine => Box::new(CosineLr::new(cfg.lr, cfg.lr * 1e-3, cfg.epochs.max(1))),
+    }
+}
+
+/// Trains `model` on `data` under `config`, returning per-epoch losses.
+///
+/// Adversarial objectives regenerate PGD examples against the *current*
+/// model every batch, exactly as in adversarial training. BatchNorm runs
+/// in train mode for the update pass and (inside the attack) in eval mode.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for a zero batch size and propagates
+/// layer/optimizer errors.
+pub fn train(model: &mut dyn Layer, data: &Dataset, config: &TrainConfig) -> Result<TrainReport> {
+    if config.batch_size == 0 {
+        return Err(NnError::InvalidConfig {
+            detail: "batch size must be positive".to_string(),
+        });
+    }
+    let loss_fn = CrossEntropyLoss::new();
+    let schedule = make_schedule(config);
+    let seeds = SeedStream::new(config.seed);
+    let mut report = TrainReport {
+        epoch_losses: Vec::with_capacity(config.epochs),
+    };
+    for epoch in 0..config.epochs {
+        let mut opt = Sgd::new(schedule.lr_at(epoch).max(1e-8))
+            .with_momentum(config.momentum)
+            .with_weight_decay(config.weight_decay);
+        let _ = &mut opt; // momentum state lives in the params, not here
+        let mut rng = seeds.child("epoch").child_idx(epoch as u64).rng();
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for (images, labels) in data.shuffled_batches(config.batch_size, &mut rng) {
+            let inputs = match &config.objective {
+                Objective::Natural => images,
+                Objective::Adversarial(attack) => {
+                    perturb(model, &images, &labels, attack, &mut rng)?
+                }
+                Objective::GaussianNoise(sigma) => gaussian_augment(&images, *sigma, &mut rng),
+            };
+            let logits = model.forward(&inputs, Mode::Train)?;
+            let out = loss_fn.forward(&logits, &labels)?;
+            model.backward(&out.grad)?;
+            opt.step(model)?;
+            epoch_loss += out.loss as f64;
+            batches += 1;
+        }
+        report.epoch_losses.push(if batches == 0 {
+            0.0
+        } else {
+            epoch_loss / batches as f64
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_data::{FamilyConfig, TaskFamily};
+    use rt_models::{MicroResNet, ResNetConfig};
+    use rt_tensor::rng::rng_from_seed;
+
+    fn smoke_setup() -> (MicroResNet, Dataset) {
+        let family = TaskFamily::new(FamilyConfig::smoke(), 11);
+        let task = family.source_task(32, 16).unwrap();
+        let config = ResNetConfig::smoke(task.train.num_classes());
+        let model = MicroResNet::new(&config, &mut rng_from_seed(0)).unwrap();
+        (model, task.train)
+    }
+
+    #[test]
+    fn natural_training_reduces_loss() {
+        let (mut model, data) = smoke_setup();
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            schedule: SchedulePolicy::Constant,
+            objective: Objective::Natural,
+            seed: 1,
+        };
+        let report = train(&mut model, &data, &cfg).unwrap();
+        assert_eq!(report.epoch_losses.len(), 6);
+        assert!(
+            report.final_loss() < report.epoch_losses[0],
+            "{:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn adversarial_training_runs_and_learns() {
+        let (mut model, data) = smoke_setup();
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            schedule: SchedulePolicy::Constant,
+            objective: Objective::Adversarial(AttackConfig::pgd(0.2, 2)),
+            seed: 2,
+        };
+        let report = train(&mut model, &data, &cfg).unwrap();
+        assert!(report.final_loss() < report.epoch_losses[0]);
+    }
+
+    #[test]
+    fn gaussian_objective_runs() {
+        let (mut model, data) = smoke_setup();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr: 0.05,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            schedule: SchedulePolicy::Cosine,
+            objective: Objective::GaussianNoise(0.3),
+            seed: 3,
+        };
+        let report = train(&mut model, &data, &cfg).unwrap();
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut m1, data) = smoke_setup();
+        let (mut m2, _) = smoke_setup();
+        let cfg = TrainConfig::paper_finetune(2, 8, 0.05, 42);
+        let r1 = train(&mut m1, &data, &cfg).unwrap();
+        let r2 = train(&mut m2, &data, &cfg).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let (mut model, data) = smoke_setup();
+        let mut cfg = TrainConfig::paper_finetune(1, 8, 0.05, 0);
+        cfg.batch_size = 0;
+        assert!(train(&mut model, &data, &cfg).is_err());
+    }
+
+    #[test]
+    fn masked_weights_survive_training() {
+        use rt_prune::{omp, OmpConfig};
+        let (mut model, data) = smoke_setup();
+        let ticket = omp(&model, &OmpConfig::unstructured(0.5)).unwrap();
+        ticket.apply(&mut model).unwrap();
+        let cfg = TrainConfig::paper_finetune(2, 8, 0.05, 7);
+        train(&mut model, &data, &cfg).unwrap();
+        for p in model.params() {
+            if let Some(mask) = &p.mask {
+                for (&w, &k) in p.data.data().iter().zip(mask.data()) {
+                    if k == 0.0 {
+                        assert_eq!(w, 0.0, "pruned weight moved in {}", p.name);
+                    }
+                }
+            }
+        }
+    }
+}

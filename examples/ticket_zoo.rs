@@ -1,0 +1,114 @@
+//! Tour of every ticket-drawing scheme in the workspace: OMP (global,
+//! layer-wise, and structured), IMP/A-IMP with weight rewinding, and LMP
+//! with learnable masks — each reported with a per-layer sparsity
+//! breakdown.
+//!
+//! ```text
+//! cargo run --release --example ticket_zoo
+//! ```
+
+use robust_tickets::adv::attack::AttackConfig;
+use robust_tickets::data::{FamilyConfig, TaskFamily};
+use robust_tickets::models::ResNetConfig;
+use robust_tickets::prune::{
+    layer_sparsity_report, omp, Granularity, ImpConfig, OmpConfig, PruneScope, TicketMask,
+};
+use robust_tickets::transfer::pretrain::{pretrain, PretrainScheme};
+use robust_tickets::transfer::ticket::{imp_ticket, lmp_run, LmpRunConfig, LmpScoreInit};
+use robust_tickets::transfer::training::{Objective, SchedulePolicy, TrainConfig};
+
+fn describe(name: &str, ticket: &TicketMask, model: &robust_tickets::models::MicroResNet) {
+    println!(
+        "\n=== {name}: overall sparsity {:.1}% over {} masked weights",
+        100.0 * ticket.sparsity(),
+        ticket.masked_weight_count()
+    );
+    for layer in layer_sparsity_report(model, &PruneScope::backbone())
+        .iter()
+        .take(6)
+    {
+        println!(
+            "    {:<28} {:>7.1}%  ({}/{} kept)",
+            layer.name,
+            100.0 * layer.sparsity,
+            layer.active,
+            layer.total
+        );
+    }
+    println!("    ... (first 6 layers shown)");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let family = TaskFamily::new(FamilyConfig::paper(), 3);
+    let source = family.source_task(256, 64)?;
+    println!("pretraining a robust model...");
+    let attack = AttackConfig::pgd(0.4, 3);
+    let pre = pretrain(
+        &ResNetConfig::r18_analog(12),
+        &source,
+        PretrainScheme::Adversarial(attack),
+        5,
+        0.05,
+        0,
+    )?;
+
+    // ① OMP — unstructured, global threshold.
+    let mut model = pre.fresh_model(1)?;
+    let ticket = omp(&model, &OmpConfig::unstructured(0.8))?;
+    ticket.apply(&mut model)?;
+    describe("OMP global (unstructured, 80%)", &ticket, &model);
+
+    // ① OMP — channel-structured (hardware friendly).
+    let mut model = pre.fresh_model(2)?;
+    let ticket = omp(&model, &OmpConfig::structured(0.5, Granularity::Channel))?;
+    ticket.apply(&mut model)?;
+    describe("OMP channel-structured (50%)", &ticket, &model);
+
+    // ② A-IMP — iterative adversarial pruning with rewinding.
+    let mut model = pre.fresh_model(3)?;
+    let round_cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        lr: 0.02,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: SchedulePolicy::Constant,
+        objective: Objective::Adversarial(attack),
+        seed: 9,
+    };
+    let ticket = imp_ticket(
+        &mut model,
+        &pre,
+        &source.train,
+        &ImpConfig::paper(0.8, 3),
+        &round_cfg,
+    )?;
+    describe("A-IMP (3 rounds to 80%, rewound)", &ticket, &model);
+
+    // ③ LMP — learnable task-specific mask on frozen weights.
+    let spec = family.vtab_suite(128, 64).remove(5);
+    let task = family.downstream_task(&spec)?;
+    let mut model = pre.fresh_model(4)?;
+    let outcome = lmp_run(
+        &mut model,
+        &task,
+        &LmpRunConfig {
+            sparsity: 0.6,
+            epochs: 3,
+            batch_size: 32,
+            score_lr: 0.1,
+            head_lr: 0.02,
+            init: LmpScoreInit::Magnitude,
+            seed: 11,
+        },
+    )?;
+    describe(
+        &format!(
+            "LMP on `{}` (60%, frozen weights) — test acc {:.3}",
+            task.name, outcome.test_accuracy
+        ),
+        &outcome.ticket,
+        &model,
+    );
+    Ok(())
+}

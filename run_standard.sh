@@ -1,0 +1,9 @@
+#!/bin/bash
+# Runs every experiment driver at standard scale, sequentially.
+cd /root/repo
+for bin in fig1_omp_finetune fig2_omp_linear fig9_vtab fig6_pretrain_schemes fig3_structured fig5_lmp fig7_segmentation fig8_properties fig4_imp ablate_omp_scope ablate_imp_rewind ablate_aimp_strength ablate_criteria; do
+  echo "=== START $bin $(date +%H:%M:%S)" >> results/run.log
+  timeout 3000 ./target/release/$bin --scale standard > results/$bin.out.md 2> results/$bin.err.log
+  echo "=== DONE $bin rc=$? $(date +%H:%M:%S)" >> results/run.log
+done
+echo "=== ALL DONE $(date +%H:%M:%S)" >> results/run.log

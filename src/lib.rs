@@ -1,0 +1,83 @@
+//! **robust-tickets** — a from-scratch Rust reproduction of
+//! *"Robust Tickets Can Transfer Better: Drawing More Transferable
+//! Subnetworks in Transfer Learning"* (Fu, Yuan, Wu, Yuan, Lin — DAC 2023).
+//!
+//! The paper's finding: subnetworks ("tickets") drawn from *adversarially
+//! robust* pretrained models transfer to downstream tasks better than
+//! tickets drawn from naturally pretrained models. This workspace rebuilds
+//! the entire experimental stack — tensor kernels, layer-wise backprop,
+//! micro-ResNets, adversarial training, three ticket-drawing schemes, the
+//! transfer protocols, and every figure/table driver — on synthetic vision
+//! tasks engineered to carry the same mechanism (see `DESIGN.md`).
+//!
+//! This facade crate re-exports each subsystem under a short module name:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `rt-tensor` | tensors, linalg, conv kernels, seeded RNG |
+//! | [`nn`] | `rt-nn` | layers, losses, SGD, schedules, checkpoints |
+//! | [`models`] | `rt-models` | MicroResNet (R18/R50 analogs), FCN head |
+//! | [`data`] | `rt-data` | synthetic task family, segmentation, FID |
+//! | [`adv`] | `rt-adv` | FGSM/PGD, randomized smoothing, robust eval |
+//! | [`prune`] | `rt-prune` | OMP, IMP/A-IMP, LMP, structured patterns |
+//! | [`metrics`] | `rt-metrics` | accuracy, ECE/NLL, ROC-AUC, mIoU |
+//! | [`transfer`] | `rt-transfer` | pretrain → ticket → finetune/linear |
+//!
+//! # Quickstart
+//!
+//! Draw a robust ticket and transfer it:
+//!
+//! ```rust
+//! use robust_tickets::data::{FamilyConfig, TaskFamily};
+//! use robust_tickets::models::ResNetConfig;
+//! use robust_tickets::prune::{omp, OmpConfig};
+//! use robust_tickets::transfer::{
+//!     finetune::finetune, pretrain::pretrain, pretrain::PretrainScheme,
+//!     training::TrainConfig,
+//! };
+//! use robust_tickets::adv::attack::AttackConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A synthetic universe: source task + downstream tasks.
+//! let family = TaskFamily::new(FamilyConfig::smoke(), 42);
+//! let source = family.source_task(64, 32)?;
+//!
+//! // 2. Robust pretraining (PGD adversarial training) of a dense model.
+//! let scheme = PretrainScheme::Adversarial(AttackConfig::pgd(0.4, 2));
+//! let pre = pretrain(&ResNetConfig::smoke(4), &source, scheme, 2, 0.05, 0)?;
+//!
+//! // 3. Draw the robust ticket by one-shot magnitude pruning at 50%.
+//! let mut model = pre.fresh_model(1)?;
+//! let ticket = omp(&model, &OmpConfig::unstructured(0.5))?;
+//! ticket.apply(&mut model)?;
+//!
+//! // 4. Transfer: finetune the subnetwork on a downstream task.
+//! let spec = family.vtab_suite(32, 32).remove(3);
+//! let task = family.downstream_task(&spec)?;
+//! let report = finetune(&mut model, &task, &TrainConfig::paper_finetune(2, 16, 0.03, 7))?;
+//! assert!(report.accuracy > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Reproducing the paper
+//!
+//! Every figure and table has a driver binary in the `rt-bench` crate:
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin fig1_omp_finetune -- --scale standard
+//! ```
+//!
+//! See `EXPERIMENTS.md` for the per-experiment index and recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rt_adv as adv;
+pub use rt_data as data;
+pub use rt_metrics as metrics;
+pub use rt_models as models;
+pub use rt_nn as nn;
+pub use rt_prune as prune;
+pub use rt_tensor as tensor;
+pub use rt_transfer as transfer;

@@ -1,0 +1,71 @@
+//! Integration test: the whole experiment universe is a pure function of
+//! its seeds — rerunning any pipeline with the same seed yields identical
+//! results, and different seeds diverge.
+
+use robust_tickets::adv::attack::AttackConfig;
+use robust_tickets::data::{DownstreamSpec, FamilyConfig, TaskFamily};
+use robust_tickets::models::ResNetConfig;
+use robust_tickets::prune::{omp, OmpConfig, TicketMask};
+use robust_tickets::transfer::finetune::finetune;
+use robust_tickets::transfer::pretrain::{pretrain, PretrainScheme};
+use robust_tickets::transfer::training::TrainConfig;
+
+fn run_pipeline(seed: u64) -> (TicketMask, f64) {
+    let family = TaskFamily::new(FamilyConfig::smoke(), seed);
+    let source = family.source_task(48, 24).expect("source");
+    let spec = DownstreamSpec {
+        name: "det".to_string(),
+        gap: 0.4,
+        num_classes: 2,
+        train_size: 32,
+        test_size: 32,
+    };
+    let task = family.downstream_task(&spec).expect("task");
+    let pre = pretrain(
+        &ResNetConfig::smoke(4),
+        &source,
+        PretrainScheme::Adversarial(AttackConfig::pgd(0.3, 2)),
+        3,
+        0.05,
+        seed,
+    )
+    .expect("pretrain");
+    let mut model = pre.fresh_model(seed + 1).expect("model");
+    let ticket = omp(&model, &OmpConfig::unstructured(0.5)).expect("omp");
+    ticket.apply(&mut model).expect("apply");
+    let report = finetune(
+        &mut model,
+        &task,
+        &TrainConfig::paper_finetune(3, 8, 0.03, seed + 2),
+    )
+    .expect("finetune");
+    (ticket, report.accuracy)
+}
+
+#[test]
+fn same_seed_identical_results() {
+    let (ticket_a, acc_a) = run_pipeline(5);
+    let (ticket_b, acc_b) = run_pipeline(5);
+    assert_eq!(ticket_a, ticket_b, "tickets must be bit-identical");
+    assert_eq!(acc_a, acc_b, "accuracies must be bit-identical");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let (ticket_a, _) = run_pipeline(5);
+    let (ticket_b, _) = run_pipeline(6);
+    assert_ne!(ticket_a, ticket_b);
+}
+
+#[test]
+fn data_generation_is_stable_across_family_instances() {
+    let a = TaskFamily::new(FamilyConfig::smoke(), 9);
+    let b = TaskFamily::new(FamilyConfig::smoke(), 9);
+    let ta = a.source_task(16, 8).expect("task");
+    let tb = b.source_task(16, 8).expect("task");
+    assert_eq!(ta.train.images(), tb.train.images());
+    assert_eq!(ta.test.images(), tb.test.images());
+    let oa = a.ood_dataset(8).expect("ood");
+    let ob = b.ood_dataset(8).expect("ood");
+    assert_eq!(oa.images(), ob.images());
+}

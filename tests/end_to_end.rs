@@ -1,0 +1,150 @@
+//! Integration test: the full pipeline — pretrain → draw ticket →
+//! transfer → measure — across crate boundaries, at smoke scale.
+
+use robust_tickets::adv::attack::AttackConfig;
+use robust_tickets::data::{DownstreamSpec, FamilyConfig, TaskFamily};
+use robust_tickets::models::ResNetConfig;
+use robust_tickets::prune::{model_sparsity, omp, OmpConfig, PruneScope};
+use robust_tickets::transfer::evaluate::{evaluate, evaluate_adversarial, ood_auc};
+use robust_tickets::transfer::finetune::finetune;
+use robust_tickets::transfer::linear::{linear_eval, LinearEvalConfig};
+use robust_tickets::transfer::pretrain::{pretrain, PretrainScheme};
+use robust_tickets::transfer::training::TrainConfig;
+
+fn universe() -> (
+    TaskFamily,
+    robust_tickets::data::Task,
+    robust_tickets::data::Task,
+) {
+    let family = TaskFamily::new(FamilyConfig::smoke(), 77);
+    let source = family.source_task(64, 48).expect("source");
+    let spec = DownstreamSpec {
+        name: "e2e".to_string(),
+        gap: 0.3,
+        num_classes: 2,
+        train_size: 40,
+        test_size: 48,
+    };
+    let downstream = family.downstream_task(&spec).expect("downstream");
+    (family, source, downstream)
+}
+
+#[test]
+fn full_robust_ticket_pipeline() {
+    let (family, source, downstream) = universe();
+    let pre = pretrain(
+        &ResNetConfig::smoke(4),
+        &source,
+        PretrainScheme::Adversarial(AttackConfig::pgd(0.3, 2)),
+        5,
+        0.05,
+        1,
+    )
+    .expect("pretrain");
+
+    // The pretrained dense model does something on the source task.
+    let mut dense = pre.fresh_model(2).expect("model");
+    let dense_report = evaluate(&mut dense, &source.test).expect("eval");
+    assert!(dense_report.accuracy > 0.3, "{}", dense_report.accuracy);
+
+    // Draw + apply + finetune a 60% ticket.
+    let mut model = pre.fresh_model(3).expect("model");
+    let ticket = omp(&model, &OmpConfig::unstructured(0.6)).expect("omp");
+    ticket.apply(&mut model).expect("apply");
+    let report = finetune(
+        &mut model,
+        &downstream,
+        &TrainConfig::paper_finetune(6, 8, 0.03, 5),
+    )
+    .expect("finetune");
+    assert!(
+        report.accuracy > 0.55,
+        "2-class finetune should beat chance, got {}",
+        report.accuracy
+    );
+    assert!(report.nll.is_finite() && report.nll > 0.0);
+    assert!((0.0..=1.0).contains(&report.ece));
+
+    // Sparsity held through finetuning.
+    let sparsity = model_sparsity(&model, &PruneScope::backbone());
+    assert!((sparsity - 0.6).abs() < 0.02, "{sparsity}");
+
+    // Linear evaluation also runs on the same ticket.
+    let mut model = pre.fresh_model(4).expect("model");
+    ticket.apply(&mut model).expect("apply");
+    let lin = linear_eval(&mut model, &downstream, &LinearEvalConfig::default()).expect("linear");
+    assert!(lin > 0.5, "linear eval {lin}");
+
+    // Robustness + OoD metrics are well-formed.
+    let mut model = pre.fresh_model(5).expect("model");
+    ticket.apply(&mut model).expect("apply");
+    finetune(
+        &mut model,
+        &downstream,
+        &TrainConfig::paper_finetune(4, 8, 0.03, 6),
+    )
+    .expect("finetune");
+    let adv = evaluate_adversarial(&mut model, &downstream.test, &AttackConfig::pgd(0.2, 2), 11)
+        .expect("adv");
+    assert!((0.0..=1.0).contains(&adv));
+    let ood = family.ood_dataset(32).expect("ood");
+    let auc = ood_auc(&mut model, &downstream.test, &ood).expect("auc");
+    assert!((0.0..=1.0).contains(&auc));
+}
+
+#[test]
+fn natural_pipeline_and_scheme_contrast() {
+    let (_, source, _) = universe();
+    // Natural and robust pretraining produce different weights from the
+    // same init seed.
+    let natural = pretrain(
+        &ResNetConfig::smoke(4),
+        &source,
+        PretrainScheme::Natural,
+        3,
+        0.05,
+        1,
+    )
+    .expect("natural");
+    let robust = pretrain(
+        &ResNetConfig::smoke(4),
+        &source,
+        PretrainScheme::Adversarial(AttackConfig::pgd(0.3, 2)),
+        3,
+        0.05,
+        1,
+    )
+    .expect("robust");
+    let diff: f32 = natural
+        .snapshot
+        .params
+        .iter()
+        .zip(&robust.snapshot.params)
+        .map(|(a, b)| a.tensor.sub(&b.tensor).map(|d| d.l1_norm()).unwrap_or(0.0))
+        .sum();
+    assert!(diff > 1.0, "schemes must diverge, diff {diff}");
+
+    // And they induce different tickets.
+    let nat_ticket = omp(&natural.model, &OmpConfig::unstructured(0.5)).expect("omp");
+    let rob_ticket = omp(&robust.model, &OmpConfig::unstructured(0.5)).expect("omp");
+    assert_ne!(nat_ticket, rob_ticket);
+}
+
+#[test]
+fn randomized_smoothing_pipeline_runs() {
+    let (_, source, downstream) = universe();
+    let pre = pretrain(
+        &ResNetConfig::smoke(4),
+        &source,
+        PretrainScheme::RandomSmoothing(0.4),
+        3,
+        0.05,
+        2,
+    )
+    .expect("rs pretrain");
+    let mut model = pre.fresh_model(1).expect("model");
+    let ticket = omp(&model, &OmpConfig::unstructured(0.5)).expect("omp");
+    ticket.apply(&mut model).expect("apply");
+    let lin = linear_eval(&mut model, &downstream, &LinearEvalConfig::default()).expect("linear");
+    assert!(lin > 0.4, "{lin}");
+}

@@ -1,0 +1,157 @@
+//! Integration test: the three ticket-drawing schemes (OMP / IMP / LMP)
+//! agree on the accounting invariants the paper relies on.
+
+use robust_tickets::adv::attack::AttackConfig;
+use robust_tickets::data::{DownstreamSpec, FamilyConfig, TaskFamily};
+use robust_tickets::models::ResNetConfig;
+use robust_tickets::prune::{model_sparsity, omp, Granularity, ImpConfig, OmpConfig, PruneScope};
+use robust_tickets::transfer::pretrain::{pretrain, PretrainScheme, Pretrained};
+use robust_tickets::transfer::ticket::{
+    imp_ticket_trajectory, lmp_run, LmpRunConfig, LmpScoreInit,
+};
+use robust_tickets::transfer::training::{Objective, SchedulePolicy, TrainConfig};
+
+fn setup() -> (TaskFamily, robust_tickets::data::Task, Pretrained) {
+    let family = TaskFamily::new(FamilyConfig::smoke(), 91);
+    let source = family.source_task(48, 24).expect("source");
+    let pre = pretrain(
+        &ResNetConfig::smoke(4),
+        &source,
+        PretrainScheme::Adversarial(AttackConfig::pgd(0.3, 2)),
+        3,
+        0.05,
+        1,
+    )
+    .expect("pretrain");
+    (family, source, pre)
+}
+
+#[test]
+fn all_schemes_hit_their_sparsity_targets() {
+    let (family, source, pre) = setup();
+    let target = 0.6;
+
+    // OMP at every granularity.
+    for granularity in [
+        Granularity::Element,
+        Granularity::Row,
+        Granularity::Kernel,
+        Granularity::Channel,
+    ] {
+        let model = pre.fresh_model(1).expect("model");
+        let ticket = omp(&model, &OmpConfig::structured(target, granularity)).expect("omp");
+        assert!(
+            (ticket.sparsity() - target).abs() < 0.06,
+            "{granularity:?}: {}",
+            ticket.sparsity()
+        );
+    }
+
+    // IMP trajectory: monotone sparsity, final at target.
+    let mut model = pre.fresh_model(2).expect("model");
+    let round_cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: SchedulePolicy::Constant,
+        objective: Objective::Natural,
+        seed: 3,
+    };
+    let trajectory = imp_ticket_trajectory(
+        &mut model,
+        &pre,
+        &source.train,
+        &ImpConfig::paper(target, 3),
+        &round_cfg,
+    )
+    .expect("imp");
+    assert_eq!(trajectory.len(), 3);
+    for pair in trajectory.windows(2) {
+        assert!(pair[0].0 < pair[1].0, "sparsity must grow");
+        assert!(pair[0].1.sparsity() < pair[1].1.sparsity());
+    }
+    assert!((trajectory.last().unwrap().1.sparsity() - target).abs() < 0.03);
+
+    // LMP.
+    let spec = DownstreamSpec {
+        name: "schemes".to_string(),
+        gap: 0.3,
+        num_classes: 2,
+        train_size: 24,
+        test_size: 24,
+    };
+    let task = family.downstream_task(&spec).expect("task");
+    let mut model = pre.fresh_model(4).expect("model");
+    let outcome = lmp_run(
+        &mut model,
+        &task,
+        &LmpRunConfig {
+            sparsity: target,
+            epochs: 2,
+            batch_size: 8,
+            score_lr: 0.1,
+            head_lr: 0.03,
+            init: LmpScoreInit::Magnitude,
+            seed: 5,
+        },
+    )
+    .expect("lmp");
+    assert!((outcome.ticket.sparsity() - target).abs() < 0.05);
+    // Model-level accounting agrees with the ticket.
+    let model_s = model_sparsity(&model, &PruneScope::backbone());
+    assert!((model_s - outcome.ticket.sparsity()).abs() < 1e-9);
+}
+
+#[test]
+fn imp_masks_nest_along_the_trajectory() {
+    let (_, source, pre) = setup();
+    let mut model = pre.fresh_model(6).expect("model");
+    let round_cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        schedule: SchedulePolicy::Constant,
+        objective: Objective::Adversarial(AttackConfig::pgd(0.2, 2)),
+        seed: 7,
+    };
+    let trajectory = imp_ticket_trajectory(
+        &mut model,
+        &pre,
+        &source.train,
+        &ImpConfig::paper(0.8, 3),
+        &round_cfg,
+    )
+    .expect("imp");
+    for pair in trajectory.windows(2) {
+        for (early, late) in pair[0].1.masks().iter().zip(pair[1].1.masks()) {
+            if let (Some(e), Some(l)) = (early, late) {
+                for (&ev, &lv) in e.data().iter().zip(l.data()) {
+                    assert!(
+                        !(ev == 0.0 && lv != 0.0),
+                        "pruned weights must stay pruned across rounds"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn structured_tickets_zero_whole_hardware_groups() {
+    let (_, _, pre) = setup();
+    let model = pre.fresh_model(8).expect("model");
+    let ticket = omp(&model, &OmpConfig::structured(0.5, Granularity::Channel)).expect("omp");
+    use robust_tickets::nn::Layer as _;
+    for (mask, p) in ticket.masks().iter().zip(model.params()) {
+        let Some(mask) = mask else { continue };
+        let glen = Granularity::Channel.group_len(p.data.shape());
+        for group in mask.data().chunks(glen) {
+            let sum: f32 = group.iter().sum();
+            assert!(sum == 0.0 || sum == glen as f32, "split channel group");
+        }
+    }
+}
