@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint. Any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== ci OK =="

@@ -6,64 +6,26 @@
 //! Expected shape: robust tickets consistently outperform natural tickets
 //! under whole-model finetuning, with the gain persisting (but shrinking)
 //! at extreme sparsity.
+//!
+//! The sweep body lives in [`rt_bench::fig1_record`] so the kill-and-resume
+//! integration test exercises the exact production code path. Run with
+//! `--resume` to continue an interrupted sweep from its journal.
 
-use rt_bench::{family_for, finish, omp_sweep, pretrained_model, source_task, win_count, Protocol};
-use rt_prune::Granularity;
-use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
-use rt_transfer::pretrain::PretrainScheme;
+use rt_bench::{abort_on_runner_error, fig1_record, finish, runner_for};
+use rt_transfer::experiment::{Preset, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let tasks = [
-        family.downstream_task(&preset.c10_spec()).expect("c10"),
-        family.downstream_task(&preset.c100_spec()).expect("c100"),
-    ];
-
-    let mut record = ExperimentRecord::new(
-        "fig1",
-        "OMP tickets, whole-model finetuning: robust vs natural",
-        scale,
-    );
-    for (arch_label, arch) in [("r18", preset.arch_r18()), ("r50", preset.arch_r50())] {
-        let natural =
-            pretrained_model(&preset, arch_label, &arch, &source, PretrainScheme::Natural);
-        let robust = pretrained_model(
-            &preset,
-            arch_label,
-            &arch,
-            &source,
-            preset.adversarial_scheme(),
-        );
-        for task in &tasks {
-            for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
-                record.series.push(omp_sweep(
-                    &preset,
-                    pre,
-                    task,
-                    Granularity::Element,
-                    Protocol::Finetune,
-                    format!("{kind}/{arch_label}/{}", task.name),
-                    &preset.sparsity_grid,
-                ));
-            }
+    let mut runner = runner_for(&preset, "fig1");
+    match fig1_record(&preset, &mut runner) {
+        Ok(record) => {
+            eprintln!(
+                "[fig1] cells: {} executed, {} resumed, {} retried",
+                runner.stats.executed, runner.stats.skipped, runner.stats.retries
+            );
+            finish(&record, &preset);
         }
+        Err(e) => abort_on_runner_error("fig1", e),
     }
-
-    // Shape check: robust should win the majority of (arch, task, sparsity)
-    // cells under whole-model finetuning.
-    let mut wins = 0;
-    let mut total = 0;
-    for pair in record.series.chunks(2) {
-        let (w, t) = win_count(&pair[1], &pair[0]); // robust vs natural
-        wins += w;
-        total += t;
-    }
-    record.notes.push(format!(
-        "shape check: robust tickets win {wins}/{total} finetuning cells \
-         (paper: consistent robust wins on CIFAR-10/100)"
-    ));
-    finish(&record, &preset);
 }

@@ -6,7 +6,10 @@
 //! gap above 11.75% on ResNet50/CIFAR-100 up to sparsity 0.92) — frozen
 //! robust features tolerate the domain shift far better.
 
-use rt_bench::{family_for, finish, omp_sweep, pretrained_model, source_task, win_count, Protocol};
+use rt_bench::{
+    abort_on_runner_error, family_for, finish, omp_sweep, pretrained_model, source_task,
+    win_count, Protocol,
+};
 use rt_prune::Granularity;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
 use rt_transfer::pretrain::PretrainScheme;
@@ -14,6 +17,7 @@ use rt_transfer::pretrain::PretrainScheme;
 fn main() {
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
+    let mut runner = rt_bench::runner_for(&preset, "fig2");
     let family = family_for(&preset);
     let source = source_task(&preset, &family);
     let tasks = [
@@ -38,7 +42,8 @@ fn main() {
         );
         for task in &tasks {
             for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
-                record.series.push(omp_sweep(
+                let series = omp_sweep(
+                    &mut runner,
                     &preset,
                     pre,
                     task,
@@ -46,7 +51,9 @@ fn main() {
                     Protocol::Linear,
                     format!("{kind}/{arch_label}/{}", task.name),
                     &preset.sparsity_grid,
-                ));
+                )
+                .unwrap_or_else(|e| abort_on_runner_error("fig2", e));
+                record.series.push(series);
             }
         }
     }

@@ -6,7 +6,10 @@
 //! as the pattern coarsens (channel < kernel < row), because coarse groups
 //! inherit fewer robustness priors.
 
-use rt_bench::{family_for, finish, omp_sweep, pretrained_model, source_task, win_count, Protocol};
+use rt_bench::{
+    abort_on_runner_error, family_for, finish, omp_sweep, pretrained_model, source_task,
+    win_count, Protocol,
+};
 use rt_prune::Granularity;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
 use rt_transfer::pretrain::PretrainScheme;
@@ -14,6 +17,7 @@ use rt_transfer::pretrain::PretrainScheme;
 fn main() {
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
+    let mut runner = rt_bench::runner_for(&preset, "fig3");
     let family = family_for(&preset);
     let source = source_task(&preset, &family);
     let task = family.downstream_task(&preset.c10_spec()).expect("c10");
@@ -43,7 +47,8 @@ fn main() {
         for protocol in [Protocol::Finetune, Protocol::Linear] {
             let mut pair = Vec::new();
             for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
-                pair.push(omp_sweep(
+                let series = omp_sweep(
+                    &mut runner,
                     &preset,
                     pre,
                     &task,
@@ -51,7 +56,9 @@ fn main() {
                     protocol,
                     format!("{kind}/{gran_label}/{}", protocol.label()),
                     &sparsities,
-                ));
+                )
+                .unwrap_or_else(|e| abort_on_runner_error("fig3", e));
+                pair.push(series);
             }
             let (_, _) = win_count(&pair[1], &pair[0]);
             for (pr, pn) in pair[1].points.iter().zip(&pair[0].points) {

@@ -9,31 +9,37 @@
 //! (CIFAR-100-analog) task natural tickets may overtake at extreme
 //! sparsity.
 
-use rt_bench::{family_for, finish, pretrained_model, source_task, Protocol};
+use rt_bench::{abort_on_runner_error, family_for, finish, pretrained_model, source_task, Protocol};
 use rt_data::Task;
 use rt_prune::ImpConfig;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 use rt_transfer::pretrain::{PretrainScheme, Pretrained};
+use rt_transfer::runner::Runner;
 use rt_transfer::ticket::imp_ticket_trajectory;
 use rt_transfer::training::Objective;
 
 /// Runs one IMP trajectory and scores each round's ticket by finetuning.
+///
+/// `seed_bump` comes from the runner cell context: zero on the first
+/// attempt, nonzero on retries after an isolated failure, so a retried
+/// trajectory explores different randomness instead of replaying the crash.
 fn imp_curve(
     preset: &Preset,
     pre: &Pretrained,
     prune_data_task: &Task,
     eval_task: &Task,
     objective: Objective,
-    label: String,
+    label: &str,
+    seed_bump: u64,
 ) -> Series {
     let imp_cfg = ImpConfig::paper(preset.imp_final_sparsity, preset.imp_rounds);
-    let round_cfg = preset.imp_round_cfg(objective, 77);
-    let mut model = pre.fresh_model(5).expect("model");
+    let round_cfg = preset.imp_round_cfg(objective, 77 + seed_bump);
+    let mut model = pre.fresh_model(5 + seed_bump).expect("model");
     // Size the head for the pruning task (IMP trains on it).
     model
         .replace_head(
             prune_data_task.train.num_classes(),
-            &mut rt_tensor::rng::SeedStream::new(6).rng(),
+            &mut rt_tensor::rng::SeedStream::new(6 + seed_bump).rng(),
         )
         .expect("head");
     let trajectory = imp_ticket_trajectory(
@@ -45,7 +51,7 @@ fn imp_curve(
     )
     .expect("imp trajectory");
 
-    let mut series = Series::new(label.clone());
+    let mut series = Series::new(label.to_string());
     for (i, (sparsity, ticket)) in trajectory.iter().enumerate() {
         // Single-seed scoring: fig4 already runs 16 IMP trajectories; the
         // four-curve-per-panel structure averages out per-point noise.
@@ -57,7 +63,7 @@ fn imp_curve(
             ticket,
             eval_task,
             Protocol::Finetune,
-            100 + i as u64,
+            100 + i as u64 + seed_bump,
         );
         eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
         series.push(*sparsity, acc);
@@ -65,9 +71,38 @@ fn imp_curve(
     series
 }
 
+/// One journaled runner cell per IMP trajectory: a crashed trajectory is
+/// retried with bumped seeds, and a completed one is replayed from the
+/// journal on `--resume` instead of re-running its rounds.
+#[allow(clippy::too_many_arguments)]
+fn imp_cell(
+    runner: &mut Runner,
+    preset: &Preset,
+    pre: &Pretrained,
+    prune_data_task: &Task,
+    eval_task: &Task,
+    objective: Objective,
+    label: String,
+) -> Series {
+    runner
+        .run_cell(&label, |ctx| {
+            imp_curve(
+                preset,
+                pre,
+                prune_data_task,
+                eval_task,
+                objective,
+                &label,
+                ctx.seed_bump,
+            )
+        })
+        .unwrap_or_else(|e| abort_on_runner_error("fig4", e))
+}
+
 fn main() {
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
+    let mut runner = rt_bench::runner_for(&preset, "fig4");
     let family = family_for(&preset);
     let source = source_task(&preset, &family);
     let tasks = [
@@ -93,7 +128,8 @@ fn main() {
         let adv_objective = Objective::Adversarial(preset.pretrain_attack);
         for task in &tasks {
             // US curves prune on the source data, DS curves on the task data.
-            record.series.push(imp_curve(
+            record.series.push(imp_cell(
+                &mut runner,
                 &preset,
                 &robust,
                 &source,
@@ -101,7 +137,8 @@ fn main() {
                 adv_objective,
                 format!("robust-US/{arch_label}/{}", task.name),
             ));
-            record.series.push(imp_curve(
+            record.series.push(imp_cell(
+                &mut runner,
                 &preset,
                 &robust,
                 task,
@@ -109,7 +146,8 @@ fn main() {
                 adv_objective,
                 format!("robust-DS/{arch_label}/{}", task.name),
             ));
-            record.series.push(imp_curve(
+            record.series.push(imp_cell(
+                &mut runner,
                 &preset,
                 &natural,
                 &source,
@@ -117,7 +155,8 @@ fn main() {
                 Objective::Natural,
                 format!("natural-US/{arch_label}/{}", task.name),
             ));
-            record.series.push(imp_curve(
+            record.series.push(imp_cell(
+                &mut runner,
                 &preset,
                 &natural,
                 task,

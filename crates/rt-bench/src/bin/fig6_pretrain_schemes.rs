@@ -6,7 +6,9 @@
 //! Expected shape: RS tickets sit between natural and adversarial —
 //! inferior to PGD-robust tickets but still ahead of natural ones.
 
-use rt_bench::{family_for, finish, omp_sweep, pretrained_model, source_task, Protocol};
+use rt_bench::{
+    abort_on_runner_error, family_for, finish, omp_sweep, pretrained_model, source_task, Protocol,
+};
 use rt_prune::Granularity;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
 use rt_transfer::pretrain::PretrainScheme;
@@ -14,6 +16,7 @@ use rt_transfer::pretrain::PretrainScheme;
 fn main() {
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
+    let mut runner = rt_bench::runner_for(&preset, "fig6");
     let family = family_for(&preset);
     let source = source_task(&preset, &family);
     let task = family.downstream_task(&preset.c10_spec()).expect("c10");
@@ -33,7 +36,8 @@ fn main() {
     for protocol in [Protocol::Finetune, Protocol::Linear] {
         for (kind, scheme) in &schemes {
             let pre = pretrained_model(&preset, "r50", &arch, &source, *scheme);
-            record.series.push(omp_sweep(
+            let series = omp_sweep(
+                &mut runner,
                 &preset,
                 &pre,
                 &task,
@@ -41,7 +45,9 @@ fn main() {
                 protocol,
                 format!("{kind}/{}", protocol.label()),
                 &preset.sparsity_grid,
-            ));
+            )
+            .unwrap_or_else(|e| abort_on_runner_error("fig6", e));
+            record.series.push(series);
         }
     }
 

@@ -1,11 +1,19 @@
 //! Shared plumbing for the experiment drivers in `src/bin/` — one driver
 //! per figure/table of the paper (see DESIGN.md's experiment index).
 //!
-//! Every driver accepts `--scale {smoke|standard|paper}` and emits:
+//! Every driver accepts `--scale {smoke|standard|paper}` (plus `--resume`)
+//! and emits:
 //!
 //! * a human-readable markdown table on stdout, and
 //! * a JSON [`ExperimentRecord`]
 //!   under `results/`.
+//!
+//! Sweeps route through the fault-tolerant [`Runner`]
+//! ([`rt_transfer::runner`]): each sweep cell runs isolated behind
+//! `catch_unwind` with bounded seed-bumped retries, and completed cells
+//! are journaled to `results/<id>-<scale>.journal.jsonl` so an
+//! interrupted driver restarted with `--resume` skips straight to the
+//! first unfinished cell.
 //!
 //! [`ExperimentRecord`]: rt_transfer::experiment::ExperimentRecord
 
@@ -16,6 +24,7 @@ use rt_data::{Task, TaskFamily};
 use rt_models::ResNetConfig;
 use rt_transfer::experiment::{ExperimentRecord, Preset};
 use rt_transfer::pretrain::{pretrain_cached, PretrainScheme, Pretrained};
+use rt_transfer::runner::{resume_from_args, Runner, RunnerConfig, RunnerError};
 
 /// Materializes the synthetic universe for a preset.
 pub fn family_for(preset: &Preset) -> TaskFamily {
@@ -138,14 +147,41 @@ pub fn score_ticket_avg(
     total / n as f64
 }
 
-/// Sweeps OMP sparsities for one pretrained model / downstream task /
-/// protocol, producing a labeled accuracy-vs-sparsity series (each point
-/// averaged over the preset's `eval_seeds`).
+/// Builds the fault-tolerant [`Runner`] a driver routes its sweep
+/// through: journal at `results/<id>-<scale>.journal.jsonl`, resume
+/// honoring the `--resume` flag, and any `RT_FAULTS` fault plan from the
+/// environment installed.
 ///
 /// # Panics
 ///
-/// Panics on pipeline errors.
+/// Panics when the journal file cannot be opened (drivers fail loudly).
+pub fn runner_for(preset: &Preset, id: &str) -> Runner {
+    rt_transfer::fault::install_from_env();
+    let cfg = RunnerConfig::for_experiment(
+        &preset.results_dir(),
+        id,
+        &preset.scale.to_string(),
+        resume_from_args(),
+    );
+    Runner::new(cfg).expect("could not open the sweep journal")
+}
+
+/// Sweeps OMP sparsities for one pretrained model / downstream task /
+/// protocol, producing a labeled accuracy-vs-sparsity series (each point
+/// averaged over the preset's `eval_seeds`). Each sparsity point is one
+/// runner cell: isolated, retried, journaled, and skipped on `--resume`.
+///
+/// # Errors
+///
+/// Returns [`RunnerError`] when a cell fails after every retry or the
+/// journal cannot be written.
+///
+/// # Panics
+///
+/// Panics on pipeline errors inside a cell (caught by the runner's
+/// isolation boundary and converted into retries).
 pub fn omp_sweep(
+    runner: &mut Runner,
     preset: &Preset,
     pre: &Pretrained,
     task: &Task,
@@ -153,20 +189,101 @@ pub fn omp_sweep(
     protocol: Protocol,
     label: String,
     sparsities: &[f64],
-) -> rt_transfer::experiment::Series {
+) -> Result<rt_transfer::experiment::Series, RunnerError> {
     let mut series = rt_transfer::experiment::Series::new(label.clone());
     for (i, &sparsity) in sparsities.iter().enumerate() {
-        let model = pre.fresh_model(1000 + i as u64).expect("model");
-        let ticket = rt_prune::omp(
-            &model,
-            &rt_prune::OmpConfig::structured(sparsity, granularity),
-        )
-        .expect("omp");
-        let acc = score_ticket_avg(preset, pre, &ticket, task, protocol, 7 + i as u64);
+        let key = format!("{label}/s{sparsity:.4}");
+        let acc: f64 = runner.run_cell(&key, |ctx| {
+            let model = pre
+                .fresh_model(1000 + i as u64 + ctx.seed_bump)
+                .expect("model");
+            let ticket = rt_prune::omp(
+                &model,
+                &rt_prune::OmpConfig::structured(sparsity, granularity),
+            )
+            .expect("omp");
+            score_ticket_avg(
+                preset,
+                pre,
+                &ticket,
+                task,
+                protocol,
+                7 + i as u64 + ctx.seed_bump,
+            )
+        })?;
         eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
         series.push(sparsity, acc);
     }
-    series
+    Ok(series)
+}
+
+/// Builds the complete Fig. 1 record (OMP tickets, whole-model
+/// finetuning, robust vs natural) through `runner`. Shared by the
+/// `fig1_omp_finetune` driver and the kill-and-resume integration test,
+/// so the resume guarantee is proven on the exact production code path.
+///
+/// # Errors
+///
+/// Returns [`RunnerError`] when a sweep cell fails after every retry.
+///
+/// # Panics
+///
+/// Panics on pretraining/task-generation errors (drivers fail loudly).
+pub fn fig1_record(
+    preset: &Preset,
+    runner: &mut Runner,
+) -> Result<ExperimentRecord, RunnerError> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family);
+    let tasks = [
+        family.downstream_task(&preset.c10_spec()).expect("c10"),
+        family.downstream_task(&preset.c100_spec()).expect("c100"),
+    ];
+
+    let mut record = ExperimentRecord::new(
+        "fig1",
+        "OMP tickets, whole-model finetuning: robust vs natural",
+        preset.scale,
+    );
+    for (arch_label, arch) in [("r18", preset.arch_r18()), ("r50", preset.arch_r50())] {
+        let natural = pretrained_model(preset, arch_label, &arch, &source, PretrainScheme::Natural);
+        let robust = pretrained_model(
+            preset,
+            arch_label,
+            &arch,
+            &source,
+            preset.adversarial_scheme(),
+        );
+        for task in &tasks {
+            for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
+                record.series.push(omp_sweep(
+                    runner,
+                    preset,
+                    pre,
+                    task,
+                    rt_prune::Granularity::Element,
+                    Protocol::Finetune,
+                    format!("{kind}/{arch_label}/{}", task.name),
+                    &preset.sparsity_grid,
+                )?);
+            }
+        }
+    }
+
+    // Shape check: robust should win the majority of (arch, task, sparsity)
+    // cells under whole-model finetuning.
+    let mut wins = 0;
+    let mut total = 0;
+    for pair in record.series.chunks(2) {
+        let (w, t) = win_count(&pair[1], &pair[0]); // robust vs natural
+        wins += w;
+        total += t;
+    }
+    record.notes.push(format!(
+        "shape check: robust tickets win {wins}/{total} finetuning cells \
+         (paper: consistent robust wins on CIFAR-10/100)"
+    ));
+    Ok(record)
 }
 
 /// Counts, over the x-grid shared by two series, how often the first
@@ -188,13 +305,36 @@ pub fn win_count(
     (wins, total)
 }
 
-/// Prints the record and saves it under `results/`.
+/// Prints the record and saves it under `results/`. The save is retried
+/// once (transient FS hiccups happen at the end of hours-long sweeps);
+/// persistent failure exits with a nonzero status — hours of compute
+/// silently evaporating into an `eprintln!` is exactly the failure mode
+/// the fault-tolerance layer exists to kill.
 pub fn finish(record: &ExperimentRecord, preset: &Preset) {
     println!("{}", record.to_markdown());
-    match record.save(&preset.results_dir()) {
+    let dir = preset.results_dir();
+    let result = record.save(&dir).or_else(|first| {
+        eprintln!("[warn] could not save record ({first}); retrying once");
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        record.save(&dir)
+    });
+    match result {
         Ok(path) => eprintln!("[saved] {}", path.display()),
-        Err(e) => eprintln!("[warn] could not save record: {e}"),
+        Err(e) => {
+            eprintln!("[error] could not save record after retry: {e}");
+            std::process::exit(1);
+        }
     }
+}
+
+/// Reports a sweep-level runner failure and exits nonzero. Drivers call
+/// this instead of panicking so an exhausted-retries cell produces a
+/// clean diagnostic (and the journal keeps every completed cell for the
+/// next `--resume`).
+pub fn abort_on_runner_error(id: &str, err: RunnerError) -> ! {
+    eprintln!("[{id}] sweep aborted: {err}");
+    eprintln!("[{id}] completed cells are journaled; rerun with --resume to continue");
+    std::process::exit(1);
 }
 
 #[cfg(test)]

@@ -1,0 +1,92 @@
+//! Kill-and-resume integration test on the *production* Fig. 1 sweep.
+//!
+//! The acceptance demo for the fault-tolerant runner: a fig1 smoke sweep
+//! is interrupted mid-flight by an injected panic (simulating a crashed or
+//! killed driver), then restarted with `resume`. The resumed run must skip
+//! every journaled cell and produce a record byte-identical to an
+//! uninterrupted reference run — proven on the exact code path the
+//! `fig1_omp_finetune` binary executes ([`rt_bench::fig1_record`]).
+
+use rt_bench::fig1_record;
+use rt_transfer::experiment::{Preset, Scale};
+use rt_transfer::fault::{self, FaultPlan};
+use rt_transfer::runner::{Runner, RunnerConfig, RunnerError};
+use std::path::PathBuf;
+
+fn temp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rt-bench-resume-test");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}-{}.journal.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn fig1_interrupted_sweep_resumes_byte_identically() {
+    let mut preset = Preset::new(Scale::Smoke);
+    // Private seed so this test's pretrain-cache entries cannot collide
+    // with other tests or ad-hoc driver runs sharing the cache directory.
+    preset.seed = 991;
+
+    // Run A — the uninterrupted reference.
+    let path_a = temp_journal("fig1-reference");
+    let mut reference_runner = Runner::new(RunnerConfig {
+        journal_path: Some(path_a.clone()),
+        resume: false,
+        ..RunnerConfig::default()
+    })
+    .expect("reference journal");
+    let reference = fig1_record(&preset, &mut reference_runner).expect("reference sweep");
+    let total_cells = reference_runner.stats.executed;
+    assert!(
+        total_cells > 6,
+        "smoke fig1 should have a non-trivial number of cells, got {total_cells}"
+    );
+
+    // Run B — killed mid-sweep: a persistent injected panic at cell
+    // ordinal KILL_AT with zero retries aborts the driver outright,
+    // exactly like a crash. Cells 0..KILL_AT are already journaled.
+    const KILL_AT: usize = 5;
+    let path_b = temp_journal("fig1-interrupted");
+    let cfg_b = RunnerConfig {
+        journal_path: Some(path_b.clone()),
+        resume: false,
+        max_retries: 0,
+        ..RunnerConfig::default()
+    };
+    {
+        let _g = fault::scoped(FaultPlan::default().with_panic_cell(KILL_AT, usize::MAX));
+        let mut doomed = Runner::new(cfg_b.clone()).expect("interrupted journal");
+        match fig1_record(&preset, &mut doomed) {
+            Err(RunnerError::CellFailed { attempts, .. }) => {
+                assert_eq!(attempts, 1, "max_retries=0 means a single attempt");
+            }
+            other => panic!("expected CellFailed from the injected kill, got {other:?}"),
+        }
+        assert_eq!(
+            doomed.stats.executed, KILL_AT,
+            "every cell before the kill must already be journaled"
+        );
+    }
+
+    // Run C — resumed: journaled cells replay, the rest execute fresh.
+    let mut resumed_runner = Runner::new(RunnerConfig {
+        resume: true,
+        ..cfg_b
+    })
+    .expect("resumed journal");
+    let resumed = fig1_record(&preset, &mut resumed_runner).expect("resumed sweep");
+    assert_eq!(resumed_runner.stats.skipped, KILL_AT);
+    assert_eq!(resumed_runner.stats.executed, total_cells - KILL_AT);
+
+    assert_eq!(resumed, reference, "resumed record differs from reference");
+    let reference_json = serde_json::to_string(&reference).expect("encode reference");
+    let resumed_json = serde_json::to_string(&resumed).expect("encode resumed");
+    assert_eq!(
+        reference_json, resumed_json,
+        "resumed record is not byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}

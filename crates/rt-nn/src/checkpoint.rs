@@ -6,10 +6,24 @@
 //! written to JSON. Crucially for the ticket-drawing pipelines, restoring a
 //! state dict is how IMP *rewinds* a trained model back to its pretrained
 //! weights.
+//!
+//! # Integrity hardening
+//!
+//! Checkpoints written by [`StateDict::to_json`] embed an FNV-1a checksum
+//! over every parameter name, shape, and scalar bit pattern.
+//! [`StateDict::from_json`] recomputes and verifies it, and additionally
+//! rejects non-finite (NaN/Inf) parameter or buffer values — a checkpoint
+//! that fails either check returns [`NnError::CorruptCheckpoint`] instead
+//! of silently loading garbage into a model. Pre-hardening payloads
+//! (without a checksum field) still load, but are subject to the
+//! finiteness check. [`StateDict::save_to_file`] writes atomically
+//! (temp file + rename) so an interrupted save never leaves a torn
+//! checkpoint at the destination path.
 
 use crate::{Layer, NnError, Result};
 use rt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 
 /// A named parameter snapshot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,8 +67,11 @@ impl StateDict {
     /// # Errors
     ///
     /// Returns [`NnError::StateDictMismatch`] if the counts or any tensor
-    /// shape disagree with the model.
+    /// shape disagree with the model, and [`NnError::CorruptCheckpoint`] if
+    /// the snapshot contains non-finite values (a model must never be
+    /// silently loaded from a diverged or corrupted snapshot).
     pub fn restore(&self, model: &mut dyn Layer) -> Result<()> {
+        self.validate_finite()?;
         let params = model.params_mut();
         if params.len() != self.params.len() {
             return Err(NnError::StateDictMismatch {
@@ -103,32 +120,235 @@ impl StateDict {
         Ok(())
     }
 
-    /// Serializes to a JSON string.
+    /// FNV-1a (64-bit) checksum over the full snapshot: parameter names,
+    /// shapes, and exact scalar bit patterns, plus buffer shapes and bits.
+    /// Deterministic across platforms (f32 bit patterns, not text).
+    pub fn checksum(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.params.len());
+        for entry in &self.params {
+            h.write_bytes(entry.name.as_bytes());
+            h.write_usize(entry.tensor.shape().len());
+            for &d in entry.tensor.shape() {
+                h.write_usize(d);
+            }
+            for &v in entry.tensor.data() {
+                h.write_u32(v.to_bits());
+            }
+        }
+        h.write_usize(self.buffers.len());
+        for buf in &self.buffers {
+            h.write_usize(buf.shape().len());
+            for &d in buf.shape() {
+                h.write_usize(d);
+            }
+            for &v in buf.data() {
+                h.write_u32(v.to_bits());
+            }
+        }
+        h.finish()
+    }
+
+    /// Checks that every parameter and buffer scalar is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CorruptCheckpoint`] naming the first offending
+    /// tensor.
+    pub fn validate_finite(&self) -> Result<()> {
+        for entry in &self.params {
+            if !entry.tensor.data().iter().all(|v| v.is_finite()) {
+                return Err(NnError::CorruptCheckpoint {
+                    detail: format!("non-finite value in param `{}`", entry.name),
+                });
+            }
+        }
+        for (i, buf) in self.buffers.iter().enumerate() {
+            if !buf.data().iter().all(|v| v.is_finite()) {
+                return Err(NnError::CorruptCheckpoint {
+                    detail: format!("non-finite value in buffer {i}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to a JSON string with an embedded integrity checksum
+    /// (see [`StateDict::checksum`]).
     ///
     /// # Errors
     ///
     /// Returns [`NnError::StateDictMismatch`] on serializer failure (should
     /// not occur for finite tensors).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| NnError::StateDictMismatch {
+        let envelope = EnvelopeRef {
+            version: CHECKPOINT_VERSION,
+            checksum: Some(self.checksum()),
+            params: &self.params,
+            buffers: &self.buffers,
+        };
+        serde_json::to_string(&envelope).map_err(|e| NnError::StateDictMismatch {
             detail: format!("serialize failed: {e}"),
         })
     }
 
-    /// Deserializes from a JSON string produced by [`StateDict::to_json`].
+    /// Deserializes from a JSON string produced by [`StateDict::to_json`],
+    /// verifying the embedded checksum (when present — pre-hardening
+    /// payloads without one still load) and rejecting non-finite values.
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::StateDictMismatch`] on malformed input.
+    /// Returns [`NnError::CorruptCheckpoint`] on malformed/truncated input,
+    /// checksum mismatch, or non-finite parameters.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json).map_err(|e| NnError::StateDictMismatch {
-            detail: format!("deserialize failed: {e}"),
+        let envelope: Envelope =
+            serde_json::from_str(json).map_err(|e| NnError::CorruptCheckpoint {
+                detail: format!("deserialize failed: {e}"),
+            })?;
+        let dict = StateDict {
+            params: envelope.params,
+            buffers: envelope.buffers,
+        };
+        if let Some(expected) = envelope.checksum {
+            let actual = dict.checksum();
+            if actual != expected {
+                return Err(NnError::CorruptCheckpoint {
+                    detail: format!(
+                        "checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+                    ),
+                });
+            }
+        }
+        dict.validate_finite()?;
+        Ok(dict)
+    }
+
+    /// Writes the checkpoint to `path` atomically: the JSON payload goes to
+    /// a sibling temp file which is then renamed over `path`, so a crash
+    /// mid-write never leaves a torn checkpoint at the destination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CorruptCheckpoint`] on I/O failure and
+    /// serialization errors from [`StateDict::to_json`].
+    pub fn save_to_file(&self, path: &Path) -> Result<()> {
+        let json = self.to_json()?;
+        atomic_write(path, json.as_bytes()).map_err(|e| NnError::CorruptCheckpoint {
+            detail: format!("atomic save to {} failed: {e}", path.display()),
         })
+    }
+
+    /// Reads and validates a checkpoint written by
+    /// [`StateDict::save_to_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CorruptCheckpoint`] on I/O failure, checksum
+    /// mismatch, truncation, or non-finite values.
+    pub fn load_from_file(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path).map_err(|e| NnError::CorruptCheckpoint {
+            detail: format!("read {} failed: {e}", path.display()),
+        })?;
+        Self::from_json(&json)
     }
 
     /// Total number of scalars captured (parameters only).
     pub fn param_scalar_count(&self) -> usize {
         self.params.iter().map(|e| e.tensor.len()).sum()
+    }
+}
+
+/// Checkpoint envelope format version.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Serialization mirror of the on-disk checkpoint envelope (borrowing).
+#[derive(Serialize)]
+struct EnvelopeRef<'a> {
+    version: u32,
+    checksum: Option<u64>,
+    params: &'a [StateEntry],
+    buffers: &'a [Tensor],
+}
+
+/// Deserialization mirror of the on-disk checkpoint envelope. `version`
+/// and `checksum` default so pre-hardening payloads (a bare `StateDict`
+/// object) still parse.
+#[derive(Deserialize)]
+struct Envelope {
+    #[serde(default)]
+    #[allow(dead_code)] // forward-compat discriminator, currently single-version
+    version: u32,
+    #[serde(default)]
+    checksum: Option<u64>,
+    params: Vec<StateEntry>,
+    buffers: Vec<Tensor>,
+}
+
+/// Incremental FNV-1a (64-bit) hasher — tiny, dependency-free, and
+/// deterministic across platforms.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_bytes(&(v as u64).to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the payload is written to a
+/// sibling `.tmp` file, flushed, and renamed over `path`. Readers
+/// therefore observe either the old file or the complete new one, never a
+/// prefix. Exposed so other crates (result records, pretrain caches) can
+/// share the same torn-write protection.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on failure the destination is left untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "checkpoint".into());
+    tmp_name.push(".tmp");
+    let tmp: PathBuf = path.with_file_name(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -210,5 +430,110 @@ mod tests {
         let snap = StateDict::capture(&m);
         // conv weight 2*1*3*3 = 18, bn gamma 2 + beta 2.
         assert_eq!(snap.param_scalar_count(), 22);
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        let m = model();
+        let snap = StateDict::capture(&m);
+        assert_eq!(snap.checksum(), snap.checksum(), "checksum is a pure fn");
+        let mut tweaked = snap.clone();
+        let mut data = tweaked.params[0].tensor.data().to_vec();
+        data[0] += 1.0;
+        tweaked.params[0].tensor =
+            Tensor::from_vec(tweaked.params[0].tensor.shape().to_vec(), data).unwrap();
+        assert_ne!(snap.checksum(), tweaked.checksum(), "one-scalar change detected");
+    }
+
+    #[test]
+    fn truncated_json_is_rejected_not_panicking() {
+        let snap = StateDict::capture(&model());
+        let json = snap.to_json().unwrap();
+        // Every proper prefix must fail with a structured error — never
+        // panic, never silently load.
+        for keep in [0, 1, json.len() / 4, json.len() / 2, json.len() - 1] {
+            let err = StateDict::from_json(&json[..keep]).unwrap_err();
+            assert!(
+                matches!(err, NnError::CorruptCheckpoint { .. }),
+                "prefix of {keep} bytes: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflipped_payload_fails_checksum() {
+        let snap = StateDict::capture(&model());
+        let json = snap.to_json().unwrap();
+        // Simulate a flipped bit by perturbing one stored scalar while
+        // leaving the embedded checksum untouched.
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let scalar = &mut v["params"][0]["tensor"]["data"][0];
+        let old = scalar.as_f64().unwrap();
+        *scalar = serde_json::json!(old + 0.5);
+        let corrupted = serde_json::to_string(&v).unwrap();
+        let err = StateDict::from_json(&corrupted).unwrap_err();
+        assert!(
+            matches!(err, NnError::CorruptCheckpoint { ref detail } if detail.contains("checksum")),
+            "expected checksum mismatch, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn nonfinite_params_are_rejected() {
+        let mut snap = StateDict::capture(&model());
+        let shape = snap.params[0].tensor.shape().to_vec();
+        let mut data = snap.params[0].tensor.data().to_vec();
+        data[0] = f32::NAN;
+        snap.params[0].tensor = Tensor::from_vec(shape, data).unwrap();
+        // validate_finite and restore both refuse.
+        assert!(matches!(
+            snap.validate_finite(),
+            Err(NnError::CorruptCheckpoint { .. })
+        ));
+        let mut m = model();
+        assert!(matches!(
+            snap.restore(&mut m),
+            Err(NnError::CorruptCheckpoint { .. })
+        ));
+        // Inf in a buffer is caught too.
+        let mut snap2 = StateDict::capture(&model());
+        let bshape = snap2.buffers[0].shape().to_vec();
+        let mut bdata = snap2.buffers[0].data().to_vec();
+        bdata[0] = f32::INFINITY;
+        snap2.buffers[0] = Tensor::from_vec(bshape, bdata).unwrap();
+        assert!(matches!(
+            snap2.validate_finite(),
+            Err(NnError::CorruptCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_payload_without_checksum_still_loads() {
+        let snap = StateDict::capture(&model());
+        // The pre-hardening format was a bare serde dump of StateDict.
+        let legacy = serde_json::to_string(&snap).unwrap();
+        let back = StateDict::from_json(&legacy).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn atomic_file_round_trip_and_torn_write_detection() {
+        let dir = std::env::temp_dir().join("rt-ckpt-atomic-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("snap.json");
+        let snap = StateDict::capture(&model());
+        snap.save_to_file(&path).unwrap();
+        // No stray temp file after a successful save.
+        assert!(!path.with_file_name("snap.json.tmp").exists());
+        let back = StateDict::load_from_file(&path).unwrap();
+        assert_eq!(back, snap);
+        // A torn write (truncated destination) is detected on load.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            StateDict::load_from_file(&path),
+            Err(NnError::CorruptCheckpoint { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

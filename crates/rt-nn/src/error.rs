@@ -36,6 +36,20 @@ pub enum NnError {
         /// Human-readable description of the invalid value.
         detail: String,
     },
+    /// A checkpoint payload failed integrity validation: checksum mismatch,
+    /// truncated/garbled bytes, or non-finite parameter values.
+    CorruptCheckpoint {
+        /// Human-readable description of what failed validation.
+        detail: String,
+    },
+    /// Training produced a non-finite loss (NaN/Inf) — the optimizer state
+    /// can no longer be trusted past this point.
+    Diverged {
+        /// Epoch index (0-based) at which the loss went non-finite.
+        epoch: usize,
+        /// Batch index (0-based) within the epoch.
+        batch: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -59,6 +73,15 @@ impl fmt::Display for NnError {
                 write!(f, "state dict mismatch: {detail}")
             }
             NnError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+            NnError::CorruptCheckpoint { detail } => {
+                write!(f, "corrupt checkpoint: {detail}")
+            }
+            NnError::Diverged { epoch, batch } => {
+                write!(
+                    f,
+                    "training diverged: non-finite loss at epoch {epoch}, batch {batch}"
+                )
+            }
         }
     }
 }

@@ -41,22 +41,45 @@ impl Scale {
         }
     }
 
-    /// Reads `--scale <value>` from process arguments, defaulting to
-    /// [`Scale::Standard`].
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on an unrecognized scale name.
+    /// Reads `--scale <value>` or `--scale=<value>` from process
+    /// arguments, defaulting to [`Scale::Standard`]. On an unrecognized
+    /// or missing value it prints a usage message to stderr and exits
+    /// with status 2 (a CLI usage error must not look like a crash).
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
-        for pair in args.windows(2) {
-            if pair[0] == "--scale" {
-                return Scale::parse(&pair[1]).unwrap_or_else(|| {
-                    panic!("unknown scale `{}` (smoke|standard|paper)", pair[1])
-                });
+        Scale::from_arg_slice(&args).unwrap_or_else(|bad| {
+            eprintln!("error: unknown scale `{bad}`");
+            eprintln!(
+                "usage: {} [--scale smoke|standard|paper] [--scale=<value>] [--resume]",
+                args.first().map(String::as_str).unwrap_or("<driver>")
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses `--scale` out of an argument slice (both the two-token
+    /// `--scale smoke` and the `--scale=smoke` forms; the last occurrence
+    /// wins). Returns the offending value on failure — the testable core
+    /// of [`Scale::from_args`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the unparseable scale string (or `"<missing>"` when
+    /// `--scale` is the final token with no value).
+    pub fn from_arg_slice(args: &[String]) -> std::result::Result<Scale, String> {
+        let mut scale = Scale::Standard;
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(v) = args[i].strip_prefix("--scale=") {
+                scale = Scale::parse(v).ok_or_else(|| v.to_string())?;
+            } else if args[i] == "--scale" {
+                let v = args.get(i + 1).ok_or_else(|| "<missing>".to_string())?;
+                scale = Scale::parse(v).ok_or_else(|| v.clone())?;
+                i += 1;
             }
+            i += 1;
         }
-        Scale::Standard
+        Ok(scale)
     }
 }
 
@@ -458,6 +481,8 @@ impl ExperimentRecord {
     }
 
     /// Writes the record as pretty JSON into `dir/<id>-<scale>.json`.
+    /// The write is atomic (temp file + rename) so an interrupted driver
+    /// never leaves a torn record where a complete one used to be.
     ///
     /// # Errors
     ///
@@ -467,7 +492,7 @@ impl ExperimentRecord {
         let path = dir.join(format!("{}-{}.json", self.id, self.scale));
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(&path, json)?;
+        rt_nn::checkpoint::atomic_write(&path, json.as_bytes())?;
         Ok(path)
     }
 }
@@ -483,6 +508,37 @@ mod tests {
         assert_eq!(Scale::parse("Paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("huge"), None);
         assert_eq!(Scale::Smoke.to_string(), "smoke");
+    }
+
+    #[test]
+    fn scale_arg_slice_parsing() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(Scale::from_arg_slice(&args(&["drv"])), Ok(Scale::Standard));
+        assert_eq!(
+            Scale::from_arg_slice(&args(&["drv", "--scale", "smoke"])),
+            Ok(Scale::Smoke)
+        );
+        assert_eq!(
+            Scale::from_arg_slice(&args(&["drv", "--scale=paper"])),
+            Ok(Scale::Paper)
+        );
+        // Last occurrence wins; unrelated flags are ignored.
+        assert_eq!(
+            Scale::from_arg_slice(&args(&["drv", "--scale=paper", "--resume", "--scale", "smoke"])),
+            Ok(Scale::Smoke)
+        );
+        assert_eq!(
+            Scale::from_arg_slice(&args(&["drv", "--scale", "huge"])),
+            Err("huge".to_string())
+        );
+        assert_eq!(
+            Scale::from_arg_slice(&args(&["drv", "--scale=huge"])),
+            Err("huge".to_string())
+        );
+        assert_eq!(
+            Scale::from_arg_slice(&args(&["drv", "--scale"])),
+            Err("<missing>".to_string())
+        );
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Deterministic, seeded fault injection for fault-tolerance testing.
+//!
+//! The experiment runner ([`crate::runner`]), the training loop
+//! ([`crate::training`]), and the pretrain disk cache
+//! ([`crate::pretrain`]) each consult this module at their fault points.
+//! When no plan is installed (the default), every hook is a no-op on the
+//! hot path — a single thread-local `Option` check.
+//!
+//! Three fault kinds are supported, mirroring the failure modes the
+//! fault-tolerant runner must survive:
+//!
+//! * **NaN-flip loss** — [`corrupt_loss`] replaces the batch loss at a
+//!   given `(epoch, batch)` coordinate with `NaN`, triggering the
+//!   divergence guard in [`crate::training::train_with_recovery`].
+//! * **Panic-in-cell** — [`fire_panic_cell`] panics when the runner
+//!   executes a given cell ordinal, simulating a crashed/killed driver.
+//! * **Truncate-checkpoint-bytes** — [`corrupt_checkpoint_bytes`]
+//!   truncates a serialized checkpoint payload before it reaches disk,
+//!   simulating a torn write that integrity checks must catch on load.
+//!
+//! Plans are installed per **thread** (tests run concurrently; faults must
+//! not leak across them) either programmatically ([`install`] /
+//! [`scoped`]) or from the `RT_FAULTS` environment variable
+//! ([`install_from_env`], used by the drivers), e.g.:
+//!
+//! ```text
+//! RT_FAULTS="nan-loss:1:0:1,panic-cell:3:inf,truncate:64:1"
+//! ```
+//!
+//! Every fault has a `times` budget so recovery paths can be tested:
+//! a `times = 1` NaN-flip fires once and the seed-bumped retry succeeds.
+
+use std::cell::RefCell;
+
+/// A NaN-flip fault: replaces the batch loss at `(epoch, batch)` with NaN,
+/// at most `times` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NanLossFault {
+    /// Epoch coordinate (0-based).
+    pub epoch: usize,
+    /// Batch coordinate within the epoch (0-based).
+    pub batch: usize,
+    /// Remaining firing budget (`usize::MAX` = every time).
+    pub times: usize,
+}
+
+/// A panic-in-cell fault: panics when the runner executes the cell with
+/// this ordinal (0-based execution order), at most `times` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicCellFault {
+    /// Cell ordinal in execution order (0-based, counts every
+    /// `run_cell` call including skipped ones).
+    pub ordinal: usize,
+    /// Remaining firing budget (`usize::MAX` = every attempt — the cell
+    /// can never complete, simulating a hard kill).
+    pub times: usize,
+}
+
+/// A checkpoint-truncation fault: keeps only the first `keep_bytes` bytes
+/// of a serialized checkpoint payload, at most `times` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncateFault {
+    /// How many leading bytes of the payload survive.
+    pub keep_bytes: usize,
+    /// Remaining firing budget.
+    pub times: usize,
+}
+
+/// A complete fault plan. Install with [`install`] / [`scoped`]; build
+/// with the `with_*` combinators or parse from the environment with
+/// [`FaultPlan::from_env`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// NaN-flip loss faults.
+    pub nan_losses: Vec<NanLossFault>,
+    /// Panic-in-cell faults.
+    pub panic_cells: Vec<PanicCellFault>,
+    /// Checkpoint truncation faults.
+    pub truncations: Vec<TruncateFault>,
+}
+
+impl FaultPlan {
+    /// Adds a NaN-flip loss fault at `(epoch, batch)` firing `times` times.
+    pub fn with_nan_loss(mut self, epoch: usize, batch: usize, times: usize) -> Self {
+        self.nan_losses.push(NanLossFault {
+            epoch,
+            batch,
+            times,
+        });
+        self
+    }
+
+    /// Adds a panic-in-cell fault at `ordinal` firing `times` times.
+    pub fn with_panic_cell(mut self, ordinal: usize, times: usize) -> Self {
+        self.panic_cells.push(PanicCellFault { ordinal, times });
+        self
+    }
+
+    /// Adds a checkpoint-truncation fault keeping `keep_bytes` bytes,
+    /// firing `times` times.
+    pub fn with_truncation(mut self, keep_bytes: usize, times: usize) -> Self {
+        self.truncations.push(TruncateFault { keep_bytes, times });
+        self
+    }
+
+    /// Builds a seeded "kill the run somewhere" plan: picks a pseudorandom
+    /// cell ordinal in `0..n_cells` from `seed` (SplitMix64) and arms a
+    /// persistent panic there. Returns the plan and the chosen ordinal.
+    pub fn random_interrupt(seed: u64, n_cells: usize) -> (Self, usize) {
+        let ordinal = if n_cells == 0 {
+            0
+        } else {
+            (splitmix64(seed) % n_cells as u64) as usize
+        };
+        (
+            FaultPlan::default().with_panic_cell(ordinal, usize::MAX),
+            ordinal,
+        )
+    }
+
+    /// Parses a plan from the `RT_FAULTS` environment variable. Returns
+    /// `None` when unset or empty.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("RT_FAULTS").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        Some(Self::parse(&raw))
+    }
+
+    /// Parses the `RT_FAULTS` grammar: a comma-separated list of
+    /// `nan-loss:<epoch>:<batch>:<times>`, `panic-cell:<ordinal>[:<times>]`,
+    /// and `truncate:<keep_bytes>[:<times>]`; `<times>` accepts `inf`.
+    /// Malformed entries are reported on stderr and skipped — a typo in a
+    /// fault spec must never take down a real run.
+    pub fn parse(raw: &str) -> Self {
+        let mut plan = FaultPlan::default();
+        for spec in raw.split(',') {
+            let parts: Vec<&str> = spec.trim().split(':').collect();
+            let parsed = match parts.as_slice() {
+                ["nan-loss", e, b, t] => match (parse_n(e), parse_n(b), parse_n(t)) {
+                    (Some(e), Some(b), Some(t)) => {
+                        plan = plan.with_nan_loss(e, b, t);
+                        true
+                    }
+                    _ => false,
+                },
+                ["panic-cell", o] => match parse_n(o) {
+                    Some(o) => {
+                        plan = plan.with_panic_cell(o, usize::MAX);
+                        true
+                    }
+                    None => false,
+                },
+                ["panic-cell", o, t] => match (parse_n(o), parse_n(t)) {
+                    (Some(o), Some(t)) => {
+                        plan = plan.with_panic_cell(o, t);
+                        true
+                    }
+                    _ => false,
+                },
+                ["truncate", k] => match parse_n(k) {
+                    Some(k) => {
+                        plan = plan.with_truncation(k, 1);
+                        true
+                    }
+                    None => false,
+                },
+                ["truncate", k, t] => match (parse_n(k), parse_n(t)) {
+                    (Some(k), Some(t)) => {
+                        plan = plan.with_truncation(k, t);
+                        true
+                    }
+                    _ => false,
+                },
+                _ => false,
+            };
+            if !parsed {
+                eprintln!("[fault] ignoring malformed RT_FAULTS entry `{spec}`");
+            }
+        }
+        plan
+    }
+}
+
+fn parse_n(s: &str) -> Option<usize> {
+    if s == "inf" {
+        Some(usize::MAX)
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// SplitMix64 mixer — used only to derive deterministic fault positions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+thread_local! {
+    static PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+}
+
+/// Installs `plan` for the current thread, replacing any previous plan.
+pub fn install(plan: FaultPlan) {
+    PLAN.with(|p| *p.borrow_mut() = Some(plan));
+}
+
+/// Removes the current thread's fault plan.
+pub fn clear() {
+    PLAN.with(|p| *p.borrow_mut() = None);
+}
+
+/// True when a fault plan is installed on this thread.
+pub fn is_active() -> bool {
+    PLAN.with(|p| p.borrow().is_some())
+}
+
+/// Installs the plan described by `RT_FAULTS`, if any. Called by the
+/// driver-facing runner constructor so faults can be injected into real
+/// binaries without recompiling.
+pub fn install_from_env() {
+    if let Some(plan) = FaultPlan::from_env() {
+        eprintln!("[fault] RT_FAULTS plan installed: {plan:?}");
+        install(plan);
+    }
+}
+
+/// RAII guard that clears the thread's fault plan on drop — keeps test
+/// panics (including *expected* injected panics) from leaking faults into
+/// subsequent tests on the same thread.
+pub struct FaultGuard(());
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Installs `plan` and returns a guard that clears it when dropped.
+#[must_use = "the plan is cleared as soon as the guard drops"]
+pub fn scoped(plan: FaultPlan) -> FaultGuard {
+    install(plan);
+    FaultGuard(())
+}
+
+/// Training-loop hook: returns `loss`, or NaN when a NaN-flip fault is
+/// armed for `(epoch, batch)` (consuming one unit of its budget).
+pub fn corrupt_loss(epoch: usize, batch: usize, loss: f32) -> f32 {
+    PLAN.with(|p| {
+        let mut guard = p.borrow_mut();
+        let Some(plan) = guard.as_mut() else {
+            return loss;
+        };
+        for fault in &mut plan.nan_losses {
+            if fault.epoch == epoch && fault.batch == batch && fault.times > 0 {
+                if fault.times != usize::MAX {
+                    fault.times -= 1;
+                }
+                eprintln!("[fault] NaN-flip loss at epoch {epoch}, batch {batch}");
+                return f32::NAN;
+            }
+        }
+        loss
+    })
+}
+
+/// Runner hook: panics when a panic-in-cell fault is armed for `ordinal`
+/// (consuming one unit of its budget).
+///
+/// # Panics
+///
+/// Deliberately — that is the fault.
+pub fn fire_panic_cell(ordinal: usize, key: &str) {
+    let fire = PLAN.with(|p| {
+        let mut guard = p.borrow_mut();
+        let Some(plan) = guard.as_mut() else {
+            return false;
+        };
+        for fault in &mut plan.panic_cells {
+            if fault.ordinal == ordinal && fault.times > 0 {
+                if fault.times != usize::MAX {
+                    fault.times -= 1;
+                }
+                return true;
+            }
+        }
+        false
+    });
+    if fire {
+        panic!("injected fault: panic in cell #{ordinal} (`{key}`)");
+    }
+}
+
+/// Checkpoint-write hook: truncates `payload` when a truncation fault is
+/// armed (consuming one unit of its budget); otherwise returns it intact.
+pub fn corrupt_checkpoint_bytes(payload: String) -> String {
+    PLAN.with(|p| {
+        let mut guard = p.borrow_mut();
+        let Some(plan) = guard.as_mut() else {
+            return payload;
+        };
+        for fault in &mut plan.truncations {
+            if fault.times > 0 {
+                if fault.times != usize::MAX {
+                    fault.times -= 1;
+                }
+                let keep = fault.keep_bytes.min(payload.len());
+                eprintln!("[fault] truncating checkpoint payload to {keep} bytes");
+                let mut truncated = payload;
+                // Truncate on a char boundary (JSON is ASCII in practice,
+                // but never panic inside the fault harness itself).
+                let mut k = keep;
+                while k > 0 && !truncated.is_char_boundary(k) {
+                    k -= 1;
+                }
+                truncated.truncate(k);
+                return truncated;
+            }
+        }
+        payload
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_noops_without_a_plan() {
+        clear();
+        assert!(!is_active());
+        assert_eq!(corrupt_loss(0, 0, 1.5), 1.5);
+        fire_panic_cell(0, "cell"); // must not panic
+        assert_eq!(corrupt_checkpoint_bytes("abc".to_string()), "abc");
+    }
+
+    #[test]
+    fn nan_loss_budget_is_consumed() {
+        let _g = scoped(FaultPlan::default().with_nan_loss(1, 2, 1));
+        assert_eq!(corrupt_loss(0, 0, 1.0), 1.0, "wrong coordinate untouched");
+        assert!(corrupt_loss(1, 2, 1.0).is_nan(), "armed coordinate fires");
+        assert_eq!(corrupt_loss(1, 2, 1.0), 1.0, "budget exhausted");
+    }
+
+    #[test]
+    fn panic_cell_fires_and_respects_budget() {
+        let _g = scoped(FaultPlan::default().with_panic_cell(3, 1));
+        fire_panic_cell(2, "other"); // not armed
+        let caught = std::panic::catch_unwind(|| fire_panic_cell(3, "victim"));
+        assert!(caught.is_err(), "armed ordinal panics");
+        fire_panic_cell(3, "victim"); // budget spent, no panic
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let _g = scoped(FaultPlan::default().with_truncation(4, 1));
+        assert_eq!(corrupt_checkpoint_bytes("0123456789".into()), "0123");
+        assert_eq!(corrupt_checkpoint_bytes("0123456789".into()), "0123456789");
+    }
+
+    #[test]
+    fn random_interrupt_is_deterministic_and_in_range() {
+        let (p1, o1) = FaultPlan::random_interrupt(42, 16);
+        let (p2, o2) = FaultPlan::random_interrupt(42, 16);
+        assert_eq!(p1, p2);
+        assert_eq!(o1, o2);
+        assert!(o1 < 16);
+        for seed in 0..32 {
+            let (_, o) = FaultPlan::random_interrupt(seed, 7);
+            assert!(o < 7);
+        }
+    }
+
+    #[test]
+    fn env_grammar_parses() {
+        // Same code path from_env uses, without touching the process
+        // environment (tests run concurrently).
+        let plan = FaultPlan::parse("nan-loss:1:0:1, panic-cell:3:inf, truncate:64");
+        assert_eq!(
+            plan,
+            FaultPlan::default()
+                .with_nan_loss(1, 0, 1)
+                .with_panic_cell(3, usize::MAX)
+                .with_truncation(64, 1)
+        );
+        // Malformed entries are skipped, valid ones kept.
+        let partial = FaultPlan::parse("bogus, panic-cell:2:5, nan-loss:oops");
+        assert_eq!(partial, FaultPlan::default().with_panic_cell(2, 5));
+    }
+}

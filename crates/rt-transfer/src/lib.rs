@@ -16,6 +16,19 @@
 //!
 //! [`experiment`] holds the scale presets (smoke / standard / paper) and
 //! the result-record types the `rt-bench` drivers serialize.
+//!
+//! # Fault tolerance
+//!
+//! Long sweeps survive crashes and divergence through three layers (see
+//! DESIGN.md §"Fault tolerance"):
+//!
+//! * [`runner`] — cell-level `catch_unwind` isolation, bounded seed-bumped
+//!   retries, and an append-only JSONL journal enabling `--resume`.
+//! * [`training::train_with_recovery`] — divergence guard (structured
+//!   [`rt_nn::NnError::Diverged`] errors) with rewind + LR-halving
+//!   recovery, used by adversarial pretraining.
+//! * [`fault`] — the deterministic, seeded fault-injection harness the
+//!   tests use to prove both of the above actually recover.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,16 +36,21 @@
 pub mod chart;
 pub mod evaluate;
 pub mod experiment;
+pub mod fault;
 pub mod finetune;
 pub mod linear;
 pub mod pretrain;
+pub mod runner;
 pub mod ticket;
 pub mod training;
 
 pub use evaluate::EvalReport;
 pub use experiment::{Preset, Scale};
 pub use pretrain::{pretrain, PretrainScheme, Pretrained};
-pub use training::{train, Objective, TrainConfig, TrainReport};
+pub use runner::{CellCtx, Runner, RunnerConfig, RunnerError};
+pub use training::{
+    train, train_with_recovery, Objective, RecoveryPolicy, TrainConfig, TrainReport,
+};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, rt_nn::NnError>;

@@ -1,7 +1,9 @@
 //! Source-task pretraining under the three schemes of the paper, with a
 //! disk cache so the experiment drivers share pretrained models.
 
-use crate::training::{train, Objective, SchedulePolicy, TrainConfig};
+use crate::training::{
+    train_with_recovery, Objective, RecoveryPolicy, SchedulePolicy, TrainConfig, TrainReport,
+};
 use crate::Result;
 use rt_adv::attack::AttackConfig;
 use rt_data::Task;
@@ -57,6 +59,9 @@ pub struct Pretrained {
     pub scheme: PretrainScheme,
     /// The architecture (for rebuilding models from the snapshot).
     pub arch: ResNetConfig,
+    /// Training report of the pretraining run (empty for cache hits —
+    /// the cache stores weights, not histories).
+    pub report: TrainReport,
 }
 
 impl Pretrained {
@@ -74,11 +79,14 @@ impl Pretrained {
 }
 
 /// Pretrains a dense model of architecture `arch` on `source.train` under
-/// `scheme`.
+/// `scheme`, with the default divergence-recovery policy: PGD adversarial
+/// pretraining is the workspace's most NaN-prone loop, and a single bad
+/// batch must not cost the whole (hours-long at paper scale) run.
 ///
 /// # Errors
 ///
-/// Propagates training errors.
+/// Propagates training errors, including [`rt_nn::NnError::Diverged`]
+/// once the recovery budget is exhausted.
 pub fn pretrain(
     arch: &ResNetConfig,
     source: &Task,
@@ -100,22 +108,27 @@ pub fn pretrain(
         objective: scheme.objective(),
         seed: seeds.child("train").seed(),
     };
-    train(&mut model, &source.train, &cfg)?;
+    let report = train_with_recovery(&mut model, &source.train, &cfg, &RecoveryPolicy::default())?;
     let snapshot = StateDict::capture(&model);
     Ok(Pretrained {
         model,
         snapshot,
         scheme,
         arch,
+        report,
     })
 }
 
 /// Cached snapshot payload (architecture + weights) as stored on disk.
+/// `checksum` (over the snapshot, see [`StateDict::checksum`]) defaults
+/// to `None` so pre-hardening cache files still load.
 #[derive(Serialize, Deserialize)]
 struct CacheEntry {
     arch: ResNetConfig,
     scheme_label: String,
     snapshot: StateDict,
+    #[serde(default)]
+    checksum: Option<u64>,
 }
 
 /// Pretrains with a JSON disk cache: if `(key)` was pretrained before, the
@@ -150,6 +163,10 @@ pub fn pretrain_cached(
             snapshot: hit.snapshot,
             scheme,
             arch: hit.arch,
+            report: TrainReport {
+                epoch_losses: Vec::new(),
+                rewinds: 0,
+            },
         });
     }
     let result = pretrain(arch, source, scheme, epochs, lr, seed)?;
@@ -157,10 +174,16 @@ pub fn pretrain_cached(
         arch: result.arch.clone(),
         scheme_label: scheme.label(),
         snapshot: result.snapshot.clone(),
+        checksum: Some(result.snapshot.checksum()),
     };
     if let Ok(json) = serde_json::to_string(&entry) {
-        let _ = std::fs::create_dir_all(cache_dir);
-        let _ = std::fs::write(&path, json);
+        // Fault-injection hook (no-op unless armed) simulating a torn
+        // write, then an atomic temp-file + rename so real interruptions
+        // never leave a half-written cache entry at the final path.
+        let json = crate::fault::corrupt_checkpoint_bytes(json);
+        if let Err(e) = rt_nn::checkpoint::atomic_write(&path, json.as_bytes()) {
+            eprintln!("[pretrain-cache] write failed (cache skipped): {e}");
+        }
     }
     Ok(result)
 }
@@ -183,7 +206,39 @@ fn cache_path(dir: &Path, key: &str) -> PathBuf {
 
 fn try_load(path: &Path, expected_arch: &ResNetConfig) -> Option<CacheEntry> {
     let json = std::fs::read_to_string(path).ok()?;
-    let entry: CacheEntry = serde_json::from_str(&json).ok()?;
+    let entry: CacheEntry = match serde_json::from_str(&json) {
+        Ok(entry) => entry,
+        Err(e) => {
+            if !json.is_empty() {
+                eprintln!(
+                    "[pretrain-cache] {} is corrupt ({e}); retraining",
+                    path.display()
+                );
+            }
+            return None;
+        }
+    };
+    // Integrity: a stored checksum must match the recomputed one, and the
+    // weights must be finite — a corrupted cache entry silently feeding
+    // garbage into every downstream figure would be far worse than the
+    // retrain it costs to reject it.
+    if let Some(stored) = entry.checksum {
+        let actual = entry.snapshot.checksum();
+        if stored != actual {
+            eprintln!(
+                "[pretrain-cache] {} failed checksum ({stored:#018x} vs {actual:#018x}); retraining",
+                path.display()
+            );
+            return None;
+        }
+    }
+    if let Err(e) = entry.snapshot.validate_finite() {
+        eprintln!(
+            "[pretrain-cache] {} holds non-finite weights ({e}); retraining",
+            path.display()
+        );
+        return None;
+    }
     // Architectural drift invalidates the cache (class count may differ —
     // it is set from the task at restore time).
     let mut a = entry.arch.clone();
@@ -336,6 +391,68 @@ mod tests {
             ResNetConfig::r18_analog(4).stage_widths
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_cache_entry_falls_back_to_retraining() {
+        let dir = std::env::temp_dir().join("rt-pretrain-cache-trunc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let task = source();
+        let arch = ResNetConfig::smoke(4);
+        // The injected fault truncates the first cache write (torn-write
+        // analog that survives even the atomic rename).
+        {
+            let _g = crate::fault::scoped(
+                crate::fault::FaultPlan::default().with_truncation(40, 1),
+            );
+            pretrain_cached(
+                &dir,
+                "trunc-key",
+                &arch,
+                &task,
+                PretrainScheme::Natural,
+                1,
+                0.05,
+                6,
+            )
+            .unwrap();
+        }
+        // Second call must detect the corrupt entry, retrain, and agree
+        // with an uncached run bit-for-bit.
+        let second = pretrain_cached(
+            &dir,
+            "trunc-key",
+            &arch,
+            &task,
+            PretrainScheme::Natural,
+            1,
+            0.05,
+            6,
+        )
+        .unwrap();
+        let direct = pretrain(&arch, &task, PretrainScheme::Natural, 1, 0.05, 6).unwrap();
+        assert_eq!(second.snapshot, direct.snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adversarial_pretraining_survives_injected_nan() {
+        let task = source();
+        let _g =
+            crate::fault::scoped(crate::fault::FaultPlan::default().with_nan_loss(0, 0, 1));
+        let pre = pretrain(
+            &ResNetConfig::smoke(4),
+            &task,
+            PretrainScheme::Adversarial(AttackConfig::pgd(0.3, 2)),
+            2,
+            0.05,
+            7,
+        )
+        .unwrap();
+        assert_eq!(pre.report.rewinds, 1, "one rewind consumed");
+        assert_eq!(pre.report.epoch_losses.len(), 2);
+        assert!(pre.report.epoch_losses.iter().all(|l| l.is_finite()));
+        pre.snapshot.validate_finite().unwrap();
     }
 
     #[test]

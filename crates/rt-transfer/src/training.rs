@@ -1,10 +1,23 @@
 //! The generic minibatch training loop shared by pretraining, IMP rounds,
 //! and finetuning.
+//!
+//! # Divergence guard
+//!
+//! Every batch loss is checked for finiteness *before* the backward pass:
+//! a NaN/Inf loss aborts the epoch with a structured
+//! [`NnError::Diverged`] error instead of silently poisoning the weights.
+//! [`train_with_recovery`] layers a rewind-and-retry policy on top — on
+//! divergence it restores the last good end-of-epoch [`StateDict`]
+//! snapshot, scales the learning rate down, bumps the shuffle seed, and
+//! retries the epoch, up to a bounded number of rewinds. Adversarial
+//! (PGD) pretraining, the path where non-finite losses are most likely,
+//! routes through it by default.
 
 use crate::Result;
 use rt_adv::attack::{perturb, AttackConfig};
 use rt_adv::smoothing::gaussian_augment;
 use rt_data::Dataset;
+use rt_nn::checkpoint::StateDict;
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::optim::Sgd;
 use rt_nn::schedule::{ConstantLr, CosineLr, LrSchedule, StepDecay};
@@ -90,8 +103,13 @@ impl TrainConfig {
 /// Summary of a training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
-    /// Mean loss of each epoch, in order.
+    /// Mean loss of each epoch, in order. Finite by construction: a
+    /// non-finite loss either errors out ([`NnError::Diverged`]) or is
+    /// recovered from before the epoch is recorded.
     pub epoch_losses: Vec<f64>,
+    /// Number of divergence rewinds performed (always 0 for [`train`]).
+    #[serde(default)]
+    pub rewinds: usize,
 }
 
 impl TrainReport {
@@ -110,6 +128,103 @@ fn make_schedule(cfg: &TrainConfig) -> Box<dyn LrSchedule> {
     }
 }
 
+/// Divergence-recovery policy for [`train_with_recovery`]: on a
+/// non-finite loss, rewind to the last good end-of-epoch snapshot, scale
+/// the learning rate by `lr_factor`, bump the shuffle/attack seed by
+/// `seed_bump`, and retry the epoch — at most `max_rewinds` times over
+/// the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Total rewind budget for the run; once exhausted the
+    /// [`NnError::Diverged`] error propagates to the caller.
+    pub max_rewinds: usize,
+    /// Multiplier applied to the effective learning rate at each rewind
+    /// (the canonical policy halves it).
+    pub lr_factor: f32,
+    /// Offset added to the root seed at each rewind so the retried epoch
+    /// sees a different shuffle order and attack/noise draws.
+    pub seed_bump: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_rewinds: 3,
+            lr_factor: 0.5,
+            seed_bump: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No recovery: divergence errors propagate immediately. With this
+    /// policy [`train_with_recovery`] is byte-identical to [`train`].
+    pub fn none() -> Self {
+        RecoveryPolicy {
+            max_rewinds: 0,
+            lr_factor: 1.0,
+            seed_bump: 0,
+        }
+    }
+}
+
+/// Runs one epoch: shuffle, (optionally) attack/noise, forward, loss,
+/// backward, step. Returns the mean batch loss.
+///
+/// The batch loss is checked for finiteness *before* the backward pass so
+/// a diverged batch never poisons the weights with NaN gradients.
+fn run_epoch(
+    model: &mut dyn Layer,
+    data: &Dataset,
+    config: &TrainConfig,
+    loss_fn: &CrossEntropyLoss,
+    lr: f32,
+    epoch: usize,
+    root_seed: u64,
+) -> Result<f64> {
+    let opt = Sgd::new(lr)
+        .with_momentum(config.momentum)
+        .with_weight_decay(config.weight_decay);
+    let seeds = SeedStream::new(root_seed);
+    let mut rng = seeds.child("epoch").child_idx(epoch as u64).rng();
+    let mut epoch_loss = 0.0f64;
+    let mut batches = 0usize;
+    for (images, labels) in data.shuffled_batches(config.batch_size, &mut rng) {
+        let inputs = match &config.objective {
+            Objective::Natural => images,
+            Objective::Adversarial(attack) => perturb(model, &images, &labels, attack, &mut rng)?,
+            Objective::GaussianNoise(sigma) => gaussian_augment(&images, *sigma, &mut rng),
+        };
+        let logits = model.forward(&inputs, Mode::Train)?;
+        let out = loss_fn.forward(&logits, &labels)?;
+        // Fault-injection hook (no-op unless a plan is installed) feeding
+        // the divergence guard.
+        let batch_loss = crate::fault::corrupt_loss(epoch, batches, out.loss);
+        if !batch_loss.is_finite() {
+            return Err(NnError::Diverged {
+                epoch,
+                batch: batches,
+            });
+        }
+        model.backward(&out.grad)?;
+        opt.step(model)?;
+        epoch_loss += batch_loss as f64;
+        batches += 1;
+    }
+    let mean = if batches == 0 {
+        0.0
+    } else {
+        epoch_loss / batches as f64
+    };
+    if !mean.is_finite() {
+        return Err(NnError::Diverged {
+            epoch,
+            batch: batches.saturating_sub(1),
+        });
+    }
+    Ok(mean)
+}
+
 /// Trains `model` on `data` under `config`, returning per-epoch losses.
 ///
 /// Adversarial objectives regenerate PGD examples against the *current*
@@ -118,9 +233,34 @@ fn make_schedule(cfg: &TrainConfig) -> Box<dyn LrSchedule> {
 ///
 /// # Errors
 ///
-/// Returns [`NnError::InvalidConfig`] for a zero batch size and propagates
-/// layer/optimizer errors.
+/// Returns [`NnError::InvalidConfig`] for a zero batch size,
+/// [`NnError::Diverged`] when a batch or epoch loss goes non-finite, and
+/// propagates layer/optimizer errors. For automatic divergence recovery
+/// use [`train_with_recovery`].
 pub fn train(model: &mut dyn Layer, data: &Dataset, config: &TrainConfig) -> Result<TrainReport> {
+    train_with_recovery(model, data, config, &RecoveryPolicy::none())
+}
+
+/// [`train`] with divergence recovery: on a non-finite loss the model is
+/// rewound to the last good end-of-epoch snapshot (initial weights for an
+/// epoch-0 divergence), the learning rate is scaled by
+/// `policy.lr_factor`, the seed is bumped, and the epoch is retried —
+/// bounded by `policy.max_rewinds` total rewinds.
+///
+/// With [`RecoveryPolicy::none`] (or when no divergence occurs under a
+/// zero-rewind-free run) this is byte-identical to [`train`]; the
+/// snapshot is only captured when recovery is actually possible.
+///
+/// # Errors
+///
+/// As [`train`]; additionally returns the final [`NnError::Diverged`]
+/// once the rewind budget is exhausted.
+pub fn train_with_recovery(
+    model: &mut dyn Layer,
+    data: &Dataset,
+    config: &TrainConfig,
+    policy: &RecoveryPolicy,
+) -> Result<TrainReport> {
     if config.batch_size == 0 {
         return Err(NnError::InvalidConfig {
             detail: "batch size must be positive".to_string(),
@@ -128,38 +268,49 @@ pub fn train(model: &mut dyn Layer, data: &Dataset, config: &TrainConfig) -> Res
     }
     let loss_fn = CrossEntropyLoss::new();
     let schedule = make_schedule(config);
-    let seeds = SeedStream::new(config.seed);
     let mut report = TrainReport {
         epoch_losses: Vec::with_capacity(config.epochs),
+        rewinds: 0,
     };
-    for epoch in 0..config.epochs {
-        let mut opt = Sgd::new(schedule.lr_at(epoch).max(1e-8))
-            .with_momentum(config.momentum)
-            .with_weight_decay(config.weight_decay);
-        let _ = &mut opt; // momentum state lives in the params, not here
-        let mut rng = seeds.child("epoch").child_idx(epoch as u64).rng();
-        let mut epoch_loss = 0.0f64;
-        let mut batches = 0usize;
-        for (images, labels) in data.shuffled_batches(config.batch_size, &mut rng) {
-            let inputs = match &config.objective {
-                Objective::Natural => images,
-                Objective::Adversarial(attack) => {
-                    perturb(model, &images, &labels, attack, &mut rng)?
+    let mut lr_scale: f32 = 1.0;
+    let mut seed_offset: u64 = 0;
+    let mut rewinds_left = policy.max_rewinds;
+    // Snapshotting costs a full weight clone per epoch; skip it entirely
+    // when the policy cannot rewind.
+    let mut last_good: Option<StateDict> =
+        (policy.max_rewinds > 0).then(|| StateDict::capture(model));
+    let mut epoch = 0usize;
+    while epoch < config.epochs {
+        let lr = (schedule.lr_at(epoch) * lr_scale).max(1e-8);
+        let root_seed = config.seed.wrapping_add(seed_offset);
+        match run_epoch(model, data, config, &loss_fn, lr, epoch, root_seed) {
+            Ok(mean) => {
+                report.epoch_losses.push(mean);
+                if let Some(snap) = last_good.as_mut() {
+                    *snap = StateDict::capture(model);
                 }
-                Objective::GaussianNoise(sigma) => gaussian_augment(&images, *sigma, &mut rng),
-            };
-            let logits = model.forward(&inputs, Mode::Train)?;
-            let out = loss_fn.forward(&logits, &labels)?;
-            model.backward(&out.grad)?;
-            opt.step(model)?;
-            epoch_loss += out.loss as f64;
-            batches += 1;
+                epoch += 1;
+            }
+            Err(NnError::Diverged { epoch: e, batch }) => {
+                if rewinds_left == 0 {
+                    return Err(NnError::Diverged { epoch: e, batch });
+                }
+                rewinds_left -= 1;
+                report.rewinds += 1;
+                let snap = last_good
+                    .as_ref()
+                    .expect("max_rewinds > 0 always snapshots");
+                snap.restore(model)?;
+                lr_scale *= policy.lr_factor;
+                seed_offset = seed_offset.wrapping_add(policy.seed_bump);
+                eprintln!(
+                    "[recover] non-finite loss at epoch {e}, batch {batch}: \
+                     rewound to last good snapshot, lr scale now {lr_scale:.4} \
+                     ({rewinds_left} rewind(s) left)"
+                );
+            }
+            Err(other) => return Err(other),
         }
-        report.epoch_losses.push(if batches == 0 {
-            0.0
-        } else {
-            epoch_loss / batches as f64
-        });
     }
     Ok(report)
 }
@@ -252,6 +403,91 @@ mod tests {
         let mut cfg = TrainConfig::paper_finetune(1, 8, 0.05, 0);
         cfg.batch_size = 0;
         assert!(train(&mut model, &data, &cfg).is_err());
+    }
+
+    #[test]
+    fn injected_nan_loss_yields_structured_diverged_error() {
+        let (mut model, data) = smoke_setup();
+        let _g = crate::fault::scoped(
+            crate::fault::FaultPlan::default().with_nan_loss(0, 1, usize::MAX),
+        );
+        let cfg = TrainConfig::paper_finetune(2, 8, 0.05, 9);
+        match train(&mut model, &data, &cfg) {
+            Err(NnError::Diverged { epoch, batch }) => {
+                assert_eq!((epoch, batch), (0, 1));
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_rewinds_and_completes_with_finite_losses() {
+        let (mut model, data) = smoke_setup();
+        // One NaN-flip in epoch 1; the seed-bumped retry runs clean.
+        let _g =
+            crate::fault::scoped(crate::fault::FaultPlan::default().with_nan_loss(1, 0, 1));
+        let cfg = TrainConfig::paper_finetune(3, 8, 0.05, 10);
+        let report =
+            train_with_recovery(&mut model, &data, &cfg, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(report.rewinds, 1);
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.epoch_losses.iter().all(|l| l.is_finite()),
+            "{:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn recovery_budget_is_bounded() {
+        let (mut model, data) = smoke_setup();
+        // Persistent fault: every attempt at epoch 0 diverges.
+        let _g = crate::fault::scoped(
+            crate::fault::FaultPlan::default().with_nan_loss(0, 0, usize::MAX),
+        );
+        let cfg = TrainConfig::paper_finetune(2, 8, 0.05, 11);
+        let policy = RecoveryPolicy {
+            max_rewinds: 2,
+            ..RecoveryPolicy::default()
+        };
+        assert!(matches!(
+            train_with_recovery(&mut model, &data, &cfg, &policy),
+            Err(NnError::Diverged { epoch: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_is_identical_to_train_on_clean_runs() {
+        let (mut m1, data) = smoke_setup();
+        let (mut m2, _) = smoke_setup();
+        let cfg = TrainConfig::paper_finetune(2, 8, 0.05, 12);
+        let plain = train(&mut m1, &data, &cfg).unwrap();
+        let recovered =
+            train_with_recovery(&mut m2, &data, &cfg, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(plain, recovered, "clean path must be byte-identical");
+    }
+
+    #[test]
+    fn adversarial_training_recovers_from_injected_nan() {
+        // The acceptance scenario: PGD pretraining objective + injected
+        // NaN → rewind + LR halving → all reported losses finite.
+        let (mut model, data) = smoke_setup();
+        let _g =
+            crate::fault::scoped(crate::fault::FaultPlan::default().with_nan_loss(1, 1, 1));
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            schedule: SchedulePolicy::Constant,
+            objective: Objective::Adversarial(AttackConfig::pgd(0.2, 2)),
+            seed: 13,
+        };
+        let report =
+            train_with_recovery(&mut model, &data, &cfg, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(report.rewinds, 1);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     }
 
     #[test]

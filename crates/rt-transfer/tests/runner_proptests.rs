@@ -1,0 +1,121 @@
+//! Property tests for the fault-tolerant runner's resume guarantee.
+//!
+//! For *any* sweep length and *any* seeded interrupt point, a sweep that
+//! is killed mid-flight (injected persistent panic, zero retries) and then
+//! restarted with `resume: true` must produce exactly the values of an
+//! uninterrupted sweep, skipping precisely the cells that completed before
+//! the kill.
+
+use proptest::prelude::*;
+use rt_transfer::fault::{self, FaultPlan};
+use rt_transfer::runner::{Runner, RunnerConfig, RunnerError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique journal path per proptest case (cases may run concurrently
+/// across test threads, and shrinking replays cases in-process).
+fn temp_journal() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let id = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("rt-runner-proptests");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("case-{}-{id}.journal.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Cheap deterministic cell payload: a SplitMix64-style hash of the cell
+/// index, shifted by the runner's per-attempt seed bump (zero on first
+/// attempts, so fault-free runs are bump-independent).
+fn cell_value(i: usize, seed_bump: u64) -> f64 {
+    let mut x = (i as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seed_bump);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % 1_000_003) as f64 / 1_000_003.0
+}
+
+fn sweep(runner: &mut Runner, n: usize) -> Result<Vec<f64>, RunnerError> {
+    (0..n)
+        .map(|i| runner.run_cell(&format!("cell-{i:03}"), |ctx| cell_value(i, ctx.seed_bump)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn resume_after_random_interrupt_matches_uninterrupted(
+        seed in any::<u64>(),
+        n in 2usize..24,
+    ) {
+        // Reference: journal-less uninterrupted sweep.
+        let mut clean = Runner::ephemeral();
+        let expected = sweep(&mut clean, n).unwrap();
+
+        // Interrupted run: a seeded persistent panic somewhere in 0..n,
+        // zero retries — the sweep dies at that exact cell.
+        let path = temp_journal();
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            max_retries: 0,
+            ..RunnerConfig::default()
+        };
+        let (plan, kill_ordinal) = FaultPlan::random_interrupt(seed, n);
+        {
+            let _g = fault::scoped(plan);
+            let mut doomed = Runner::new(cfg.clone()).unwrap();
+            let aborted = sweep(&mut doomed, n);
+            prop_assert!(
+                matches!(aborted, Err(RunnerError::CellFailed { .. })),
+                "the injected kill must abort the sweep"
+            );
+            prop_assert_eq!(doomed.stats.executed, kill_ordinal);
+        }
+
+        // Resumed run: replays the journaled prefix, executes the rest.
+        let mut resumed = Runner::new(RunnerConfig { resume: true, ..cfg }).unwrap();
+        let actual = sweep(&mut resumed, n).unwrap();
+        prop_assert_eq!(actual, expected);
+        prop_assert_eq!(resumed.stats.skipped, kill_ordinal);
+        prop_assert_eq!(resumed.stats.executed, n - kill_ordinal);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retried_cells_still_land_in_the_journal(
+        seed in any::<u64>(),
+        n in 1usize..12,
+    ) {
+        // A one-shot (times = 1) panic at a seeded ordinal: the default
+        // retry budget absorbs it, the sweep completes, and a resume run
+        // replays every cell without executing anything.
+        let path = temp_journal();
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            ..RunnerConfig::default()
+        };
+        let (_, ordinal) = FaultPlan::random_interrupt(seed, n);
+        let flaky_values = {
+            let _g = fault::scoped(FaultPlan::default().with_panic_cell(ordinal, 1));
+            let mut flaky = Runner::new(cfg.clone()).unwrap();
+            let values = sweep(&mut flaky, n).unwrap();
+            prop_assert_eq!(flaky.stats.retries, 1);
+            prop_assert_eq!(flaky.stats.executed, n);
+            values
+        };
+
+        let mut resumed = Runner::new(RunnerConfig { resume: true, ..cfg }).unwrap();
+        let replayed = sweep(&mut resumed, n).unwrap();
+        prop_assert_eq!(replayed, flaky_values);
+        prop_assert_eq!(resumed.stats.skipped, n);
+        prop_assert_eq!(resumed.stats.executed, 0);
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
