@@ -12,4 +12,22 @@ cargo test -q --workspace
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== console discipline (no bare print macros in library crates) =="
+# Library crates must route user-facing output through rt_obs::console! /
+# rt_obs::console_out! so that it is mirrored into the telemetry stream.
+# Binaries (src/bin/) and rt-obs itself (the sanctioned implementation)
+# are exempt. Comment lines are skipped so docs may mention the macros.
+violations=$(grep -rnE '(^|[^a-zA-Z_:])e?println!\(' crates/*/src \
+    --include='*.rs' \
+    | grep -v '/src/bin/' \
+    | grep -v '^crates/rt-obs/src' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' \
+    || true)
+if [[ -n "$violations" ]]; then
+    echo "bare println!/eprintln! in library code — use rt_obs::console! (stderr)"
+    echo "or rt_obs::console_out! (stdout) so output reaches the telemetry stream:"
+    echo "$violations"
+    exit 1
+fi
+
 echo "== ci OK =="

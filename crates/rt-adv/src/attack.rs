@@ -77,7 +77,12 @@ pub fn perturb<R: Rng>(
             *v += rng.gen_range(-config.epsilon..=config.epsilon);
         }
     }
+    // Hoisted: the handle is fetched once per attack, and the per-step
+    // `Instant::now()` pair only runs when the histogram is live.
+    let step_hist = rt_obs::histogram("adv.pgd_step_ms");
+    let time_steps = step_hist.is_active();
     for _ in 0..config.steps {
+        let step_t0 = time_steps.then(std::time::Instant::now);
         let logits = model.forward(&adv, Mode::Eval)?;
         let out = loss_fn.forward(&logits, labels)?;
         model.zero_grad();
@@ -93,7 +98,11 @@ pub fn perturb<R: Rng>(
             *a += config.step_size * g.signum();
             *a = a.clamp(x - config.epsilon, x + config.epsilon);
         }
+        if let Some(t0) = step_t0 {
+            step_hist.observe(t0.elapsed().as_secs_f64() * 1e3);
+        }
     }
+    rt_obs::counter("adv.pgd_steps").add(config.steps as u64);
     Ok(adv)
 }
 

@@ -18,6 +18,7 @@ use rt_transfer::evaluate::EVAL_BATCH;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("ablate_criteria");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);

@@ -10,6 +10,7 @@ use rt_transfer::ticket::imp_ticket_trajectory;
 use rt_transfer::training::Objective;
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("ablate_imp_rewind");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);

@@ -8,6 +8,7 @@ use rt_prune::{omp, OmpConfig};
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("ablate_omp_scope");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);

@@ -15,6 +15,7 @@ use rt_bench::{abort_on_runner_error, fig1_record, finish, runner_for};
 use rt_transfer::experiment::{Preset, Scale};
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig1_omp_finetune");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let mut runner = runner_for(&preset, "fig1");

@@ -15,6 +15,7 @@ use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
 use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig3_structured");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let mut runner = rt_bench::runner_for(&preset, "fig3");

@@ -100,6 +100,7 @@ fn imp_cell(
 }
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig4_imp");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let mut runner = rt_bench::runner_for(&preset, "fig4");

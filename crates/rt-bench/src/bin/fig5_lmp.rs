@@ -34,6 +34,7 @@ fn lmp_curve(
 }
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig5_lmp");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);

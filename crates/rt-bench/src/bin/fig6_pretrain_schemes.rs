@@ -14,6 +14,7 @@ use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
 use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig6_pretrain_schemes");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let mut runner = rt_bench::runner_for(&preset, "fig6");

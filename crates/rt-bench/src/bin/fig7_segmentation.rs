@@ -104,6 +104,7 @@ fn train_and_score(
 }
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig7_segmentation");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);

@@ -20,6 +20,7 @@ use rt_transfer::training::Objective;
 const TABLE1_GRID: [f64; 4] = [0.2, 0.5904, 0.7908, 0.8926];
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig8_properties");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);

@@ -17,6 +17,7 @@ use rt_transfer::linear::linear_eval;
 use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("fig9_vtab");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);

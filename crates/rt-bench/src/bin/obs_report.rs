@@ -1,0 +1,129 @@
+//! **obs_report** — offline aggregator for `rt-obs` telemetry streams.
+//!
+//! Reads one or more JSONL files produced by running a driver with
+//! `RT_OBS=path.jsonl`, merges them, and renders the per-run wall-time
+//! breakdown table (hierarchical spans with self-vs-child time, a
+//! coverage line, top histograms, counters, gauges). A machine-readable
+//! merged snapshot is written to `BENCH_obs.json` (atomically) so later
+//! perf PRs can diff runs numerically instead of eyeballing tables.
+//!
+//! ```text
+//! obs_report run.jsonl [more.jsonl ...] [--out BENCH_obs.json] [--top-k N]
+//! ```
+//!
+//! With no file arguments, every `*.obs.jsonl` under `results/` is used.
+//! Torn final lines and unknown event kinds are tolerated (counted and
+//! reported, never fatal) so a crashed run's stream still yields a report.
+
+use rt_obs::report::{aggregate_streams, parse_jsonl};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    files: Vec<PathBuf>,
+    out: PathBuf,
+    top_k: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut files = Vec::new();
+    let mut out = PathBuf::from("BENCH_obs.json");
+    let mut top_k = 5usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(argv.next().ok_or("--out needs a path")?);
+            }
+            "--top-k" => {
+                top_k = argv
+                    .next()
+                    .ok_or("--top-k needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--top-k: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: obs_report [files.jsonl ...] [--out BENCH_obs.json] [--top-k N]"
+                    .to_string())
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        // Default: every telemetry stream under results/.
+        if let Ok(dir) = std::fs::read_dir("results") {
+            for entry in dir.flatten() {
+                let path = entry.path();
+                if path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".obs.jsonl"))
+                {
+                    files.push(path);
+                }
+            }
+            files.sort();
+        }
+    }
+    if files.is_empty() {
+        return Err(
+            "no input: pass telemetry JSONL files or place *.obs.jsonl under results/".to_string(),
+        );
+    }
+    Ok(Args { files, out, top_k })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut streams = Vec::new();
+    for path in &args.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("[obs_report] cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (events, malformed) = parse_jsonl(&text);
+        if malformed > 0 {
+            eprintln!(
+                "[obs_report] {}: {malformed} malformed line(s) skipped (torn write?)",
+                path.display()
+            );
+        }
+        eprintln!(
+            "[obs_report] {}: {} event(s)",
+            path.display(),
+            events.len()
+        );
+        streams.push(events);
+    }
+
+    let snapshot = aggregate_streams(&streams);
+    println!("{}", snapshot.render_table_top_k(args.top_k));
+
+    match serde_json::to_vec_pretty(&snapshot) {
+        Ok(bytes) => {
+            if let Err(e) = rt_obs::sink::atomic_write(&args.out, &bytes) {
+                eprintln!("[obs_report] cannot write {}: {e}", args.out.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[obs_report] wrote {}", args.out.display());
+        }
+        Err(e) => {
+            eprintln!("[obs_report] snapshot serialization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -30,6 +30,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 }
 
 fn main() {
+    let _obs = rt_bench::ObsSession::start("probe_family");
     let mut preset = Preset::new(Scale::Standard);
     preset.family.robust_amp = env_f32("ROBUST_AMP", preset.family.robust_amp);
     preset.family.fragile_amp = env_f32("FRAGILE_AMP", preset.family.fragile_amp);

@@ -3,8 +3,13 @@
 //! robust-vs-natural OMP comparison under both transfer protocols and
 //! prints the raw numbers. Not one of the paper's figures — a calibration
 //! tool for the data generator (see DESIGN.md).
+//!
+//! Timing is captured through `rt-obs` spans instead of ad-hoc
+//! `Instant`/`eprintln!` pairs: each phase opens a span, and the run ends
+//! by printing the aggregated wall-time breakdown table (also streamed to
+//! `RT_OBS=path.jsonl` when set).
 
-use rt_bench::{family_for, pretrained_model, source_task};
+use rt_bench::{family_for, pretrained_model, source_task, ObsSession};
 use rt_prune::{omp, OmpConfig};
 use rt_transfer::evaluate::{evaluate, evaluate_adversarial};
 use rt_transfer::experiment::{Preset, Scale};
@@ -13,22 +18,32 @@ use rt_transfer::linear::linear_eval;
 use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
+    // Spans need at least level `spans`; this probe is explicitly about
+    // where time goes, so default to recording spans even with RT_OBS
+    // unset (RT_OBS_LEVEL still wins if the user set it).
+    if std::env::var_os("RT_OBS").is_none() && std::env::var_os("RT_OBS_LEVEL").is_none() {
+        std::env::set_var("RT_OBS_LEVEL", "spans");
+    }
+    let _obs = ObsSession::start("probe_hypothesis");
     let scale = Scale::from_args();
     let preset = Preset::new(scale);
     let family = family_for(&preset);
     let source = source_task(&preset, &family);
     let c10 = family.downstream_task(&preset.c10_spec()).expect("task");
 
-    let t0 = std::time::Instant::now();
     let arch = preset.arch_r18();
-    let natural = pretrained_model(&preset, "r18", &arch, &source, PretrainScheme::Natural);
-    eprintln!("[time] natural pretrain {:?}", t0.elapsed());
-    let t1 = std::time::Instant::now();
-    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
-    eprintln!("[time] adversarial pretrain {:?}", t1.elapsed());
+    let natural = {
+        let _s = rt_obs::span!("natural_pretrain");
+        pretrained_model(&preset, "r18", &arch, &source, PretrainScheme::Natural)
+    };
+    let robust = {
+        let _s = rt_obs::span!("adversarial_pretrain");
+        pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme())
+    };
 
     // Source-task sanity: clean and adversarial accuracy of both models.
     for (name, pre) in [("natural", &natural), ("robust", &robust)] {
+        let _s = rt_obs::span!("source_eval", "model" => name);
         let mut m = pre.fresh_model(1).expect("model");
         let clean = evaluate(&mut m, &source.test).expect("eval");
         let adv =
@@ -38,17 +53,23 @@ fn main() {
 
     for sparsity in [0.5f64, 0.9] {
         for (name, pre) in [("natural", &natural), ("robust", &robust)] {
-            let t = std::time::Instant::now();
+            let _s = rt_obs::span!(
+                "transfer_cell",
+                "model" => name,
+                "sparsity" => sparsity,
+            );
             let mut m = pre.fresh_model(2).expect("model");
             let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
             ticket.apply(&mut m).expect("apply");
             let lin = linear_eval(&mut m, &c10, &preset.linear).expect("linear");
             let ft = finetune(&mut m, &c10, &preset.finetune_cfg(11)).expect("finetune");
             println!(
-                "s={sparsity:.2} {name}: linear={lin:.3} finetune={:.3}  ({:?})",
+                "s={sparsity:.2} {name}: linear={lin:.3} finetune={:.3}",
                 ft.accuracy,
-                t.elapsed()
             );
         }
     }
+
+    // Where the time went (the whole point of this probe).
+    eprintln!("\n{}", rt_obs::snapshot().render_table());
 }

@@ -1,5 +1,8 @@
 //! Aggregates every JSON [`ExperimentRecord`] under `results/` into one
-//! report: markdown tables, Unicode charts, and the shape-check notes.
+//! report: markdown tables, Unicode charts, the shape-check notes, and —
+//! when `<id>-<scale>.stats.json` runner summaries are present — a
+//! runner-stats table (cells completed / resumed / retried / failed and
+//! wall time per sweep).
 //! Run after `./run_standard.sh` to get the whole evaluation at a glance:
 //!
 //! ```text
@@ -8,6 +11,7 @@
 
 use rt_transfer::chart::{render_chart, ChartOptions};
 use rt_transfer::experiment::ExperimentRecord;
+use rt_transfer::runner::RunnerSummary;
 use std::path::PathBuf;
 
 fn results_dir() -> PathBuf {
@@ -30,9 +34,25 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let mut summaries: Vec<(String, RunnerSummary)> = Vec::new();
     for entry in entries.flatten() {
         let path = entry.path();
         if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if let Some(sweep) = name.strip_suffix(".stats.json") {
+            match std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|json| serde_json::from_str::<RunnerSummary>(&json).ok())
+            {
+                Some(summary) => summaries.push((sweep.to_string(), summary)),
+                None => eprintln!("[skip] {} is not a runner summary", path.display()),
+            }
             continue;
         }
         match std::fs::read_to_string(&path)
@@ -64,5 +84,36 @@ fn main() {
             println!("```");
         }
         println!("_source: {}_\n", path.display());
+    }
+
+    if !summaries.is_empty() {
+        summaries.sort_by(|a, b| a.0.cmp(&b.0));
+        println!("## Runner stats\n");
+        println!("| sweep | completed | resumed | retried | failed | exec time | wall time |");
+        println!("|---|---:|---:|---:|---:|---:|---:|");
+        for (sweep, s) in &summaries {
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                sweep,
+                s.stats.executed,
+                s.stats.skipped,
+                s.stats.retries,
+                s.stats.failed,
+                fmt_ms(s.stats.executed_ms),
+                fmt_ms(s.wall_ms),
+            );
+        }
+        println!();
+    }
+}
+
+/// Human-scale duration: `412 ms`, `3.2 s`, `4.5 min`.
+fn fmt_ms(ms: f64) -> String {
+    if ms < 1_000.0 {
+        format!("{ms:.0} ms")
+    } else if ms < 60_000.0 {
+        format!("{:.1} s", ms / 1_000.0)
+    } else {
+        format!("{:.1} min", ms / 60_000.0)
     }
 }

@@ -26,6 +26,42 @@ use rt_transfer::experiment::{ExperimentRecord, Preset};
 use rt_transfer::pretrain::{pretrain_cached, PretrainScheme, Pretrained};
 use rt_transfer::runner::{resume_from_args, Runner, RunnerConfig, RunnerError};
 
+/// Telemetry session for a driver binary: initializes `rt-obs` from the
+/// environment (`RT_OBS` / `RT_OBS_LEVEL`), opens a root span named after
+/// the experiment id, and — on drop — closes the root span *before*
+/// flushing, so the final JSONL's top-level span covers (nearly) the
+/// whole run and `obs_report`'s coverage line is meaningful.
+///
+/// Every driver `main` starts with one line:
+///
+/// ```ignore
+/// let _obs = rt_bench::ObsSession::start("fig1");
+/// ```
+///
+/// With `RT_OBS` unset this is a single atomic load and two no-op drops.
+pub struct ObsSession {
+    root: Option<rt_obs::SpanGuard>,
+}
+
+impl ObsSession {
+    /// Initializes telemetry from the environment and opens the root span.
+    pub fn start(id: &str) -> ObsSession {
+        rt_obs::init_from_env();
+        ObsSession {
+            root: Some(rt_obs::span!(id)),
+        }
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        // Close the root span first so its timing is folded into the
+        // aggregates `finalize` snapshots and flushes.
+        drop(self.root.take());
+        rt_obs::finalize();
+    }
+}
+
 /// Materializes the synthetic universe for a preset.
 pub fn family_for(preset: &Preset) -> TaskFamily {
     TaskFamily::new(preset.family, preset.seed)
@@ -56,7 +92,7 @@ pub fn pretrained_model(
     scheme: PretrainScheme,
 ) -> Pretrained {
     let key = preset.cache_key(arch_label, &scheme);
-    eprintln!("[pretrain] {key}");
+    rt_obs::console!("[pretrain] {key}");
     pretrain_cached(
         &preset.cache_dir(),
         &key,
@@ -211,7 +247,7 @@ pub fn omp_sweep(
                 7 + i as u64 + ctx.seed_bump,
             )
         })?;
-        eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
+        rt_obs::console!("[{label}] s={sparsity:.3} acc={acc:.4}");
         series.push(sparsity, acc);
     }
     Ok(series)
@@ -311,17 +347,19 @@ pub fn win_count(
 /// silently evaporating into an `eprintln!` is exactly the failure mode
 /// the fault-tolerance layer exists to kill.
 pub fn finish(record: &ExperimentRecord, preset: &Preset) {
-    println!("{}", record.to_markdown());
+    rt_obs::console_out!("{}", record.to_markdown());
     let dir = preset.results_dir();
     let result = record.save(&dir).or_else(|first| {
-        eprintln!("[warn] could not save record ({first}); retrying once");
+        rt_obs::console!("[warn] could not save record ({first}); retrying once");
         std::thread::sleep(std::time::Duration::from_millis(250));
         record.save(&dir)
     });
     match result {
-        Ok(path) => eprintln!("[saved] {}", path.display()),
+        Ok(path) => rt_obs::console!("[saved] {}", path.display()),
         Err(e) => {
-            eprintln!("[error] could not save record after retry: {e}");
+            rt_obs::console!("[error] could not save record after retry: {e}");
+            // `exit` skips Drop guards; flush telemetry explicitly.
+            rt_obs::finalize();
             std::process::exit(1);
         }
     }
@@ -332,8 +370,10 @@ pub fn finish(record: &ExperimentRecord, preset: &Preset) {
 /// clean diagnostic (and the journal keeps every completed cell for the
 /// next `--resume`).
 pub fn abort_on_runner_error(id: &str, err: RunnerError) -> ! {
-    eprintln!("[{id}] sweep aborted: {err}");
-    eprintln!("[{id}] completed cells are journaled; rerun with --resume to continue");
+    rt_obs::console!("[{id}] sweep aborted: {err}");
+    rt_obs::console!("[{id}] completed cells are journaled; rerun with --resume to continue");
+    // `exit` skips Drop guards; flush telemetry explicitly.
+    rt_obs::finalize();
     std::process::exit(1);
 }
 

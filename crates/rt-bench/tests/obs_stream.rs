@@ -1,0 +1,123 @@
+//! End-to-end telemetry test: a short real training run streamed to a
+//! JSONL file must parse back (`obs_report`'s code path) into a breakdown
+//! whose top-level span covers (almost) the whole run — the acceptance
+//! criterion for the observability layer.
+
+use rt_data::{FamilyConfig, TaskFamily};
+use rt_models::{MicroResNet, ResNetConfig};
+use rt_obs::report::{aggregate, parse_jsonl};
+use rt_obs::Level;
+use rt_tensor::rng::rng_from_seed;
+use rt_transfer::training::{train, Objective, SchedulePolicy, TrainConfig};
+
+fn smoke_setup() -> (MicroResNet, rt_data::Dataset) {
+    let family = TaskFamily::new(FamilyConfig::smoke(), 17);
+    let task = family.source_task(32, 16).unwrap();
+    let config = ResNetConfig::smoke(task.train.num_classes());
+    let model = MicroResNet::new(&config, &mut rng_from_seed(0)).unwrap();
+    (model, task.train)
+}
+
+fn train_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: SchedulePolicy::Constant,
+        objective: Objective::Natural,
+        seed: 5,
+    }
+}
+
+#[test]
+fn short_training_run_round_trips_through_jsonl_and_obs_report() {
+    let _t = rt_obs::testing::lock();
+    let path = std::env::temp_dir().join("rt-bench-obs-stream.jsonl");
+    let _ = std::fs::remove_file(&path);
+    rt_obs::init_manual(Level::All, Some(&path)).unwrap();
+
+    // Simulate a driver: root span (ObsSession-style) around real work,
+    // closed before finalize.
+    {
+        let _root = rt_obs::span!("itest");
+        let (mut model, data) = smoke_setup();
+        let report = train(&mut model, &data, &train_cfg(3)).unwrap();
+        assert_eq!(report.epoch_losses.len(), 3);
+    }
+    rt_obs::finalize();
+
+    // The stream must be well-formed line-by-line JSON...
+    let text = std::fs::read_to_string(&path).unwrap();
+    let (events, malformed) = parse_jsonl(&text);
+    assert_eq!(malformed, 0, "no malformed lines in a clean run");
+    assert!(!events.is_empty());
+
+    // ...and aggregate into the breakdown obs_report renders.
+    let snap = aggregate(&events);
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    assert!(paths.contains(&"itest"), "{paths:?}");
+    assert!(paths.contains(&"itest/train.run"), "{paths:?}");
+    assert!(paths.contains(&"itest/train.run/train.epoch"), "{paths:?}");
+    let epoch = snap
+        .spans
+        .iter()
+        .find(|s| s.path == "itest/train.run/train.epoch")
+        .unwrap();
+    assert_eq!(epoch.count, 3, "one span per epoch");
+
+    // Per-batch histogram flowed into the final metric snapshot.
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "train.batch_ms")
+        .expect("train.batch_ms histogram in stream");
+    assert_eq!(hist.count, 3 * 4, "3 epochs x ceil(32/8) batches");
+    assert!(hist.mean() > 0.0);
+
+    // Coverage: the top-level span accounts for >=95% of the run.
+    let coverage = snap.coverage().expect("top-level span present");
+    assert!(coverage >= 0.95, "coverage {coverage} < 0.95");
+
+    // The rendered table mentions the big-ticket rows.
+    let table = snap.render_table();
+    assert!(table.contains("train.epoch"), "{table}");
+    assert!(table.contains("train.batch_ms"), "{table}");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn epoch_spans_carry_loss_and_throughput_attrs() {
+    let _t = rt_obs::testing::lock();
+    let handle = rt_obs::init_memory(Level::All);
+    let (mut model, data) = smoke_setup();
+    train(&mut model, &data, &train_cfg(1)).unwrap();
+    let lines = handle.lines();
+    let epoch_line = lines
+        .iter()
+        .find(|l| l.contains("\"name\":\"train.epoch\""))
+        .expect("epoch span event");
+    assert!(epoch_line.contains("\"epoch\":0"), "{epoch_line}");
+    assert!(epoch_line.contains("\"lr\":"), "{epoch_line}");
+    assert!(epoch_line.contains("\"loss\":"), "{epoch_line}");
+    assert!(epoch_line.contains("\"imgs_per_sec\":"), "{epoch_line}");
+}
+
+#[test]
+fn telemetry_off_training_touches_no_registry_and_no_file() {
+    let _t = rt_obs::testing::lock();
+    // Level stays Off (testing::lock resets it); run real training.
+    let (mut model, data) = smoke_setup();
+    let off = train(&mut model, &data, &train_cfg(2)).unwrap();
+    assert_eq!(rt_obs::registry_len(), 0, "off level must not register");
+    assert!(rt_obs::snapshot().spans.is_empty());
+
+    // And the recorded losses are identical to an instrumented run: the
+    // telemetry layer observes, never perturbs.
+    rt_obs::init_memory(Level::All);
+    let (mut model2, data2) = smoke_setup();
+    let on = train(&mut model2, &data2, &train_cfg(2)).unwrap();
+    assert_eq!(off, on, "telemetry must not change training results");
+}

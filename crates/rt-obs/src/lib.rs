@@ -1,0 +1,620 @@
+//! `rt-obs` — the workspace's observability substrate.
+//!
+//! The paper's pipeline chains adversarial pretraining → ticket drawing →
+//! per-cell transfer sweeps; a standard-scale run is minutes and a paper
+//! run is hours of wall time. This crate answers *where that time goes*
+//! with three primitives, all process-global and all gated behind a single
+//! atomic level check so the instrumented hot paths cost nothing when
+//! telemetry is off:
+//!
+//! * **Spans** ([`span!`], [`SpanGuard`]) — RAII wall-time scopes with a
+//!   thread-local stack, hierarchical paths (`fig1/pretrain/train.run/…`),
+//!   self-vs-child time accounting, and `key=value` attributes.
+//! * **Metrics** ([`counter`], [`gauge`], [`histogram`]) — a process-global
+//!   registry of atomic counters, gauges, and fixed-bucket histograms.
+//! * **A JSONL event sink** ([`init_from_env`]) — `RT_OBS=path.jsonl`
+//!   streams one JSON object per event; `RT_OBS_LEVEL=off|spans|all`
+//!   selects how much is recorded. [`finalize`] snapshots the registry
+//!   into the stream and durably flushes it. An in-memory sink
+//!   ([`init_memory`]) serves the tests.
+//!
+//! [`snapshot`] captures the registry + span aggregates as a serializable
+//! [`report::Snapshot`], whose [`report::Snapshot::render_table`] is the
+//! per-run wall-time breakdown table (also produced offline from JSONL
+//! files by the `obs_report` binary in `rt-bench`).
+//!
+//! # Levels and gating
+//!
+//! | level   | spans | metrics/events/log-mirror |
+//! |---------|-------|---------------------------|
+//! | `off`   |  no   |  no                       |
+//! | `spans` |  yes  |  no                       |
+//! | `all`   |  yes  |  yes                      |
+//!
+//! With `RT_OBS` unset and `RT_OBS_LEVEL` unset, the level is `off`:
+//! every instrumentation site reduces to one relaxed atomic load — no
+//! allocation, no I/O, no registry growth, and no file is ever created.
+//! Setting `RT_OBS=path.jsonl` defaults the level to `all`.
+//!
+//! # Console output
+//!
+//! Library crates must not call `println!`/`eprintln!` directly (enforced
+//! by `ci.sh`); they use [`console!`], which writes the line to stderr
+//! *and* mirrors it into the telemetry stream as a `log` event when the
+//! level is `all` — so a post-mortem JSONL holds the run's diagnostics
+//! alongside its timings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use sink::{AttrValue, Event, MemoryHandle};
+pub use span::SpanGuard;
+
+use sink::{JsonlSink, MemorySink, Sink};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Telemetry verbosity. See the crate docs for what each level records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Everything disabled; instrumentation is a single atomic load.
+    #[default]
+    Off,
+    /// Spans only (wall-time accounting, no metric registry growth).
+    Spans,
+    /// Spans + counters/gauges/histograms + structured events + log mirror.
+    All,
+}
+
+impl Level {
+    /// Parses `off` / `spans` / `all` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(Level::Off),
+            "spans" | "span" | "1" => Some(Level::Spans),
+            "all" | "full" | "2" => Some(Level::All),
+            _ => None,
+        }
+    }
+
+    /// Stable label (`off` / `spans` / `all`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Spans => "spans",
+            Level::All => "all",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Spans,
+            2 => Level::All,
+            _ => Level::Off,
+        }
+    }
+}
+
+/// The single fast-path gate: 0 = off, 1 = spans, 2 = all.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+/// Guards [`init_from_env`] idempotence.
+static INITIALIZED: AtomicBool = AtomicBool::new(false);
+/// Monotone event sequence number (shared by every sink write).
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Everything behind the slow path: the sink and the metric/span registry.
+struct Inner {
+    start: Instant,
+    sink: Option<Box<dyn Sink>>,
+    counters: HashMap<String, std::sync::Arc<AtomicU64>>,
+    gauges: HashMap<String, std::sync::Arc<AtomicU64>>,
+    histograms: HashMap<String, std::sync::Arc<metrics::HistogramInner>>,
+    span_stats: HashMap<String, report::SpanStat>,
+}
+
+impl Inner {
+    fn new(sink: Option<Box<dyn Sink>>) -> Self {
+        Inner {
+            start: Instant::now(),
+            sink,
+            counters: HashMap::new(),
+            gauges: HashMap::new(),
+            histograms: HashMap::new(),
+            span_stats: HashMap::new(),
+        }
+    }
+
+    fn ts_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    fn emit(&mut self, event: &Event) {
+        if let Some(sink) = self.sink.as_mut() {
+            if let Ok(line) = serde_json::to_string(event) {
+                sink.emit_line(&line);
+            }
+        }
+    }
+}
+
+static INNER: Mutex<Option<Inner>> = Mutex::new(None);
+
+fn lock_inner() -> std::sync::MutexGuard<'static, Option<Inner>> {
+    // A panic while holding the lock (e.g. an injected fault inside a
+    // span) must not poison telemetry for the rest of the process.
+    INNER.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub(crate) fn with_inner<R>(f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+    let mut guard = lock_inner();
+    guard.as_mut().map(f)
+}
+
+/// Current telemetry level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// True when spans are recorded (level ≥ `spans`). This is the one-atomic
+/// fast-path check every span site performs.
+#[inline]
+pub fn spans_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= 1
+}
+
+/// True when metrics/events/log-mirroring are recorded (level = `all`).
+#[inline]
+pub fn metrics_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= 2
+}
+
+/// Next global event sequence number.
+pub(crate) fn next_seq() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Initializes telemetry from the environment. Idempotent: only the first
+/// call has any effect, so every layer (driver mains, library helpers)
+/// may call it defensively.
+///
+/// * `RT_OBS=path.jsonl` — stream events to `path` (JSONL).
+/// * `RT_OBS_LEVEL=off|spans|all` — verbosity; defaults to `all` when
+///   `RT_OBS` is set and `off` otherwise.
+///
+/// With an effective level of `off` **nothing** is created: no file, no
+/// registry, no background state.
+pub fn init_from_env() {
+    if INITIALIZED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let path = std::env::var("RT_OBS").ok().filter(|p| !p.trim().is_empty());
+    let level = std::env::var("RT_OBS_LEVEL")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(if path.is_some() { Level::All } else { Level::Off });
+    if level == Level::Off {
+        return;
+    }
+    let sink: Option<Box<dyn Sink>> = match &path {
+        None => None,
+        Some(p) => match JsonlSink::create(Path::new(p)) {
+            Ok(s) => Some(Box::new(s)),
+            Err(e) => {
+                // Telemetry must never take down a run; degrade to
+                // in-memory aggregation only.
+                eprintln!("[rt-obs] cannot open {p}: {e}; continuing without a sink");
+                None
+            }
+        },
+    };
+    install(level, sink);
+}
+
+/// Explicit (re)initialization — used by tools and tests. Replaces any
+/// previous telemetry state. Pass `path = None` for in-memory aggregation
+/// without a sink.
+///
+/// # Errors
+///
+/// Returns the I/O error when the sink file cannot be created.
+pub fn init_manual(level: Level, path: Option<&Path>) -> std::io::Result<()> {
+    let sink: Option<Box<dyn Sink>> = match path {
+        Some(p) if level > Level::Off => Some(Box::new(JsonlSink::create(p)?)),
+        _ => None,
+    };
+    INITIALIZED.store(true, Ordering::SeqCst);
+    install(level, sink);
+    Ok(())
+}
+
+/// Installs an in-memory sink (tests): every emitted JSONL line is
+/// captured and readable through the returned handle.
+pub fn init_memory(level: Level) -> MemoryHandle {
+    let handle = MemoryHandle::default();
+    INITIALIZED.store(true, Ordering::SeqCst);
+    install(level, Some(Box::new(MemorySink::new(handle.clone()))));
+    handle
+}
+
+fn install(level: Level, sink: Option<Box<dyn Sink>>) {
+    let mut inner = Inner::new(sink);
+    if level > Level::Off {
+        let meta = Event::Meta {
+            v: sink::SCHEMA_VERSION,
+            unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            pid: std::process::id(),
+            level: level.label().to_string(),
+            seq: next_seq(),
+        };
+        inner.emit(&meta);
+    }
+    *lock_inner() = Some(inner);
+    LEVEL.store(level as u8, Ordering::SeqCst);
+}
+
+/// Flushes telemetry durably: snapshots every counter/gauge/histogram
+/// into the event stream (level `all`), then flushes and fsyncs the sink
+/// — the telemetry analog of `rt-nn`'s atomic checkpoint writes. Call at
+/// the end of a run; in-memory aggregates survive, so [`snapshot`] still
+/// works afterwards.
+pub fn finalize() {
+    if level() == Level::Off {
+        return;
+    }
+    let snap_events = metrics_enabled();
+    with_inner(|inner| {
+        if snap_events {
+            let mut events: Vec<Event> = Vec::new();
+            let mut counters: Vec<(&String, u64)> = inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k, v.load(Ordering::Relaxed)))
+                .collect();
+            counters.sort();
+            for (name, value) in counters {
+                events.push(Event::Counter {
+                    name: name.clone(),
+                    value,
+                    seq: next_seq(),
+                });
+            }
+            let mut gauges: Vec<(&String, f64)> = inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k, f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect();
+            gauges.sort_by(|a, b| a.0.cmp(b.0));
+            for (name, value) in gauges {
+                events.push(Event::Gauge {
+                    name: name.clone(),
+                    value,
+                    seq: next_seq(),
+                });
+            }
+            let mut hists: Vec<(&String, &std::sync::Arc<metrics::HistogramInner>)> =
+                inner.histograms.iter().collect();
+            hists.sort_by(|a, b| a.0.cmp(b.0));
+            for (name, hist) in hists {
+                let snap = hist.snapshot(name);
+                events.push(Event::Hist {
+                    name: snap.name,
+                    bounds: snap.bounds,
+                    counts: snap.counts,
+                    sum: snap.sum,
+                    count: snap.count,
+                    seq: next_seq(),
+                });
+            }
+            for event in &events {
+                inner.emit(event);
+            }
+        }
+        if let Some(sink) = inner.sink.as_mut() {
+            sink.flush_sync();
+        }
+    });
+}
+
+/// Captures the current in-memory registry + span aggregates.
+pub fn snapshot() -> report::Snapshot {
+    with_inner(|inner| {
+        let mut snap = report::Snapshot {
+            wall_ms: inner.ts_ms(),
+            ..report::Snapshot::default()
+        };
+        for (name, c) in &inner.counters {
+            snap.counters
+                .insert(name.clone(), c.load(Ordering::Relaxed));
+        }
+        for (name, g) in &inner.gauges {
+            snap.gauges
+                .insert(name.clone(), f64::from_bits(g.load(Ordering::Relaxed)));
+        }
+        for (name, h) in &inner.histograms {
+            snap.histograms.push(h.snapshot(name));
+        }
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        snap.spans = inner.span_stats.values().cloned().collect();
+        snap.spans.sort_by(|a, b| a.path.cmp(&b.path));
+        snap
+    })
+    .unwrap_or_default()
+}
+
+/// Number of registered metric + span-aggregate entries — used by tests to
+/// prove the `off` level produces zero registry growth.
+pub fn registry_len() -> usize {
+    with_inner(|inner| {
+        inner.counters.len() + inner.gauges.len() + inner.histograms.len() + inner.span_stats.len()
+    })
+    .unwrap_or(0)
+}
+
+/// Emits a structured one-off event (level `all`); no-op otherwise.
+pub fn event(name: &str, attrs: &[(&str, AttrValue)]) {
+    if !metrics_enabled() {
+        return;
+    }
+    let map: serde_json::Map<String, serde_json::Value> = attrs
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone().into()))
+        .collect();
+    with_inner(|inner| {
+        let ev = Event::Point {
+            name: name.to_string(),
+            ts_ms: inner.ts_ms(),
+            attrs: map,
+            seq: next_seq(),
+        };
+        inner.emit(&ev);
+    });
+}
+
+/// Writes `msg` to stderr and, at level `all`, mirrors it into the
+/// telemetry stream as a `log` event. The [`console!`] macro is the
+/// ergonomic front door; this is its implementation.
+pub fn console_line(msg: &str) {
+    eprintln!("{msg}");
+    if !metrics_enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        let ev = Event::Log {
+            msg: msg.to_string(),
+            ts_ms: inner.ts_ms(),
+            seq: next_seq(),
+        };
+        inner.emit(&ev);
+    });
+}
+
+/// Writes `msg` to **stdout** and, at level `all`, mirrors it into the
+/// telemetry stream as a `log` event. The [`console_out!`] macro is the
+/// ergonomic front door; this is its implementation. Reserved for output
+/// that *is* the program's product (e.g. a record's markdown table);
+/// diagnostics belong on stderr via [`console!`].
+pub fn stdout_line(msg: &str) {
+    println!("{msg}");
+    if !metrics_enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        let ev = Event::Log {
+            msg: msg.to_string(),
+            ts_ms: inner.ts_ms(),
+            seq: next_seq(),
+        };
+        inner.emit(&ev);
+    });
+}
+
+/// Attaches a `key = value` attribute to the innermost open span on this
+/// thread (no-op when spans are disabled or no span is open).
+pub fn span_attr(key: &str, value: impl Into<AttrValue>) {
+    if !spans_enabled() {
+        return;
+    }
+    span::attach_attr(key, value.into());
+}
+
+/// Opens a wall-time span. RAII: the span closes (and is recorded) when
+/// the returned guard drops.
+///
+/// ```
+/// let _g = rt_obs::span!("pretrain");
+/// let _h = rt_obs::span!("train.epoch", "epoch" => 3usize, "lr" => 0.05f64);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $($k:expr => $v:expr),+ $(,)?) => {
+        if $crate::spans_enabled() {
+            $crate::SpanGuard::enter_with(
+                $name,
+                vec![$(($k.to_string(), $crate::AttrValue::from($v))),+],
+            )
+        } else {
+            $crate::SpanGuard::inactive()
+        }
+    };
+}
+
+/// `eprintln!` for library crates: prints to stderr and mirrors into the
+/// telemetry stream at level `all`. `ci.sh` rejects bare
+/// `println!`/`eprintln!` under `crates/*/src`; use this instead.
+#[macro_export]
+macro_rules! console {
+    ($($arg:tt)*) => {
+        $crate::console_line(&format!($($arg)*))
+    };
+}
+
+/// `println!` for library crates: prints to stdout and mirrors into the
+/// telemetry stream at level `all`. For product output (tables, records);
+/// diagnostics go through [`console!`].
+#[macro_export]
+macro_rules! console_out {
+    ($($arg:tt)*) => {
+        $crate::stdout_line(&format!($($arg)*))
+    };
+}
+
+/// Creates (or fetches) the counter `name`. Returns a no-op handle when
+/// metrics are disabled — the registry never grows at level < `all`.
+pub fn counter(name: &str) -> Counter {
+    metrics::counter(name)
+}
+
+/// Creates (or fetches) the gauge `name` (no-op handle when disabled).
+pub fn gauge(name: &str) -> Gauge {
+    metrics::gauge(name)
+}
+
+/// Creates (or fetches) the histogram `name` with the default
+/// millisecond-scaled buckets (no-op handle when disabled).
+pub fn histogram(name: &str) -> Histogram {
+    metrics::histogram(name)
+}
+
+/// Creates (or fetches) the histogram `name` with explicit upper bounds
+/// (ascending; an implicit overflow bucket is appended).
+pub fn histogram_with_buckets(name: &str, bounds: &[f64]) -> Histogram {
+    metrics::histogram_with_buckets(name, bounds)
+}
+
+/// Test support: a process-wide lock that serializes tests mutating the
+/// global telemetry state, resetting it on acquisition *and* release.
+pub mod testing {
+    use super::*;
+
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Holds the test lock; state is reset when acquired and when dropped.
+    pub struct TestGuard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+    impl Drop for TestGuard {
+        fn drop(&mut self) {
+            reset();
+        }
+    }
+
+    /// Acquires the telemetry test lock (resetting all global state).
+    pub fn lock() -> TestGuard {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        TestGuard(guard)
+    }
+
+    fn reset() {
+        LEVEL.store(0, Ordering::SeqCst);
+        INITIALIZED.store(false, Ordering::SeqCst);
+        *lock_inner() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("SPANS"), Some(Level::Spans));
+        assert_eq!(Level::parse("All"), Some(Level::All));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Spans < Level::All);
+    }
+
+    #[test]
+    fn off_level_is_a_true_noop() {
+        let _t = testing::lock();
+        let path = std::env::temp_dir().join("rt-obs-off-noop.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // `init_manual` at Off must not create the file.
+        init_manual(Level::Off, Some(&path)).unwrap();
+        assert_eq!(level(), Level::Off);
+        assert!(!spans_enabled());
+        // Instrumentation sites all degrade to no-ops.
+        {
+            let _g = span!("dead");
+            let _h = span!("dead2", "k" => 1u64);
+            counter("c").inc();
+            gauge("g").set(1.0);
+            histogram("h").observe(1.0);
+            event("e", &[("k", AttrValue::from(1u64))]);
+        }
+        assert_eq!(registry_len(), 0, "off level must not grow the registry");
+        assert!(!path.exists(), "off level must not create the sink file");
+    }
+
+    #[test]
+    fn init_from_env_is_idempotent() {
+        let _t = testing::lock();
+        // No RT_OBS in the test environment: stays off, and a second call
+        // cannot flip state installed in between.
+        init_from_env();
+        let first = level();
+        init_memory(Level::All);
+        init_from_env(); // must be a no-op now
+        assert_eq!(level(), Level::All);
+        assert_eq!(first, Level::Off);
+    }
+
+    #[test]
+    fn finalize_snapshots_metrics_into_the_stream() {
+        let _t = testing::lock();
+        let handle = init_memory(Level::All);
+        counter("runner.retries").add(3);
+        gauge("train.lr").set(0.05);
+        histogram("train.batch_ms").observe(2.0);
+        finalize();
+        let lines = handle.lines();
+        let joined = lines.join("\n");
+        assert!(joined.contains("\"t\":\"meta\""), "{joined}");
+        assert!(joined.contains("runner.retries"), "{joined}");
+        assert!(joined.contains("train.lr"), "{joined}");
+        assert!(joined.contains("train.batch_ms"), "{joined}");
+        // Every line is valid JSON.
+        for line in &lines {
+            serde_json::from_str::<serde_json::Value>(line).expect("well-formed JSONL");
+        }
+    }
+
+    #[test]
+    fn console_mirrors_into_the_stream_at_level_all() {
+        let _t = testing::lock();
+        let handle = init_memory(Level::All);
+        console!("hello {}", 42);
+        let lines = handle.lines();
+        assert!(lines.iter().any(|l| l.contains("hello 42")), "{lines:?}");
+    }
+
+    #[test]
+    fn spans_level_skips_metrics_but_keeps_spans() {
+        let _t = testing::lock();
+        let handle = init_memory(Level::Spans);
+        counter("never").inc();
+        {
+            let _g = span!("visible");
+        }
+        assert_eq!(snapshot().counters.len(), 0);
+        assert_eq!(snapshot().spans.len(), 1);
+        let lines = handle.lines();
+        assert!(lines.iter().any(|l| l.contains("\"visible\"")), "{lines:?}");
+        assert!(!lines.iter().any(|l| l.contains("never")));
+    }
+}

@@ -1,0 +1,321 @@
+//! Process-global metric registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Handles are cheap `Arc` clones into the registry; when metrics are
+//! disabled (level < `all`) every constructor returns a no-op handle
+//! without touching the registry, so the disabled path is one relaxed
+//! atomic load and the registry provably never grows.
+
+use crate::report::HistSnapshot;
+use crate::{metrics_enabled, with_inner};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default histogram bucket upper bounds, tuned for millisecond-scale
+/// timings (spans a 50 µs batch to a minute-long cell).
+pub const DEFAULT_MS_BOUNDS: [f64; 19] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0, 10_000.0, 30_000.0, 60_000.0,
+];
+
+/// A monotone counter. Cloneable; no-op when telemetry is off.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// True when this handle is wired to the registry.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64` bits in an atomic).
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+
+    /// True when this handle is wired to the registry.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Lock-free fixed-bucket histogram storage.
+pub struct HistogramInner {
+    /// Ascending upper bounds; observation `v` lands in the first bucket
+    /// with `v <= bound`, or the trailing overflow bucket.
+    pub(crate) bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets (last = overflow).
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramInner {
+    fn new(bounds: Vec<f64>) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        HistogramInner {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        // First bound >= v; equality lands in the bucket it bounds.
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop for the f64 sum (contention is negligible at our rates).
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Snapshots the histogram under `name`.
+    pub(crate) fn snapshot(&self, name: &str) -> HistSnapshot {
+        HistSnapshot {
+            name: name.to_string(),
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle. Cloneable; no-op when telemetry is
+/// off — hoist the handle out of hot loops and gate timing capture on
+/// [`Histogram::is_active`] so even `Instant::now()` is skipped.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramInner>>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if let Some(inner) = &self.0 {
+            inner.observe(v);
+        }
+    }
+
+    /// Number of observations so far (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// True when this handle is wired to the registry — gate
+    /// `Instant::now()` calls on this.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// See [`crate::counter`].
+pub(crate) fn counter(name: &str) -> Counter {
+    if !metrics_enabled() {
+        return Counter(None);
+    }
+    Counter(with_inner(|inner| {
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }))
+}
+
+/// See [`crate::gauge`].
+pub(crate) fn gauge(name: &str) -> Gauge {
+    if !metrics_enabled() {
+        return Gauge(None);
+    }
+    Gauge(with_inner(|inner| {
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())))
+            .clone()
+    }))
+}
+
+/// See [`crate::histogram`].
+pub(crate) fn histogram(name: &str) -> Histogram {
+    histogram_with_buckets(name, &DEFAULT_MS_BOUNDS)
+}
+
+/// See [`crate::histogram_with_buckets`].
+pub(crate) fn histogram_with_buckets(name: &str, bounds: &[f64]) -> Histogram {
+    if !metrics_enabled() {
+        return Histogram(None);
+    }
+    debug_assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "histogram bounds must be strictly ascending"
+    );
+    Histogram(with_inner(|inner| {
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramInner::new(bounds.to_vec())))
+            .clone()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{testing, Level};
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let _t = testing::lock();
+        crate::init_manual(Level::All, None).unwrap();
+        let h = crate::histogram_with_buckets("edges", &[1.0, 2.0, 4.0]);
+        h.observe(0.5); // <= 1.0  → bucket 0
+        h.observe(1.0); // == 1.0  → bucket 0 (inclusive upper bound)
+        h.observe(1.0001); // → bucket 1
+        h.observe(2.0); // == 2.0  → bucket 1
+        h.observe(4.0); // == 4.0  → bucket 2
+        h.observe(4.5); // > 4.0   → overflow bucket 3
+        h.observe(1e9); // → overflow bucket 3
+        let snap = crate::snapshot();
+        let hist = snap.histograms.iter().find(|s| s.name == "edges").unwrap();
+        assert_eq!(hist.counts, vec![2, 2, 1, 2]);
+        assert_eq!(hist.count, 7);
+        let expected_sum = 0.5 + 1.0 + 1.0001 + 2.0 + 4.0 + 4.5 + 1e9;
+        assert!((hist.sum - expected_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_name_returns_the_same_underlying_metric() {
+        let _t = testing::lock();
+        crate::init_manual(Level::All, None).unwrap();
+        crate::counter("shared").add(2);
+        crate::counter("shared").add(3);
+        assert_eq!(crate::counter("shared").get(), 5);
+        assert_eq!(crate::registry_len(), 1);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let _t = testing::lock();
+        crate::init_manual(Level::All, None).unwrap();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let c = crate::counter("concurrent");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(crate::counter("concurrent").get(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_are_lossless() {
+        let _t = testing::lock();
+        crate::init_manual(Level::All, None).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let h = crate::histogram_with_buckets("conc-hist", &[10.0, 100.0]);
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 % 150.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = crate::snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|s| s.name == "conc-hist")
+            .unwrap();
+        assert_eq!(hist.count, 4000);
+        assert_eq!(hist.counts.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let _t = testing::lock();
+        crate::init_manual(Level::All, None).unwrap();
+        let g = crate::gauge("lr");
+        g.set(0.1);
+        g.set(0.05);
+        assert!((crate::gauge("lr").get() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let _t = testing::lock();
+        // Level stays Off.
+        let c = crate::counter("ghost");
+        let g = crate::gauge("ghost");
+        let h = crate::histogram("ghost");
+        assert!(!c.is_active() && !g.is_active() && !h.is_active());
+        c.inc();
+        g.set(1.0);
+        h.observe(1.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(crate::registry_len(), 0);
+    }
+}

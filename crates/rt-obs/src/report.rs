@@ -1,0 +1,481 @@
+//! Snapshot and report rendering: the per-run wall-time breakdown.
+//!
+//! A [`Snapshot`] can come from two places: the live in-process registry
+//! ([`crate::snapshot`]) or an offline aggregation of one or more JSONL
+//! telemetry streams ([`parse_jsonl`] + [`aggregate`] — the engine behind
+//! the `obs_report` binary in `rt-bench`). Both feed
+//! [`Snapshot::render_table`], which shows per-span count / total / self
+//! / mean wall time (indented by nesting depth), top-level span coverage
+//! of the observed wall time, histogram summaries, and counters.
+
+use crate::sink::Event;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Full hierarchical path (`fig1/pretrain/train.run`).
+    pub path: String,
+    /// Leaf name (`train.run`).
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Summed wall time, milliseconds.
+    pub total_ms: f64,
+    /// Summed self time (total minus child spans), milliseconds.
+    pub self_ms: f64,
+    /// Longest single occurrence, milliseconds.
+    pub max_ms: f64,
+}
+
+impl SpanStat {
+    /// An empty stat for `path`.
+    pub fn new(path: &str, name: &str, depth: usize) -> Self {
+        SpanStat {
+            path: path.to_string(),
+            name: name.to_string(),
+            depth,
+            count: 0,
+            total_ms: 0.0,
+            self_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+}
+
+/// Serialized fixed-bucket histogram state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Ascending bucket upper bounds (`value <= bound`).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1`, last = overflow).
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Observation count.
+    pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (`f64::INFINITY` when it lands in the overflow bucket; `None` when
+    /// empty).
+    pub fn quantile_bound(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(self.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+/// A complete telemetry snapshot: span aggregates + metric registry +
+/// observed wall time. Serializable — this is the `snapshot` payload of
+/// `BENCH_obs.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Snapshot {
+    /// Span aggregates, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistSnapshot>,
+    /// Observed wall time, milliseconds (process uptime for live
+    /// snapshots; the largest event timestamp for offline aggregation).
+    pub wall_ms: f64,
+}
+
+impl Snapshot {
+    /// Fraction (0–1) of the observed wall time covered by *top-level*
+    /// spans — the acceptance metric for "the breakdown explains where
+    /// the run went". `None` when no wall time was observed.
+    pub fn coverage(&self) -> Option<f64> {
+        if self.wall_ms <= 0.0 {
+            return None;
+        }
+        let top: f64 = self
+            .spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.total_ms)
+            .sum();
+        Some((top / self.wall_ms).min(1.0))
+    }
+
+    /// Renders the wall-time breakdown table (spans indented by depth),
+    /// coverage line, top-`k` histograms, and counters.
+    pub fn render_table(&self) -> String {
+        self.render_table_top_k(8)
+    }
+
+    /// [`Snapshot::render_table`] with an explicit histogram budget.
+    pub fn render_table_top_k(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        out.push_str("== rt-obs wall-time breakdown ==\n");
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        } else {
+            let name_width = self
+                .spans
+                .iter()
+                .map(|s| 2 * s.depth + s.name.len())
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            out.push_str(&format!(
+                "{:<name_width$}  {:>7}  {:>12}  {:>12}  {:>10}\n",
+                "span", "count", "total ms", "self ms", "mean ms"
+            ));
+            // Path sort keeps children under their parents.
+            let mut spans = self.spans.clone();
+            spans.sort_by(|a, b| a.path.cmp(&b.path));
+            for s in &spans {
+                let label = format!("{}{}", "  ".repeat(s.depth), s.name);
+                let mean = if s.count == 0 {
+                    0.0
+                } else {
+                    s.total_ms / s.count as f64
+                };
+                out.push_str(&format!(
+                    "{label:<name_width$}  {:>7}  {:>12.1}  {:>12.1}  {:>10.1}\n",
+                    s.count, s.total_ms, s.self_ms, mean
+                ));
+            }
+            if let Some(cov) = self.coverage() {
+                out.push_str(&format!(
+                    "top-level span coverage: {:.1}% of {:.1} ms observed wall time\n",
+                    cov * 100.0,
+                    self.wall_ms
+                ));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n== histograms ==\n");
+            let mut hists = self.histograms.clone();
+            hists.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.name.cmp(&b.name)));
+            for h in hists.iter().take(top_k) {
+                let fmt_bound = |b: Option<f64>| match b {
+                    Some(v) if v.is_finite() => format!("{v}"),
+                    Some(_) => "inf".to_string(),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!(
+                    "{}: count={} mean={:.3} p50<={} p90<={} p99<={}\n",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    fmt_bound(h.quantile_bound(0.5)),
+                    fmt_bound(h.quantile_bound(0.9)),
+                    fmt_bound(h.quantile_bound(0.99)),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n== counters ==\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name} = {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n== gauges ==\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{name} = {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Parses a JSONL telemetry stream. Malformed lines — including the torn
+/// final line an interrupted process leaves behind — are counted, not
+/// fatal.
+pub fn parse_jsonl(text: &str) -> (Vec<Event>, usize) {
+    let mut events = Vec::new();
+    let mut malformed = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Event>(line) {
+            Ok(ev) => events.push(ev),
+            Err(_) => malformed += 1,
+        }
+    }
+    (events, malformed)
+}
+
+/// Aggregates parsed events into a [`Snapshot`]. Span events accumulate
+/// by path; counter/gauge/histogram snapshot events are last-wins (they
+/// are emitted as registry snapshots, with counts merged *across* streams
+/// when multiple files are aggregated — see [`aggregate_streams`]).
+pub fn aggregate(events: &[Event]) -> Snapshot {
+    let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+    let mut snap = Snapshot::default();
+    for ev in events {
+        match ev {
+            Event::Span {
+                name,
+                path,
+                depth,
+                ms,
+                self_ms,
+                ts_ms,
+                ..
+            } => {
+                let stat = spans
+                    .entry(path.clone())
+                    .or_insert_with(|| SpanStat::new(path, name, *depth));
+                stat.count += 1;
+                stat.total_ms += ms;
+                stat.self_ms += self_ms;
+                if *ms > stat.max_ms {
+                    stat.max_ms = *ms;
+                }
+                if *ts_ms > snap.wall_ms {
+                    snap.wall_ms = *ts_ms;
+                }
+            }
+            Event::Point { ts_ms, .. } | Event::Log { ts_ms, .. } => {
+                if *ts_ms > snap.wall_ms {
+                    snap.wall_ms = *ts_ms;
+                }
+            }
+            Event::Counter { name, value, .. } => {
+                *snap.counters.entry(name.clone()).or_insert(0) = *value;
+            }
+            Event::Gauge { name, value, .. } => {
+                snap.gauges.insert(name.clone(), *value);
+            }
+            Event::Hist {
+                name,
+                bounds,
+                counts,
+                sum,
+                count,
+                ..
+            } => {
+                snap.histograms.retain(|h| h.name != *name);
+                snap.histograms.push(HistSnapshot {
+                    name: name.clone(),
+                    bounds: bounds.clone(),
+                    counts: counts.clone(),
+                    sum: *sum,
+                    count: *count,
+                });
+            }
+            Event::Meta { .. } => {}
+        }
+    }
+    snap.spans = spans.into_values().collect();
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap
+}
+
+/// Aggregates multiple independently-recorded streams into one snapshot:
+/// spans and histogram/counter totals are *summed* across streams,
+/// `wall_ms` is summed too (each stream is a separate run's wall time).
+pub fn aggregate_streams(streams: &[Vec<Event>]) -> Snapshot {
+    let mut merged = Snapshot::default();
+    for events in streams {
+        let snap = aggregate(events);
+        merged.wall_ms += snap.wall_ms;
+        for s in snap.spans {
+            match merged.spans.iter_mut().find(|m| m.path == s.path) {
+                Some(m) => {
+                    m.count += s.count;
+                    m.total_ms += s.total_ms;
+                    m.self_ms += s.self_ms;
+                    m.max_ms = m.max_ms.max(s.max_ms);
+                }
+                None => merged.spans.push(s),
+            }
+        }
+        for (name, value) in snap.counters {
+            *merged.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, value) in snap.gauges {
+            merged.gauges.insert(name, value);
+        }
+        for h in snap.histograms {
+            match merged
+                .histograms
+                .iter_mut()
+                .find(|m| m.name == h.name && m.bounds == h.bounds)
+            {
+                Some(m) => {
+                    for (a, b) in m.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    m.sum += h.sum;
+                    m.count += h.count;
+                }
+                None => merged.histograms.push(h),
+            }
+        }
+    }
+    merged.spans.sort_by(|a, b| a.path.cmp(&b.path));
+    merged.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{testing, Level};
+
+    #[test]
+    fn jsonl_round_trip_matches_live_snapshot() {
+        let _t = testing::lock();
+        let handle = crate::init_memory(Level::All);
+        {
+            let _root = crate::span!("root");
+            {
+                let _child = crate::span!("child");
+            }
+            crate::counter("cells").add(4);
+            crate::histogram_with_buckets("ms", &[1.0, 10.0]).observe(0.5);
+        }
+        crate::finalize();
+        let text = handle.lines().join("\n");
+        let (events, malformed) = parse_jsonl(&text);
+        assert_eq!(malformed, 0);
+        let offline = aggregate(&events);
+        let live = crate::snapshot();
+        // Span structure agrees between the live registry and the stream.
+        assert_eq!(offline.spans.len(), live.spans.len());
+        for (a, b) in offline.spans.iter().zip(&live.spans) {
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.count, b.count);
+            assert!((a.total_ms - b.total_ms).abs() < 1e-9);
+        }
+        assert_eq!(offline.counters.get("cells"), Some(&4));
+        assert_eq!(offline.histograms.len(), 1);
+        assert_eq!(offline.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let _t = testing::lock();
+        let handle = crate::init_memory(Level::All);
+        {
+            let _g = crate::span!("kept");
+        }
+        crate::finalize();
+        let mut text = handle.lines().join("\n");
+        text.push_str("\n{\"t\":\"span\",\"name\":\"torn");
+        let (events, malformed) = parse_jsonl(&text);
+        assert_eq!(malformed, 1);
+        let snap = aggregate(&events);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].path, "kept");
+    }
+
+    #[test]
+    fn coverage_uses_top_level_spans_only() {
+        let snap = Snapshot {
+            spans: vec![
+                SpanStat {
+                    count: 1,
+                    total_ms: 90.0,
+                    self_ms: 10.0,
+                    ..SpanStat::new("run", "run", 0)
+                },
+                SpanStat {
+                    count: 1,
+                    total_ms: 80.0,
+                    self_ms: 80.0,
+                    ..SpanStat::new("run/inner", "inner", 1)
+                },
+            ],
+            wall_ms: 100.0,
+            ..Snapshot::default()
+        };
+        let cov = snap.coverage().unwrap();
+        assert!((cov - 0.9).abs() < 1e-9, "inner span must not double-count");
+    }
+
+    #[test]
+    fn quantile_bounds_walk_buckets() {
+        let h = HistSnapshot {
+            name: "q".into(),
+            bounds: vec![1.0, 2.0, 4.0],
+            counts: vec![5, 3, 1, 1],
+            sum: 12.0,
+            count: 10,
+        };
+        assert_eq!(h.quantile_bound(0.5), Some(1.0));
+        assert_eq!(h.quantile_bound(0.8), Some(2.0));
+        assert_eq!(h.quantile_bound(0.9), Some(4.0));
+        assert_eq!(h.quantile_bound(1.0), Some(f64::INFINITY));
+        assert!((h.mean() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_shows_hierarchy_and_coverage() {
+        let snap = Snapshot {
+            spans: vec![
+                SpanStat {
+                    count: 2,
+                    total_ms: 100.0,
+                    self_ms: 40.0,
+                    max_ms: 60.0,
+                    ..SpanStat::new("fig1", "fig1", 0)
+                },
+                SpanStat {
+                    count: 4,
+                    total_ms: 60.0,
+                    self_ms: 60.0,
+                    max_ms: 20.0,
+                    ..SpanStat::new("fig1/pretrain", "pretrain", 1)
+                },
+            ],
+            wall_ms: 105.0,
+            ..Snapshot::default()
+        };
+        let table = snap.render_table();
+        assert!(table.contains("fig1"), "{table}");
+        assert!(table.contains("  pretrain"), "child indented: {table}");
+        assert!(table.contains("95.2%"), "coverage rendered: {table}");
+    }
+
+    #[test]
+    fn stream_merge_sums_spans_and_histograms() {
+        let _t = testing::lock();
+        let handle = crate::init_memory(Level::All);
+        {
+            let _g = crate::span!("work");
+            crate::counter("n").add(2);
+            crate::histogram_with_buckets("h", &[1.0]).observe(0.5);
+        }
+        crate::finalize();
+        let text = handle.lines().join("\n");
+        let (events, _) = parse_jsonl(&text);
+        let merged = aggregate_streams(&[events.clone(), events]);
+        assert_eq!(merged.spans[0].count, 2, "span counts sum across streams");
+        assert_eq!(merged.counters.get("n"), Some(&4));
+        assert_eq!(merged.histograms[0].count, 2);
+    }
+}

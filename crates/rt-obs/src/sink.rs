@@ -1,0 +1,385 @@
+//! Event schema and sinks.
+//!
+//! Every telemetry record is one [`Event`], serialized as a single JSON
+//! line (`{"t":"span",...}`). The `t` tag discriminates the variants; the
+//! schema is versioned through the `meta` event every stream starts with.
+//!
+//! Two sinks exist: [`JsonlSink`] (buffered file writer, fsync'd by
+//! [`crate::finalize`]) and [`MemorySink`] (test capture). Unknown event
+//! kinds and malformed lines are tolerated by the offline parser
+//! ([`crate::report::parse_jsonl`]) so schema evolution and torn final
+//! lines never brick a report.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Version stamped into the `meta` event of every stream.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A span/event attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum AttrValue {
+    /// Boolean.
+    B(bool),
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float.
+    F(f64),
+    /// String.
+    S(String),
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::B(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U(v as u64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I(v)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::I(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F(v)
+    }
+}
+impl From<f32> for AttrValue {
+    fn from(v: f32) -> Self {
+        AttrValue::F(v as f64)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::S(v.to_string())
+    }
+}
+impl From<&String> for AttrValue {
+    fn from(v: &String) -> Self {
+        AttrValue::S(v.clone())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::S(v)
+    }
+}
+
+impl From<AttrValue> for serde_json::Value {
+    fn from(v: AttrValue) -> Self {
+        match v {
+            AttrValue::B(b) => serde_json::Value::Bool(b),
+            AttrValue::U(u) => serde_json::Value::from(u),
+            AttrValue::I(i) => serde_json::Value::from(i),
+            AttrValue::F(f) => serde_json::Value::from(f),
+            AttrValue::S(s) => serde_json::Value::String(s),
+        }
+    }
+}
+
+/// One telemetry record (one JSON line in the stream).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "t")]
+pub enum Event {
+    /// Stream header: schema version, wall-clock origin, process, level.
+    #[serde(rename = "meta")]
+    Meta {
+        /// Schema version ([`SCHEMA_VERSION`]).
+        v: u32,
+        /// Unix epoch milliseconds at stream creation.
+        unix_ms: u64,
+        /// Emitting process id.
+        pid: u32,
+        /// Telemetry level label (`spans` / `all`).
+        level: String,
+        /// Global event sequence number.
+        seq: u64,
+    },
+    /// A closed span.
+    #[serde(rename = "span")]
+    Span {
+        /// Leaf span name (e.g. `train.epoch`).
+        name: String,
+        /// Full hierarchical path (e.g. `fig1/pretrain/train.run/train.epoch`).
+        path: String,
+        /// Nesting depth (0 = top level).
+        depth: usize,
+        /// Total wall time of the span, milliseconds.
+        ms: f64,
+        /// Wall time minus time spent in child spans, milliseconds.
+        self_ms: f64,
+        /// Milliseconds since stream start at span *close*.
+        ts_ms: f64,
+        /// Emitting thread name (empty when unnamed).
+        thread: String,
+        /// Key → value attributes.
+        #[serde(default, skip_serializing_if = "serde_json::Map::is_empty")]
+        attrs: serde_json::Map<String, serde_json::Value>,
+        /// Global event sequence number.
+        seq: u64,
+    },
+    /// A structured one-off event (e.g. a runner cell outcome).
+    #[serde(rename = "event")]
+    Point {
+        /// Event name (e.g. `runner.cell`).
+        name: String,
+        /// Milliseconds since stream start.
+        ts_ms: f64,
+        /// Key → value attributes.
+        #[serde(default, skip_serializing_if = "serde_json::Map::is_empty")]
+        attrs: serde_json::Map<String, serde_json::Value>,
+        /// Global event sequence number.
+        seq: u64,
+    },
+    /// A mirrored console line.
+    #[serde(rename = "log")]
+    Log {
+        /// The console message.
+        msg: String,
+        /// Milliseconds since stream start.
+        ts_ms: f64,
+        /// Global event sequence number.
+        seq: u64,
+    },
+    /// Counter snapshot (emitted by [`crate::finalize`]).
+    #[serde(rename = "counter")]
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Current value.
+        value: u64,
+        /// Global event sequence number.
+        seq: u64,
+    },
+    /// Gauge snapshot (emitted by [`crate::finalize`]).
+    #[serde(rename = "gauge")]
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Current value.
+        value: f64,
+        /// Global event sequence number.
+        seq: u64,
+    },
+    /// Histogram snapshot (emitted by [`crate::finalize`]).
+    #[serde(rename = "hist")]
+    Hist {
+        /// Histogram name.
+        name: String,
+        /// Ascending bucket upper bounds (`value <= bound`); an implicit
+        /// overflow bucket follows the last bound.
+        bounds: Vec<f64>,
+        /// Per-bucket counts (`bounds.len() + 1` entries).
+        counts: Vec<u64>,
+        /// Sum of observed values.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+        /// Global event sequence number.
+        seq: u64,
+    },
+}
+
+/// Destination for serialized event lines.
+pub trait Sink: Send {
+    /// Appends one pre-serialized JSON line.
+    fn emit_line(&mut self, line: &str);
+    /// Flushes buffers and (for durable sinks) fsyncs to disk.
+    fn flush_sync(&mut self);
+}
+
+/// Buffered JSONL file sink.
+pub struct JsonlSink {
+    writer: std::io::BufWriter<std::fs::File>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the stream file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: std::io::BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The stream file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit_line(&mut self, line: &str) {
+        // Telemetry writes are best-effort: an I/O error must never take
+        // down the run being observed.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush_sync(&mut self) {
+        let _ = self.writer.flush();
+        let _ = self.writer.get_ref().sync_all();
+    }
+}
+
+/// Shared handle to the lines captured by a [`MemorySink`].
+#[derive(Debug, Clone, Default)]
+pub struct MemoryHandle(Arc<Mutex<Vec<String>>>);
+
+impl MemoryHandle {
+    /// Snapshot of every line emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+/// In-memory sink for tests.
+pub struct MemorySink(MemoryHandle);
+
+impl MemorySink {
+    /// Wraps a handle.
+    pub fn new(handle: MemoryHandle) -> Self {
+        MemorySink(handle)
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit_line(&mut self, line: &str) {
+        self.0
+             .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(line.to_string());
+    }
+
+    fn flush_sync(&mut self) {}
+}
+
+/// Atomic whole-file write (temp file + fsync + rename), mirroring
+/// `rt-nn::checkpoint::atomic_write` so reports and summaries are never
+/// torn by an interrupted process. Lives here too because `rt-obs`
+/// depends on nothing in the workspace.
+///
+/// # Errors
+///
+/// Propagates I/O errors (the temp file is cleaned up on failure).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp-{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let mut attrs = serde_json::Map::new();
+        attrs.insert("epoch".into(), serde_json::Value::from(3u64));
+        let ev = Event::Span {
+            name: "train.epoch".into(),
+            path: "fig1/train.epoch".into(),
+            depth: 1,
+            ms: 12.5,
+            self_ms: 10.0,
+            ts_ms: 100.0,
+            thread: "main".into(),
+            attrs,
+            seq: 7,
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(line.starts_with("{\"t\":\"span\""), "{line}");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn attr_values_serialize_naturally() {
+        assert_eq!(
+            serde_json::to_string(&AttrValue::from(0.5f64)).unwrap(),
+            "0.5"
+        );
+        assert_eq!(serde_json::to_string(&AttrValue::from(3usize)).unwrap(), "3");
+        assert_eq!(
+            serde_json::to_string(&AttrValue::from("hi")).unwrap(),
+            "\"hi\""
+        );
+        assert_eq!(
+            serde_json::to_string(&AttrValue::from(true)).unwrap(),
+            "true"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let path = std::env::temp_dir().join("rt-obs-sink-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.emit_line("{\"a\":1}");
+        sink.emit_line("{\"b\":2}");
+        sink.flush_sync();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let path = std::env::temp_dir().join("rt-obs-atomic-test.json");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second-longer").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second-longer");
+        let _ = std::fs::remove_file(&path);
+    }
+}

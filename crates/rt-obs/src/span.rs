@@ -1,0 +1,276 @@
+//! Hierarchical RAII wall-time spans with a thread-local span stack.
+//!
+//! [`SpanGuard::enter`] pushes a frame onto the current thread's stack;
+//! dropping the guard pops it, computes total and *self* time (total
+//! minus time attributed to child spans), folds the timing into the
+//! process-global span-stat registry, and — when a sink is installed —
+//! emits a `span` event. Panics unwind through guards normally, so a
+//! crashed cell still records every span it closed on the way out.
+
+use crate::sink::{AttrValue, Event};
+use crate::{next_seq, report::SpanStat, spans_enabled, with_inner};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+struct Frame {
+    name: String,
+    path: String,
+    depth: usize,
+    start: Instant,
+    child: Duration,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span. Created by [`SpanGuard::enter`] /
+/// [`crate::span!`]; the span is recorded when the guard drops.
+#[must_use = "a span closes as soon as its guard drops"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` (no attributes). Returns an inactive
+    /// guard — one relaxed atomic load, no allocation — when spans are
+    /// disabled.
+    pub fn enter(name: &str) -> SpanGuard {
+        if !spans_enabled() {
+            return SpanGuard { active: false };
+        }
+        Self::enter_with(name, Vec::new())
+    }
+
+    /// Opens a span with initial attributes. Callers should gate on
+    /// [`crate::spans_enabled`] (the [`crate::span!`] macro does) so the
+    /// attribute vector is never built when telemetry is off.
+    pub fn enter_with(name: &str, attrs: Vec<(String, AttrValue)>) -> SpanGuard {
+        if !spans_enabled() {
+            return SpanGuard { active: false };
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let (path, depth) = match stack.last() {
+                Some(parent) => (format!("{}/{}", parent.path, name), parent.depth + 1),
+                None => (name.to_string(), 0),
+            };
+            stack.push(Frame {
+                name: name.to_string(),
+                path,
+                depth,
+                start: Instant::now(),
+                child: Duration::ZERO,
+                attrs,
+            });
+        });
+        SpanGuard { active: true }
+    }
+
+    /// An inactive guard (used by the [`crate::span!`] macro's disabled
+    /// branch).
+    pub fn inactive() -> SpanGuard {
+        SpanGuard { active: false }
+    }
+
+    /// Whether this guard actually records a span.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Attaches an attribute to *this* span (must be the innermost open
+    /// span on the thread — which it is for idiomatic RAII use).
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        if self.active {
+            attach_attr(key, value.into());
+        }
+    }
+}
+
+/// Attaches an attribute to the innermost open span on this thread.
+pub(crate) fn attach_attr(key: &str, value: AttrValue) {
+    STACK.with(|stack| {
+        if let Some(frame) = stack.borrow_mut().last_mut() {
+            frame.attrs.push((key.to_string(), value));
+        }
+    });
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let Some(frame) = STACK.with(|stack| stack.borrow_mut().pop()) else {
+            return; // unbalanced (test reset mid-span); never panic in Drop
+        };
+        let total = frame.start.elapsed();
+        let self_time = total.saturating_sub(frame.child);
+        STACK.with(|stack| {
+            if let Some(parent) = stack.borrow_mut().last_mut() {
+                parent.child += total;
+            }
+        });
+        let total_ms = total.as_secs_f64() * 1e3;
+        let self_ms = self_time.as_secs_f64() * 1e3;
+        let emit_event = spans_enabled();
+        with_inner(|inner| {
+            let stat = inner
+                .span_stats
+                .entry(frame.path.clone())
+                .or_insert_with(|| SpanStat::new(&frame.path, &frame.name, frame.depth));
+            stat.count += 1;
+            stat.total_ms += total_ms;
+            stat.self_ms += self_ms;
+            if total_ms > stat.max_ms {
+                stat.max_ms = total_ms;
+            }
+            if emit_event {
+                let attrs: serde_json::Map<String, serde_json::Value> = frame
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone().into()))
+                    .collect();
+                let ev = Event::Span {
+                    name: frame.name.clone(),
+                    path: frame.path.clone(),
+                    depth: frame.depth,
+                    ms: total_ms,
+                    self_ms,
+                    ts_ms: inner.ts_ms(),
+                    thread: std::thread::current().name().unwrap_or("").to_string(),
+                    attrs,
+                    seq: next_seq(),
+                };
+                inner.emit(&ev);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{snapshot, testing, Level};
+
+    fn spin_for_ms(ms: u64) {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < std::time::Duration::from_millis(ms) {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn nesting_builds_paths_and_self_time() {
+        let _t = testing::lock();
+        crate::init_manual(Level::Spans, None).unwrap();
+        {
+            let _outer = crate::span!("outer");
+            spin_for_ms(4);
+            {
+                let _inner = crate::span!("inner");
+                spin_for_ms(4);
+            }
+        }
+        let snap = snapshot();
+        let outer = snap
+            .spans
+            .iter()
+            .find(|s| s.path == "outer")
+            .expect("outer recorded");
+        let inner = snap
+            .spans
+            .iter()
+            .find(|s| s.path == "outer/inner")
+            .expect("inner path nests under outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.name, "inner");
+        // Self-time accounting: outer's self time excludes inner's total.
+        assert!(
+            outer.total_ms >= inner.total_ms,
+            "outer {} < inner {}",
+            outer.total_ms,
+            inner.total_ms
+        );
+        assert!(
+            outer.self_ms <= outer.total_ms - inner.total_ms + 1.0,
+            "outer self {} must exclude inner total {} (outer total {})",
+            outer.self_ms,
+            inner.total_ms,
+            outer.total_ms
+        );
+        assert!(outer.self_ms >= 3.0, "outer did ~4ms of its own work");
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_counts() {
+        let _t = testing::lock();
+        crate::init_manual(Level::Spans, None).unwrap();
+        for _ in 0..5 {
+            let _g = crate::span!("loop");
+        }
+        let snap = snapshot();
+        let stat = snap.spans.iter().find(|s| s.path == "loop").unwrap();
+        assert_eq!(stat.count, 5);
+        assert!(stat.total_ms >= stat.self_ms);
+        assert!(stat.max_ms <= stat.total_ms + 1e-9);
+    }
+
+    #[test]
+    fn attrs_flow_into_events() {
+        let _t = testing::lock();
+        let handle = crate::init_memory(Level::All);
+        {
+            let g = crate::span!("epoch", "epoch" => 3usize, "lr" => 0.05f64);
+            g.attr("loss", 1.25f64);
+            crate::span_attr("imgs_per_sec", 100.0f64);
+        }
+        let lines = handle.lines();
+        let span_line = lines
+            .iter()
+            .find(|l| l.contains("\"t\":\"span\""))
+            .expect("span event emitted");
+        assert!(span_line.contains("\"epoch\":3"), "{span_line}");
+        assert!(span_line.contains("\"lr\":0.05"), "{span_line}");
+        assert!(span_line.contains("\"loss\":1.25"), "{span_line}");
+        assert!(span_line.contains("\"imgs_per_sec\":100.0"), "{span_line}");
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent_path() {
+        let _t = testing::lock();
+        crate::init_manual(Level::Spans, None).unwrap();
+        {
+            let _root = crate::span!("root");
+            {
+                let _a = crate::span!("a");
+            }
+            {
+                let _b = crate::span!("b");
+            }
+        }
+        let snap = snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"root"));
+        assert!(paths.contains(&"root/a"));
+        assert!(paths.contains(&"root/b"));
+        // Parent child-time includes both siblings.
+        let root = snap.spans.iter().find(|s| s.path == "root").unwrap();
+        let a = snap.spans.iter().find(|s| s.path == "root/a").unwrap();
+        let b = snap.spans.iter().find(|s| s.path == "root/b").unwrap();
+        assert!(root.total_ms + 1e-6 >= a.total_ms + b.total_ms);
+    }
+
+    #[test]
+    fn inactive_guard_touches_nothing() {
+        let _t = testing::lock();
+        // Level off: no init at all.
+        {
+            let g = crate::span!("ghost");
+            assert!(!g.is_active());
+            g.attr("k", 1u64);
+        }
+        assert_eq!(crate::registry_len(), 0);
+    }
+}

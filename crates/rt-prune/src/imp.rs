@@ -151,6 +151,11 @@ where
     }
     let mut ticket = TicketMask::dense(model);
     for round in 0..config.rounds {
+        let _round_span = rt_obs::span!(
+            "imp.round",
+            "round" => round,
+            "target_sparsity" => config.sparsity_at_round(round),
+        );
         ticket.apply(model)?;
         train_round(model, round)?;
         // Rank the *trained* weights; pruned positions are exactly zero and

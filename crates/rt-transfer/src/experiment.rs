@@ -48,8 +48,8 @@ impl Scale {
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         Scale::from_arg_slice(&args).unwrap_or_else(|bad| {
-            eprintln!("error: unknown scale `{bad}`");
-            eprintln!(
+            rt_obs::console!("error: unknown scale `{bad}`");
+            rt_obs::console!(
                 "usage: {} [--scale smoke|standard|paper] [--scale=<value>] [--resume]",
                 args.first().map(String::as_str).unwrap_or("<driver>")
             );

@@ -176,7 +176,7 @@ impl FaultPlan {
                 _ => false,
             };
             if !parsed {
-                eprintln!("[fault] ignoring malformed RT_FAULTS entry `{spec}`");
+                rt_obs::console!("[fault] ignoring malformed RT_FAULTS entry `{spec}`");
             }
         }
         plan
@@ -223,7 +223,7 @@ pub fn is_active() -> bool {
 /// binaries without recompiling.
 pub fn install_from_env() {
     if let Some(plan) = FaultPlan::from_env() {
-        eprintln!("[fault] RT_FAULTS plan installed: {plan:?}");
+        rt_obs::console!("[fault] RT_FAULTS plan installed: {plan:?}");
         install(plan);
     }
 }
@@ -259,7 +259,7 @@ pub fn corrupt_loss(epoch: usize, batch: usize, loss: f32) -> f32 {
                 if fault.times != usize::MAX {
                     fault.times -= 1;
                 }
-                eprintln!("[fault] NaN-flip loss at epoch {epoch}, batch {batch}");
+                rt_obs::console!("[fault] NaN-flip loss at epoch {epoch}, batch {batch}");
                 return f32::NAN;
             }
         }
@@ -308,7 +308,7 @@ pub fn corrupt_checkpoint_bytes(payload: String) -> String {
                     fault.times -= 1;
                 }
                 let keep = fault.keep_bytes.min(payload.len());
-                eprintln!("[fault] truncating checkpoint payload to {keep} bytes");
+                rt_obs::console!("[fault] truncating checkpoint payload to {keep} bytes");
                 let mut truncated = payload;
                 // Truncate on a char boundary (JSON is ASCII in practice,
                 // but never panic inside the fault harness itself).

@@ -95,6 +95,11 @@ pub fn pretrain(
     lr: f32,
     seed: u64,
 ) -> Result<Pretrained> {
+    let _span = rt_obs::span!(
+        "pretrain.train",
+        "scheme" => scheme.label(),
+        "epochs" => epochs,
+    );
     let seeds = SeedStream::new(seed);
     let arch = arch.clone().with_classes(source.train.num_classes());
     let mut model = MicroResNet::new(&arch, &mut seeds.child("init").rng())?;
@@ -153,6 +158,8 @@ pub fn pretrain_cached(
 ) -> Result<Pretrained> {
     let path = cache_path(cache_dir, key);
     if let Some(hit) = try_load(&path, arch) {
+        rt_obs::counter("pretrain.cache_hits").inc();
+        rt_obs::event("pretrain.cache", &[("key", key.into()), ("hit", true.into())]);
         let mut model = MicroResNet::new(
             &arch.clone().with_classes(source.train.num_classes()),
             &mut SeedStream::new(seed).rng(),
@@ -169,6 +176,11 @@ pub fn pretrain_cached(
             },
         });
     }
+    rt_obs::counter("pretrain.cache_misses").inc();
+    rt_obs::event(
+        "pretrain.cache",
+        &[("key", key.into()), ("hit", false.into())],
+    );
     let result = pretrain(arch, source, scheme, epochs, lr, seed)?;
     let entry = CacheEntry {
         arch: result.arch.clone(),
@@ -182,7 +194,7 @@ pub fn pretrain_cached(
         // never leave a half-written cache entry at the final path.
         let json = crate::fault::corrupt_checkpoint_bytes(json);
         if let Err(e) = rt_nn::checkpoint::atomic_write(&path, json.as_bytes()) {
-            eprintln!("[pretrain-cache] write failed (cache skipped): {e}");
+            rt_obs::console!("[pretrain-cache] write failed (cache skipped): {e}");
         }
     }
     Ok(result)
@@ -210,7 +222,7 @@ fn try_load(path: &Path, expected_arch: &ResNetConfig) -> Option<CacheEntry> {
         Ok(entry) => entry,
         Err(e) => {
             if !json.is_empty() {
-                eprintln!(
+                rt_obs::console!(
                     "[pretrain-cache] {} is corrupt ({e}); retraining",
                     path.display()
                 );
@@ -225,7 +237,7 @@ fn try_load(path: &Path, expected_arch: &ResNetConfig) -> Option<CacheEntry> {
     if let Some(stored) = entry.checksum {
         let actual = entry.snapshot.checksum();
         if stored != actual {
-            eprintln!(
+            rt_obs::console!(
                 "[pretrain-cache] {} failed checksum ({stored:#018x} vs {actual:#018x}); retraining",
                 path.display()
             );
@@ -233,7 +245,7 @@ fn try_load(path: &Path, expected_arch: &ResNetConfig) -> Option<CacheEntry> {
         }
     }
     if let Err(e) = entry.snapshot.validate_finite() {
-        eprintln!(
+        rt_obs::console!(
             "[pretrain-cache] {} holds non-finite weights ({e}); retraining",
             path.display()
         );

@@ -45,9 +45,13 @@ use std::fmt;
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Journal format version.
 const JOURNAL_VERSION: u32 = 1;
+
+/// Stats-summary format version.
+const SUMMARY_VERSION: u32 = 1;
 
 /// Errors produced by the runner layer (cell execution and journal I/O).
 #[derive(Debug)]
@@ -170,15 +174,46 @@ pub struct CellCtx {
     pub ordinal: usize,
 }
 
-/// Execution counters, reported at the end of a sweep.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Execution counters and timings, reported at the end of a sweep and
+/// exported as the `<id>-<scale>.stats.json` summary next to the journal.
+///
+/// The JSON field names follow the summary's vocabulary (`completed` /
+/// `resumed` / `retried`) rather than the in-process field names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunnerStats {
-    /// Cells executed in this process.
+    /// Cells executed (to completion) in this process.
+    #[serde(rename = "completed")]
     pub executed: usize,
-    /// Cells skipped because the journal already held their value.
+    /// Cells skipped because the journal already held their value
+    /// (i.e. replayed on `--resume`).
+    #[serde(rename = "resumed")]
     pub skipped: usize,
     /// Retries performed (excluding first attempts).
+    #[serde(rename = "retried")]
     pub retries: usize,
+    /// Cells that kept panicking until the retry budget ran out.
+    #[serde(default)]
+    pub failed: usize,
+    /// Wall time spent actually executing cells (excludes journal
+    /// replays), in milliseconds.
+    #[serde(default)]
+    pub executed_ms: f64,
+}
+
+/// The JSON document written next to the journal at the end of a sweep
+/// (`<id>-<scale>.stats.json`): what ran, what was replayed, what failed,
+/// and how long it all took. `summarize_results` renders these into its
+/// runner-stats table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerSummary {
+    /// Summary format version ([`SUMMARY_VERSION`]).
+    pub v: u32,
+    /// The journal this summary describes (as configured).
+    pub journal: String,
+    /// Wall time from runner construction to summary write, milliseconds.
+    pub wall_ms: f64,
+    /// Execution counters and timings.
+    pub stats: RunnerStats,
 }
 
 /// One journal line.
@@ -196,6 +231,8 @@ pub struct Runner {
     completed: HashMap<String, serde_json::Value>,
     journal: Option<std::fs::File>,
     next_ordinal: usize,
+    started: Instant,
+    summary_written: bool,
     /// Execution counters.
     pub stats: RunnerStats,
 }
@@ -222,7 +259,7 @@ impl Runner {
                 if cfg.resume && path.exists() {
                     completed = load_journal(path)?;
                     if !completed.is_empty() {
-                        eprintln!(
+                        rt_obs::console!(
                             "[runner] resuming: {} completed cell(s) loaded from {}",
                             completed.len(),
                             path.display()
@@ -246,6 +283,8 @@ impl Runner {
             completed,
             journal,
             next_ordinal: 0,
+            started: Instant::now(),
+            summary_written: false,
             stats: RunnerStats::default(),
         })
     }
@@ -283,12 +322,25 @@ impl Runner {
 
         if let Some(value) = self.completed.get(key) {
             self.stats.skipped += 1;
+            // The structured record of *why* this cell did not execute:
+            // its value was replayed from the resume journal.
+            rt_obs::counter("runner.cells_replayed").inc();
+            rt_obs::event(
+                "runner.cell",
+                &[
+                    ("key", key.into()),
+                    ("ordinal", ordinal.into()),
+                    ("outcome", "replayed".into()),
+                ],
+            );
             return serde_json::from_value(value.clone()).map_err(|e| RunnerError::Codec {
                 key: key.to_string(),
                 detail: format!("journal replay failed: {e}"),
             });
         }
 
+        let cell_span = rt_obs::span!("runner.cell", "key" => key, "ordinal" => ordinal);
+        let cell_t0 = Instant::now();
         let mut attempt = 0usize;
         loop {
             let ctx = CellCtx {
@@ -306,15 +358,41 @@ impl Runner {
                 Ok(value) => {
                     self.record(key, attempt + 1, &value)?;
                     self.stats.executed += 1;
+                    self.stats.executed_ms += cell_t0.elapsed().as_secs_f64() * 1e3;
+                    cell_span.attr("attempts", attempt + 1);
+                    rt_obs::counter("runner.cells_executed").inc();
+                    rt_obs::event(
+                        "runner.cell",
+                        &[
+                            ("key", key.into()),
+                            ("ordinal", ordinal.into()),
+                            ("outcome", "executed".into()),
+                            ("attempts", (attempt + 1).into()),
+                        ],
+                    );
                     return Ok(value);
                 }
                 Err(payload) => {
                     let detail = panic_message(payload.as_ref());
-                    eprintln!(
+                    rt_obs::console!(
                         "[runner] cell `{key}` (#{ordinal}) attempt {} panicked: {detail}",
                         attempt + 1
                     );
                     if attempt >= self.cfg.max_retries {
+                        self.stats.failed += 1;
+                        self.stats.executed_ms += cell_t0.elapsed().as_secs_f64() * 1e3;
+                        cell_span.attr("failed", true);
+                        cell_span.attr("attempts", attempt + 1);
+                        rt_obs::counter("runner.cells_failed").inc();
+                        rt_obs::event(
+                            "runner.cell",
+                            &[
+                                ("key", key.into()),
+                                ("ordinal", ordinal.into()),
+                                ("outcome", "failed".into()),
+                                ("attempts", (attempt + 1).into()),
+                            ],
+                        );
                         return Err(RunnerError::CellFailed {
                             key: key.to_string(),
                             attempts: attempt + 1,
@@ -323,13 +401,42 @@ impl Runner {
                     }
                     attempt += 1;
                     self.stats.retries += 1;
-                    eprintln!(
+                    rt_obs::counter("runner.retries").inc();
+                    rt_obs::console!(
                         "[runner] retrying cell `{key}` with seed bump {}",
                         (attempt as u64).wrapping_mul(self.cfg.seed_bump)
                     );
                 }
             }
         }
+    }
+
+    /// Writes the [`RunnerSummary`] JSON next to the journal
+    /// (`<id>-<scale>.stats.json`), atomically. Returns the path written,
+    /// or `None` for a journal-less runner. Called automatically on drop
+    /// if not invoked explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors from the atomic write.
+    pub fn write_summary(&mut self) -> Result<Option<PathBuf>, RunnerError> {
+        let Some(journal_path) = self.cfg.journal_path.clone() else {
+            return Ok(None);
+        };
+        let path = summary_path(&journal_path);
+        let summary = RunnerSummary {
+            v: SUMMARY_VERSION,
+            journal: journal_path.display().to_string(),
+            wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            stats: self.stats,
+        };
+        let bytes = serde_json::to_vec_pretty(&summary).map_err(|e| RunnerError::Codec {
+            key: "<summary>".to_string(),
+            detail: format!("summary encode failed: {e}"),
+        })?;
+        rt_nn::checkpoint::atomic_write(&path, &bytes)?;
+        self.summary_written = true;
+        Ok(Some(path))
     }
 
     fn record<T: Serialize>(
@@ -361,6 +468,28 @@ impl Runner {
     }
 }
 
+impl Drop for Runner {
+    fn drop(&mut self) {
+        // Best-effort: a sweep that forgot (or failed before being able)
+        // to call `write_summary` still leaves its stats on disk. Errors
+        // are swallowed — summaries must never panic a teardown path.
+        if !self.summary_written {
+            let _ = self.write_summary();
+        }
+    }
+}
+
+/// Derives the stats-summary path from the journal path:
+/// `x.journal.jsonl` → `x.stats.json` (falling back to appending
+/// `.stats.json` for unconventional journal names).
+fn summary_path(journal: &std::path::Path) -> PathBuf {
+    let s = journal.display().to_string();
+    match s.strip_suffix(".journal.jsonl") {
+        Some(stem) => PathBuf::from(format!("{stem}.stats.json")),
+        None => PathBuf::from(format!("{s}.stats.json")),
+    }
+}
+
 /// Loads a journal, returning the completed-cell map. Malformed lines —
 /// including the torn final line an interrupted append leaves behind —
 /// are reported and skipped; later entries for the same key win.
@@ -380,7 +509,7 @@ fn load_journal(
                 completed.insert(entry.key, entry.value);
             }
             Err(e) => {
-                eprintln!(
+                rt_obs::console!(
                     "[runner] skipping malformed journal line {} of {} ({e})",
                     lineno + 1,
                     path.display()
@@ -613,5 +742,104 @@ mod tests {
     fn resume_flag_detection() {
         // Process args in the test harness never include --resume.
         assert!(!resume_from_args());
+    }
+
+    #[test]
+    fn summary_is_written_next_to_the_journal() {
+        let path = temp_journal("summary-explicit");
+        let stats_path = super::summary_path(&path);
+        let _ = std::fs::remove_file(&stats_path);
+        let mut r = Runner::new(RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        sweep(&mut r, 3).unwrap();
+        let _ = r
+            .run_cell("flaky", |ctx| {
+                if ctx.attempt == 0 {
+                    panic!("one crash");
+                }
+                1.0f64
+            })
+            .unwrap();
+        let written = r.write_summary().unwrap().expect("journaled runner");
+        assert_eq!(written, stats_path);
+        let text = std::fs::read_to_string(&stats_path).unwrap();
+        let summary: RunnerSummary = serde_json::from_str(&text).unwrap();
+        assert_eq!(summary.v, 1);
+        assert_eq!(summary.stats.executed, 4);
+        assert_eq!(summary.stats.retries, 1);
+        assert_eq!(summary.stats.failed, 0);
+        assert!(summary.wall_ms >= 0.0);
+        assert!(summary.stats.executed_ms <= summary.wall_ms + 1.0);
+        // The JSON uses the summary vocabulary, not the field names.
+        assert!(text.contains("\"completed\""), "{text}");
+        assert!(text.contains("\"resumed\""), "{text}");
+        assert!(text.contains("\"retried\""), "{text}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&stats_path);
+    }
+
+    #[test]
+    fn drop_writes_the_summary_best_effort() {
+        let path = temp_journal("summary-drop");
+        let stats_path = super::summary_path(&path);
+        let _ = std::fs::remove_file(&stats_path);
+        {
+            let mut r = Runner::new(RunnerConfig {
+                journal_path: Some(path.clone()),
+                resume: false,
+                ..RunnerConfig::default()
+            })
+            .unwrap();
+            sweep(&mut r, 2).unwrap();
+            // No explicit write_summary: drop must cover it.
+        }
+        let summary: RunnerSummary =
+            serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).unwrap();
+        assert_eq!(summary.stats.executed, 2);
+        assert_eq!(summary.stats.skipped, 0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&stats_path);
+    }
+
+    #[test]
+    fn replayed_and_executed_cells_emit_distinct_events() {
+        let _t = rt_obs::testing::lock();
+        let path = temp_journal("skip-events");
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            ..RunnerConfig::default()
+        };
+        let mut first = Runner::new(cfg.clone()).unwrap();
+        sweep(&mut first, 2).unwrap();
+        drop(first);
+
+        let handle = rt_obs::init_memory(rt_obs::Level::All);
+        let mut resumed = Runner::new(RunnerConfig {
+            resume: true,
+            ..cfg
+        })
+        .unwrap();
+        sweep(&mut resumed, 3).unwrap(); // 2 replayed + 1 executed
+        let lines = handle.lines();
+        let replayed: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"outcome\":\"replayed\""))
+            .collect();
+        let executed: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"outcome\":\"executed\""))
+            .collect();
+        assert_eq!(replayed.len(), 2, "{lines:?}");
+        assert_eq!(executed.len(), 1, "{lines:?}");
+        assert!(executed[0].contains("\"attempts\":1"), "{lines:?}");
+        assert_eq!(rt_obs::counter("runner.cells_replayed").get(), 2);
+        assert_eq!(rt_obs::counter("runner.cells_executed").get(), 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&super::summary_path(&path));
     }
 }

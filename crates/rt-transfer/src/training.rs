@@ -189,7 +189,13 @@ fn run_epoch(
     let mut rng = seeds.child("epoch").child_idx(epoch as u64).rng();
     let mut epoch_loss = 0.0f64;
     let mut batches = 0usize;
+    // Hoisted out of the batch loop: one registry lookup per epoch, and
+    // the per-batch `Instant::now()` pair only happens when the handle is
+    // live (level `all`).
+    let batch_hist = rt_obs::histogram("train.batch_ms");
+    let time_batches = batch_hist.is_active();
     for (images, labels) in data.shuffled_batches(config.batch_size, &mut rng) {
+        let batch_t0 = time_batches.then(std::time::Instant::now);
         let inputs = match &config.objective {
             Objective::Natural => images,
             Objective::Adversarial(attack) => perturb(model, &images, &labels, attack, &mut rng)?,
@@ -208,6 +214,9 @@ fn run_epoch(
         }
         model.backward(&out.grad)?;
         opt.step(model)?;
+        if let Some(t0) = batch_t0 {
+            batch_hist.observe(t0.elapsed().as_secs_f64() * 1e3);
+        }
         epoch_loss += batch_loss as f64;
         batches += 1;
     }
@@ -266,6 +275,13 @@ pub fn train_with_recovery(
             detail: "batch size must be positive".to_string(),
         });
     }
+    let _run_span = rt_obs::span!(
+        "train.run",
+        "epochs" => config.epochs,
+        "batch_size" => config.batch_size,
+        "examples" => data.len(),
+        "objective" => objective_label(&config.objective),
+    );
     let loss_fn = CrossEntropyLoss::new();
     let schedule = make_schedule(config);
     let mut report = TrainReport {
@@ -283,8 +299,21 @@ pub fn train_with_recovery(
     while epoch < config.epochs {
         let lr = (schedule.lr_at(epoch) * lr_scale).max(1e-8);
         let root_seed = config.seed.wrapping_add(seed_offset);
+        let epoch_span = rt_obs::span!(
+            "train.epoch",
+            "epoch" => epoch,
+            "lr" => lr as f64,
+        );
+        let epoch_t0 = epoch_span.is_active().then(std::time::Instant::now);
         match run_epoch(model, data, config, &loss_fn, lr, epoch, root_seed) {
             Ok(mean) => {
+                epoch_span.attr("loss", mean);
+                if let Some(t0) = epoch_t0 {
+                    let secs = t0.elapsed().as_secs_f64();
+                    if secs > 0.0 {
+                        epoch_span.attr("imgs_per_sec", data.len() as f64 / secs);
+                    }
+                }
                 report.epoch_losses.push(mean);
                 if let Some(snap) = last_good.as_mut() {
                     *snap = StateDict::capture(model);
@@ -292,18 +321,20 @@ pub fn train_with_recovery(
                 epoch += 1;
             }
             Err(NnError::Diverged { epoch: e, batch }) => {
+                epoch_span.attr("diverged", true);
                 if rewinds_left == 0 {
                     return Err(NnError::Diverged { epoch: e, batch });
                 }
                 rewinds_left -= 1;
                 report.rewinds += 1;
+                rt_obs::counter("train.rewinds").inc();
                 let snap = last_good
                     .as_ref()
                     .expect("max_rewinds > 0 always snapshots");
                 snap.restore(model)?;
                 lr_scale *= policy.lr_factor;
                 seed_offset = seed_offset.wrapping_add(policy.seed_bump);
-                eprintln!(
+                rt_obs::console!(
                     "[recover] non-finite loss at epoch {e}, batch {batch}: \
                      rewound to last good snapshot, lr scale now {lr_scale:.4} \
                      ({rewinds_left} rewind(s) left)"
@@ -313,6 +344,15 @@ pub fn train_with_recovery(
         }
     }
     Ok(report)
+}
+
+/// Short label for the objective, used as a span attribute.
+fn objective_label(objective: &Objective) -> &'static str {
+    match objective {
+        Objective::Natural => "natural",
+        Objective::Adversarial(_) => "adversarial",
+        Objective::GaussianNoise(_) => "gaussian",
+    }
 }
 
 #[cfg(test)]
