@@ -6,8 +6,14 @@ cd "$(dirname "$0")"
 echo "== build (release) =="
 cargo build --release --workspace
 
-echo "== test =="
-cargo test -q --workspace
+echo "== test (thread matrix) =="
+# The rt-par determinism contract: any pool size produces byte-identical
+# results, so the whole suite must pass at both ends of the matrix. The
+# env var only sizes the worker pool — test *selection* is unchanged.
+for threads in 1 4; do
+    echo "-- RT_THREADS=$threads --"
+    RT_THREADS=$threads cargo test -q --workspace
+done
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -27,6 +33,26 @@ if [[ -n "$violations" ]]; then
     echo "bare println!/eprintln! in library code — use rt_obs::console! (stderr)"
     echo "or rt_obs::console_out! (stdout) so output reaches the telemetry stream:"
     echo "$violations"
+    exit 1
+fi
+
+echo "== thread discipline (no raw spawns outside rt-par) =="
+# All parallelism must flow through the rt-par pool so the determinism
+# contract (size-derived chunking, ordered folds) is enforceable in one
+# place. rt-par itself is the sanctioned implementation; rt-obs sits
+# below rt-par in the crate graph and its metric-atomicity stress tests
+# legitimately race raw threads (no numerics involved). Comments are
+# skipped so docs may mention the API.
+spawns=$(grep -rnE 'thread::spawn|thread::Builder' crates/*/src src \
+    --include='*.rs' \
+    | grep -v '^crates/rt-par/src' \
+    | grep -v '^crates/rt-obs/src' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' \
+    || true)
+if [[ -n "$spawns" ]]; then
+    echo "raw std::thread spawn outside rt-par — route the work through"
+    echo "rt_par::run_tasks / par_chunks so chunking stays deterministic:"
+    echo "$spawns"
     exit 1
 fi
 

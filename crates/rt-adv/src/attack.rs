@@ -2,9 +2,10 @@
 
 use rand::Rng;
 use rt_nn::loss::CrossEntropyLoss;
-use rt_nn::{Layer, Mode, Result};
+use rt_nn::{ExecCtx, Layer, NnError, Result};
 use rt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Configuration of an ℓ∞ attack.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,7 +57,7 @@ impl AttackConfig {
 /// Generates adversarial examples maximizing the cross-entropy of `model`
 /// on `(images, labels)` within the configured ℓ∞ ball.
 ///
-/// The model is run in [`Mode::Eval`] (frozen statistics). Parameter
+/// The model is run in [`ExecCtx::eval`] (frozen statistics). Parameter
 /// gradients accumulated while differentiating toward the input are zeroed
 /// before returning, so an enclosing training loop sees clean state.
 ///
@@ -70,23 +71,42 @@ pub fn perturb<R: Rng>(
     config: &AttackConfig,
     rng: &mut R,
 ) -> Result<Tensor> {
-    let loss_fn = CrossEntropyLoss::new();
     let mut adv = images.clone();
+    random_start(&mut adv, config, rng);
+    pgd_core(model, adv, images, labels, config)
+}
+
+/// Applies the uniform random start inside the ε-ball. Draws are made
+/// serially over the whole batch so the result is independent of any later
+/// sharding of the PGD loop.
+fn random_start<R: Rng>(adv: &mut Tensor, config: &AttackConfig, rng: &mut R) {
     if config.random_start && config.epsilon > 0.0 {
         for v in adv.data_mut() {
             *v += rng.gen_range(-config.epsilon..=config.epsilon);
         }
     }
+}
+
+/// The PGD ascent loop proper: `adv` already carries the random start.
+fn pgd_core(
+    model: &mut dyn Layer,
+    mut adv: Tensor,
+    images: &Tensor,
+    labels: &[usize],
+    config: &AttackConfig,
+) -> Result<Tensor> {
+    let loss_fn = CrossEntropyLoss::new();
     // Hoisted: the handle is fetched once per attack, and the per-step
     // `Instant::now()` pair only runs when the histogram is live.
     let step_hist = rt_obs::histogram("adv.pgd_step_ms");
     let time_steps = step_hist.is_active();
+    let ctx = ExecCtx::eval();
     for _ in 0..config.steps {
         let step_t0 = time_steps.then(std::time::Instant::now);
-        let logits = model.forward(&adv, Mode::Eval)?;
+        let logits = model.forward(&adv, ctx)?;
         let out = loss_fn.forward(&logits, labels)?;
         model.zero_grad();
-        let grad = model.backward(&out.grad)?;
+        let grad = model.backward(&out.grad, ctx)?;
         model.zero_grad();
         // Ascend the loss along the gradient sign, project onto the ball.
         for ((a, &x), &g) in adv
@@ -104,6 +124,99 @@ pub fn perturb<R: Rng>(
     }
     rt_obs::counter("adv.pgd_steps").add(config.steps as u64);
     Ok(adv)
+}
+
+/// Batch-sharded PGD: fans contiguous sample shards out over independent
+/// model replicas on the [`rt_par`] pool.
+///
+/// Bitwise equivalence with [`perturb`] holds because every per-sample
+/// quantity in an Eval-mode pass is independent of the other samples in
+/// the batch: convolution, linear, BatchNorm (running statistics), and the
+/// row-softmax all process sample `i`'s data in the same serial order
+/// whatever the batch size, and the cross-entropy gradient differs between
+/// shard and full batch only by the positive `1/N` batch normalizer —
+/// which `signum` erases. Random-start noise is drawn serially over the
+/// full batch *before* sharding, and shard boundaries are a pure function
+/// of `(batch, replicas.len())`, so the output never depends on thread
+/// scheduling.
+///
+/// Replicas must hold identical weights (e.g. restored from one
+/// checkpoint); shard `r` of `ceil(n / replicas.len())` samples runs on
+/// `replicas[r]`. All replicas' parameter gradients are zeroed on return.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for an empty replica slice or a
+/// label/batch length mismatch, and propagates forward/backward errors.
+pub fn perturb_replicas<R: Rng>(
+    replicas: &mut [Box<dyn Layer>],
+    images: &Tensor,
+    labels: &[usize],
+    config: &AttackConfig,
+    rng: &mut R,
+) -> Result<Tensor> {
+    if replicas.is_empty() {
+        return Err(NnError::InvalidConfig {
+            detail: "perturb_replicas needs at least one model replica".into(),
+        });
+    }
+    let n = *images.shape().first().unwrap_or(&0);
+    if labels.len() != n {
+        return Err(NnError::InvalidConfig {
+            detail: format!("batch {n} vs {} labels", labels.len()),
+        });
+    }
+    let mut adv = images.clone();
+    random_start(&mut adv, config, rng);
+    if replicas.len() == 1 || n <= 1 {
+        return pgd_core(&mut *replicas[0], adv, images, labels, config);
+    }
+
+    let sample_len = images.len() / n.max(1);
+    let shard = n.div_ceil(replicas.len());
+    let shards = n.div_ceil(shard);
+    let mut sample_shape = images.shape().to_vec();
+    // Per-shard results land in slots, folded back in shard order below.
+    let slots: Vec<Mutex<Option<Result<Tensor>>>> =
+        (0..shards).map(|_| Mutex::new(None)).collect();
+    {
+        let adv_ref = &adv;
+        let images_ref = &*images;
+        let slots_ref = &slots;
+        let shape_ref = &sample_shape;
+        rt_par::par_chunks_mut(&mut replicas[..shards], 1, |r, replica| {
+            let lo = r * shard;
+            let hi = (lo + shard).min(n);
+            let rows = hi - lo;
+            let mut shape = shape_ref.clone();
+            shape[0] = rows;
+            let result = (|| {
+                let adv_shard = Tensor::from_vec(
+                    shape.clone(),
+                    adv_ref.data()[lo * sample_len..hi * sample_len].to_vec(),
+                )?;
+                let img_shard = Tensor::from_vec(
+                    shape,
+                    images_ref.data()[lo * sample_len..hi * sample_len].to_vec(),
+                )?;
+                pgd_core(
+                    &mut *replica[0],
+                    adv_shard,
+                    &img_shard,
+                    &labels[lo..hi],
+                    config,
+                )
+            })();
+            *slots_ref[r].lock().expect("shard slot") = Some(result);
+        });
+    }
+    sample_shape[0] = n;
+    let mut out = Vec::with_capacity(images.len());
+    for slot in slots {
+        let result = slot.into_inner().expect("shard slot").expect("shard ran");
+        out.extend_from_slice(result?.data());
+    }
+    Ok(Tensor::from_vec(sample_shape, out)?)
 }
 
 #[cfg(test)]
@@ -138,18 +251,18 @@ mod tests {
         let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
         let labels = [0usize, 1, 2, 0];
         // Warm BN stats so Eval mode is sane.
-        model.forward(&x, Mode::Train).unwrap();
+        model.forward(&x, ExecCtx::train()).unwrap();
         model.zero_grad();
 
         let loss_fn = CrossEntropyLoss::new();
         let clean = loss_fn
-            .forward(&model.forward(&x, Mode::Eval).unwrap(), &labels)
+            .forward(&model.forward(&x, ExecCtx::eval()).unwrap(), &labels)
             .unwrap()
             .loss;
         let cfg = AttackConfig::pgd(0.5, 5);
         let adv = perturb(&mut model, &x, &labels, &cfg, &mut rng).unwrap();
         let attacked = loss_fn
-            .forward(&model.forward(&adv, Mode::Eval).unwrap(), &labels)
+            .forward(&model.forward(&adv, ExecCtx::eval()).unwrap(), &labels)
             .unwrap()
             .loss;
         assert!(
@@ -214,5 +327,46 @@ mod tests {
     #[should_panic(expected = "at least one step")]
     fn zero_step_pgd_panics() {
         let _ = AttackConfig::pgd(0.1, 0);
+    }
+
+    fn toy_model(seed: u64) -> Box<dyn Layer> {
+        let mut rng = rng_from_seed(seed);
+        Box::new(Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(12, 3, &mut rng).unwrap()),
+        ]))
+    }
+
+    #[test]
+    fn sharded_pgd_matches_full_batch_bitwise() {
+        let mut rng = rng_from_seed(7);
+        let x = init::normal(&[5, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let labels = [0usize, 1, 2, 0, 1];
+        let cfg = AttackConfig::pgd(0.2, 4);
+
+        let mut single = toy_model(42);
+        let full = perturb(&mut *single, &x, &labels, &cfg, &mut rng_from_seed(9)).unwrap();
+        for replicas in [1usize, 2, 3, 5] {
+            let mut models: Vec<Box<dyn Layer>> =
+                (0..replicas).map(|_| toy_model(42)).collect();
+            let sharded =
+                perturb_replicas(&mut models, &x, &labels, &cfg, &mut rng_from_seed(9))
+                    .unwrap();
+            assert_eq!(
+                full.data(),
+                sharded.data(),
+                "{replicas} replicas must reproduce the full-batch attack"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_pgd_validates_inputs() {
+        let x = Tensor::ones(&[2, 3, 2, 2]);
+        let cfg = AttackConfig::fgsm(0.1);
+        let mut none: Vec<Box<dyn Layer>> = Vec::new();
+        assert!(perturb_replicas(&mut none, &x, &[0, 1], &cfg, &mut rng_from_seed(0)).is_err());
+        let mut one = vec![toy_model(0)];
+        assert!(perturb_replicas(&mut one, &x, &[0], &cfg, &mut rng_from_seed(0)).is_err());
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::attack::{perturb, AttackConfig};
 use rand::Rng;
-use rt_nn::{Layer, Mode, Result};
+use rt_nn::{ExecCtx, Layer, Result};
 use rt_tensor::{reduce, Tensor};
 
 /// Clean top-1 accuracy of `model` on one `(images, labels)` batch.
@@ -11,7 +11,7 @@ use rt_tensor::{reduce, Tensor};
 ///
 /// Propagates model errors.
 pub fn clean_accuracy(model: &mut dyn Layer, images: &Tensor, labels: &[usize]) -> Result<f64> {
-    let logits = model.forward(images, Mode::Eval)?;
+    let logits = model.forward(images, ExecCtx::eval())?;
     let pred = reduce::argmax_rows(&logits)?;
     let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
     Ok(correct as f64 / labels.len().max(1) as f64)

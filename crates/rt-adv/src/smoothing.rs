@@ -7,7 +7,7 @@
 //! smoothed classifier.
 
 use rand::Rng;
-use rt_nn::{Layer, Mode, Result};
+use rt_nn::{ExecCtx, Layer, Result};
 use rt_tensor::{init, special, Tensor};
 
 /// Returns a copy of `images` with i.i.d. Gaussian noise of standard
@@ -46,7 +46,7 @@ pub fn smoothed_probs<R: Rng>(
     let mut acc: Option<Tensor> = None;
     for _ in 0..samples {
         let noisy = gaussian_augment(images, sigma, rng);
-        let logits = model.forward(&noisy, Mode::Eval)?;
+        let logits = model.forward(&noisy, ExecCtx::eval())?;
         let probs = special::softmax_rows(&logits)?;
         match &mut acc {
             None => acc = Some(probs),

@@ -9,7 +9,7 @@
 //! (gradient masking would fool PGD but not Square).
 
 use rand::Rng;
-use rt_nn::{Layer, Mode, Result};
+use rt_nn::{ExecCtx, Layer, Result};
 use rt_tensor::{Tensor, TensorError};
 
 /// Configuration of a Square-attack run.
@@ -106,7 +106,7 @@ pub fn square_attack<R: Rng>(
             }
         }
     }
-    let mut best_margin = margins(&model.forward(&adv, Mode::Eval)?, labels);
+    let mut best_margin = margins(&model.forward(&adv, ExecCtx::eval())?, labels);
 
     for iter in 0..config.iterations {
         // Square side shrinks over the run (halving schedule).
@@ -132,7 +132,7 @@ pub fn square_attack<R: Rng>(
                 }
             }
         }
-        let new_margin = margins(&model.forward(&proposal, Mode::Eval)?, labels);
+        let new_margin = margins(&model.forward(&proposal, ExecCtx::eval())?, labels);
         // Accept per-sample improvements.
         for (b, &m_new) in new_margin.iter().enumerate() {
             if m_new < best_margin[b] {
@@ -193,10 +193,10 @@ mod tests {
         let mut rng = rng_from_seed(3);
         let x = init::normal(&[4, 3, 2, 2], 0.0, 1.0, &mut rng);
         let labels = [0usize, 1, 2, 0];
-        let clean = margins(&model.forward(&x, Mode::Eval).unwrap(), &labels);
+        let clean = margins(&model.forward(&x, ExecCtx::eval()).unwrap(), &labels);
         let cfg = SquareConfig::new(0.5).with_iterations(60);
         let adv = square_attack(&mut model, &x, &labels, &cfg, &mut rng).unwrap();
-        let attacked = margins(&model.forward(&adv, Mode::Eval).unwrap(), &labels);
+        let attacked = margins(&model.forward(&adv, ExecCtx::eval()).unwrap(), &labels);
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         assert!(
             mean(&attacked) < mean(&clean),

@@ -98,3 +98,29 @@ proptest! {
         prop_assert!(mean.abs() < 4.0 * sigma / 40.0, "mean {mean}");
     }
 }
+
+/// PGD through the full network must be byte-identical under any rt-par
+/// pool size: every kernel on the attack path (GEMM, conv lowering,
+/// reductions) chunks by problem size and folds partials in index order.
+#[test]
+fn pgd_is_pool_size_invariant() {
+    let run = || {
+        let mut model = toy_model(3);
+        let x = init::uniform(&[6, 2, 2, 2], 0.0, 1.0, &mut rng_from_seed(4));
+        let labels: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let cfg = AttackConfig::pgd(0.1, 4);
+        let adv = perturb(&mut model, &x, &labels, &cfg, &mut rng_from_seed(5)).unwrap();
+        adv.into_vec()
+            .into_iter()
+            .map(f32::to_bits)
+            .collect::<Vec<u32>>()
+    };
+    rt_par::set_threads(1);
+    let reference = run();
+    for t in [2usize, 4, 7] {
+        rt_par::set_threads(t);
+        let got = run();
+        rt_par::set_threads(1);
+        assert_eq!(got, reference, "pool size {t} diverged");
+    }
+}

@@ -8,9 +8,10 @@ use rt_data::{FamilyConfig, TaskFamily};
 use rt_models::{MicroResNet, ResNetConfig};
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::optim::Sgd;
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_prune::{omp, Granularity, OmpConfig};
 use rt_tensor::conv::{im2col_single, ConvGeometry};
+use rt_tensor::linalg::Gemm;
 use rt_tensor::rng::rng_from_seed;
 use rt_tensor::{init, linalg, Tensor};
 use std::hint::black_box;
@@ -23,7 +24,10 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     let a = init::normal(&[64, 72], 0.0, 1.0, &mut rng);
     let b = init::normal(&[72, 256], 0.0, 1.0, &mut rng);
     group.bench_function("matmul_64x72x256", |bench| {
-        bench.iter(|| linalg::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+        let mut out = Tensor::zeros(&[64, 256]);
+        bench.iter(|| {
+            linalg::gemm(black_box(&a), black_box(&b), Gemm::new(), &mut out).expect("gemm")
+        })
     });
 
     let sample = init::normal(&[3 * 16 * 16], 0.0, 1.0, &mut rng).into_vec();
@@ -47,7 +51,7 @@ fn bench_model_passes(c: &mut Criterion) {
     let mut r18 = MicroResNet::new(&ResNetConfig::r18_analog(12), &mut rng).expect("model");
     let x = init::normal(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
     group.bench_function("r18_forward_b16", |bench| {
-        bench.iter(|| r18.forward(black_box(&x), Mode::Eval).expect("forward"))
+        bench.iter(|| r18.forward(black_box(&x), ExecCtx::eval()).expect("forward"))
     });
 
     let loss_fn = CrossEntropyLoss::new();
@@ -55,16 +59,16 @@ fn bench_model_passes(c: &mut Criterion) {
     group.bench_function("r18_train_step_b16", |bench| {
         let opt = Sgd::paper_recipe(0.01);
         bench.iter(|| {
-            let logits = r18.forward(black_box(&x), Mode::Train).expect("forward");
+            let logits = r18.forward(black_box(&x), ExecCtx::train()).expect("forward");
             let out = loss_fn.forward(&logits, &labels).expect("loss");
-            r18.backward(&out.grad).expect("backward");
+            r18.backward(&out.grad, ExecCtx::default()).expect("backward");
             opt.step(&mut r18).expect("step");
         })
     });
 
     let mut r50 = MicroResNet::new(&ResNetConfig::r50_analog(12), &mut rng).expect("model");
     group.bench_function("r50_forward_b16", |bench| {
-        bench.iter(|| r50.forward(black_box(&x), Mode::Eval).expect("forward"))
+        bench.iter(|| r50.forward(black_box(&x), ExecCtx::eval()).expect("forward"))
     });
     group.finish();
 }
@@ -77,7 +81,7 @@ fn bench_adversarial(c: &mut Criterion) {
     let mut model = MicroResNet::new(&ResNetConfig::r18_analog(12), &mut rng).expect("model");
     let x = init::normal(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
     let labels: Vec<usize> = (0..16).map(|i| i % 12).collect();
-    model.forward(&x, Mode::Train).expect("warm bn");
+    model.forward(&x, ExecCtx::train()).expect("warm bn");
     model.zero_grad();
 
     group.bench_function("pgd3_b16", |bench| {

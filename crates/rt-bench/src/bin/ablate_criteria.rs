@@ -11,7 +11,7 @@
 
 use rt_bench::{family_for, finish, pretrained_model, score_ticket_avg, source_task, Protocol};
 use rt_nn::loss::CrossEntropyLoss;
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_prune::{omp, random_ticket, saliency_ticket, OmpConfig, PruneScope};
 use rt_tensor::rng::SeedStream;
 use rt_transfer::evaluate::EVAL_BATCH;
@@ -46,11 +46,11 @@ fn main() {
                         .train
                         .gather(&(0..EVAL_BATCH.min(source.train.len())).collect::<Vec<_>>())
                         .expect("batch");
-                    let logits = model.forward(&images, Mode::Train).expect("forward");
+                    let logits = model.forward(&images, ExecCtx::train()).expect("forward");
                     let out = CrossEntropyLoss::new()
                         .forward(&logits, &labels)
                         .expect("loss");
-                    model.backward(&out.grad).expect("backward");
+                    model.backward(&out.grad, ExecCtx::default()).expect("backward");
                     let t = saliency_ticket(&model, sparsity, &PruneScope::backbone())
                         .expect("saliency");
                     model.zero_grad();

@@ -1,0 +1,298 @@
+//! **bench_kernels** — thread-scaling benchmark of the `rt-par` hot paths.
+//!
+//! Times the three kernels the deterministic data-parallel layer rewired
+//! — GEMM, convolution lowering, and batch-sharded PGD — at 1, 2, 4, and
+//! 8 pool threads, and writes a machine-readable `BENCH_kernels.json`
+//! (atomically) so perf PRs can diff throughput numerically.
+//!
+//! ```text
+//! bench_kernels [--out BENCH_kernels.json] [--reps N] [--quick]
+//! ```
+//!
+//! Every workload also folds its output into a checksum per thread count;
+//! the run **fails** if any thread count produces different bytes than
+//! the serial pool — the benchmark doubles as an end-to-end determinism
+//! gate on real kernel shapes.
+
+use rt_adv::attack::{perturb_replicas, AttackConfig};
+use rt_nn::layers::{Conv2d, Conv2dConfig, Flatten, Linear, Relu};
+use rt_nn::{Layer, Sequential};
+use rt_tensor::conv::{conv2d_forward, ConvGeometry};
+use rt_tensor::linalg::{gemm, Gemm};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::{init, Tensor};
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Pool sizes swept by the benchmark (1 = serial reference).
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Schema version of `BENCH_kernels.json`.
+const BENCH_VERSION: u32 = 1;
+
+struct Args {
+    out: PathBuf,
+    reps: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = PathBuf::from("BENCH_kernels.json");
+    let mut reps = 3usize;
+    let mut quick = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(argv.next().ok_or("--out needs a path")?),
+            "--reps" => {
+                reps = argv
+                    .next()
+                    .ok_or("--reps needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_kernels [--out BENCH_kernels.json] [--reps N] [--quick]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok(Args { out, reps, quick })
+}
+
+/// One `(workload, thread count)` measurement.
+#[derive(Debug, Serialize)]
+struct Sample {
+    threads: usize,
+    best_ms: f64,
+    throughput: f64,
+}
+
+/// One workload's thread sweep.
+#[derive(Debug, Serialize)]
+struct Workload {
+    name: String,
+    /// Unit of the `throughput` field (`gflops` or `samples_per_s`).
+    unit: &'static str,
+    samples: Vec<Sample>,
+    /// Throughput at 4 threads over throughput at 1 thread.
+    speedup_4t: f64,
+    /// Whether every thread count produced a bit-identical output.
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    v: u32,
+    generated_unix_ms: u64,
+    reps: usize,
+    quick: bool,
+    host_parallelism: usize,
+    workloads: Vec<Workload>,
+}
+
+/// Times `f` `reps` times (after one warmup call) and returns the best
+/// wall-clock in milliseconds together with the checksum of the last
+/// output. `f` must be deterministic, so any rep's output is THE output.
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> (f64, f64) {
+    let mut checksum = f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        checksum = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, checksum)
+}
+
+/// Exact bitwise fold of a float slice — equal checksums here mean equal
+/// bytes, not approximately equal values.
+fn bitfold(data: &[f32]) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in data {
+        h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h as f64
+}
+
+fn run_workload(
+    name: &str,
+    unit: &'static str,
+    reps: usize,
+    work_per_call: f64,
+    mut f: impl FnMut() -> Vec<f32>,
+) -> Workload {
+    let mut samples = Vec::new();
+    let mut checksums = Vec::new();
+    for &t in &THREAD_COUNTS {
+        rt_par::set_threads(t);
+        let (best_ms, checksum) = best_of(reps, || bitfold(&black_box(f())));
+        samples.push(Sample {
+            threads: t,
+            best_ms,
+            throughput: work_per_call / (best_ms / 1e3),
+        });
+        checksums.push(checksum);
+    }
+    rt_par::set_threads(1);
+    let deterministic = checksums.iter().all(|&c| c == checksums[0]);
+    let at = |t: usize| {
+        samples
+            .iter()
+            .find(|s| s.threads == t)
+            .map(|s| s.throughput)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup_4t = at(4) / at(1);
+    rt_obs::console!(
+        "[bench] {name}: 1t {:.2} ms, 4t {:.2} ms ({speedup_4t:.2}x), deterministic={deterministic}",
+        samples[0].best_ms,
+        samples[2].best_ms
+    );
+    Workload {
+        name: name.to_string(),
+        unit,
+        samples,
+        speedup_4t,
+        deterministic,
+    }
+}
+
+/// A small conv-net whose weights depend only on `seed` — replicas built
+/// from the same seed are identical, as `perturb_replicas` requires.
+fn pgd_model(seed: u64) -> Sequential {
+    let mut rng = rng_from_seed(seed);
+    Sequential::new(vec![
+        Box::new(Conv2d::new(3, 8, Conv2dConfig::same3x3(), &mut rng).expect("conv")),
+        Box::new(Relu::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(8 * 12 * 12, 10, &mut rng).expect("linear")),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    rt_obs::init_from_env();
+    let scale = if args.quick { 1 } else { 2 };
+
+    // --- GEMM: square matmul, the linear/conv backbone. ---------------
+    let dim = 96 * scale;
+    let mut rng = rng_from_seed(7);
+    let a = init::normal(&[dim, dim], 0.0, 1.0, &mut rng);
+    let b = init::normal(&[dim, dim], 0.0, 1.0, &mut rng);
+    let gemm_flops = 2.0 * (dim * dim * dim) as f64 / 1e9;
+    let gemm_wl = run_workload(&format!("gemm_{dim}x{dim}x{dim}"), "gflops", args.reps, gemm_flops, || {
+        let mut out = Tensor::zeros(&[dim, dim]);
+        gemm(&a, &b, Gemm::new(), &mut out).expect("gemm");
+        out.into_vec()
+    });
+
+    // --- Convolution: batched same-3x3 forward. -----------------------
+    let (n, c, co, hw) = (4 * scale, 8, 16, 16);
+    let x = init::normal(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
+    let w = init::normal(&[co, c * 9], 0.0, 0.1, &mut rng);
+    let geo = ConvGeometry::new(3, 1, 1);
+    let conv_flops = 2.0 * (n * co * c * 9 * hw * hw) as f64 / 1e9;
+    let conv_wl = run_workload(
+        &format!("conv3x3_b{n}_{c}to{co}_{hw}x{hw}"),
+        "gflops",
+        args.reps,
+        conv_flops,
+        || conv2d_forward(&x, &w, None, geo).expect("conv").into_vec(),
+    );
+
+    // --- PGD: batch-sharded attack across model replicas. -------------
+    let pgd_batch = 4 * scale;
+    let pgd_steps = 3;
+    let images = init::uniform(&[pgd_batch, 3, 12, 12], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..pgd_batch).map(|i| i % 10).collect();
+    let config = AttackConfig::pgd(8.0 / 255.0, pgd_steps);
+    let pgd_wl = {
+        let mut samples = Vec::new();
+        let mut checksums = Vec::new();
+        for &t in &THREAD_COUNTS {
+            rt_par::set_threads(t);
+            // One replica per pool thread: shard boundaries are a pure
+            // function of (batch, replica count), so the adversarial
+            // batch is bit-identical for every `t` (checked below).
+            let mut replicas: Vec<Box<dyn Layer>> =
+                (0..t).map(|_| Box::new(pgd_model(11)) as Box<dyn Layer>).collect();
+            let (best_ms, checksum) = best_of(args.reps, || {
+                let mut arng = rng_from_seed(13);
+                let adv = perturb_replicas(&mut replicas, &images, &labels, &config, &mut arng)
+                    .expect("pgd");
+                bitfold(&black_box(adv.into_vec()))
+            });
+            samples.push(Sample {
+                threads: t,
+                best_ms,
+                throughput: pgd_batch as f64 / (best_ms / 1e3),
+            });
+            checksums.push(checksum);
+        }
+        rt_par::set_threads(1);
+        let deterministic = checksums.iter().all(|&c| c == checksums[0]);
+        let speedup_4t = samples[2].throughput / samples[0].throughput;
+        rt_obs::console!(
+            "[bench] pgd_b{pgd_batch}_s{pgd_steps}: 1t {:.2} ms, 4t {:.2} ms ({speedup_4t:.2}x), deterministic={deterministic}",
+            samples[0].best_ms,
+            samples[2].best_ms
+        );
+        Workload {
+            name: format!("pgd_b{pgd_batch}_s{pgd_steps}"),
+            unit: "samples_per_s",
+            samples,
+            speedup_4t,
+            deterministic,
+        }
+    };
+
+    let report = Report {
+        v: BENCH_VERSION,
+        generated_unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        reps: args.reps,
+        quick: args.quick,
+        host_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        workloads: vec![gemm_wl, conv_wl, pgd_wl],
+    };
+
+    let all_deterministic = report.workloads.iter().all(|w| w.deterministic);
+    let bytes = match serde_json::to_vec_pretty(&report) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot encode report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = rt_nn::checkpoint::atomic_write(&args.out, &bytes) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    rt_obs::console!("[bench] wrote {}", args.out.display());
+    if !all_deterministic {
+        eprintln!("DETERMINISM VIOLATION: some thread count diverged from the serial pool");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,7 @@ use rt_metrics::mean_iou;
 use rt_models::SegmentationNet;
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::optim::Sgd;
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_prune::{omp, OmpConfig};
 use rt_tensor::conv::upsample2x;
 use rt_tensor::rng::SeedStream;
@@ -70,9 +70,9 @@ fn train_and_score(
         .with_weight_decay(1e-4);
     for _epoch in 0..preset.seg_epochs {
         for (images, labels) in train.batches(4) {
-            let logits = net.forward(&images, Mode::Train).expect("forward");
+            let logits = net.forward(&images, ExecCtx::train()).expect("forward");
             let out = loss_fn.forward_pixels(&logits, &labels).expect("loss");
-            net.backward(&out.grad).expect("backward");
+            net.backward(&out.grad, ExecCtx::default()).expect("backward");
             opt.step(&mut net).expect("step");
         }
     }
@@ -80,7 +80,7 @@ fn train_and_score(
     // mIoU over the test scenes.
     let mut preds = Vec::new();
     for (images, _) in test.batches(4) {
-        let logits = net.forward(&images, Mode::Eval).expect("forward");
+        let logits = net.forward(&images, ExecCtx::eval()).expect("forward");
         let s = logits.shape().to_vec();
         let (n, k, h, w) = (s[0], s[1], s[2], s[3]);
         // Per-pixel argmax over the class axis (manual: NCHW layout).

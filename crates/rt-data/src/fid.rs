@@ -75,6 +75,13 @@ pub fn feature_stats(features: &Tensor) -> Result<FeatureStats> {
     })
 }
 
+/// Plain overwrite product `A × B` through the unified gemm entry point.
+fn mm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[a.shape()[0], b.shape()[1]]);
+    linalg::gemm(a, b, linalg::Gemm::new(), &mut out)?;
+    Ok(out)
+}
+
 /// Matrix square root of a symmetric PSD matrix via eigendecomposition,
 /// clamping small negative eigenvalues (roundoff) to zero.
 fn sqrtm_psd(a: &Tensor) -> Result<Tensor> {
@@ -90,7 +97,7 @@ fn sqrtm_psd(a: &Tensor) -> Result<Tensor> {
         }
     }
     let vt = linalg::transpose(&v)?;
-    linalg::matmul(&scaled, &vt)
+    mm(&scaled, &vt)
 }
 
 /// Fréchet distance between two feature-moment pairs.
@@ -117,7 +124,7 @@ pub fn frechet_distance(a: &FeatureStats, b: &FeatureStats) -> Result<f64> {
         })
         .sum();
     let sa = sqrtm_psd(&a.cov)?;
-    let inner = linalg::matmul(&linalg::matmul(&sa, &b.cov)?, &sa)?;
+    let inner = mm(&mm(&sa, &b.cov)?, &sa)?;
     let cross = sqrtm_psd(&inner)?;
     let f = a.mean.len();
     let trace = |t: &Tensor| -> f64 { (0..f).map(|i| t.data()[i * f + i] as f64).sum() };

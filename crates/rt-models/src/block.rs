@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use rt_nn::layers::{BatchNorm2d, Conv2d, Conv2dConfig, Relu};
-use rt_nn::{Layer, Mode, NnError, Param, Result};
+use rt_nn::{ExecCtx, Layer, Mode, NnError, Param, Result};
 use rt_tensor::Tensor;
 
 /// Projection shortcut: 1×1 strided convolution + BatchNorm, used when the
@@ -25,14 +25,14 @@ impl Projection {
         })
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let y = self.conv.forward(x, mode)?;
-        self.bn.forward(&y, mode)
+    fn forward(&mut self, x: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let y = self.conv.forward(x, ctx)?;
+        self.bn.forward(&y, ctx)
     }
 
-    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
-        let g = self.bn.backward(g)?;
-        self.conv.backward(&g)
+    fn backward(&mut self, g: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let g = self.bn.backward(g, ctx)?;
+        self.conv.backward(&g, ctx)
     }
 }
 
@@ -95,14 +95,14 @@ impl std::fmt::Debug for BasicBlock {
 }
 
 impl Layer for BasicBlock {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let a = self.conv1.forward(input, mode)?;
-        let a = self.bn1.forward(&a, mode)?;
-        let a = self.relu1.forward(&a, mode)?;
-        let a = self.conv2.forward(&a, mode)?;
-        let main = self.bn2.forward(&a, mode)?;
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let a = self.conv1.forward(input, ctx)?;
+        let a = self.bn1.forward(&a, ctx)?;
+        let a = self.relu1.forward(&a, ctx)?;
+        let a = self.conv2.forward(&a, ctx)?;
+        let main = self.bn2.forward(&a, ctx)?;
         let skip = match &mut self.shortcut {
-            Some(proj) => proj.forward(input, mode)?,
+            Some(proj) => proj.forward(input, ctx)?,
             None => input.clone(),
         };
         let mut sum = main;
@@ -111,7 +111,7 @@ impl Layer for BasicBlock {
         Ok(sum.map(|x| x.max(0.0)))
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let mask = self
             .post_relu_mask
             .as_ref()
@@ -135,14 +135,14 @@ impl Layer for BasicBlock {
         )
         .map_err(NnError::from)?;
         // Main branch.
-        let g = self.bn2.backward(&g_sum)?;
-        let g = self.conv2.backward(&g)?;
-        let g = self.relu1.backward(&g)?;
-        let g = self.bn1.backward(&g)?;
-        let mut g_in = self.conv1.backward(&g)?;
+        let g = self.bn2.backward(&g_sum, ctx)?;
+        let g = self.conv2.backward(&g, ctx)?;
+        let g = self.relu1.backward(&g, ctx)?;
+        let g = self.bn1.backward(&g, ctx)?;
+        let mut g_in = self.conv1.backward(&g, ctx)?;
         // Skip branch.
         let g_skip = match &mut self.shortcut {
-            Some(proj) => proj.backward(&g_sum)?,
+            Some(proj) => proj.backward(&g_sum, ctx)?,
             None => g_sum,
         };
         g_in.add_assign(&g_skip)?;
@@ -275,17 +275,17 @@ impl std::fmt::Debug for Bottleneck {
 }
 
 impl Layer for Bottleneck {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let a = self.conv1.forward(input, mode)?;
-        let a = self.bn1.forward(&a, mode)?;
-        let a = self.relu1.forward(&a, mode)?;
-        let a = self.conv2.forward(&a, mode)?;
-        let a = self.bn2.forward(&a, mode)?;
-        let a = self.relu2.forward(&a, mode)?;
-        let a = self.conv3.forward(&a, mode)?;
-        let main = self.bn3.forward(&a, mode)?;
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let a = self.conv1.forward(input, ctx)?;
+        let a = self.bn1.forward(&a, ctx)?;
+        let a = self.relu1.forward(&a, ctx)?;
+        let a = self.conv2.forward(&a, ctx)?;
+        let a = self.bn2.forward(&a, ctx)?;
+        let a = self.relu2.forward(&a, ctx)?;
+        let a = self.conv3.forward(&a, ctx)?;
+        let main = self.bn3.forward(&a, ctx)?;
         let skip = match &mut self.shortcut {
-            Some(proj) => proj.forward(input, mode)?,
+            Some(proj) => proj.forward(input, ctx)?,
             None => input.clone(),
         };
         let mut sum = main;
@@ -294,7 +294,7 @@ impl Layer for Bottleneck {
         Ok(sum.map(|x| x.max(0.0)))
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let mask = self
             .post_relu_mask
             .as_ref()
@@ -311,16 +311,16 @@ impl Layer for Bottleneck {
                 .collect(),
         )
         .map_err(NnError::from)?;
-        let g = self.bn3.backward(&g_sum)?;
-        let g = self.conv3.backward(&g)?;
-        let g = self.relu2.backward(&g)?;
-        let g = self.bn2.backward(&g)?;
-        let g = self.conv2.backward(&g)?;
-        let g = self.relu1.backward(&g)?;
-        let g = self.bn1.backward(&g)?;
-        let mut g_in = self.conv1.backward(&g)?;
+        let g = self.bn3.backward(&g_sum, ctx)?;
+        let g = self.conv3.backward(&g, ctx)?;
+        let g = self.relu2.backward(&g, ctx)?;
+        let g = self.bn2.backward(&g, ctx)?;
+        let g = self.conv2.backward(&g, ctx)?;
+        let g = self.relu1.backward(&g, ctx)?;
+        let g = self.bn1.backward(&g, ctx)?;
+        let mut g_in = self.conv1.backward(&g, ctx)?;
         let g_skip = match &mut self.shortcut {
-            Some(proj) => proj.backward(&g_sum)?,
+            Some(proj) => proj.backward(&g_sum, ctx)?,
             None => g_sum,
         };
         g_in.add_assign(&g_skip)?;
@@ -399,14 +399,14 @@ mod tests {
         assert!(!same.has_projection());
         let x = Tensor::ones(&[2, 4, 8, 8]);
         assert_eq!(
-            same.forward(&x, Mode::Train).unwrap().shape(),
+            same.forward(&x, ExecCtx::train()).unwrap().shape(),
             &[2, 4, 8, 8]
         );
 
         let mut down = BasicBlock::new(4, 8, 2, &mut rng).unwrap();
         assert!(down.has_projection());
         assert_eq!(
-            down.forward(&x, Mode::Train).unwrap().shape(),
+            down.forward(&x, ExecCtx::train()).unwrap().shape(),
             &[2, 8, 4, 4]
         );
     }
@@ -417,7 +417,7 @@ mod tests {
         let mut block = Bottleneck::new(4, 4, 2, 2, &mut rng).unwrap();
         let x = Tensor::ones(&[1, 4, 8, 8]);
         assert_eq!(
-            block.forward(&x, Mode::Train).unwrap().shape(),
+            block.forward(&x, ExecCtx::train()).unwrap().shape(),
             &[1, 8, 4, 4]
         );
     }
@@ -434,7 +434,7 @@ mod tests {
             }
         }
         let x = smooth_input(&[1, 2, 4, 4], 3);
-        let y = block.forward(&x, Mode::Eval).unwrap();
+        let y = block.forward(&x, ExecCtx::eval()).unwrap();
         let expect = x.map(|v| v.max(0.0));
         for (a, b) in y.data().iter().zip(expect.data()) {
             assert!((a - b).abs() < 1e-5);
@@ -447,12 +447,12 @@ mod tests {
         let mut block = BasicBlock::new(2, 3, 2, &mut rng).unwrap();
         // Warm up BN running stats, then check in eval mode.
         block
-            .forward(&smooth_input(&[4, 2, 4, 4], 5), Mode::Train)
+            .forward(&smooth_input(&[4, 2, 4, 4], 5), ExecCtx::train())
             .unwrap();
         let x = smooth_input(&[2, 2, 4, 4], 6);
-        let rin = check_input_gradient(&mut block, &x, Mode::Eval, 1e-2).unwrap();
+        let rin = check_input_gradient(&mut block, &x, ExecCtx::eval(), 1e-2).unwrap();
         assert!(rin.passes(3e-2), "{rin:?}");
-        let rp = check_param_gradients(&mut block, &x, Mode::Eval, 1e-2).unwrap();
+        let rp = check_param_gradients(&mut block, &x, ExecCtx::eval(), 1e-2).unwrap();
         assert!(rp.passes(3e-2), "{rp:?}");
     }
 
@@ -461,12 +461,12 @@ mod tests {
         let mut rng = rng_from_seed(7);
         let mut block = Bottleneck::new(2, 2, 2, 1, &mut rng).unwrap();
         block
-            .forward(&smooth_input(&[4, 2, 4, 4], 8), Mode::Train)
+            .forward(&smooth_input(&[4, 2, 4, 4], 8), ExecCtx::train())
             .unwrap();
         let x = smooth_input(&[1, 2, 4, 4], 9);
         // eps must stay small: at 1e-2 the perturbation crosses ReLU kinks
         // and the finite difference is no longer a valid linearization.
-        let rin = check_input_gradient(&mut block, &x, Mode::Eval, 3e-3).unwrap();
+        let rin = check_input_gradient(&mut block, &x, ExecCtx::eval(), 3e-3).unwrap();
         assert!(rin.passes(3e-2), "{rin:?}");
     }
 
@@ -474,7 +474,7 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut rng = rng_from_seed(10);
         let mut block = BasicBlock::new(2, 2, 1, &mut rng).unwrap();
-        assert!(block.backward(&Tensor::ones(&[1, 2, 4, 4])).is_err());
+        assert!(block.backward(&Tensor::ones(&[1, 2, 4, 4]), ExecCtx::default()).is_err());
     }
 
     #[test]

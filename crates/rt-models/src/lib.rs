@@ -19,13 +19,13 @@
 //!
 //! ```rust
 //! use rt_models::{MicroResNet, ResNetConfig};
-//! use rt_nn::{Layer, Mode};
+//! use rt_nn::{ExecCtx, Layer, Mode};
 //! use rt_tensor::{rng::SeedStream, Tensor};
 //!
 //! # fn main() -> Result<(), rt_nn::NnError> {
 //! let config = ResNetConfig::smoke(4);
 //! let mut model = MicroResNet::new(&config, &mut SeedStream::new(0).rng())?;
-//! let logits = model.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)?;
+//! let logits = model.forward(&Tensor::zeros(&[2, 3, 16, 16]), ExecCtx::eval())?;
 //! assert_eq!(logits.shape(), &[2, 4]);
 //! # Ok(())
 //! # }

@@ -3,7 +3,7 @@
 use crate::block::{BasicBlock, Bottleneck};
 use rand::Rng;
 use rt_nn::layers::{BatchNorm2d, Conv2d, Conv2dConfig, GlobalAvgPool, Linear, Relu};
-use rt_nn::{Layer, Mode, NnError, Param, Result};
+use rt_nn::{ExecCtx, Layer, NnError, Param, Result};
 use rt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -219,12 +219,12 @@ impl MicroResNet {
     /// # Errors
     ///
     /// Propagates layer shape errors.
-    pub fn forward_to_featmap(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let x = self.stem_conv.forward(input, mode)?;
-        let x = self.stem_bn.forward(&x, mode)?;
-        let mut x = self.stem_relu.forward(&x, mode)?;
+    pub fn forward_to_featmap(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let x = self.stem_conv.forward(input, ctx)?;
+        let x = self.stem_bn.forward(&x, ctx)?;
+        let mut x = self.stem_relu.forward(&x, ctx)?;
         for block in &mut self.blocks {
-            x = block.as_layer_mut().forward(&x, mode)?;
+            x = block.as_layer_mut().forward(&x, ctx)?;
         }
         Ok(x)
     }
@@ -235,14 +235,14 @@ impl MicroResNet {
     /// # Errors
     ///
     /// Returns [`NnError::BackwardBeforeForward`] without a prior forward.
-    pub fn backward_from_featmap(&mut self, grad: &Tensor) -> Result<Tensor> {
+    pub fn backward_from_featmap(&mut self, grad: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let mut g = grad.clone();
         for block in self.blocks.iter_mut().rev() {
-            g = block.as_layer_mut().backward(&g)?;
+            g = block.as_layer_mut().backward(&g, ctx)?;
         }
-        let g = self.stem_relu.backward(&g)?;
-        let g = self.stem_bn.backward(&g)?;
-        self.stem_conv.backward(&g)
+        let g = self.stem_relu.backward(&g, ctx)?;
+        let g = self.stem_bn.backward(&g, ctx)?;
+        self.stem_conv.backward(&g, ctx)
     }
 
     /// Pooled `[N, feature_dim]` embeddings (no classifier). This is the
@@ -251,9 +251,9 @@ impl MicroResNet {
     /// # Errors
     ///
     /// Propagates layer shape errors.
-    pub fn forward_features(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let fm = self.forward_to_featmap(input, mode)?;
-        self.gap.forward(&fm, mode)
+    pub fn forward_features(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let fm = self.forward_to_featmap(input, ctx)?;
+        self.gap.forward(&fm, ctx)
     }
 
     /// Replaces the classification head with a freshly initialized
@@ -305,15 +305,15 @@ impl std::fmt::Debug for MicroResNet {
 }
 
 impl Layer for MicroResNet {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let feats = self.forward_features(input, mode)?;
-        self.fc.forward(&feats, mode)
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let feats = self.forward_features(input, ctx)?;
+        self.fc.forward(&feats, ctx)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let g = self.fc.backward(grad_output)?;
-        let g = self.gap.backward(&g)?;
-        self.backward_from_featmap(&g)
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let g = self.fc.backward(grad_output, ctx)?;
+        let g = self.gap.backward(&g, ctx)?;
+        self.backward_from_featmap(&g, ctx)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -371,11 +371,11 @@ mod tests {
         let mut model =
             MicroResNet::new(&ResNetConfig::r18_analog(10), &mut rng_from_seed(0)).unwrap();
         let x = Tensor::zeros(&[2, 3, 16, 16]);
-        let y = model.forward(&x, Mode::Eval).unwrap();
+        let y = model.forward(&x, ExecCtx::eval()).unwrap();
         assert_eq!(y.shape(), &[2, 10]);
         assert_eq!(model.feature_dim(), 64);
         // Feature map is 2x2 after three downsamples of 16x16.
-        let fm = model.forward_to_featmap(&x, Mode::Eval).unwrap();
+        let fm = model.forward_to_featmap(&x, ExecCtx::eval()).unwrap();
         assert_eq!(fm.shape(), &[2, 64, 2, 2]);
     }
 
@@ -411,9 +411,9 @@ mod tests {
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..30 {
-            let logits = model.forward(&x, Mode::Train).unwrap();
+            let logits = model.forward(&x, ExecCtx::train()).unwrap();
             let out = loss_fn.forward(&logits, &labels).unwrap();
-            model.backward(&out.grad).unwrap();
+            model.backward(&out.grad, ExecCtx::default()).unwrap();
             opt.step(&mut model).unwrap();
             first.get_or_insert(out.loss);
             last = out.loss;
@@ -429,7 +429,7 @@ mod tests {
         let mut model = MicroResNet::new(&ResNetConfig::smoke(5), &mut rng_from_seed(2)).unwrap();
         model.replace_head(7, &mut rng_from_seed(3)).unwrap();
         let y = model
-            .forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval)
+            .forward(&Tensor::zeros(&[1, 3, 16, 16]), ExecCtx::eval())
             .unwrap();
         assert_eq!(y.shape(), &[1, 7]);
         assert_eq!(model.config().num_classes, 7);
@@ -452,9 +452,9 @@ mod tests {
     fn featmap_backward_round_trip() {
         let mut model = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(5)).unwrap();
         let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(6));
-        let fm = model.forward_to_featmap(&x, Mode::Train).unwrap();
+        let fm = model.forward_to_featmap(&x, ExecCtx::train()).unwrap();
         let gx = model
-            .backward_from_featmap(&Tensor::ones(fm.shape()))
+            .backward_from_featmap(&Tensor::ones(fm.shape()), ExecCtx::default())
             .unwrap();
         assert_eq!(gx.shape(), x.shape());
         assert!(gx.all_finite());
@@ -465,16 +465,16 @@ mod tests {
         let seeds = SeedStream::new(7);
         let mut model = MicroResNet::new(&ResNetConfig::smoke(3), &mut seeds.rng()).unwrap();
         let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.child("x").rng());
-        model.forward(&x, Mode::Train).unwrap(); // move BN stats
+        model.forward(&x, ExecCtx::train()).unwrap(); // move BN stats
         let snap = StateDict::capture(&model);
-        let y_before = model.forward(&x, Mode::Eval).unwrap();
+        let y_before = model.forward(&x, ExecCtx::eval()).unwrap();
 
         // Perturb, restore, verify bit-identical eval output.
         for p in model.params_mut() {
             p.data.map_inplace(|v| v + 1.0);
         }
         snap.restore(&mut model).unwrap();
-        let y_after = model.forward(&x, Mode::Eval).unwrap();
+        let y_after = model.forward(&x, ExecCtx::eval()).unwrap();
         assert_eq!(y_before, y_after);
     }
 
@@ -501,10 +501,10 @@ mod tests {
         // The gradient w.r.t. the image must be non-zero — PGD depends on it.
         let mut model = MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(10)).unwrap();
         let x = init::normal(&[1, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(11));
-        model.forward(&x, Mode::Train).unwrap(); // warm BN
-        let logits = model.forward(&x, Mode::Eval).unwrap();
+        model.forward(&x, ExecCtx::train()).unwrap(); // warm BN
+        let logits = model.forward(&x, ExecCtx::eval()).unwrap();
         let out = CrossEntropyLoss::new().forward(&logits, &[0]).unwrap();
-        let gx = model.backward(&out.grad).unwrap();
+        let gx = model.backward(&out.grad, ExecCtx::default()).unwrap();
         assert!(gx.l1_norm() > 0.0);
         assert!(gx.all_finite());
     }

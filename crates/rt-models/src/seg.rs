@@ -7,7 +7,7 @@
 use crate::MicroResNet;
 use rand::Rng;
 use rt_nn::layers::{BatchNorm2d, Conv2d, Conv2dConfig, Relu};
-use rt_nn::{Layer, Mode, NnError, Param, Result};
+use rt_nn::{ExecCtx, Layer, NnError, Param, Result};
 use rt_tensor::conv::{upsample2x, upsample2x_backward};
 use rt_tensor::Tensor;
 
@@ -87,21 +87,21 @@ impl std::fmt::Debug for SegmentationNet {
 }
 
 impl Layer for SegmentationNet {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let fm = self.backbone.forward_to_featmap(input, mode)?;
-        let x = self.decode_conv.forward(&fm, mode)?;
-        let x = self.decode_bn.forward(&x, mode)?;
-        let mut x = self.decode_relu.forward(&x, mode)?;
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
+        let fm = self.backbone.forward_to_featmap(input, ctx)?;
+        let x = self.decode_conv.forward(&fm, ctx)?;
+        let x = self.decode_bn.forward(&x, ctx)?;
+        let mut x = self.decode_relu.forward(&x, ctx)?;
         let mut shapes = Vec::with_capacity(self.upsample_steps);
         for _ in 0..self.upsample_steps {
             shapes.push(x.shape().to_vec());
             x = upsample2x(&x)?;
         }
         self.featmap_shapes = Some(shapes);
-        self.classifier.forward(&x, mode)
+        self.classifier.forward(&x, ctx)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let shapes = self
             .featmap_shapes
             .as_ref()
@@ -109,14 +109,14 @@ impl Layer for SegmentationNet {
                 layer: "SegmentationNet",
             })?
             .clone();
-        let mut g = self.classifier.backward(grad_output)?;
+        let mut g = self.classifier.backward(grad_output, ctx)?;
         for shape in shapes.iter().rev() {
             g = upsample2x_backward(&g, shape)?;
         }
-        let g = self.decode_relu.backward(&g)?;
-        let g = self.decode_bn.backward(&g)?;
-        let g = self.decode_conv.backward(&g)?;
-        self.backbone.backward_from_featmap(&g)
+        let g = self.decode_relu.backward(&g, ctx)?;
+        let g = self.decode_bn.backward(&g, ctx)?;
+        let g = self.decode_conv.backward(&g, ctx)?;
+        self.backbone.backward_from_featmap(&g, ctx)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -171,7 +171,7 @@ mod tests {
     fn output_restores_input_resolution() {
         let mut net = seg_net(0);
         let x = Tensor::zeros(&[2, 3, 16, 16]);
-        let y = net.forward(&x, Mode::Eval).unwrap();
+        let y = net.forward(&x, ExecCtx::eval()).unwrap();
         assert_eq!(y.shape(), &[2, 3, 16, 16]);
     }
 
@@ -179,10 +179,10 @@ mod tests {
     fn backward_produces_pixel_gradients() {
         let mut net = seg_net(1);
         let x = init::normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(2));
-        let y = net.forward(&x, Mode::Train).unwrap();
+        let y = net.forward(&x, ExecCtx::train()).unwrap();
         let labels: Vec<usize> = (0..16 * 16).map(|i| i % 3).collect();
         let out = CrossEntropyLoss::new().forward_pixels(&y, &labels).unwrap();
-        let gx = net.backward(&out.grad).unwrap();
+        let gx = net.backward(&out.grad, ExecCtx::default()).unwrap();
         assert_eq!(gx.shape(), x.shape());
         assert!(gx.l1_norm() > 0.0);
         assert!(gx.all_finite());
@@ -205,9 +205,9 @@ mod tests {
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..25 {
-            let y = net.forward(&x, Mode::Train).unwrap();
+            let y = net.forward(&x, ExecCtx::train()).unwrap();
             let out = loss_fn.forward_pixels(&y, &labels).unwrap();
-            net.backward(&out.grad).unwrap();
+            net.backward(&out.grad, ExecCtx::default()).unwrap();
             opt.step(&mut net).unwrap();
             first.get_or_insert(out.loss);
             last = out.loss;

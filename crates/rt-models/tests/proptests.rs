@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rt_models::{BlockKind, MicroResNet, ResNetConfig};
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_tensor::rng::rng_from_seed;
 use rt_tensor::{init, Tensor};
 
@@ -41,13 +41,13 @@ proptest! {
     fn forward_shapes_hold_for_arbitrary_configs(config in arbitrary_config(), seed in 0u64..50) {
         let mut model = MicroResNet::new(&config, &mut rng_from_seed(seed)).unwrap();
         let x = init::normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(seed + 1));
-        let logits = model.forward(&x, Mode::Train).unwrap();
+        let logits = model.forward(&x, ExecCtx::train()).unwrap();
         prop_assert_eq!(logits.shape(), &[2, config.num_classes]);
         prop_assert!(logits.all_finite());
-        let feats = model.forward_features(&x, Mode::Eval).unwrap();
+        let feats = model.forward_features(&x, ExecCtx::eval()).unwrap();
         prop_assert_eq!(feats.shape(), &[2, config.feature_dim()]);
         // Feature map is 2x2 after three downsamples of 16x16.
-        let fm = model.forward_to_featmap(&x, Mode::Eval).unwrap();
+        let fm = model.forward_to_featmap(&x, ExecCtx::eval()).unwrap();
         prop_assert_eq!(fm.shape(), &[2, config.feature_dim(), 2, 2]);
     }
 
@@ -57,9 +57,9 @@ proptest! {
     fn pixel_gradients_exist_for_arbitrary_configs(config in arbitrary_config(), seed in 0u64..50) {
         let mut model = MicroResNet::new(&config, &mut rng_from_seed(seed)).unwrap();
         let x = init::normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(seed + 2));
-        let logits = model.forward(&x, Mode::Train).unwrap();
+        let logits = model.forward(&x, ExecCtx::train()).unwrap();
         let grad_out = Tensor::from_fn(logits.shape(), |i| if i == 0 { 1.0 } else { -0.3 });
-        let gx = model.backward(&grad_out).unwrap();
+        let gx = model.backward(&grad_out, ExecCtx::default()).unwrap();
         prop_assert_eq!(gx.shape(), x.shape());
         prop_assert!(gx.all_finite());
         prop_assert!(gx.l1_norm() > 0.0);
@@ -72,13 +72,13 @@ proptest! {
         let mut model = MicroResNet::new(&config, &mut rng_from_seed(seed)).unwrap();
         let x = init::normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng_from_seed(seed + 3));
         // Warm BN stats once so Eval features are stable.
-        model.forward(&x, Mode::Train).unwrap();
+        model.forward(&x, ExecCtx::train()).unwrap();
         model.zero_grad();
-        let before = model.forward_features(&x, Mode::Eval).unwrap();
+        let before = model.forward_features(&x, ExecCtx::eval()).unwrap();
         model.replace_head(7, &mut rng_from_seed(seed + 4)).unwrap();
-        let after = model.forward_features(&x, Mode::Eval).unwrap();
+        let after = model.forward_features(&x, ExecCtx::eval()).unwrap();
         prop_assert_eq!(before, after);
-        prop_assert_eq!(model.forward(&x, Mode::Eval).unwrap().shape()[1], 7);
+        prop_assert_eq!(model.forward(&x, ExecCtx::eval()).unwrap().shape()[1], 7);
     }
 
     /// Parameter count decomposes: dense params == sum over layers of the

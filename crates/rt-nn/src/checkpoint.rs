@@ -20,7 +20,7 @@
 //! (temp file + rename) so an interrupted save never leaves a torn
 //! checkpoint at the destination path.
 
-use crate::{Layer, NnError, Result};
+use crate::{ExecCtx, Layer, NnError, Result};
 use rt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -375,7 +375,7 @@ mod tests {
         for p in m.params_mut() {
             p.data.fill(9.0);
         }
-        m.forward(&Tensor::ones(&[2, 1, 4, 4]), Mode::Train)
+        m.forward(&Tensor::ones(&[2, 1, 4, 4]), ExecCtx::train())
             .unwrap();
         snap.restore(&mut m).unwrap();
         let snap2 = StateDict::capture(&m);
@@ -417,7 +417,7 @@ mod tests {
     fn captures_buffers() {
         let mut m = model();
         // Move the BN running stats away from their init.
-        m.forward(&Tensor::full(&[2, 1, 4, 4], 5.0), Mode::Train)
+        m.forward(&Tensor::full(&[2, 1, 4, 4], 5.0), ExecCtx::train())
             .unwrap();
         let snap = StateDict::capture(&m);
         assert_eq!(snap.buffers.len(), 2);

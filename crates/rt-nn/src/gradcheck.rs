@@ -6,7 +6,7 @@
 //! whose gradient w.r.t. the output is exactly `w` — so a single backward
 //! call checks the whole Jacobian-vector product.
 
-use crate::{Layer, Mode, Result};
+use crate::{ExecCtx, Layer, Result};
 use rt_tensor::Tensor;
 
 /// Deterministic pseudo-random coefficient for output position `i`.
@@ -48,7 +48,7 @@ impl GradCheckReport {
 
 /// Checks a layer's *input* gradient against central finite differences.
 ///
-/// `mode` should normally be [`Mode::Eval`] (BatchNorm batch statistics make
+/// `ctx` should normally be [`ExecCtx::eval`] (BatchNorm batch statistics make
 /// the train-mode loss a non-local function of each input, which finite
 /// differences still handle, but running-stat updates would perturb repeated
 /// evaluations — the checker snapshots and restores buffers to compensate).
@@ -59,7 +59,7 @@ impl GradCheckReport {
 pub fn check_input_gradient(
     layer: &mut dyn Layer,
     input: &Tensor,
-    mode: Mode,
+    ctx: ExecCtx,
     eps: f32,
 ) -> Result<GradCheckReport> {
     let buffers_before: Vec<Tensor> = layer.buffers().into_iter().cloned().collect();
@@ -69,10 +69,10 @@ pub fn check_input_gradient(
         }
     };
 
-    let y = layer.forward(input, mode)?;
+    let y = layer.forward(input, ctx)?;
     let grad_out = coeff_tensor(y.shape());
     layer.zero_grad();
-    let analytic = layer.backward(&grad_out)?;
+    let analytic = layer.backward(&grad_out, ctx)?;
     restore(layer);
 
     let mut max_abs = 0.0f32;
@@ -82,9 +82,9 @@ pub fn check_input_gradient(
         plus.data_mut()[i] += eps;
         let mut minus = input.clone();
         minus.data_mut()[i] -= eps;
-        let lp = weighted_sum(&layer.forward(&plus, mode)?);
+        let lp = weighted_sum(&layer.forward(&plus, ctx)?);
         restore(layer);
-        let lm = weighted_sum(&layer.forward(&minus, mode)?);
+        let lm = weighted_sum(&layer.forward(&minus, ctx)?);
         restore(layer);
         let numeric = (lp - lm) / (2.0 * eps);
         let a = analytic.data()[i];
@@ -108,15 +108,15 @@ pub fn check_input_gradient(
 pub fn check_param_gradients(
     layer: &mut dyn Layer,
     input: &Tensor,
-    mode: Mode,
+    ctx: ExecCtx,
     eps: f32,
 ) -> Result<GradCheckReport> {
     let buffers_before: Vec<Tensor> = layer.buffers().into_iter().cloned().collect();
 
-    let y = layer.forward(input, mode)?;
+    let y = layer.forward(input, ctx)?;
     let grad_out = coeff_tensor(y.shape());
     layer.zero_grad();
-    layer.backward(&grad_out)?;
+    layer.backward(&grad_out, ctx)?;
     let analytic: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
     for (b, snap) in layer.buffers_mut().into_iter().zip(&buffers_before) {
         *b = snap.clone();
@@ -131,12 +131,12 @@ pub fn check_param_gradients(
         for i in 0..len {
             let original = layer.params()[pi].data.data()[i];
             layer.params_mut()[pi].data.data_mut()[i] = original + eps;
-            let lp = weighted_sum(&layer.forward(input, mode)?);
+            let lp = weighted_sum(&layer.forward(input, ctx)?);
             for (b, snap) in layer.buffers_mut().into_iter().zip(&buffers_before) {
                 *b = snap.clone();
             }
             layer.params_mut()[pi].data.data_mut()[i] = original - eps;
-            let lm = weighted_sum(&layer.forward(input, mode)?);
+            let lm = weighted_sum(&layer.forward(input, ctx)?);
             for (b, snap) in layer.buffers_mut().into_iter().zip(&buffers_before) {
                 *b = snap.clone();
             }
@@ -179,9 +179,9 @@ mod tests {
         let mut rng = rng_from_seed(0);
         let mut layer = Linear::new(4, 3, &mut rng).unwrap();
         let x = smooth_input(&[3, 4], 1);
-        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        let rin = check_input_gradient(&mut layer, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rin.passes(TOL), "{rin:?}");
-        let rp = check_param_gradients(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        let rp = check_param_gradients(&mut layer, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rp.passes(TOL), "{rp:?}");
     }
 
@@ -191,9 +191,9 @@ mod tests {
         let mut layer =
             Conv2d::new(2, 3, Conv2dConfig::same3x3().with_bias(true), &mut rng).unwrap();
         let x = smooth_input(&[2, 2, 4, 4], 3);
-        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        let rin = check_input_gradient(&mut layer, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rin.passes(TOL), "{rin:?}");
-        let rp = check_param_gradients(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        let rp = check_param_gradients(&mut layer, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rp.passes(TOL), "{rp:?}");
     }
 
@@ -203,7 +203,7 @@ mod tests {
         let mut layer =
             Conv2d::new(2, 2, Conv2dConfig::same3x3().with_stride(2), &mut rng).unwrap();
         let x = smooth_input(&[1, 2, 6, 6], 5);
-        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        let rin = check_input_gradient(&mut layer, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rin.passes(TOL), "{rin:?}");
     }
 
@@ -211,9 +211,9 @@ mod tests {
     fn batchnorm_train_gradients() {
         let mut layer = BatchNorm2d::new(2);
         let x = smooth_input(&[3, 2, 3, 3], 6);
-        let rin = check_input_gradient(&mut layer, &x, Mode::Train, EPS).unwrap();
+        let rin = check_input_gradient(&mut layer, &x, ExecCtx::train(), EPS).unwrap();
         assert!(rin.passes(TOL), "{rin:?}");
-        let rp = check_param_gradients(&mut layer, &x, Mode::Train, EPS).unwrap();
+        let rp = check_param_gradients(&mut layer, &x, ExecCtx::train(), EPS).unwrap();
         assert!(rp.passes(TOL), "{rp:?}");
     }
 
@@ -222,9 +222,9 @@ mod tests {
         let mut layer = BatchNorm2d::new(2);
         // Populate running stats first.
         let warm = smooth_input(&[4, 2, 3, 3], 7);
-        layer.forward(&warm, Mode::Train).unwrap();
+        layer.forward(&warm, ExecCtx::train()).unwrap();
         let x = smooth_input(&[2, 2, 3, 3], 8);
-        let rin = check_input_gradient(&mut layer, &x, Mode::Eval, EPS).unwrap();
+        let rin = check_input_gradient(&mut layer, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rin.passes(TOL), "{rin:?}");
     }
 
@@ -232,16 +232,16 @@ mod tests {
     fn relu_and_pool_gradients() {
         let mut relu = Relu::new();
         let x = smooth_input(&[2, 8], 9);
-        let r = check_input_gradient(&mut relu, &x, Mode::Eval, 1e-3).unwrap();
+        let r = check_input_gradient(&mut relu, &x, ExecCtx::eval(), 1e-3).unwrap();
         assert!(r.passes(TOL), "{r:?}");
 
         let mut pool = MaxPool2d::new(2, 2);
         let xp = smooth_input(&[1, 2, 4, 4], 10);
-        let rp = check_input_gradient(&mut pool, &xp, Mode::Eval, 1e-3).unwrap();
+        let rp = check_input_gradient(&mut pool, &xp, ExecCtx::eval(), 1e-3).unwrap();
         assert!(rp.passes(TOL), "{rp:?}");
 
         let mut gap = GlobalAvgPool::new();
-        let rg = check_input_gradient(&mut gap, &xp, Mode::Eval, EPS).unwrap();
+        let rg = check_input_gradient(&mut gap, &xp, ExecCtx::eval(), EPS).unwrap();
         assert!(rg.passes(TOL), "{rg:?}");
     }
 
@@ -259,12 +259,12 @@ mod tests {
         ]);
         // Warm up running stats so Eval mode is meaningful.
         model
-            .forward(&smooth_input(&[4, 1, 6, 6], 12), Mode::Train)
+            .forward(&smooth_input(&[4, 1, 6, 6], 12), ExecCtx::train())
             .unwrap();
         let x = smooth_input(&[2, 1, 6, 6], 13);
-        let rin = check_input_gradient(&mut model, &x, Mode::Eval, EPS).unwrap();
+        let rin = check_input_gradient(&mut model, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rin.passes(TOL), "{rin:?}");
-        let rp = check_param_gradients(&mut model, &x, Mode::Eval, EPS).unwrap();
+        let rp = check_param_gradients(&mut model, &x, ExecCtx::eval(), EPS).unwrap();
         assert!(rp.passes(TOL), "{rp:?}");
     }
 }

@@ -12,6 +12,70 @@ pub enum Mode {
     Eval,
 }
 
+/// Shared execution context threaded through every [`Layer::forward`] and
+/// [`Layer::backward`] call.
+///
+/// Bundles the forward [`Mode`] with a handle to the deterministic
+/// [`rt_par`] worker pool and a logical RNG stream id, so containers like
+/// [`Sequential`] pass one shared context to every child instead of a bare
+/// mode flag. The struct is `Copy` and zero-cost to thread by value.
+///
+/// Determinism: the pool handle never influences numerics (chunking in
+/// `rt-par` consumers is a pure function of problem size), and the default
+/// `rng_stream` of `0` reproduces each stochastic layer's own seed
+/// sequence, so `ExecCtx::train()` behaves exactly like the old
+/// `Mode::Train` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExecCtx {
+    /// Train/eval switch (BatchNorm statistics, Dropout masks).
+    pub mode: Mode,
+    /// Handle to the deterministic data-parallel pool.
+    pub pool: rt_par::Handle,
+    /// Logical RNG stream folded into stochastic layers' seeds. Distinct
+    /// streams draw independent randomness from the same layer seed; `0`
+    /// (the default) leaves the layer's own sequence untouched.
+    pub rng_stream: u64,
+}
+
+impl ExecCtx {
+    /// A context with the given mode, the global pool, and stream `0`.
+    pub fn new(mode: Mode) -> Self {
+        ExecCtx {
+            mode,
+            pool: rt_par::Handle,
+            rng_stream: 0,
+        }
+    }
+
+    /// Shorthand for `ExecCtx::new(Mode::Train)`.
+    pub fn train() -> Self {
+        Self::new(Mode::Train)
+    }
+
+    /// Shorthand for `ExecCtx::new(Mode::Eval)`.
+    pub fn eval() -> Self {
+        Self::new(Mode::Eval)
+    }
+
+    /// Returns a copy with the RNG stream replaced.
+    #[must_use]
+    pub fn with_stream(mut self, stream: u64) -> Self {
+        self.rng_stream = stream;
+        self
+    }
+
+    /// Whether the context is in training mode.
+    pub fn is_train(self) -> bool {
+        self.mode == Mode::Train
+    }
+}
+
+impl From<Mode> for ExecCtx {
+    fn from(mode: Mode) -> Self {
+        ExecCtx::new(mode)
+    }
+}
+
 /// An object-safe neural-network layer with explicit backpropagation.
 ///
 /// Contract:
@@ -23,23 +87,30 @@ pub enum Mode {
 ///   so adversarial attacks can differentiate through the whole network to
 ///   the pixels.
 /// * Gradients accumulate across calls until [`Layer::zero_grad`].
-pub trait Layer {
-    /// Computes the layer output for `input`.
+///
+/// `Send` is a supertrait so `Box<dyn Layer>` model replicas can be fanned
+/// out across the [`rt_par`] pool (e.g. batch-sharded PGD); every layer
+/// owns plain buffers, so this costs nothing.
+pub trait Layer: Send {
+    /// Computes the layer output for `input` under the execution context
+    /// `ctx` (mode, pool handle, RNG stream).
     ///
     /// # Errors
     ///
     /// Returns an error if the input shape is incompatible with the layer.
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor>;
 
     /// Backpropagates `grad_output`, accumulating parameter gradients and
-    /// returning the gradient with respect to the layer input.
+    /// returning the gradient with respect to the layer input. The context
+    /// carries the pool handle; its mode is ignored (backward always
+    /// differentiates the cached forward pass).
     ///
     /// # Errors
     ///
     /// Returns [`crate::NnError::BackwardBeforeForward`] if no forward pass
     /// populated the caches, or a shape error if `grad_output` is
     /// inconsistent with the cached forward pass.
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor>;
 
     /// All parameters of the layer (possibly none), in a stable order.
     fn params(&self) -> Vec<&Param>;
@@ -80,13 +151,13 @@ pub trait Layer {
 ///
 /// ```rust
 /// use rt_nn::layers::{Flatten, Relu};
-/// use rt_nn::{Layer, Mode, Sequential};
+/// use rt_nn::{ExecCtx, Layer, Sequential};
 /// use rt_tensor::Tensor;
 ///
 /// # fn main() -> Result<(), rt_nn::NnError> {
 /// let mut seq = Sequential::new(vec![Box::new(Relu::new()), Box::new(Flatten::new())]);
 /// let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![-1.0, 2.0, -3.0, 4.0])?;
-/// let y = seq.forward(&x, Mode::Eval)?;
+/// let y = seq.forward(&x, ExecCtx::eval())?;
 /// assert_eq!(y.shape(), &[1, 4]);
 /// assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
 /// # Ok(())
@@ -145,18 +216,18 @@ impl std::fmt::Debug for Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let mut x = input.clone();
         for child in &mut self.children {
-            x = child.forward(&x, mode)?;
+            x = child.forward(&x, ctx)?;
         }
         Ok(x)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let mut g = grad_output.clone();
         for child in self.children.iter_mut().rev() {
-            g = child.backward(&g)?;
+            g = child.backward(&g, ctx)?;
         }
         Ok(g)
     }
@@ -199,9 +270,10 @@ mod tests {
             Box::new(Linear::new(5, 2, &mut rng).unwrap()),
         ]);
         let x = Tensor::ones(&[4, 3]);
-        let y = seq.forward(&x, Mode::Train).unwrap();
+        let ctx = ExecCtx::train();
+        let y = seq.forward(&x, ctx).unwrap();
         assert_eq!(y.shape(), &[4, 2]);
-        let gin = seq.backward(&Tensor::ones(&[4, 2])).unwrap();
+        let gin = seq.backward(&Tensor::ones(&[4, 2]), ctx).unwrap();
         assert_eq!(gin.shape(), &[4, 3]);
         // Parameters received gradients.
         assert!(seq.params().iter().any(|p| p.grad.l1_norm() > 0.0));
@@ -227,7 +299,18 @@ mod tests {
         let mut seq = Sequential::empty();
         assert!(seq.is_empty());
         let x = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
-        assert_eq!(seq.forward(&x, Mode::Eval).unwrap(), x);
-        assert_eq!(seq.backward(&x).unwrap(), x);
+        assert_eq!(seq.forward(&x, ExecCtx::eval()).unwrap(), x);
+        assert_eq!(seq.backward(&x, ExecCtx::eval()).unwrap(), x);
+    }
+
+    #[test]
+    fn exec_ctx_defaults_and_conversions() {
+        assert_eq!(ExecCtx::default().mode, Mode::Eval);
+        assert_eq!(ExecCtx::train().mode, Mode::Train);
+        assert!(ExecCtx::train().is_train());
+        assert!(!ExecCtx::eval().is_train());
+        assert_eq!(ExecCtx::from(Mode::Train), ExecCtx::train());
+        assert_eq!(ExecCtx::eval().rng_stream, 0);
+        assert_eq!(ExecCtx::eval().with_stream(7).rng_stream, 7);
     }
 }

@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, NnError, Param, Result};
+use crate::{ExecCtx, Layer, NnError, Param, Result};
 use rt_tensor::{Tensor, TensorError};
 
 /// Rectified linear unit: `y = max(x, 0)`.
@@ -23,13 +23,13 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         self.positive = Some(input.data().iter().map(|&x| x > 0.0).collect());
         self.shape = input.shape().to_vec();
         Ok(input.map(|x| x.max(0.0)))
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let positive = self
             .positive
             .as_ref()
@@ -68,7 +68,7 @@ mod tests {
     fn forward_clamps_negatives() {
         let mut relu = Relu::new();
         let x = Tensor::from_vec(vec![4], vec![-2.0, 0.0, 1.0, 3.0]).unwrap();
-        let y = relu.forward(&x, Mode::Train).unwrap();
+        let y = relu.forward(&x, ExecCtx::train()).unwrap();
         assert_eq!(y.data(), &[0.0, 0.0, 1.0, 3.0]);
     }
 
@@ -76,18 +76,18 @@ mod tests {
     fn backward_masks_gradient() {
         let mut relu = Relu::new();
         let x = Tensor::from_vec(vec![4], vec![-2.0, 0.0, 1.0, 3.0]).unwrap();
-        relu.forward(&x, Mode::Train).unwrap();
+        relu.forward(&x, ExecCtx::train()).unwrap();
         let g = Tensor::full(&[4], 5.0);
-        let gx = relu.backward(&g).unwrap();
+        let gx = relu.backward(&g, ExecCtx::default()).unwrap();
         assert_eq!(gx.data(), &[0.0, 0.0, 5.0, 5.0]);
     }
 
     #[test]
     fn backward_requires_forward_and_matching_shape() {
         let mut relu = Relu::new();
-        assert!(relu.backward(&Tensor::ones(&[2])).is_err());
-        relu.forward(&Tensor::ones(&[2]), Mode::Train).unwrap();
-        assert!(relu.backward(&Tensor::ones(&[3])).is_err());
+        assert!(relu.backward(&Tensor::ones(&[2]), ExecCtx::default()).is_err());
+        relu.forward(&Tensor::ones(&[2]), ExecCtx::train()).unwrap();
+        assert!(relu.backward(&Tensor::ones(&[3]), ExecCtx::default()).is_err());
     }
 
     #[test]

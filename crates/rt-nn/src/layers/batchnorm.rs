@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+use crate::{ExecCtx, Layer, Mode, NnError, Param, ParamKind, Result};
 use rt_tensor::{reduce, Tensor, TensorError};
 
 /// Batch normalization over the channel axis of NCHW activations.
@@ -103,10 +103,10 @@ impl std::fmt::Debug for BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let [n, c, h, w] = self.check_input(input, "batchnorm.forward")?;
         let m = (n * h * w) as f32;
-        let (mean, var): (Vec<f32>, Vec<f32>) = match mode {
+        let (mean, var): (Vec<f32>, Vec<f32>) = match ctx.mode {
             Mode::Train => {
                 let sums = reduce::channel_sums(input)?;
                 let sq = reduce::channel_sq_sums(input)?;
@@ -161,13 +161,13 @@ impl Layer for BatchNorm2d {
         self.cache = Some(BnCache {
             x_hat,
             inv_std,
-            mode,
+            mode: ctx.mode,
         });
         Ok(out)
     }
 
     #[allow(clippy::needless_range_loop)] // channel index addresses several arrays
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward {
             layer: "BatchNorm2d",
         })?;
@@ -254,7 +254,7 @@ mod tests {
         let mut bn = BatchNorm2d::new(2);
         let mut rng = rng_from_seed(0);
         let x = init::normal(&[4, 2, 3, 3], 5.0, 2.0, &mut rng);
-        let y = bn.forward(&x, Mode::Train).unwrap();
+        let y = bn.forward(&x, ExecCtx::train()).unwrap();
         // Per-channel output mean ≈ 0, variance ≈ 1.
         let sums = reduce::channel_sums(&y).unwrap();
         let sq = reduce::channel_sq_sums(&y).unwrap();
@@ -272,7 +272,7 @@ mod tests {
         let mut bn = BatchNorm2d::new(1);
         let x = Tensor::full(&[2, 1, 2, 2], 10.0);
         for _ in 0..200 {
-            bn.forward(&x, Mode::Train).unwrap();
+            bn.forward(&x, ExecCtx::train()).unwrap();
         }
         // Constant input: batch mean 10, var 0; running stats converge there.
         assert!((bn.running_mean().data()[0] - 10.0).abs() < 1e-3);
@@ -288,7 +288,7 @@ mod tests {
         )
         .unwrap();
         let x = Tensor::full(&[1, 1, 1, 2], 4.0);
-        let y = bn.forward(&x, Mode::Eval).unwrap();
+        let y = bn.forward(&x, ExecCtx::eval()).unwrap();
         // (4 - 2) / sqrt(4 + eps) ≈ 1.0
         assert!((y.data()[0] - 1.0).abs() < 1e-3);
     }
@@ -299,7 +299,7 @@ mod tests {
         bn.gamma.data.fill(3.0);
         bn.beta.data.fill(-1.0);
         let x = Tensor::from_vec(vec![1, 1, 1, 2], vec![-1.0, 1.0]).unwrap();
-        let y = bn.forward(&x, Mode::Train).unwrap();
+        let y = bn.forward(&x, ExecCtx::train()).unwrap();
         // x_hat = [-1, 1] (mean 0, var 1), y = 3*x_hat - 1.
         assert!((y.data()[0] + 4.0).abs() < 1e-2);
         assert!((y.data()[1] - 2.0).abs() < 1e-2);
@@ -312,9 +312,9 @@ mod tests {
         let mut bn = BatchNorm2d::new(2);
         let mut rng = rng_from_seed(1);
         let x = init::normal(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
-        bn.forward(&x, Mode::Train).unwrap();
+        bn.forward(&x, ExecCtx::train()).unwrap();
         let g = init::normal(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
-        let gx = bn.backward(&g).unwrap();
+        let gx = bn.backward(&g, ExecCtx::default()).unwrap();
         let per_channel = reduce::channel_sums(&gx).unwrap();
         for &s in per_channel.data() {
             assert!(s.abs() < 1e-3, "channel grad sum {s}");
@@ -331,9 +331,9 @@ mod tests {
         .unwrap();
         bn.gamma.data.fill(2.0);
         let x = Tensor::ones(&[1, 1, 1, 2]);
-        bn.forward(&x, Mode::Eval).unwrap();
+        bn.forward(&x, ExecCtx::eval()).unwrap();
         let g = Tensor::from_vec(vec![1, 1, 1, 2], vec![1.0, -1.0]).unwrap();
-        let gx = bn.backward(&g).unwrap();
+        let gx = bn.backward(&g, ExecCtx::default()).unwrap();
         // coeff = gamma / sqrt(var + eps) = 2 / 0.5 = 4.
         assert!((gx.data()[0] - 4.0).abs() < 1e-3);
         assert!((gx.data()[1] + 4.0).abs() < 1e-3);
@@ -343,7 +343,7 @@ mod tests {
     fn rejects_wrong_channel_count() {
         let mut bn = BatchNorm2d::new(3);
         assert!(bn
-            .forward(&Tensor::ones(&[1, 2, 2, 2]), Mode::Train)
+            .forward(&Tensor::ones(&[1, 2, 2, 2]), ExecCtx::train())
             .is_err());
         assert!(bn
             .set_running_stats(Tensor::zeros(&[2]), Tensor::ones(&[3]))
@@ -354,7 +354,7 @@ mod tests {
     fn backward_requires_forward() {
         let mut bn = BatchNorm2d::new(1);
         assert!(matches!(
-            bn.backward(&Tensor::ones(&[1, 1, 1, 1])),
+            bn.backward(&Tensor::ones(&[1, 1, 1, 1]), ExecCtx::default()),
             Err(NnError::BackwardBeforeForward { .. })
         ));
     }

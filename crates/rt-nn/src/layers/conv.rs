@@ -1,7 +1,7 @@
-use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+use crate::{ExecCtx, Layer, NnError, Param, ParamKind, Result};
 use rand::Rng;
-use rt_tensor::conv::{col2im_single, im2col_single, ConvGeometry};
-use rt_tensor::{init, linalg, Tensor, TensorError};
+use rt_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeometry};
+use rt_tensor::{init, Tensor, TensorError};
 
 /// Configuration of a [`Conv2d`] layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,8 +76,6 @@ pub struct Conv2d {
 
 struct ConvCache {
     input: Tensor,
-    h: usize,
-    w: usize,
     h_out: usize,
     w_out: usize,
 }
@@ -159,7 +157,7 @@ impl std::fmt::Debug for Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         if input.ndim() != 4 {
             return Err(TensorError::RankMismatch {
                 expected: 4,
@@ -185,42 +183,29 @@ impl Layer for Conv2d {
         let h_out = self.geo.out_dim(h)?;
         let w_out = self.geo.out_dim(w)?;
         let w_mat = self.weight_matrix()?;
-        let chw = c * h * w;
-        let out_plane = h_out * w_out;
-        let mut out = Tensor::zeros(&[n, self.out_channels, h_out, w_out]);
-        for s in 0..n {
-            let sample = &input.data()[s * chw..(s + 1) * chw];
-            let cols = im2col_single(sample, c, h, w, self.geo)?;
-            let out_mat = linalg::matmul(&w_mat, &cols)?;
-            let dst = &mut out.data_mut()
-                [s * self.out_channels * out_plane..(s + 1) * self.out_channels * out_plane];
-            dst.copy_from_slice(out_mat.data());
-            if let Some(bias) = &self.bias {
-                for (o, &b) in bias.data.data().iter().enumerate() {
-                    for v in &mut dst[o * out_plane..(o + 1) * out_plane] {
-                        *v += b;
-                    }
-                }
-            }
-        }
+        // Per-sample im2col + gemm fan-out runs on the rt-par pool; results
+        // are bit-identical to the serial loop for every thread count.
+        let out = conv2d_forward(
+            input,
+            &w_mat,
+            self.bias.as_ref().map(|b| b.data.data()),
+            self.geo,
+        )?;
         self.cache = Some(ConvCache {
             input: input.clone(),
-            h,
-            w,
             h_out,
             w_out,
         });
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let cache = self
             .cache
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
-        let (h, w, h_out, w_out) = (cache.h, cache.w, cache.h_out, cache.w_out);
+        let (h_out, w_out) = (cache.h_out, cache.w_out);
         let n = cache.input.shape()[0];
-        let c = self.in_channels;
         let o = self.out_channels;
         if grad_output.shape() != [n, o, h_out, w_out] {
             return Err(TensorError::ShapeMismatch {
@@ -231,40 +216,16 @@ impl Layer for Conv2d {
             .into());
         }
         let w_mat = self.weight_matrix()?;
-        let k = self.geo.kernel;
-        let chw = c * h * w;
-        let out_plane = h_out * w_out;
-        let mut grad_input = Tensor::zeros(cache.input.shape());
-        let mut grad_w_mat = Tensor::zeros(&[o, c * k * k]);
-        let mut grad_bias = self.bias.as_ref().map(|_| vec![0.0f32; o]);
-        for s in 0..n {
-            let sample = &cache.input.data()[s * chw..(s + 1) * chw];
-            let cols = im2col_single(sample, c, h, w, self.geo)?;
-            let go_mat = Tensor::from_vec(
-                vec![o, out_plane],
-                grad_output.data()[s * o * out_plane..(s + 1) * o * out_plane].to_vec(),
-            )?;
-            // dW += dY × colsᵀ
-            let gw = linalg::matmul_a_bt(&go_mat, &cols)?;
-            grad_w_mat.add_assign(&gw)?;
-            // dcols = Wᵀ × dY, scattered back to image space.
-            let gcols = linalg::matmul_at_b(&w_mat, &go_mat)?;
-            col2im_single(
-                &gcols,
-                c,
-                h,
-                w,
-                self.geo,
-                &mut grad_input.data_mut()[s * chw..(s + 1) * chw],
-            )?;
-            if let Some(gb) = &mut grad_bias {
-                for (ch, g) in gb.iter_mut().enumerate() {
-                    *g += go_mat.data()[ch * out_plane..(ch + 1) * out_plane]
-                        .iter()
-                        .sum::<f32>();
-                }
-            }
-        }
+        // Per-sample backward fan-out on the rt-par pool; weight/bias
+        // partials are folded in sample order, so gradients match the old
+        // serial loop bit-for-bit.
+        let (grad_input, grad_w_mat, grad_bias) = conv2d_backward(
+            &cache.input,
+            grad_output,
+            &w_mat,
+            self.geo,
+            self.bias.is_some(),
+        )?;
         // Accumulate into the [O, C, k, k] gradient (identical flat layout).
         for (dst, &src) in self
             .weight
@@ -310,12 +271,12 @@ mod tests {
         let mut rng = rng_from_seed(0);
         let mut conv = Conv2d::new(3, 8, Conv2dConfig::same3x3(), &mut rng).unwrap();
         let x = Tensor::ones(&[2, 3, 8, 8]);
-        let y = conv.forward(&x, Mode::Train).unwrap();
+        let y = conv.forward(&x, ExecCtx::train()).unwrap();
         assert_eq!(y.shape(), &[2, 8, 8, 8]);
 
         let mut strided =
             Conv2d::new(3, 4, Conv2dConfig::same3x3().with_stride(2), &mut rng).unwrap();
-        let y2 = strided.forward(&x, Mode::Train).unwrap();
+        let y2 = strided.forward(&x, ExecCtx::train()).unwrap();
         assert_eq!(y2.shape(), &[2, 4, 4, 4]);
     }
 
@@ -326,7 +287,7 @@ mod tests {
         // Set weight to [1, 2]: output = 1*ch0 + 2*ch1.
         conv.weight.data = Tensor::from_vec(vec![1, 2, 1, 1], vec![1.0, 2.0]).unwrap();
         let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 2.0, 10.0, 20.0]).unwrap();
-        let y = conv.forward(&x, Mode::Eval).unwrap();
+        let y = conv.forward(&x, ExecCtx::eval()).unwrap();
         assert_eq!(y.data(), &[21.0, 42.0]);
     }
 
@@ -336,7 +297,7 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, Conv2dConfig::same3x3(), &mut rng).unwrap();
         conv.weight.data = Tensor::ones(&[1, 1, 3, 3]);
         let x = Tensor::ones(&[1, 1, 3, 3]);
-        let y = conv.forward(&x, Mode::Eval).unwrap();
+        let y = conv.forward(&x, ExecCtx::eval()).unwrap();
         // Sum of the window at each position; corners see 4 ones.
         assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
@@ -351,7 +312,7 @@ mod tests {
             b.data = Tensor::from_vec(vec![2], vec![1.5, -2.5]).unwrap();
         }
         let x = Tensor::zeros(&[1, 1, 2, 2]);
-        let y = conv.forward(&x, Mode::Eval).unwrap();
+        let y = conv.forward(&x, ExecCtx::eval()).unwrap();
         assert_eq!(y.data()[..4], [1.5; 4]);
         assert_eq!(y.data()[4..], [-2.5; 4]);
     }
@@ -360,7 +321,7 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut rng = rng_from_seed(4);
         let mut conv = Conv2d::new(1, 1, Conv2dConfig::same3x3(), &mut rng).unwrap();
-        let err = conv.backward(&Tensor::zeros(&[1, 1, 3, 3])).unwrap_err();
+        let err = conv.backward(&Tensor::zeros(&[1, 1, 3, 3]), ExecCtx::default()).unwrap_err();
         assert!(matches!(err, NnError::BackwardBeforeForward { .. }));
     }
 
@@ -370,12 +331,12 @@ mod tests {
         let mut conv =
             Conv2d::new(2, 3, Conv2dConfig::same3x3().with_bias(true), &mut rng).unwrap();
         let x = Tensor::ones(&[2, 2, 4, 4]);
-        let y = conv.forward(&x, Mode::Train).unwrap();
-        let g1 = conv.backward(&Tensor::ones(y.shape())).unwrap();
+        let y = conv.forward(&x, ExecCtx::train()).unwrap();
+        let g1 = conv.backward(&Tensor::ones(y.shape()), ExecCtx::default()).unwrap();
         assert_eq!(g1.shape(), x.shape());
         let w_grad_after_one = conv.params()[0].grad.clone();
-        conv.forward(&x, Mode::Train).unwrap();
-        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        conv.forward(&x, ExecCtx::train()).unwrap();
+        conv.backward(&Tensor::ones(y.shape()), ExecCtx::default()).unwrap();
         let w_grad_after_two = &conv.params()[0].grad;
         // Gradients accumulate across backward calls.
         for (a, b) in w_grad_after_one.data().iter().zip(w_grad_after_two.data()) {
@@ -388,9 +349,9 @@ mod tests {
         let mut rng = rng_from_seed(6);
         let mut conv = Conv2d::new(3, 4, Conv2dConfig::same3x3(), &mut rng).unwrap();
         assert!(conv
-            .forward(&Tensor::ones(&[1, 2, 4, 4]), Mode::Eval)
+            .forward(&Tensor::ones(&[1, 2, 4, 4]), ExecCtx::eval())
             .is_err());
-        assert!(conv.forward(&Tensor::ones(&[4, 4]), Mode::Eval).is_err());
+        assert!(conv.forward(&Tensor::ones(&[4, 4]), ExecCtx::eval()).is_err());
     }
 
     #[test]

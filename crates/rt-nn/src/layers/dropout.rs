@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, NnError, Param, Result};
+use crate::{ExecCtx, Layer, Mode, NnError, Param, Result};
 use rt_tensor::rng::{rng_from_seed, SeedStream};
 use rt_tensor::{Tensor, TensorError};
 
@@ -8,7 +8,9 @@ use rt_tensor::{Tensor, TensorError};
 ///
 /// The layer owns a deterministic RNG stream (seeded at construction), so
 /// training runs remain reproducible without threading an RNG through
-/// [`Layer::forward`].
+/// [`Layer::forward`]. The [`ExecCtx::rng_stream`] id is folded into the
+/// per-step seed: the default stream `0` reproduces the layer's own
+/// sequence, while distinct streams draw independent masks.
 #[derive(Debug)]
 pub struct Dropout {
     p: f32,
@@ -46,9 +48,9 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         self.shape = input.shape().to_vec();
-        match mode {
+        match ctx.mode {
             Mode::Eval => {
                 self.mask = None;
                 Ok(input.clone())
@@ -59,7 +61,8 @@ impl Layer for Dropout {
                     return Ok(input.clone());
                 }
                 use rand::Rng as _;
-                let mut rng = rng_from_seed(self.seeds.child_idx(self.step).seed());
+                let mut rng =
+                    rng_from_seed(self.seeds.child_idx(self.step).seed() ^ ctx.rng_stream);
                 self.step += 1;
                 let scale = 1.0 / (1.0 - self.p);
                 let mask: Vec<f32> = (0..input.len())
@@ -83,7 +86,7 @@ impl Layer for Dropout {
         }
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         if grad_output.shape() != self.shape.as_slice() {
             return Err(TensorError::ShapeMismatch {
                 lhs: grad_output.shape().to_vec(),
@@ -123,16 +126,16 @@ mod tests {
     fn eval_mode_is_identity() {
         let mut d = Dropout::new(0.5, 0).unwrap();
         let x = Tensor::from_fn(&[4, 4], |i| i as f32);
-        assert_eq!(d.forward(&x, Mode::Eval).unwrap(), x);
+        assert_eq!(d.forward(&x, ExecCtx::eval()).unwrap(), x);
         // Backward in eval mode passes gradients through.
-        assert_eq!(d.backward(&x).unwrap(), x);
+        assert_eq!(d.backward(&x, ExecCtx::default()).unwrap(), x);
     }
 
     #[test]
     fn train_mode_zeroes_roughly_p_fraction_and_rescales() {
         let mut d = Dropout::new(0.25, 1).unwrap();
         let x = Tensor::ones(&[1, 4000]);
-        let y = d.forward(&x, Mode::Train).unwrap();
+        let y = d.forward(&x, ExecCtx::train()).unwrap();
         let zeros = y.count_zeros();
         let frac = zeros as f64 / 4000.0;
         assert!((frac - 0.25).abs() < 0.05, "dropped {frac}");
@@ -144,8 +147,8 @@ mod tests {
     fn backward_uses_the_same_mask() {
         let mut d = Dropout::new(0.5, 2).unwrap();
         let x = Tensor::ones(&[2, 8]);
-        let y = d.forward(&x, Mode::Train).unwrap();
-        let g = d.backward(&Tensor::ones(&[2, 8])).unwrap();
+        let y = d.forward(&x, ExecCtx::train()).unwrap();
+        let g = d.backward(&Tensor::ones(&[2, 8]), ExecCtx::default()).unwrap();
         // Gradient is zero exactly where the activation was dropped.
         for (&yv, &gv) in y.data().iter().zip(g.data()) {
             assert_eq!(yv == 0.0, gv == 0.0);
@@ -156,11 +159,11 @@ mod tests {
     fn masks_differ_across_steps_but_runs_are_reproducible() {
         let mut d1 = Dropout::new(0.5, 3).unwrap();
         let x = Tensor::ones(&[1, 64]);
-        let a = d1.forward(&x, Mode::Train).unwrap();
-        let b = d1.forward(&x, Mode::Train).unwrap();
+        let a = d1.forward(&x, ExecCtx::train()).unwrap();
+        let b = d1.forward(&x, ExecCtx::train()).unwrap();
         assert_ne!(a, b, "fresh mask every step");
         let mut d2 = Dropout::new(0.5, 3).unwrap();
-        let a2 = d2.forward(&x, Mode::Train).unwrap();
+        let a2 = d2.forward(&x, ExecCtx::train()).unwrap();
         assert_eq!(a, a2, "same seed, same sequence");
     }
 
@@ -168,12 +171,25 @@ mod tests {
     fn zero_probability_is_identity_in_train() {
         let mut d = Dropout::new(0.0, 4).unwrap();
         let x = Tensor::from_fn(&[3, 3], |i| i as f32);
-        assert_eq!(d.forward(&x, Mode::Train).unwrap(), x);
+        assert_eq!(d.forward(&x, ExecCtx::train()).unwrap(), x);
     }
 
     #[test]
     fn invalid_probability_rejected() {
         assert!(Dropout::new(1.0, 0).is_err());
         assert!(Dropout::new(-0.1, 0).is_err());
+    }
+
+    #[test]
+    fn rng_stream_selects_independent_masks() {
+        let x = Tensor::ones(&[1, 64]);
+        let mut d0 = Dropout::new(0.5, 3).unwrap();
+        let base = d0.forward(&x, ExecCtx::train()).unwrap();
+        let mut d1 = Dropout::new(0.5, 3).unwrap();
+        let same = d1.forward(&x, ExecCtx::train().with_stream(0)).unwrap();
+        assert_eq!(base, same, "stream 0 reproduces the default sequence");
+        let mut d2 = Dropout::new(0.5, 3).unwrap();
+        let other = d2.forward(&x, ExecCtx::train().with_stream(41)).unwrap();
+        assert_ne!(base, other, "distinct streams draw distinct masks");
     }
 }

@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, NnError, Param, Result};
+use crate::{ExecCtx, Layer, NnError, Param, Result};
 use rt_tensor::Tensor;
 
 /// Flattens `[N, d1, d2, …]` into `[N, d1·d2·…]`. Free (a reshape).
@@ -15,7 +15,7 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let shape = input.shape();
         let n = shape.first().copied().unwrap_or(0);
         let rest: usize = shape.iter().skip(1).product();
@@ -23,7 +23,7 @@ impl Layer for Flatten {
         Ok(input.reshape(&[n, rest])?)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let shape = self
             .input_shape
             .as_ref()
@@ -52,11 +52,11 @@ impl Identity {
 }
 
 impl Layer for Identity {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         Ok(input.clone())
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         Ok(grad_output.clone())
     }
 
@@ -77,9 +77,9 @@ mod tests {
     fn flatten_round_trip() {
         let mut flat = Flatten::new();
         let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
-        let y = flat.forward(&x, Mode::Train).unwrap();
+        let y = flat.forward(&x, ExecCtx::train()).unwrap();
         assert_eq!(y.shape(), &[2, 12]);
-        let gx = flat.backward(&y).unwrap();
+        let gx = flat.backward(&y, ExecCtx::default()).unwrap();
         assert_eq!(gx.shape(), x.shape());
         assert_eq!(gx.data(), x.data());
     }
@@ -87,15 +87,15 @@ mod tests {
     #[test]
     fn flatten_backward_requires_forward() {
         let mut flat = Flatten::new();
-        assert!(flat.backward(&Tensor::ones(&[1, 4])).is_err());
+        assert!(flat.backward(&Tensor::ones(&[1, 4]), ExecCtx::default()).is_err());
     }
 
     #[test]
     fn identity_passthrough() {
         let mut id = Identity::new();
         let x = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
-        assert_eq!(id.forward(&x, Mode::Eval).unwrap(), x);
-        assert_eq!(id.backward(&x).unwrap(), x);
+        assert_eq!(id.forward(&x, ExecCtx::eval()).unwrap(), x);
+        assert_eq!(id.backward(&x, ExecCtx::default()).unwrap(), x);
         assert!(id.params().is_empty());
     }
 }

@@ -1,5 +1,6 @@
-use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+use crate::{ExecCtx, Layer, NnError, Param, ParamKind, Result};
 use rand::Rng;
+use rt_tensor::linalg::Gemm;
 use rt_tensor::{init, linalg, reduce, Tensor, TensorError};
 
 /// Fully connected layer: `y = x Wᵀ + b` over `[N, in_features]` inputs.
@@ -67,7 +68,7 @@ impl std::fmt::Debug for Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         if input.ndim() != 2 || input.shape()[1] != self.in_features {
             return Err(TensorError::ShapeMismatch {
                 lhs: input.shape().to_vec(),
@@ -79,13 +80,15 @@ impl Layer for Linear {
             }
             .into());
         }
-        let mut out = linalg::matmul_a_bt(input, &self.weight.data)?;
+        // y = x Wᵀ + b through the unified gemm entry point.
+        let mut out = Tensor::zeros(&[input.shape()[0], self.out_features]);
+        linalg::gemm(input, &self.weight.data, Gemm::new().trans_b(), &mut out)?;
         out.add_row_inplace(&self.bias.data)?;
         self.cached_input = Some(input.clone());
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let input = self
             .cached_input
             .as_ref()
@@ -100,11 +103,17 @@ impl Layer for Linear {
             .into());
         }
         // dW += dYᵀ X ; db += column sums of dY ; dX = dY W.
-        let gw = linalg::matmul_at_b(grad_output, input)?;
-        self.weight.grad.add_assign(&gw)?;
+        linalg::gemm(
+            grad_output,
+            input,
+            Gemm::new().trans_a().acc(),
+            &mut self.weight.grad,
+        )?;
         let gb = reduce::col_sums(grad_output)?;
         self.bias.grad.add_assign(&gb)?;
-        Ok(linalg::matmul(grad_output, &self.weight.data)?)
+        let mut gx = Tensor::zeros(&[n, self.in_features]);
+        linalg::gemm(grad_output, &self.weight.data, Gemm::new(), &mut gx)?;
+        Ok(gx)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -128,7 +137,7 @@ mod tests {
         lin.weight.data = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         lin.bias.data = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
-        let y = lin.forward(&x, Mode::Eval).unwrap();
+        let y = lin.forward(&x, ExecCtx::eval()).unwrap();
         // y0 = 1*1 + 2*1 + 0.5 ; y1 = 3 + 4 - 0.5
         assert_eq!(y.data(), &[3.5, 6.5]);
     }
@@ -139,9 +148,9 @@ mod tests {
         let mut lin = Linear::new(2, 1, &mut rng).unwrap();
         lin.weight.data = Tensor::from_vec(vec![1, 2], vec![2.0, -1.0]).unwrap();
         let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        lin.forward(&x, Mode::Train).unwrap();
+        lin.forward(&x, ExecCtx::train()).unwrap();
         let g = Tensor::from_vec(vec![2, 1], vec![1.0, 1.0]).unwrap();
-        let gx = lin.backward(&g).unwrap();
+        let gx = lin.backward(&g, ExecCtx::default()).unwrap();
         // dW = sum over batch of g_i * x_i = [1+3, 2+4]
         assert_eq!(lin.weight.grad.data(), &[4.0, 6.0]);
         assert_eq!(lin.bias.grad.data(), &[2.0]);
@@ -153,8 +162,8 @@ mod tests {
     fn shape_validation() {
         let mut rng = rng_from_seed(2);
         let mut lin = Linear::new(3, 2, &mut rng).unwrap();
-        assert!(lin.forward(&Tensor::ones(&[1, 4]), Mode::Eval).is_err());
-        assert!(lin.forward(&Tensor::ones(&[3]), Mode::Eval).is_err());
+        assert!(lin.forward(&Tensor::ones(&[1, 4]), ExecCtx::eval()).is_err());
+        assert!(lin.forward(&Tensor::ones(&[3]), ExecCtx::eval()).is_err());
         assert!(Linear::new(0, 2, &mut rng).is_err());
     }
 
@@ -163,7 +172,7 @@ mod tests {
         let mut rng = rng_from_seed(3);
         let mut lin = Linear::new(2, 2, &mut rng).unwrap();
         assert!(matches!(
-            lin.backward(&Tensor::ones(&[1, 2])),
+            lin.backward(&Tensor::ones(&[1, 2]), ExecCtx::default()),
             Err(NnError::BackwardBeforeForward { .. })
         ));
     }

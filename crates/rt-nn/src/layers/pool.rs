@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, NnError, Param, Result};
+use crate::{ExecCtx, Layer, NnError, Param, Result};
 use rt_tensor::conv::{
     global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, ConvGeometry,
 };
@@ -22,13 +22,13 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let out = max_pool2d(input, self.geo)?;
         self.cache = Some((out.argmax, input.shape().to_vec()));
         Ok(out.output)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let (argmax, shape) = self
             .cache
             .as_ref()
@@ -59,13 +59,13 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let out = global_avg_pool(input)?;
         self.input_shape = Some(input.shape().to_vec());
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         let shape = self
             .input_shape
             .as_ref()
@@ -92,9 +92,9 @@ mod tests {
     fn maxpool_layer_round_trip() {
         let mut pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let y = pool.forward(&x, Mode::Train).unwrap();
+        let y = pool.forward(&x, ExecCtx::train()).unwrap();
         assert_eq!(y.data(), &[4.0]);
-        let gx = pool.backward(&Tensor::ones(&[1, 1, 1, 1])).unwrap();
+        let gx = pool.backward(&Tensor::ones(&[1, 1, 1, 1]), ExecCtx::default()).unwrap();
         assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 1.0]);
     }
 
@@ -102,17 +102,17 @@ mod tests {
     fn gap_layer_round_trip() {
         let mut gap = GlobalAvgPool::new();
         let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
-        let y = gap.forward(&x, Mode::Eval).unwrap();
+        let y = gap.forward(&x, ExecCtx::eval()).unwrap();
         assert_eq!(y.data(), &[2.0, 6.0]);
-        let gx = gap.backward(&Tensor::ones(&[1, 2])).unwrap();
+        let gx = gap.backward(&Tensor::ones(&[1, 2]), ExecCtx::default()).unwrap();
         assert_eq!(gx.data(), &[0.5, 0.5, 0.5, 0.5]);
     }
 
     #[test]
     fn backward_requires_forward() {
         let mut pool = MaxPool2d::new(2, 2);
-        assert!(pool.backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
+        assert!(pool.backward(&Tensor::ones(&[1, 1, 1, 1]), ExecCtx::default()).is_err());
         let mut gap = GlobalAvgPool::new();
-        assert!(gap.backward(&Tensor::ones(&[1, 1])).is_err());
+        assert!(gap.backward(&Tensor::ones(&[1, 1]), ExecCtx::default()).is_err());
     }
 }

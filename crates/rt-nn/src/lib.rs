@@ -28,7 +28,7 @@
 //!
 //! ```rust
 //! use rt_nn::layers::{Linear, Relu};
-//! use rt_nn::{loss::CrossEntropyLoss, optim::Sgd, Layer, Mode, Sequential};
+//! use rt_nn::{loss::CrossEntropyLoss, optim::Sgd, ExecCtx, Layer, Sequential};
 //! use rt_tensor::rng::SeedStream;
 //! use rt_tensor::Tensor;
 //!
@@ -40,10 +40,11 @@
 //!     Box::new(Linear::new(8, 3, &mut seeds.child("l2").rng())?),
 //! ]);
 //! let x = Tensor::ones(&[2, 4]);
-//! let logits = model.forward(&x, Mode::Train)?;
+//! let ctx = ExecCtx::train();
+//! let logits = model.forward(&x, ctx)?;
 //! let loss = CrossEntropyLoss::new();
 //! let out = loss.forward(&logits, &[0, 2])?;
-//! model.backward(&out.grad)?;
+//! model.backward(&out.grad, ctx)?;
 //! Sgd::new(0.1).step(&mut model)?;
 //! # Ok(())
 //! # }
@@ -64,7 +65,7 @@ pub mod optim;
 pub mod schedule;
 
 pub use error::NnError;
-pub use layer::{Layer, Mode, Sequential};
+pub use layer::{ExecCtx, Layer, Mode, Sequential};
 pub use param::{Param, ParamKind};
 
 /// Convenience alias for results produced by this crate.

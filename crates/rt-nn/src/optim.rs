@@ -7,7 +7,7 @@
 //!
 //! so pruned weights stay *exactly* zero throughout training.
 
-use crate::{Layer, NnError, ParamKind, Result};
+use crate::{ExecCtx, Layer, NnError, ParamKind, Result};
 
 /// Stochastic gradient descent with momentum and decoupled weight decay.
 ///
@@ -373,9 +373,9 @@ mod tests {
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..50 {
-            let pred = model.forward(&x, Mode::Train).unwrap();
+            let pred = model.forward(&x, ExecCtx::train()).unwrap();
             let out = loss_fn.forward(&pred, &y).unwrap();
-            model.backward(&out.grad).unwrap();
+            model.backward(&out.grad, ExecCtx::default()).unwrap();
             opt.step(&mut model).unwrap();
             first.get_or_insert(out.loss);
             last = out.loss;
@@ -432,9 +432,9 @@ mod tests {
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..60 {
-            let pred = model.forward(&x, Mode::Train).unwrap();
+            let pred = model.forward(&x, ExecCtx::train()).unwrap();
             let out = loss_fn.forward(&pred, &y).unwrap();
-            model.backward(&out.grad).unwrap();
+            model.backward(&out.grad, ExecCtx::default()).unwrap();
             opt.step(&mut model).unwrap();
             first.get_or_insert(out.loss);
             last = out.loss;

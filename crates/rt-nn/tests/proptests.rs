@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use rt_nn::layers::{BatchNorm2d, Conv2d, Conv2dConfig, Linear, Relu};
 use rt_nn::loss::{CrossEntropyLoss, MseLoss};
 use rt_nn::optim::Sgd;
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_tensor::rng::rng_from_seed;
 use rt_tensor::{init, Tensor};
 
@@ -18,9 +18,9 @@ proptest! {
         let mut lin = Linear::new(5, 3, &mut rng).unwrap();
         let x = init::normal(&[2, 5], 0.0, 1.0, &mut rng);
         let zero = Tensor::zeros(&[2, 5]);
-        let fx = lin.forward(&x, Mode::Eval).unwrap();
-        let f0 = lin.forward(&zero, Mode::Eval).unwrap();
-        let fax = lin.forward(&x.mul_scalar(a), Mode::Eval).unwrap();
+        let fx = lin.forward(&x, ExecCtx::eval()).unwrap();
+        let f0 = lin.forward(&zero, ExecCtx::eval()).unwrap();
+        let fax = lin.forward(&x.mul_scalar(a), ExecCtx::eval()).unwrap();
         for i in 0..fx.len() {
             let lhs = fax.data()[i] - f0.data()[i];
             let rhs = a * (fx.data()[i] - f0.data()[i]);
@@ -34,8 +34,8 @@ proptest! {
         let mut rng = rng_from_seed(seed);
         let mut conv = Conv2d::new(2, 3, Conv2dConfig::same3x3(), &mut rng).unwrap();
         let x = init::normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
-        let fx = conv.forward(&x, Mode::Eval).unwrap();
-        let fax = conv.forward(&x.mul_scalar(a), Mode::Eval).unwrap();
+        let fx = conv.forward(&x, ExecCtx::eval()).unwrap();
+        let fax = conv.forward(&x.mul_scalar(a), ExecCtx::eval()).unwrap();
         for (l, r) in fax.data().iter().zip(fx.data()) {
             prop_assert!((l - a * r).abs() < 1e-3 * (1.0 + (a * r).abs()));
         }
@@ -46,9 +46,9 @@ proptest! {
     fn relu_properties(seed in 0u64..100) {
         let mut relu = Relu::new();
         let x = init::normal(&[3, 7], 0.0, 2.0, &mut rng_from_seed(seed));
-        let y = relu.forward(&x, Mode::Eval).unwrap();
+        let y = relu.forward(&x, ExecCtx::eval()).unwrap();
         prop_assert!(y.min().unwrap() >= 0.0);
-        let yy = relu.forward(&y, Mode::Eval).unwrap();
+        let yy = relu.forward(&y, ExecCtx::eval()).unwrap();
         prop_assert_eq!(yy, y);
     }
 
@@ -60,9 +60,9 @@ proptest! {
         let mut bn1 = BatchNorm2d::new(2);
         let mut bn2 = BatchNorm2d::new(2);
         let x = init::normal(&[4, 2, 3, 3], 0.0, 1.0, &mut rng_from_seed(seed));
-        let y1 = bn1.forward(&x, Mode::Train).unwrap();
+        let y1 = bn1.forward(&x, ExecCtx::train()).unwrap();
         let scaled = x.mul_scalar(a).add_scalar(b);
-        let y2 = bn2.forward(&scaled, Mode::Train).unwrap();
+        let y2 = bn2.forward(&scaled, ExecCtx::train()).unwrap();
         for (u, v) in y1.data().iter().zip(y2.data()) {
             prop_assert!((u - v).abs() < 2e-2, "{u} vs {v}");
         }
@@ -141,5 +141,57 @@ proptest! {
                 prop_assert!((d2 - 2.0 * d1).abs() < 1e-5);
             }
         }
+    }
+}
+
+/// A full training epoch — forward, cross-entropy, backward, SGD — must
+/// be byte-identical under any rt-par pool size (the acceptance gate for
+/// the deterministic data-parallel layer).
+#[test]
+fn training_epoch_is_pool_size_invariant() {
+    use rt_nn::layers::Flatten;
+    use rt_nn::{ExecCtx, Sequential};
+
+    fn run_epoch() -> Vec<u32> {
+        let mut rng = rng_from_seed(42);
+        let mut model = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 4, Conv2dConfig::same3x3(), &mut rng).unwrap()),
+            Box::new(BatchNorm2d::new(4)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 8 * 8, 4, &mut rng).unwrap()),
+        ]);
+        let loss_fn = CrossEntropyLoss::new();
+        let opt = Sgd::new(0.05);
+        let ctx = ExecCtx::train();
+        for step in 0..3 {
+            let x = init::normal(&[6, 2, 8, 8], 0.0, 1.0, &mut rng);
+            let labels: Vec<usize> = (0..6).map(|i| (i + step) % 4).collect();
+            let out = model.forward(&x, ctx).unwrap();
+            let l = loss_fn.forward(&out, &labels).unwrap();
+            model.zero_grad();
+            model.backward(&l.grad, ctx).unwrap();
+            opt.step(&mut model).unwrap();
+        }
+        model
+            .params()
+            .iter()
+            .flat_map(|p| p.data.data().iter().map(|v| v.to_bits()))
+            .chain(
+                model
+                    .buffers()
+                    .iter()
+                    .flat_map(|b| b.data().iter().map(|v| v.to_bits())),
+            )
+            .collect()
+    }
+
+    rt_par::set_threads(1);
+    let reference = run_epoch();
+    for t in [2usize, 4, 7] {
+        rt_par::set_threads(t);
+        let got = run_epoch();
+        rt_par::set_threads(1);
+        assert_eq!(got, reference, "pool size {t} diverged");
     }
 }

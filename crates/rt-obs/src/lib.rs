@@ -262,6 +262,32 @@ fn install(level: Level, sink: Option<Box<dyn Sink>>) {
     }
     *lock_inner() = Some(inner);
     LEVEL.store(level as u8, Ordering::SeqCst);
+    if level > Level::Off {
+        install_par_observer();
+    }
+}
+
+/// Wires the [`rt_par`] worker pool's telemetry hooks into this crate's
+/// metrics:
+///
+/// * every `rt_par::run_tasks` batch adds its task count to the
+///   `par.tasks` counter,
+/// * batch queue latency (enqueue → first worker claim) feeds the
+///   `par.queue_ms` histogram,
+/// * pool (re)builds set the `par.pool_threads` gauge.
+///
+/// `rt-par` sits below `rt-obs` in the crate graph and therefore cannot
+/// emit telemetry itself; this adapter injects plain function pointers
+/// via `rt_par::set_observer`. Installation is first-call-wins and the
+/// hooks degrade to no-op metric handles whenever telemetry is disabled,
+/// so calling this is always safe. Invoked automatically by every
+/// `init_*` path; returns whether this call performed the installation.
+pub fn install_par_observer() -> bool {
+    rt_par::set_observer(rt_par::ParObserver {
+        on_tasks: |n| counter("par.tasks").add(n),
+        on_queue_ms: |ms| histogram("par.queue_ms").observe(ms),
+        on_pool_threads: |n| gauge("par.pool_threads").set(n as f64),
+    })
 }
 
 /// Flushes telemetry durably: snapshots every counter/gauge/histogram
@@ -529,6 +555,24 @@ pub mod testing {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_observer_feeds_pool_metrics() {
+        let _t = testing::lock();
+        let _h = init_memory(Level::All);
+        // `install` wired the observer (first-call-wins, so a previous
+        // test may have done it — either way the hooks point here now
+        // that the registry was reset).
+        assert!(counter("par.tasks").get() == 0);
+        rt_par::run_tasks(8, &|_| {});
+        assert_eq!(counter("par.tasks").get(), 8, "batch task count recorded");
+        // Rebuilding the pool refreshes the thread gauge.
+        let n = rt_par::threads();
+        rt_par::set_threads(n + 1);
+        assert_eq!(gauge("par.pool_threads").get(), (n + 1) as f64);
+        rt_par::set_threads(n);
+        assert_eq!(gauge("par.pool_threads").get(), n as f64);
+    }
 
     #[test]
     fn level_parsing() {

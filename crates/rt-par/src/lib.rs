@@ -1,0 +1,731 @@
+//! Deterministic data-parallel compute layer.
+//!
+//! `rt-par` is a **zero-dependency** (std-only) persistent worker pool with
+//! one hard guarantee: *any* thread count produces **bit-identical floats**
+//! to the serial path. The guarantee rests on two rules, which every caller
+//! in the workspace follows:
+//!
+//! 1. **Size-deterministic chunking** — work is split into chunks whose
+//!    boundaries are a pure function of the *problem size* (never of the
+//!    worker count). `RT_THREADS=1` and `RT_THREADS=64` execute exactly the
+//!    same chunks, merely on fewer or more threads.
+//! 2. **Ordered accumulation** — chunk results are combined strictly in
+//!    chunk-index order on the calling thread ([`par_chunks`] returns a
+//!    `Vec` ordered by chunk index). Floating-point reduction order is
+//!    therefore fixed, regardless of which worker finished first.
+//!
+//! Tasks that write disjoint outputs ([`par_chunks_mut`]) are trivially
+//! deterministic; tasks that reduce go through the ordered-fold path.
+//!
+//! # Pool lifecycle
+//!
+//! The global pool is created lazily on first use, sized by the
+//! `RT_THREADS` environment variable (default:
+//! `std::thread::available_parallelism()`), and can be resized at runtime
+//! with [`set_threads`]. A thread count of `n` means *`n` compute threads
+//! total*: the calling thread always participates in its own batches
+//! (work-helping), so `RT_THREADS=1` spawns no workers at all and runs
+//! every task inline — the serial path *is* the 1-thread configuration.
+//!
+//! Because the caller helps drain its own batch, nested [`run_tasks`]
+//! calls (a parallel runner cell whose training loop calls a parallel
+//! GEMM) can never deadlock: even with every worker busy, the nested
+//! caller completes its batch single-handedly.
+//!
+//! # Panics
+//!
+//! A panic inside a task is caught on the executing thread, the rest of
+//! the batch still runs, and the first payload is re-thrown on the calling
+//! thread once the batch completes — so `catch_unwind` isolation layered
+//! above (e.g. the experiment runner's cell boundary) observes the same
+//! panic it would have seen serially.
+//!
+//! # Telemetry
+//!
+//! `rt-par` sits *below* `rt-obs` in the crate graph, so instrumentation
+//! is injected rather than imported: [`set_observer`] installs three hooks
+//! (`on_tasks`, `on_queue_ms`, `on_pool_threads`) that
+//! `rt_obs::install_par_observer` wires to the `par.tasks` counter, the
+//! `par.queue_ms` histogram, and the `par.pool_threads` gauge.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Observer hooks (wired to rt-obs by `rt_obs::install_par_observer`)
+// ---------------------------------------------------------------------------
+
+/// Telemetry hooks invoked by the pool. Plain function pointers so the
+/// crate stays dependency-free; `rt-obs` installs an adapter at session
+/// start.
+#[derive(Debug, Clone, Copy)]
+pub struct ParObserver {
+    /// Called with the task count of every [`run_tasks`] batch.
+    pub on_tasks: fn(u64),
+    /// Called with the milliseconds a pooled batch waited between enqueue
+    /// and its first claim by a worker thread.
+    pub on_queue_ms: fn(f64),
+    /// Called with the configured thread count whenever the pool is
+    /// (re)built.
+    pub on_pool_threads: fn(u64),
+}
+
+static OBSERVER: OnceLock<ParObserver> = OnceLock::new();
+
+/// Installs the process-wide telemetry observer. The first call wins;
+/// later calls return `false` and are ignored (telemetry hooks must stay
+/// stable once the pool is live).
+pub fn set_observer(obs: ParObserver) -> bool {
+    let installed = OBSERVER.set(obs).is_ok();
+    if installed {
+        // Report the current pool size immediately so a gauge installed
+        // after pool creation still has a value.
+        (obs.on_pool_threads)(threads() as u64);
+    }
+    installed
+}
+
+#[inline]
+fn observe_tasks(n: u64) {
+    if let Some(obs) = OBSERVER.get() {
+        (obs.on_tasks)(n);
+    }
+}
+
+#[inline]
+fn observe_queue_ms(ms: f64) {
+    if let Some(obs) = OBSERVER.get() {
+        (obs.on_queue_ms)(ms);
+    }
+}
+
+#[inline]
+fn observe_pool_threads(n: u64) {
+    if let Some(obs) = OBSERVER.get() {
+        (obs.on_pool_threads)(n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch: one `run_tasks` invocation
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to the task closure of a live batch.
+///
+/// Safety: the pointee is only dereferenced while the owning
+/// [`run_tasks`] frame is blocked waiting for the batch to complete, so
+/// the erased lifetime can never dangle (see `run_tasks` for the proof
+/// obligation).
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct BatchState {
+    /// Number of task indices that have finished executing.
+    done: usize,
+    /// First panic payload observed while executing this batch.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Batch {
+    task: TaskPtr,
+    total: usize,
+    /// Next task index to claim (may overshoot `total`; claimants that
+    /// draw an out-of-range index simply stop).
+    next: AtomicUsize,
+    state: Mutex<BatchState>,
+    cv: Condvar,
+    enqueued: Instant,
+    /// Set by the first *worker* claim, for the queue-latency histogram.
+    first_claim: AtomicBool,
+}
+
+impl Batch {
+    fn new(task: TaskPtr, total: usize) -> Self {
+        Batch {
+            task,
+            total,
+            next: AtomicUsize::new(0),
+            state: Mutex::new(BatchState {
+                done: 0,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+            enqueued: Instant::now(),
+            first_claim: AtomicBool::new(false),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Claims and executes task indices until none remain. Returns once
+    /// this thread can claim no further index (other threads may still be
+    /// executing their claimed indices).
+    fn work(&self, from_worker: bool) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            if from_worker
+                && !self.first_claim.swap(true, Ordering::Relaxed)
+            {
+                observe_queue_ms(self.enqueued.elapsed().as_secs_f64() * 1e3);
+            }
+            // Safety: see `TaskPtr` — the closure outlives every claim.
+            let task = unsafe { &*self.task.0 };
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(i)));
+            let mut st = self.state.lock().expect("batch state poisoned");
+            if let Err(payload) = outcome {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            st.done += 1;
+            if st.done == self.total {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task index has finished, then re-throws the
+    /// first panic observed (if any).
+    fn wait(&self) {
+        let mut st = self.state.lock().expect("batch state poisoned");
+        while st.done < self.total {
+            st = self.cv.wait(st).expect("batch state poisoned");
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Worker threads spawned (== configured threads − 1; the caller is
+    /// the final compute thread).
+    workers: usize,
+}
+
+impl Pool {
+    fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = threads - 1;
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rt-par-{w}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn rt-par worker");
+        }
+        observe_pool_threads(threads as u64);
+        Pool { shared, workers }
+    }
+
+    fn inject(&self, batch: Arc<Batch>) {
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        q.push_back(batch);
+        drop(q);
+        self.shared.cv.notify_all();
+    }
+
+    fn remove(&self, batch: &Arc<Batch>) {
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        if let Some(pos) = q.iter().position(|b| Arc::ptr_eq(b, batch)) {
+            q.remove(pos);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                // Drop exhausted batches from the front; their remaining
+                // in-flight indices are finished by whoever claimed them.
+                while q.front().is_some_and(|b| b.exhausted()) {
+                    q.pop_front();
+                }
+                if let Some(front) = q.front() {
+                    break Arc::clone(front);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("pool queue poisoned");
+            }
+        };
+        batch.work(true);
+        // The batch this worker just drained is exhausted; retire it so
+        // later arrivals don't scan past it.
+        let mut q = shared.queue.lock().expect("pool queue poisoned");
+        if let Some(pos) = q.iter().position(|b| Arc::ptr_eq(b, &batch)) {
+            q.remove(pos);
+        }
+    }
+}
+
+static GLOBAL: OnceLock<RwLock<Arc<Pool>>> = OnceLock::new();
+
+fn default_threads() -> usize {
+    match std::env::var("RT_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+fn global() -> &'static RwLock<Arc<Pool>> {
+    GLOBAL.get_or_init(|| RwLock::new(Arc::new(Pool::new(default_threads()))))
+}
+
+fn current_pool() -> Arc<Pool> {
+    Arc::clone(&global().read().expect("pool lock poisoned"))
+}
+
+/// The configured compute-thread count (workers + the calling thread).
+pub fn threads() -> usize {
+    current_pool().workers + 1
+}
+
+/// Rebuilds the global pool with `n` compute threads (clamped to ≥ 1).
+/// Batches already in flight complete on the old workers; new batches go
+/// to the new pool. Because chunking is size-deterministic, changing the
+/// thread count never changes results — only wall-clock time.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    let mut guard = global().write().expect("pool lock poisoned");
+    if guard.workers + 1 == n {
+        return;
+    }
+    *guard = Arc::new(Pool::new(n));
+}
+
+// ---------------------------------------------------------------------------
+// Core execution primitive
+// ---------------------------------------------------------------------------
+
+/// Executes `task(0..total)` across the pool, blocking until every index
+/// has run. Indices may execute on any thread in any order; callers own
+/// the determinism contract by writing disjoint outputs or folding
+/// returned chunks in order (see the crate docs).
+///
+/// The calling thread always participates, so this cannot deadlock even
+/// when invoked from inside another batch.
+///
+/// # Panics
+///
+/// Re-throws the first panic raised by any task after the whole batch has
+/// completed.
+pub fn run_tasks(total: usize, task: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    observe_tasks(total as u64);
+    let pool = current_pool();
+    if pool.workers == 0 || total == 1 {
+        // Serial path: identical chunk sequence, executed inline.
+        for i in 0..total {
+            task(i);
+        }
+        return;
+    }
+    // Erase the closure lifetime. Safety: `batch.wait()` below does not
+    // return until `done == total`, and no thread dereferences the task
+    // pointer after claiming an out-of-range index, so the reference is
+    // live for every dereference.
+    let erased: TaskPtr = TaskPtr(unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize) + Sync),
+            *const (dyn Fn(usize) + Sync + 'static),
+        >(task as *const (dyn Fn(usize) + Sync))
+    });
+    let batch = Arc::new(Batch::new(erased, total));
+    pool.inject(Arc::clone(&batch));
+    batch.work(false);
+    batch.wait();
+    pool.remove(&batch);
+}
+
+// ---------------------------------------------------------------------------
+// High-level deterministic APIs
+// ---------------------------------------------------------------------------
+
+/// Number of chunks a length-`len` problem splits into at chunk size
+/// `chunk` (a pure function of the two sizes — never of the pool).
+#[inline]
+pub fn chunk_count(len: usize, chunk: usize) -> usize {
+    assert!(chunk > 0, "chunk size must be non-zero");
+    len.div_ceil(chunk)
+}
+
+/// Maps fixed-size chunks of `data` in parallel, returning one result per
+/// chunk **in chunk-index order**. Fold the returned vector serially to
+/// obtain a reduction whose float order is independent of the thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`, and re-throws task panics (see [`run_tasks`]).
+pub fn par_chunks<T, R, F>(data: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let n = chunk_count(data.len(), chunk);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_tasks(n, &|i| {
+        let start = i * chunk;
+        let end = (start + chunk).min(data.len());
+        let r = f(i, &data[start..end]);
+        *slots[i].lock().expect("par_chunks slot poisoned") = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("par_chunks slot poisoned")
+                .expect("every chunk index ran")
+        })
+        .collect()
+}
+
+/// Raw pointer wrapper for handing disjoint sub-slices to tasks.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Returns the wrapped pointer. Going through a method (rather than
+    /// field access) makes closures capture the whole `Sync` wrapper
+    /// instead of the bare `*mut T` under edition-2021 precise capture.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Mutates fixed-size, **disjoint** chunks of `data` in parallel. The
+/// closure receives the chunk index and the mutable chunk; because chunks
+/// never overlap and chunk boundaries depend only on `data.len()` and
+/// `chunk`, results are bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`, and re-throws task panics (see [`run_tasks`]).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let n = chunk_count(len, chunk);
+    let base = SendPtr(data.as_mut_ptr());
+    run_tasks(n, &|i| {
+        let start = i * chunk;
+        let end = (start + chunk).min(len);
+        // Safety: chunk ranges [start, end) are pairwise disjoint and in
+        // bounds, and `data` is mutably borrowed for the whole call.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(i, slice);
+    });
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// # Panics
+///
+/// Re-throws the first panic raised by either closure.
+pub fn par_join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    run_tasks(2, &|i| {
+        if i == 0 {
+            let f = fa.lock().expect("par_join slot").take().expect("ran once");
+            *ra.lock().expect("par_join slot") = Some(f());
+        } else {
+            let f = fb.lock().expect("par_join slot").take().expect("ran once");
+            *rb.lock().expect("par_join slot") = Some(f());
+        }
+    });
+    (
+        ra.into_inner().expect("par_join slot").expect("task 0 ran"),
+        rb.into_inner().expect("par_join slot").expect("task 1 ran"),
+    )
+}
+
+/// A zero-sized, `Copy` handle to the global pool, carried inside
+/// `rt_nn::ExecCtx` so layers receive their parallelism context
+/// explicitly instead of reaching for globals ad hoc.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Handle;
+
+impl Handle {
+    /// See [`threads`].
+    pub fn threads(self) -> usize {
+        threads()
+    }
+
+    /// See [`run_tasks`].
+    pub fn run_tasks(self, total: usize, task: &(dyn Fn(usize) + Sync)) {
+        run_tasks(total, task)
+    }
+
+    /// See [`par_chunks`].
+    pub fn par_chunks<T, R, F>(self, data: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        par_chunks(data, chunk, f)
+    }
+
+    /// See [`par_chunks_mut`].
+    pub fn par_chunks_mut<T, F>(self, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        par_chunks_mut(data, chunk, f)
+    }
+
+    /// See [`par_join`].
+    pub fn par_join<RA, RB, A, B>(self, a: A, b: B) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+    {
+        par_join(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that reconfigure the global pool.
+    fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn serial_and_parallel_chunked_sums_are_bit_identical() {
+        let _g = pool_lock();
+        let data: Vec<f32> = (0..100_003)
+            .map(|i| ((i as f32) * 0.37).sin() * 1e3)
+            .collect();
+        let chunk = 4096;
+        let mut baselines = Vec::new();
+        for &t in &[1usize, 2, 4, 7] {
+            set_threads(t);
+            let partials = par_chunks(&data, chunk, |_, c| c.iter().sum::<f32>());
+            assert_eq!(partials.len(), chunk_count(data.len(), chunk));
+            let total: f32 = partials.iter().fold(0.0, |a, &b| a + b);
+            baselines.push(total.to_bits());
+        }
+        assert!(
+            baselines.windows(2).all(|w| w[0] == w[1]),
+            "chunked sum must be bit-identical across thread counts: {baselines:?}"
+        );
+        set_threads(1);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let _g = pool_lock();
+        set_threads(4);
+        let mut data = vec![0u64; 10_000];
+        par_chunks_mut(&mut data, 17, |i, c| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = (i * 17 + j) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn results_preserve_chunk_order() {
+        let _g = pool_lock();
+        set_threads(4);
+        let data: Vec<usize> = (0..1000).collect();
+        let firsts = par_chunks(&data, 100, |i, c| (i, c[0]));
+        for (i, &(idx, first)) in firsts.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(first, i * 100);
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn par_join_returns_both_results() {
+        let _g = pool_lock();
+        set_threads(2);
+        let (a, b) = par_join(|| 6 * 7, || "done".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "done");
+        set_threads(1);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_after_batch_completes() {
+        let _g = pool_lock();
+        set_threads(4);
+        let ran = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(16, &|i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str>");
+        assert_eq!(msg, "task 3 exploded");
+        // The rest of the batch still ran (no cancellation).
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+        set_threads(1);
+    }
+
+    #[test]
+    fn nested_run_tasks_completes() {
+        let _g = pool_lock();
+        set_threads(2);
+        let total = AtomicU64::new(0);
+        run_tasks(4, &|_| {
+            // Nested batch from inside a batch: the inner caller helps
+            // itself, so this must not deadlock even on a busy pool.
+            run_tasks(8, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 32);
+        set_threads(1);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op_and_one_task_runs_inline() {
+        let _g = pool_lock();
+        set_threads(4);
+        run_tasks(0, &|_| panic!("must not run"));
+        let caller = std::thread::current().id();
+        run_tasks(1, &|_| {
+            assert_eq!(std::thread::current().id(), caller, "single task inlines");
+        });
+        set_threads(1);
+    }
+
+    #[test]
+    fn set_threads_clamps_and_reports() {
+        let _g = pool_lock();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(1);
+        assert_eq!(threads(), 1);
+    }
+
+    #[test]
+    fn observer_counts_tasks() {
+        let _g = pool_lock();
+        static TASKS: AtomicU64 = AtomicU64::new(0);
+        // First installation wins; in case another test got here first we
+        // still exercise the counting path through the same static.
+        let _ = set_observer(ParObserver {
+            on_tasks: |n| {
+                TASKS.fetch_add(n, Ordering::SeqCst);
+            },
+            on_queue_ms: |_| {},
+            on_pool_threads: |_| {},
+        });
+        set_threads(2);
+        let before = TASKS.load(Ordering::SeqCst);
+        run_tasks(5, &|_| {});
+        assert_eq!(TASKS.load(Ordering::SeqCst), before + 5);
+        set_threads(1);
+    }
+
+    #[test]
+    fn chunk_count_is_a_pure_size_function() {
+        assert_eq!(chunk_count(0, 8), 0);
+        assert_eq!(chunk_count(8, 8), 1);
+        assert_eq!(chunk_count(9, 8), 2);
+        assert_eq!(chunk_count(1000, 1), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be non-zero")]
+    fn zero_chunk_size_panics() {
+        let _ = chunk_count(10, 0);
+    }
+
+    #[test]
+    fn handle_is_copy_and_delegates() {
+        let _g = pool_lock();
+        set_threads(2);
+        let h = Handle;
+        let h2 = h; // Copy
+        assert_eq!(h.threads(), 2);
+        let mut out = vec![0.0f32; 64];
+        h2.par_chunks_mut(&mut out, 16, |i, c| c.fill(i as f32));
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[63], 3.0);
+        set_threads(1);
+    }
+}

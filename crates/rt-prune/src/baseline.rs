@@ -11,7 +11,7 @@ use crate::mask::{PruneScope, TicketMask};
 use crate::Result;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rt_nn::{Layer, NnError};
+use rt_nn::{ExecCtx, Layer, NnError};
 use rt_tensor::Tensor;
 
 /// Draws a *random* ticket at the given sparsity: every prunable weight is
@@ -131,7 +131,7 @@ mod tests {
     use super::*;
     use rt_models::{MicroResNet, ResNetConfig};
     use rt_nn::loss::CrossEntropyLoss;
-    use rt_nn::Mode;
+    use rt_nn::ExecCtx;
     use rt_tensor::init;
     use rt_tensor::rng::rng_from_seed;
 
@@ -172,11 +172,11 @@ mod tests {
         let mut m = model();
         // One backward pass to populate gradients.
         let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(3));
-        let logits = m.forward(&x, Mode::Train).unwrap();
+        let logits = m.forward(&x, ExecCtx::train()).unwrap();
         let out = CrossEntropyLoss::new()
             .forward(&logits, &[0, 1, 2, 0])
             .unwrap();
-        m.backward(&out.grad).unwrap();
+        m.backward(&out.grad, ExecCtx::default()).unwrap();
 
         let ticket = saliency_ticket(&m, 0.6, &PruneScope::backbone()).unwrap();
         assert!((ticket.sparsity() - 0.6).abs() < 0.02);
@@ -202,11 +202,11 @@ mod tests {
         use crate::omp::{omp, OmpConfig};
         let mut m = model();
         let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(4));
-        let logits = m.forward(&x, Mode::Train).unwrap();
+        let logits = m.forward(&x, ExecCtx::train()).unwrap();
         let out = CrossEntropyLoss::new()
             .forward(&logits, &[0, 1, 2, 0])
             .unwrap();
-        m.backward(&out.grad).unwrap();
+        m.backward(&out.grad, ExecCtx::default()).unwrap();
         let saliency = saliency_ticket(&m, 0.5, &PruneScope::backbone()).unwrap();
         let magnitude = omp(&m, &OmpConfig::unstructured(0.5)).unwrap();
         assert_ne!(saliency, magnitude, "criteria should disagree somewhere");

@@ -11,7 +11,7 @@ use crate::mask::{PruneScope, TicketMask};
 use crate::omp::{omp, OmpConfig};
 use crate::{Granularity, Result};
 use rt_nn::checkpoint::StateDict;
-use rt_nn::{Layer, NnError};
+use rt_nn::{ExecCtx, Layer, NnError};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an IMP run.
@@ -182,7 +182,7 @@ mod tests {
     use rt_models::{MicroResNet, ResNetConfig};
     use rt_nn::loss::CrossEntropyLoss;
     use rt_nn::optim::Sgd;
-    use rt_nn::Mode;
+    use rt_nn::ExecCtx;
     use rt_tensor::rng::rng_from_seed;
     use rt_tensor::{init, Tensor};
 
@@ -316,9 +316,10 @@ mod tests {
             let loss_fn = CrossEntropyLoss::new();
             let opt = Sgd::new(0.05).with_momentum(0.9);
             for _ in 0..3 {
-                let logits = net.forward(&x, Mode::Train)?;
+                let ctx = ExecCtx::train();
+                let logits = net.forward(&x, ctx)?;
                 let out = loss_fn.forward(&logits, &labels)?;
-                net.backward(&out.grad)?;
+                net.backward(&out.grad, ctx)?;
                 opt.step(net)?;
             }
             Ok(())
@@ -326,7 +327,7 @@ mod tests {
         .unwrap();
         assert!((ticket.sparsity() - 0.7).abs() < 0.03);
         // The pruned, rewound model still runs.
-        let y = m.forward(&x, Mode::Eval).unwrap();
+        let y = m.forward(&x, ExecCtx::eval()).unwrap();
         assert!(y.all_finite());
     }
 

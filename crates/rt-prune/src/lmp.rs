@@ -18,7 +18,7 @@
 use crate::mask::{PruneScope, TicketMask};
 use crate::Result;
 use rand::Rng;
-use rt_nn::{Layer, NnError};
+use rt_nn::{ExecCtx, Layer, NnError};
 use rt_tensor::{init, Tensor};
 
 /// How LMP scores are initialized.
@@ -151,7 +151,7 @@ mod tests {
     use rt_models::{MicroResNet, ResNetConfig};
     use rt_nn::loss::CrossEntropyLoss;
     use rt_nn::optim::Sgd;
-    use rt_nn::Mode;
+    use rt_nn::ExecCtx;
     use rt_tensor::rng::rng_from_seed;
 
     fn model() -> MicroResNet {
@@ -228,9 +228,9 @@ mod tests {
         // One training step.
         let x = Tensor::from_fn(&[4, 3, 8, 8], |i| ((i % 5) as f32 - 2.0) * 0.3);
         let labels = [0usize, 1, 0, 1];
-        let logits = m.forward(&x, Mode::Train).unwrap();
+        let logits = m.forward(&x, ExecCtx::train()).unwrap();
         let out = CrossEntropyLoss::new().forward(&logits, &labels).unwrap();
-        m.backward(&out.grad).unwrap();
+        m.backward(&out.grad, ExecCtx::default()).unwrap();
         lmp_update_scores(&mut m, 0.5).unwrap();
         let after: Vec<Tensor> = m.params().iter().filter_map(|p| p.scores.clone()).collect();
         let moved = before
@@ -285,9 +285,9 @@ mod tests {
         let mut last = 0.0;
         for _ in 0..15 {
             lmp_apply_masks(&mut m, 0.4).unwrap();
-            let logits = m.forward(&x, Mode::Train).unwrap();
+            let logits = m.forward(&x, ExecCtx::train()).unwrap();
             let out = loss_fn.forward(&logits, &labels).unwrap();
-            m.backward(&out.grad).unwrap();
+            m.backward(&out.grad, ExecCtx::default()).unwrap();
             lmp_update_scores(&mut m, 0.1).unwrap();
             head_opt.step(&mut m).unwrap();
             first.get_or_insert(out.loss);

@@ -3,7 +3,7 @@
 use crate::granularity::{group_scores, Granularity};
 use crate::mask::{PruneScope, TicketMask};
 use crate::Result;
-use rt_nn::{Layer, NnError};
+use rt_nn::{ExecCtx, Layer, NnError};
 use rt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -171,7 +171,7 @@ fn mask_from_pruned_groups(
 mod tests {
     use super::*;
     use rt_models::{MicroResNet, ResNetConfig};
-    use rt_nn::{Mode, Param};
+    use rt_nn::{ExecCtx, Param};
     use rt_tensor::rng::rng_from_seed;
     use rt_tensor::Tensor;
 
@@ -296,7 +296,7 @@ mod tests {
         let mut m = model();
         let ticket = omp(&m, &OmpConfig::unstructured(0.8)).unwrap();
         ticket.apply(&mut m).unwrap();
-        let y = m.forward(&Tensor::ones(&[1, 3, 8, 8]), Mode::Eval).unwrap();
+        let y = m.forward(&Tensor::ones(&[1, 3, 8, 8]), ExecCtx::eval()).unwrap();
         assert!(y.all_finite());
         // Weights at pruned positions are exactly zero.
         let p0 = &m.params()[0];

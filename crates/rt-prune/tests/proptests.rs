@@ -95,12 +95,12 @@ proptest! {
     /// The pruned model's forward pass stays finite at any sparsity.
     #[test]
     fn pruned_forward_is_finite(sparsity in 0.0f64..0.99, seed in 0u64..10) {
-        use rt_nn::Mode;
+        use rt_nn::ExecCtx;
         use rt_tensor::Tensor;
         let mut m = model(seed);
         let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
         ticket.apply(&mut m).expect("apply");
-        let y = m.forward(&Tensor::ones(&[2, 3, 8, 8]), Mode::Eval).expect("forward");
+        let y = m.forward(&Tensor::ones(&[2, 3, 8, 8]), ExecCtx::eval()).expect("forward");
         prop_assert!(y.all_finite());
     }
 }

@@ -3,12 +3,20 @@
 //!
 //! Convolution is computed per-sample: lowering one sample's `[C, H, W]`
 //! activation to a `[C·k·k, H_out·W_out]` patch matrix lets the convolution
-//! forward pass become a single [`crate::linalg::matmul`] with the `[O, C·k·k]`
+//! forward pass become a single [`crate::linalg::gemm`] with the `[O, C·k·k]`
 //! weight matrix, whose output is already in `[O, H_out, W_out]` layout.
 //! The backward pass reuses the same lowering: `col2im` scatters patch-space
 //! gradients back into image space.
+//!
+//! The batched entry points [`conv2d_forward`] / [`conv2d_backward`] fan the
+//! per-sample lowering out over the [`rt_par`] pool. Samples are independent
+//! (each owns a disjoint slice of the output/gradient buffers) and weight
+//! gradients are folded in sample order after the parallel region, so every
+//! thread count produces bit-identical results to the serial loop.
 
+use crate::linalg::{self, Gemm};
 use crate::{Result, Tensor, TensorError};
+use std::sync::Mutex;
 
 /// Geometry of a 2-D convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,16 +43,24 @@ impl ConvGeometry {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidGeometry`] if the kernel (after padding)
-    /// does not fit in the input or the stride is zero.
+    /// Returns [`TensorError::InvalidGeometry`] with a distinct detail for
+    /// each failure mode: a zero stride, a zero kernel, or a kernel that
+    /// (after padding) does not fit in the input. The three are reported
+    /// separately so a mis-built geometry names its actual problem instead
+    /// of blaming the kernel fit for everything.
     pub fn out_dim(&self, size: usize) -> Result<usize> {
         if self.stride == 0 {
             return Err(TensorError::InvalidGeometry {
                 detail: "stride must be non-zero".to_string(),
             });
         }
+        if self.kernel == 0 {
+            return Err(TensorError::InvalidGeometry {
+                detail: "kernel must be non-zero".to_string(),
+            });
+        }
         let padded = size + 2 * self.padding;
-        if self.kernel == 0 || self.kernel > padded {
+        if self.kernel > padded {
             return Err(TensorError::InvalidGeometry {
                 detail: format!(
                     "kernel {} does not fit input {} with padding {}",
@@ -173,6 +189,176 @@ pub fn col2im_single(
         }
     }
     Ok(())
+}
+
+/// Batched convolution forward: `out[s] = W × im2col(x[s]) (+ bias)` for
+/// every sample `s`, fanned out over the [`rt_par`] pool.
+///
+/// `input` is `[N, C, H, W]`, `w_mat` the `[O, C·k·k]` weight matrix, and
+/// `bias` (optional) a length-`O` slice added per output channel. Returns
+/// `[N, O, H_out, W_out]`. Each sample owns a disjoint output slice, so the
+/// result is bit-identical to the serial per-sample loop for every thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] /
+/// [`TensorError::LengthMismatch`] for inconsistent operands and
+/// [`TensorError::InvalidGeometry`] if the window does not fit. All
+/// validation happens before the parallel region.
+pub fn conv2d_forward(
+    input: &Tensor,
+    w_mat: &Tensor,
+    bias: Option<&[f32]>,
+    geo: ConvGeometry,
+) -> Result<Tensor> {
+    let [n, c, h, w] = check_nchw(input, "conv2d_forward")?;
+    let h_out = geo.out_dim(h)?;
+    let w_out = geo.out_dim(w)?;
+    let k = geo.kernel;
+    if w_mat.ndim() != 2 || w_mat.shape()[1] != c * k * k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: w_mat.shape().to_vec(),
+            rhs: vec![w_mat.shape().first().copied().unwrap_or(0), c * k * k],
+            op: "conv2d_forward",
+        });
+    }
+    let o = w_mat.shape()[0];
+    if let Some(b) = bias {
+        if b.len() != o {
+            return Err(TensorError::LengthMismatch {
+                shape: vec![o],
+                expected: o,
+                actual: b.len(),
+            });
+        }
+    }
+    let chw = c * h * w;
+    let out_plane = h_out * w_out;
+    let mut out = Tensor::zeros(&[n, o, h_out, w_out]);
+    if out.len() == 0 {
+        return Ok(out);
+    }
+    let in_data = input.data();
+    // Shapes are fully validated above, so the per-sample kernels cannot
+    // fail; a panic here would indicate a bug and propagates via rt-par.
+    rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
+        let sample = &in_data[s * chw..(s + 1) * chw];
+        let cols = im2col_single(sample, c, h, w, geo).expect("pre-validated im2col");
+        let mut out_mat = Tensor::zeros(&[o, out_plane]);
+        linalg::gemm(w_mat, &cols, Gemm::new(), &mut out_mat).expect("pre-validated gemm");
+        dst.copy_from_slice(out_mat.data());
+        if let Some(b) = bias {
+            for (ch, &bv) in b.iter().enumerate() {
+                for v in &mut dst[ch * out_plane..(ch + 1) * out_plane] {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Batched convolution backward, fanned out over the [`rt_par`] pool.
+///
+/// Given the cached forward `input` (`[N, C, H, W]`), upstream gradient
+/// `grad_output` (`[N, O, H_out, W_out]`) and the `[O, C·k·k]` weight
+/// matrix, returns `(grad_input, grad_w_mat, grad_bias)` where `grad_input`
+/// matches the input shape, `grad_w_mat` is `[O, C·k·k]`, and `grad_bias`
+/// (present when `want_bias`) holds per-channel gradient sums.
+///
+/// Samples run in parallel — each writes a disjoint `grad_input` slice and
+/// produces private weight/bias partials, which are then folded **in sample
+/// order** after the parallel region. That ordered fold reproduces the
+/// serial accumulation loop bit-for-bit at every thread count.
+///
+/// # Errors
+///
+/// Shape/geometry validation errors as for [`conv2d_forward`]; all
+/// validation happens before the parallel region.
+pub fn conv2d_backward(
+    input: &Tensor,
+    grad_output: &Tensor,
+    w_mat: &Tensor,
+    geo: ConvGeometry,
+    want_bias: bool,
+) -> Result<(Tensor, Tensor, Option<Vec<f32>>)> {
+    let [n, c, h, w] = check_nchw(input, "conv2d_backward")?;
+    let h_out = geo.out_dim(h)?;
+    let w_out = geo.out_dim(w)?;
+    let k = geo.kernel;
+    if w_mat.ndim() != 2 || w_mat.shape()[1] != c * k * k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: w_mat.shape().to_vec(),
+            rhs: vec![w_mat.shape().first().copied().unwrap_or(0), c * k * k],
+            op: "conv2d_backward",
+        });
+    }
+    let o = w_mat.shape()[0];
+    if grad_output.shape() != [n, o, h_out, w_out] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.shape().to_vec(),
+            rhs: vec![n, o, h_out, w_out],
+            op: "conv2d_backward",
+        });
+    }
+    let chw = c * h * w;
+    let out_plane = h_out * w_out;
+    let mut grad_input = Tensor::zeros(input.shape());
+    let mut grad_w_mat = Tensor::zeros(&[o, c * k * k]);
+    let mut grad_bias = want_bias.then(|| vec![0.0f32; o]);
+    if n == 0 || chw == 0 {
+        return Ok((grad_input, grad_w_mat, grad_bias));
+    }
+    let in_data = input.data();
+    let go_data = grad_output.data();
+    // Per-sample weight/bias partials, folded in sample order below.
+    let partials: Vec<Mutex<Option<(Tensor, Vec<f32>)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
+        let sample = &in_data[s * chw..(s + 1) * chw];
+        let cols = im2col_single(sample, c, h, w, geo).expect("pre-validated im2col");
+        let go_mat = Tensor::from_vec(
+            vec![o, out_plane],
+            go_data[s * o * out_plane..(s + 1) * o * out_plane].to_vec(),
+        )
+        .expect("pre-validated grad slice");
+        // dW_s = dY × colsᵀ (private partial, folded later).
+        let mut gw = Tensor::zeros(&[o, c * k * k]);
+        linalg::gemm(&go_mat, &cols, Gemm::new().trans_b(), &mut gw).expect("pre-validated gemm");
+        // dcols = Wᵀ × dY, scattered back to image space.
+        let mut gcols = Tensor::zeros(&[c * k * k, out_plane]);
+        linalg::gemm(w_mat, &go_mat, Gemm::new().trans_a(), &mut gcols)
+            .expect("pre-validated gemm");
+        col2im_single(&gcols, c, h, w, geo, gi_sample).expect("pre-validated col2im");
+        let gb = if want_bias {
+            (0..o)
+                .map(|ch| {
+                    go_mat.data()[ch * out_plane..(ch + 1) * out_plane]
+                        .iter()
+                        .sum::<f32>()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        *partials[s].lock().expect("conv partial slot") = Some((gw, gb));
+    });
+    // Ordered fold: accumulate per-sample partials exactly as the serial
+    // loop did (sample 0 first), preserving float-op order bit-for-bit.
+    for slot in partials {
+        let (gw, gb) = slot
+            .into_inner()
+            .expect("conv partial slot")
+            .expect("every sample ran");
+        grad_w_mat.add_assign(&gw)?;
+        if let Some(acc) = &mut grad_bias {
+            for (dst, src) in acc.iter_mut().zip(gb) {
+                *dst += src;
+            }
+        }
+    }
+    Ok((grad_input, grad_w_mat, grad_bias))
 }
 
 /// Output of [`max_pool2d`]: the pooled tensor plus the flat argmax index of
@@ -397,6 +583,38 @@ mod tests {
         assert!(ConvGeometry::new(3, 0, 0).out_dim(8).is_err());
     }
 
+    fn geometry_detail(geo: ConvGeometry, size: usize) -> String {
+        match geo.out_dim(size).unwrap_err() {
+            TensorError::InvalidGeometry { detail } => detail,
+            other => panic!("expected InvalidGeometry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_dim_blames_zero_stride_not_kernel_fit() {
+        // stride == 0 with a kernel that also would not fit: the stride is
+        // the first and only reported problem.
+        let detail = geometry_detail(ConvGeometry::new(9, 0, 0), 3);
+        assert!(detail.contains("stride"), "got: {detail}");
+        assert!(!detail.contains("does not fit"), "got: {detail}");
+    }
+
+    #[test]
+    fn out_dim_blames_zero_kernel_separately() {
+        let detail = geometry_detail(ConvGeometry::new(0, 1, 0), 3);
+        assert!(detail.contains("kernel must be non-zero"), "got: {detail}");
+        assert!(!detail.contains("does not fit"), "got: {detail}");
+    }
+
+    #[test]
+    fn out_dim_reports_kernel_fit_with_sizes() {
+        let detail = geometry_detail(ConvGeometry::new(5, 1, 0), 3);
+        assert!(
+            detail.contains("kernel 5 does not fit input 3 with padding 0"),
+            "got: {detail}"
+        );
+    }
+
     #[test]
     fn im2col_identity_kernel() {
         // 1x1 kernel, stride 1, no padding: im2col is the identity layout.
@@ -441,6 +659,104 @@ mod tests {
         let mut back = vec![0.0f32; 9];
         col2im_single(&cols, 1, 3, 3, geo, &mut back).unwrap();
         assert_eq!(back, vec![4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
+    }
+
+    /// Serial reference implementation of [`conv2d_forward`] — the exact
+    /// per-sample loop the batched entry point replaced.
+    fn conv2d_forward_serial(
+        input: &Tensor,
+        w_mat: &Tensor,
+        bias: Option<&[f32]>,
+        geo: ConvGeometry,
+    ) -> Tensor {
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (h_out, w_out) = (geo.out_dim(h).unwrap(), geo.out_dim(w).unwrap());
+        let o = w_mat.shape()[0];
+        let (chw, out_plane) = (c * h * w, h_out * w_out);
+        let mut out = Tensor::zeros(&[n, o, h_out, w_out]);
+        for s in 0..n {
+            let sample = &input.data()[s * chw..(s + 1) * chw];
+            let cols = im2col_single(sample, c, h, w, geo).unwrap();
+            let mut out_mat = Tensor::zeros(&[o, out_plane]);
+            linalg::gemm(w_mat, &cols, Gemm::new(), &mut out_mat).unwrap();
+            let dst = &mut out.data_mut()[s * o * out_plane..(s + 1) * o * out_plane];
+            dst.copy_from_slice(out_mat.data());
+            if let Some(b) = bias {
+                for (ch, &bv) in b.iter().enumerate() {
+                    for v in &mut dst[ch * out_plane..(ch + 1) * out_plane] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batched_forward_matches_serial_reference() {
+        let input = Tensor::from_fn(&[3, 2, 5, 5], |i| ((i * 37) % 19) as f32 / 4.0 - 2.0);
+        let w_mat = Tensor::from_fn(&[4, 2 * 3 * 3], |i| ((i * 13) % 11) as f32 / 5.0 - 1.0);
+        let geo = ConvGeometry::new(3, 1, 1);
+        let bias = [0.25f32, -1.0, 0.5, 2.0];
+        let got = conv2d_forward(&input, &w_mat, Some(&bias), geo).unwrap();
+        let expect = conv2d_forward_serial(&input, &w_mat, Some(&bias), geo);
+        assert_eq!(got, expect);
+        // And without bias.
+        let got2 = conv2d_forward(&input, &w_mat, None, geo).unwrap();
+        let expect2 = conv2d_forward_serial(&input, &w_mat, None, geo);
+        assert_eq!(got2, expect2);
+    }
+
+    #[test]
+    fn batched_backward_is_adjoint_to_forward() {
+        // <conv(x), gy> == <x, conv_backward_input(gy)> for bias-free conv —
+        // the forward/backward pair are adjoint linear maps in x.
+        let input = Tensor::from_fn(&[2, 2, 4, 4], |i| ((i * 7) % 13) as f32 / 3.0 - 2.0);
+        let w_mat = Tensor::from_fn(&[3, 2 * 3 * 3], |i| ((i * 5) % 9) as f32 / 4.0 - 1.0);
+        let geo = ConvGeometry::new(3, 1, 1);
+        let y = conv2d_forward(&input, &w_mat, None, geo).unwrap();
+        let gy = Tensor::from_fn(y.shape(), |i| ((i * 11) % 7) as f32 - 3.0);
+        let (gx, gw, gb) = conv2d_backward(&input, &gy, &w_mat, geo, false).unwrap();
+        assert!(gb.is_none());
+        assert_eq!(gw.shape(), &[3, 2 * 3 * 3]);
+        let lhs: f32 = y.data().iter().zip(gy.data()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = input.data().iter().zip(gx.data()).map(|(&a, &b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn batched_backward_bias_sums_grad_planes() {
+        let input = Tensor::ones(&[2, 1, 3, 3]);
+        let w_mat = Tensor::ones(&[2, 9]);
+        let geo = ConvGeometry::new(3, 1, 1);
+        let gy = Tensor::ones(&[2, 2, 3, 3]);
+        let (_, _, gb) = conv2d_backward(&input, &gy, &w_mat, geo, true).unwrap();
+        // Each channel's bias grad is the sum of its gradient planes over
+        // all samples: 2 samples × 9 ones.
+        assert_eq!(gb.unwrap(), vec![18.0, 18.0]);
+    }
+
+    #[test]
+    fn batched_conv_validates_shapes_before_running() {
+        let input = Tensor::zeros(&[1, 2, 4, 4]);
+        let geo = ConvGeometry::new(3, 1, 1);
+        // Wrong weight columns.
+        let bad_w = Tensor::zeros(&[3, 7]);
+        assert!(conv2d_forward(&input, &bad_w, None, geo).is_err());
+        // Wrong bias length.
+        let w_mat = Tensor::zeros(&[3, 18]);
+        assert!(conv2d_forward(&input, &w_mat, Some(&[0.0; 2]), geo).is_err());
+        // Wrong grad_output shape.
+        let bad_gy = Tensor::zeros(&[1, 3, 2, 2]);
+        assert!(conv2d_backward(&input, &bad_gy, &w_mat, geo, false).is_err());
     }
 
     #[test]

@@ -1,12 +1,24 @@
 //! Matrix multiplication and transpose kernels.
 //!
 //! The convolution lowering in [`crate::conv`] and every linear layer in the
-//! workspace funnel through [`matmul`] / [`matmul_acc`], so these are the
-//! hottest loops in the reproduction. The implementation is a straightforward
-//! ikj-ordered triple loop, which keeps the inner loop contiguous in both the
-//! right operand and the output — the best memory pattern achievable for
-//! row-major buffers without blocking, and within ~2× of a tuned micro-kernel
-//! at the matrix sizes this workspace uses (≤ a few hundred per side).
+//! workspace funnel through the unified [`gemm`] entry point, so this is the
+//! hottest loop in the reproduction. All four operand layouts (`A×B`,
+//! `Aᵀ×B`, `A×Bᵀ`, `Aᵀ×Bᵀ`) and the accumulate-vs-overwrite choice are
+//! expressed by one [`Gemm`] descriptor, which means parallel row tiling
+//! lives in exactly one kernel instead of four near-duplicates.
+//!
+//! Each layout keeps the memory pattern that is best for row-major buffers:
+//! ikj-ordered with a zero-skip on `A` for the plain and accumulating
+//! variants (sparse weights after pruning make that branch pay), p-outer for
+//! `Aᵀ×B`, and a dot-product inner loop for `A×Bᵀ`.
+//!
+//! # Determinism
+//!
+//! [`gemm`] fans output-row tiles out over the [`rt_par`] pool. Tile
+//! boundaries are a pure function of the problem shape (never the thread
+//! count), every tile owns a disjoint row range of `C`, and within a tile
+//! the float-operation order is exactly the serial kernel's — so results are
+//! bit-identical for every `RT_THREADS` setting, including 1.
 
 use crate::{Result, Tensor, TensorError};
 
@@ -21,75 +33,229 @@ fn as_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.shape()[0], t.shape()[1]))
 }
 
-/// Computes `C = A × B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
+/// Operand layout + accumulation descriptor for [`gemm`].
+///
+/// The default is the plain overwrite product `C = A × B`. Builder-style
+/// toggles select transposed reads (without materializing the transpose)
+/// and `+=` accumulation into the output:
+///
+/// ```rust
+/// use rt_tensor::linalg::Gemm;
+///
+/// let cfg = Gemm::new().trans_b().acc(); // C += A × Bᵀ
+/// assert!(cfg.trans_b && cfg.acc && !cfg.trans_a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gemm {
+    /// Read `A` transposed: its stored shape is `[k, m]`.
+    pub trans_a: bool,
+    /// Read `B` transposed: its stored shape is `[n, k]`.
+    pub trans_b: bool,
+    /// Accumulate (`C += …`) instead of overwriting (`C = …`).
+    pub acc: bool,
+}
+
+impl Gemm {
+    /// Plain `C = A × B`.
+    pub fn new() -> Self {
+        Gemm::default()
+    }
+
+    /// Returns a copy that reads `A` transposed.
+    pub fn trans_a(mut self) -> Self {
+        self.trans_a = true;
+        self
+    }
+
+    /// Returns a copy that reads `B` transposed.
+    pub fn trans_b(mut self) -> Self {
+        self.trans_b = true;
+        self
+    }
+
+    /// Returns a copy that accumulates into the output.
+    pub fn acc(mut self) -> Self {
+        self.acc = true;
+        self
+    }
+}
+
+/// Target number of inner-loop multiply-adds per parallel task. Tile sizes
+/// derive from this and the problem shape only, keeping chunk boundaries
+/// independent of the thread count (the determinism contract of [`rt_par`]).
+const GEMM_GRAIN: usize = 1 << 15;
+
+/// Rows of `C` per parallel tile — a pure function of the problem shape.
+fn row_tile(m: usize, k: usize, n: usize) -> usize {
+    let per_row = k.saturating_mul(n).max(1);
+    (GEMM_GRAIN / per_row).clamp(1, m.max(1))
+}
+
+/// General matrix multiply: `C (+)= op(A) × op(B)` where `op` optionally
+/// transposes each operand (reading in place — no transpose is
+/// materialized) and [`Gemm::acc`] selects `+=` over `=`.
+///
+/// Effective dimensions are `op(A): [m, k]`, `op(B): [k, n]`,
+/// `out: [m, n]`. Output-row tiles run on the global [`rt_par`] pool;
+/// results are bit-identical for every thread count (see module docs).
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
-/// [`TensorError::MatmulDim`] when the inner dimensions disagree.
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs,
+/// [`TensorError::MatmulDim`] when the effective inner dimensions disagree
+/// (reported post-transpose), and [`TensorError::ShapeMismatch`] if `out`
+/// is not `[m, n]`.
 ///
 /// # Example
 ///
 /// ```rust
-/// use rt_tensor::{linalg, Tensor};
+/// use rt_tensor::{linalg, linalg::Gemm, Tensor};
 ///
 /// # fn main() -> Result<(), rt_tensor::TensorError> {
 /// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
 /// let identity = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0])?;
-/// assert_eq!(linalg::matmul(&a, &identity)?, a);
+/// let mut out = Tensor::zeros(&[2, 2]);
+/// linalg::gemm(&a, &identity, Gemm::new(), &mut out)?;
+/// assert_eq!(out, a);
 /// # Ok(())
 /// # }
 /// ```
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, _) = as_matrix(a, "matmul")?;
-    let (_, n) = as_matrix(b, "matmul")?;
-    let mut out = Tensor::zeros(&[m, n]);
-    matmul_acc(a, b, &mut out)?;
-    Ok(out)
-}
-
-/// Accumulating matrix multiply: `C += A × B`.
-///
-/// Lets callers reuse an output buffer across minibatch loops (gradient
-/// accumulation does this).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`], plus [`TensorError::ShapeMismatch`] if `c`
-/// is not `[m, n]`.
-pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<()> {
-    let (m, k) = as_matrix(a, "matmul")?;
-    let (k2, n) = as_matrix(b, "matmul")?;
+pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
+    let (ar, ac) = as_matrix(a, "gemm")?;
+    let (br, bc) = as_matrix(b, "gemm")?;
+    let (m, k) = if cfg.trans_a { (ac, ar) } else { (ar, ac) };
+    let (k2, n) = if cfg.trans_b { (bc, br) } else { (br, bc) };
     if k != k2 {
         return Err(TensorError::MatmulDim {
             lhs: [m, k],
             rhs: [k2, n],
         });
     }
-    if c.shape() != [m, n] {
+    if out.shape() != [m, n] {
         return Err(TensorError::ShapeMismatch {
-            lhs: c.shape().to_vec(),
+            lhs: out.shape().to_vec(),
             rhs: vec![m, n],
-            op: "matmul_acc",
+            op: "gemm",
         });
     }
     let av = a.data();
     let bv = b.data();
-    let cv = c.data_mut();
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        let c_row = &mut cv[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue; // sparse weights after pruning make this branch pay
+    // The ikj and p-outer kernels are accumulate-based; overwrite mode is
+    // "zero, then accumulate", exactly as the historical entry points that
+    // allocated `Tensor::zeros` did. The dot-product kernels assign/add per
+    // element instead (zero-fill + add would flip the sign of -0.0 results).
+    if !cfg.acc && !cfg.trans_b {
+        out.data_mut().fill(0.0);
+    }
+    let tile = row_tile(m, k, n);
+    let acc = cfg.acc;
+    match (cfg.trans_a, cfg.trans_b) {
+        // C (+)= A × B — ikj order, zero-skip on A. Output rows are
+        // independent; a tile replays the serial float order for its rows.
+        (false, false) => rt_par::par_chunks_mut(out.data_mut(), tile * n, |t, out_tile| {
+            let row0 = t * tile;
+            for (r, c_row) in out_tile.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                let a_row = &av[i * k..(i + 1) * k];
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue; // sparse weights after pruning make this pay
+                    }
+                    let b_row = &bv[p * n..(p + 1) * n];
+                    for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                        *c_el += a_ip * b_el;
+                    }
+                }
             }
-            let b_row = &bv[p * n..(p + 1) * n];
-            for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
-                *c_el += a_ip * b_el;
+        }),
+        // C (+)= Aᵀ × B — p-outer for contiguity, restricted to the tile's
+        // rows. For each element the accumulation order over p is still
+        // 0..k, so floats match the serial kernel bit-for-bit.
+        (true, false) => rt_par::par_chunks_mut(out.data_mut(), tile * n, |t, out_tile| {
+            let row0 = t * tile;
+            let rows = out_tile.len() / n;
+            for p in 0..k {
+                let a_row = &av[p * m..(p + 1) * m];
+                let b_row = &bv[p * n..(p + 1) * n];
+                for r in 0..rows {
+                    let a_pi = a_row[row0 + r];
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut out_tile[r * n..(r + 1) * n];
+                    for (o_el, &b_el) in o_row.iter_mut().zip(b_row) {
+                        *o_el += a_pi * b_el;
+                    }
+                }
             }
-        }
+        }),
+        // C (+)= A × Bᵀ — independent dot products per element.
+        (false, true) => rt_par::par_chunks_mut(out.data_mut(), tile * n, |t, out_tile| {
+            let row0 = t * tile;
+            for (r, o_row) in out_tile.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                let a_row = &av[i * k..(i + 1) * k];
+                for (j, o_el) in o_row.iter_mut().enumerate() {
+                    let b_row = &bv[j * k..(j + 1) * k];
+                    let mut sum = 0.0;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        sum += x * y;
+                    }
+                    if acc {
+                        *o_el += sum;
+                    } else {
+                        *o_el = sum;
+                    }
+                }
+            }
+        }),
+        // C (+)= Aᵀ × Bᵀ — strided dot products; no historical serial
+        // kernel existed for this layout, so any fixed order is canonical.
+        (true, true) => rt_par::par_chunks_mut(out.data_mut(), tile * n, |t, out_tile| {
+            let row0 = t * tile;
+            for (r, o_row) in out_tile.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                for (j, o_el) in o_row.iter_mut().enumerate() {
+                    let mut sum = 0.0;
+                    for p in 0..k {
+                        sum += av[p * m + i] * bv[j * k + p];
+                    }
+                    if acc {
+                        *o_el += sum;
+                    } else {
+                        *o_el = sum;
+                    }
+                }
+            }
+        }),
     }
     Ok(())
+}
+
+/// Computes `C = A × B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::MatmulDim`] when the inner dimensions disagree.
+#[deprecated(since = "0.1.0", note = "use `gemm(a, b, Gemm::new(), &mut out)`")]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, _) = as_matrix(a, "matmul")?;
+    let (_, n) = as_matrix(b, "matmul")?;
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm(a, b, Gemm::new(), &mut out)?;
+    Ok(out)
+}
+
+/// Accumulating matrix multiply: `C += A × B`.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`], plus [`TensorError::ShapeMismatch`] if `c`
+/// is not `[m, n]`.
+#[deprecated(since = "0.1.0", note = "use `gemm(a, b, Gemm::new().acc(), c)`")]
+pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<()> {
+    gemm(a, b, Gemm::new().acc(), c)
 }
 
 /// Computes `C = Aᵀ × B` without materializing the transpose.
@@ -98,33 +264,15 @@ pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<()> {
 ///
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDim`] as for
 /// [`matmul`] (with `A`'s dimensions read post-transpose).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `gemm(a, b, Gemm::new().trans_a(), &mut out)`"
+)]
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (k, m) = as_matrix(a, "matmul_at_b")?;
-    let (k2, n) = as_matrix(b, "matmul_at_b")?;
-    if k != k2 {
-        return Err(TensorError::MatmulDim {
-            lhs: [m, k],
-            rhs: [k2, n],
-        });
-    }
+    let (_, m) = as_matrix(a, "matmul_at_b")?;
+    let (_, n) = as_matrix(b, "matmul_at_b")?;
     let mut out = Tensor::zeros(&[m, n]);
-    let av = a.data();
-    let bv = b.data();
-    let ov = out.data_mut();
-    // out[i, j] = sum_p a[p, i] * b[p, j]; iterate p outer for contiguity.
-    for p in 0..k {
-        let a_row = &av[p * m..(p + 1) * m];
-        let b_row = &bv[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let o_row = &mut ov[i * n..(i + 1) * n];
-            for (o_el, &b_el) in o_row.iter_mut().zip(b_row) {
-                *o_el += a_pi * b_el;
-            }
-        }
-    }
+    gemm(a, b, Gemm::new().trans_a(), &mut out)?;
     Ok(out)
 }
 
@@ -134,31 +282,15 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDim`] as for
 /// [`matmul`] (with `B`'s dimensions read post-transpose).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `gemm(a, b, Gemm::new().trans_b(), &mut out)`"
+)]
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, k) = as_matrix(a, "matmul_a_bt")?;
-    let (n, k2) = as_matrix(b, "matmul_a_bt")?;
-    if k != k2 {
-        return Err(TensorError::MatmulDim {
-            lhs: [m, k],
-            rhs: [k2, n],
-        });
-    }
+    let (m, _) = as_matrix(a, "matmul_a_bt")?;
+    let (n, _) = as_matrix(b, "matmul_a_bt")?;
     let mut out = Tensor::zeros(&[m, n]);
-    let av = a.data();
-    let bv = b.data();
-    let ov = out.data_mut();
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        let o_row = &mut ov[i * n..(i + 1) * n];
-        for (j, o_el) in o_row.iter_mut().enumerate() {
-            let b_row = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *o_el = acc;
-        }
-    }
+    gemm(a, b, Gemm::new().trans_b(), &mut out)?;
     Ok(out)
 }
 
@@ -287,11 +419,26 @@ mod tests {
         Tensor::from_vec(shape.to_vec(), data.to_vec()).unwrap()
     }
 
+    /// Overwrite-mode gemm convenience for tests: `op(A) × op(B)`.
+    fn run(a: &Tensor, b: &Tensor, cfg: Gemm) -> Result<Tensor> {
+        let (ar, ac) = (a.shape()[0], a.shape()[1]);
+        let (br, bc) = (b.shape()[0], b.shape()[1]);
+        let m = if cfg.trans_a { ac } else { ar };
+        let n = if cfg.trans_b { br } else { bc };
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm(a, b, cfg, &mut out)?;
+        Ok(out)
+    }
+
+    fn mm(a: &Tensor, b: &Tensor) -> Tensor {
+        run(a, b, Gemm::new()).unwrap()
+    }
+
     #[test]
     fn small_matmul() {
         let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
-        let c = matmul(&a, &b).unwrap();
+        let c = mm(&a, &b);
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
     }
@@ -300,19 +447,34 @@ mod tests {
     fn matmul_identity() {
         let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
         let eye = t(&[2, 2], &[1.0, 0.0, 0.0, 1.0]);
-        assert_eq!(matmul(&a, &eye).unwrap(), a);
-        assert_eq!(matmul(&eye, &a).unwrap(), a);
+        assert_eq!(mm(&a, &eye), a);
+        assert_eq!(mm(&eye, &a), a);
     }
 
     #[test]
     fn matmul_rejects_bad_dims() {
         let a = t(&[2, 3], &[0.0; 6]);
         let b = t(&[2, 3], &[0.0; 6]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::MatmulDim { .. })));
-        let v = t(&[3], &[0.0; 3]);
         assert!(matches!(
-            matmul(&a, &v),
+            run(&a, &b, Gemm::new()),
+            Err(TensorError::MatmulDim { .. })
+        ));
+        let v = t(&[3], &[0.0; 3]);
+        let mut out = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            gemm(&a, &v, Gemm::new(), &mut out),
             Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gemm_rejects_wrong_output_shape() {
+        let a = t(&[2, 3], &[0.0; 6]);
+        let b = t(&[3, 2], &[0.0; 6]);
+        let mut bad = Tensor::zeros(&[3, 3]);
+        assert!(matches!(
+            gemm(&a, &b, Gemm::new(), &mut bad),
+            Err(TensorError::ShapeMismatch { .. })
         ));
     }
 
@@ -321,31 +483,71 @@ mod tests {
         let a = t(&[3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = t(&[3, 4], &(0..12).map(|i| i as f32).collect::<Vec<_>>());
         let at = transpose(&a).unwrap();
-        let expect = matmul(&at, &b).unwrap();
-        let got = matmul_at_b(&a, &b).unwrap();
+        let expect = mm(&at, &b);
+        let got = run(&a, &b, Gemm::new().trans_a()).unwrap();
         assert_eq!(got, expect);
 
         let c = t(&[4, 2], &(0..8).map(|i| i as f32 - 3.0).collect::<Vec<_>>());
         let ct = transpose(&c).unwrap();
-        let expect2 = matmul(&at, &ct).unwrap_err(); // 2x3 * 2x4 is invalid
+        let expect2 = run(&at, &ct, Gemm::new()).unwrap_err(); // 2x3 * 2x4 is invalid
         assert!(matches!(expect2, TensorError::MatmulDim { .. }));
 
         let d = t(&[2, 2], &[1.0, -1.0, 0.5, 2.0]);
         let dt = transpose(&d).unwrap();
         let lhs = t(&[3, 2], &[1.0, 0.0, 0.0, 1.0, 2.0, 2.0]);
-        assert_eq!(matmul_a_bt(&lhs, &d).unwrap(), matmul(&lhs, &dt).unwrap());
+        assert_eq!(run(&lhs, &d, Gemm::new().trans_b()).unwrap(), mm(&lhs, &dt));
     }
 
     #[test]
-    fn matmul_acc_accumulates() {
+    fn double_transpose_gemm_matches_explicit() {
+        let a = t(&[3, 2], &(0..6).map(|i| i as f32 - 2.5).collect::<Vec<_>>());
+        let b = t(&[4, 3], &(0..12).map(|i| (i as f32).sin()).collect::<Vec<_>>());
+        let at = transpose(&a).unwrap();
+        let bt = transpose(&b).unwrap();
+        let expect = mm(&at, &bt);
+        let got = run(&a, &b, Gemm::new().trans_a().trans_b()).unwrap();
+        assert_eq!(got.shape(), &[2, 4]);
+        for (x, y) in got.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_acc_accumulates_in_every_layout() {
         let a = t(&[1, 2], &[1.0, 1.0]);
         let b = t(&[2, 1], &[2.0, 3.0]);
         let mut c = Tensor::full(&[1, 1], 10.0);
-        matmul_acc(&a, &b, &mut c).unwrap();
+        gemm(&a, &b, Gemm::new().acc(), &mut c).unwrap();
         assert_eq!(c.data(), &[15.0]);
         // Wrong output shape is rejected.
         let mut bad = Tensor::zeros(&[2, 2]);
-        assert!(matmul_acc(&a, &b, &mut bad).is_err());
+        assert!(gemm(&a, &b, Gemm::new().acc(), &mut bad).is_err());
+        // trans_b with acc: C += A × Bᵀ.
+        let bt = t(&[1, 2], &[2.0, 3.0]);
+        let mut c2 = Tensor::full(&[1, 1], 10.0);
+        gemm(&a, &bt, Gemm::new().trans_b().acc(), &mut c2).unwrap();
+        assert_eq!(c2.data(), &[15.0]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_gemm() {
+        let a = t(&[3, 4], &(0..12).map(|i| (i as f32) * 0.5 - 2.0).collect::<Vec<_>>());
+        let b = t(&[4, 2], &(0..8).map(|i| (i as f32) - 3.0).collect::<Vec<_>>());
+        assert_eq!(matmul(&a, &b).unwrap(), mm(&a, &b));
+        let mut acc = Tensor::full(&[3, 2], 1.0);
+        let mut acc2 = Tensor::full(&[3, 2], 1.0);
+        matmul_acc(&a, &b, &mut acc).unwrap();
+        gemm(&a, &b, Gemm::new().acc(), &mut acc2).unwrap();
+        assert_eq!(acc, acc2);
+        assert_eq!(
+            matmul_at_b(&a, &a).unwrap(),
+            run(&a, &a, Gemm::new().trans_a()).unwrap()
+        );
+        assert_eq!(
+            matmul_a_bt(&a, &a).unwrap(),
+            run(&a, &a, Gemm::new().trans_b()).unwrap()
+        );
     }
 
     #[test]
@@ -385,12 +587,12 @@ mod tests {
             d.data_mut()[i * 3 + i] = val;
         }
         let vt = transpose(&v).unwrap();
-        let recon = matmul(&matmul(&v, &d).unwrap(), &vt).unwrap();
+        let recon = mm(&mm(&v, &d), &vt);
         for (x, y) in recon.data().iter().zip(a.data()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
         // Eigenvectors are orthonormal: VᵀV = I.
-        let vtv = matmul(&vt, &v).unwrap();
+        let vtv = mm(&vt, &v);
         for r in 0..3 {
             for c in 0..3 {
                 let expect = if r == c { 1.0 } else { 0.0 };
@@ -408,7 +610,7 @@ mod tests {
                 1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.0, 1.0, 1.0, 2.0, -0.5, 0.25,
             ],
         );
-        let gram = matmul_at_b(&b, &b).unwrap();
+        let gram = run(&b, &b, Gemm::new().trans_a()).unwrap();
         let (vals, _) = sym_eigen(&gram, 30).unwrap();
         for v in vals {
             assert!(v > -1e-4, "PSD eigenvalue {v}");
@@ -426,7 +628,7 @@ mod tests {
         // Zero entries in A must not change the result (fast-path guard).
         let a = t(&[2, 3], &[0.0, 2.0, 0.0, 4.0, 0.0, 6.0]);
         let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
-        let c = matmul(&a, &b).unwrap();
+        let c = mm(&a, &b);
         assert_eq!(c.data(), &[18.0, 20.0, 94.0, 104.0]);
     }
 }

@@ -1,6 +1,23 @@
 //! Reductions over rows, columns, and NCHW channels.
+//!
+//! Every reduction here fans out across *independent output elements*
+//! (rows, columns, or channels) on the [`rt_par`] pool. The per-output
+//! accumulation order is exactly the serial order, and chunk boundaries are
+//! a pure function of the problem size, so results are bit-identical for
+//! any `RT_THREADS` setting.
 
 use crate::{Result, Tensor, TensorError};
+
+/// Target number of scalar reads per parallel task. Chunk sizes are derived
+/// from this and the problem shape only — never from the thread count — so
+/// the fan-out (and thus the result) is reproducible across pool sizes.
+const REDUCE_GRAIN: usize = 8192;
+
+/// Number of output elements per task when each output consumes
+/// `per_output` input scalars. Pure in the problem size.
+fn outputs_per_chunk(count: usize, per_output: usize) -> usize {
+    (REDUCE_GRAIN / per_output.max(1)).clamp(1, count.max(1))
+}
 
 fn as_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.ndim() != 2 {
@@ -21,9 +38,15 @@ fn as_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
 pub fn row_sums(t: &Tensor) -> Result<Tensor> {
     let (n, f) = as_matrix(t, "row_sums")?;
     let data = t.data();
-    let out: Vec<f32> = (0..n)
-        .map(|i| data[i * f..(i + 1) * f].iter().sum())
-        .collect();
+    let mut out = vec![0.0f32; n];
+    let rows = outputs_per_chunk(n, f);
+    rt_par::par_chunks_mut(&mut out, rows, |chunk_idx, dst| {
+        let base = chunk_idx * rows;
+        for (k, o) in dst.iter_mut().enumerate() {
+            let i = base + k;
+            *o = data[i * f..(i + 1) * f].iter().sum();
+        }
+    });
     Tensor::from_vec(vec![n], out)
 }
 
@@ -37,11 +60,18 @@ pub fn col_sums(t: &Tensor) -> Result<Tensor> {
     let (n, f) = as_matrix(t, "col_sums")?;
     let mut out = vec![0.0f32; f];
     let data = t.data();
-    for i in 0..n {
-        for (o, &v) in out.iter_mut().zip(&data[i * f..(i + 1) * f]) {
-            *o += v;
+    // Parallel over column ranges; each column still accumulates rows in
+    // order 0..n, matching the serial float order exactly.
+    let cols = outputs_per_chunk(f, n);
+    rt_par::par_chunks_mut(&mut out, cols, |chunk_idx, dst| {
+        let base = chunk_idx * cols;
+        for i in 0..n {
+            let row = &data[i * f + base..i * f + base + dst.len()];
+            for (o, &v) in dst.iter_mut().zip(row) {
+                *o += v;
+            }
         }
-    }
+    });
     Tensor::from_vec(vec![f], out)
 }
 
@@ -59,18 +89,22 @@ pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
         return Err(TensorError::EmptyTensor { op: "argmax_rows" });
     }
     let data = t.data();
-    Ok((0..n)
-        .map(|i| {
-            let row = &data[i * f..(i + 1) * f];
+    let mut out = vec![0usize; n];
+    let rows = outputs_per_chunk(n, f);
+    rt_par::par_chunks_mut(&mut out, rows, |chunk_idx, dst| {
+        let base = chunk_idx * rows;
+        for (k, o) in dst.iter_mut().enumerate() {
+            let row = &data[(base + k) * f..(base + k + 1) * f];
             let mut best = 0;
             for (j, &v) in row.iter().enumerate() {
                 if v > row[best] {
                     best = j;
                 }
             }
-            best
-        })
-        .collect())
+            *o = best;
+        }
+    });
+    Ok(out)
 }
 
 /// Maximum element of each row of a `[N, F]` tensor.
@@ -84,14 +118,17 @@ pub fn max_rows(t: &Tensor) -> Result<Tensor> {
         return Err(TensorError::EmptyTensor { op: "max_rows" });
     }
     let data = t.data();
-    let out: Vec<f32> = (0..n)
-        .map(|i| {
-            data[i * f..(i + 1) * f]
+    let mut out = vec![0.0f32; n];
+    let rows = outputs_per_chunk(n, f);
+    rt_par::par_chunks_mut(&mut out, rows, |chunk_idx, dst| {
+        let base = chunk_idx * rows;
+        for (k, o) in dst.iter_mut().enumerate() {
+            *o = data[(base + k) * f..(base + k + 1) * f]
                 .iter()
                 .copied()
-                .fold(f32::NEG_INFINITY, f32::max)
-        })
-        .collect();
+                .fold(f32::NEG_INFINITY, f32::max);
+        }
+    });
     Tensor::from_vec(vec![n], out)
 }
 
@@ -117,12 +154,18 @@ pub fn channel_sums(t: &Tensor) -> Result<Tensor> {
     let plane = h * w;
     let data = t.data();
     let mut out = vec![0.0f32; c];
-    for b in 0..n {
-        for (ch, o) in out.iter_mut().enumerate() {
-            let start = (b * c + ch) * plane;
-            *o += data[start..start + plane].iter().sum::<f32>();
+    // Parallel over channel ranges; each channel's batch loop runs b=0..n in
+    // order, so per-channel accumulation matches the serial float order.
+    let chans = outputs_per_chunk(c, n * plane);
+    rt_par::par_chunks_mut(&mut out, chans, |chunk_idx, dst| {
+        let base = chunk_idx * chans;
+        for b in 0..n {
+            for (k, o) in dst.iter_mut().enumerate() {
+                let start = (b * c + base + k) * plane;
+                *o += data[start..start + plane].iter().sum::<f32>();
+            }
         }
-    }
+    });
     Tensor::from_vec(vec![c], out)
 }
 
@@ -136,15 +179,19 @@ pub fn channel_sq_sums(t: &Tensor) -> Result<Tensor> {
     let plane = h * w;
     let data = t.data();
     let mut out = vec![0.0f32; c];
-    for b in 0..n {
-        for (ch, o) in out.iter_mut().enumerate() {
-            let start = (b * c + ch) * plane;
-            *o += data[start..start + plane]
-                .iter()
-                .map(|&x| x * x)
-                .sum::<f32>();
+    let chans = outputs_per_chunk(c, n * plane);
+    rt_par::par_chunks_mut(&mut out, chans, |chunk_idx, dst| {
+        let base = chunk_idx * chans;
+        for b in 0..n {
+            for (k, o) in dst.iter_mut().enumerate() {
+                let start = (b * c + base + k) * plane;
+                *o += data[start..start + plane]
+                    .iter()
+                    .map(|&x| x * x)
+                    .sum::<f32>();
+            }
         }
-    }
+    });
     Tensor::from_vec(vec![c], out)
 }
 
@@ -168,16 +215,20 @@ pub fn channel_dot(g: &Tensor, x: &Tensor) -> Result<Tensor> {
     let gd = g.data();
     let xd = x.data();
     let mut out = vec![0.0f32; c];
-    for b in 0..n {
-        for (ch, o) in out.iter_mut().enumerate() {
-            let start = (b * c + ch) * plane;
-            *o += gd[start..start + plane]
-                .iter()
-                .zip(&xd[start..start + plane])
-                .map(|(&a, &b)| a * b)
-                .sum::<f32>();
+    let chans = outputs_per_chunk(c, n * plane);
+    rt_par::par_chunks_mut(&mut out, chans, |chunk_idx, dst| {
+        let base = chunk_idx * chans;
+        for b in 0..n {
+            for (k, o) in dst.iter_mut().enumerate() {
+                let start = (b * c + base + k) * plane;
+                *o += gd[start..start + plane]
+                    .iter()
+                    .zip(&xd[start..start + plane])
+                    .map(|(&a, &b)| a * b)
+                    .sum::<f32>();
+            }
         }
-    }
+    });
     Tensor::from_vec(vec![c], out)
 }
 

@@ -60,6 +60,18 @@ pub(crate) fn numel(shape: &[usize]) -> usize {
     shape.iter().product()
 }
 
+/// Fixed per-task element count for parallel elementwise kernels. Purely
+/// elementwise operations are order-independent, so results are bitwise
+/// identical to the serial loop at any grain; this value only bounds task
+/// overhead on the [`rt_par`] pool.
+const ELEM_GRAIN: usize = 8192;
+
+/// Fixed chunk length for parallel reductions. Chunk partials are folded in
+/// chunk order, so the result depends only on the tensor length — never the
+/// thread count. Tensors at or below this size reduce in exactly the old
+/// serial float order (single chunk).
+const REDUCE_GRAIN: usize = 1 << 16;
+
 impl Tensor {
     // ---------------------------------------------------------------------
     // Constructors
@@ -318,6 +330,9 @@ impl Tensor {
 
     /// Applies `f` elementwise to a pair of same-shape tensors.
     ///
+    /// Runs on the [`rt_par`] pool; elementwise results are bitwise
+    /// identical to the serial loop for every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
@@ -325,21 +340,27 @@ impl Tensor {
         &self,
         other: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Self> {
         self.check_same_shape(other, op)?;
+        let mut data = vec![0.0f32; self.data.len()];
+        let (lhs, rhs) = (&self.data, &other.data);
+        rt_par::par_chunks_mut(&mut data, ELEM_GRAIN, |i, dst| {
+            let start = i * ELEM_GRAIN;
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = f(lhs[start + k], rhs[start + k]);
+            }
+        });
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         })
     }
 
     /// Applies `f(self[i], other[i])` in place on `self`.
+    ///
+    /// Runs on the [`rt_par`] pool; elementwise results are bitwise
+    /// identical to the serial loop for every thread count.
     ///
     /// # Errors
     ///
@@ -348,12 +369,16 @@ impl Tensor {
         &mut self,
         other: &Tensor,
         op: &'static str,
-        f: impl Fn(&mut f32, f32),
+        f: impl Fn(&mut f32, f32) + Sync,
     ) -> Result<()> {
         self.check_same_shape(other, op)?;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            f(a, b);
-        }
+        let rhs = &other.data;
+        rt_par::par_chunks_mut(&mut self.data, ELEM_GRAIN, |i, dst| {
+            let start = i * ELEM_GRAIN;
+            for (k, a) in dst.iter_mut().enumerate() {
+                f(a, rhs[start + k]);
+            }
+        });
         Ok(())
     }
 
@@ -409,9 +434,7 @@ impl Tensor {
 
     /// In-place scale: `self *= s`.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
-            *x *= s;
-        }
+        self.map_inplace(|x| x * s);
     }
 
     /// Fills the tensor with a constant.
@@ -420,18 +443,34 @@ impl Tensor {
     }
 
     /// Applies `f` elementwise, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    ///
+    /// Runs on the [`rt_par`] pool; elementwise results are bitwise
+    /// identical to the serial loop for every thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        rt_par::par_chunks_mut(&mut data, ELEM_GRAIN, |i, dst| {
+            let start = i * ELEM_GRAIN;
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = f(src[start + k]);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
     /// Applies `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    ///
+    /// Runs on the [`rt_par`] pool; elementwise results are bitwise
+    /// identical to the serial loop for every thread count.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        rt_par::par_chunks_mut(&mut self.data, ELEM_GRAIN, |_, dst| {
+            for x in dst.iter_mut() {
+                *x = f(*x);
+            }
+        });
     }
 
     /// Elementwise clamp into `[lo, hi]`.
@@ -496,9 +535,24 @@ impl Tensor {
     // Norms and global statistics
     // ---------------------------------------------------------------------
 
+    /// Reduces the buffer in fixed-size chunks on the [`rt_par`] pool,
+    /// folding chunk partials in chunk order. Chunk boundaries depend only
+    /// on the length, so the result is identical for every thread count;
+    /// buffers of at most one chunk reduce in the plain serial float order.
+    fn chunked_reduce(&self, per_elem: impl Fn(f32) -> f32 + Sync) -> f32 {
+        if self.data.len() <= REDUCE_GRAIN {
+            return self.data.iter().map(|&x| per_elem(x)).sum();
+        }
+        rt_par::par_chunks(&self.data, REDUCE_GRAIN, |_, chunk| {
+            chunk.iter().map(|&x| per_elem(x)).sum::<f32>()
+        })
+        .into_iter()
+        .sum()
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.chunked_reduce(|x| x)
     }
 
     /// Arithmetic mean of all elements (`0.0` for an empty tensor).
@@ -512,12 +566,12 @@ impl Tensor {
 
     /// L1 norm (sum of absolute values).
     pub fn l1_norm(&self) -> f32 {
-        self.data.iter().map(|x| x.abs()).sum()
+        self.chunked_reduce(|x| x.abs())
     }
 
     /// L2 (Frobenius) norm.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        self.chunked_reduce(|x| x * x).sqrt()
     }
 
     /// Maximum element.

@@ -2,7 +2,17 @@
 //! must hold for arbitrary shapes and data.
 
 use proptest::prelude::*;
+use rt_tensor::linalg::Gemm;
 use rt_tensor::{conv, linalg, reduce, special, Tensor};
+
+/// Overwrite-mode `op(A) × op(B)` through the unified gemm entry point.
+fn mm(a: &Tensor, b: &Tensor, cfg: Gemm) -> Tensor {
+    let m = if cfg.trans_a { a.shape()[1] } else { a.shape()[0] };
+    let n = if cfg.trans_b { b.shape()[0] } else { b.shape()[1] };
+    let mut out = Tensor::zeros(&[m, n]);
+    linalg::gemm(a, b, cfg, &mut out).expect("gemm shapes agree");
+    out
+}
 
 /// Strategy producing a tensor with the given shape and bounded finite data.
 fn tensor_with_shape(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
@@ -68,8 +78,8 @@ proptest! {
         let a = gen(1, &[m, k]);
         let b = gen(2, &[k, n]);
         let c = gen(3, &[k, n]);
-        let lhs = linalg::matmul(&a, &b.add(&c).unwrap()).unwrap();
-        let rhs = linalg::matmul(&a, &b).unwrap().add(&linalg::matmul(&a, &c).unwrap()).unwrap();
+        let lhs = mm(&a, &b.add(&c).unwrap(), Gemm::new());
+        let rhs = mm(&a, &b, Gemm::new()).add(&mm(&a, &c, Gemm::new())).unwrap();
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
             prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
         }
@@ -87,8 +97,8 @@ proptest! {
         let a = gen(10, &[k, m]);
         let b = gen(11, &[k, n]);
         let at = linalg::transpose(&a).unwrap();
-        let direct = linalg::matmul(&at, &b).unwrap();
-        let fused = linalg::matmul_at_b(&a, &b).unwrap();
+        let direct = mm(&at, &b, Gemm::new());
+        let fused = mm(&a, &b, Gemm::new().trans_a());
         for (x, y) in direct.data().iter().zip(fused.data()) {
             prop_assert!((x - y).abs() < 1e-3);
         }
@@ -96,8 +106,8 @@ proptest! {
         let c = gen(12, &[m, k]);
         let d = gen(13, &[n, k]);
         let dt = linalg::transpose(&d).unwrap();
-        let direct2 = linalg::matmul(&c, &dt).unwrap();
-        let fused2 = linalg::matmul_a_bt(&c, &d).unwrap();
+        let direct2 = mm(&c, &dt, Gemm::new());
+        let fused2 = mm(&c, &d, Gemm::new().trans_b());
         for (x, y) in direct2.data().iter().zip(fused2.data()) {
             prop_assert!((x - y).abs() < 1e-3);
         }
@@ -188,5 +198,112 @@ proptest! {
         let json = serde_json::to_string(&t).unwrap();
         let back: Tensor = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back, t);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism: the rt-par contract. Chunk boundaries are a
+// pure function of problem size, and partial results fold in index order,
+// so ANY pool size must produce bit-identical floats to the serial path.
+// ---------------------------------------------------------------------------
+
+/// Pool sizes exercised by the determinism properties (7 is deliberately
+/// not a power of two — uneven chunk-to-worker ratios).
+const POOLS: [usize; 4] = [1, 2, 4, 7];
+
+/// Runs `f` under each pool size and asserts the output *bits* match the
+/// single-threaded reference. Restores a 1-thread pool afterwards.
+fn assert_pool_invariant<F: FnMut() -> Vec<f32>>(mut f: F) -> Result<(), TestCaseError> {
+    rt_par::set_threads(1);
+    let reference: Vec<u32> = f().iter().map(|v| v.to_bits()).collect();
+    for &t in &POOLS[1..] {
+        rt_par::set_threads(t);
+        let got: Vec<u32> = f().iter().map(|v| v.to_bits()).collect();
+        rt_par::set_threads(1);
+        prop_assert_eq!(&got, &reference, "pool size {} diverged", t);
+    }
+    Ok(())
+}
+
+/// Deterministic pseudo-random data stream (SplitMix-style), independent
+/// of any RNG crate so the property is self-contained.
+fn stream(seed: u64, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_mul(0x2545_F491_4F6C_DD1D);
+            ((x >> 40) % 2048) as f32 / 256.0 - 4.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// GEMM row tiles split whenever m exceeds the grain-derived tile, so
+    /// these shapes cross chunk boundaries while staying fast.
+    #[test]
+    fn gemm_is_pool_size_invariant(
+        m in 1usize..=48, k in 8usize..=48, n in 8usize..=48,
+        ta in proptest::bool::ANY, tb in proptest::bool::ANY, seed in any::<u64>(),
+    ) {
+        let (ra, ca) = if ta { (k, m) } else { (m, k) };
+        let (rb, cb) = if tb { (n, k) } else { (k, n) };
+        let a = Tensor::from_vec(vec![ra, ca], stream(seed, ra * ca)).unwrap();
+        let b = Tensor::from_vec(vec![rb, cb], stream(seed ^ 0xABCD, rb * cb)).unwrap();
+        let cfg = Gemm { trans_a: ta, trans_b: tb, ..Gemm::new() };
+        assert_pool_invariant(|| {
+            let mut out = Tensor::zeros(&[m, n]);
+            linalg::gemm(&a, &b, cfg, &mut out).unwrap();
+            out.into_vec()
+        })?;
+    }
+
+    /// Convolution fans out per sample; any batch > 1 runs multi-chunk.
+    #[test]
+    fn conv_forward_is_pool_size_invariant(
+        bn in 1usize..=5, c in 1usize..=3, co in 1usize..=4, hw in 3usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let x = Tensor::from_vec(vec![bn, c, hw, hw], stream(seed, bn * c * hw * hw)).unwrap();
+        let w = Tensor::from_vec(vec![co, c * 9], stream(seed ^ 0x55, co * c * 9)).unwrap();
+        let geo = conv::ConvGeometry::new(3, 1, 1);
+        assert_pool_invariant(|| {
+            conv::conv2d_forward(&x, &w, None, geo).unwrap().into_vec()
+        })?;
+    }
+
+    /// Reductions chunk by output count; sizes here are large enough for
+    /// the row/column/channel paths to split into several tasks.
+    #[test]
+    fn reductions_are_pool_size_invariant(
+        n in 1usize..=40, f in 1usize..=96, seed in any::<u64>(),
+    ) {
+        let t = Tensor::from_vec(vec![n, f], stream(seed, n * f)).unwrap();
+        assert_pool_invariant(|| {
+            let mut out = reduce::row_sums(&t).unwrap().into_vec();
+            out.extend(reduce::col_sums(&t).unwrap().into_vec());
+            out.extend(reduce::max_rows(&t).unwrap().into_vec());
+            out.extend(reduce::argmax_rows(&t).unwrap().into_iter().map(|i| i as f32));
+            out.push(t.sum());
+            out.push(t.l1_norm());
+            out.push(t.l2_norm());
+            out
+        })?;
+    }
+
+    /// Elementwise maps split at a fixed grain; combined with zip ops they
+    /// cover the map/zip_map/map_inplace kernels.
+    #[test]
+    fn elementwise_ops_are_pool_size_invariant(len in 1usize..=20_000, seed in any::<u64>()) {
+        let a = Tensor::from_vec(vec![len], stream(seed, len)).unwrap();
+        let b = Tensor::from_vec(vec![len], stream(seed ^ 0x77, len)).unwrap();
+        assert_pool_invariant(|| {
+            let mut out = a.add(&b).unwrap();
+            out = out.mul(&a).unwrap();
+            out.scale(1.25);
+            out.into_vec()
+        })?;
     }
 }

@@ -6,7 +6,7 @@ use rt_adv::attack::{perturb, AttackConfig};
 use rt_data::Dataset;
 use rt_metrics::{accuracy, expected_calibration_error, negative_log_likelihood, roc_auc};
 use rt_models::MicroResNet;
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_tensor::rng::SeedStream;
 use rt_tensor::{reduce, special, Tensor};
 use serde::{Deserialize, Serialize};
@@ -34,7 +34,7 @@ pub fn collect_logits(model: &mut dyn Layer, data: &Dataset) -> Result<Tensor> {
     let mut rows: Vec<f32> = Vec::new();
     let mut classes = 0usize;
     for (images, _) in data.batches(EVAL_BATCH) {
-        let logits = model.forward(&images, Mode::Eval)?;
+        let logits = model.forward(&images, ExecCtx::eval())?;
         classes = logits.shape()[1];
         rows.extend_from_slice(logits.data());
     }
@@ -72,7 +72,7 @@ pub fn evaluate_adversarial(
     for (batch_idx, (images, labels)) in data.batches(EVAL_BATCH).into_iter().enumerate() {
         let mut rng = seeds.child_idx(batch_idx as u64).rng();
         let adv = perturb(model, &images, &labels, attack, &mut rng)?;
-        let logits = model.forward(&adv, Mode::Eval)?;
+        let logits = model.forward(&adv, ExecCtx::eval())?;
         let pred = reduce::argmax_rows(&logits).map_err(rt_nn::NnError::from)?;
         correct += pred.iter().zip(&labels).filter(|(p, l)| p == l).count();
     }
@@ -89,7 +89,7 @@ fn confidence_scores(model: &mut dyn Layer, images: &Tensor) -> Result<Vec<f64>>
         let batch = images
             .slice_rows(start, end)
             .map_err(rt_nn::NnError::from)?;
-        let logits = model.forward(&batch, Mode::Eval)?;
+        let logits = model.forward(&batch, ExecCtx::eval())?;
         let probs = special::softmax_rows(&logits).map_err(rt_nn::NnError::from)?;
         let conf = reduce::max_rows(&probs).map_err(rt_nn::NnError::from)?;
         scores.extend(conf.data().iter().map(|&c| c as f64));
@@ -122,7 +122,7 @@ fn energy_scores(model: &mut dyn Layer, images: &Tensor) -> Result<Vec<f64>> {
         let batch = images
             .slice_rows(start, end)
             .map_err(rt_nn::NnError::from)?;
-        let logits = model.forward(&batch, Mode::Eval)?;
+        let logits = model.forward(&batch, ExecCtx::eval())?;
         let lse = special::logsumexp_rows(&logits).map_err(rt_nn::NnError::from)?;
         scores.extend(lse.data().iter().map(|&c| c as f64));
         start = end;
@@ -158,7 +158,7 @@ pub fn extract_features(model: &mut MicroResNet, images: &Tensor) -> Result<Tens
         let batch = images
             .slice_rows(start, end)
             .map_err(rt_nn::NnError::from)?;
-        let feats = model.forward_features(&batch, Mode::Eval)?;
+        let feats = model.forward_features(&batch, ExecCtx::eval())?;
         dim = feats.shape()[1];
         rows.extend_from_slice(feats.data());
         start = end;
@@ -183,7 +183,7 @@ mod tests {
         )
         .unwrap();
         // Warm BN stats.
-        model.forward(task.train.images(), Mode::Train).unwrap();
+        model.forward(task.train.images(), ExecCtx::train()).unwrap();
         model.zero_grad();
         (model, task.test, ood)
     }

@@ -294,6 +294,67 @@ pub fn fire_panic_cell(ordinal: usize, key: &str) {
     }
 }
 
+/// Thread-safe view of the installing thread's panic-cell faults, for the
+/// runner's *parallel* batch executor.
+///
+/// Fault plans are installed per thread ([`install`] / [`scoped`]), so a
+/// cell closure running on an [`rt_par`] worker thread would never see the
+/// plan armed by the test or driver thread. The batch executor instead
+/// [`snapshot`](SharedPanicCells::snapshot)s the armed panic-cell faults
+/// on the installing thread, lets every worker consult the shared handle
+/// (budget consumption is serialized by a mutex), and
+/// [`restore`](SharedPanicCells::restore)s the consumed budgets back into
+/// the thread-local plan after the barrier — so serial and parallel cell
+/// execution observe identical fault semantics.
+#[derive(Debug)]
+pub struct SharedPanicCells(std::sync::Mutex<Vec<PanicCellFault>>);
+
+impl SharedPanicCells {
+    /// Snapshots the current thread's armed panic-cell faults (empty when
+    /// no plan is installed — every [`fire`](SharedPanicCells::fire) is
+    /// then a no-op).
+    pub fn snapshot() -> Self {
+        let cells = PLAN.with(|p| {
+            p.borrow()
+                .as_ref()
+                .map(|plan| plan.panic_cells.clone())
+                .unwrap_or_default()
+        });
+        SharedPanicCells(std::sync::Mutex::new(cells))
+    }
+
+    /// Thread-safe equivalent of [`fire_panic_cell`]: panics when a fault
+    /// is armed for `ordinal`, consuming one unit of its budget.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately — that is the fault.
+    pub fn fire(&self, ordinal: usize, key: &str) {
+        let mut cells = self.0.lock().expect("fault snapshot lock poisoned");
+        for fault in cells.iter_mut() {
+            if fault.ordinal == ordinal && fault.times > 0 {
+                if fault.times != usize::MAX {
+                    fault.times -= 1;
+                }
+                drop(cells);
+                panic!("injected fault: panic in cell #{ordinal} (`{key}`)");
+            }
+        }
+    }
+
+    /// Writes the (possibly consumed) budgets back into the calling
+    /// thread's plan, so a `times = 1` fault fired inside a parallel batch
+    /// stays spent for subsequent serial cells.
+    pub fn restore(self) {
+        let cells = self.0.into_inner().expect("fault snapshot lock poisoned");
+        PLAN.with(|p| {
+            if let Some(plan) = p.borrow_mut().as_mut() {
+                plan.panic_cells = cells;
+            }
+        });
+    }
+}
+
 /// Checkpoint-write hook: truncates `payload` when a truncation fault is
 /// armed (consuming one unit of its budget); otherwise returns it intact.
 pub fn corrupt_checkpoint_bytes(payload: String) -> String {

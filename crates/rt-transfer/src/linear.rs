@@ -14,7 +14,7 @@ use rt_models::MicroResNet;
 use rt_nn::layers::Linear;
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::optim::Sgd;
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_tensor::rng::SeedStream;
 use serde::{Deserialize, Serialize};
 
@@ -53,13 +53,14 @@ pub fn linear_eval(model: &mut MicroResNet, task: &Task, config: &LinearEvalConf
     let mut head = Linear::new(model.feature_dim(), classes, &mut seeds.child("head").rng())?;
     let loss_fn = CrossEntropyLoss::new();
     let opt = Sgd::new(config.lr).with_momentum(0.9);
+    let ctx = ExecCtx::train();
     for _ in 0..config.steps {
-        let logits = head.forward(&train_feats, Mode::Train)?;
+        let logits = head.forward(&train_feats, ctx)?;
         let out = loss_fn.forward(&logits, task.train.labels())?;
-        head.backward(&out.grad)?;
+        head.backward(&out.grad, ctx)?;
         opt.step(&mut head)?;
     }
-    let logits = head.forward(&test_feats, Mode::Eval)?;
+    let logits = head.forward(&test_feats, ExecCtx::eval())?;
     accuracy(&logits, task.test.labels()).map_err(rt_nn::NnError::from)
 }
 

@@ -282,7 +282,7 @@ mod tests {
     use super::*;
     use rt_data::{FamilyConfig, TaskFamily};
     use rt_metrics::accuracy;
-    use rt_nn::{Layer, Mode};
+    use rt_nn::{ExecCtx, Layer};
 
     fn source() -> Task {
         TaskFamily::new(FamilyConfig::smoke(), 5)
@@ -302,7 +302,7 @@ mod tests {
             1,
         )
         .unwrap();
-        let logits = pre.model.forward(task.test.images(), Mode::Eval).unwrap();
+        let logits = pre.model.forward(task.test.images(), ExecCtx::eval()).unwrap();
         let acc = accuracy(&logits, task.test.labels()).unwrap();
         assert!(acc > 0.4, "pretrained accuracy {acc} ≤ chance (0.25)");
     }
@@ -332,8 +332,8 @@ mod tests {
         let mut fresh = pre.fresh_model(99).unwrap();
         let mut orig = pre.fresh_model(100).unwrap();
         let x = task.test.images().slice_rows(0, 4).unwrap();
-        let y1 = fresh.forward(&x, Mode::Eval).unwrap();
-        let y2 = orig.forward(&x, Mode::Eval).unwrap();
+        let y1 = fresh.forward(&x, ExecCtx::eval()).unwrap();
+        let y2 = orig.forward(&x, ExecCtx::eval()).unwrap();
         assert_eq!(y1, y2, "fresh models from the same snapshot must agree");
     }
 

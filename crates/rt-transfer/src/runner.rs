@@ -129,6 +129,13 @@ pub struct RunnerConfig {
     /// `n * seed_bump` as [`CellCtx::seed_bump`] (0 on the first attempt,
     /// so fault-free sweeps are unaffected).
     pub seed_bump: u64,
+    /// When true, [`Runner::run_cells`] executes the independent cells of
+    /// a batch concurrently on the [`rt_par`] worker pool. Journal
+    /// appends, stats, and telemetry remain ordered by cell index, so the
+    /// journal bytes are identical to a serial run. Default off; drivers
+    /// opt in via `RT_PAR_CELLS=1` (see
+    /// [`RunnerConfig::for_experiment`]).
+    pub parallel: bool,
 }
 
 impl Default for RunnerConfig {
@@ -138,13 +145,16 @@ impl Default for RunnerConfig {
             resume: false,
             max_retries: 1,
             seed_bump: 0x9e37_79b9,
+            parallel: false,
         }
     }
 }
 
 impl RunnerConfig {
     /// Conventional config for an experiment driver: journal under
-    /// `results_dir/<id>-<scale>.journal.jsonl`.
+    /// `results_dir/<id>-<scale>.journal.jsonl`. Parallel cell execution
+    /// is enabled when the `RT_PAR_CELLS` environment variable is `1`
+    /// (any other value, or unset, keeps the serial executor).
     pub fn for_experiment(
         results_dir: &std::path::Path,
         id: &str,
@@ -154,6 +164,7 @@ impl RunnerConfig {
         RunnerConfig {
             journal_path: Some(results_dir.join(format!("{id}-{scale_label}.journal.jsonl"))),
             resume,
+            parallel: std::env::var("RT_PAR_CELLS").as_deref() == Ok("1"),
             ..RunnerConfig::default()
         }
     }
@@ -409,6 +420,220 @@ impl Runner {
                 }
             }
         }
+    }
+
+    /// Executes a batch of *independent* sweep cells, optionally in
+    /// parallel.
+    ///
+    /// `f(i, ctx)` computes the value of cell `keys[i]`; cells in a batch
+    /// must not depend on each other's results. With
+    /// [`RunnerConfig::parallel`] unset (the default) this is exactly a
+    /// loop of [`Runner::run_cell`] calls. With it set, pending cells are
+    /// fanned out across the [`rt_par`] worker pool, and once every cell
+    /// in the batch has settled, journal appends, stats updates, and
+    /// telemetry are replayed **in cell-index order** — so the journal
+    /// bytes are identical to a serial run and a resumed sweep cannot
+    /// observe the scheduling.
+    ///
+    /// Fault semantics match the serial path: panic-cell faults armed on
+    /// the calling thread fire inside the worker's isolation boundary
+    /// (via [`crate::fault::SharedPanicCells`]), and consumed budgets are
+    /// restored to the calling thread's plan afterwards.
+    ///
+    /// If some cells fail after every retry, the successful cells of the
+    /// batch are still journaled (in index order) before the error for
+    /// the *lowest-index* failed cell is returned — exactly the state an
+    /// interrupted serial sweep leaves behind, so `--resume` picks up
+    /// only the genuinely missing work.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run_cell`].
+    pub fn run_cells<T, F>(&mut self, keys: &[String], f: F) -> Result<Vec<T>, RunnerError>
+    where
+        T: Serialize + DeserializeOwned + Send,
+        F: Fn(usize, CellCtx) -> T + Sync,
+    {
+        if !self.cfg.parallel || rt_par::threads() <= 1 || keys.len() <= 1 {
+            return keys
+                .iter()
+                .enumerate()
+                .map(|(i, key)| self.run_cell(key, |ctx| f(i, ctx)))
+                .collect();
+        }
+
+        let base = self.next_ordinal;
+        self.next_ordinal += keys.len();
+        let batch_span = rt_obs::span!("runner.batch", "cells" => keys.len());
+
+        // Per-cell outcome of one parallel attempt loop.
+        enum Outcome<T> {
+            Done {
+                value: T,
+                attempts: usize,
+                elapsed_ms: f64,
+            },
+            Failed {
+                attempts: usize,
+                detail: String,
+                elapsed_ms: f64,
+            },
+        }
+
+        // Partition into replays (resolved serially below, in order) and
+        // pending work. Slot i holds the outcome of pending cell i.
+        let pending: Vec<usize> = (0..keys.len())
+            .filter(|&i| !self.completed.contains_key(&keys[i]))
+            .collect();
+        let slots: Vec<std::sync::Mutex<Option<Outcome<T>>>> =
+            pending.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+        let faults = crate::fault::SharedPanicCells::snapshot();
+        let max_retries = self.cfg.max_retries;
+        let seed_bump = self.cfg.seed_bump;
+        {
+            let faults = &faults;
+            let pending = &pending;
+            let slots = &slots;
+            let f = &f;
+            rt_par::run_tasks(pending.len(), &move |t: usize| {
+                let i = pending[t];
+                let key = &keys[i];
+                let ordinal = base + i;
+                let t0 = Instant::now();
+                let mut attempt = 0usize;
+                let outcome = loop {
+                    let ctx = CellCtx {
+                        attempt,
+                        seed_bump: (attempt as u64).wrapping_mul(seed_bump),
+                        ordinal,
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        faults.fire(ordinal, key);
+                        f(i, ctx)
+                    })) {
+                        Ok(value) => {
+                            break Outcome::Done {
+                                value,
+                                attempts: attempt + 1,
+                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                            }
+                        }
+                        Err(payload) if attempt >= max_retries => {
+                            break Outcome::Failed {
+                                attempts: attempt + 1,
+                                detail: panic_message(payload.as_ref()),
+                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                            }
+                        }
+                        Err(_) => attempt += 1,
+                    }
+                };
+                *slots[t].lock().expect("cell slot lock poisoned") = Some(outcome);
+            });
+        }
+        faults.restore();
+
+        // Barrier passed: fold outcomes back in strict cell-index order so
+        // journal bytes, stats, and events match the serial executor.
+        let mut results: Vec<Option<T>> = (0..keys.len()).map(|_| None).collect();
+        let mut first_error: Option<RunnerError> = None;
+        let mut slot_iter = slots.into_iter();
+        for i in 0..keys.len() {
+            let key = &keys[i];
+            let ordinal = base + i;
+            if !pending.contains(&i) {
+                // Replayed from the journal — same bookkeeping as run_cell.
+                self.stats.skipped += 1;
+                rt_obs::counter("runner.cells_replayed").inc();
+                rt_obs::event(
+                    "runner.cell",
+                    &[
+                        ("key", key.as_str().into()),
+                        ("ordinal", ordinal.into()),
+                        ("outcome", "replayed".into()),
+                    ],
+                );
+                let value = self.completed.get(key).expect("partitioned as replay");
+                match serde_json::from_value(value.clone()) {
+                    Ok(v) => results[i] = Some(v),
+                    Err(e) => {
+                        first_error.get_or_insert(RunnerError::Codec {
+                            key: key.to_string(),
+                            detail: format!("journal replay failed: {e}"),
+                        });
+                    }
+                }
+                continue;
+            }
+            let outcome = slot_iter
+                .next()
+                .expect("one slot per pending cell")
+                .into_inner()
+                .expect("cell slot lock poisoned")
+                .expect("barrier guarantees a settled outcome");
+            match outcome {
+                Outcome::Done {
+                    value,
+                    attempts,
+                    elapsed_ms,
+                } => {
+                    self.record(key, attempts, &value)?;
+                    self.stats.executed += 1;
+                    self.stats.retries += attempts - 1;
+                    self.stats.executed_ms += elapsed_ms;
+                    rt_obs::counter("runner.cells_executed").inc();
+                    if attempts > 1 {
+                        rt_obs::counter("runner.retries").add((attempts - 1) as u64);
+                    }
+                    rt_obs::event(
+                        "runner.cell",
+                        &[
+                            ("key", key.as_str().into()),
+                            ("ordinal", ordinal.into()),
+                            ("outcome", "executed".into()),
+                            ("attempts", attempts.into()),
+                        ],
+                    );
+                    results[i] = Some(value);
+                }
+                Outcome::Failed {
+                    attempts,
+                    detail,
+                    elapsed_ms,
+                } => {
+                    self.stats.failed += 1;
+                    self.stats.retries += attempts - 1;
+                    self.stats.executed_ms += elapsed_ms;
+                    rt_obs::counter("runner.cells_failed").inc();
+                    rt_obs::console!(
+                        "[runner] cell `{key}` (#{ordinal}) failed after {attempts} attempt(s): {detail}"
+                    );
+                    rt_obs::event(
+                        "runner.cell",
+                        &[
+                            ("key", key.as_str().into()),
+                            ("ordinal", ordinal.into()),
+                            ("outcome", "failed".into()),
+                            ("attempts", attempts.into()),
+                        ],
+                    );
+                    first_error.get_or_insert(RunnerError::CellFailed {
+                        key: key.to_string(),
+                        attempts,
+                        detail,
+                    });
+                }
+            }
+        }
+        batch_span.attr("executed", pending.len());
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        Ok(results
+            .into_iter()
+            .map(|v| v.expect("no error implies every cell settled"))
+            .collect())
     }
 
     /// Writes the [`RunnerSummary`] JSON next to the journal
@@ -736,6 +961,146 @@ mod tests {
             .unwrap();
         assert_eq!(replayed, s, "f64 payloads replay bit-exactly");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Batch variant of [`sweep`]: same keys and values via `run_cells`.
+    fn batch_sweep(runner: &mut Runner, n: usize) -> Result<Vec<f64>, RunnerError> {
+        let keys: Vec<String> = (0..n).map(|i| format!("cell-{i}")).collect();
+        runner.run_cells(&keys, |i, ctx| {
+            (i as f64 + 1.0) * 0.5 + ctx.seed_bump as f64 * 0.0
+        })
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_journal_bytes() {
+        let n = 6;
+        let serial_path = temp_journal("batch-serial");
+        let mut serial = Runner::new(RunnerConfig {
+            journal_path: Some(serial_path.clone()),
+            resume: false,
+            parallel: false,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let a = batch_sweep(&mut serial, n).unwrap();
+        drop(serial);
+
+        rt_par::set_threads(4);
+        let par_path = temp_journal("batch-parallel");
+        let mut par = Runner::new(RunnerConfig {
+            journal_path: Some(par_path.clone()),
+            resume: false,
+            parallel: true,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let b = batch_sweep(&mut par, n).unwrap();
+        assert_eq!(par.stats.executed, n);
+        drop(par);
+
+        assert_eq!(a, b, "values agree across executors");
+        let serial_bytes = std::fs::read(&serial_path).unwrap();
+        let par_bytes = std::fs::read(&par_path).unwrap();
+        assert_eq!(
+            serial_bytes, par_bytes,
+            "journal bytes are identical: appends are ordered by cell index"
+        );
+        let _ = std::fs::remove_file(&serial_path);
+        let _ = std::fs::remove_file(&par_path);
+    }
+
+    #[test]
+    fn parallel_batch_replays_completed_cells() {
+        rt_par::set_threads(4);
+        let path = temp_journal("batch-replay");
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            parallel: true,
+            ..RunnerConfig::default()
+        };
+        let mut first = Runner::new(cfg.clone()).unwrap();
+        let a = batch_sweep(&mut first, 5).unwrap();
+        drop(first);
+        let mut resumed = Runner::new(RunnerConfig {
+            resume: true,
+            ..cfg
+        })
+        .unwrap();
+        let b = batch_sweep(&mut resumed, 5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(resumed.stats.skipped, 5);
+        assert_eq!(resumed.stats.executed, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parallel_kill_and_resume_matches_uninterrupted() {
+        // The kill-and-resume flow with the parallel batch executor: a
+        // persistent injected panic fails one cell; its batch-mates still
+        // journal, and a resumed run re-executes only the missing cell.
+        rt_par::set_threads(4);
+        let n = 8;
+        let clean_path = temp_journal("batch-clean");
+        let mut clean = Runner::new(RunnerConfig {
+            journal_path: Some(clean_path.clone()),
+            resume: false,
+            parallel: true,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let expected = batch_sweep(&mut clean, n).unwrap();
+
+        let path = temp_journal("batch-interrupted");
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            max_retries: 0,
+            parallel: true,
+            ..RunnerConfig::default()
+        };
+        {
+            let _g = fault::scoped(FaultPlan::default().with_panic_cell(3, usize::MAX));
+            let mut doomed = Runner::new(cfg.clone()).unwrap();
+            let aborted = batch_sweep(&mut doomed, n);
+            match aborted {
+                Err(RunnerError::CellFailed { key, .. }) => assert_eq!(key, "cell-3"),
+                other => panic!("expected CellFailed, got {other:?}"),
+            }
+            assert_eq!(doomed.stats.failed, 1);
+            assert_eq!(doomed.stats.executed, n - 1, "batch-mates persisted");
+        }
+        let mut resumed = Runner::new(RunnerConfig {
+            resume: true,
+            ..cfg
+        })
+        .unwrap();
+        let actual = batch_sweep(&mut resumed, n).unwrap();
+        assert_eq!(actual, expected);
+        assert_eq!(resumed.stats.skipped, n - 1);
+        assert_eq!(resumed.stats.executed, 1, "only the killed cell re-runs");
+        let _ = std::fs::remove_file(&clean_path);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parallel_fault_budget_survives_the_batch() {
+        // A `times = 1` fault fired inside a parallel batch must stay
+        // spent for subsequent cells on the installing thread.
+        rt_par::set_threads(2);
+        let _g = fault::scoped(FaultPlan::default().with_panic_cell(1, 1));
+        let mut r = Runner::new(RunnerConfig {
+            parallel: true,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        // max_retries = 1 (default): the injected panic consumes the
+        // budget on attempt 0 and the retry succeeds.
+        let out = batch_sweep(&mut r, 3).unwrap();
+        assert_eq!(out, vec![0.5, 1.0, 1.5]);
+        assert_eq!(r.stats.retries, 1);
+        // Budget restored as spent: the same ordinal no longer fires.
+        assert!(std::panic::catch_unwind(|| fault::fire_panic_cell(1, "again")).is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use rt_data::{Dataset, Task};
 use rt_models::MicroResNet;
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::optim::Sgd;
-use rt_nn::{Layer, Mode};
+use rt_nn::{ExecCtx, Layer};
 use rt_prune::{
     finalize_lmp, imp, init_lmp, lmp_apply_masks, lmp_update_scores, ImpConfig, PruneScope,
     ScoreInit, TicketMask,
@@ -208,9 +208,10 @@ pub fn lmp_run(model: &mut MicroResNet, task: &Task, cfg: &LmpRunConfig) -> Resu
         let mut rng = seeds.child("epoch").child_idx(epoch as u64).rng();
         for (images, labels) in task.train.shuffled_batches(cfg.batch_size, &mut rng) {
             lmp_apply_masks(model, cfg.sparsity)?;
-            let logits = model.forward(&images, Mode::Train)?;
+            let ctx = ExecCtx::train();
+            let logits = model.forward(&images, ctx)?;
             let out = loss_fn.forward(&logits, &labels)?;
-            model.backward(&out.grad)?;
+            model.backward(&out.grad, ctx)?;
             lmp_update_scores(model, cfg.score_lr)?;
             head_opt.step(model)?;
         }

@@ -21,7 +21,7 @@ use rt_nn::checkpoint::StateDict;
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::optim::Sgd;
 use rt_nn::schedule::{ConstantLr, CosineLr, LrSchedule, StepDecay};
-use rt_nn::{Layer, Mode, NnError};
+use rt_nn::{ExecCtx, Layer, NnError};
 use rt_tensor::rng::SeedStream;
 use serde::{Deserialize, Serialize};
 
@@ -201,7 +201,8 @@ fn run_epoch(
             Objective::Adversarial(attack) => perturb(model, &images, &labels, attack, &mut rng)?,
             Objective::GaussianNoise(sigma) => gaussian_augment(&images, *sigma, &mut rng),
         };
-        let logits = model.forward(&inputs, Mode::Train)?;
+        let ctx = ExecCtx::train();
+        let logits = model.forward(&inputs, ctx)?;
         let out = loss_fn.forward(&logits, &labels)?;
         // Fault-injection hook (no-op unless a plan is installed) feeding
         // the divergence guard.
@@ -212,7 +213,7 @@ fn run_epoch(
                 batch: batches,
             });
         }
-        model.backward(&out.grad)?;
+        model.backward(&out.grad, ctx)?;
         opt.step(model)?;
         if let Some(t0) = batch_t0 {
             batch_hist.observe(t0.elapsed().as_secs_f64() * 1e3);

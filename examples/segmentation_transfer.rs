@@ -12,7 +12,7 @@ use robust_tickets::metrics::mean_iou;
 use robust_tickets::models::{ResNetConfig, SegmentationNet};
 use robust_tickets::nn::loss::CrossEntropyLoss;
 use robust_tickets::nn::optim::Sgd;
-use robust_tickets::nn::{Layer, Mode};
+use robust_tickets::nn::{ExecCtx, Layer};
 use robust_tickets::prune::{omp, OmpConfig};
 use robust_tickets::tensor::rng::SeedStream;
 use robust_tickets::transfer::pretrain::{pretrain, PretrainScheme};
@@ -55,9 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut total = 0.0;
         let mut batches = 0;
         for (images, labels) in train.batches(4) {
-            let logits = net.forward(&images, Mode::Train)?;
+            let ctx = ExecCtx::train();
+            let logits = net.forward(&images, ctx)?;
             let out = loss_fn.forward_pixels(&logits, &labels)?;
-            net.backward(&out.grad)?;
+            net.backward(&out.grad, ctx)?;
             opt.step(&mut net)?;
             total += out.loss;
             batches += 1;
@@ -71,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Score mIoU on the held-out scenes.
     let mut preds = Vec::new();
     for (images, _) in test.batches(4) {
-        let logits = net.forward(&images, Mode::Eval)?;
+        let logits = net.forward(&images, ExecCtx::eval())?;
         let s = logits.shape().to_vec();
         let (n, k, hw) = (s[0], s[1], s[2] * s[3]);
         let data = logits.data();
