@@ -8,12 +8,22 @@ cargo build --release --workspace
 
 echo "== test (thread matrix) =="
 # The rt-par determinism contract: any pool size produces byte-identical
-# results, so the whole suite must pass at both ends of the matrix. The
+# results, so the whole suite must pass at both ends of the matrix. This
+# includes the rt-prune `sparse_exec` proptests, which assert the sparse
+# execution engine is bit-identical to masked-dense at every granularity
+# and density — running them under both pool sizes closes the grid. The
 # env var only sizes the worker pool — test *selection* is unchanged.
 for threads in 1 4; do
     echo "-- RT_THREADS=$threads --"
     RT_THREADS=$threads cargo test -q --workspace
 done
+
+echo "== sparse kernel smoke (bit-identity gate + speedup report) =="
+# bench_sparse exits nonzero if the compiled sparse plans ever produce
+# different bytes than the masked-dense kernels, or if any thread count
+# diverges from the serial pool.
+cargo run --release -p rt-bench --bin bench_sparse -- --quick --reps 1 \
+    --out target/BENCH_sparse_ci.json
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -53,6 +63,28 @@ if [[ -n "$spawns" ]]; then
     echo "raw std::thread spawn outside rt-par — route the work through"
     echo "rt_par::run_tasks / par_chunks so chunking stays deterministic:"
     echo "$spawns"
+    exit 1
+fi
+
+echo "== mask discipline (ticket masks apply by assignment, not multiply) =="
+# Pruned weights are canonicalized to exactly +0.0 by Param::set_mask /
+# BitMask::zero_pruned; multiplying by a 0/1 mask tensor instead can
+# produce -0.0 (e.g. -1.5 * 0.0) and silently breaks the sparse engine's
+# bit-identity contract. The only sanctioned elementwise mask multiply is
+# rt-prune's LMP straight-through estimator (which immediately
+# re-canonicalizes via set_mask); rt-sparse owns the packed machinery.
+# Comments are skipped so docs may explain the rule.
+maskmul=$(grep -rnE 'mul_assign\(&mask|\*\s*&?mask\b|\bmask\b\s*\*' crates/*/src src \
+    --include='*.rs' \
+    | grep -v '^crates/rt-prune/src' \
+    | grep -v '^crates/rt-sparse/src' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' \
+    || true)
+if [[ -n "$maskmul" ]]; then
+    echo "elementwise mask multiply outside rt-prune/rt-sparse — apply masks"
+    echo "through Param::set_mask / BitMask::zero_pruned (assignment keeps"
+    echo "pruned entries at +0.0, which the sparse plans rely on):"
+    echo "$maskmul"
     exit 1
 fi
 

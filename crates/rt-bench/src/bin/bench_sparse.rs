@@ -1,0 +1,328 @@
+//! **bench_sparse** — sparse-vs-dense kernel benchmark of the ticket
+//! execution engine (`rt-sparse`).
+//!
+//! Runs masked `Linear` and `Conv2d` layers twice per configuration —
+//! once through the compiled sparse plan (`ExecCtx::with_sparse(true)`)
+//! and once through the legacy masked-dense kernels — across mask
+//! granularities (channel → compact plans, element → CSR plans),
+//! sparsities, and pool thread counts, and writes `BENCH_sparse.json`.
+//!
+//! ```text
+//! bench_sparse [--out BENCH_sparse.json] [--reps N] [--quick]
+//! ```
+//!
+//! The run **fails** if the sparse path's output bytes ever differ from
+//! the masked-dense path, or if any thread count diverges from the serial
+//! pool — the benchmark doubles as a bit-identity gate on real layer
+//! shapes.
+
+use rt_nn::layers::{Conv2d, Conv2dConfig, Linear};
+use rt_nn::{ExecCtx, Layer};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::{init, Tensor};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Pool sizes swept by the benchmark (1 = serial reference).
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Schema version of `BENCH_sparse.json`.
+const BENCH_VERSION: u32 = 1;
+
+struct Args {
+    out: PathBuf,
+    reps: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = PathBuf::from("BENCH_sparse.json");
+    let mut reps = 3usize;
+    let mut quick = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(argv.next().ok_or("--out needs a path")?),
+            "--reps" => {
+                reps = argv
+                    .next()
+                    .ok_or("--reps needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_sparse [--out BENCH_sparse.json] [--reps N] [--quick]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok(Args { out, reps, quick })
+}
+
+/// One `(configuration, thread count)` measurement.
+struct Sample {
+    threads: usize,
+    dense_ms: f64,
+    sparse_ms: f64,
+    /// dense_ms / sparse_ms — what the compiled plan actually buys.
+    speedup: f64,
+}
+
+/// One masked-layer configuration's sweep.
+struct SparseWorkload {
+    name: String,
+    granularity: &'static str,
+    sparsity: f64,
+    /// Compiled plan kind of the masked weight (`compact` / `csr`).
+    plan_kind: String,
+    samples: Vec<Sample>,
+    /// Whether the sparse path's bytes matched masked-dense everywhere.
+    bit_identical: bool,
+    /// Whether every thread count produced identical bytes.
+    deterministic: bool,
+}
+
+/// Times `f` `reps` times (after one warmup call) and returns the best
+/// wall-clock in milliseconds together with the checksum of the last
+/// output. `f` must be deterministic, so any rep's output is THE output.
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> (f64, f64) {
+    let mut checksum = f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        checksum = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, checksum)
+}
+
+/// Exact bitwise fold of a float slice — equal checksums here mean equal
+/// bytes, not approximately equal values.
+fn bitfold(data: &[f32]) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in data {
+        h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h as f64
+}
+
+/// Deterministic pseudo-random keep decision for element masks.
+fn keep_element(i: usize, density_ppm: u64) -> bool {
+    let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+    h % 1_000_000 < density_ppm
+}
+
+/// Builds a mask tensor for `shape` at `sparsity` under `granularity`
+/// (`"channel"`: whole output units pruned; `"element"`: unstructured).
+fn build_mask(shape: &[usize], sparsity: f64, granularity: &str) -> Tensor {
+    let rows = shape[0];
+    let cols: usize = shape[1..].iter().product();
+    match granularity {
+        "channel" => {
+            let dead = ((rows as f64) * sparsity).round() as usize;
+            // Spread pruned rows evenly so the live set isn't contiguous:
+            // row r is pruned iff (r·dead) mod rows < dead, which prunes
+            // exactly `dead` of the `rows` rows.
+            Tensor::from_fn(shape, |i| {
+                let r = i / cols;
+                if dead > 0 && (r * dead) % rows < dead {
+                    0.0
+                } else {
+                    1.0
+                }
+            })
+        }
+        _ => {
+            let density_ppm = ((1.0 - sparsity) * 1e6) as u64;
+            Tensor::from_fn(shape, |i| if keep_element(i, density_ppm) { 1.0 } else { 0.0 })
+        }
+    }
+}
+
+/// Benchmarks one masked layer: forward under sparse plans vs masked-dense
+/// kernels at every thread count, checking byte equality throughout.
+fn run_masked_layer(
+    name: &str,
+    granularity: &'static str,
+    sparsity: f64,
+    reps: usize,
+    layer: &mut dyn Layer,
+    mask: Tensor,
+    x: &Tensor,
+) -> SparseWorkload {
+    layer.params_mut()[0]
+        .set_mask(mask)
+        .expect("mask shape mismatch");
+    let plan_kind = layer.params()[0]
+        .plan
+        .as_ref()
+        .map(|p| p.kind.name().to_string())
+        .unwrap_or_else(|| "none".to_string());
+    let mut samples = Vec::new();
+    let mut bit_identical = true;
+    let mut sparse_checksums = Vec::new();
+    for &t in &THREAD_COUNTS {
+        rt_par::set_threads(t);
+        let (dense_ms, dense_sum) = best_of(reps, || {
+            let y = layer
+                .forward(x, ExecCtx::eval().with_sparse(false))
+                .expect("dense forward");
+            bitfold(&black_box(y.into_vec()))
+        });
+        let (sparse_ms, sparse_sum) = best_of(reps, || {
+            let y = layer
+                .forward(x, ExecCtx::eval().with_sparse(true))
+                .expect("sparse forward");
+            bitfold(&black_box(y.into_vec()))
+        });
+        bit_identical &= dense_sum == sparse_sum;
+        sparse_checksums.push(sparse_sum);
+        samples.push(Sample {
+            threads: t,
+            dense_ms,
+            sparse_ms,
+            speedup: dense_ms / sparse_ms,
+        });
+    }
+    rt_par::set_threads(1);
+    let deterministic = sparse_checksums.iter().all(|&c| c == sparse_checksums[0]);
+    rt_obs::console!(
+        "[bench] {name} ({granularity} @{sparsity}, {plan_kind}): 1t {:.2}x, 4t {:.2}x, bit_identical={bit_identical}",
+        samples[0].speedup,
+        samples[2].speedup
+    );
+    SparseWorkload {
+        name: name.to_string(),
+        granularity,
+        sparsity,
+        plan_kind,
+        samples,
+        bit_identical,
+        deterministic,
+    }
+}
+
+/// Hand-rolled JSON encoding — the schema is flat and this keeps the
+/// binary's dependency surface minimal.
+fn encode_json(reps: usize, quick: bool, workloads: &[SparseWorkload]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"v\": {BENCH_VERSION},\n"));
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    s.push_str(&format!("  \"generated_unix_ms\": {now},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        s.push_str(&format!("      \"granularity\": \"{}\",\n", w.granularity));
+        s.push_str(&format!("      \"sparsity\": {},\n", w.sparsity));
+        s.push_str(&format!("      \"plan_kind\": \"{}\",\n", w.plan_kind));
+        s.push_str(&format!("      \"bit_identical\": {},\n", w.bit_identical));
+        s.push_str(&format!("      \"deterministic\": {},\n", w.deterministic));
+        s.push_str("      \"samples\": [\n");
+        for (si, sm) in w.samples.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"threads\": {}, \"dense_ms\": {:.6}, \"sparse_ms\": {:.6}, \"speedup\": {:.4}}}{}\n",
+                sm.threads,
+                sm.dense_ms,
+                sm.sparse_ms,
+                sm.speedup,
+                if si + 1 < w.samples.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    rt_obs::init_from_env();
+    let scale = if args.quick { 1 } else { 2 };
+
+    let mut workloads = Vec::new();
+    let mut rng = rng_from_seed(7);
+
+    // --- Masked Linear: the GEMM that dominates classifier heads. ------
+    let (in_f, out_f, batch) = (256 * scale, 128 * scale, 32 * scale);
+    let x = init::normal(&[batch, in_f], 0.0, 1.0, &mut rng);
+    for &(granularity, sparsity) in &[
+        ("channel", 0.5),
+        ("channel", 0.8),
+        ("channel", 0.95),
+        ("element", 0.8),
+        ("element", 0.95),
+    ] {
+        let mut layer = Linear::new(in_f, out_f, &mut rng).expect("linear");
+        let mask = build_mask(&[out_f, in_f], sparsity, granularity);
+        workloads.push(run_masked_layer(
+            &format!("linear_{batch}x{in_f}to{out_f}"),
+            granularity,
+            sparsity,
+            args.reps,
+            &mut layer,
+            mask,
+            &x,
+        ));
+    }
+
+    // --- Masked Conv2d: channel-structured ticket on a 3x3 conv. -------
+    let (n, ci, co, hw) = (2 * scale, 16, 32, 8 * scale);
+    let xc = init::normal(&[n, ci, hw, hw], 0.0, 1.0, &mut rng);
+    for &sparsity in &[0.5, 0.8] {
+        let mut conv = Conv2d::new(ci, co, Conv2dConfig::same3x3(), &mut rng).expect("conv");
+        let mask = build_mask(&[co, ci, 3, 3], sparsity, "channel");
+        workloads.push(run_masked_layer(
+            &format!("conv3x3_b{n}_{ci}to{co}_{hw}x{hw}"),
+            "channel",
+            sparsity,
+            args.reps,
+            &mut conv,
+            mask,
+            &xc,
+        ));
+    }
+
+    let all_identical = workloads.iter().all(|w| w.bit_identical);
+    let all_deterministic = workloads.iter().all(|w| w.deterministic);
+    let json = encode_json(args.reps, args.quick, &workloads);
+    if let Err(e) = rt_nn::checkpoint::atomic_write(&args.out, json.as_bytes()) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    rt_obs::console!("[bench] wrote {}", args.out.display());
+    if !all_identical {
+        eprintln!("BIT DIVERGENCE: sparse plan output differs from masked-dense");
+        return ExitCode::FAILURE;
+    }
+    if !all_deterministic {
+        eprintln!("DETERMINISM VIOLATION: some thread count diverged from the serial pool");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

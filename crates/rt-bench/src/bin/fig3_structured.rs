@@ -10,7 +10,7 @@ use rt_bench::{
     abort_on_runner_error, family_for, finish, omp_sweep, pretrained_model, source_task,
     win_count, Protocol,
 };
-use rt_prune::Granularity;
+use rt_prune::{omp, sparse_exec_report, Granularity, OmpConfig, PruneScope};
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
 use rt_transfer::pretrain::PretrainScheme;
 
@@ -74,6 +74,36 @@ fn main() {
     for (gran, gap) in &per_gran_gap {
         record.notes.push(format!(
             "mean robust-minus-natural gap at {gran}: {gap:+.4}"
+        ));
+    }
+
+    // FLOP accounting (`rt_prune::sparse_exec_report`): how each
+    // granularity's ticket actually executes under the sparse engine at the
+    // sweep's deepest sparsity — plan kinds chosen per layer and the
+    // theoretical per-sample weight-FLOP reduction they realize.
+    let deepest = sparsities.iter().copied().fold(0.0f64, f64::max);
+    for granularity in Granularity::structured() {
+        let gran_label = format!("{granularity:?}").to_lowercase();
+        let mut m = robust.fresh_model(0).expect("model");
+        let ticket =
+            omp(&m, &OmpConfig::structured(deepest, granularity)).expect("omp ticket");
+        ticket.apply(&mut m).expect("apply ticket");
+        let report = sparse_exec_report(&m, &PruneScope::backbone());
+        let dense: u64 = report.iter().map(|l| l.dense_flops).sum();
+        let plan: u64 = report.iter().map(|l| l.plan_flops).sum();
+        let (compact, csr) = report.iter().fold((0usize, 0usize), |(c, r), l| {
+            match l.plan_kind.as_str() {
+                "compact" => (c + 1, r),
+                "csr" => (c, r + 1),
+                _ => (c, r),
+            }
+        });
+        record.notes.push(format!(
+            "sparse exec at {gran_label} @{deepest:.2}: {dense} -> {plan} \
+             weight-FLOPs/sample ({:.2}x theoretical), {compact} compact + \
+             {csr} csr plans over {} prunable layers",
+            dense as f64 / plan.max(1) as f64,
+            report.len(),
         ));
     }
     record.notes.push(

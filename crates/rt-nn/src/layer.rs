@@ -24,8 +24,10 @@ pub enum Mode {
 /// `rt-par` consumers is a pure function of problem size), and the default
 /// `rng_stream` of `0` reproduces each stochastic layer's own seed
 /// sequence, so `ExecCtx::train()` behaves exactly like the old
-/// `Mode::Train` argument.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+/// `Mode::Train` argument. The `sparse` flag is likewise
+/// numerics-neutral: the sparse kernels are bit-identical to masked-dense
+/// execution, so flipping it only changes speed, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecCtx {
     /// Train/eval switch (BatchNorm statistics, Dropout masks).
     pub mode: Mode,
@@ -35,15 +37,58 @@ pub struct ExecCtx {
     /// streams draw independent randomness from the same layer seed; `0`
     /// (the default) leaves the layer's own sequence untouched.
     pub rng_stream: u64,
+    /// Whether layers may execute through compiled [`rt_sparse`] plans
+    /// (bit-identical to masked-dense; this flag only trades speed).
+    /// Defaults to [`sparse_exec_default`], which honours `RT_SPARSE`.
+    pub sparse: bool,
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        ExecCtx::new(Mode::default())
+    }
+}
+
+/// Process-wide default for [`ExecCtx::sparse`], cached after first read:
+/// `0`/`1` = resolved value, `2` = not yet resolved.
+static SPARSE_DEFAULT: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(2);
+
+/// The process-wide default for [`ExecCtx::sparse`]: `true` unless the
+/// `RT_SPARSE` environment variable is set to `0`/`false`/`off` (read once
+/// and cached). Tests should use [`set_sparse_exec_default`] instead of
+/// mutating the environment.
+pub fn sparse_exec_default() -> bool {
+    use std::sync::atomic::Ordering;
+    match SPARSE_DEFAULT.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = !matches!(
+                std::env::var("RT_SPARSE").as_deref(),
+                Ok("0") | Ok("false") | Ok("off")
+            );
+            SPARSE_DEFAULT.store(on as u8, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the process-wide default for [`ExecCtx::sparse`] (used by
+/// tests and benchmarks to compare execution paths without touching the
+/// environment).
+pub fn set_sparse_exec_default(on: bool) {
+    SPARSE_DEFAULT.store(on as u8, std::sync::atomic::Ordering::Relaxed);
 }
 
 impl ExecCtx {
-    /// A context with the given mode, the global pool, and stream `0`.
+    /// A context with the given mode, the global pool, stream `0`, and the
+    /// process-wide sparse-execution default.
     pub fn new(mode: Mode) -> Self {
         ExecCtx {
             mode,
             pool: rt_par::Handle,
             rng_stream: 0,
+            sparse: sparse_exec_default(),
         }
     }
 
@@ -61,6 +106,13 @@ impl ExecCtx {
     #[must_use]
     pub fn with_stream(mut self, stream: u64) -> Self {
         self.rng_stream = stream;
+        self
+    }
+
+    /// Returns a copy with sparse execution forced on or off.
+    #[must_use]
+    pub fn with_sparse(mut self, sparse: bool) -> Self {
+        self.sparse = sparse;
         self
     }
 
@@ -312,5 +364,8 @@ mod tests {
         assert_eq!(ExecCtx::from(Mode::Train), ExecCtx::train());
         assert_eq!(ExecCtx::eval().rng_stream, 0);
         assert_eq!(ExecCtx::eval().with_stream(7).rng_stream, 7);
+        assert_eq!(ExecCtx::eval().sparse, sparse_exec_default());
+        assert!(ExecCtx::eval().with_sparse(true).sparse);
+        assert!(!ExecCtx::eval().with_sparse(false).sparse);
     }
 }

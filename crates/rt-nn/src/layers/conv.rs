@@ -1,7 +1,9 @@
 use crate::{ExecCtx, Layer, NnError, Param, ParamKind, Result};
 use rand::Rng;
-use rt_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeometry};
+use rt_sparse::SparsePlan;
+use rt_tensor::conv::{conv2d_backward_planned, conv2d_forward_planned, ConvGeometry};
 use rt_tensor::{init, Tensor, TensorError};
+use std::sync::Arc;
 
 /// Configuration of a [`Conv2d`] layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,6 +145,17 @@ impl Conv2d {
             .data
             .reshape(&[self.out_channels, self.in_channels * k * k])?)
     }
+
+    /// The weight's compiled sparse plan, if sparse execution applies.
+    /// Non-dense plans only; the planned conv entry points re-validate the
+    /// plan against the lowered `[O, C·k·k]` matrix and silently fall back
+    /// to dense on any mismatch.
+    fn active_plan(&self, ctx: ExecCtx) -> Option<Arc<SparsePlan>> {
+        if !ctx.sparse {
+            return None;
+        }
+        self.weight.plan.clone().filter(|p| !p.is_dense())
+    }
 }
 
 impl std::fmt::Debug for Conv2d {
@@ -157,7 +170,7 @@ impl std::fmt::Debug for Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         if input.ndim() != 4 {
             return Err(TensorError::RankMismatch {
                 expected: 4,
@@ -184,13 +197,20 @@ impl Layer for Conv2d {
         let w_out = self.geo.out_dim(w)?;
         let w_mat = self.weight_matrix()?;
         // Per-sample im2col + gemm fan-out runs on the rt-par pool; results
-        // are bit-identical to the serial loop for every thread count.
-        let out = conv2d_forward(
+        // are bit-identical to the serial loop for every thread count, and
+        // (when a sparse plan is active) to the dense masked lowering.
+        let plan = self.active_plan(ctx);
+        let t0 = std::time::Instant::now();
+        let out = conv2d_forward_planned(
             input,
             &w_mat,
             self.bias.as_ref().map(|b| b.data.data()),
             self.geo,
+            plan.as_deref(),
         )?;
+        if let Some(plan) = &plan {
+            super::observe_sparse_call(plan, n * h_out * w_out, t0.elapsed().as_secs_f64() * 1e3);
+        }
         self.cache = Some(ConvCache {
             input: input.clone(),
             h_out,
@@ -199,7 +219,7 @@ impl Layer for Conv2d {
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let cache = self
             .cache
             .as_ref()
@@ -219,13 +239,19 @@ impl Layer for Conv2d {
         // Per-sample backward fan-out on the rt-par pool; weight/bias
         // partials are folded in sample order, so gradients match the old
         // serial loop bit-for-bit.
-        let (grad_input, grad_w_mat, grad_bias) = conv2d_backward(
+        let plan = self.active_plan(ctx);
+        let t0 = std::time::Instant::now();
+        let (grad_input, grad_w_mat, grad_bias) = conv2d_backward_planned(
             &cache.input,
             grad_output,
             &w_mat,
             self.geo,
             self.bias.is_some(),
+            plan.as_deref(),
         )?;
+        if let Some(plan) = &plan {
+            super::observe_sparse_call(plan, n * h_out * w_out, t0.elapsed().as_secs_f64() * 1e3);
+        }
         // Accumulate into the [O, C, k, k] gradient (identical flat layout).
         for (dst, &src) in self
             .weight
@@ -341,6 +367,62 @@ mod tests {
         // Gradients accumulate across backward calls.
         for (a, b) in w_grad_after_one.data().iter().zip(w_grad_after_two.data()) {
             assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sparse_conv_execution_is_bit_identical_to_masked_dense() {
+        let (c, o) = (3usize, 4usize);
+        // Channel-structured mask: input channel 1 pruned everywhere, plus
+        // output channel 3 fully pruned → Compact plan with dead rows and
+        // a dead column group.
+        let mut mask = Tensor::ones(&[o, c, 3, 3]);
+        for oc in 0..o {
+            for k in 0..9 {
+                mask.data_mut()[oc * c * 9 + 9 + k] = 0.0;
+            }
+        }
+        for j in 0..c * 9 {
+            mask.data_mut()[3 * c * 9 + j] = 0.0;
+        }
+        let mk_layer = |mask: &Tensor| {
+            let mut rng = rng_from_seed(7);
+            let mut conv =
+                Conv2d::new(c, o, Conv2dConfig::same3x3().with_bias(true), &mut rng).unwrap();
+            conv.weight.set_mask(mask.clone()).unwrap();
+            conv
+        };
+        let mut sparse = mk_layer(&mask);
+        let mut dense = mk_layer(&mask);
+        assert!(sparse.weight.plan.is_some());
+        let x = Tensor::from_fn(&[2, c, 5, 5], |i| ((i % 11) as f32 - 5.0) * 0.2);
+        let ctx_s = ExecCtx::train().with_sparse(true);
+        let ctx_d = ExecCtx::train().with_sparse(false);
+        let ys = sparse.forward(&x, ctx_s).unwrap();
+        let yd = dense.forward(&x, ctx_d).unwrap();
+        for (a, b) in ys.data().iter().zip(yd.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "forward diverged");
+        }
+        let dy = Tensor::from_fn(ys.shape(), |i| ((i % 9) as f32 - 4.0) * 0.3);
+        let gs = sparse.backward(&dy, ctx_s).unwrap();
+        let gd = dense.backward(&dy, ctx_d).unwrap();
+        for (a, b) in gs.data().iter().zip(gd.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "input grad diverged");
+        }
+        sparse.weight.mask_grad();
+        dense.weight.mask_grad();
+        for (a, b) in sparse
+            .weight
+            .grad
+            .data()
+            .iter()
+            .zip(dense.weight.grad.data())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "weight grad diverged");
+        }
+        let (bs, bd) = (sparse.bias.as_ref().unwrap(), dense.bias.as_ref().unwrap());
+        for (a, b) in bs.grad.data().iter().zip(bd.grad.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bias grad diverged");
         }
     }
 

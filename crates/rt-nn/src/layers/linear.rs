@@ -1,13 +1,27 @@
 use crate::{ExecCtx, Layer, NnError, Param, ParamKind, Result};
 use rand::Rng;
+use rt_sparse::{kernels as sparse_kernels, scratch, PlanKind, SparsePlan};
 use rt_tensor::linalg::Gemm;
 use rt_tensor::{init, linalg, reduce, Tensor, TensorError};
+use std::sync::Arc;
 
 /// Fully connected layer: `y = x Wᵀ + b` over `[N, in_features]` inputs.
 ///
 /// Weight layout is `[out_features, in_features]` (PyTorch convention), so
 /// row `o` of the weight is the receptive field of output feature `o` —
 /// which is also the "row" granularity unit for structured pruning.
+///
+/// # Sparsity-aware execution
+///
+/// When the weight carries a compiled [`SparsePlan`] (installed by
+/// [`Param::set_mask`]) and `ctx.sparse` is on, forward and backward
+/// dispatch through compact or CSR kernels instead of the dense masked
+/// GEMM. Both paths are bit-identical to masked-dense execution: the
+/// sparse kernels accumulate exactly the nonzero-product terms in the
+/// same order as the zero-skipping dense kernels, and pruned positions of
+/// outputs/gradients are exact `+0.0` either way. Gradients at pruned
+/// *weight* positions are only defined post-[`Param::mask_grad`] (the
+/// dense path deposits transient values there that the optimizer clears).
 pub struct Linear {
     weight: Param,
     bias: Param,
@@ -56,6 +70,22 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// The weight's compiled sparse plan, if sparse execution applies:
+    /// `ctx.sparse` is on, the plan is non-dense, and its dims describe
+    /// exactly this layer's `[out, in]` matrix (anything else falls back
+    /// to dense — which can cost speed but never correctness).
+    fn active_plan(&self, ctx: ExecCtx) -> Option<Arc<SparsePlan>> {
+        if !ctx.sparse {
+            return None;
+        }
+        self.weight.plan.clone().filter(|p| {
+            !p.is_dense()
+                && p.dims.rows == self.out_features
+                && p.dims.cols == self.in_features
+                && p.dims.col_group == 1
+        })
+    }
 }
 
 impl std::fmt::Debug for Linear {
@@ -68,7 +98,7 @@ impl std::fmt::Debug for Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         if input.ndim() != 2 || input.shape()[1] != self.in_features {
             return Err(TensorError::ShapeMismatch {
                 lhs: input.shape().to_vec(),
@@ -80,15 +110,61 @@ impl Layer for Linear {
             }
             .into());
         }
-        // y = x Wᵀ + b through the unified gemm entry point.
-        let mut out = Tensor::zeros(&[input.shape()[0], self.out_features]);
-        linalg::gemm(input, &self.weight.data, Gemm::new().trans_b(), &mut out)?;
+        let n = input.shape()[0];
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        match self.active_plan(ctx) {
+            Some(plan) if plan.kind == PlanKind::Csr => {
+                // y = x Wᵀ over the live entries only. Dead output
+                // features stay exactly +0.0, matching the zero-skipping
+                // dense kernel's accumulator.
+                let t0 = std::time::Instant::now();
+                sparse_kernels::csr_dot_xt(
+                    input.data(),
+                    n,
+                    self.weight.data.data(),
+                    &plan,
+                    out.data_mut(),
+                );
+                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+            }
+            Some(plan) => {
+                // Compact: pack live rows × live columns of W into a small
+                // dense matrix, gather the matching input columns, run a
+                // plain GEMM, and scatter outputs back (dead features
+                // zero-filled).
+                let t0 = std::time::Instant::now();
+                let (lr, lg) = (&plan.live_rows, &plan.live_col_groups);
+                let mut pw = scratch::take(lr.len() * lg.len());
+                sparse_kernels::pack_matrix_groups(self.weight.data.data(), &plan, &mut pw);
+                let mut xp = scratch::take(n * lg.len());
+                sparse_kernels::gather_cols(input.data(), n, self.in_features, lg, &mut xp);
+                let pw_t = Tensor::from_vec(vec![lr.len(), lg.len()], pw)?;
+                let xp_t = Tensor::from_vec(vec![n, lg.len()], xp)?;
+                let mut yp_t = Tensor::from_vec(vec![n, lr.len()], scratch::take(n * lr.len()))?;
+                linalg::gemm(&xp_t, &pw_t, Gemm::new().trans_b(), &mut yp_t)?;
+                sparse_kernels::scatter_cols_clear(
+                    yp_t.data(),
+                    n,
+                    lr,
+                    self.out_features,
+                    out.data_mut(),
+                );
+                scratch::put(pw_t.into_vec());
+                scratch::put(xp_t.into_vec());
+                scratch::put(yp_t.into_vec());
+                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+            }
+            None => {
+                // y = x Wᵀ + b through the unified gemm entry point.
+                linalg::gemm(input, &self.weight.data, Gemm::new().trans_b(), &mut out)?;
+            }
+        }
         out.add_row_inplace(&self.bias.data)?;
         self.cached_input = Some(input.clone());
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let input = self
             .cached_input
             .as_ref()
@@ -102,17 +178,100 @@ impl Layer for Linear {
             }
             .into());
         }
-        // dW += dYᵀ X ; db += column sums of dY ; dX = dY W.
-        linalg::gemm(
-            grad_output,
-            input,
-            Gemm::new().trans_a().acc(),
-            &mut self.weight.grad,
-        )?;
+        // db += column sums of dY (the bias is never pruned, so this is
+        // identical on every execution path).
         let gb = reduce::col_sums(grad_output)?;
         self.bias.grad.add_assign(&gb)?;
         let mut gx = Tensor::zeros(&[n, self.in_features]);
-        linalg::gemm(grad_output, &self.weight.data, Gemm::new(), &mut gx)?;
+        match self.active_plan(ctx) {
+            Some(plan) if plan.kind == PlanKind::Csr => {
+                let t0 = std::time::Instant::now();
+                // dW += dYᵀ X at live entries only (dead entries are left
+                // untouched; Param::mask_grad defines them as zero).
+                sparse_kernels::csr_grad_atb(
+                    grad_output.data(),
+                    input.data(),
+                    n,
+                    &plan,
+                    self.weight.grad.data_mut(),
+                );
+                // dX = dY W over live entries.
+                sparse_kernels::csr_dyw(
+                    grad_output.data(),
+                    n,
+                    self.weight.data.data(),
+                    &plan,
+                    gx.data_mut(),
+                );
+                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+            }
+            Some(plan) => {
+                let t0 = std::time::Instant::now();
+                let (lr, lg) = (&plan.live_rows, &plan.live_col_groups);
+                let mut pw = scratch::take(lr.len() * lg.len());
+                sparse_kernels::pack_matrix_groups(self.weight.data.data(), &plan, &mut pw);
+                let mut dyp = scratch::take(n * lr.len());
+                sparse_kernels::gather_cols(
+                    grad_output.data(),
+                    n,
+                    self.out_features,
+                    lr,
+                    &mut dyp,
+                );
+                let mut xp = scratch::take(n * lg.len());
+                sparse_kernels::gather_cols(input.data(), n, self.in_features, lg, &mut xp);
+                let pw_t = Tensor::from_vec(vec![lr.len(), lg.len()], pw)?;
+                let dyp_t = Tensor::from_vec(vec![n, lr.len()], dyp)?;
+                let xp_t = Tensor::from_vec(vec![n, lg.len()], xp)?;
+                // dW += dYᵀ X on the packed rectangle: pack the current
+                // grad, accumulate into it, scatter back (entries outside
+                // the rectangle are untouched).
+                let mut gwp_t = Tensor::from_vec(
+                    vec![lr.len(), lg.len()],
+                    scratch::take(lr.len() * lg.len()),
+                )?;
+                sparse_kernels::pack_matrix_groups(
+                    self.weight.grad.data(),
+                    &plan,
+                    gwp_t.data_mut(),
+                );
+                linalg::gemm(&dyp_t, &xp_t, Gemm::new().trans_a().acc(), &mut gwp_t)?;
+                sparse_kernels::scatter_matrix_groups(
+                    gwp_t.data(),
+                    &plan,
+                    self.weight.grad.data_mut(),
+                );
+                // dX = dY W on the packed rectangle, scattered to the full
+                // width (dead input features get exact +0.0, same as the
+                // dense kernel produces).
+                let mut gxp_t =
+                    Tensor::from_vec(vec![n, lg.len()], scratch::take(n * lg.len()))?;
+                linalg::gemm(&dyp_t, &pw_t, Gemm::new(), &mut gxp_t)?;
+                sparse_kernels::scatter_cols_clear(
+                    gxp_t.data(),
+                    n,
+                    lg,
+                    self.in_features,
+                    gx.data_mut(),
+                );
+                scratch::put(pw_t.into_vec());
+                scratch::put(dyp_t.into_vec());
+                scratch::put(xp_t.into_vec());
+                scratch::put(gwp_t.into_vec());
+                scratch::put(gxp_t.into_vec());
+                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+            }
+            None => {
+                // dW += dYᵀ X ; dX = dY W.
+                linalg::gemm(
+                    grad_output,
+                    input,
+                    Gemm::new().trans_a().acc(),
+                    &mut self.weight.grad,
+                )?;
+                linalg::gemm(grad_output, &self.weight.data, Gemm::new(), &mut gx)?;
+            }
+        }
         Ok(gx)
     }
 
@@ -175,6 +334,74 @@ mod tests {
             lin.backward(&Tensor::ones(&[1, 2]), ExecCtx::default()),
             Err(NnError::BackwardBeforeForward { .. })
         ));
+    }
+
+    /// Forward, input gradient, bias gradient, and (post-`mask_grad`)
+    /// weight gradient must match masked-dense execution bit-for-bit.
+    fn assert_sparse_matches_dense(mask: Vec<f32>) {
+        let (o, i, n) = (4usize, 6usize, 3usize);
+        let mk_layer = || {
+            let mut rng = rng_from_seed(42);
+            let mut lin = Linear::new(i, o, &mut rng).unwrap();
+            lin.weight
+                .set_mask(Tensor::from_vec(vec![o, i], mask.clone()).unwrap())
+                .unwrap();
+            lin
+        };
+        let x = Tensor::from_fn(&[n, i], |idx| ((idx % 7) as f32 - 3.0) * 0.25);
+        let dy = Tensor::from_fn(&[n, o], |idx| ((idx % 5) as f32 - 2.0) * 0.5);
+        let mut sparse = mk_layer();
+        let mut dense = mk_layer();
+        let ctx_s = ExecCtx::train().with_sparse(true);
+        let ctx_d = ExecCtx::train().with_sparse(false);
+        let ys = sparse.forward(&x, ctx_s).unwrap();
+        let yd = dense.forward(&x, ctx_d).unwrap();
+        for (a, b) in ys.data().iter().zip(yd.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "forward diverged");
+        }
+        let gxs = sparse.backward(&dy, ctx_s).unwrap();
+        let gxd = dense.backward(&dy, ctx_d).unwrap();
+        for (a, b) in gxs.data().iter().zip(gxd.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "input grad diverged");
+        }
+        sparse.weight.mask_grad();
+        dense.weight.mask_grad();
+        for (a, b) in sparse
+            .weight
+            .grad
+            .data()
+            .iter()
+            .zip(dense.weight.grad.data())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "weight grad diverged");
+        }
+        for (a, b) in sparse.bias.grad.data().iter().zip(dense.bias.grad.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bias grad diverged");
+        }
+    }
+
+    #[test]
+    fn row_structured_sparse_execution_is_bit_identical() {
+        // Rows 1 and 3 fully pruned, row 0/2 live, plus a dead column →
+        // Compact plan.
+        let mut mask = vec![0.0f32; 4 * 6];
+        for r in [0usize, 2] {
+            for c in 0..6 {
+                if c != 5 {
+                    mask[r * 6 + c] = 1.0;
+                }
+            }
+        }
+        assert_sparse_matches_dense(mask);
+    }
+
+    #[test]
+    fn unstructured_sparse_execution_is_bit_identical() {
+        // ~23% density scattered mask → CSR plan.
+        let mask: Vec<f32> = (0..4 * 6)
+            .map(|j| if (j * 7) % 13 < 3 { 1.0 } else { 0.0 })
+            .collect();
+        assert_sparse_matches_dense(mask);
     }
 
     #[test]

@@ -12,6 +12,16 @@ mod flatten;
 mod linear;
 mod pool;
 
+/// Records per-call sparse-execution telemetry (no-ops when metrics are
+/// disabled): how long the planned kernel took and how many multiply-adds
+/// the plan skipped relative to a dense pass over the same shapes.
+pub(crate) fn observe_sparse_call(plan: &rt_sparse::SparsePlan, batch: usize, elapsed_ms: f64) {
+    if rt_obs::metrics_enabled() {
+        rt_obs::histogram("sparse.gemm_ms").observe(elapsed_ms);
+        rt_obs::counter("sparse.flops_saved").add(plan.flops_saved(batch));
+    }
+}
+
 pub use activation::Relu;
 pub use batchnorm::BatchNorm2d;
 pub use conv::{Conv2d, Conv2dConfig};

@@ -65,7 +65,7 @@ pub mod optim;
 pub mod schedule;
 
 pub use error::NnError;
-pub use layer::{ExecCtx, Layer, Mode, Sequential};
+pub use layer::{set_sparse_exec_default, sparse_exec_default, ExecCtx, Layer, Mode, Sequential};
 pub use param::{Param, ParamKind};
 
 /// Convenience alias for results produced by this crate.

@@ -6,6 +6,13 @@
 //! 2. the mask is re-applied to the weights after the update,
 //!
 //! so pruned weights stay *exactly* zero throughout training.
+//!
+//! When a parameter carries a compiled sparse plan (see
+//! [`crate::Param::set_mask`]), [`Sgd`] iterates only the plan's live
+//! indices instead of scanning the full buffers. Because pruned positions
+//! of `data`/`grad`/`velocity` are invariantly exact `+0.0`, the dense
+//! scan is a no-op there (`v = μ·0 + 0 = 0`, `d -= lr·0`), so the sparse
+//! step is bit-identical and the final `apply_mask` becomes redundant.
 
 use crate::{ExecCtx, Layer, NnError, ParamKind, Result};
 
@@ -103,18 +110,38 @@ impl Sgd {
             };
             let mu = self.momentum;
             let lr = self.lr;
-            for ((d, g), v) in p
-                .data
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data())
-                .zip(p.velocity.data_mut())
-            {
-                let grad = g + wd * *d;
-                *v = mu * *v + grad;
-                *d -= lr * *v;
+            let sparse_plan = p
+                .plan
+                .clone()
+                .filter(|plan| !plan.is_dense() && plan.dims.len() == p.len());
+            if let Some(plan) = sparse_plan {
+                // Masked fast path: only live entries can change (pruned
+                // positions hold exact +0.0 in data/grad/velocity, so the
+                // dense scan is a no-op there). Bit-identical to the
+                // full scan, and the mask needs no re-application.
+                let d = p.data.data_mut();
+                let g = p.grad.data();
+                let v = p.velocity.data_mut();
+                for &i in &plan.live_idx {
+                    let i = i as usize;
+                    let grad = g[i] + wd * d[i];
+                    v[i] = mu * v[i] + grad;
+                    d[i] -= lr * v[i];
+                }
+            } else {
+                for ((d, g), v) in p
+                    .data
+                    .data_mut()
+                    .iter_mut()
+                    .zip(p.grad.data())
+                    .zip(p.velocity.data_mut())
+                {
+                    let grad = g + wd * *d;
+                    *v = mu * *v + grad;
+                    *d -= lr * *v;
+                }
+                p.apply_mask();
             }
-            p.apply_mask();
             p.zero_grad();
         }
         Ok(())
@@ -346,6 +373,47 @@ mod tests {
                 "pruned weight must remain exactly zero"
             );
             assert_ne!(model.params()[0].data.data()[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn sgd_sparse_fast_path_is_bit_identical_to_dense_scan() {
+        let mask = Tensor::from_vec(vec![1, 2], vec![1.0, 0.0]).unwrap();
+        let mut fast = toy_model();
+        fast.params_mut()[0].set_mask(mask.clone()).unwrap();
+        let mut dense = toy_model();
+        dense.params_mut()[0].set_mask(mask).unwrap();
+        // Dropping the plan forces the full-scan path (mask stays).
+        dense.params_mut()[0].plan = None;
+        let opt = Sgd::new(0.1).with_momentum(0.9).with_weight_decay(0.01);
+        for step in 0..4 {
+            for m in [&mut fast, &mut dense] {
+                m.params_mut()[0]
+                    .grad
+                    .fill(1.5 - step as f32 * 0.7 /* sign flips */);
+            }
+            opt.step(&mut fast).unwrap();
+            opt.step(&mut dense).unwrap();
+            for (f, d) in [0usize, 1].iter().map(|&i| {
+                (
+                    fast.params()[i].data.data().to_vec(),
+                    dense.params()[i].data.data().to_vec(),
+                )
+            }) {
+                for (a, b) in f.iter().zip(&d) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            for (a, b) in fast.params()[0]
+                .velocity
+                .data()
+                .iter()
+                .zip(dense.params()[0].velocity.data())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Pruned slot is exact +0.0 on both paths.
+            assert_eq!(fast.params()[0].data.data()[1].to_bits(), 0);
         }
     }
 

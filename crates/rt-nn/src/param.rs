@@ -1,6 +1,8 @@
 use crate::{NnError, Result};
+use rt_sparse::{build_plan, BitMask, MatrixDims, SparsePlan};
 use rt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Role of a parameter inside its layer. Pruning only ever touches
 /// [`ParamKind::Weight`]; biases and BatchNorm affine parameters are left
@@ -25,9 +27,15 @@ pub enum ParamKind {
 ///
 /// * `grad`, `velocity`, and (when present) `mask`, `frozen`, `scores` all
 ///   share `data`'s shape.
-/// * If `mask` is `Some`, every element of `data` at a zero mask position is
-///   zero after [`Param::apply_mask`]; the optimizer re-establishes this
-///   after each step.
+/// * If `mask` is `Some`, every element of `data`, `grad`, and `velocity`
+///   at a zero mask position is exactly `+0.0` after [`Param::set_mask`];
+///   [`Param::apply_mask`] / [`Param::mask_grad`] and the optimizer
+///   re-establish this after each step. Masking is *assignment* to `0.0`,
+///   never multiplication (multiplying a negative value by `0.0` yields
+///   `-0.0`, which would break bit-level equivalence with the sparse
+///   execution kernels).
+/// * If `plan` is `Some`, it was compiled from the current `mask` and
+///   shares its support exactly.
 #[derive(Debug, Clone)]
 pub struct Param {
     /// Stable human-readable name (e.g. `"stage1.block0.conv1.weight"`).
@@ -40,6 +48,11 @@ pub struct Param {
     pub velocity: Tensor,
     /// Binary pruning mask (`1.0` = keep, `0.0` = pruned). `None` = dense.
     pub mask: Option<Tensor>,
+    /// Sparse execution plan compiled from `mask` by [`Param::set_mask`]
+    /// for prunable weight matrices/kernels. `None` for dense parameters,
+    /// non-weight parameters, and shapes the sparse engine does not cover.
+    /// Shared via `Arc` so layers can hold a cheap reference across calls.
+    pub plan: Option<Arc<SparsePlan>>,
     /// Frozen copy of the pretrained weights, used by LMP where the weights
     /// are never updated but the mask is learned on top of them.
     pub frozen: Option<Tensor>,
@@ -63,6 +76,7 @@ impl Param {
             velocity: Tensor::zeros(&shape),
             data,
             mask: None,
+            plan: None,
             frozen: None,
             scores: None,
             kind,
@@ -85,7 +99,13 @@ impl Param {
         self.grad.fill(0.0);
     }
 
-    /// Installs a pruning mask and immediately applies it to the data.
+    /// Installs a pruning mask, immediately applies it to the data,
+    /// gradient, and momentum buffers, and — for prunable weight shapes —
+    /// compiles a [`SparsePlan`] the layers consult at execution time.
+    ///
+    /// Plan compilation happens **once here**, not per forward call: conv
+    /// and linear layers only read the finished plan, so installing a mask
+    /// is the single point where sparsity analysis runs.
     ///
     /// # Errors
     ///
@@ -102,32 +122,78 @@ impl Param {
                 ),
             });
         }
+        let bits = BitMask::from_dense(mask.data());
+        // Establish the invariant that *all* per-weight state is exactly
+        // +0.0 at pruned positions, so sparse kernels that never touch dead
+        // entries agree bit-for-bit with masked-dense execution.
+        bits.zero_pruned(self.data.data_mut());
+        bits.zero_pruned(self.grad.data_mut());
+        bits.zero_pruned(self.velocity.data_mut());
+        self.plan = self.plan_dims().map(|dims| {
+            let plan = build_plan(&bits, dims);
+            if rt_obs::metrics_enabled() {
+                rt_obs::counter(match plan.kind {
+                    rt_sparse::PlanKind::Dense => "sparse.plan.dense",
+                    rt_sparse::PlanKind::Compact => "sparse.plan.compact",
+                    rt_sparse::PlanKind::Csr => "sparse.plan.csr",
+                })
+                .inc();
+                rt_obs::histogram("sparse.density").observe(plan.density());
+            }
+            Arc::new(plan)
+        });
         self.mask = Some(mask);
-        self.apply_mask();
         Ok(())
     }
 
-    /// Removes the mask (the zeroed weights stay zero until trained again).
-    pub fn clear_mask(&mut self) {
-        self.mask = None;
+    /// The sparse-engine matrix view of this parameter, if it has one:
+    /// rank-2 weights map to a plain `[out, in]` matrix, rank-4 conv
+    /// kernels to a `[out_channels, in_channels·k·k]` matrix whose columns
+    /// group into `k·k`-wide blocks (one block per input channel, matching
+    /// the `im2col` lowering). Biases, BN affine parameters, and other
+    /// ranks are not planned.
+    fn plan_dims(&self) -> Option<MatrixDims> {
+        if self.kind != ParamKind::Weight {
+            return None;
+        }
+        match self.data.shape() {
+            &[o, i] => Some(MatrixDims::linear(o, i)),
+            &[o, c, kh, kw] => Some(MatrixDims::grouped(o, c * kh * kw, kh * kw)),
+            _ => None,
+        }
     }
 
-    /// Multiplies `data` by the mask, forcing pruned weights to exactly zero.
-    /// A no-op for dense parameters.
+    /// Removes the mask and its compiled plan (the zeroed weights stay
+    /// zero until trained again).
+    pub fn clear_mask(&mut self) {
+        self.mask = None;
+        self.plan = None;
+    }
+
+    /// Forces pruned weights to exactly `+0.0` (assignment, not
+    /// multiplication). A no-op for dense parameters.
     pub fn apply_mask(&mut self) {
-        if let Some(mask) = &self.mask {
+        if let Some(plan) = &self.plan {
+            plan.bits.zero_pruned(self.data.data_mut());
+        } else if let Some(mask) = &self.mask {
             for (d, &m) in self.data.data_mut().iter_mut().zip(mask.data()) {
-                *d *= m;
+                if m == 0.0 {
+                    *d = 0.0;
+                }
             }
         }
     }
 
-    /// Multiplies `grad` by the mask so pruned weights receive no update.
-    /// A no-op for dense parameters.
+    /// Forces pruned gradient entries to exactly `+0.0` so pruned weights
+    /// receive no update. A no-op for dense parameters.
     pub fn mask_grad(&mut self) {
-        if let Some(mask) = &self.mask {
+        if let Some(plan) = &self.plan {
+            plan.bits.zero_pruned(self.grad.data_mut());
+        } else if let Some(mask) = &self.mask {
             for (g, &m) in self.grad.data_mut().iter_mut().zip(mask.data()) {
-                *g *= m;
+                if m == 0.0 {
+                    *g = 0.0;
+                }
             }
         }
     }
@@ -201,6 +267,78 @@ mod tests {
         p.grad.fill(5.0);
         p.mask_grad();
         assert_eq!(p.grad.data(), &[5.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn set_mask_compiles_a_plan_and_zeroes_all_state() {
+        let mut p = param();
+        p.grad.fill(3.0);
+        p.velocity.fill(-2.0);
+        let mask = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        p.set_mask(mask).unwrap();
+        let plan = p.plan.as_ref().expect("weight params get a plan");
+        assert_eq!(plan.nnz, 2);
+        assert_eq!(plan.dims.rows, 2);
+        assert_eq!(plan.dims.cols, 2);
+        // data, grad, AND velocity are exactly +0.0 at pruned positions.
+        for buf in [p.data.data(), p.grad.data(), p.velocity.data()] {
+            assert_eq!(buf[1].to_bits(), 0);
+            assert_eq!(buf[3].to_bits(), 0);
+        }
+        // Live entries are untouched.
+        assert_eq!(p.grad.data()[0], 3.0);
+        assert_eq!(p.velocity.data()[2], -2.0);
+        p.clear_mask();
+        assert!(p.plan.is_none());
+    }
+
+    #[test]
+    fn masking_assigns_positive_zero_never_negative() {
+        let mut p = param(); // data = [1, -2, 3, -4]
+        p.set_mask(Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 1.0, 0.0]).unwrap())
+            .unwrap();
+        // -2.0 * 0.0 would be -0.0; assignment must give +0.0.
+        assert_eq!(p.data.data()[1].to_bits(), 0);
+        assert_eq!(p.data.data()[3].to_bits(), 0);
+        p.grad.fill(-5.0);
+        p.mask_grad();
+        assert_eq!(p.grad.data()[1].to_bits(), 0);
+        assert_eq!(p.grad.data(), &[-5.0, 0.0, -5.0, 0.0]);
+    }
+
+    #[test]
+    fn non_weight_params_get_no_plan() {
+        let mut b = Param::new(
+            "b",
+            Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+            ParamKind::Bias,
+        );
+        b.set_mask(Tensor::ones(&[4])).unwrap();
+        assert!(b.plan.is_none());
+        // Masking still works through the dense fallback path.
+        let mut w1 = Param::new("w1", Tensor::ones(&[4]), ParamKind::Weight);
+        w1.set_mask(Tensor::from_vec(vec![4], vec![1.0, 0.0, 1.0, 0.0]).unwrap())
+            .unwrap();
+        assert!(w1.plan.is_none(), "rank-1 weights are not planned");
+        assert_eq!(w1.data.data(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_weights_plan_with_kernel_col_groups() {
+        let mut p = Param::new("conv", Tensor::ones(&[4, 3, 3, 3]), ParamKind::Weight);
+        let mut mask = Tensor::ones(&[4, 3, 3, 3]);
+        // Prune input channel 1 everywhere (channel-structured).
+        for o in 0..4 {
+            for k in 0..9 {
+                mask.data_mut()[o * 27 + 9 + k] = 0.0;
+            }
+        }
+        p.set_mask(mask).unwrap();
+        let plan = p.plan.as_ref().unwrap();
+        assert_eq!(plan.dims.rows, 4);
+        assert_eq!(plan.dims.cols, 27);
+        assert_eq!(plan.dims.col_group, 9);
+        assert_eq!(plan.nnz, 4 * 18);
     }
 
     #[test]

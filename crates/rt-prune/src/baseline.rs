@@ -185,6 +185,7 @@ mod tests {
         let mut pruned_max: f32 = 0.0;
         for (mask, p) in ticket.masks().iter().zip(m.params()) {
             let Some(mask) = mask else { continue };
+            let mask = mask.to_tensor();
             for ((&w, &g), &keep) in p.data.data().iter().zip(p.grad.data()).zip(mask.data()) {
                 let s = (w * g).abs();
                 if keep > 0.0 {

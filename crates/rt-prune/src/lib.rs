@@ -36,9 +36,9 @@ pub use baseline::{random_ticket, saliency_ticket};
 pub use granularity::Granularity;
 pub use imp::{imp, imp_with_observer, ImpConfig};
 pub use lmp::{finalize_lmp, init_lmp, lmp_apply_masks, lmp_update_scores, ScoreInit};
-pub use mask::{PruneScope, TicketMask};
+pub use mask::{PackedMask, PruneScope, TicketMask};
 pub use omp::{omp, OmpConfig};
-pub use stats::{layer_sparsity_report, model_sparsity, LayerSparsity};
+pub use stats::{layer_sparsity_report, model_sparsity, sparse_exec_report, LayerExecStats, LayerSparsity};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, rt_nn::NnError>;

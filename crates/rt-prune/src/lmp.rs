@@ -80,7 +80,9 @@ pub fn lmp_apply_masks(model: &mut dyn Layer, sparsity: f64) -> Result<()> {
         let mut eff = frozen.clone();
         eff.mul_assign(&mask)?;
         p.data = eff;
-        p.mask = Some(mask);
+        // set_mask (rather than a raw `p.mask` assignment) re-canonicalizes
+        // pruned entries to +0.0 and compiles the sparse execution plan.
+        p.set_mask(mask)?;
     }
     Ok(())
 }

@@ -1,7 +1,15 @@
 //! Ticket masks and pruning scope.
+//!
+//! Masks are stored **packed**: one bit per weight in a
+//! [`rt_sparse::BitMask`] plus the tensor shape, a 32× memory reduction
+//! over the legacy one-`f32`-per-weight representation. The JSON wire
+//! format is unchanged — (de)serialization goes through the legacy dense
+//! layout, so tickets written by older builds load bit-for-bit and new
+//! tickets remain readable by them.
 
 use crate::Result;
 use rt_nn::{Layer, NnError, Param, ParamKind};
+use rt_sparse::BitMask;
 use rt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -42,15 +50,88 @@ impl Default for PruneScope {
     }
 }
 
+/// One parameter's mask in packed form: a shape plus one bit per element
+/// (`1` = keep, `0` = pruned).
+///
+/// This is the in-memory representation of a ticket slot. Code that needs
+/// the legacy dense `f32` view (one `1.0`/`0.0` per weight) materializes it
+/// on demand with [`PackedMask::to_tensor`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedMask {
+    shape: Vec<usize>,
+    bits: BitMask,
+}
+
+impl PackedMask {
+    /// Packs a dense mask tensor: any nonzero entry becomes a keep bit.
+    pub fn from_tensor(mask: &Tensor) -> Self {
+        PackedMask {
+            shape: mask.shape().to_vec(),
+            bits: BitMask::from_dense(mask.data()),
+        }
+    }
+
+    /// Materializes the legacy dense view: `1.0` where kept, `0.0` where
+    /// pruned.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.shape.clone(), self.bits.to_f32_vec())
+            .expect("PackedMask shape/len invariant")
+    }
+
+    /// The mask's tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The packed keep bits.
+    pub fn bits(&self) -> &BitMask {
+        &self.bits
+    }
+
+    /// Number of weights governed by the mask.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the mask covers zero weights.
+    pub fn is_empty(&self) -> bool {
+        self.bits.len() == 0
+    }
+
+    /// Number of kept weights.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Number of pruned weights.
+    pub fn count_zeros(&self) -> usize {
+        self.bits.len() - self.bits.count_ones()
+    }
+
+    /// Fraction of weights kept.
+    pub fn density(&self) -> f64 {
+        self.bits.density()
+    }
+
+    /// Whether every weight kept by `self` is also kept by `other` —
+    /// i.e. `self` is the *sparser* (later-round) mask of a nested pair.
+    pub fn is_subset_of(&self, other: &PackedMask) -> bool {
+        self.bits.is_subset_of(&other.bits)
+    }
+}
+
 /// A ticket: one optional binary mask per model parameter, aligned with the
 /// model's stable [`Layer::params`] order. `None` entries are dense.
 ///
 /// Masks serialize to JSON, so tickets can be stored and re-applied to a
 /// freshly restored pretrained model — the paper's pipeline of drawing a
-/// ticket once and transferring it to many downstream tasks.
+/// ticket once and transferring it to many downstream tasks. On the wire a
+/// ticket uses the legacy dense layout (see [`LegacyTicketMask`] below);
+/// in memory each slot is a [`PackedMask`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(from = "LegacyTicketMask", into = "LegacyTicketMask")]
 pub struct TicketMask {
-    masks: Vec<Option<Tensor>>,
+    masks: Vec<Option<PackedMask>>,
 }
 
 impl TicketMask {
@@ -61,20 +142,25 @@ impl TicketMask {
         }
     }
 
-    /// Builds a ticket from explicit per-parameter masks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a provided mask's shape disagrees with any later
-    /// application target — shape checking happens in [`TicketMask::apply`].
+    /// Builds a ticket from explicit per-parameter dense masks, packing
+    /// each one (any nonzero entry is a keep).
     pub fn from_masks(masks: Vec<Option<Tensor>>) -> Self {
-        TicketMask { masks }
+        TicketMask {
+            masks: masks
+                .iter()
+                .map(|m| m.as_ref().map(PackedMask::from_tensor))
+                .collect(),
+        }
     }
 
     /// Captures the masks currently installed on `model`.
     pub fn capture(model: &dyn Layer) -> Self {
         TicketMask {
-            masks: model.params().iter().map(|p| p.mask.clone()).collect(),
+            masks: model
+                .params()
+                .iter()
+                .map(|p| p.mask.as_ref().map(PackedMask::from_tensor))
+                .collect(),
         }
     }
 
@@ -88,18 +174,24 @@ impl TicketMask {
         self.masks.is_empty()
     }
 
-    /// Immutable access to the per-parameter masks.
-    pub fn masks(&self) -> &[Option<Tensor>] {
+    /// Immutable access to the per-parameter packed masks.
+    pub fn masks(&self) -> &[Option<PackedMask>] {
         &self.masks
     }
 
-    /// Mutable access to the per-parameter masks.
-    pub fn masks_mut(&mut self) -> &mut [Option<Tensor>] {
-        &mut self.masks
+    /// Replaces slot `index` with `mask` (packed on the way in) or clears
+    /// it with `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_slot(&mut self, index: usize, mask: Option<Tensor>) {
+        self.masks[index] = mask.as_ref().map(PackedMask::from_tensor);
     }
 
     /// Installs the ticket on `model`: every `Some` mask is applied (zeroing
-    /// the pruned weights), every `None` slot has its mask cleared.
+    /// the pruned weights and compiling the parameter's sparse execution
+    /// plan), every `None` slot has its mask cleared.
     ///
     /// # Errors
     ///
@@ -118,7 +210,7 @@ impl TicketMask {
         }
         for (p, m) in params.into_iter().zip(&self.masks) {
             match m {
-                Some(mask) => p.set_mask(mask.clone())?,
+                Some(mask) => p.set_mask(mask.to_tensor())?,
                 None => p.clear_mask(),
             }
         }
@@ -143,6 +235,32 @@ impl TicketMask {
     /// Total number of weights governed by masks.
     pub fn masked_weight_count(&self) -> usize {
         self.masks.iter().flatten().map(|m| m.len()).sum()
+    }
+}
+
+/// The legacy wire format: one dense `f32` tensor per masked slot. Tickets
+/// serialize through this struct so JSON written by older builds
+/// deserializes unchanged and new tickets stay readable by them.
+#[derive(Serialize, Deserialize)]
+struct LegacyTicketMask {
+    masks: Vec<Option<Tensor>>,
+}
+
+impl From<LegacyTicketMask> for TicketMask {
+    fn from(legacy: LegacyTicketMask) -> Self {
+        TicketMask::from_masks(legacy.masks)
+    }
+}
+
+impl From<TicketMask> for LegacyTicketMask {
+    fn from(ticket: TicketMask) -> Self {
+        LegacyTicketMask {
+            masks: ticket
+                .masks
+                .iter()
+                .map(|m| m.as_ref().map(PackedMask::to_tensor))
+                .collect(),
+        }
     }
 }
 
@@ -195,11 +313,36 @@ mod tests {
         // Mask the first weight param halfway.
         let shape = m.params()[0].data.shape().to_vec();
         let mask = Tensor::from_fn(&shape, |i| (i % 2) as f32);
-        ticket.masks_mut()[0] = Some(mask);
+        ticket.set_slot(0, Some(mask));
         ticket.apply(&mut m).unwrap();
         let captured = TicketMask::capture(&m);
         assert_eq!(captured, ticket);
         assert!(captured.sparsity() > 0.0);
+    }
+
+    #[test]
+    fn packed_mask_round_trips_and_binarizes() {
+        // from_tensor treats any nonzero as keep; to_tensor is exact 0/1.
+        let t = Tensor::from_vec(vec![2, 3], vec![0.5, 0.0, -2.0, 0.0, 1.0, 3.0]).unwrap();
+        let packed = PackedMask::from_tensor(&t);
+        assert_eq!(packed.shape(), &[2, 3]);
+        assert_eq!(packed.len(), 6);
+        assert_eq!(packed.count_ones(), 4);
+        assert_eq!(packed.count_zeros(), 2);
+        assert!((packed.density() - 4.0 / 6.0).abs() < 1e-12);
+        let dense = packed.to_tensor();
+        assert_eq!(dense.data(), &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0]);
+        assert_eq!(PackedMask::from_tensor(&dense), packed);
+    }
+
+    #[test]
+    fn packed_mask_subset_ordering() {
+        let wide = Tensor::from_vec(vec![4], vec![1.0, 1.0, 1.0, 0.0]).unwrap();
+        let narrow = Tensor::from_vec(vec![4], vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        let wide = PackedMask::from_tensor(&wide);
+        let narrow = PackedMask::from_tensor(&narrow);
+        assert!(narrow.is_subset_of(&wide));
+        assert!(!wide.is_subset_of(&narrow));
     }
 
     #[test]
@@ -229,9 +372,26 @@ mod tests {
         let m = model();
         let mut ticket = TicketMask::dense(&m);
         let shape = m.params()[0].data.shape().to_vec();
-        ticket.masks_mut()[0] = Some(Tensor::zeros(&shape));
+        ticket.set_slot(0, Some(Tensor::zeros(&shape)));
         let json = serde_json::to_string(&ticket).unwrap();
         let back: TicketMask = serde_json::from_str(&json).unwrap();
         assert_eq!(back, ticket);
+    }
+
+    #[test]
+    fn serde_uses_legacy_dense_wire_format() {
+        // New packed tickets must read/write the exact JSON produced by the
+        // old one-f32-per-weight representation.
+        let mask = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let legacy_json = format!(
+            "{{\"masks\":[null,{}]}}",
+            serde_json::to_string(&mask).unwrap()
+        );
+        let ticket: TicketMask = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(ticket.len(), 2);
+        assert!(ticket.masks()[0].is_none());
+        assert_eq!(ticket.masks()[1].as_ref().unwrap().to_tensor(), mask);
+        // Round-tripping reproduces the legacy layout byte-for-byte.
+        assert_eq!(serde_json::to_string(&ticket).unwrap(), legacy_json);
     }
 }

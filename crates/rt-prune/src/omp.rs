@@ -200,7 +200,7 @@ mod tests {
             p.data = Tensor::from_fn(p.data.shape(), |i| ((i % n) + 1) as f32 * 0.001);
         }
         let ticket = omp(&m, &OmpConfig::unstructured(0.5)).unwrap();
-        let mask0 = ticket.masks()[0].as_ref().unwrap();
+        let mask0 = ticket.masks()[0].as_ref().unwrap().to_tensor();
         let w0 = &m.params()[0].data;
         // All kept weights in param 0 must have magnitude >= all pruned ones.
         let mut kept_min = f32::MAX;
@@ -237,6 +237,7 @@ mod tests {
             let ticket = omp(&m, &OmpConfig::structured(0.5, gran)).unwrap();
             for (mask, p) in ticket.masks().iter().zip(m.params()) {
                 let Some(mask) = mask else { continue };
+                let mask = mask.to_tensor();
                 let glen = gran.group_len(p.data.shape());
                 for group in mask.data().chunks(glen) {
                     let sum: f32 = group.iter().sum();

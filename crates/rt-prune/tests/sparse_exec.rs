@@ -1,0 +1,145 @@
+//! Property-based equivalence tests for the sparse execution engine.
+//!
+//! The contract under test: with identical weights, masks, and inputs, the
+//! compiled sparse plans (compact GEMM, CSR, sparse optimizer fast path)
+//! produce **bit-identical** floats to the legacy masked-dense path —
+//! forward, backward, and optimizer step — at every granularity and
+//! density. `ci.sh` runs this binary under both `RT_THREADS=1` and
+//! `RT_THREADS=4`, so the identity is also checked across thread counts.
+
+use proptest::prelude::*;
+use rt_models::{MicroResNet, ResNetConfig};
+use rt_nn::checkpoint::StateDict;
+use rt_nn::loss::CrossEntropyLoss;
+use rt_nn::optim::Sgd;
+use rt_nn::{ExecCtx, Layer};
+use rt_prune::{imp, omp, Granularity, ImpConfig, OmpConfig, TicketMask};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::{init, Tensor};
+
+fn model(seed: u64) -> MicroResNet {
+    MicroResNet::new(&ResNetConfig::smoke(3), &mut rng_from_seed(seed)).expect("model")
+}
+
+/// Strips every compiled plan so the model runs the legacy masked-dense
+/// path even where plans would exist.
+fn clear_plans(m: &mut dyn Layer) {
+    for p in m.params_mut() {
+        p.plan = None;
+    }
+}
+
+/// Reinterprets floats as bit patterns: equality below is exact, not
+/// approximate — `-0.0 != +0.0`, NaN payloads matter.
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|f| f.to_bits()).collect()
+}
+
+/// Runs one train step (forward, CE loss, backward, SGD step) and returns
+/// the logits.
+fn train_step(
+    m: &mut MicroResNet,
+    x: &Tensor,
+    labels: &[usize],
+    ctx: ExecCtx,
+    opt: &Sgd,
+) -> Tensor {
+    let logits = m.forward(x, ctx).expect("forward");
+    let out = CrossEntropyLoss::new()
+        .forward(&logits, labels)
+        .expect("loss");
+    m.backward(&out.grad, ctx).expect("backward");
+    opt.step(m).expect("step");
+    logits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sparse execution is bit-identical to masked-dense across the full
+    /// grid of mask granularities and densities, through two complete
+    /// train steps (forward + backward + momentum SGD).
+    #[test]
+    fn sparse_execution_is_bit_identical(
+        gran_idx in 0usize..4,
+        density in prop::sample::select(vec![0.05f64, 0.2, 0.5, 1.0]),
+        seed in 0u64..8,
+    ) {
+        let gran = [
+            Granularity::Element,
+            Granularity::Row,
+            Granularity::Kernel,
+            Granularity::Channel,
+        ][gran_idx];
+        let sparsity = 1.0 - density;
+        let mut sparse = model(seed);
+        let mut dense = model(seed);
+        let cfg = if gran == Granularity::Element {
+            OmpConfig::unstructured(sparsity)
+        } else {
+            OmpConfig::structured(sparsity, gran)
+        };
+        let ticket = omp(&sparse, &cfg).expect("omp");
+        ticket.apply(&mut sparse).expect("apply sparse");
+        ticket.apply(&mut dense).expect("apply dense");
+        // The dense twin runs the legacy path end to end: no plans for the
+        // kernels, no sparse fast path in the optimizer.
+        clear_plans(&mut dense);
+
+        let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(seed ^ 0x5eed));
+        let labels = [0usize, 1, 2, 0];
+        let opt_s = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(1e-4);
+        let opt_d = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(1e-4);
+        for step in 0..2 {
+            let ys = train_step(&mut sparse, &x, &labels, ExecCtx::train().with_sparse(true), &opt_s);
+            let yd = train_step(&mut dense, &x, &labels, ExecCtx::train().with_sparse(false), &opt_d);
+            prop_assert_eq!(bits(ys.data()), bits(yd.data()), "logits diverged at step {}", step);
+        }
+        for (ps, pd) in sparse.params().iter().zip(dense.params()) {
+            prop_assert_eq!(bits(ps.data.data()), bits(pd.data.data()), "weights diverged: {}", &ps.name);
+            prop_assert_eq!(bits(ps.velocity.data()), bits(pd.velocity.data()), "velocity diverged: {}", &ps.name);
+        }
+        // Eval-mode forward after training agrees too.
+        let ys = sparse.forward(&x, ExecCtx::eval().with_sparse(true)).expect("eval");
+        let yd = dense.forward(&x, ExecCtx::eval().with_sparse(false)).expect("eval");
+        prop_assert_eq!(bits(ys.data()), bits(yd.data()));
+    }
+}
+
+/// A full (miniature) A-IMP pipeline — iterative prune → rewind → retrain —
+/// yields the exact same ticket and final weights whether every round
+/// executes through sparse plans or the legacy masked-dense path.
+#[test]
+fn imp_pipeline_is_bit_identical_under_sparse_execution() {
+    fn run(sparse_exec: bool) -> (TicketMask, MicroResNet) {
+        let mut m = model(5);
+        let pre = StateDict::capture(&m);
+        let cfg = ImpConfig::paper(0.6, 2);
+        let opt = Sgd::new(0.05).with_momentum(0.9);
+        let ticket = imp(&mut m, &pre, &cfg, |net, round| {
+            if !sparse_exec {
+                clear_plans(net);
+            }
+            let ctx = ExecCtx::train().with_sparse(sparse_exec);
+            let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(100 + round as u64));
+            let logits = net.forward(&x, ctx)?;
+            let out = CrossEntropyLoss::new().forward(&logits, &[0, 1, 2, 0])?;
+            net.backward(&out.grad, ctx)?;
+            opt.step(net)
+        })
+        .expect("imp");
+        (ticket, m)
+    }
+    let (ticket_s, model_s) = run(true);
+    let (ticket_d, model_d) = run(false);
+    assert_eq!(ticket_s, ticket_d, "tickets diverged");
+    assert!(ticket_s.sparsity() > 0.5);
+    for (ps, pd) in model_s.params().iter().zip(model_d.params()) {
+        assert_eq!(
+            bits(ps.data.data()),
+            bits(pd.data.data()),
+            "weights diverged: {}",
+            ps.name
+        );
+    }
+}

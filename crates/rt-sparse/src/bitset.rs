@@ -1,0 +1,326 @@
+//! Packed bitset storage for ticket masks.
+//!
+//! The legacy representation of a mask was one `f32` per weight — 32 bits
+//! to store one bit. [`BitMask`] packs the same information into `u64`
+//! words (a 32× memory reduction), while [`BitMask::to_f32_vec`] /
+//! [`BitMask::write_f32_into`] materialize the legacy dense view on demand
+//! for code that still multiplies masks elementwise.
+
+/// A fixed-length packed bitset. Bit `i` lives in word `i / 64` at bit
+/// position `i % 64`. Unused tail bits of the last word are always zero —
+/// an invariant every constructor and mutator maintains, so whole-word
+/// operations ([`BitMask::count_ones`], equality) need no tail masking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitMask {
+    fn word_count(len: usize) -> usize {
+        len.div_ceil(64)
+    }
+
+    /// An all-zeros mask of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitMask {
+            words: vec![0u64; Self::word_count(len)],
+            len,
+        }
+    }
+
+    /// An all-ones mask of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut m = BitMask {
+            words: vec![!0u64; Self::word_count(len)],
+            len,
+        };
+        m.clear_tail();
+        m
+    }
+
+    /// Builds a mask from a dense float slice: bit `i` is set iff
+    /// `dense[i] != 0.0` (so both `+0.0` and `-0.0` mean "pruned").
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let mut m = BitMask::zeros(dense.len());
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                m.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        m
+    }
+
+    /// Builds a mask from raw words. Trailing bits beyond `len` are
+    /// cleared; the word vector is resized to exactly fit `len`.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(Self::word_count(len), 0);
+        let mut m = BitMask { words, len };
+        m.clear_tail();
+        m
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Number of set (live) bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of live bits (`1.0` for an empty mask — nothing is pruned).
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            1.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Whether every bit is set.
+    pub fn all_ones(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// The backing words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Materializes the legacy dense view: `1.0` for live, `0.0` for
+    /// pruned.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        self.write_f32_into(&mut out);
+        out
+    }
+
+    /// Writes the dense `0.0/1.0` view into `dst` (which must have exactly
+    /// `len` elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.len()`.
+    pub fn write_f32_into(&self, dst: &mut [f32]) {
+        assert_eq!(dst.len(), self.len, "dense view length mismatch");
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = if (self.words[i / 64] >> (i % 64)) & 1 == 1 {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Zeroes every element of `data` whose bit is unset (assignment, not
+    /// multiplication — multiplying by `0.0` can leave `-0.0` behind,
+    /// which would break bit-level equivalence with the sparse kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn zero_pruned(&self, data: &mut [f32]) {
+        assert_eq!(data.len(), self.len, "zero_pruned length mismatch");
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word == !0u64 {
+                continue; // fully live word: nothing to clear
+            }
+            let base = wi * 64;
+            let end = (base + 64).min(self.len);
+            for (b, d) in data[base..end].iter_mut().enumerate() {
+                if (word >> b) & 1 == 0 {
+                    *d = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Intersects with `other` (`self &= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn intersect(&mut self, other: &BitMask) {
+        assert_eq!(self.len, other.len, "intersect length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Whether every live bit of `self` is also live in `other` (i.e.
+    /// `self ⊆ other` as supports — the IMP nesting property).
+    pub fn is_subset_of(&self, other: &BitMask) -> bool {
+        self.len == other.len
+            && self
+                .words
+                .iter()
+                .zip(&other.words)
+                .all(|(a, b)| a & !b == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_dense_view() {
+        let dense = vec![1.0, 0.0, -2.5, 0.0, 0.0, 3.0, -0.0];
+        let m = BitMask::from_dense(&dense);
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.count_ones(), 3);
+        assert!((m.density() - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.to_f32_vec(), vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+        assert!(m.get(0) && !m.get(1) && m.get(2) && !m.get(6));
+    }
+
+    #[test]
+    fn negative_zero_counts_as_pruned() {
+        let m = BitMask::from_dense(&[-0.0, 0.0, 1.0]);
+        assert_eq!(m.count_ones(), 1);
+        assert!(!m.get(0));
+    }
+
+    #[test]
+    fn ones_and_zeros_constructors() {
+        let ones = BitMask::ones(130);
+        assert_eq!(ones.count_ones(), 130);
+        assert!(ones.all_ones());
+        assert_eq!(ones.words().len(), 3);
+        // Tail bits beyond len stay clear.
+        assert_eq!(ones.words()[2], 0b11);
+        let zeros = BitMask::zeros(130);
+        assert_eq!(zeros.count_ones(), 0);
+        assert!(!zeros.all_ones());
+    }
+
+    #[test]
+    fn set_and_get_across_word_boundary() {
+        let mut m = BitMask::zeros(100);
+        m.set(63, true);
+        m.set(64, true);
+        m.set(99, true);
+        assert_eq!(m.count_ones(), 3);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![63, 64, 99]);
+        m.set(64, false);
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_words_clears_tail_and_resizes() {
+        let m = BitMask::from_words(vec![!0u64, !0u64], 70);
+        assert_eq!(m.count_ones(), 70);
+        assert_eq!(m.words()[1], 0b11_1111);
+        // Oversized word vectors are trimmed.
+        let m2 = BitMask::from_words(vec![1, 2, 3, 4], 64);
+        assert_eq!(m2.words().len(), 1);
+        // Undersized are zero-extended.
+        let m3 = BitMask::from_words(vec![1], 200);
+        assert_eq!(m3.words().len(), 4);
+        assert_eq!(m3.count_ones(), 1);
+    }
+
+    #[test]
+    fn empty_mask_is_consistent() {
+        let m = BitMask::from_dense(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.density(), 1.0);
+        assert_eq!(m.iter_ones().count(), 0);
+        assert!(m.to_f32_vec().is_empty());
+    }
+
+    #[test]
+    fn zero_pruned_assigns_positive_zero() {
+        let m = BitMask::from_dense(&[1.0, 0.0, 1.0, 0.0]);
+        let mut data = vec![5.0, -3.0, -0.5, 7.0];
+        m.zero_pruned(&mut data);
+        assert_eq!(data, vec![5.0, 0.0, -0.5, 0.0]);
+        // Assignment semantics: the result is +0.0, never -0.0.
+        assert!(data[1].to_bits() == 0 && data[3].to_bits() == 0);
+        // A fully-live word is untouched (fast path).
+        let full = BitMask::ones(64);
+        let mut d = vec![-1.5f32; 64];
+        full.zero_pruned(&mut d);
+        assert!(d.iter().all(|&v| v == -1.5));
+    }
+
+    #[test]
+    fn subset_and_intersect() {
+        let outer = BitMask::from_dense(&[1.0, 1.0, 1.0, 0.0]);
+        let inner = BitMask::from_dense(&[1.0, 0.0, 1.0, 0.0]);
+        assert!(inner.is_subset_of(&outer));
+        assert!(!outer.is_subset_of(&inner));
+        let mut both = outer.clone();
+        both.intersect(&inner);
+        assert_eq!(both, inner);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let dense: Vec<f32> = (0..257).map(|i| ((i * 7) % 3 == 0) as u32 as f32).collect();
+        let m = BitMask::from_dense(&dense);
+        let from_iter: Vec<usize> = m.iter_ones().collect();
+        let from_get: Vec<usize> = (0..m.len()).filter(|&i| m.get(i)).collect();
+        assert_eq!(from_iter, from_get);
+    }
+}

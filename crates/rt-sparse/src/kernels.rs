@@ -1,0 +1,727 @@
+//! Slice-level sparse kernels and pack/scatter helpers.
+//!
+//! Every kernel here replays the *effective* float-operation order of one
+//! of the dense GEMM layouts in `rt-tensor::linalg` (see the crate docs
+//! for the `±0.0` identity argument), restricted to a [`SparsePlan`]'s
+//! support. Values are always read from the **dense** weight buffer via
+//! `row * cols + col`, so the structure-only plans survive weight updates.
+//!
+//! Parallel fan-out goes through [`rt_par::par_chunks_mut`] with tile
+//! sizes derived purely from the problem shape — the same determinism
+//! discipline as the dense GEMM — so every kernel is bit-identical at any
+//! pool size.
+
+use crate::plan::SparsePlan;
+
+/// Target multiply-adds per parallel task (mirrors the dense GEMM grain).
+const SPARSE_GRAIN: usize = 1 << 15;
+
+/// Output rows per parallel tile — a pure function of the problem shape.
+fn row_tile(rows: usize, work_per_row: usize) -> usize {
+    (SPARSE_GRAIN / work_per_row.max(1)).clamp(1, rows.max(1))
+}
+
+/// `out[rows, n] = W × B` restricted to the plan's support (the conv
+/// forward product `W × im2col(x)`).
+///
+/// Mirrors the dense `(plain)` ikj kernel: per output row, entries are
+/// visited in ascending column order and zero weight values are skipped —
+/// exactly the dense kernel's zero-skip on `A`.
+///
+/// # Panics
+///
+/// Debug-asserts slice lengths against the plan; the plan must carry CSR
+/// structure (i.e. be a [`crate::PlanKind::Csr`] plan).
+pub fn csr_matmul(w: &[f32], b: &[f32], n: usize, plan: &SparsePlan, out: &mut [f32]) {
+    let (rows, cols) = (plan.dims.rows, plan.dims.cols);
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(b.len(), cols * n);
+    debug_assert_eq!(out.len(), rows * n);
+    let csr = plan.csr.as_ref().expect("csr_matmul requires a CSR plan");
+    let work = if rows == 0 { 0 } else { plan.nnz * n / rows.max(1) };
+    let tile = row_tile(rows, work);
+    out.fill(0.0);
+    rt_par::par_chunks_mut(out, tile * n, |t, out_tile| {
+        let row0 = t * tile;
+        for (r_off, o_row) in out_tile.chunks_mut(n).enumerate() {
+            let r = row0 + r_off;
+            for e in csr.row_range(r) {
+                let k = csr.col_idx[e] as usize;
+                let wv = w[r * cols + k];
+                if wv == 0.0 {
+                    continue; // dense kernel's zero-skip on A
+                }
+                let b_row = &b[k * n..(k + 1) * n];
+                for (o_el, &b_el) in o_row.iter_mut().zip(b_row) {
+                    *o_el += wv * b_el;
+                }
+            }
+        }
+    });
+}
+
+/// `out[cols, n] = Wᵀ × B` restricted to the plan's support (the conv
+/// backward patch gradient `Wᵀ × dY`).
+///
+/// Mirrors the dense `Aᵀ×B` kernel: for each output row (a column of
+/// `W`), contributing weight rows are visited ascending with the dense
+/// zero-skip, so per-element accumulation order matches bit-for-bit.
+pub fn csc_matmul_t(w: &[f32], b: &[f32], n: usize, plan: &SparsePlan, out: &mut [f32]) {
+    let (rows, cols) = (plan.dims.rows, plan.dims.cols);
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(b.len(), rows * n);
+    debug_assert_eq!(out.len(), cols * n);
+    let csc = plan.csc.as_ref().expect("csc_matmul_t requires a CSR plan");
+    let work = if cols == 0 { 0 } else { plan.nnz * n / cols.max(1) };
+    let tile = row_tile(cols, work);
+    out.fill(0.0);
+    rt_par::par_chunks_mut(out, tile * n, |t, out_tile| {
+        let col0 = t * tile;
+        for (c_off, o_row) in out_tile.chunks_mut(n).enumerate() {
+            let c = col0 + c_off;
+            for e in csc.row_range(c) {
+                let r = csc.col_idx[e] as usize;
+                let wv = w[r * cols + c];
+                if wv == 0.0 {
+                    continue;
+                }
+                let b_row = &b[r * n..(r + 1) * n];
+                for (o_el, &b_el) in o_row.iter_mut().zip(b_row) {
+                    *o_el += wv * b_el;
+                }
+            }
+        }
+    });
+}
+
+/// `out[batch, rows] = X × Wᵀ` restricted to the plan's support (the
+/// linear forward product).
+///
+/// Mirrors the dense `A×Bᵀ` dot kernel: a fresh per-element accumulator
+/// sums terms in ascending column order, skipping zero `X` entries (the
+/// unified zero-skip policy). Overwrite semantics — dead output rows are
+/// written as `+0.0`, exactly what the dense dot kernel produces for an
+/// all-zero weight row.
+pub fn csr_dot_xt(x: &[f32], batch: usize, w: &[f32], plan: &SparsePlan, out: &mut [f32]) {
+    let (rows, cols) = (plan.dims.rows, plan.dims.cols);
+    debug_assert_eq!(x.len(), batch * cols);
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(out.len(), batch * rows);
+    let csr = plan.csr.as_ref().expect("csr_dot_xt requires a CSR plan");
+    let tile = row_tile(batch, plan.nnz);
+    rt_par::par_chunks_mut(out, tile * rows, |t, out_tile| {
+        let i0 = t * tile;
+        for (i_off, o_row) in out_tile.chunks_mut(rows).enumerate() {
+            let x_row = &x[(i0 + i_off) * cols..(i0 + i_off + 1) * cols];
+            for (r, o_el) in o_row.iter_mut().enumerate() {
+                let mut sum = 0.0f32;
+                for e in csr.row_range(r) {
+                    let k = csr.col_idx[e] as usize;
+                    let xv = x_row[k];
+                    if xv == 0.0 {
+                        continue; // unified zero-skip on A (= X here)
+                    }
+                    sum += xv * w[r * cols + k];
+                }
+                *o_el = sum;
+            }
+        }
+    });
+}
+
+/// `gx[batch, cols] = dY × W` restricted to the plan's support (the
+/// linear backward input gradient).
+///
+/// Mirrors the dense ikj kernel with `A = dY`: per sample, weight rows are
+/// visited ascending, zero `dY` entries are skipped, and each live weight
+/// entry contributes `dy · w` to its input column. Overwrite semantics.
+pub fn csr_dyw(dy: &[f32], batch: usize, w: &[f32], plan: &SparsePlan, gx: &mut [f32]) {
+    let (rows, cols) = (plan.dims.rows, plan.dims.cols);
+    debug_assert_eq!(dy.len(), batch * rows);
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(gx.len(), batch * cols);
+    let csr = plan.csr.as_ref().expect("csr_dyw requires a CSR plan");
+    let tile = row_tile(batch, plan.nnz);
+    gx.fill(0.0);
+    rt_par::par_chunks_mut(gx, tile * cols, |t, gx_tile| {
+        let i0 = t * tile;
+        for (i_off, g_row) in gx_tile.chunks_mut(cols).enumerate() {
+            let dy_row = &dy[(i0 + i_off) * rows..(i0 + i_off + 1) * rows];
+            for (r, &dyv) in dy_row.iter().enumerate() {
+                if dyv == 0.0 {
+                    continue; // dense kernel's zero-skip on A (= dY here)
+                }
+                for e in csr.row_range(r) {
+                    let k = csr.col_idx[e] as usize;
+                    g_row[k] += dyv * w[r * cols + k];
+                }
+            }
+        }
+    });
+}
+
+/// `gw[live] += dYᵀ × X` restricted to the plan's support (the linear
+/// backward weight gradient, accumulate semantics).
+///
+/// Mirrors the dense `Aᵀ×B` accumulating kernel with `A = dY`: each live
+/// weight entry accumulates `dy[i, r] · x[i, k]` over samples `i`
+/// ascending, starting from the existing gradient value, skipping zero
+/// `dY` entries exactly like the dense kernel. Dead entries are untouched
+/// (the reference writes garbage there which `mask_grad` later zeroes).
+pub fn csr_grad_atb(dy: &[f32], x: &[f32], batch: usize, plan: &SparsePlan, gw: &mut [f32]) {
+    let (rows, cols) = (plan.dims.rows, plan.dims.cols);
+    debug_assert_eq!(dy.len(), batch * rows);
+    debug_assert_eq!(x.len(), batch * cols);
+    debug_assert_eq!(gw.len(), rows * cols);
+    let csr = plan.csr.as_ref().expect("csr_grad_atb requires a CSR plan");
+    let work = if rows == 0 {
+        0
+    } else {
+        plan.nnz * batch / rows.max(1)
+    };
+    let tile = row_tile(rows, work);
+    rt_par::par_chunks_mut(gw, tile * cols, |t, gw_tile| {
+        let row0 = t * tile;
+        for (r_off, g_row) in gw_tile.chunks_mut(cols).enumerate() {
+            let r = row0 + r_off;
+            for e in csr.row_range(r) {
+                let k = csr.col_idx[e] as usize;
+                let mut acc = g_row[k];
+                for i in 0..batch {
+                    let dyv = dy[i * rows + r];
+                    if dyv == 0.0 {
+                        continue; // dense kernel's zero-skip on A (= dY)
+                    }
+                    acc += dyv * x[i * cols + k];
+                }
+                g_row[k] = acc;
+            }
+        }
+    });
+}
+
+/// Per-entry dot products `vals[e] = Σ_p a[r_e, p] · b[c_e, p]` over the
+/// plan's live entries (the per-sample conv weight gradient
+/// `dY × colsᵀ`, computed only where the mask is live).
+///
+/// Mirrors the dense `A×Bᵀ` dot kernel: fresh accumulator, `p` ascending,
+/// zero `A` entries skipped. `vals` is aligned with
+/// [`SparsePlan::live_idx`] (row-major entry order).
+pub fn csr_dot_rows(a: &[f32], b: &[f32], n: usize, plan: &SparsePlan, vals: &mut [f32]) {
+    let (rows, cols) = (plan.dims.rows, plan.dims.cols);
+    debug_assert_eq!(a.len(), rows * n);
+    debug_assert_eq!(b.len(), cols * n);
+    debug_assert_eq!(vals.len(), plan.live_idx.len());
+    let live = &plan.live_idx;
+    let tile = row_tile(live.len(), n);
+    rt_par::par_chunks_mut(vals, tile, |t, chunk| {
+        let e0 = t * tile;
+        for (j, v) in chunk.iter_mut().enumerate() {
+            let flat = live[e0 + j] as usize;
+            let (r, c) = (flat / cols, flat % cols);
+            let a_row = &a[r * n..(r + 1) * n];
+            let b_row = &b[c * n..(c + 1) * n];
+            let mut sum = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                if av == 0.0 {
+                    continue; // unified zero-skip on A
+                }
+                sum += av * bv;
+            }
+            *v = sum;
+        }
+    });
+}
+
+/// Scatter-accumulates per-entry values (from [`csr_dot_rows`]) into a
+/// dense gradient buffer: `gw[live_idx[e]] += vals[e]`. Serial by design —
+/// it is called inside the conv backward's ordered per-sample fold.
+pub fn scatter_add_entries(vals: &[f32], plan: &SparsePlan, gw: &mut [f32]) {
+    debug_assert_eq!(vals.len(), plan.live_idx.len());
+    debug_assert_eq!(gw.len(), plan.dims.len());
+    for (&flat, &v) in plan.live_idx.iter().zip(vals) {
+        gw[flat as usize] += v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structured-compaction pack/scatter helpers.
+// ---------------------------------------------------------------------
+
+/// Gathers `rows` (by index) of a `[*, row_len]` matrix into a packed
+/// `[rows.len(), row_len]` destination.
+pub fn gather_rows(src: &[f32], row_len: usize, rows: &[u32], dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), rows.len() * row_len);
+    for (j, &r) in rows.iter().enumerate() {
+        let r = r as usize;
+        dst[j * row_len..(j + 1) * row_len]
+            .copy_from_slice(&src[r * row_len..(r + 1) * row_len]);
+    }
+}
+
+/// Inverse of [`gather_rows`] with clear semantics: zero-fills `dst`
+/// (shape `[total_rows, row_len]`) and writes the packed rows back to
+/// their original positions.
+pub fn scatter_rows_clear(src: &[f32], row_len: usize, rows: &[u32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows.len() * row_len);
+    dst.fill(0.0);
+    for (j, &r) in rows.iter().enumerate() {
+        let r = r as usize;
+        dst[r * row_len..(r + 1) * row_len]
+            .copy_from_slice(&src[j * row_len..(j + 1) * row_len]);
+    }
+}
+
+/// Inverse of [`gather_rows`] with keep semantics: writes the packed rows
+/// back, leaving every other row of `dst` untouched (used for gradient
+/// buffers whose dead entries are owned by `mask_grad`).
+pub fn scatter_rows_keep(src: &[f32], row_len: usize, rows: &[u32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows.len() * row_len);
+    for (j, &r) in rows.iter().enumerate() {
+        let r = r as usize;
+        dst[r * row_len..(r + 1) * row_len]
+            .copy_from_slice(&src[j * row_len..(j + 1) * row_len]);
+    }
+}
+
+/// Gathers columns (by index) of a `[n_rows, row_len]` matrix into a
+/// packed `[n_rows, cols.len()]` destination (e.g. the live output
+/// columns of `dY` for a row-compacted linear layer).
+pub fn gather_cols(src: &[f32], n_rows: usize, row_len: usize, cols: &[u32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), n_rows * row_len);
+    debug_assert_eq!(dst.len(), n_rows * cols.len());
+    let w = cols.len();
+    for i in 0..n_rows {
+        let s_row = &src[i * row_len..(i + 1) * row_len];
+        let d_row = &mut dst[i * w..(i + 1) * w];
+        for (d, &c) in d_row.iter_mut().zip(cols) {
+            *d = s_row[c as usize];
+        }
+    }
+}
+
+/// Inverse of [`gather_cols`] with clear semantics: zero-fills `dst`
+/// (shape `[n_rows, total_cols]`) and writes the packed columns back.
+pub fn scatter_cols_clear(
+    src: &[f32],
+    n_rows: usize,
+    cols: &[u32],
+    total_cols: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(src.len(), n_rows * cols.len());
+    debug_assert_eq!(dst.len(), n_rows * total_cols);
+    let w = cols.len();
+    dst.fill(0.0);
+    for i in 0..n_rows {
+        let s_row = &src[i * w..(i + 1) * w];
+        let d_row = &mut dst[i * total_cols..(i + 1) * total_cols];
+        for (&v, &c) in s_row.iter().zip(cols) {
+            d_row[c as usize] = v;
+        }
+    }
+}
+
+/// Packs a weight matrix down to its live rows × live column groups:
+/// `dst[[j, g·cg..]] = w[live_rows[j], live_col_groups[g]·cg..]` with
+/// `cg = dims.col_group`. This is the Compact plan's weight transform for
+/// conv layers (live output channels × live input channels).
+pub fn pack_matrix_groups(w: &[f32], plan: &SparsePlan, dst: &mut [f32]) {
+    let cols = plan.dims.cols;
+    let cg = plan.dims.col_group;
+    let packed_cols = plan.live_col_groups.len() * cg;
+    debug_assert_eq!(w.len(), plan.dims.len());
+    debug_assert_eq!(dst.len(), plan.live_rows.len() * packed_cols);
+    for (j, &r) in plan.live_rows.iter().enumerate() {
+        let src_row = &w[r as usize * cols..(r as usize + 1) * cols];
+        let dst_row = &mut dst[j * packed_cols..(j + 1) * packed_cols];
+        for (g, &grp) in plan.live_col_groups.iter().enumerate() {
+            let s = grp as usize * cg;
+            dst_row[g * cg..(g + 1) * cg].copy_from_slice(&src_row[s..s + cg]);
+        }
+    }
+}
+
+/// Inverse of [`pack_matrix_groups`] with assign semantics into a
+/// zero-initialized destination: writes packed values back to their live
+/// positions, leaving everything else at its current value (callers pass
+/// a freshly zeroed gradient buffer).
+pub fn scatter_matrix_groups(src: &[f32], plan: &SparsePlan, dst: &mut [f32]) {
+    let cols = plan.dims.cols;
+    let cg = plan.dims.col_group;
+    let packed_cols = plan.live_col_groups.len() * cg;
+    debug_assert_eq!(dst.len(), plan.dims.len());
+    debug_assert_eq!(src.len(), plan.live_rows.len() * packed_cols);
+    for (j, &r) in plan.live_rows.iter().enumerate() {
+        let src_row = &src[j * packed_cols..(j + 1) * packed_cols];
+        let dst_row = &mut dst[r as usize * cols..(r as usize + 1) * cols];
+        for (g, &grp) in plan.live_col_groups.iter().enumerate() {
+            let d = grp as usize * cg;
+            dst_row[d..d + cg].copy_from_slice(&src_row[g * cg..(g + 1) * cg]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitMask;
+    use crate::plan::{build_plan, MatrixDims, PlanKind};
+
+    /// xorshift PRNG for deterministic test data.
+    struct Rng(u64);
+    impl Rng {
+        fn new(seed: u64) -> Self {
+            Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn uniform(&mut self) -> f32 {
+            (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+        }
+        fn value(&mut self) -> f32 {
+            self.uniform() * 4.0 - 2.0
+        }
+    }
+
+    fn random_mask(len: usize, density: f64, rng: &mut Rng) -> BitMask {
+        let mut m = BitMask::zeros(len);
+        for i in 0..len {
+            if (rng.uniform() as f64) < density {
+                m.set(i, true);
+            }
+        }
+        m
+    }
+
+    /// Masked random weight matrix: live entries random, dead exactly 0.0.
+    fn masked_weights(bits: &BitMask, rng: &mut Rng) -> Vec<f32> {
+        (0..bits.len())
+            .map(|i| if bits.get(i) { rng.value() } else { 0.0 })
+            .collect()
+    }
+
+    fn randoms(len: usize, rng: &mut Rng) -> Vec<f32> {
+        (0..len).map(|_| rng.value()).collect()
+    }
+
+    fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    // ---- dense reference kernels (the exact loops in rt-tensor) -------
+
+    /// ikj with zero-skip on A; zero-fill then accumulate.
+    fn ref_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Aᵀ×B: p-outer with zero-skip on A; zero-fill then accumulate.
+    fn ref_matmul_at_b(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            for i in 0..m {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// A×Bᵀ dot kernel with the unified zero-skip on A; overwrite.
+    fn ref_matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut sum = 0.0f32;
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    sum += av * b[j * k + p];
+                }
+                out[i * n + j] = sum;
+            }
+        }
+        out
+    }
+
+    /// Aᵀ×B accumulating into existing out (the dW reference).
+    fn ref_matmul_at_b_acc(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+        for p in 0..k {
+            for i in 0..m {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+    }
+
+    fn csr_fixture(rows: usize, cols: usize, density: f64, seed: u64) -> (SparsePlan, Vec<f32>) {
+        let mut rng = Rng::new(seed);
+        let bits = random_mask(rows * cols, density, &mut rng);
+        let plan = build_plan(&bits, MatrixDims::linear(rows, cols));
+        assert_eq!(plan.kind, PlanKind::Csr, "fixture must select CSR");
+        let w = masked_weights(&bits, &mut rng);
+        (plan, w)
+    }
+
+    #[test]
+    fn csr_matmul_matches_dense_reference_bitwise() {
+        let (rows, cols, n) = (13, 17, 9);
+        let (plan, w) = csr_fixture(rows, cols, 0.15, 1);
+        let b = randoms(cols * n, &mut Rng::new(2));
+        let mut out = vec![f32::NAN; rows * n];
+        csr_matmul(&w, &b, n, &plan, &mut out);
+        assert!(bits_eq(&out, &ref_matmul(&w, &b, rows, cols, n)));
+    }
+
+    #[test]
+    fn csc_matmul_t_matches_dense_reference_bitwise() {
+        let (rows, cols, n) = (11, 14, 6);
+        let (plan, w) = csr_fixture(rows, cols, 0.2, 3);
+        let b = randoms(rows * n, &mut Rng::new(4));
+        let mut out = vec![f32::NAN; cols * n];
+        csc_matmul_t(&w, &b, n, &plan, &mut out);
+        assert!(bits_eq(&out, &ref_matmul_at_b(&w, &b, rows, cols, n)));
+    }
+
+    #[test]
+    fn csr_dot_xt_matches_dense_reference_bitwise() {
+        let (rows, cols, batch) = (10, 21, 7);
+        let (plan, w) = csr_fixture(rows, cols, 0.12, 5);
+        let mut rng = Rng::new(6);
+        // Inputs with exact zeros sprinkled in, to exercise the X skip.
+        let x: Vec<f32> = (0..batch * cols)
+            .map(|_| {
+                if rng.uniform() < 0.3 {
+                    0.0
+                } else {
+                    rng.value()
+                }
+            })
+            .collect();
+        let mut out = vec![f32::NAN; batch * rows];
+        csr_dot_xt(&x, batch, &w, &plan, &mut out);
+        assert!(bits_eq(&out, &ref_matmul_a_bt(&x, &w, batch, cols, rows)));
+    }
+
+    #[test]
+    fn csr_dyw_matches_dense_reference_bitwise() {
+        let (rows, cols, batch) = (12, 19, 5);
+        let (plan, w) = csr_fixture(rows, cols, 0.25, 7);
+        let mut rng = Rng::new(8);
+        let dy: Vec<f32> = (0..batch * rows)
+            .map(|_| {
+                if rng.uniform() < 0.3 {
+                    0.0
+                } else {
+                    rng.value()
+                }
+            })
+            .collect();
+        let mut gx = vec![f32::NAN; batch * cols];
+        csr_dyw(&dy, batch, &w, &plan, &mut gx);
+        assert!(bits_eq(&gx, &ref_matmul(&dy, &w, batch, rows, cols)));
+    }
+
+    #[test]
+    fn csr_grad_atb_matches_dense_reference_on_live_entries() {
+        let (rows, cols, batch) = (9, 16, 6);
+        let (plan, _) = csr_fixture(rows, cols, 0.2, 9);
+        let mut rng = Rng::new(10);
+        let dy: Vec<f32> = (0..batch * rows)
+            .map(|_| {
+                if rng.uniform() < 0.25 {
+                    0.0
+                } else {
+                    rng.value()
+                }
+            })
+            .collect();
+        let x = randoms(batch * cols, &mut rng);
+        // Start both from the same nonzero accumulated gradient.
+        let seed_grad = randoms(rows * cols, &mut Rng::new(11));
+        let mut expect = seed_grad.clone();
+        ref_matmul_at_b_acc(&dy, &x, batch, rows, cols, &mut expect);
+        let mut got = seed_grad.clone();
+        csr_grad_atb(&dy, &x, batch, &plan, &mut got);
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            if plan.bits.get(i) {
+                assert_eq!(g.to_bits(), e.to_bits(), "live entry {i}");
+            } else {
+                // Dead entries untouched by the sparse kernel.
+                assert_eq!(g.to_bits(), seed_grad[i].to_bits(), "dead entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_dot_rows_and_scatter_match_reference_fold() {
+        let (rows, cols, n) = (8, 12, 10);
+        let (plan, _) = csr_fixture(rows, cols, 0.3, 12);
+        let mut rng = Rng::new(13);
+        let a: Vec<f32> = (0..rows * n)
+            .map(|_| {
+                if rng.uniform() < 0.2 {
+                    0.0
+                } else {
+                    rng.value()
+                }
+            })
+            .collect();
+        let b = randoms(cols * n, &mut rng);
+        let mut vals = vec![f32::NAN; plan.nnz];
+        csr_dot_rows(&a, &b, n, &plan, &mut vals);
+        let expect = ref_matmul_a_bt(&a, &b, rows, n, cols);
+        let mut gw = vec![0.0f32; rows * cols];
+        scatter_add_entries(&vals, &plan, &mut gw);
+        for i in 0..rows * cols {
+            if plan.bits.get(i) {
+                assert_eq!(gw[i].to_bits(), expect[i].to_bits(), "live entry {i}");
+            } else {
+                assert_eq!(gw[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_kernels_produce_zeros() {
+        let plan = build_plan(&BitMask::zeros(12), MatrixDims::linear(3, 4));
+        assert_eq!(plan.kind, PlanKind::Csr);
+        let w = vec![0.0f32; 12];
+        let b = randoms(4 * 5, &mut Rng::new(1));
+        let mut out = vec![f32::NAN; 3 * 5];
+        csr_matmul(&w, &b, 5, &plan, &mut out);
+        assert!(out.iter().all(|&v| v.to_bits() == 0));
+        let x = randoms(2 * 4, &mut Rng::new(2));
+        let mut y = vec![f32::NAN; 2 * 3];
+        csr_dot_xt(&x, 2, &w, &plan, &mut y);
+        assert!(y.iter().all(|&v| v.to_bits() == 0));
+    }
+
+    #[test]
+    fn gather_scatter_rows_round_trip() {
+        let src: Vec<f32> = (0..20).map(|i| i as f32).collect(); // 5 rows × 4
+        let rows = [1u32, 3, 4];
+        let mut packed = vec![0.0f32; 12];
+        gather_rows(&src, 4, &rows, &mut packed);
+        assert_eq!(&packed[0..4], &[4.0, 5.0, 6.0, 7.0]);
+        let mut back = vec![f32::NAN; 20];
+        scatter_rows_clear(&packed, 4, &rows, &mut back);
+        assert_eq!(&back[0..4], &[0.0; 4]);
+        assert_eq!(&back[4..8], &src[4..8]);
+        assert_eq!(&back[12..20], &src[12..20]);
+        let mut kept = vec![9.0f32; 20];
+        scatter_rows_keep(&packed, 4, &rows, &mut kept);
+        assert_eq!(&kept[0..4], &[9.0; 4]);
+        assert_eq!(&kept[4..8], &src[4..8]);
+    }
+
+    #[test]
+    fn gather_scatter_cols_round_trip() {
+        let src: Vec<f32> = (0..15).map(|i| i as f32).collect(); // 3 rows × 5
+        let cols = [0u32, 2, 4];
+        let mut packed = vec![0.0f32; 9];
+        gather_cols(&src, 3, 5, &cols, &mut packed);
+        assert_eq!(&packed[0..3], &[0.0, 2.0, 4.0]);
+        assert_eq!(&packed[3..6], &[5.0, 7.0, 9.0]);
+        let mut back = vec![f32::NAN; 15];
+        scatter_cols_clear(&packed, 3, &cols, 5, &mut back);
+        assert_eq!(&back[0..5], &[0.0, 0.0, 2.0, 0.0, 4.0]);
+        assert_eq!(back[6], 0.0);
+        assert_eq!(back[7], 7.0);
+    }
+
+    #[test]
+    fn pack_scatter_matrix_groups_round_trip() {
+        // 4 rows × 3 groups of 2; rows {0, 2} and groups {0, 2} live.
+        let dims = MatrixDims::grouped(4, 6, 2);
+        let mut bits = BitMask::zeros(24);
+        for r in [0usize, 2] {
+            for g in [0usize, 2] {
+                for e in 0..2 {
+                    bits.set(r * 6 + g * 2 + e, true);
+                }
+            }
+        }
+        let plan = build_plan(&bits, dims);
+        assert_eq!(plan.kind, PlanKind::Compact);
+        let w: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let mut packed = vec![f32::NAN; 2 * 4];
+        pack_matrix_groups(&w, &plan, &mut packed);
+        assert_eq!(packed, vec![0.0, 1.0, 4.0, 5.0, 12.0, 13.0, 16.0, 17.0]);
+        let mut back = vec![0.0f32; 24];
+        scatter_matrix_groups(&packed, &plan, &mut back);
+        for i in 0..24 {
+            if bits.get(i) {
+                assert_eq!(back[i], w[i]);
+            } else {
+                assert_eq!(back[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_bit_identical_across_pool_sizes() {
+        // The full determinism contract at kernel level: every pool size
+        // produces the same bytes. (ci.sh additionally runs the whole
+        // suite under RT_THREADS=1 and 4.)
+        let (rows, cols, n, batch) = (24, 40, 31, 13);
+        let (plan, w) = csr_fixture(rows, cols, 0.1, 21);
+        let b = randoms(cols * n, &mut Rng::new(22));
+        let x = randoms(batch * cols, &mut Rng::new(23));
+        let dy = randoms(batch * rows, &mut Rng::new(24));
+        let mut reference: Option<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)> = None;
+        for &threads in &[1usize, 2, 4, 7] {
+            rt_par::set_threads(threads);
+            let mut o1 = vec![0.0f32; rows * n];
+            csr_matmul(&w, &b, n, &plan, &mut o1);
+            let mut o2 = vec![0.0f32; batch * rows];
+            csr_dot_xt(&x, batch, &w, &plan, &mut o2);
+            let mut o3 = vec![0.0f32; batch * cols];
+            csr_dyw(&dy, batch, &w, &plan, &mut o3);
+            let mut o4 = vec![0.0f32; rows * cols];
+            csr_grad_atb(&dy, &x, batch, &plan, &mut o4);
+            match &reference {
+                None => reference = Some((o1, o2, o3, o4)),
+                Some((r1, r2, r3, r4)) => {
+                    assert!(bits_eq(&o1, r1), "csr_matmul diverged at {threads}t");
+                    assert!(bits_eq(&o2, r2), "csr_dot_xt diverged at {threads}t");
+                    assert!(bits_eq(&o3, r3), "csr_dyw diverged at {threads}t");
+                    assert!(bits_eq(&o4, r4), "csr_grad_atb diverged at {threads}t");
+                }
+            }
+        }
+        rt_par::set_threads(1);
+    }
+}

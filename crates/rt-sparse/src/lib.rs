@@ -1,0 +1,50 @@
+//! **rt-sparse** — the sparsity-aware execution engine.
+//!
+//! A lottery ticket is a binary mask over pretrained weights. Up to this
+//! crate, every masked model still ran at full dense FLOPs: masks were
+//! stored as one `f32` per weight, multiplied into the weights, and the
+//! only payoff was an incidental zero-skip branch inside the dense GEMM.
+//! `rt-sparse` makes sparsity pay for real by *compiling* each mask into an
+//! executable [`SparsePlan`], chosen per layer from the mask's realized
+//! structure:
+//!
+//! * [`PlanKind::Compact`] — **structured compaction**. When the mask
+//!   zeroes whole output rows and/or whole input-channel column groups,
+//!   physically pack the weight matrix down to the live rows/groups, run
+//!   the existing dense GEMM on the small matrices, and scatter results
+//!   back to the dense layout.
+//! * [`PlanKind::Csr`] — **sparse GEMM**. For unstructured masks below a
+//!   density threshold, record the nonzero *structure* once per ticket
+//!   (weight values are always read from the live dense buffer, so plans
+//!   survive optimizer updates) and run row-parallel sparse kernels on the
+//!   [`rt_par`] pool.
+//! * [`PlanKind::Dense`] — masks too dense to pay for either transform
+//!   fall back to the unchanged dense path.
+//!
+//! # Determinism: why the sparse paths are bit-identical
+//!
+//! Every kernel in [`kernels`] replays the *effective* float-operation
+//! order of the dense reference kernels in `rt-tensor::linalg` exactly.
+//! The masked-dense reference accumulates terms `a·b` in a fixed index
+//! order, skipping terms where the tested operand is `0.0`; the sparse
+//! kernels traverse the same indices ascending, restricted to the mask's
+//! support. The two sequences differ only in terms whose product is `±0.0`
+//! — and under round-to-nearest, an accumulator that starts at `+0.0` can
+//! never become `-0.0` (exact cancellation of nonzeros yields `+0.0`, and
+//! `+0.0 + ±0.0 = +0.0`), so adding or skipping a `±0.0` term is the
+//! identity on the accumulator bits. Parallelism adds nothing on top: all
+//! fan-out goes through [`rt_par`], whose chunk boundaries are a pure
+//! function of the problem size, and each chunk replays the serial order
+//! for the rows it owns.
+//!
+//! The crate is dependency-free apart from `rt-par`, so its tests run
+//! standalone (`rustc --test`) even when the workspace's external
+//! dependencies are unavailable.
+
+pub mod bitset;
+pub mod kernels;
+pub mod plan;
+pub mod scratch;
+
+pub use bitset::BitMask;
+pub use plan::{build_plan, Csr, MatrixDims, PlanKind, SparsePlan};

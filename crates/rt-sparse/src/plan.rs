@@ -1,0 +1,520 @@
+//! Compiling a mask into an executable [`SparsePlan`].
+//!
+//! A plan is built **once** when a ticket mask is installed on a parameter
+//! and consulted on every forward/backward/optimizer step. It records only
+//! the mask's *structure* (live rows, live column groups, CSR/CSC index
+//! arrays, flat live indices) — weight **values** are always read from the
+//! live dense buffer, so plans stay valid across optimizer updates and
+//! never need re-packing during training.
+
+use crate::bitset::BitMask;
+
+/// Logical matrix view of a parameter for plan analysis.
+///
+/// Linear weights `[O, I]` use `rows = O`, `cols = I`, `col_group = 1`.
+/// Conv weights `[O, C, k, k]` flatten to `rows = O`, `cols = C·k·k`,
+/// `col_group = k·k` — one column group per input channel, matching the
+/// `im2col` row blocks, so a dead group means a whole input channel can be
+/// dropped from the lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixDims {
+    /// Output rows (output units / channels).
+    pub rows: usize,
+    /// Columns per row (fan-in elements).
+    pub cols: usize,
+    /// Elements per column group (`k·k` for conv, `1` for linear).
+    pub col_group: usize,
+}
+
+impl MatrixDims {
+    /// Dims for a `[rows, cols]` linear weight (column groups of 1).
+    pub fn linear(rows: usize, cols: usize) -> Self {
+        MatrixDims {
+            rows,
+            cols,
+            col_group: 1,
+        }
+    }
+
+    /// Dims with explicit column grouping. A `col_group` of zero or one
+    /// that does not divide `cols` degenerates to per-element groups.
+    pub fn grouped(rows: usize, cols: usize, col_group: usize) -> Self {
+        let col_group = if col_group == 0 || (cols > 0 && cols % col_group != 0) {
+            1
+        } else {
+            col_group
+        };
+        MatrixDims {
+            rows,
+            cols,
+            col_group,
+        }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of column groups per row.
+    pub fn group_count(&self) -> usize {
+        if self.col_group == 0 {
+            0
+        } else {
+            self.cols / self.col_group
+        }
+    }
+}
+
+/// How a plan executes its layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Run the unchanged dense kernels (mask too dense to pay).
+    Dense,
+    /// Pack to live rows / live column groups and run dense GEMM on the
+    /// small matrices, scattering back afterwards.
+    Compact,
+    /// Row-parallel sparse kernels over CSR/CSC structure.
+    Csr,
+}
+
+impl PlanKind {
+    /// Stable lowercase name for telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::Dense => "dense",
+            PlanKind::Compact => "compact",
+            PlanKind::Csr => "csr",
+        }
+    }
+}
+
+/// Compressed sparse row structure (also reused with roles swapped as a
+/// CSC view: `row_ptr` indexed by column, `col_idx` holding row indices).
+///
+/// Only *structure* is stored — kernels read values from the dense weight
+/// buffer via `row * cols + col`, so the structure survives weight updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `row_ptr[r]..row_ptr[r + 1]` indexes this row's entries in
+    /// [`Csr::col_idx`]. Length `rows + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Column index of each entry, ascending within a row.
+    pub col_idx: Vec<u32>,
+}
+
+impl Csr {
+    /// Entry range of row `r` as usize bounds.
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize
+    }
+}
+
+/// Minimum density *inside* the live rows × live groups rectangle for
+/// structured compaction to be chosen: below this, packing would still
+/// carry mostly zeros and CSR wins.
+pub const COMPACT_MIN_INNER_DENSITY: f64 = 0.5;
+
+/// Maximum live-area fraction for compaction: above this the packed
+/// problem is nearly the full problem and packing overhead buys nothing.
+pub const COMPACT_MAX_AREA_RATIO: f64 = 0.9;
+
+/// Maximum overall density for the CSR path: above this the dense
+/// zero-skip kernel is at least as fast and far simpler.
+pub const CSR_MAX_DENSITY: f64 = 0.45;
+
+/// An executable sparsity plan for one parameter matrix. Built by
+/// [`build_plan`]; immutable afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsePlan {
+    /// Matrix view the plan was built for.
+    pub dims: MatrixDims,
+    /// Selected execution strategy.
+    pub kind: PlanKind,
+    /// The packed mask itself (32× smaller than the legacy f32 storage).
+    pub bits: BitMask,
+    /// Number of live entries.
+    pub nnz: usize,
+    /// Ascending indices of rows with at least one live entry.
+    pub live_rows: Vec<u32>,
+    /// Ascending indices of column groups with at least one live entry.
+    pub live_col_groups: Vec<u32>,
+    /// Row-major traversal structure (present for [`PlanKind::Csr`]).
+    pub csr: Option<Csr>,
+    /// Column-major (transpose) traversal structure (present for
+    /// [`PlanKind::Csr`]; used by backward's `Wᵀ` products).
+    pub csc: Option<Csr>,
+    /// Flat indices (`row * cols + col`) of every live entry, ascending.
+    /// Present for Compact and Csr plans; empty for Dense (where a full
+    /// scan is cheaper than an index list over ~all elements).
+    pub live_idx: Vec<u32>,
+}
+
+impl SparsePlan {
+    /// Live fraction of the matrix.
+    pub fn density(&self) -> f64 {
+        if self.dims.is_empty() {
+            1.0
+        } else {
+            self.nnz as f64 / self.dims.len() as f64
+        }
+    }
+
+    /// Whether the plan degenerates to the dense path.
+    pub fn is_dense(&self) -> bool {
+        self.kind == PlanKind::Dense
+    }
+
+    /// Multiply-add count of the dense GEMM for `batch` input rows (or
+    /// output pixels, for conv): `2 · rows · cols · batch`.
+    pub fn dense_flops(&self, batch: usize) -> u64 {
+        2 * (self.dims.rows as u64) * (self.dims.cols as u64) * (batch as u64)
+    }
+
+    /// Multiply-add count the selected plan actually performs per `batch`:
+    /// the packed rectangle for Compact, `2 · nnz · batch` for CSR, and
+    /// the dense count for Dense.
+    pub fn plan_flops(&self, batch: usize) -> u64 {
+        match self.kind {
+            PlanKind::Dense => self.dense_flops(batch),
+            PlanKind::Compact => {
+                2 * (self.live_rows.len() as u64)
+                    * (self.live_col_groups.len() as u64)
+                    * (self.dims.col_group as u64)
+                    * (batch as u64)
+            }
+            PlanKind::Csr => 2 * (self.nnz as u64) * (batch as u64),
+        }
+    }
+
+    /// FLOPs the plan saves over the dense path per `batch`.
+    pub fn flops_saved(&self, batch: usize) -> u64 {
+        self.dense_flops(batch).saturating_sub(self.plan_flops(batch))
+    }
+
+    /// Theoretical speedup of the plan over dense (`1.0` for Dense).
+    pub fn theoretical_speedup(&self) -> f64 {
+        let plan = self.plan_flops(1);
+        if plan == 0 {
+            f64::INFINITY
+        } else {
+            self.dense_flops(1) as f64 / plan as f64
+        }
+    }
+}
+
+/// Analyzes a mask against its matrix view and selects the cheapest
+/// correct execution strategy.
+///
+/// Selection rules (documented in DESIGN.md §10):
+///
+/// 1. A full mask (or an empty matrix) is [`PlanKind::Dense`] — nothing to
+///    exploit.
+/// 2. If the live rows × live column groups rectangle is at least
+///    [`COMPACT_MIN_INNER_DENSITY`] full *and* covers at most
+///    [`COMPACT_MAX_AREA_RATIO`] of the matrix, choose
+///    [`PlanKind::Compact`]: the mask is structured enough that dense GEMM
+///    on the packed rectangle beats per-entry indexing.
+/// 3. Otherwise, if overall density is at most [`CSR_MAX_DENSITY`],
+///    choose [`PlanKind::Csr`].
+/// 4. Everything else stays [`PlanKind::Dense`].
+///
+/// # Panics
+///
+/// Panics if `bits.len() != dims.len()`.
+pub fn build_plan(bits: &BitMask, dims: MatrixDims) -> SparsePlan {
+    assert_eq!(
+        bits.len(),
+        dims.len(),
+        "mask length {} does not match matrix dims {:?}",
+        bits.len(),
+        dims
+    );
+    let nnz = bits.count_ones();
+    let total = dims.len();
+    if total == 0 || nnz == total {
+        return SparsePlan {
+            dims,
+            kind: PlanKind::Dense,
+            bits: bits.clone(),
+            nnz,
+            live_rows: Vec::new(),
+            live_col_groups: Vec::new(),
+            csr: None,
+            csc: None,
+            live_idx: Vec::new(),
+        };
+    }
+
+    // Realized structure: which rows / column groups carry any live entry.
+    let groups = dims.group_count();
+    let mut row_live = vec![false; dims.rows];
+    let mut group_live = vec![false; groups];
+    for idx in bits.iter_ones() {
+        row_live[idx / dims.cols] = true;
+        group_live[(idx % dims.cols) / dims.col_group] = true;
+    }
+    let live_rows: Vec<u32> = (0..dims.rows as u32)
+        .filter(|&r| row_live[r as usize])
+        .collect();
+    let live_col_groups: Vec<u32> = (0..groups as u32)
+        .filter(|&g| group_live[g as usize])
+        .collect();
+
+    let live_area = live_rows.len() * live_col_groups.len() * dims.col_group;
+    let inner_density = if live_area == 0 {
+        0.0
+    } else {
+        nnz as f64 / live_area as f64
+    };
+    let area_ratio = live_area as f64 / total as f64;
+    let density = nnz as f64 / total as f64;
+
+    let kind = if nnz > 0
+        && inner_density >= COMPACT_MIN_INNER_DENSITY
+        && area_ratio <= COMPACT_MAX_AREA_RATIO
+    {
+        PlanKind::Compact
+    } else if density <= CSR_MAX_DENSITY {
+        PlanKind::Csr
+    } else {
+        PlanKind::Dense
+    };
+
+    let live_idx: Vec<u32> = if kind == PlanKind::Dense {
+        Vec::new()
+    } else {
+        bits.iter_ones().map(|i| i as u32).collect()
+    };
+
+    let (csr, csc) = if kind == PlanKind::Csr {
+        // CSR: live_idx is already sorted row-major (ascending flat index).
+        let mut row_ptr = vec![0u32; dims.rows + 1];
+        let mut col_idx = Vec::with_capacity(nnz);
+        for &flat in &live_idx {
+            let r = flat as usize / dims.cols;
+            row_ptr[r + 1] += 1;
+            col_idx.push(flat % dims.cols as u32);
+        }
+        for r in 0..dims.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        // CSC: bucket rows per column, preserving ascending row order
+        // within each column (stable pass over the row-major entries).
+        let mut col_ptr = vec![0u32; dims.cols + 1];
+        for &c in &col_idx {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for c in 0..dims.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut cursor: Vec<u32> = col_ptr[..dims.cols].to_vec();
+        let mut row_idx = vec![0u32; nnz];
+        for &flat in &live_idx {
+            let (r, c) = (flat as usize / dims.cols, flat as usize % dims.cols);
+            row_idx[cursor[c] as usize] = r as u32;
+            cursor[c] += 1;
+        }
+        (
+            Some(Csr { row_ptr, col_idx }),
+            Some(Csr {
+                row_ptr: col_ptr,
+                col_idx: row_idx,
+            }),
+        )
+    } else {
+        (None, None)
+    };
+
+    SparsePlan {
+        dims,
+        kind,
+        bits: bits.clone(),
+        nnz,
+        live_rows,
+        live_col_groups,
+        csr,
+        csc,
+        live_idx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random mask with roughly `density` live bits.
+    fn random_mask(len: usize, density: f64, seed: u64) -> BitMask {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut m = BitMask::zeros(len);
+        for i in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if ((state >> 11) as f64 / (1u64 << 53) as f64) < density {
+                m.set(i, true);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn full_mask_is_dense() {
+        let dims = MatrixDims::linear(4, 8);
+        let plan = build_plan(&BitMask::ones(32), dims);
+        assert_eq!(plan.kind, PlanKind::Dense);
+        assert_eq!(plan.nnz, 32);
+        assert_eq!(plan.flops_saved(10), 0);
+        assert_eq!(plan.theoretical_speedup(), 1.0);
+        assert!(plan.live_idx.is_empty());
+    }
+
+    #[test]
+    fn row_structured_mask_compacts() {
+        // Rows 1 and 3 of 5 live, fully dense inside: classic channel
+        // pruning at 60% sparsity.
+        let dims = MatrixDims::linear(5, 6);
+        let mut bits = BitMask::zeros(30);
+        for r in [1usize, 3] {
+            for c in 0..6 {
+                bits.set(r * 6 + c, true);
+            }
+        }
+        let plan = build_plan(&bits, dims);
+        assert_eq!(plan.kind, PlanKind::Compact);
+        assert_eq!(plan.live_rows, vec![1, 3]);
+        assert_eq!(plan.live_col_groups.len(), 6); // every col used
+        assert_eq!(plan.nnz, 12);
+        assert_eq!(plan.plan_flops(1), 2 * 2 * 6);
+        assert_eq!(plan.dense_flops(1), 2 * 5 * 6);
+        assert!(plan.theoretical_speedup() > 2.0);
+        assert_eq!(plan.live_idx.len(), 12);
+    }
+
+    #[test]
+    fn grouped_mask_compacts_on_channel_groups() {
+        // Conv-like [4 rows, 3 groups × 4 elems]; group 1 dead everywhere,
+        // rows 0 and 2 live.
+        let dims = MatrixDims::grouped(4, 12, 4);
+        let mut bits = BitMask::zeros(48);
+        for r in [0usize, 2] {
+            for g in [0usize, 2] {
+                for e in 0..4 {
+                    bits.set(r * 12 + g * 4 + e, true);
+                }
+            }
+        }
+        let plan = build_plan(&bits, dims);
+        assert_eq!(plan.kind, PlanKind::Compact);
+        assert_eq!(plan.live_rows, vec![0, 2]);
+        assert_eq!(plan.live_col_groups, vec![0, 2]);
+        assert_eq!(plan.plan_flops(1), 2 * 2 * 2 * 4);
+    }
+
+    #[test]
+    fn unstructured_low_density_uses_csr() {
+        let dims = MatrixDims::linear(16, 32);
+        let bits = random_mask(16 * 32, 0.1, 7);
+        let plan = build_plan(&bits, dims);
+        assert_eq!(plan.kind, PlanKind::Csr);
+        let csr = plan.csr.as_ref().unwrap();
+        assert_eq!(csr.row_ptr.len(), 17);
+        assert_eq!(csr.col_idx.len(), plan.nnz);
+        assert_eq!(plan.live_idx.len(), plan.nnz);
+        // CSR traversal enumerates exactly the live bits, row-major.
+        let mut seen = Vec::new();
+        for r in 0..16 {
+            for e in csr.row_range(r) {
+                seen.push(r * 32 + csr.col_idx[e] as usize);
+            }
+        }
+        assert_eq!(seen, plan.bits.iter_ones().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn csc_is_the_exact_transpose_traversal() {
+        let dims = MatrixDims::linear(9, 13);
+        let bits = random_mask(9 * 13, 0.2, 3);
+        let plan = build_plan(&bits, dims);
+        assert_eq!(plan.kind, PlanKind::Csr);
+        let csc = plan.csc.as_ref().unwrap();
+        assert_eq!(csc.row_ptr.len(), 14);
+        let mut count = 0usize;
+        for c in 0..13 {
+            let mut prev_row = None;
+            for e in csc.row_range(c) {
+                let r = csc.col_idx[e] as usize;
+                assert!(plan.bits.get(r * 13 + c));
+                // Rows ascend within each column — the dense kernel's order.
+                if let Some(p) = prev_row {
+                    assert!(r > p);
+                }
+                prev_row = Some(r);
+                count += 1;
+            }
+        }
+        assert_eq!(count, plan.nnz);
+    }
+
+    #[test]
+    fn unstructured_high_density_stays_dense() {
+        let dims = MatrixDims::linear(16, 16);
+        let bits = random_mask(256, 0.6, 5);
+        let plan = build_plan(&bits, dims);
+        assert_eq!(plan.kind, PlanKind::Dense);
+        assert!(plan.csr.is_none() && plan.csc.is_none());
+    }
+
+    #[test]
+    fn nearly_full_structured_mask_stays_dense() {
+        // 19 of 20 rows live and dense inside: area ratio 0.95 > 0.9.
+        let dims = MatrixDims::linear(20, 4);
+        let mut bits = BitMask::ones(80);
+        for c in 0..4 {
+            bits.set(c, false); // kill row 0 only
+        }
+        let plan = build_plan(&bits, dims);
+        assert_eq!(plan.kind, PlanKind::Dense);
+    }
+
+    #[test]
+    fn all_pruned_mask_uses_csr_with_empty_structure() {
+        let dims = MatrixDims::linear(3, 5);
+        let plan = build_plan(&BitMask::zeros(15), dims);
+        assert_eq!(plan.kind, PlanKind::Csr);
+        assert_eq!(plan.nnz, 0);
+        assert!(plan.live_rows.is_empty());
+        assert_eq!(plan.csr.as_ref().unwrap().col_idx.len(), 0);
+        assert_eq!(plan.plan_flops(4), 0);
+        assert_eq!(plan.flops_saved(4), plan.dense_flops(4));
+    }
+
+    #[test]
+    fn empty_matrix_is_dense() {
+        let plan = build_plan(&BitMask::zeros(0), MatrixDims::linear(0, 5));
+        assert_eq!(plan.kind, PlanKind::Dense);
+        assert_eq!(plan.density(), 1.0);
+    }
+
+    #[test]
+    fn grouped_dims_degenerate_when_not_dividing() {
+        let d = MatrixDims::grouped(3, 10, 4); // 4 does not divide 10
+        assert_eq!(d.col_group, 1);
+        assert_eq!(d.group_count(), 10);
+        let d2 = MatrixDims::grouped(3, 12, 4);
+        assert_eq!(d2.col_group, 4);
+        assert_eq!(d2.group_count(), 3);
+    }
+
+    #[test]
+    fn plan_kind_names_are_stable() {
+        assert_eq!(PlanKind::Dense.name(), "dense");
+        assert_eq!(PlanKind::Compact.name(), "compact");
+        assert_eq!(PlanKind::Csr.name(), "csr");
+    }
+}

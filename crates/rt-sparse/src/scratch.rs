@@ -1,0 +1,206 @@
+//! Thread-local scratch-buffer arena.
+//!
+//! The convolution lowering allocates an `im2col` patch matrix (plus an
+//! output staging matrix) *per sample per forward/backward call* — and the
+//! Compact sparse path adds packed weight and activation buffers on top.
+//! Those allocations dominate small-batch conv time and churn the
+//! allocator from every pool worker at once.
+//!
+//! The arena removes that churn: [`take`] hands out a zeroed `Vec<f32>` of
+//! the requested length, recycling a previously [`put`]-back buffer of the
+//! same length when one is available. Buffers are keyed by **exact
+//! length** — conv shapes repeat identically across samples and steps, so
+//! exact keying hits nearly always and avoids the waste of bucket-rounded
+//! sizes.
+//!
+//! # Lifetime and threading
+//!
+//! The arena is `thread_local!`: each `rt_par` pool worker (and the main
+//! thread) owns a private free-list, so `take`/`put` are lock-free and
+//! uncontended. Pool workers are persistent for the process lifetime, so
+//! recycled buffers live until thread exit. Per-length free-lists are
+//! capped at [`MAX_PER_LEN`] buffers and the whole arena at
+//! [`MAX_ARENA_BYTES`]; anything beyond that is simply dropped, bounding
+//! worst-case memory at a few transient conv workspaces per thread.
+//!
+//! # Determinism
+//!
+//! [`take`] zero-fills every buffer before returning it, so a recycled
+//! buffer is indistinguishable from a fresh `vec![0.0; len]` — reuse can
+//! never leak state between samples or change numerics.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Maximum recycled buffers kept per distinct length.
+pub const MAX_PER_LEN: usize = 4;
+
+/// Soft cap on total recycled bytes per thread (64 MiB).
+pub const MAX_ARENA_BYTES: usize = 64 << 20;
+
+#[derive(Default)]
+struct Arena {
+    pools: HashMap<usize, Vec<Vec<f32>>>,
+    held_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::default());
+}
+
+/// Takes a zero-filled `Vec<f32>` of exactly `len` elements, recycling a
+/// previously returned buffer of the same length when available.
+pub fn take(len: usize) -> Vec<f32> {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        if let Some(mut buf) = a.pools.get_mut(&len).and_then(Vec::pop) {
+            a.held_bytes -= len * std::mem::size_of::<f32>();
+            a.hits += 1;
+            buf.fill(0.0);
+            buf
+        } else {
+            a.misses += 1;
+            vec![0.0f32; len]
+        }
+    })
+}
+
+/// Returns a buffer to the arena for reuse. Buffers whose length bucket is
+/// full (or that would push the arena past [`MAX_ARENA_BYTES`]) are
+/// dropped instead.
+pub fn put(buf: Vec<f32>) {
+    let len = buf.len();
+    if len == 0 {
+        return;
+    }
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        let bytes = len * std::mem::size_of::<f32>();
+        if a.held_bytes + bytes > MAX_ARENA_BYTES {
+            return; // drop: arena full
+        }
+        let pool = a.pools.entry(len).or_default();
+        if pool.len() >= MAX_PER_LEN {
+            return; // drop: bucket full
+        }
+        pool.push(buf);
+        a.held_bytes += bytes;
+    });
+}
+
+/// `(hits, misses)` of this thread's arena since process start (or the
+/// last [`reset_stats`]). Intended for tests and telemetry.
+pub fn stats() -> (u64, u64) {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        (a.hits, a.misses)
+    })
+}
+
+/// Resets this thread's hit/miss counters (buffers stay pooled).
+pub fn reset_stats() {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        a.hits = 0;
+        a.misses = 0;
+    });
+}
+
+/// Drops every pooled buffer on this thread (mainly for tests that want
+/// a cold arena).
+pub fn clear() {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        a.pools.clear();
+        a.held_bytes = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_take_reuses_the_buffer() {
+        clear();
+        reset_stats();
+        let buf = take(128);
+        assert_eq!(buf.len(), 128);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        let ptr = buf.as_ptr();
+        put(buf);
+        let again = take(128);
+        assert_eq!(again.as_ptr(), ptr, "same allocation must be recycled");
+        let (hits, misses) = stats();
+        assert_eq!((hits, misses), (1, 1));
+        put(again);
+    }
+
+    #[test]
+    fn recycled_buffers_are_zeroed() {
+        clear();
+        let mut buf = take(16);
+        buf.iter_mut().for_each(|v| *v = f32::NAN);
+        put(buf);
+        let clean = take(16);
+        assert!(clean.iter().all(|&v| v.to_bits() == 0));
+        put(clean);
+    }
+
+    #[test]
+    fn different_lengths_do_not_alias() {
+        clear();
+        reset_stats();
+        put(take(32));
+        let b = take(64); // different length: must be a fresh allocation
+        assert_eq!(b.len(), 64);
+        let (_, misses) = stats();
+        assert_eq!(misses, 2);
+        put(b);
+    }
+
+    #[test]
+    fn bucket_cap_bounds_memory() {
+        clear();
+        let bufs: Vec<_> = (0..MAX_PER_LEN + 3).map(|_| take(8)).collect();
+        for b in bufs {
+            put(b);
+        }
+        let held = ARENA.with(|a| a.borrow().pools.get(&8).map_or(0, Vec::len));
+        assert_eq!(held, MAX_PER_LEN);
+    }
+
+    #[test]
+    fn zero_length_buffers_are_ignored() {
+        clear();
+        put(Vec::new());
+        let held = ARENA.with(|a| a.borrow().pools.len());
+        assert_eq!(held, 0);
+        assert!(take(0).is_empty());
+    }
+
+    #[test]
+    fn arena_is_per_thread() {
+        clear();
+        reset_stats();
+        put(take(256));
+        // A different thread sees a cold arena: its take() must miss.
+        let handle = std::thread::Builder::new()
+            .spawn(|| {
+                reset_stats();
+                let b = take(256);
+                put(b);
+                stats()
+            })
+            .unwrap();
+        let (hits, misses) = handle.join().unwrap();
+        assert_eq!((hits, misses), (0, 1));
+        // And this thread still hits.
+        let b = take(256);
+        let (h, _) = stats();
+        assert!(h >= 1);
+        put(b);
+    }
+}

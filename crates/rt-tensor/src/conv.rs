@@ -13,9 +13,32 @@
 //! (each owns a disjoint slice of the output/gradient buffers) and weight
 //! gradients are folded in sample order after the parallel region, so every
 //! thread count produces bit-identical results to the serial loop.
+//!
+//! # Sparsity-aware execution
+//!
+//! [`conv2d_forward_planned`] / [`conv2d_backward_planned`] additionally
+//! accept a compiled [`rt_sparse::SparsePlan`] for the weight matrix and
+//! dispatch on its kind:
+//!
+//! * **Compact** — the weight is packed once to its live output rows ×
+//!   live input channels, `im2col` lowers only the live input channels
+//!   (patch rows come in per-channel blocks of `k·k`), and dense GEMM
+//!   runs on the small packed matrices before scattering back.
+//! * **Csr** — row-parallel sparse kernels from [`rt_sparse::kernels`]
+//!   walk the mask support directly.
+//! * **Dense** (or a plan whose dims don't match) — the unchanged dense
+//!   path.
+//!
+//! All three paths are bit-identical on masked weights: dead weights are
+//! exactly `0.0`, the dense GEMM skips zero `A` entries, and the sparse
+//! paths visit the surviving nonzero terms in the dense kernels' exact
+//! order (see the `rt-sparse` crate docs for the `±0.0` argument).
+//! Per-sample workspaces come from [`rt_sparse::scratch`], a thread-local
+//! arena that removes the per-sample allocation churn of the lowering.
 
 use crate::linalg::{self, Gemm};
 use crate::{Result, Tensor, TensorError};
+use rt_sparse::{kernels as sparse_kernels, scratch, PlanKind, SparsePlan};
 use std::sync::Mutex;
 
 /// Geometry of a 2-D convolution or pooling window.
@@ -84,6 +107,108 @@ fn check_nchw(t: &Tensor, op: &'static str) -> Result<[usize; 4]> {
     Ok([s[0], s[1], s[2], s[3]])
 }
 
+/// Lowers one channel plane into its `k·k × H_out·W_out` patch-row block.
+/// `dst` must be zero-filled on entry: padding taps are simply left at
+/// zero, which is what makes a recycled-but-zeroed scratch buffer
+/// indistinguishable from a fresh allocation.
+fn im2col_channel(
+    plane: &[f32],
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    h_out: usize,
+    w_out: usize,
+    dst: &mut [f32],
+) {
+    let k = geo.kernel;
+    let cols = h_out * w_out;
+    for ky in 0..k {
+        for kx in 0..k {
+            let row = ky * k + kx;
+            let out_row = &mut dst[row * cols..(row + 1) * cols];
+            for oy in 0..h_out {
+                // Input y for this output row; may fall in the padding.
+                let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                if iy < 0 || iy >= height as isize {
+                    continue;
+                }
+                let src_row = &plane[iy as usize * width..(iy as usize + 1) * width];
+                for ox in 0..w_out {
+                    let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                    if ix < 0 || ix >= width as isize {
+                        continue;
+                    }
+                    out_row[oy * w_out + ox] = src_row[ix as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Lowers a full `[C, H, W]` sample into a zero-filled `[C·k·k, cols]`
+/// buffer (the allocation-free core of [`im2col_single`]).
+#[allow(clippy::too_many_arguments)]
+fn im2col_into(
+    sample: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    h_out: usize,
+    w_out: usize,
+    dst: &mut [f32],
+) {
+    let k = geo.kernel;
+    let block = k * k * h_out * w_out;
+    let hw = height * width;
+    debug_assert_eq!(dst.len(), channels * block);
+    for c in 0..channels {
+        im2col_channel(
+            &sample[c * hw..(c + 1) * hw],
+            height,
+            width,
+            geo,
+            h_out,
+            w_out,
+            &mut dst[c * block..(c + 1) * block],
+        );
+    }
+}
+
+/// Lowers only the listed input channels: block `j` of `dst` holds the
+/// patch rows of channel `live[j]`, giving a `[live.len()·k·k, cols]`
+/// matrix that lines up with a row/group-compacted weight matrix. Dead
+/// input channels are never read — this is where the Compact plan's
+/// `im2col` savings come from.
+#[allow(clippy::too_many_arguments)]
+fn im2col_live_into(
+    sample: &[f32],
+    live: &[u32],
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    h_out: usize,
+    w_out: usize,
+    dst: &mut [f32],
+) {
+    let k = geo.kernel;
+    let block = k * k * h_out * w_out;
+    let hw = height * width;
+    debug_assert_eq!(dst.len(), live.len() * block);
+    for (j, &ch) in live.iter().enumerate() {
+        let ch = ch as usize;
+        im2col_channel(
+            &sample[ch * hw..(ch + 1) * hw],
+            height,
+            width,
+            geo,
+            h_out,
+            w_out,
+            &mut dst[j * block..(j + 1) * block],
+        );
+    }
+}
+
 /// Lowers one `[C, H, W]` sample (given as a flat slice) into a patch matrix
 /// of shape `[C·k·k, H_out·W_out]`.
 ///
@@ -103,30 +228,7 @@ pub fn im2col_single(
     let rows = channels * k * k;
     let cols = h_out * w_out;
     let mut out = vec![0.0f32; rows * cols];
-    for c in 0..channels {
-        let plane = &sample[c * height * width..(c + 1) * height * width];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                for oy in 0..h_out {
-                    // Input y for this output row; may fall in the padding.
-                    let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
-                    if iy < 0 || iy >= height as isize {
-                        continue;
-                    }
-                    let src_row = &plane[iy as usize * width..(iy as usize + 1) * width];
-                    for ox in 0..w_out {
-                        let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
-                        if ix < 0 || ix >= width as isize {
-                            continue;
-                        }
-                        out_row[oy * w_out + ox] = src_row[ix as usize];
-                    }
-                }
-            }
-        }
-    }
+    im2col_into(sample, channels, height, width, geo, h_out, w_out, &mut out);
     Tensor::from_vec(vec![rows, cols], out)
 }
 
@@ -165,30 +267,115 @@ pub fn col2im_single(
             actual: image.len(),
         });
     }
-    let data = cols_mat.data();
-    for c in 0..channels {
-        let plane = &mut image[c * height * width..(c + 1) * height * width];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                let src_row = &data[row * cols..(row + 1) * cols];
-                for oy in 0..h_out {
-                    let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
-                    if iy < 0 || iy >= height as isize {
+    col2im_from(
+        cols_mat.data(),
+        channels,
+        height,
+        width,
+        geo,
+        h_out,
+        w_out,
+        image,
+    );
+    Ok(())
+}
+
+/// Accumulates one channel's `k·k × cols` patch-row block back into its
+/// image plane (`+=` semantics).
+fn col2im_channel(
+    src_block: &[f32],
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    h_out: usize,
+    w_out: usize,
+    plane: &mut [f32],
+) {
+    let k = geo.kernel;
+    let cols = h_out * w_out;
+    for ky in 0..k {
+        for kx in 0..k {
+            let row = ky * k + kx;
+            let src_row = &src_block[row * cols..(row + 1) * cols];
+            for oy in 0..h_out {
+                let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                if iy < 0 || iy >= height as isize {
+                    continue;
+                }
+                for ox in 0..w_out {
+                    let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                    if ix < 0 || ix >= width as isize {
                         continue;
                     }
-                    for ox in 0..w_out {
-                        let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
-                        if ix < 0 || ix >= width as isize {
-                            continue;
-                        }
-                        plane[iy as usize * width + ix as usize] += src_row[oy * w_out + ox];
-                    }
+                    plane[iy as usize * width + ix as usize] += src_row[oy * w_out + ox];
                 }
             }
         }
     }
-    Ok(())
+}
+
+/// Slice-level core of [`col2im_single`] (all channels, `+=` semantics).
+#[allow(clippy::too_many_arguments)]
+fn col2im_from(
+    cols_data: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    h_out: usize,
+    w_out: usize,
+    image: &mut [f32],
+) {
+    let k = geo.kernel;
+    let block = k * k * h_out * w_out;
+    let hw = height * width;
+    debug_assert_eq!(cols_data.len(), channels * block);
+    for c in 0..channels {
+        col2im_channel(
+            &cols_data[c * block..(c + 1) * block],
+            height,
+            width,
+            geo,
+            h_out,
+            w_out,
+            &mut image[c * hw..(c + 1) * hw],
+        );
+    }
+}
+
+/// Inverse of [`im2col_live_into`]: accumulates packed patch-row block `j`
+/// back into image channel `live[j]`, leaving dead channels untouched.
+/// Skipping a dead channel is bit-identical to the dense path, which only
+/// ever adds exact `+0.0` there (a masked weight column's gradient is an
+/// accumulator that started at `+0.0`, and float addition cannot underflow
+/// to `-0.0`).
+#[allow(clippy::too_many_arguments)]
+fn col2im_live_from(
+    cols_data: &[f32],
+    live: &[u32],
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    h_out: usize,
+    w_out: usize,
+    image: &mut [f32],
+) {
+    let k = geo.kernel;
+    let block = k * k * h_out * w_out;
+    let hw = height * width;
+    debug_assert_eq!(cols_data.len(), live.len() * block);
+    for (j, &ch) in live.iter().enumerate() {
+        let ch = ch as usize;
+        col2im_channel(
+            &cols_data[j * block..(j + 1) * block],
+            height,
+            width,
+            geo,
+            h_out,
+            w_out,
+            &mut image[ch * hw..(ch + 1) * hw],
+        );
+    }
 }
 
 /// Batched convolution forward: `out[s] = W × im2col(x[s]) (+ bias)` for
@@ -212,6 +399,51 @@ pub fn conv2d_forward(
     bias: Option<&[f32]>,
     geo: ConvGeometry,
 ) -> Result<Tensor> {
+    conv2d_forward_planned(input, w_mat, bias, geo, None)
+}
+
+/// Whether `plan` was compiled for this conv's `[O, C·k·k]` weight view
+/// and selects a non-dense strategy. A mismatched or dense plan makes the
+/// planned entry points silently take the dense path — a mis-plumbed plan
+/// can cost speed but never correctness.
+fn plan_matches_conv(plan: &SparsePlan, o: usize, ckk: usize, kk: usize) -> bool {
+    plan.dims.rows == o
+        && plan.dims.cols == ckk
+        && match plan.kind {
+            PlanKind::Dense => false,
+            // Compact relies on column groups == input channels so packed
+            // weights line up with the live-channel im2col blocks.
+            PlanKind::Compact => plan.dims.col_group == kk,
+            PlanKind::Csr => true,
+        }
+}
+
+/// Adds the per-channel bias to one sample's `[O, H_out·W_out]` output.
+fn add_bias(dst: &mut [f32], bias: Option<&[f32]>, out_plane: usize) {
+    if let Some(b) = bias {
+        for (ch, &bv) in b.iter().enumerate() {
+            for v in &mut dst[ch * out_plane..(ch + 1) * out_plane] {
+                *v += bv;
+            }
+        }
+    }
+}
+
+/// [`conv2d_forward`] with an optional compiled sparsity plan for the
+/// weight matrix (see the module docs for the dispatch rules). Passing
+/// `None` — or a plan that does not match this conv's weight view — runs
+/// the dense path. All paths are bit-identical on masked weights.
+///
+/// # Errors
+///
+/// Same validation errors as [`conv2d_forward`].
+pub fn conv2d_forward_planned(
+    input: &Tensor,
+    w_mat: &Tensor,
+    bias: Option<&[f32]>,
+    geo: ConvGeometry,
+    plan: Option<&SparsePlan>,
+) -> Result<Tensor> {
     let [n, c, h, w] = check_nchw(input, "conv2d_forward")?;
     let h_out = geo.out_dim(h)?;
     let w_out = geo.out_dim(w)?;
@@ -234,28 +466,80 @@ pub fn conv2d_forward(
         }
     }
     let chw = c * h * w;
+    let ckk = c * k * k;
     let out_plane = h_out * w_out;
     let mut out = Tensor::zeros(&[n, o, h_out, w_out]);
     if out.len() == 0 {
         return Ok(out);
     }
     let in_data = input.data();
+    let plan = plan.filter(|p| plan_matches_conv(p, o, ckk, k * k));
     // Shapes are fully validated above, so the per-sample kernels cannot
     // fail; a panic here would indicate a bug and propagates via rt-par.
-    rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
-        let sample = &in_data[s * chw..(s + 1) * chw];
-        let cols = im2col_single(sample, c, h, w, geo).expect("pre-validated im2col");
-        let mut out_mat = Tensor::zeros(&[o, out_plane]);
-        linalg::gemm(w_mat, &cols, Gemm::new(), &mut out_mat).expect("pre-validated gemm");
-        dst.copy_from_slice(out_mat.data());
-        if let Some(b) = bias {
-            for (ch, &bv) in b.iter().enumerate() {
-                for v in &mut dst[ch * out_plane..(ch + 1) * out_plane] {
-                    *v += bv;
-                }
-            }
+    match plan {
+        Some(p) if p.kind == PlanKind::Csr => {
+            let w_data = w_mat.data();
+            rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let mut cols = scratch::take(ckk * out_plane);
+                im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols);
+                // Same zero-fill + ascending-k accumulation as the dense
+                // ikj kernel, restricted to the mask support.
+                sparse_kernels::csr_matmul(w_data, &cols, out_plane, p, dst);
+                scratch::put(cols);
+                add_bias(dst, bias, out_plane);
+            });
         }
-    });
+        Some(p) => {
+            // Compact: pack the weight once (shared read-only across
+            // samples), lower only live input channels per sample, run the
+            // small dense GEMM, scatter live output rows back.
+            let lr = &p.live_rows;
+            let lg = &p.live_col_groups;
+            let packed_cols = lg.len() * k * k;
+            let mut pw_buf = vec![0.0f32; lr.len() * packed_cols];
+            sparse_kernels::pack_matrix_groups(w_mat.data(), p, &mut pw_buf);
+            let pw = Tensor::from_vec(vec![lr.len(), packed_cols], pw_buf)
+                .expect("packed weight shape");
+            rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let mut cols_buf = scratch::take(packed_cols * out_plane);
+                im2col_live_into(sample, lg, h, w, geo, h_out, w_out, &mut cols_buf);
+                let cols = Tensor::from_vec(vec![packed_cols, out_plane], cols_buf)
+                    .expect("live cols shape");
+                let mut y = Tensor::from_vec(
+                    vec![lr.len(), out_plane],
+                    scratch::take(lr.len() * out_plane),
+                )
+                .expect("packed out shape");
+                linalg::gemm(&pw, &cols, Gemm::new(), &mut y).expect("pre-validated gemm");
+                // Dead output channels are exactly +0.0 in the dense path
+                // (all their weights are masked), so clear-scatter matches.
+                sparse_kernels::scatter_rows_clear(y.data(), out_plane, lr, dst);
+                scratch::put(cols.into_vec());
+                scratch::put(y.into_vec());
+                add_bias(dst, bias, out_plane);
+            });
+        }
+        None => {
+            rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let mut cols_buf = scratch::take(ckk * out_plane);
+                im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols_buf);
+                let cols =
+                    Tensor::from_vec(vec![ckk, out_plane], cols_buf).expect("cols shape");
+                let mut out_mat =
+                    Tensor::from_vec(vec![o, out_plane], scratch::take(o * out_plane))
+                        .expect("out shape");
+                linalg::gemm(w_mat, &cols, Gemm::new(), &mut out_mat)
+                    .expect("pre-validated gemm");
+                dst.copy_from_slice(out_mat.data());
+                scratch::put(cols.into_vec());
+                scratch::put(out_mat.into_vec());
+                add_bias(dst, bias, out_plane);
+            });
+        }
+    }
     Ok(out)
 }
 
@@ -283,6 +567,45 @@ pub fn conv2d_backward(
     geo: ConvGeometry,
     want_bias: bool,
 ) -> Result<(Tensor, Tensor, Option<Vec<f32>>)> {
+    conv2d_backward_planned(input, grad_output, w_mat, geo, want_bias, None)
+}
+
+/// Per-sample bias partial: per-channel sums of the **full** upstream
+/// gradient. Bias parameters are never masked, so every plan kind
+/// computes bias gradients from the complete `dY` (dead output channels
+/// still receive bias gradient, exactly as in the dense path).
+fn bias_partial(go_sample: &[f32], o: usize, out_plane: usize, want: bool) -> Vec<f32> {
+    if want {
+        (0..o)
+            .map(|ch| {
+                go_sample[ch * out_plane..(ch + 1) * out_plane]
+                    .iter()
+                    .sum::<f32>()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    }
+}
+
+/// [`conv2d_backward`] with an optional compiled sparsity plan for the
+/// weight matrix. Gradients are bit-identical to the masked dense path
+/// *on the mask support*; dead weight-gradient entries are left at zero
+/// (the dense path writes garbage there, which `mask_grad` zeroes — both
+/// agree after masking). `grad_input` and `grad_bias` are bit-identical
+/// unconditionally.
+///
+/// # Errors
+///
+/// Same validation errors as [`conv2d_backward`].
+pub fn conv2d_backward_planned(
+    input: &Tensor,
+    grad_output: &Tensor,
+    w_mat: &Tensor,
+    geo: ConvGeometry,
+    want_bias: bool,
+    plan: Option<&SparsePlan>,
+) -> Result<(Tensor, Tensor, Option<Vec<f32>>)> {
     let [n, c, h, w] = check_nchw(input, "conv2d_backward")?;
     let h_out = geo.out_dim(h)?;
     let w_out = geo.out_dim(w)?;
@@ -303,59 +626,168 @@ pub fn conv2d_backward(
         });
     }
     let chw = c * h * w;
+    let ckk = c * k * k;
     let out_plane = h_out * w_out;
     let mut grad_input = Tensor::zeros(input.shape());
-    let mut grad_w_mat = Tensor::zeros(&[o, c * k * k]);
+    let mut grad_w_mat = Tensor::zeros(&[o, ckk]);
     let mut grad_bias = want_bias.then(|| vec![0.0f32; o]);
     if n == 0 || chw == 0 {
         return Ok((grad_input, grad_w_mat, grad_bias));
     }
     let in_data = input.data();
     let go_data = grad_output.data();
-    // Per-sample weight/bias partials, folded in sample order below.
-    let partials: Vec<Mutex<Option<(Tensor, Vec<f32>)>>> =
+    let plan = plan.filter(|p| plan_matches_conv(p, o, ckk, k * k));
+    // Per-sample weight/bias partials, folded in sample order below. The
+    // weight partial's meaning depends on the plan kind: the full dense
+    // `[O, C·k·k]` matrix (dense), the packed live-rows × live-groups
+    // matrix (Compact), or per-live-entry values aligned with the plan's
+    // `live_idx` (Csr).
+    let partials: Vec<Mutex<Option<(Vec<f32>, Vec<f32>)>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
-    rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
-        let sample = &in_data[s * chw..(s + 1) * chw];
-        let cols = im2col_single(sample, c, h, w, geo).expect("pre-validated im2col");
-        let go_mat = Tensor::from_vec(
-            vec![o, out_plane],
-            go_data[s * o * out_plane..(s + 1) * o * out_plane].to_vec(),
-        )
-        .expect("pre-validated grad slice");
-        // dW_s = dY × colsᵀ (private partial, folded later).
-        let mut gw = Tensor::zeros(&[o, c * k * k]);
-        linalg::gemm(&go_mat, &cols, Gemm::new().trans_b(), &mut gw).expect("pre-validated gemm");
-        // dcols = Wᵀ × dY, scattered back to image space.
-        let mut gcols = Tensor::zeros(&[c * k * k, out_plane]);
-        linalg::gemm(w_mat, &go_mat, Gemm::new().trans_a(), &mut gcols)
-            .expect("pre-validated gemm");
-        col2im_single(&gcols, c, h, w, geo, gi_sample).expect("pre-validated col2im");
-        let gb = if want_bias {
-            (0..o)
-                .map(|ch| {
-                    go_mat.data()[ch * out_plane..(ch + 1) * out_plane]
-                        .iter()
-                        .sum::<f32>()
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        *partials[s].lock().expect("conv partial slot") = Some((gw, gb));
-    });
+    match plan {
+        Some(p) if p.kind == PlanKind::Csr => {
+            let w_data = w_mat.data();
+            rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let go_sample = &go_data[s * o * out_plane..(s + 1) * o * out_plane];
+                let mut cols = scratch::take(ckk * out_plane);
+                im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols);
+                // dW_s on the mask support only: per-live-entry dot
+                // products replaying the dense A×Bᵀ kernel.
+                let mut vals = scratch::take(p.nnz);
+                sparse_kernels::csr_dot_rows(go_sample, &cols, out_plane, p, &mut vals);
+                // dcols = Wᵀ × dY over the support (dead patch rows stay
+                // exactly +0.0, as in the masked dense kernel).
+                let mut gcols = scratch::take(ckk * out_plane);
+                sparse_kernels::csc_matmul_t(w_data, go_sample, out_plane, p, &mut gcols);
+                col2im_from(&gcols, c, h, w, geo, h_out, w_out, gi_sample);
+                scratch::put(cols);
+                scratch::put(gcols);
+                let gb = bias_partial(go_sample, o, out_plane, want_bias);
+                *partials[s].lock().expect("conv partial slot") = Some((vals, gb));
+            });
+        }
+        Some(p) => {
+            // Compact: pack the weight once, then per sample run the dense
+            // GEMMs on live rows × live channel groups only.
+            let lr = &p.live_rows;
+            let lg = &p.live_col_groups;
+            let packed_cols = lg.len() * k * k;
+            let mut pw_buf = vec![0.0f32; lr.len() * packed_cols];
+            sparse_kernels::pack_matrix_groups(w_mat.data(), p, &mut pw_buf);
+            let pw = Tensor::from_vec(vec![lr.len(), packed_cols], pw_buf)
+                .expect("packed weight shape");
+            rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let go_sample = &go_data[s * o * out_plane..(s + 1) * o * out_plane];
+                let mut cols_buf = scratch::take(packed_cols * out_plane);
+                im2col_live_into(sample, lg, h, w, geo, h_out, w_out, &mut cols_buf);
+                let cols = Tensor::from_vec(vec![packed_cols, out_plane], cols_buf)
+                    .expect("live cols shape");
+                let mut go_packed = scratch::take(lr.len() * out_plane);
+                sparse_kernels::gather_rows(go_sample, out_plane, lr, &mut go_packed);
+                let go_p = Tensor::from_vec(vec![lr.len(), out_plane], go_packed)
+                    .expect("packed grad shape");
+                // Packed dW_s = dY_live × cols_liveᵀ (private partial).
+                let mut gw_p = Tensor::from_vec(
+                    vec![lr.len(), packed_cols],
+                    scratch::take(lr.len() * packed_cols),
+                )
+                .expect("packed gw shape");
+                linalg::gemm(&go_p, &cols, Gemm::new().trans_b(), &mut gw_p)
+                    .expect("pre-validated gemm");
+                // Packed dcols = W_liveᵀ × dY_live, scattered to live
+                // channels only (dead channels receive exactly +0.0 in
+                // the dense path, so skipping them is bit-identical).
+                let mut gcols_p = Tensor::from_vec(
+                    vec![packed_cols, out_plane],
+                    scratch::take(packed_cols * out_plane),
+                )
+                .expect("packed gcols shape");
+                linalg::gemm(&pw, &go_p, Gemm::new().trans_a(), &mut gcols_p)
+                    .expect("pre-validated gemm");
+                col2im_live_from(gcols_p.data(), lg, h, w, geo, h_out, w_out, gi_sample);
+                let gb = bias_partial(go_sample, o, out_plane, want_bias);
+                scratch::put(cols.into_vec());
+                scratch::put(go_p.into_vec());
+                scratch::put(gcols_p.into_vec());
+                *partials[s].lock().expect("conv partial slot") =
+                    Some((gw_p.into_vec(), gb));
+            });
+        }
+        None => {
+            rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let go_sample = &go_data[s * o * out_plane..(s + 1) * o * out_plane];
+                let mut cols_buf = scratch::take(ckk * out_plane);
+                im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols_buf);
+                let cols =
+                    Tensor::from_vec(vec![ckk, out_plane], cols_buf).expect("cols shape");
+                let mut go_vec = scratch::take(o * out_plane);
+                go_vec.copy_from_slice(go_sample);
+                let go_mat = Tensor::from_vec(vec![o, out_plane], go_vec)
+                    .expect("pre-validated grad slice");
+                // dW_s = dY × colsᵀ (private partial, folded later).
+                let mut gw =
+                    Tensor::from_vec(vec![o, ckk], scratch::take(o * ckk)).expect("gw shape");
+                linalg::gemm(&go_mat, &cols, Gemm::new().trans_b(), &mut gw)
+                    .expect("pre-validated gemm");
+                // dcols = Wᵀ × dY, scattered back to image space.
+                let mut gcols =
+                    Tensor::from_vec(vec![ckk, out_plane], scratch::take(ckk * out_plane))
+                        .expect("gcols shape");
+                linalg::gemm(w_mat, &go_mat, Gemm::new().trans_a(), &mut gcols)
+                    .expect("pre-validated gemm");
+                col2im_from(gcols.data(), c, h, w, geo, h_out, w_out, gi_sample);
+                let gb = bias_partial(go_mat.data(), o, out_plane, want_bias);
+                scratch::put(cols.into_vec());
+                scratch::put(go_mat.into_vec());
+                scratch::put(gcols.into_vec());
+                *partials[s].lock().expect("conv partial slot") = Some((gw.into_vec(), gb));
+            });
+        }
+    }
     // Ordered fold: accumulate per-sample partials exactly as the serial
     // loop did (sample 0 first), preserving float-op order bit-for-bit.
+    // Compact partials accumulate in packed space and scatter once at the
+    // end; Csr partials scatter-accumulate per live entry. Both reproduce
+    // the dense per-entry accumulation order on the mask support.
+    let mut packed_acc = match plan {
+        Some(p) if p.kind == PlanKind::Compact => {
+            vec![0.0f32; p.live_rows.len() * p.live_col_groups.len() * k * k]
+        }
+        _ => Vec::new(),
+    };
     for slot in partials {
         let (gw, gb) = slot
             .into_inner()
             .expect("conv partial slot")
             .expect("every sample ran");
-        grad_w_mat.add_assign(&gw)?;
+        match plan {
+            Some(p) if p.kind == PlanKind::Csr => {
+                sparse_kernels::scatter_add_entries(&gw, p, grad_w_mat.data_mut());
+            }
+            Some(_) => {
+                for (a, v) in packed_acc.iter_mut().zip(&gw) {
+                    *a += v;
+                }
+            }
+            None => {
+                for (a, v) in grad_w_mat.data_mut().iter_mut().zip(&gw) {
+                    *a += v;
+                }
+            }
+        }
+        scratch::put(gw);
         if let Some(acc) = &mut grad_bias {
             for (dst, src) in acc.iter_mut().zip(gb) {
                 *dst += src;
             }
+        }
+    }
+    if let Some(p) = plan {
+        if p.kind == PlanKind::Compact {
+            sparse_kernels::scatter_matrix_groups(&packed_acc, p, grad_w_mat.data_mut());
         }
     }
     Ok((grad_input, grad_w_mat, grad_bias))
@@ -572,6 +1004,7 @@ pub fn upsample2x_backward(grad_output: &Tensor, input_shape: &[usize]) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rt_sparse::{build_plan, BitMask, MatrixDims};
 
     #[test]
     fn out_dim_formula() {
@@ -786,6 +1219,123 @@ mod tests {
         let grad = Tensor::ones(&[2, 3]);
         let back = global_avg_pool_backward(&grad, &[2, 3, 2, 2]).unwrap();
         assert!(back.data().iter().all(|&g| (g - 0.25).abs() < 1e-7));
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} ({x} vs {y})");
+        }
+    }
+
+    /// Runs forward + backward through both the dense and the planned path
+    /// on mask-consistent weights and asserts bitwise agreement
+    /// (weight gradients compared post-masking, where the contract holds).
+    fn run_planned_equivalence(
+        plan: &SparsePlan,
+        n: usize,
+        c: usize,
+        hh: usize,
+        ww: usize,
+        o: usize,
+        geo: ConvGeometry,
+    ) {
+        let ckk = plan.dims.cols;
+        // Masked weights: live entries pseudo-random, dead exactly 0.0.
+        let w_mat = Tensor::from_fn(&[o, ckk], |i| {
+            if plan.bits.get(i) {
+                ((i * 13) % 11) as f32 / 5.0 - 1.0
+            } else {
+                0.0
+            }
+        });
+        let input = Tensor::from_fn(&[n, c, hh, ww], |i| ((i * 37) % 19) as f32 / 4.0 - 2.0);
+        let bias: Vec<f32> = (0..o).map(|i| i as f32 * 0.25 - 0.5).collect();
+
+        let dense_y = conv2d_forward(&input, &w_mat, Some(&bias), geo).unwrap();
+        let plan_y =
+            conv2d_forward_planned(&input, &w_mat, Some(&bias), geo, Some(plan)).unwrap();
+        assert_bits_eq(dense_y.data(), plan_y.data(), "forward");
+
+        let gy = Tensor::from_fn(dense_y.shape(), |i| ((i * 11) % 7) as f32 - 3.0);
+        let (gx_d, mut gw_d, gb_d) = conv2d_backward(&input, &gy, &w_mat, geo, true).unwrap();
+        let (gx_p, mut gw_p, gb_p) =
+            conv2d_backward_planned(&input, &gy, &w_mat, geo, true, Some(plan)).unwrap();
+        assert_bits_eq(gx_d.data(), gx_p.data(), "grad_input");
+        assert_bits_eq(&gb_d.unwrap(), &gb_p.unwrap(), "grad_bias");
+        // dW agrees on the mask support once dead entries are masked out:
+        // the dense path writes garbage there, which `mask_grad` zeroes.
+        plan.bits.zero_pruned(gw_d.data_mut());
+        plan.bits.zero_pruned(gw_p.data_mut());
+        assert_bits_eq(gw_d.data(), gw_p.data(), "grad_w (masked)");
+    }
+
+    #[test]
+    fn compact_planned_conv_is_bit_identical_to_masked_dense() {
+        let (n, c, o, k) = (2usize, 3usize, 4usize, 3usize);
+        let geo = ConvGeometry::new(k, 1, 1);
+        let ckk = c * k * k;
+        // Channel-structured mask: output rows {0, 2} × input channels
+        // {0, 2} fully live — the paper's structured-ticket shape.
+        let mut bits = BitMask::zeros(o * ckk);
+        for r in [0usize, 2] {
+            for g in [0usize, 2] {
+                for e in 0..k * k {
+                    bits.set(r * ckk + g * k * k + e, true);
+                }
+            }
+        }
+        let plan = build_plan(&bits, MatrixDims::grouped(o, ckk, k * k));
+        assert_eq!(plan.kind, PlanKind::Compact);
+        run_planned_equivalence(&plan, n, c, 5, 5, o, geo);
+    }
+
+    #[test]
+    fn csr_planned_conv_is_bit_identical_to_masked_dense() {
+        let (n, c, o, k) = (3usize, 2usize, 5usize, 3usize);
+        let geo = ConvGeometry::new(k, 1, 1);
+        let ckk = c * k * k;
+        // Unstructured ~8% mask.
+        let mut bits = BitMask::zeros(o * ckk);
+        for i in 0..o * ckk {
+            if (i * 7) % 13 == 0 {
+                bits.set(i, true);
+            }
+        }
+        let plan = build_plan(&bits, MatrixDims::grouped(o, ckk, k * k));
+        assert_eq!(plan.kind, PlanKind::Csr);
+        run_planned_equivalence(&plan, n, c, 6, 6, o, geo);
+    }
+
+    #[test]
+    fn mismatched_plan_falls_back_to_dense() {
+        // A plan compiled for some other layer's dims must be ignored.
+        let plan = build_plan(&BitMask::zeros(10), MatrixDims::linear(2, 5));
+        let input = Tensor::from_fn(&[1, 2, 4, 4], |i| (i % 5) as f32 - 2.0);
+        let w_mat = Tensor::from_fn(&[3, 18], |i| (i % 7) as f32 / 3.0 - 1.0);
+        let geo = ConvGeometry::new(3, 1, 1);
+        let dense = conv2d_forward(&input, &w_mat, None, geo).unwrap();
+        let planned = conv2d_forward_planned(&input, &w_mat, None, geo, Some(&plan)).unwrap();
+        assert_bits_eq(dense.data(), planned.data(), "fallback forward");
+        let gy = Tensor::ones(dense.shape());
+        let (gx_d, gw_d, _) = conv2d_backward(&input, &gy, &w_mat, geo, false).unwrap();
+        let (gx_p, gw_p, _) =
+            conv2d_backward_planned(&input, &gy, &w_mat, geo, false, Some(&plan)).unwrap();
+        assert_bits_eq(gx_d.data(), gx_p.data(), "fallback grad_input");
+        assert_bits_eq(gw_d.data(), gw_p.data(), "fallback grad_w");
+    }
+
+    #[test]
+    fn im2col_live_matches_full_lowering_blocks() {
+        let sample: Vec<f32> = (0..3 * 4 * 4).map(|i| (i as f32) * 0.5 - 3.0).collect();
+        let geo = ConvGeometry::new(3, 1, 1);
+        let full = im2col_single(&sample, 3, 4, 4, geo).unwrap();
+        let block = 9 * 16; // k·k rows × out_plane
+        let live = [0u32, 2];
+        let mut packed = vec![0.0f32; live.len() * block];
+        im2col_live_into(&sample, &live, 4, 4, geo, 4, 4, &mut packed);
+        assert_eq!(&packed[0..block], &full.data()[0..block]);
+        assert_eq!(&packed[block..2 * block], &full.data()[2 * block..3 * block]);
     }
 
     #[test]

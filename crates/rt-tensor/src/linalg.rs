@@ -8,9 +8,27 @@
 //! lives in exactly one kernel instead of four near-duplicates.
 //!
 //! Each layout keeps the memory pattern that is best for row-major buffers:
-//! ikj-ordered with a zero-skip on `A` for the plain and accumulating
-//! variants (sparse weights after pruning make that branch pay), p-outer for
-//! `Aᵀ×B`, and a dot-product inner loop for `A×Bᵀ`.
+//! ikj-ordered for the plain and accumulating variants, p-outer for `Aᵀ×B`,
+//! and a dot-product inner loop for `A×Bᵀ`.
+//!
+//! # Zero-skip policy
+//!
+//! **Every** layout skips multiply-add terms whose `A` element is exactly
+//! `0.0` (of either sign). This is one documented policy, not an incidental
+//! optimization, and all four kernels implement it identically so that the
+//! masked-dense path and the `rt-sparse` compiled paths agree in both cost
+//! model and float semantics:
+//!
+//! * *Cost*: pruned weights (`A` = weights in conv forward / `Wᵀ×dY`) and
+//!   post-ReLU activations (`A` = activations in linear forward, `A` = dY
+//!   in the gradient products) make the branch pay everywhere.
+//! * *Bit-exactness*: skipping a `±0.0·b` term never changes the
+//!   accumulator bits. Under round-to-nearest an accumulator that starts at
+//!   `+0.0` can never become `-0.0` (exact cancellation of nonzeros yields
+//!   `+0.0`, and `+0.0 + ±0.0 = +0.0`), so adding a zero-product term is
+//!   the identity. The sparse kernels in `rt-sparse` rely on exactly this
+//!   property to stay bit-identical to these dense kernels while visiting
+//!   only the mask's support.
 //!
 //! # Determinism
 //!
@@ -189,7 +207,9 @@ pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
                 }
             }
         }),
-        // C (+)= A × Bᵀ — independent dot products per element.
+        // C (+)= A × Bᵀ — independent dot products per element, with the
+        // unified zero-skip on A (see module docs: skipping a ±0.0 product
+        // is the identity on a fresh accumulator, so this changes no bits).
         (false, true) => rt_par::par_chunks_mut(out.data_mut(), tile * n, |t, out_tile| {
             let row0 = t * tile;
             for (r, o_row) in out_tile.chunks_mut(n).enumerate() {
@@ -199,6 +219,9 @@ pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
                     let b_row = &bv[j * k..(j + 1) * k];
                     let mut sum = 0.0;
                     for (&x, &y) in a_row.iter().zip(b_row) {
+                        if x == 0.0 {
+                            continue; // unified zero-skip policy
+                        }
                         sum += x * y;
                     }
                     if acc {
@@ -209,8 +232,8 @@ pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
                 }
             }
         }),
-        // C (+)= Aᵀ × Bᵀ — strided dot products; no historical serial
-        // kernel existed for this layout, so any fixed order is canonical.
+        // C (+)= Aᵀ × Bᵀ — strided dot products with the same unified
+        // zero-skip on A.
         (true, true) => rt_par::par_chunks_mut(out.data_mut(), tile * n, |t, out_tile| {
             let row0 = t * tile;
             for (r, o_row) in out_tile.chunks_mut(n).enumerate() {
@@ -218,7 +241,11 @@ pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
                 for (j, o_el) in o_row.iter_mut().enumerate() {
                     let mut sum = 0.0;
                     for p in 0..k {
-                        sum += av[p * m + i] * bv[j * k + p];
+                        let x = av[p * m + i];
+                        if x == 0.0 {
+                            continue; // unified zero-skip policy
+                        }
+                        sum += x * bv[j * k + p];
                     }
                     if acc {
                         *o_el += sum;
@@ -621,6 +648,36 @@ mod tests {
     fn sym_eigen_rejects_non_square() {
         let a = t(&[2, 3], &[0.0; 6]);
         assert!(sym_eigen(&a, 10).is_err());
+    }
+
+    #[test]
+    fn zero_skip_policy_is_uniform_across_layouts() {
+        // Zeros in A must not change the result bits in ANY layout — the
+        // documented unified policy. B carries negatives so the skipped
+        // terms would be -0.0 products; the pinned outputs are exactly
+        // +0.0, which is what the rt-sparse kernels produce for dead rows
+        // and what the ±0.0 identity argument in the module docs predicts.
+        let a = t(&[2, 2], &[0.0, 0.0, 2.0, 0.0]);
+        let b = t(&[2, 2], &[-1.0, -3.0, -2.0, -4.0]);
+        for cfg in [
+            Gemm::new(),
+            Gemm::new().trans_a(),
+            Gemm::new().trans_b(),
+            Gemm::new().trans_a().trans_b(),
+        ] {
+            let got = run(&a, &b, cfg).unwrap();
+            // Row/col of A that is entirely zero yields exactly +0.0.
+            let zero_outputs: Vec<u32> = got
+                .data()
+                .iter()
+                .filter(|v| **v == 0.0)
+                .map(|v| v.to_bits())
+                .collect();
+            assert!(!zero_outputs.is_empty(), "{cfg:?} should have zero rows");
+            for bits in zero_outputs {
+                assert_eq!(bits, 0, "{cfg:?} produced -0.0 from skipped terms");
+            }
+        }
     }
 
     #[test]

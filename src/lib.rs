@@ -20,6 +20,7 @@
 //! | [`data`] | `rt-data` | synthetic task family, segmentation, FID |
 //! | [`adv`] | `rt-adv` | FGSM/PGD, randomized smoothing, robust eval |
 //! | [`prune`] | `rt-prune` | OMP, IMP/A-IMP, LMP, structured patterns |
+//! | [`sparse`] | `rt-sparse` | packed masks, compiled sparse plans & kernels |
 //! | [`metrics`] | `rt-metrics` | accuracy, ECE/NLL, ROC-AUC, mIoU |
 //! | [`transfer`] | `rt-transfer` | pretrain → ticket → finetune/linear |
 //!
@@ -79,5 +80,6 @@ pub use rt_metrics as metrics;
 pub use rt_models as models;
 pub use rt_nn as nn;
 pub use rt_prune as prune;
+pub use rt_sparse as sparse;
 pub use rt_tensor as tensor;
 pub use rt_transfer as transfer;
