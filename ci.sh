@@ -25,6 +25,42 @@ echo "== sparse kernel smoke (bit-identity gate + speedup report) =="
 cargo run --release -p rt-bench --bin bench_sparse -- --quick --reps 1 \
     --out target/BENCH_sparse_ci.json
 
+echo "== supervision smoke (deadlines, cancellation, kill-and-resume) =="
+# The supervision acceptance surface, under both cell executors: the
+# serial run_cell loop and the parallel batch fan-out (RT_PAR_CELLS=1).
+# Covers injected-hang detection within the deadline, cooperative
+# cancellation at batch/chunk boundaries, torn-journal truncation, and
+# byte-identical resume — see crates/rt-bench/tests/supervision.rs and
+# the runner/fault unit suites.
+for cells in "" "1"; do
+    echo "-- RT_PAR_CELLS=${cells:-0} --"
+    RT_PAR_CELLS=$cells cargo test -q --release -p rt-bench --test supervision
+    RT_PAR_CELLS=$cells cargo test -q --release -p rt-bench --test resume
+done
+# One end-to-end injected-hang run through the real driver binary: a
+# persistent hang at cell 1 with a 5 s deadline must be broken by the
+# watchdog on both attempts (default retry budget = 1) and abort with
+# exit code 3 (deadline budget exhausted). `timeout` far above
+# 2x-deadline-per-attempt is the backstop proving the watchdog, not the
+# shell, broke the hang.
+rm -f results/fig1-smoke.journal.jsonl results/fig1-smoke.stats.json
+set +e
+RT_FAULTS="hang:1" RT_DEADLINE=5 timeout 120 \
+    cargo run --release -p rt-bench --bin fig1_omp_finetune -- --scale smoke
+hang_status=$?
+set -e
+if [[ "$hang_status" != "3" ]]; then
+    echo "injected-hang run: expected exit 3 (deadline budget exhausted), got $hang_status"
+    exit 1
+fi
+rm -f results/fig1-smoke.journal.jsonl results/fig1-smoke.stats.json
+
+echo "== supervision overhead gate (cancellation checks < 2% on kernels) =="
+# bench_kernels re-times GEMM/conv under a live (never tripped)
+# cancellation scope and exits nonzero if supervision costs > 2%.
+cargo run --release -p rt-bench --bin bench_kernels -- --quick --reps 3 \
+    --out target/BENCH_kernels_ci.json
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -13,6 +13,13 @@
 //! the run **fails** if any thread count produces different bytes than
 //! the serial pool — the benchmark doubles as an end-to-end determinism
 //! gate on real kernel shapes.
+//!
+//! It is also the supervision-overhead gate: GEMM and conv are re-timed
+//! under a live (never-tripped) cancellation scope with an armed watchdog
+//! deadline, and the run fails if supervision costs more than
+//! [`MAX_CANCEL_OVERHEAD_PCT`] over the unsupervised baseline — the
+//! cooperative checks are one relaxed atomic load per chunk and must stay
+//! invisible at kernel granularity.
 
 use rt_adv::attack::{perturb_replicas, AttackConfig};
 use rt_nn::layers::{Conv2d, Conv2dConfig, Flatten, Linear, Relu};
@@ -21,17 +28,21 @@ use rt_tensor::conv::{conv2d_forward, ConvGeometry};
 use rt_tensor::linalg::{gemm, Gemm};
 use rt_tensor::rng::rng_from_seed;
 use rt_tensor::{init, Tensor};
+use rt_transfer::runner::ExitCode;
 use serde::Serialize;
 use std::hint::black_box;
 use std::path::PathBuf;
-use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pool sizes swept by the benchmark (1 = serial reference).
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Schema version of `BENCH_kernels.json`.
 const BENCH_VERSION: u32 = 1;
+
+/// Ceiling on the supervised-over-baseline slowdown of the GEMM and conv
+/// workloads, in percent.
+const MAX_CANCEL_OVERHEAD_PCT: f64 = 2.0;
 
 struct Args {
     out: PathBuf,
@@ -91,6 +102,16 @@ struct Workload {
     deterministic: bool,
 }
 
+/// Supervised-vs-baseline timing of one kernel (4 threads, best-of-reps).
+#[derive(Debug, Serialize)]
+struct CancelOverhead {
+    name: String,
+    baseline_ms: f64,
+    supervised_ms: f64,
+    /// Slowdown in percent; negative values (noise) are reported as-is.
+    overhead_pct: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     v: u32,
@@ -99,6 +120,10 @@ struct Report {
     quick: bool,
     host_parallelism: usize,
     workloads: Vec<Workload>,
+    /// Per-kernel supervision overhead measurements.
+    cancel_overhead: Vec<CancelOverhead>,
+    /// Worst `overhead_pct` across `cancel_overhead` (the gated number).
+    cancel_overhead_pct: f64,
 }
 
 /// Times `f` `reps` times (after one warmup call) and returns the best
@@ -168,6 +193,41 @@ fn run_workload(
     }
 }
 
+/// Times `f` at 4 pool threads, bare and then under a live supervision
+/// scope — a fresh (never tripped) token installed as ambient plus an
+/// armed watchdog deadline far in the future — and reports the slowdown.
+/// Nothing ever fires, so any delta is the pure cost of the cooperative
+/// checks and the armed watchdog entry.
+fn measure_cancel_overhead(
+    name: &str,
+    reps: usize,
+    mut f: impl FnMut() -> Vec<f32>,
+) -> CancelOverhead {
+    rt_par::set_threads(4);
+    let (baseline_ms, base_sum) = best_of(reps, || bitfold(&black_box(f())));
+    let scope = rt_par::CancelScope::new();
+    let (supervised_ms, sup_sum) = {
+        let _ambient = rt_par::with_cancel(scope.token());
+        let _deadline = rt_par::watchdog::arm(scope.token(), Duration::from_secs(3600));
+        best_of(reps, || bitfold(&black_box(f())))
+    };
+    rt_par::set_threads(1);
+    assert!(
+        (base_sum - sup_sum).abs() == 0.0,
+        "supervision must not change kernel bytes ({name})"
+    );
+    let overhead_pct = (supervised_ms - baseline_ms) / baseline_ms * 100.0;
+    rt_obs::console!(
+        "[bench] cancel-overhead {name}: bare {baseline_ms:.2} ms, supervised {supervised_ms:.2} ms ({overhead_pct:+.2}%)"
+    );
+    CancelOverhead {
+        name: name.to_string(),
+        baseline_ms,
+        supervised_ms,
+        overhead_pct,
+    }
+}
+
 /// A small conv-net whose weights depend only on `seed` — replicas built
 /// from the same seed are identical, as `perturb_replicas` requires.
 fn pgd_model(seed: u64) -> Sequential {
@@ -180,12 +240,12 @@ fn pgd_model(seed: u64) -> Sequential {
     ])
 }
 
-fn main() -> ExitCode {
+fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            ExitCode::Usage.exit();
         }
     };
     rt_obs::init_from_env();
@@ -263,6 +323,25 @@ fn main() -> ExitCode {
         }
     };
 
+    // --- Supervision overhead: the same GEMM/conv bodies re-timed under
+    // a live, never-tripped cancellation scope. ------------------------
+    let cancel_overhead = vec![
+        measure_cancel_overhead(&format!("gemm_{dim}x{dim}x{dim}"), args.reps, || {
+            let mut out = Tensor::zeros(&[dim, dim]);
+            gemm(&a, &b, Gemm::new(), &mut out).expect("gemm");
+            out.into_vec()
+        }),
+        measure_cancel_overhead(
+            &format!("conv3x3_b{n}_{c}to{co}_{hw}x{hw}"),
+            args.reps,
+            || conv2d_forward(&x, &w, None, geo).expect("conv").into_vec(),
+        ),
+    ];
+    let cancel_overhead_pct = cancel_overhead
+        .iter()
+        .map(|o| o.overhead_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+
     let report = Report {
         v: BENCH_VERSION,
         generated_unix_ms: std::time::SystemTime::now()
@@ -275,6 +354,8 @@ fn main() -> ExitCode {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         workloads: vec![gemm_wl, conv_wl, pgd_wl],
+        cancel_overhead,
+        cancel_overhead_pct,
     };
 
     let all_deterministic = report.workloads.iter().all(|w| w.deterministic);
@@ -282,17 +363,24 @@ fn main() -> ExitCode {
         Ok(b) => b,
         Err(e) => {
             eprintln!("cannot encode report: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::PersistentFailure.exit();
         }
     };
     if let Err(e) = rt_nn::checkpoint::atomic_write(&args.out, &bytes) {
         eprintln!("cannot write {}: {e}", args.out.display());
-        return ExitCode::FAILURE;
+        ExitCode::PersistentFailure.exit();
     }
     rt_obs::console!("[bench] wrote {}", args.out.display());
     if !all_deterministic {
         eprintln!("DETERMINISM VIOLATION: some thread count diverged from the serial pool");
-        return ExitCode::FAILURE;
+        ExitCode::PersistentFailure.exit();
     }
-    ExitCode::SUCCESS
+    if report.cancel_overhead_pct > MAX_CANCEL_OVERHEAD_PCT {
+        eprintln!(
+            "SUPERVISION OVERHEAD VIOLATION: {:.2}% > {MAX_CANCEL_OVERHEAD_PCT}% \
+             (cooperative cancellation checks must stay invisible at kernel granularity)",
+            report.cancel_overhead_pct
+        );
+        ExitCode::PersistentFailure.exit();
+    }
 }

@@ -22,7 +22,7 @@ use rt_tensor::rng::rng_from_seed;
 use rt_tensor::{init, Tensor};
 use std::hint::black_box;
 use std::path::PathBuf;
-use std::process::ExitCode;
+use rt_transfer::runner::ExitCode;
 use std::time::Instant;
 
 /// Pool sizes swept by the benchmark (1 = serial reference).
@@ -254,12 +254,12 @@ fn encode_json(reps: usize, quick: bool, workloads: &[SparseWorkload]) -> String
     s
 }
 
-fn main() -> ExitCode {
+fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            ExitCode::Usage.exit();
         }
     };
     rt_obs::init_from_env();
@@ -313,16 +313,15 @@ fn main() -> ExitCode {
     let json = encode_json(args.reps, args.quick, &workloads);
     if let Err(e) = rt_nn::checkpoint::atomic_write(&args.out, json.as_bytes()) {
         eprintln!("cannot write {}: {e}", args.out.display());
-        return ExitCode::FAILURE;
+        ExitCode::PersistentFailure.exit();
     }
     rt_obs::console!("[bench] wrote {}", args.out.display());
     if !all_identical {
         eprintln!("BIT DIVERGENCE: sparse plan output differs from masked-dense");
-        return ExitCode::FAILURE;
+        ExitCode::PersistentFailure.exit();
     }
     if !all_deterministic {
         eprintln!("DETERMINISM VIOLATION: some thread count diverged from the serial pool");
-        return ExitCode::FAILURE;
+        ExitCode::PersistentFailure.exit();
     }
-    ExitCode::SUCCESS
 }

@@ -17,7 +17,7 @@
 
 use rt_obs::report::{aggregate_streams, parse_jsonl};
 use std::path::PathBuf;
-use std::process::ExitCode;
+use rt_transfer::runner::ExitCode;
 
 struct Args {
     files: Vec<PathBuf>,
@@ -76,12 +76,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args { files, out, top_k })
 }
 
-fn main() -> ExitCode {
+fn main() {
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            ExitCode::Usage.exit();
         }
     };
 
@@ -91,7 +91,7 @@ fn main() -> ExitCode {
             Ok(text) => text,
             Err(e) => {
                 eprintln!("[obs_report] cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                ExitCode::Usage.exit();
             }
         };
         let (events, malformed) = parse_jsonl(&text);
@@ -116,14 +116,13 @@ fn main() -> ExitCode {
         Ok(bytes) => {
             if let Err(e) = rt_obs::sink::atomic_write(&args.out, &bytes) {
                 eprintln!("[obs_report] cannot write {}: {e}", args.out.display());
-                return ExitCode::FAILURE;
+                ExitCode::PersistentFailure.exit();
             }
             eprintln!("[obs_report] wrote {}", args.out.display());
         }
         Err(e) => {
             eprintln!("[obs_report] snapshot serialization failed: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::PersistentFailure.exit();
         }
     }
-    ExitCode::SUCCESS
 }

@@ -11,7 +11,7 @@
 
 use rt_transfer::chart::{render_chart, ChartOptions};
 use rt_transfer::experiment::ExperimentRecord;
-use rt_transfer::runner::RunnerSummary;
+use rt_transfer::runner::{ExitCode, RunnerSummary};
 use std::path::PathBuf;
 
 fn results_dir() -> PathBuf {
@@ -31,7 +31,9 @@ fn main() {
         Ok(e) => e,
         Err(e) => {
             eprintln!("cannot read {}: {e}", dir.display());
-            std::process::exit(1);
+            // A missing/unreadable results dir is an invocation problem
+            // (wrong --dir), not a crashed experiment.
+            ExitCode::Usage.exit();
         }
     };
     let mut summaries: Vec<(String, RunnerSummary)> = Vec::new();
@@ -65,7 +67,7 @@ fn main() {
     }
     if records.is_empty() {
         eprintln!("no experiment records found under {}", dir.display());
-        std::process::exit(1);
+        ExitCode::PersistentFailure.exit();
     }
     records.sort_by(|a, b| a.1.id.cmp(&b.1.id));
 
@@ -89,15 +91,18 @@ fn main() {
     if !summaries.is_empty() {
         summaries.sort_by(|a, b| a.0.cmp(&b.0));
         println!("## Runner stats\n");
-        println!("| sweep | completed | resumed | retried | failed | exec time | wall time |");
-        println!("|---|---:|---:|---:|---:|---:|---:|");
+        println!(
+            "| sweep | completed | resumed | retried | deadline trips | failed | exec time | wall time |"
+        );
+        println!("|---|---:|---:|---:|---:|---:|---:|---:|");
         for (sweep, s) in &summaries {
             println!(
-                "| {} | {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
                 sweep,
                 s.stats.executed,
                 s.stats.skipped,
                 s.stats.retries,
+                s.stats.deadline_trips,
                 s.stats.failed,
                 fmt_ms(s.stats.executed_ms),
                 fmt_ms(s.wall_ms),

@@ -358,9 +358,7 @@ pub fn finish(record: &ExperimentRecord, preset: &Preset) {
         Ok(path) => rt_obs::console!("[saved] {}", path.display()),
         Err(e) => {
             rt_obs::console!("[error] could not save record after retry: {e}");
-            // `exit` skips Drop guards; flush telemetry explicitly.
-            rt_obs::finalize();
-            std::process::exit(1);
+            rt_transfer::runner::ExitCode::PersistentFailure.exit();
         }
     }
 }
@@ -368,13 +366,13 @@ pub fn finish(record: &ExperimentRecord, preset: &Preset) {
 /// Reports a sweep-level runner failure and exits nonzero. Drivers call
 /// this instead of panicking so an exhausted-retries cell produces a
 /// clean diagnostic (and the journal keeps every completed cell for the
-/// next `--resume`).
+/// next `--resume`). The exit status follows the
+/// [`rt_transfer::runner::ExitCode`] convention — a deadline-budget
+/// abort (3) is distinguishable from a persistent crash (1).
 pub fn abort_on_runner_error(id: &str, err: RunnerError) -> ! {
     rt_obs::console!("[{id}] sweep aborted: {err}");
     rt_obs::console!("[{id}] completed cells are journaled; rerun with --resume to continue");
-    // `exit` skips Drop guards; flush telemetry explicitly.
-    rt_obs::finalize();
-    std::process::exit(1);
+    rt_transfer::runner::ExitCode::for_error(&err).exit();
 }
 
 #[cfg(test)]

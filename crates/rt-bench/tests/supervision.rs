@@ -1,0 +1,179 @@
+//! Supervision acceptance tests on the *production* Fig. 1 sweep.
+//!
+//! The deadline/watchdog analogue of `tests/resume.rs`: an injected
+//! `hang:<cell>` fault stalls one cell of a fig1 smoke sweep forever.
+//! The watchdog must detect it within the configured deadline, cancel
+//! the cell cooperatively (no thread is killed), and leave every
+//! completed cell journaled — so a resumed run without the fault
+//! produces a record and a journal byte-identical to an uninterrupted
+//! reference. Exercised under both a serial (`RT_THREADS=1`) and a
+//! 4-thread (`RT_THREADS=4`) kernel pool, since the hang is broken via
+//! the ambient cancellation token the pool itself propagates.
+
+use rt_bench::fig1_record;
+use rt_transfer::experiment::{Preset, Scale};
+use rt_transfer::fault::{self, FaultPlan};
+use rt_transfer::runner::{Runner, RunnerConfig, RunnerError};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rt-bench-supervision-test");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}-{}.journal.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Reference → hung-and-aborted → resumed, at a given pool width. The
+/// deadline is generous (hang detection is what's under test, not cell
+/// runtime), and only the doomed run arms it — byte-identity of the
+/// final journal must not depend on whether a never-tripped deadline
+/// was configured.
+fn fig1_hang_flow(threads: usize, seed: u64, tag: &str) {
+    rt_par::set_threads(threads);
+    let mut preset = Preset::new(Scale::Smoke);
+    // Private seed so pretrain-cache entries cannot collide with other
+    // tests sharing the cache directory.
+    preset.seed = seed;
+
+    // Run A — the uninterrupted reference.
+    let path_a = temp_journal(&format!("fig1-{tag}-reference"));
+    let mut reference_runner = Runner::new(RunnerConfig {
+        journal_path: Some(path_a.clone()),
+        resume: false,
+        ..RunnerConfig::default()
+    })
+    .expect("reference journal");
+    let reference = fig1_record(&preset, &mut reference_runner).expect("reference sweep");
+    let total_cells = reference_runner.stats.executed;
+    assert!(total_cells > 6, "smoke fig1 too small: {total_cells} cells");
+    drop(reference_runner);
+
+    // Run B — cell HANG_AT hangs forever; the watchdog trips its token
+    // and, with zero retries, the sweep aborts with the structured
+    // deadline error. Cells 0..HANG_AT are already journaled.
+    const HANG_AT: usize = 5;
+    let deadline = Duration::from_secs(5);
+    let path_b = temp_journal(&format!("fig1-{tag}-hung"));
+    let cfg_b = RunnerConfig {
+        journal_path: Some(path_b.clone()),
+        resume: false,
+        max_retries: 0,
+        ..RunnerConfig::default()
+    };
+    {
+        let _g = fault::scoped(FaultPlan::default().with_hang(HANG_AT, usize::MAX));
+        let mut doomed = Runner::new(RunnerConfig {
+            deadline: Some(deadline),
+            ..cfg_b.clone()
+        })
+        .expect("hung journal");
+        let t0 = Instant::now();
+        match fig1_record(&preset, &mut doomed) {
+            Err(RunnerError::DeadlineExceeded { attempts, deadline_ms, .. }) => {
+                assert_eq!(attempts, 1, "max_retries=0 means a single attempt");
+                assert_eq!(deadline_ms, deadline.as_millis() as u64);
+            }
+            other => panic!("expected DeadlineExceeded from the injected hang, got {other:?}"),
+        }
+        assert_eq!(doomed.stats.deadline_trips, 1);
+        assert_eq!(
+            doomed.stats.executed, HANG_AT,
+            "every cell before the hang must already be journaled"
+        );
+        // Detection bound: the healthy prefix ran within the deadline
+        // (else the watchdog would have tripped it), so the whole doomed
+        // run fits in the prefix budget plus 2x the deadline for the
+        // hang itself.
+        assert!(
+            t0.elapsed() < deadline * (HANG_AT as u32 + 2),
+            "hang not detected promptly: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    // Run C — resumed without the fault: journaled cells replay, the
+    // hung cell re-executes fresh (attempt 1, unbumped seed).
+    let mut resumed_runner = Runner::new(RunnerConfig {
+        resume: true,
+        ..cfg_b
+    })
+    .expect("resumed journal");
+    let resumed = fig1_record(&preset, &mut resumed_runner).expect("resumed sweep");
+    assert_eq!(resumed_runner.stats.skipped, HANG_AT);
+    assert_eq!(resumed_runner.stats.executed, total_cells - HANG_AT);
+    assert_eq!(resumed, reference, "resumed record differs from reference");
+    drop(resumed_runner);
+
+    assert_eq!(
+        std::fs::read(&path_a).expect("reference journal bytes"),
+        std::fs::read(&path_b).expect("resumed journal bytes"),
+        "final journal is not byte-identical to the no-fault run"
+    );
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+    let _ = std::fs::remove_file(&super_summary(&path_a));
+    let _ = std::fs::remove_file(&super_summary(&path_b));
+}
+
+/// `<journal>.stats.json` sibling (kept out of the byte comparison).
+fn super_summary(journal: &PathBuf) -> PathBuf {
+    let mut s = journal.as_os_str().to_owned();
+    s.push(".stats.json");
+    PathBuf::from(s)
+}
+
+#[test]
+fn fig1_hung_sweep_resumes_byte_identically_serial_pool() {
+    fig1_hang_flow(1, 992, "serial");
+}
+
+#[test]
+fn fig1_hung_sweep_resumes_byte_identically_parallel_pool() {
+    fig1_hang_flow(4, 993, "parallel");
+}
+
+#[test]
+fn transient_hang_is_cancelled_and_the_sweep_completes() {
+    // A one-shot hang: attempt 0 stalls, the watchdog cancels it, and the
+    // default retry budget absorbs the trip — the sweep completes in the
+    // same process, no resume needed.
+    rt_par::set_threads(2);
+    let mut preset = Preset::new(Scale::Smoke);
+    preset.seed = 994;
+    let _g = fault::scoped(FaultPlan::default().with_hang(2, 1));
+    let mut runner = Runner::new(RunnerConfig {
+        deadline: Some(Duration::from_secs(5)),
+        ..RunnerConfig::default()
+    })
+    .expect("ephemeral runner");
+    fig1_record(&preset, &mut runner).expect("sweep completes despite the hang");
+    assert_eq!(runner.stats.deadline_trips, 1, "exactly one attempt tripped");
+    assert_eq!(runner.stats.retries, 1);
+    assert_eq!(runner.stats.failed, 0);
+}
+
+#[test]
+fn hang_detection_latency_is_within_twice_the_deadline() {
+    // The sharpest timing claim, on a trivial cell so nothing but the
+    // watchdog contributes: a hung cell with a 500 ms deadline and no
+    // retries must abort in under 2x the deadline.
+    let deadline = Duration::from_millis(500);
+    let _g = fault::scoped(FaultPlan::default().with_hang(0, usize::MAX));
+    let mut runner = Runner::new(RunnerConfig {
+        deadline: Some(deadline),
+        max_retries: 0,
+        ..RunnerConfig::default()
+    })
+    .expect("ephemeral runner");
+    let t0 = Instant::now();
+    let result: Result<u32, _> = runner.run_cell("hung", |_| 7);
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(result, Err(RunnerError::DeadlineExceeded { .. })),
+        "expected DeadlineExceeded, got {result:?}"
+    );
+    assert!(elapsed >= deadline, "tripped early: {elapsed:?}");
+    assert!(elapsed < deadline * 2, "tripped late: {elapsed:?}");
+}

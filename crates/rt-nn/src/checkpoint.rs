@@ -317,9 +317,11 @@ impl Fnv1a {
 }
 
 /// Writes `bytes` to `path` atomically: the payload is written to a
-/// sibling `.tmp` file, flushed, and renamed over `path`. Readers
+/// sibling `.tmp` file, flushed, renamed over `path`, and the parent
+/// directory is fsynced so the rename itself is durable. Readers
 /// therefore observe either the old file or the complete new one, never a
-/// prefix. Exposed so other crates (result records, pretrain caches) can
+/// prefix — and the new name survives power loss, not just a process
+/// crash. Exposed so other crates (result records, pretrain caches) can
 /// share the same torn-write protection.
 ///
 /// # Errors
@@ -344,12 +346,33 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.sync_all()?;
     }
     match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => sync_parent_dir(path),
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             Err(e)
         }
     }
+}
+
+/// Fsyncs the directory containing `path`, making a just-performed rename
+/// durable across power loss. POSIX only persists directory entries on
+/// directory fsync; without this a crash after `rename` can resurrect the
+/// old file (or neither). No-op on platforms where directories cannot be
+/// opened for syncing.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

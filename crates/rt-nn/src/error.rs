@@ -50,6 +50,16 @@ pub enum NnError {
         /// Batch index (0-based) within the epoch.
         batch: usize,
     },
+    /// The supervision token was tripped (typically by the experiment
+    /// runner's wall-clock watchdog) and training stopped cooperatively at
+    /// a batch boundary. Unlike [`NnError::Diverged`], no state is
+    /// suspect — the work simply ran out of time.
+    DeadlineExceeded {
+        /// Epoch index (0-based) at which cancellation was observed.
+        epoch: usize,
+        /// Batch index (0-based) within the epoch.
+        batch: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -80,6 +90,12 @@ impl fmt::Display for NnError {
                 write!(
                     f,
                     "training diverged: non-finite loss at epoch {epoch}, batch {batch}"
+                )
+            }
+            NnError::DeadlineExceeded { epoch, batch } => {
+                write!(
+                    f,
+                    "deadline exceeded: cancellation observed at epoch {epoch}, batch {batch}"
                 )
             }
         }

@@ -41,6 +41,14 @@ pub struct ExecCtx {
     /// (bit-identical to masked-dense; this flag only trades speed).
     /// Defaults to [`sparse_exec_default`], which honours `RT_SPARSE`.
     pub sparse: bool,
+    /// Cooperative cancellation token, snapshotted from the calling
+    /// thread's ambient token ([`rt_par::current_cancel`]) at context
+    /// construction. Layers never need to touch it — `rt-par` checks at
+    /// chunk boundaries automatically — but coarse-grained loops (the
+    /// training loop's batch boundary) poll it via [`ExecCtx::is_cancelled`]
+    /// to stop between units of work. Numerics-neutral: a token that is
+    /// never tripped changes nothing.
+    pub cancel: rt_par::CancelToken,
 }
 
 impl Default for ExecCtx {
@@ -89,6 +97,7 @@ impl ExecCtx {
             pool: rt_par::Handle,
             rng_stream: 0,
             sparse: sparse_exec_default(),
+            cancel: rt_par::current_cancel(),
         }
     }
 
@@ -119,6 +128,14 @@ impl ExecCtx {
     /// Whether the context is in training mode.
     pub fn is_train(self) -> bool {
         self.mode == Mode::Train
+    }
+
+    /// One relaxed load: has this context's supervision token been
+    /// tripped (e.g. by the runner's deadline watchdog)? Coarse loops
+    /// check this between units of work and bail with
+    /// [`crate::NnError::DeadlineExceeded`].
+    pub fn is_cancelled(self) -> bool {
+        self.cancel.is_cancelled()
     }
 }
 

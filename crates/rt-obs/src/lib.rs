@@ -274,7 +274,9 @@ fn install(level: Level, sink: Option<Box<dyn Sink>>) {
 ///   `par.tasks` counter,
 /// * batch queue latency (enqueue → first worker claim) feeds the
 ///   `par.queue_ms` histogram,
-/// * pool (re)builds set the `par.pool_threads` gauge.
+/// * pool (re)builds set the `par.pool_threads` gauge,
+/// * watchdog deadline trips increment the `watchdog.trips` counter,
+/// * self-healing worker respawns increment `par.worker_respawns`.
 ///
 /// `rt-par` sits below `rt-obs` in the crate graph and therefore cannot
 /// emit telemetry itself; this adapter injects plain function pointers
@@ -287,6 +289,8 @@ pub fn install_par_observer() -> bool {
         on_tasks: |n| counter("par.tasks").add(n),
         on_queue_ms: |ms| histogram("par.queue_ms").observe(ms),
         on_pool_threads: |n| gauge("par.pool_threads").set(n as f64),
+        on_watchdog_trip: |n| counter("watchdog.trips").add(n),
+        on_worker_respawn: |n| counter("par.worker_respawns").add(n),
     })
 }
 

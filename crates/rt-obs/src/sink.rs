@@ -290,10 +290,12 @@ impl Sink for MemorySink {
     fn flush_sync(&mut self) {}
 }
 
-/// Atomic whole-file write (temp file + fsync + rename), mirroring
-/// `rt-nn::checkpoint::atomic_write` so reports and summaries are never
-/// torn by an interrupted process. Lives here too because `rt-obs`
-/// depends on nothing in the workspace.
+/// Atomic whole-file write (temp file + fsync + rename + parent-dir
+/// fsync), mirroring `rt-nn::checkpoint::atomic_write` so reports and
+/// summaries are never torn by an interrupted process — and the rename
+/// itself is durable across power loss, since POSIX only persists
+/// directory entries when the directory is fsynced. Lives here too
+/// because `rt-obs` depends on nothing in the workspace.
 ///
 /// # Errors
 ///
@@ -311,12 +313,31 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(bytes)?;
         file.sync_all()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     result
+}
+
+/// Fsyncs `path`'s parent directory (no-op where directories cannot be
+/// opened for syncing).
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

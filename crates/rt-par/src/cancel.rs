@@ -1,0 +1,295 @@
+//! Cooperative cancellation: tokens, scopes, and the thread-local ambient.
+//!
+//! A [`CancelToken`] is a *generation snapshot* of a shared atomic counter:
+//! the token remembers the counter value at creation time, and is
+//! "cancelled" exactly when the counter has moved past that value. This
+//! gives three properties the supervision layer needs:
+//!
+//! 1. **One relaxed load per check.** [`CancelToken::is_cancelled`] is a
+//!    single `Relaxed` atomic load plus an integer compare — cheap enough
+//!    to call at every chunk boundary in `rt-par` and every batch boundary
+//!    in the training loop without measurable overhead.
+//! 2. **`Copy`, no allocation.** Tokens are a `&'static AtomicU64` plus a
+//!    `u64`, so they thread through `ExecCtx` (which is `Copy`) for free.
+//!    Slots come from a fixed static pool; a [`CancelScope`] *borrows* a
+//!    slot for its lifetime rather than owning an allocation.
+//! 3. **Stale tokens fail safe.** After a scope's slot is recycled, any
+//!    token that outlived the scope reads a newer generation and reports
+//!    *cancelled* — leaked tokens can never keep stale work running.
+//!
+//! Cancellation is **cooperative and deterministic**: nothing is
+//! interrupted; workers observe the token at chunk boundaries and unwind
+//! with a [`Cancelled`] payload. Because checks happen only at
+//! size-deterministic chunk boundaries, a run whose token is never tripped
+//! is bit-identical to an unsupervised run.
+//!
+//! The *ambient* token is a thread-local that [`with_cancel`] installs and
+//! [`current_cancel`] reads. `run_tasks` captures the caller's ambient
+//! token into the batch and re-installs it on every executing thread, so
+//! nested parallelism inherits cancellation without any plumbing.
+
+use std::cell::Cell;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Panic payload used to unwind cancelled work. The experiment runner's
+/// `catch_unwind` boundary downcasts to this type to distinguish a
+/// deadline cancellation from an organic task panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("work cancelled by supervision token")
+    }
+}
+
+/// Number of generation slots available for concurrently-live scopes.
+/// Scopes are short-lived (one runner cell attempt each), so collisions
+/// require > `SLOT_COUNT` *simultaneous* scopes; a collision only makes
+/// cancellation spuriously conservative (extra retry), never unsound.
+const SLOT_COUNT: usize = 256;
+
+static SLOTS: [AtomicU64; SLOT_COUNT] = [const { AtomicU64::new(0) }; SLOT_COUNT];
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+/// Dedicated slot for [`CancelToken::never`]; `trip` refuses to touch it,
+/// so "never" tokens are permanently un-cancellable.
+static NEVER_SLOT: AtomicU64 = AtomicU64::new(0);
+
+/// A `Copy` cancellation probe: a generation snapshot of one shared
+/// counter slot. See the module docs for semantics.
+#[derive(Clone, Copy)]
+pub struct CancelToken {
+    slot: &'static AtomicU64,
+    expected: u64,
+}
+
+impl CancelToken {
+    /// A token that can never be cancelled — the default ambient value.
+    pub fn never() -> Self {
+        CancelToken {
+            slot: &NEVER_SLOT,
+            expected: 0,
+        }
+    }
+
+    /// One relaxed load: has this token's generation been superseded?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.slot.load(Ordering::Relaxed) != self.expected
+    }
+
+    /// Unwinds with a [`Cancelled`] payload if the token has been tripped.
+    /// This deliberately does *not* call `panic!` so the process panic
+    /// hook stays quiet for routine deadline cancellations.
+    #[inline]
+    pub fn check(&self) {
+        if self.is_cancelled() {
+            resume_unwind(Box::new(Cancelled));
+        }
+    }
+
+    /// Advances the slot's generation past this token. Returns `true` if
+    /// this call performed the trip, `false` if the token was already
+    /// cancelled (or is a `never` token, which cannot be tripped).
+    pub fn trip(&self) -> bool {
+        if std::ptr::eq(self.slot, &NEVER_SLOT) {
+            return false;
+        }
+        self.slot
+            .compare_exchange(
+                self.expected,
+                self.expected.wrapping_add(1),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("slot", &(self.slot as *const AtomicU64))
+            .field("expected", &self.expected)
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.slot, other.slot) && self.expected == other.expected
+    }
+}
+
+impl Eq for CancelToken {}
+
+impl std::hash::Hash for CancelToken {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.slot as *const AtomicU64).hash(state);
+        self.expected.hash(state);
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::never()
+    }
+}
+
+/// Owner of one cancellation generation: hand [`CancelScope::token`] to
+/// the work being supervised, keep the scope on the supervising side, and
+/// call [`CancelScope::trip`] (directly or via the watchdog) to cancel.
+///
+/// Dropping the scope releases its slot for reuse; tokens that outlive
+/// the scope read as cancelled once the slot is recycled.
+#[derive(Debug)]
+pub struct CancelScope {
+    token: CancelToken,
+}
+
+impl CancelScope {
+    /// Claims the next slot round-robin and snapshots its generation.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let idx = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % SLOT_COUNT;
+        let slot = &SLOTS[idx];
+        CancelScope {
+            token: CancelToken {
+                slot,
+                expected: slot.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// The `Copy` token to thread into supervised work.
+    pub fn token(&self) -> CancelToken {
+        self.token
+    }
+
+    /// Cancels the scope. Returns `true` if this call tripped it.
+    pub fn trip(&self) -> bool {
+        self.token.trip()
+    }
+
+    /// Whether the scope has been cancelled (by anyone).
+    pub fn tripped(&self) -> bool {
+        self.token.is_cancelled()
+    }
+}
+
+thread_local! {
+    static AMBIENT: Cell<CancelToken> = const { Cell::new(CancelToken {
+        slot: &NEVER_SLOT,
+        expected: 0,
+    }) };
+}
+
+/// The calling thread's ambient cancellation token (never-cancelled by
+/// default). `ExecCtx::new` snapshots this, and `run_tasks` propagates it
+/// into batches, so any code below a [`with_cancel`] guard inherits the
+/// supervising scope automatically.
+pub fn current_cancel() -> CancelToken {
+    AMBIENT.with(Cell::get)
+}
+
+/// RAII guard restoring the previous ambient token on drop.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: CancelToken,
+}
+
+/// Installs `token` as the calling thread's ambient cancellation token
+/// until the returned guard drops (guards nest: drop restores the
+/// previous ambient, not `never`).
+#[must_use = "the ambient token is uninstalled when the guard drops"]
+pub fn with_cancel(token: CancelToken) -> AmbientGuard {
+    let prev = AMBIENT.with(|c| c.replace(token));
+    AmbientGuard { prev }
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        AMBIENT.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn fresh_scope_is_not_cancelled_and_trips_once() {
+        let scope = CancelScope::new();
+        let token = scope.token();
+        assert!(!token.is_cancelled());
+        assert!(!scope.tripped());
+        assert!(scope.trip(), "first trip wins");
+        assert!(!scope.trip(), "second trip is a no-op");
+        assert!(token.is_cancelled());
+        assert!(scope.tripped());
+    }
+
+    #[test]
+    fn never_token_cannot_be_tripped() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(!t.trip());
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn check_unwinds_with_cancelled_payload() {
+        let scope = CancelScope::new();
+        let token = scope.token();
+        token.check(); // not yet tripped: no-op
+        scope.trip();
+        let payload = catch_unwind(AssertUnwindSafe(|| token.check()))
+            .expect_err("tripped token must unwind");
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+    }
+
+    #[test]
+    fn ambient_nests_and_restores() {
+        assert!(!current_cancel().is_cancelled());
+        let outer = CancelScope::new();
+        let inner = CancelScope::new();
+        {
+            let _g1 = with_cancel(outer.token());
+            assert_eq!(current_cancel(), outer.token());
+            {
+                let _g2 = with_cancel(inner.token());
+                assert_eq!(current_cancel(), inner.token());
+            }
+            assert_eq!(current_cancel(), outer.token());
+        }
+        assert_eq!(current_cancel(), CancelToken::never());
+    }
+
+    #[test]
+    fn stale_token_reads_cancelled_after_slot_reuse() {
+        let scope = CancelScope::new();
+        let stale = scope.token();
+        // Recycle the slot: trip it via a later scope on the same slot.
+        scope.trip();
+        drop(scope);
+        assert!(stale.is_cancelled(), "superseded generation fails safe");
+    }
+
+    #[test]
+    fn token_equality_and_hash_follow_slot_and_generation() {
+        use std::collections::HashSet;
+        let scope = CancelScope::new();
+        let a = scope.token();
+        let b = scope.token();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert_ne!(a, CancelToken::never());
+    }
+}

@@ -43,16 +43,36 @@
 //! # Telemetry
 //!
 //! `rt-par` sits *below* `rt-obs` in the crate graph, so instrumentation
-//! is injected rather than imported: [`set_observer`] installs three hooks
-//! (`on_tasks`, `on_queue_ms`, `on_pool_threads`) that
-//! `rt_obs::install_par_observer` wires to the `par.tasks` counter, the
-//! `par.queue_ms` histogram, and the `par.pool_threads` gauge.
+//! is injected rather than imported: [`set_observer`] installs hooks
+//! (`on_tasks`, `on_queue_ms`, `on_pool_threads`, `on_watchdog_trip`,
+//! `on_worker_respawn`) that `rt_obs::install_par_observer` wires to the
+//! `par.tasks` counter, the `par.queue_ms` histogram, the
+//! `par.pool_threads` gauge, and the supervision counters
+//! `watchdog.trips` / `par.worker_respawns`.
+//!
+//! # Supervision
+//!
+//! [`cancel`] provides cooperative cancellation ([`CancelToken`] /
+//! [`CancelScope`]): the caller's ambient token is captured into every
+//! batch and checked with one relaxed load per chunk claim, so tripping a
+//! token stops a batch at the next chunk boundary and unwinds the waiting
+//! caller with a [`Cancelled`] payload. [`watchdog`] turns wall-clock
+//! deadlines into token trips. The pool **self-heals**: a worker thread
+//! that dies mid-task is respawned (bumping [`pool_generation`]), and
+//! after repeated deaths the pool degrades to serial inline execution
+//! ([`pool_degraded`]) rather than silently losing parallelism — results
+//! are unchanged either way because chunking is size-deterministic.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+pub mod cancel;
+pub mod watchdog;
+
+pub use cancel::{current_cancel, with_cancel, AmbientGuard, CancelScope, CancelToken, Cancelled};
 
 // ---------------------------------------------------------------------------
 // Observer hooks (wired to rt-obs by `rt_obs::install_par_observer`)
@@ -71,6 +91,10 @@ pub struct ParObserver {
     /// Called with the configured thread count whenever the pool is
     /// (re)built.
     pub on_pool_threads: fn(u64),
+    /// Called with `1` each time the watchdog trips a deadline token.
+    pub on_watchdog_trip: fn(u64),
+    /// Called with `1` each time a dead worker thread is respawned.
+    pub on_worker_respawn: fn(u64),
 }
 
 static OBSERVER: OnceLock<ParObserver> = OnceLock::new();
@@ -109,6 +133,20 @@ fn observe_pool_threads(n: u64) {
     }
 }
 
+#[inline]
+pub(crate) fn observe_watchdog_trip(n: u64) {
+    if let Some(obs) = OBSERVER.get() {
+        (obs.on_watchdog_trip)(n);
+    }
+}
+
+#[inline]
+fn observe_worker_respawn(n: u64) {
+    if let Some(obs) = OBSERVER.get() {
+        (obs.on_worker_respawn)(n);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Batch: one `run_tasks` invocation
 // ---------------------------------------------------------------------------
@@ -142,10 +180,14 @@ struct Batch {
     enqueued: Instant,
     /// Set by the first *worker* claim, for the queue-latency histogram.
     first_claim: AtomicBool,
+    /// The caller's ambient cancellation token at `run_tasks` time. Every
+    /// chunk claim checks it (one relaxed load), and executing threads
+    /// install it as their own ambient so nested batches inherit it.
+    cancel: CancelToken,
 }
 
 impl Batch {
-    fn new(task: TaskPtr, total: usize) -> Self {
+    fn new(task: TaskPtr, total: usize, cancel: CancelToken) -> Self {
         Batch {
             task,
             total,
@@ -157,6 +199,7 @@ impl Batch {
             cv: Condvar::new(),
             enqueued: Instant::now(),
             first_claim: AtomicBool::new(false),
+            cancel,
         }
     }
 
@@ -178,9 +221,20 @@ impl Batch {
             {
                 observe_queue_ms(self.enqueued.elapsed().as_secs_f64() * 1e3);
             }
-            // Safety: see `TaskPtr` — the closure outlives every claim.
-            let task = unsafe { &*self.task.0 };
-            let outcome = catch_unwind(AssertUnwindSafe(|| task(i)));
+            // Chunk-boundary cancellation check: a tripped token skips the
+            // remaining chunks (recorded as a `Cancelled` outcome so the
+            // waiting caller unwinds), without interrupting the chunk that
+            // is already executing on some other thread.
+            let outcome = if self.cancel.is_cancelled() {
+                Err(Box::new(Cancelled) as Box<dyn std::any::Any + Send>)
+            } else {
+                // Safety: see `TaskPtr` — the closure outlives every claim.
+                let task = unsafe { &*self.task.0 };
+                // Propagate the batch's token as the executing thread's
+                // ambient so nested `run_tasks` calls inherit it.
+                let _ambient = cancel::with_cancel(self.cancel);
+                catch_unwind(AssertUnwindSafe(|| task(i)))
+            };
             let mut st = self.state.lock().expect("batch state poisoned");
             if let Err(payload) = outcome {
                 if st.panic.is_none() {
@@ -212,10 +266,22 @@ impl Batch {
 // Pool
 // ---------------------------------------------------------------------------
 
+/// Worker deaths tolerated before the pool stops respawning and degrades
+/// to serial inline execution. Generous enough that an isolated poisoned
+/// batch never degrades the pool, small enough that a systematically
+/// crashing workload cannot respawn-loop forever.
+const MAX_WORKER_DEATHS: usize = 8;
+
 struct PoolShared {
     queue: Mutex<VecDeque<Arc<Batch>>>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// Bumped once per worker respawn; lets callers observe healing.
+    generation: AtomicU64,
+    /// Total worker deaths over this pool's lifetime.
+    deaths: AtomicUsize,
+    /// Once set, `run_tasks` stops injecting batches and runs inline.
+    degraded: AtomicBool,
 }
 
 struct Pool {
@@ -232,17 +298,20 @@ impl Pool {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            deaths: AtomicUsize::new(0),
+            degraded: AtomicBool::new(false),
         });
         let workers = threads - 1;
         for w in 0..workers {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("rt-par-{w}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("failed to spawn rt-par worker");
+            spawn_worker(Arc::clone(&shared), format!("rt-par-{w}"));
         }
         observe_pool_threads(threads as u64);
         Pool { shared, workers }
+    }
+
+    fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Relaxed)
     }
 
     fn inject(&self, batch: Arc<Batch>) {
@@ -267,6 +336,86 @@ impl Drop for Pool {
     }
 }
 
+fn spawn_worker(shared: Arc<PoolShared>, name: String) {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_entry(shared))
+        .expect("failed to spawn rt-par worker");
+}
+
+/// Worker thread body: runs the claim loop behind a [`WorkerSentinel`]
+/// whose `Drop` detects a panicking exit and heals the pool.
+fn worker_entry(shared: Arc<PoolShared>) {
+    let sentinel = WorkerSentinel {
+        shared: Arc::clone(&shared),
+    };
+    worker_loop(&shared);
+    // Clean shutdown: defuse the sentinel so Drop does not respawn.
+    std::mem::forget(sentinel);
+}
+
+/// Drop-based supervisor for one worker thread. If the worker unwinds
+/// (task panics are caught inside `Batch::work`, so reaching here means
+/// the worker *itself* died — e.g. a poisoned lock or an injected fault),
+/// the sentinel bumps the pool generation, fires the respawn observer
+/// hook, and spawns a replacement — unless the death budget is exhausted,
+/// in which case the pool degrades to serial execution.
+struct WorkerSentinel {
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for WorkerSentinel {
+    fn drop(&mut self) {
+        if !std::thread::panicking() || self.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let deaths = self.shared.deaths.fetch_add(1, Ordering::SeqCst) + 1;
+        let generation = self.shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        observe_worker_respawn(1);
+        if deaths >= MAX_WORKER_DEATHS {
+            // Degradation ladder, final rung: stop respawning, run every
+            // future batch inline on the caller. Wake sleepers so live
+            // workers notice shutdown-ward state changes promptly.
+            self.shared.degraded.store(true, Ordering::SeqCst);
+            self.shared.cv.notify_all();
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let name = format!("rt-par-heal-{generation}");
+        if std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_entry(shared))
+            .is_err()
+        {
+            // Cannot even spawn a replacement: degrade instead of
+            // silently shrinking the pool.
+            self.shared.degraded.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Test hook: makes the next `n` batch claims by pool workers panic the
+/// *worker thread itself* (after the batch is visible in the queue, so
+/// batch accounting is unaffected and the caller drains the work). Used
+/// to exercise the self-healing path deterministically.
+static KILL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Arms the worker-death fault hook for the next `n` worker claims.
+pub fn inject_worker_death(n: usize) {
+    KILL_WORKERS.fetch_add(n, Ordering::SeqCst);
+}
+
+fn consume_worker_death() -> bool {
+    let mut cur = KILL_WORKERS.load(Ordering::SeqCst);
+    while cur > 0 {
+        match KILL_WORKERS.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
 fn worker_loop(shared: &PoolShared) {
     loop {
         let batch = {
@@ -286,6 +435,12 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.cv.wait(q).expect("pool queue poisoned");
             }
         };
+        // Injected worker death: the batch is still queued, so the caller
+        // (or a healed replacement) finishes its chunks; only this thread
+        // dies, exercising the sentinel respawn path.
+        if consume_worker_death() {
+            panic!("injected fault: rt-par worker death");
+        }
         batch.work(true);
         // The batch this worker just drained is exhausted; retire it so
         // later arrivals don't scan past it.
@@ -327,13 +482,30 @@ pub fn threads() -> usize {
 /// Batches already in flight complete on the old workers; new batches go
 /// to the new pool. Because chunking is size-deterministic, changing the
 /// thread count never changes results — only wall-clock time.
+///
+/// Rebuilding also *heals* a degraded pool: a `set_threads` call on a
+/// pool that gave up after repeated worker deaths starts over with a
+/// fresh death budget.
 pub fn set_threads(n: usize) {
     let n = n.max(1);
     let mut guard = global().write().expect("pool lock poisoned");
-    if guard.workers + 1 == n {
+    if guard.workers + 1 == n && !guard.degraded() {
         return;
     }
     *guard = Arc::new(Pool::new(n));
+}
+
+/// Monotone counter of worker respawns in the current pool (0 for a pool
+/// that has never lost a worker).
+pub fn pool_generation() -> u64 {
+    current_pool().shared.generation.load(Ordering::SeqCst)
+}
+
+/// Whether the current pool has degraded to serial inline execution after
+/// exhausting its worker-death budget. A degraded pool still completes
+/// every batch — on the calling thread — with bit-identical results.
+pub fn pool_degraded() -> bool {
+    current_pool().degraded()
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +520,11 @@ pub fn set_threads(n: usize) {
 /// The calling thread always participates, so this cannot deadlock even
 /// when invoked from inside another batch.
 ///
+/// The caller's ambient [`CancelToken`] (see [`with_cancel`]) is captured
+/// into the batch and checked at every chunk claim; if it trips mid-batch
+/// the remaining chunks are skipped and this call unwinds with a
+/// [`Cancelled`] payload once in-flight chunks finish.
+///
 /// # Panics
 ///
 /// Re-throws the first panic raised by any task after the whole batch has
@@ -357,10 +534,13 @@ pub fn run_tasks(total: usize, task: &(dyn Fn(usize) + Sync)) {
         return;
     }
     observe_tasks(total as u64);
+    let token = cancel::current_cancel();
     let pool = current_pool();
-    if pool.workers == 0 || total == 1 {
-        // Serial path: identical chunk sequence, executed inline.
+    if pool.workers == 0 || total == 1 || pool.degraded() {
+        // Serial path: identical chunk sequence, executed inline, with
+        // the same chunk-boundary cancellation checks as the pooled path.
         for i in 0..total {
+            token.check();
             task(i);
         }
         return;
@@ -375,7 +555,7 @@ pub fn run_tasks(total: usize, task: &(dyn Fn(usize) + Sync)) {
             *const (dyn Fn(usize) + Sync + 'static),
         >(task as *const (dyn Fn(usize) + Sync))
     });
-    let batch = Arc::new(Batch::new(erased, total));
+    let batch = Arc::new(Batch::new(erased, total, token));
     pool.inject(Arc::clone(&batch));
     batch.work(false);
     batch.wait();
@@ -693,6 +873,8 @@ mod tests {
             },
             on_queue_ms: |_| {},
             on_pool_threads: |_| {},
+            on_watchdog_trip: |_| {},
+            on_worker_respawn: |_| {},
         });
         set_threads(2);
         let before = TASKS.load(Ordering::SeqCst);
@@ -713,6 +895,131 @@ mod tests {
     #[should_panic(expected = "chunk size must be non-zero")]
     fn zero_chunk_size_panics() {
         let _ = chunk_count(10, 0);
+    }
+
+    #[test]
+    fn serial_path_checks_cancellation_between_tasks() {
+        let _g = pool_lock();
+        set_threads(1);
+        let scope = CancelScope::new();
+        let _amb = with_cancel(scope.token());
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(10, &|i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i == 2 {
+                    scope.trip();
+                }
+            });
+        }));
+        let payload = result.expect_err("cancelled serial batch must unwind");
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            3,
+            "serial path stops at the first boundary after the trip"
+        );
+    }
+
+    #[test]
+    fn tripped_token_cancels_pooled_batch_at_chunk_boundaries() {
+        let _g = pool_lock();
+        set_threads(4);
+        let scope = CancelScope::new();
+        let token = scope.token();
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _amb = with_cancel(token);
+            run_tasks(100, &|i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    scope.trip();
+                } else {
+                    // Park until the trip lands so at most one claim per
+                    // thread executes before cancellation is observable.
+                    while !token.is_cancelled() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            });
+        }));
+        let payload = result.expect_err("cancelled batch must unwind");
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+        let executed = ran.load(Ordering::SeqCst);
+        assert!(
+            executed <= threads() as u64 + 1,
+            "claims after the trip must be skipped (executed {executed})"
+        );
+        set_threads(1);
+    }
+
+    #[test]
+    fn pre_cancelled_ambient_skips_pooled_batch_entirely() {
+        let _g = pool_lock();
+        set_threads(4);
+        let scope = CancelScope::new();
+        scope.trip();
+        let _amb = with_cancel(scope.token());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(32, &|_| panic!("must never execute"));
+        }));
+        let payload = result.expect_err("pre-cancelled batch must unwind");
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+        set_threads(1);
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_and_work_completes() {
+        let _g = pool_lock();
+        set_threads(1);
+        set_threads(4); // fresh pool with a zeroed generation counter
+        let gen_before = pool_generation();
+        inject_worker_death(1);
+        let t0 = Instant::now();
+        while pool_generation() == gen_before {
+            // Keep feeding batches until a worker claims one (and dies);
+            // the caller drains whatever the dead worker left behind.
+            let ran = AtomicU64::new(0);
+            run_tasks(32, &|_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 32, "batch must still complete");
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(30),
+                "worker death was never observed/healed"
+            );
+        }
+        assert!(!pool_degraded(), "a single death must not degrade the pool");
+        set_threads(1);
+    }
+
+    #[test]
+    fn repeated_worker_deaths_degrade_to_serial_and_set_threads_heals() {
+        let _g = pool_lock();
+        set_threads(1);
+        set_threads(2); // fresh pool: one worker, zero deaths
+        inject_worker_death(MAX_WORKER_DEATHS);
+        let t0 = Instant::now();
+        while !pool_degraded() {
+            run_tasks(16, &|_| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            });
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(60),
+                "pool failed to degrade after {MAX_WORKER_DEATHS} deaths"
+            );
+        }
+        // Degraded pool still completes every batch, inline.
+        let ran = AtomicU64::new(0);
+        run_tasks(10, &|_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+        // Rebuilding heals: fresh pool, fresh death budget.
+        set_threads(2);
+        assert!(!pool_degraded());
+        set_threads(1);
     }
 
     #[test]

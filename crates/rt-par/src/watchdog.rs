@@ -1,0 +1,180 @@
+//! Wall-clock deadline enforcement: a single lazy watchdog thread that
+//! trips [`CancelToken`]s when their armed deadline expires.
+//!
+//! [`arm`] registers `(token, deadline)` and returns a guard; dropping the
+//! guard disarms the deadline (the normal case — the supervised work
+//! finished in time). The watchdog thread sleeps until the *nearest*
+//! armed deadline, trips every expired token via its CAS (so a trip that
+//! races with completion is resolved atomically), fires the
+//! `on_watchdog_trip` observer hook for each successful trip, and goes
+//! back to sleep. With nothing armed it blocks indefinitely on a condvar
+//! — zero steady-state cost.
+//!
+//! The thread is named `rt-watchdog` and is spawned at most once per
+//! process, on first [`arm`]. It is intentionally hosted in `rt-par`
+//! (alongside the pool workers) so the workspace-wide thread-discipline
+//! rule — no `thread::spawn` outside `rt-par`/`rt-obs` — holds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::cancel::CancelToken;
+use crate::observe_watchdog_trip;
+
+struct Entry {
+    id: u64,
+    token: CancelToken,
+    deadline: Instant,
+}
+
+struct Registry {
+    entries: Mutex<Vec<Entry>>,
+    cv: Condvar,
+}
+
+static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let reg: &'static Registry = Box::leak(Box::new(Registry {
+            entries: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("rt-watchdog".to_string())
+            .spawn(move || watchdog_loop(reg))
+            .expect("failed to spawn rt-watchdog thread");
+        reg
+    })
+}
+
+fn watchdog_loop(reg: &'static Registry) {
+    let mut entries = reg.entries.lock().expect("watchdog registry poisoned");
+    loop {
+        let now = Instant::now();
+        entries.retain(|e| {
+            if e.deadline <= now {
+                if e.token.trip() {
+                    observe_watchdog_trip(1);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let nearest = entries.iter().map(|e| e.deadline).min();
+        entries = match nearest {
+            Some(at) => {
+                let wait = at.saturating_duration_since(Instant::now());
+                reg.cv
+                    .wait_timeout(entries, wait)
+                    .expect("watchdog registry poisoned")
+                    .0
+            }
+            None => reg.cv.wait(entries).expect("watchdog registry poisoned"),
+        };
+    }
+}
+
+/// Disarms its deadline on drop. If the deadline already fired, dropping
+/// the guard is a no-op (the token stays tripped; completion-vs-trip
+/// races are settled by the token's CAS).
+#[derive(Debug)]
+#[must_use = "the deadline is disarmed when the guard drops"]
+pub struct DeadlineGuard {
+    id: u64,
+}
+
+/// Arms a wall-clock deadline: after `after`, the watchdog thread trips
+/// `token`. Drop the returned guard to disarm.
+pub fn arm(token: CancelToken, after: Duration) -> DeadlineGuard {
+    let reg = registry();
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let deadline = Instant::now() + after;
+    {
+        let mut entries = reg.entries.lock().expect("watchdog registry poisoned");
+        entries.push(Entry {
+            id,
+            token,
+            deadline,
+        });
+    }
+    // Wake the watchdog so it re-derives the nearest deadline.
+    reg.cv.notify_all();
+    DeadlineGuard { id }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        if let Some(reg) = REGISTRY.get() {
+            let mut entries = reg.entries.lock().expect("watchdog registry poisoned");
+            entries.retain(|e| e.id != self.id);
+            // No wakeup needed: a spurious short sleep is harmless.
+        }
+    }
+}
+
+/// Number of deadlines currently armed (test/introspection hook).
+pub fn armed() -> usize {
+    REGISTRY
+        .get()
+        .map(|reg| {
+            reg.entries
+                .lock()
+                .expect("watchdog registry poisoned")
+                .len()
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cancel::CancelScope;
+
+    #[test]
+    fn expired_deadline_trips_token() {
+        let scope = CancelScope::new();
+        let _guard = arm(scope.token(), Duration::from_millis(20));
+        let t0 = Instant::now();
+        while !scope.tripped() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "watchdog failed to trip an expired deadline"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(scope.tripped());
+    }
+
+    #[test]
+    fn disarmed_deadline_never_fires() {
+        let scope = CancelScope::new();
+        {
+            let _guard = arm(scope.token(), Duration::from_millis(30));
+            // Guard dropped here: the deadline is disarmed well before it
+            // would fire.
+        }
+        std::thread::sleep(Duration::from_millis(90));
+        assert!(!scope.tripped(), "disarmed deadline must not trip");
+    }
+
+    #[test]
+    fn many_deadlines_trip_independently() {
+        let doomed = CancelScope::new();
+        let safe = CancelScope::new();
+        let _d = arm(doomed.token(), Duration::from_millis(15));
+        let g = arm(safe.token(), Duration::from_secs(3600));
+        let t0 = Instant::now();
+        while !doomed.tripped() {
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!safe.tripped(), "far deadline must be untouched");
+        drop(g);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!safe.tripped(), "disarmed far deadline stays untripped");
+    }
+}

@@ -53,7 +53,7 @@ impl Scale {
                 "usage: {} [--scale smoke|standard|paper] [--scale=<value>] [--resume]",
                 args.first().map(String::as_str).unwrap_or("<driver>")
             );
-            std::process::exit(2);
+            crate::runner::ExitCode::Usage.exit();
         })
     }
 

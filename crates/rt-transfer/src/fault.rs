@@ -6,7 +6,7 @@
 //! When no plan is installed (the default), every hook is a no-op on the
 //! hot path — a single thread-local `Option` check.
 //!
-//! Three fault kinds are supported, mirroring the failure modes the
+//! Five fault kinds are supported, mirroring the failure modes the
 //! fault-tolerant runner must survive:
 //!
 //! * **NaN-flip loss** — [`corrupt_loss`] replaces the batch loss at a
@@ -14,6 +14,13 @@
 //!   divergence guard in [`crate::training::train_with_recovery`].
 //! * **Panic-in-cell** — [`fire_panic_cell`] panics when the runner
 //!   executes a given cell ordinal, simulating a crashed/killed driver.
+//! * **Hang-in-cell** — [`fire_hang_cell`] spins (cooperatively — it
+//!   polls the ambient [`rt_par::CancelToken`]) when the runner executes
+//!   a given cell ordinal, simulating a wedged cell that only the
+//!   watchdog deadline can recover.
+//! * **Delay-in-cell** — [`fire_delay_cell`] sleeps a fixed number of
+//!   milliseconds before the cell body, for testing deadline margins
+//!   without wedging anything.
 //! * **Truncate-checkpoint-bytes** — [`corrupt_checkpoint_bytes`]
 //!   truncates a serialized checkpoint payload before it reaches disk,
 //!   simulating a torn write that integrity checks must catch on load.
@@ -24,7 +31,7 @@
 //! ([`install_from_env`], used by the drivers), e.g.:
 //!
 //! ```text
-//! RT_FAULTS="nan-loss:1:0:1,panic-cell:3:inf,truncate:64:1"
+//! RT_FAULTS="nan-loss:1:0:1,panic-cell:3:inf,truncate:64:1,hang:2:1,delay:0:250"
 //! ```
 //!
 //! Every fault has a `times` budget so recovery paths can be tested:
@@ -66,6 +73,31 @@ pub struct TruncateFault {
     pub times: usize,
 }
 
+/// A hang-in-cell fault: the cell spins until its supervision token is
+/// cancelled (the cooperative analog of an infinite loop), at most
+/// `times` times. With no deadline armed, the hang is genuinely forever —
+/// exactly the failure mode the watchdog exists to break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangFault {
+    /// Cell ordinal in execution order (0-based).
+    pub ordinal: usize,
+    /// Remaining firing budget (`usize::MAX` = every attempt).
+    pub times: usize,
+}
+
+/// A delay-in-cell fault: sleeps `ms` milliseconds before the cell body,
+/// at most `times` times — a hang that ends on its own, for probing
+/// deadline margins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayFault {
+    /// Cell ordinal in execution order (0-based).
+    pub ordinal: usize,
+    /// Milliseconds to sleep.
+    pub ms: u64,
+    /// Remaining firing budget.
+    pub times: usize,
+}
+
 /// A complete fault plan. Install with [`install`] / [`scoped`]; build
 /// with the `with_*` combinators or parse from the environment with
 /// [`FaultPlan::from_env`].
@@ -77,6 +109,10 @@ pub struct FaultPlan {
     pub panic_cells: Vec<PanicCellFault>,
     /// Checkpoint truncation faults.
     pub truncations: Vec<TruncateFault>,
+    /// Hang-in-cell faults.
+    pub hangs: Vec<HangFault>,
+    /// Delay-in-cell faults.
+    pub delays: Vec<DelayFault>,
 }
 
 impl FaultPlan {
@@ -100,6 +136,19 @@ impl FaultPlan {
     /// firing `times` times.
     pub fn with_truncation(mut self, keep_bytes: usize, times: usize) -> Self {
         self.truncations.push(TruncateFault { keep_bytes, times });
+        self
+    }
+
+    /// Adds a hang-in-cell fault at `ordinal` firing `times` times.
+    pub fn with_hang(mut self, ordinal: usize, times: usize) -> Self {
+        self.hangs.push(HangFault { ordinal, times });
+        self
+    }
+
+    /// Adds a delay-in-cell fault at `ordinal` sleeping `ms` milliseconds,
+    /// firing `times` times.
+    pub fn with_delay(mut self, ordinal: usize, ms: u64, times: usize) -> Self {
+        self.delays.push(DelayFault { ordinal, ms, times });
         self
     }
 
@@ -130,9 +179,15 @@ impl FaultPlan {
 
     /// Parses the `RT_FAULTS` grammar: a comma-separated list of
     /// `nan-loss:<epoch>:<batch>:<times>`, `panic-cell:<ordinal>[:<times>]`,
-    /// and `truncate:<keep_bytes>[:<times>]`; `<times>` accepts `inf`.
+    /// `truncate:<keep_bytes>[:<times>]`, `hang:<ordinal>[:<times>]`, and
+    /// `delay:<ordinal>:<ms>[:<times>]`; `<times>` accepts `inf`.
     /// Malformed entries are reported on stderr and skipped — a typo in a
     /// fault spec must never take down a real run.
+    ///
+    /// [`FaultPlan`]'s `Display` emits this grammar back out (kind-grouped,
+    /// `inf` for unbounded budgets), and `parse(plan.to_string()) == plan`
+    /// for every constructible plan — property-tested in
+    /// `tests/fault_grammar.rs`.
     pub fn parse(raw: &str) -> Self {
         let mut plan = FaultPlan::default();
         for spec in raw.split(',') {
@@ -173,6 +228,34 @@ impl FaultPlan {
                     }
                     _ => false,
                 },
+                ["hang", o] => match parse_n(o) {
+                    Some(o) => {
+                        plan = plan.with_hang(o, usize::MAX);
+                        true
+                    }
+                    None => false,
+                },
+                ["hang", o, t] => match (parse_n(o), parse_n(t)) {
+                    (Some(o), Some(t)) => {
+                        plan = plan.with_hang(o, t);
+                        true
+                    }
+                    _ => false,
+                },
+                ["delay", o, ms] => match (parse_n(o), parse_ms(ms)) {
+                    (Some(o), Some(ms)) => {
+                        plan = plan.with_delay(o, ms, 1);
+                        true
+                    }
+                    _ => false,
+                },
+                ["delay", o, ms, t] => match (parse_n(o), parse_ms(ms), parse_n(t)) {
+                    (Some(o), Some(ms), Some(t)) => {
+                        plan = plan.with_delay(o, ms, t);
+                        true
+                    }
+                    _ => false,
+                },
                 _ => false,
             };
             if !parsed {
@@ -188,6 +271,51 @@ fn parse_n(s: &str) -> Option<usize> {
         Some(usize::MAX)
     } else {
         s.parse().ok()
+    }
+}
+
+/// Millisecond fields are plain numbers — `inf` would mean "sleep
+/// forever", which is what `hang` is for.
+fn parse_ms(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn fmt_times(t: usize) -> String {
+    if t == usize::MAX {
+        "inf".to_string()
+    } else {
+        t.to_string()
+    }
+}
+
+/// Emits the canonical `RT_FAULTS` spec for this plan: entries grouped by
+/// kind in declaration order (`nan-loss`, `panic-cell`, `truncate`,
+/// `hang`, `delay`), every field explicit, `inf` for unbounded budgets.
+/// `FaultPlan::parse` round-trips this exactly.
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut entries: Vec<String> = Vec::new();
+        for n in &self.nan_losses {
+            entries.push(format!(
+                "nan-loss:{}:{}:{}",
+                n.epoch,
+                n.batch,
+                fmt_times(n.times)
+            ));
+        }
+        for p in &self.panic_cells {
+            entries.push(format!("panic-cell:{}:{}", p.ordinal, fmt_times(p.times)));
+        }
+        for t in &self.truncations {
+            entries.push(format!("truncate:{}:{}", t.keep_bytes, fmt_times(t.times)));
+        }
+        for h in &self.hangs {
+            entries.push(format!("hang:{}:{}", h.ordinal, fmt_times(h.times)));
+        }
+        for d in &self.delays {
+            entries.push(format!("delay:{}:{}:{}", d.ordinal, d.ms, fmt_times(d.times)));
+        }
+        f.write_str(&entries.join(","))
     }
 }
 
@@ -294,51 +422,164 @@ pub fn fire_panic_cell(ordinal: usize, key: &str) {
     }
 }
 
-/// Thread-safe view of the installing thread's panic-cell faults, for the
-/// runner's *parallel* batch executor.
+/// Spins until the ambient supervision token is cancelled, then unwinds
+/// with [`rt_par::Cancelled`] — the cooperative simulation of a wedged
+/// cell. With no watchdog deadline armed this loops forever, exactly like
+/// the real failure it models.
+fn hang_until_cancelled(ordinal: usize, key: &str) -> ! {
+    rt_obs::console!("[fault] hanging cell #{ordinal} (`{key}`) until cancelled");
+    let token = rt_par::current_cancel();
+    loop {
+        token.check();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// Runner hook: hangs (until the supervision token trips) when a
+/// hang-in-cell fault is armed for `ordinal`, consuming one unit of its
+/// budget.
+pub fn fire_hang_cell(ordinal: usize, key: &str) {
+    let fire = PLAN.with(|p| {
+        let mut guard = p.borrow_mut();
+        let Some(plan) = guard.as_mut() else {
+            return false;
+        };
+        consume_hang(&mut plan.hangs, ordinal)
+    });
+    if fire {
+        hang_until_cancelled(ordinal, key);
+    }
+}
+
+/// Runner hook: sleeps when a delay-in-cell fault is armed for `ordinal`,
+/// consuming one unit of its budget.
+pub fn fire_delay_cell(ordinal: usize, key: &str) {
+    let ms = PLAN.with(|p| {
+        let mut guard = p.borrow_mut();
+        let Some(plan) = guard.as_mut() else {
+            return None;
+        };
+        consume_delay(&mut plan.delays, ordinal)
+    });
+    if let Some(ms) = ms {
+        rt_obs::console!("[fault] delaying cell #{ordinal} (`{key}`) by {ms} ms");
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// All cell-entry faults in one call, in deterministic order: delay, then
+/// hang, then panic. The runner invokes this inside its `catch_unwind`
+/// isolation boundary for serial cells.
+pub fn fire_cell_faults(ordinal: usize, key: &str) {
+    fire_delay_cell(ordinal, key);
+    fire_hang_cell(ordinal, key);
+    fire_panic_cell(ordinal, key);
+}
+
+fn consume_hang(hangs: &mut [HangFault], ordinal: usize) -> bool {
+    for fault in hangs.iter_mut() {
+        if fault.ordinal == ordinal && fault.times > 0 {
+            if fault.times != usize::MAX {
+                fault.times -= 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn consume_delay(delays: &mut [DelayFault], ordinal: usize) -> Option<u64> {
+    for fault in delays.iter_mut() {
+        if fault.ordinal == ordinal && fault.times > 0 {
+            if fault.times != usize::MAX {
+                fault.times -= 1;
+            }
+            return Some(fault.ms);
+        }
+    }
+    None
+}
+
+/// Thread-safe view of the installing thread's cell-entry faults
+/// (panic, hang, delay), for the runner's *parallel* batch executor.
 ///
 /// Fault plans are installed per thread ([`install`] / [`scoped`]), so a
 /// cell closure running on an [`rt_par`] worker thread would never see the
 /// plan armed by the test or driver thread. The batch executor instead
-/// [`snapshot`](SharedPanicCells::snapshot)s the armed panic-cell faults
-/// on the installing thread, lets every worker consult the shared handle
-/// (budget consumption is serialized by a mutex), and
-/// [`restore`](SharedPanicCells::restore)s the consumed budgets back into
+/// [`snapshot`](SharedCellFaults::snapshot)s the armed cell faults on the
+/// installing thread, lets every worker consult the shared handle (budget
+/// consumption is serialized by a mutex), and
+/// [`restore`](SharedCellFaults::restore)s the consumed budgets back into
 /// the thread-local plan after the barrier — so serial and parallel cell
 /// execution observe identical fault semantics.
 #[derive(Debug)]
-pub struct SharedPanicCells(std::sync::Mutex<Vec<PanicCellFault>>);
+pub struct SharedCellFaults(std::sync::Mutex<SharedCellState>);
 
-impl SharedPanicCells {
-    /// Snapshots the current thread's armed panic-cell faults (empty when
-    /// no plan is installed — every [`fire`](SharedPanicCells::fire) is
+#[derive(Debug, Default)]
+struct SharedCellState {
+    panic_cells: Vec<PanicCellFault>,
+    hangs: Vec<HangFault>,
+    delays: Vec<DelayFault>,
+}
+
+impl SharedCellFaults {
+    /// Snapshots the current thread's armed cell-entry faults (empty when
+    /// no plan is installed — every [`fire`](SharedCellFaults::fire) is
     /// then a no-op).
     pub fn snapshot() -> Self {
-        let cells = PLAN.with(|p| {
+        let state = PLAN.with(|p| {
             p.borrow()
                 .as_ref()
-                .map(|plan| plan.panic_cells.clone())
+                .map(|plan| SharedCellState {
+                    panic_cells: plan.panic_cells.clone(),
+                    hangs: plan.hangs.clone(),
+                    delays: plan.delays.clone(),
+                })
                 .unwrap_or_default()
         });
-        SharedPanicCells(std::sync::Mutex::new(cells))
+        SharedCellFaults(std::sync::Mutex::new(state))
     }
 
-    /// Thread-safe equivalent of [`fire_panic_cell`]: panics when a fault
-    /// is armed for `ordinal`, consuming one unit of its budget.
+    /// Thread-safe equivalent of [`fire_cell_faults`]: delays, hangs, or
+    /// panics when a fault is armed for `ordinal`, consuming one unit of
+    /// the matching budget. The mutex is held only while consuming
+    /// budgets, never while sleeping or spinning.
     ///
     /// # Panics
     ///
-    /// Deliberately — that is the fault.
+    /// Deliberately — that is the fault (and a hang unwinds with
+    /// [`rt_par::Cancelled`] once the supervision token trips).
     pub fn fire(&self, ordinal: usize, key: &str) {
-        let mut cells = self.0.lock().expect("fault snapshot lock poisoned");
-        for fault in cells.iter_mut() {
-            if fault.ordinal == ordinal && fault.times > 0 {
-                if fault.times != usize::MAX {
-                    fault.times -= 1;
+        let (delay_ms, hang, panic_now) = {
+            let mut state = self.0.lock().expect("fault snapshot lock poisoned");
+            let delay_ms = consume_delay(&mut state.delays, ordinal);
+            let hang = consume_hang(&mut state.hangs, ordinal);
+            let mut panic_now = false;
+            // A hang never reaches the panic hook (it unwinds first), so
+            // only consume the panic budget when not hanging — matching
+            // the serial `fire_cell_faults` ordering exactly.
+            if !hang {
+                for fault in state.panic_cells.iter_mut() {
+                    if fault.ordinal == ordinal && fault.times > 0 {
+                        if fault.times != usize::MAX {
+                            fault.times -= 1;
+                        }
+                        panic_now = true;
+                        break;
+                    }
                 }
-                drop(cells);
-                panic!("injected fault: panic in cell #{ordinal} (`{key}`)");
             }
+            (delay_ms, hang, panic_now)
+        };
+        if let Some(ms) = delay_ms {
+            rt_obs::console!("[fault] delaying cell #{ordinal} (`{key}`) by {ms} ms");
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if hang {
+            hang_until_cancelled(ordinal, key);
+        }
+        if panic_now {
+            panic!("injected fault: panic in cell #{ordinal} (`{key}`)");
         }
     }
 
@@ -346,10 +587,12 @@ impl SharedPanicCells {
     /// thread's plan, so a `times = 1` fault fired inside a parallel batch
     /// stays spent for subsequent serial cells.
     pub fn restore(self) {
-        let cells = self.0.into_inner().expect("fault snapshot lock poisoned");
+        let state = self.0.into_inner().expect("fault snapshot lock poisoned");
         PLAN.with(|p| {
             if let Some(plan) = p.borrow_mut().as_mut() {
-                plan.panic_cells = cells;
+                plan.panic_cells = state.panic_cells;
+                plan.hangs = state.hangs;
+                plan.delays = state.delays;
             }
         });
     }
@@ -450,5 +693,91 @@ mod tests {
         // Malformed entries are skipped, valid ones kept.
         let partial = FaultPlan::parse("bogus, panic-cell:2:5, nan-loss:oops");
         assert_eq!(partial, FaultPlan::default().with_panic_cell(2, 5));
+    }
+
+    #[test]
+    fn hang_and_delay_grammar_parses() {
+        let plan = FaultPlan::parse("hang:2, hang:5:3, delay:0:250, delay:1:10:2");
+        assert_eq!(
+            plan,
+            FaultPlan::default()
+                .with_hang(2, usize::MAX)
+                .with_hang(5, 3)
+                .with_delay(0, 250, 1)
+                .with_delay(1, 10, 2)
+        );
+        // `inf` is a budget, not a duration.
+        let bad = FaultPlan::parse("delay:0:inf, hang:oops, delay:1");
+        assert_eq!(bad, FaultPlan::default());
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        let plan = FaultPlan::default()
+            .with_nan_loss(1, 0, 1)
+            .with_panic_cell(3, usize::MAX)
+            .with_truncation(64, 1)
+            .with_hang(2, usize::MAX)
+            .with_delay(0, 250, 2);
+        let spec = plan.to_string();
+        assert_eq!(
+            spec,
+            "nan-loss:1:0:1,panic-cell:3:inf,truncate:64:1,hang:2:inf,delay:0:250:2"
+        );
+        assert_eq!(FaultPlan::parse(&spec), plan);
+        assert_eq!(FaultPlan::default().to_string(), "");
+    }
+
+    #[test]
+    fn delay_budget_is_consumed() {
+        let _g = scoped(FaultPlan::default().with_delay(4, 1, 1));
+        let t0 = std::time::Instant::now();
+        fire_delay_cell(3, "other"); // not armed
+        assert!(t0.elapsed() < std::time::Duration::from_millis(50));
+        fire_delay_cell(4, "victim"); // sleeps ~1ms, consumes budget
+        let t1 = std::time::Instant::now();
+        fire_delay_cell(4, "victim"); // budget spent: no sleep
+        assert!(t1.elapsed() < std::time::Duration::from_millis(50));
+    }
+
+    #[test]
+    fn hang_fires_and_unwinds_on_cancellation() {
+        let _g = scoped(FaultPlan::default().with_hang(7, 1));
+        fire_hang_cell(6, "other"); // not armed: returns immediately
+        let scope = rt_par::CancelScope::new();
+        scope.trip(); // pre-tripped: the hang exits on its first poll
+        let _amb = rt_par::with_cancel(scope.token());
+        let payload = std::panic::catch_unwind(|| fire_hang_cell(7, "victim"))
+            .expect_err("armed hang must unwind once cancelled");
+        assert!(payload.downcast_ref::<rt_par::Cancelled>().is_some());
+        fire_hang_cell(7, "victim"); // budget spent: no hang
+    }
+
+    #[test]
+    fn shared_cell_faults_mirror_serial_semantics() {
+        let _g = scoped(
+            FaultPlan::default()
+                .with_panic_cell(1, 1)
+                .with_hang(2, 1)
+                .with_delay(3, 1, 1),
+        );
+        let shared = SharedCellFaults::snapshot();
+        shared.fire(0, "clean"); // nothing armed for ordinal 0
+        assert!(std::panic::catch_unwind(|| shared.fire(1, "boom")).is_err());
+        let scope = rt_par::CancelScope::new();
+        scope.trip();
+        {
+            let _amb = rt_par::with_cancel(scope.token());
+            let payload = std::panic::catch_unwind(|| shared.fire(2, "wedge"))
+                .expect_err("hang unwinds under a tripped token");
+            assert!(payload.downcast_ref::<rt_par::Cancelled>().is_some());
+        }
+        shared.fire(3, "slow"); // 1ms delay, then returns
+        shared.restore();
+        // All budgets were consumed inside the shared view and written
+        // back: nothing fires serially any more.
+        fire_panic_cell(1, "boom");
+        fire_hang_cell(2, "wedge");
+        fire_delay_cell(3, "slow");
     }
 }

@@ -42,10 +42,10 @@ use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Journal format version.
 const JOURNAL_VERSION: u32 = 1;
@@ -76,6 +76,17 @@ pub enum RunnerError {
         /// Serde error description.
         detail: String,
     },
+    /// A cell exceeded its wall-clock deadline on every allowed attempt:
+    /// the watchdog tripped the cell's supervision token, the work was
+    /// cancelled cooperatively, and the retry budget ran out.
+    DeadlineExceeded {
+        /// The cell's key.
+        key: String,
+        /// How many attempts were made (1 + retries).
+        attempts: usize,
+        /// The configured per-cell deadline, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for RunnerError {
@@ -93,7 +104,59 @@ impl fmt::Display for RunnerError {
             RunnerError::Codec { key, detail } => {
                 write!(f, "cell `{key}` value could not be (de)serialized: {detail}")
             }
+            RunnerError::DeadlineExceeded {
+                key,
+                attempts,
+                deadline_ms,
+            } => write!(
+                f,
+                "cell `{key}` exceeded its {deadline_ms} ms deadline on all {attempts} attempt(s)"
+            ),
         }
+    }
+}
+
+/// The workspace-wide driver exit-code convention. Every `rt-bench`
+/// driver routes its terminal failure paths through this enum instead of
+/// scattering bare `std::process::exit(n)` calls:
+///
+/// * `1` — work was attempted and persistently failed (a cell exhausted
+///   its panic retries, a gate failed, a final save could not land),
+/// * `2` — the invocation itself was invalid (bad scale, unknown flag),
+/// * `3` — a cell exhausted its *deadline* budget (every attempt was
+///   cancelled by the watchdog), distinguishable from `1` so sweep
+///   orchestrators can react to "too slow" differently from "broken".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExitCode {
+    /// Persistent failure after exhausting recovery (exit 1).
+    PersistentFailure = 1,
+    /// Invalid invocation / usage error (exit 2).
+    Usage = 2,
+    /// Deadline budget exhausted: the watchdog cancelled every attempt
+    /// of some cell (exit 3).
+    DeadlineBudgetExhausted = 3,
+}
+
+impl ExitCode {
+    /// The numeric process exit code.
+    pub fn code(self) -> i32 {
+        self as i32
+    }
+
+    /// Maps a terminal [`RunnerError`] to its conventional exit code.
+    pub fn for_error(err: &RunnerError) -> Self {
+        match err {
+            RunnerError::DeadlineExceeded { .. } => ExitCode::DeadlineBudgetExhausted,
+            _ => ExitCode::PersistentFailure,
+        }
+    }
+
+    /// Terminates the process with this code, flushing telemetry first so
+    /// the observability journal records the failure.
+    pub fn exit(self) -> ! {
+        rt_obs::finalize();
+        std::process::exit(self.code())
     }
 }
 
@@ -136,6 +199,19 @@ pub struct RunnerConfig {
     /// opt in via `RT_PAR_CELLS=1` (see
     /// [`RunnerConfig::for_experiment`]).
     pub parallel: bool,
+    /// Per-cell wall-clock deadline. Each attempt runs under a fresh
+    /// supervision scope whose token the `rt-par` watchdog trips after
+    /// this duration; the cancelled attempt is retried with a seed bump
+    /// exactly like a panicked one. `None` (the default) disarms the
+    /// watchdog entirely. Drivers read `RT_DEADLINE=secs` via
+    /// [`RunnerConfig::for_experiment`].
+    pub deadline: Option<Duration>,
+    /// Base for exponential retry backoff: before retry `n` (1-based) the
+    /// runner sleeps `retry_backoff_ms << (n-1)` milliseconds, capped at
+    /// 5 s. `0` (the default) disables backoff, keeping unit tests and
+    /// journal-byte comparisons instant; [`RunnerConfig::for_experiment`]
+    /// sets 250 ms so real sweeps don't hammer a struggling machine.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for RunnerConfig {
@@ -146,6 +222,8 @@ impl Default for RunnerConfig {
             max_retries: 1,
             seed_bump: 0x9e37_79b9,
             parallel: false,
+            deadline: None,
+            retry_backoff_ms: 0,
         }
     }
 }
@@ -154,7 +232,9 @@ impl RunnerConfig {
     /// Conventional config for an experiment driver: journal under
     /// `results_dir/<id>-<scale>.journal.jsonl`. Parallel cell execution
     /// is enabled when the `RT_PAR_CELLS` environment variable is `1`
-    /// (any other value, or unset, keeps the serial executor).
+    /// (any other value, or unset, keeps the serial executor); a per-cell
+    /// deadline is armed when `RT_DEADLINE` holds a positive number of
+    /// seconds (fractional allowed). Driver retries back off from 250 ms.
     pub fn for_experiment(
         results_dir: &std::path::Path,
         id: &str,
@@ -165,9 +245,34 @@ impl RunnerConfig {
             journal_path: Some(results_dir.join(format!("{id}-{scale_label}.journal.jsonl"))),
             resume,
             parallel: std::env::var("RT_PAR_CELLS").as_deref() == Ok("1"),
+            deadline: deadline_from_env(),
+            retry_backoff_ms: 250,
             ..RunnerConfig::default()
         }
     }
+}
+
+/// Parses `RT_DEADLINE` (seconds, fractional allowed) into a per-cell
+/// deadline. Non-positive, non-finite, or malformed values disarm the
+/// watchdog rather than erroring — a typo must not change sweep results.
+pub fn deadline_from_env() -> Option<Duration> {
+    let raw = std::env::var("RT_DEADLINE").ok()?;
+    let secs: f64 = raw.trim().parse().ok()?;
+    if secs.is_finite() && secs > 0.0 {
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    }
+}
+
+/// Exponential backoff delay before retry `attempt` (1-based):
+/// `base_ms << (attempt-1)`, capped at 5 s. Zero base means no backoff.
+fn backoff_delay(base_ms: u64, attempt: usize) -> Duration {
+    if base_ms == 0 {
+        return Duration::ZERO;
+    }
+    let shift = attempt.saturating_sub(1).min(16) as u32;
+    Duration::from_millis(base_ms.saturating_mul(1u64 << shift).min(5_000))
 }
 
 /// Per-attempt context handed to a cell closure.
@@ -209,6 +314,11 @@ pub struct RunnerStats {
     /// replays), in milliseconds.
     #[serde(default)]
     pub executed_ms: f64,
+    /// Attempts cancelled by the watchdog deadline (each such attempt
+    /// either retried or, with the budget spent, became a
+    /// [`RunnerError::DeadlineExceeded`]).
+    #[serde(default)]
+    pub deadline_trips: usize,
 }
 
 /// The JSON document written next to the journal at the end of a sweep
@@ -268,7 +378,23 @@ impl Runner {
                     }
                 }
                 if cfg.resume && path.exists() {
-                    completed = load_journal(path)?;
+                    let (loaded, valid_len) = load_journal(path)?;
+                    completed = loaded;
+                    let disk_len = std::fs::metadata(path)?.len();
+                    if valid_len < disk_len {
+                        // Truncate the torn/corrupt tail *before* opening
+                        // in append mode: appending after a torn partial
+                        // line would concatenate the next record onto it,
+                        // corrupting both. Dropped cells simply re-run.
+                        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+                        file.set_len(valid_len)?;
+                        file.sync_all()?;
+                        rt_obs::console!(
+                            "[runner] truncated journal {} from {disk_len} to {valid_len} bytes \
+                             (dropped torn tail)",
+                            path.display()
+                        );
+                    }
                     if !completed.is_empty() {
                         rt_obs::console!(
                             "[runner] resuming: {} completed cell(s) loaded from {}",
@@ -359,12 +485,28 @@ impl Runner {
                 seed_bump: (attempt as u64).wrapping_mul(self.cfg.seed_bump),
                 ordinal,
             };
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                // Fault-injection hook: an armed panic-cell fault fires
-                // inside the isolation boundary, like any real panic.
-                crate::fault::fire_panic_cell(ordinal, key);
-                f(ctx)
-            }));
+            // Each attempt runs under a fresh supervision scope: the
+            // scope's token is the thread's ambient (so `ExecCtx`,
+            // `rt-par` batches, and the hang fault all inherit it) and
+            // the watchdog trips it once the deadline passes.
+            let scope = rt_par::CancelScope::new();
+            let attempt_t0 = Instant::now();
+            let outcome = {
+                let _ambient = rt_par::with_cancel(scope.token());
+                let _deadline = self
+                    .cfg
+                    .deadline
+                    .map(|d| rt_par::watchdog::arm(scope.token(), d));
+                catch_unwind(AssertUnwindSafe(|| {
+                    // Fault-injection hook: armed cell faults (delay,
+                    // hang, panic) fire inside the isolation boundary,
+                    // like any real stall or crash.
+                    crate::fault::fire_cell_faults(ordinal, key);
+                    f(ctx)
+                }))
+                // Watchdog disarmed and ambient restored here; a value
+                // that raced the deadline and still completed is kept.
+            };
             match outcome {
                 Ok(value) => {
                     self.record(key, attempt + 1, &value)?;
@@ -384,10 +526,40 @@ impl Runner {
                     return Ok(value);
                 }
                 Err(payload) => {
-                    let detail = panic_message(payload.as_ref());
+                    // Classify by the scope, not the payload: any unwind
+                    // after the watchdog tripped — the `Cancelled`
+                    // payload from a chunk boundary, or a panic racing
+                    // the cancellation — counts as a deadline trip.
+                    let deadline_hit = scope.tripped();
+                    let attempt_ms = attempt_t0.elapsed().as_secs_f64() * 1e3;
+                    let detail = if deadline_hit {
+                        let budget_ms = self.cfg.deadline.map(|d| d.as_millis()).unwrap_or(0);
+                        format!(
+                            "deadline of {budget_ms} ms exceeded \
+                             (attempt cancelled after {attempt_ms:.0} ms)"
+                        )
+                    } else {
+                        panic_message(payload.as_ref())
+                    };
+                    if deadline_hit {
+                        self.stats.deadline_trips += 1;
+                        rt_obs::counter("runner.deadline_trips").inc();
+                        rt_obs::histogram("cell.deadline_ms").observe(attempt_ms);
+                        // The structured journal record of the trip.
+                        rt_obs::event(
+                            "runner.cell",
+                            &[
+                                ("key", key.into()),
+                                ("ordinal", ordinal.into()),
+                                ("outcome", "deadline".into()),
+                                ("attempt", (attempt + 1).into()),
+                            ],
+                        );
+                    }
                     rt_obs::console!(
-                        "[runner] cell `{key}` (#{ordinal}) attempt {} panicked: {detail}",
-                        attempt + 1
+                        "[runner] cell `{key}` (#{ordinal}) attempt {} {}: {detail}",
+                        attempt + 1,
+                        if deadline_hit { "cancelled" } else { "panicked" }
                     );
                     if attempt >= self.cfg.max_retries {
                         self.stats.failed += 1;
@@ -404,19 +576,36 @@ impl Runner {
                                 ("attempts", (attempt + 1).into()),
                             ],
                         );
-                        return Err(RunnerError::CellFailed {
-                            key: key.to_string(),
-                            attempts: attempt + 1,
-                            detail,
+                        return Err(if deadline_hit {
+                            RunnerError::DeadlineExceeded {
+                                key: key.to_string(),
+                                attempts: attempt + 1,
+                                deadline_ms: self
+                                    .cfg
+                                    .deadline
+                                    .map(|d| d.as_millis() as u64)
+                                    .unwrap_or(0),
+                            }
+                        } else {
+                            RunnerError::CellFailed {
+                                key: key.to_string(),
+                                attempts: attempt + 1,
+                                detail,
+                            }
                         });
                     }
                     attempt += 1;
                     self.stats.retries += 1;
                     rt_obs::counter("runner.retries").inc();
+                    let backoff = backoff_delay(self.cfg.retry_backoff_ms, attempt);
                     rt_obs::console!(
-                        "[runner] retrying cell `{key}` with seed bump {}",
-                        (attempt as u64).wrapping_mul(self.cfg.seed_bump)
+                        "[runner] retrying cell `{key}` with seed bump {} after {} ms backoff",
+                        (attempt as u64).wrapping_mul(self.cfg.seed_bump),
+                        backoff.as_millis()
                     );
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
                 }
             }
         }
@@ -435,10 +624,13 @@ impl Runner {
     /// bytes are identical to a serial run and a resumed sweep cannot
     /// observe the scheduling.
     ///
-    /// Fault semantics match the serial path: panic-cell faults armed on
-    /// the calling thread fire inside the worker's isolation boundary
-    /// (via [`crate::fault::SharedPanicCells`]), and consumed budgets are
-    /// restored to the calling thread's plan afterwards.
+    /// Fault semantics match the serial path: cell-scoped faults (panics,
+    /// hangs, delays) armed on the calling thread fire inside the
+    /// worker's isolation boundary (via
+    /// [`crate::fault::SharedCellFaults`]), and consumed budgets are
+    /// restored to the calling thread's plan afterwards. Deadlines are
+    /// likewise enforced per attempt inside each worker, and deadline
+    /// telemetry is replayed in cell-index order during the fold.
     ///
     /// If some cells fail after every retry, the successful cells of the
     /// batch are still journaled (in index order) before the error for
@@ -466,17 +658,22 @@ impl Runner {
         self.next_ordinal += keys.len();
         let batch_span = rt_obs::span!("runner.batch", "cells" => keys.len());
 
-        // Per-cell outcome of one parallel attempt loop.
+        // Per-cell outcome of one parallel attempt loop. `trips` records
+        // each deadline-cancelled attempt as (1-based attempt, attempt
+        // wall ms) so the fold can replay telemetry in cell-index order.
         enum Outcome<T> {
             Done {
                 value: T,
                 attempts: usize,
                 elapsed_ms: f64,
+                trips: Vec<(usize, f64)>,
             },
             Failed {
                 attempts: usize,
                 detail: String,
                 elapsed_ms: f64,
+                trips: Vec<(usize, f64)>,
+                deadline: bool,
             },
         }
 
@@ -488,9 +685,11 @@ impl Runner {
         let slots: Vec<std::sync::Mutex<Option<Outcome<T>>>> =
             pending.iter().map(|_| std::sync::Mutex::new(None)).collect();
 
-        let faults = crate::fault::SharedPanicCells::snapshot();
+        let faults = crate::fault::SharedCellFaults::snapshot();
         let max_retries = self.cfg.max_retries;
         let seed_bump = self.cfg.seed_bump;
+        let deadline = self.cfg.deadline;
+        let retry_backoff_ms = self.cfg.retry_backoff_ms;
         {
             let faults = &faults;
             let pending = &pending;
@@ -502,31 +701,67 @@ impl Runner {
                 let ordinal = base + i;
                 let t0 = Instant::now();
                 let mut attempt = 0usize;
+                let mut trips: Vec<(usize, f64)> = Vec::new();
                 let outcome = loop {
                     let ctx = CellCtx {
                         attempt,
                         seed_bump: (attempt as u64).wrapping_mul(seed_bump),
                         ordinal,
                     };
-                    match catch_unwind(AssertUnwindSafe(|| {
-                        faults.fire(ordinal, key);
-                        f(i, ctx)
-                    })) {
+                    // Fresh scope per attempt: the cell's work sees this
+                    // token as ambient (not the batch-wide token the
+                    // worker itself runs under), so a watchdog trip
+                    // cancels only this attempt.
+                    let scope = rt_par::CancelScope::new();
+                    let attempt_t0 = Instant::now();
+                    let attempt_outcome = {
+                        let _ambient = rt_par::with_cancel(scope.token());
+                        let _deadline = deadline.map(|d| rt_par::watchdog::arm(scope.token(), d));
+                        catch_unwind(AssertUnwindSafe(|| {
+                            faults.fire(ordinal, key);
+                            f(i, ctx)
+                        }))
+                    };
+                    match attempt_outcome {
                         Ok(value) => {
                             break Outcome::Done {
                                 value,
                                 attempts: attempt + 1,
                                 elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                trips,
                             }
                         }
-                        Err(payload) if attempt >= max_retries => {
-                            break Outcome::Failed {
-                                attempts: attempt + 1,
-                                detail: panic_message(payload.as_ref()),
-                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        Err(payload) => {
+                            let deadline_hit = scope.tripped();
+                            let attempt_ms = attempt_t0.elapsed().as_secs_f64() * 1e3;
+                            if deadline_hit {
+                                trips.push((attempt + 1, attempt_ms));
+                            }
+                            if attempt >= max_retries {
+                                let detail = if deadline_hit {
+                                    let budget_ms =
+                                        deadline.map(|d| d.as_millis()).unwrap_or(0);
+                                    format!(
+                                        "deadline of {budget_ms} ms exceeded \
+                                         (attempt cancelled after {attempt_ms:.0} ms)"
+                                    )
+                                } else {
+                                    panic_message(payload.as_ref())
+                                };
+                                break Outcome::Failed {
+                                    attempts: attempt + 1,
+                                    detail,
+                                    elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                    trips,
+                                    deadline: deadline_hit,
+                                };
+                            }
+                            attempt += 1;
+                            let backoff = backoff_delay(retry_backoff_ms, attempt);
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
                             }
                         }
-                        Err(_) => attempt += 1,
                     }
                 };
                 *slots[t].lock().expect("cell slot lock poisoned") = Some(outcome);
@@ -572,12 +807,30 @@ impl Runner {
                 .into_inner()
                 .expect("cell slot lock poisoned")
                 .expect("barrier guarantees a settled outcome");
+            let replay_trips = |stats: &mut RunnerStats, trips: &[(usize, f64)]| {
+                for &(trip_attempt, attempt_ms) in trips {
+                    stats.deadline_trips += 1;
+                    rt_obs::counter("runner.deadline_trips").inc();
+                    rt_obs::histogram("cell.deadline_ms").observe(attempt_ms);
+                    rt_obs::event(
+                        "runner.cell",
+                        &[
+                            ("key", key.as_str().into()),
+                            ("ordinal", ordinal.into()),
+                            ("outcome", "deadline".into()),
+                            ("attempt", trip_attempt.into()),
+                        ],
+                    );
+                }
+            };
             match outcome {
                 Outcome::Done {
                     value,
                     attempts,
                     elapsed_ms,
+                    trips,
                 } => {
+                    replay_trips(&mut self.stats, &trips);
                     self.record(key, attempts, &value)?;
                     self.stats.executed += 1;
                     self.stats.retries += attempts - 1;
@@ -601,7 +854,10 @@ impl Runner {
                     attempts,
                     detail,
                     elapsed_ms,
+                    trips,
+                    deadline,
                 } => {
+                    replay_trips(&mut self.stats, &trips);
                     self.stats.failed += 1;
                     self.stats.retries += attempts - 1;
                     self.stats.executed_ms += elapsed_ms;
@@ -618,10 +874,22 @@ impl Runner {
                             ("attempts", attempts.into()),
                         ],
                     );
-                    first_error.get_or_insert(RunnerError::CellFailed {
-                        key: key.to_string(),
-                        attempts,
-                        detail,
+                    first_error.get_or_insert(if deadline {
+                        RunnerError::DeadlineExceeded {
+                            key: key.to_string(),
+                            attempts,
+                            deadline_ms: self
+                                .cfg
+                                .deadline
+                                .map(|d| d.as_millis() as u64)
+                                .unwrap_or(0),
+                        }
+                    } else {
+                        RunnerError::CellFailed {
+                            key: key.to_string(),
+                            attempts,
+                            detail,
+                        }
                     });
                 }
             }
@@ -715,34 +983,52 @@ fn summary_path(journal: &std::path::Path) -> PathBuf {
     }
 }
 
-/// Loads a journal, returning the completed-cell map. Malformed lines —
-/// including the torn final line an interrupted append leaves behind —
-/// are reported and skipped; later entries for the same key win.
+/// Loads a journal, returning the completed-cell map and the byte length
+/// of the **valid prefix**: consecutive well-formed, newline-terminated
+/// lines from the start of the file. Everything past the prefix — a torn
+/// final line from an interrupted append, a line missing its newline, or
+/// mid-file corruption — is reported and excluded from the map, and the
+/// caller truncates the file to the prefix so new appends cannot
+/// concatenate onto damaged bytes. Within the prefix, later entries for
+/// the same key win.
 fn load_journal(
     path: &std::path::Path,
-) -> Result<HashMap<String, serde_json::Value>, RunnerError> {
-    let file = std::fs::File::open(path)?;
-    let reader = std::io::BufReader::new(file);
+) -> Result<(HashMap<String, serde_json::Value>, u64), RunnerError> {
+    let bytes = std::fs::read(path)?;
     let mut completed = HashMap::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str::<JournalEntry>(&line) {
-            Ok(entry) => {
-                completed.insert(entry.key, entry.value);
+    let mut offset = 0usize;
+    let mut lineno = 0usize;
+    while offset < bytes.len() {
+        let Some(rel) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            // Final line never got its newline: torn mid-append.
+            rt_obs::console!(
+                "[runner] dropping torn final journal line of {} ({} trailing byte(s))",
+                path.display(),
+                bytes.len() - offset
+            );
+            break;
+        };
+        let line_end = offset + rel;
+        lineno += 1;
+        let text = String::from_utf8_lossy(&bytes[offset..line_end]);
+        if !text.trim().is_empty() {
+            match serde_json::from_str::<JournalEntry>(&text) {
+                Ok(entry) => {
+                    completed.insert(entry.key, entry.value);
+                }
+                Err(e) => {
+                    rt_obs::console!(
+                        "[runner] dropping malformed journal line {lineno} of {} \
+                         and everything after it ({e})",
+                        path.display()
+                    );
+                    break;
+                }
             }
-            Err(e) => {
-                rt_obs::console!(
-                    "[runner] skipping malformed journal line {} of {} ({e})",
-                    lineno + 1,
-                    path.display()
-                );
-            }
         }
+        offset = line_end + 1;
     }
-    Ok(completed)
+    Ok((completed, offset as u64))
 }
 
 /// Renders a `catch_unwind` payload as text (panic messages are almost
@@ -752,6 +1038,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(c) = payload.downcast_ref::<rt_par::Cancelled>() {
+        c.to_string()
     } else {
         "non-string panic payload".to_string()
     }
@@ -1206,5 +1494,232 @@ mod tests {
         assert_eq!(rt_obs::counter("runner.cells_executed").get(), 1);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&super::summary_path(&path));
+    }
+
+    #[test]
+    fn backoff_delay_is_exponential_and_capped() {
+        use std::time::Duration;
+        assert_eq!(backoff_delay(0, 1), Duration::ZERO, "base 0 disables backoff");
+        assert_eq!(backoff_delay(250, 1), Duration::from_millis(250));
+        assert_eq!(backoff_delay(250, 2), Duration::from_millis(500));
+        assert_eq!(backoff_delay(250, 3), Duration::from_millis(1000));
+        assert_eq!(backoff_delay(250, 20), Duration::from_millis(5000), "capped");
+        assert_eq!(backoff_delay(250, 1000), Duration::from_millis(5000), "shift clamped");
+    }
+
+    #[test]
+    fn exit_codes_follow_the_convention() {
+        assert_eq!(ExitCode::PersistentFailure.code(), 1);
+        assert_eq!(ExitCode::Usage.code(), 2);
+        assert_eq!(ExitCode::DeadlineBudgetExhausted.code(), 3);
+        let deadline = RunnerError::DeadlineExceeded {
+            key: "cell-0".into(),
+            attempts: 2,
+            deadline_ms: 100,
+        };
+        assert_eq!(ExitCode::for_error(&deadline), ExitCode::DeadlineBudgetExhausted);
+        let failed = RunnerError::CellFailed {
+            key: "cell-0".into(),
+            attempts: 2,
+            detail: "boom".into(),
+        };
+        assert_eq!(ExitCode::for_error(&failed), ExitCode::PersistentFailure);
+    }
+
+    #[test]
+    fn deadline_cancels_transient_hang_and_retry_succeeds() {
+        // A hang with a budget of 1 stalls attempt 0; the watchdog trips
+        // the cell's token, the attempt unwinds at the next cancellation
+        // check, and the retry (budget spent) completes normally.
+        let _g = fault::scoped(FaultPlan::default().with_hang(0, 1));
+        let mut r = Runner::new(RunnerConfig {
+            deadline: Some(Duration::from_millis(100)),
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let value = r.run_cell("hung-once", |ctx| 7.0 + ctx.seed_bump as f64 * 0.0);
+        assert_eq!(value.unwrap(), 7.0);
+        assert_eq!(r.stats.deadline_trips, 1);
+        assert_eq!(r.stats.retries, 1);
+        assert_eq!(r.stats.executed, 1);
+    }
+
+    #[test]
+    fn persistent_hang_exhausts_the_deadline_budget() {
+        let _g = fault::scoped(FaultPlan::default().with_hang(0, usize::MAX));
+        let mut r = Runner::new(RunnerConfig {
+            deadline: Some(Duration::from_millis(50)),
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let result: Result<f64, _> = r.run_cell("hung-forever", |_| 1.0);
+        match result {
+            Err(RunnerError::DeadlineExceeded {
+                key,
+                attempts,
+                deadline_ms,
+            }) => {
+                assert_eq!(key, "hung-forever");
+                assert_eq!(attempts, 2, "1 try + 1 retry (default max_retries=1)");
+                assert_eq!(deadline_ms, 50);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(r.stats.deadline_trips, 2, "every attempt tripped");
+        assert_eq!(r.stats.failed, 1);
+    }
+
+    #[test]
+    fn hang_interrupt_then_resume_matches_uninterrupted() {
+        // The deadline analogue of the kill-and-resume flow: a persistent
+        // hang on cell 4 aborts the sweep via the watchdog; resuming
+        // without the fault re-executes only cell 4 onward, and the final
+        // journal is byte-identical to an uninterrupted run.
+        let n = 8;
+        let clean_path = temp_journal("hang-clean");
+        let mut clean = Runner::new(RunnerConfig {
+            journal_path: Some(clean_path.clone()),
+            resume: false,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let expected = sweep(&mut clean, n).unwrap();
+        drop(clean);
+
+        let path = temp_journal("hang-interrupted");
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            max_retries: 0,
+            deadline: Some(Duration::from_millis(100)),
+            ..RunnerConfig::default()
+        };
+        {
+            let _g = fault::scoped(FaultPlan::default().with_hang(4, usize::MAX));
+            let mut doomed = Runner::new(cfg.clone()).unwrap();
+            let aborted = sweep(&mut doomed, n);
+            assert!(matches!(aborted, Err(RunnerError::DeadlineExceeded { .. })));
+            assert_eq!(doomed.stats.executed, 4, "cells before the hang persisted");
+            assert_eq!(doomed.stats.deadline_trips, 1);
+        }
+        let mut resumed = Runner::new(RunnerConfig {
+            resume: true,
+            ..cfg
+        })
+        .unwrap();
+        let actual = sweep(&mut resumed, n).unwrap();
+        assert_eq!(actual, expected);
+        assert_eq!(resumed.stats.skipped, 4);
+        assert_eq!(resumed.stats.executed, n - 4);
+        assert_eq!(
+            std::fs::read(&clean_path).unwrap(),
+            std::fs::read(&path).unwrap(),
+            "resumed journal is byte-identical to the uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&clean_path);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parallel_hang_interrupt_then_resume_matches_uninterrupted() {
+        // Same flow through the parallel batch executor: the hang is
+        // detected inside a worker, batch-mates still journal in index
+        // order, and resume restores byte-identity.
+        rt_par::set_threads(4);
+        let n = 8;
+        let clean_path = temp_journal("par-hang-clean");
+        let mut clean = Runner::new(RunnerConfig {
+            journal_path: Some(clean_path.clone()),
+            resume: false,
+            parallel: true,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let expected = batch_sweep(&mut clean, n).unwrap();
+        drop(clean);
+
+        let path = temp_journal("par-hang-interrupted");
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            max_retries: 0,
+            parallel: true,
+            deadline: Some(Duration::from_millis(100)),
+            ..RunnerConfig::default()
+        };
+        {
+            let _g = fault::scoped(FaultPlan::default().with_hang(3, usize::MAX));
+            let mut doomed = Runner::new(cfg.clone()).unwrap();
+            let aborted = batch_sweep(&mut doomed, n);
+            match aborted {
+                Err(RunnerError::DeadlineExceeded { key, .. }) => assert_eq!(key, "cell-3"),
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+            assert_eq!(doomed.stats.executed, n - 1, "batch-mates persisted");
+            assert_eq!(doomed.stats.deadline_trips, 1);
+        }
+        let mut resumed = Runner::new(RunnerConfig {
+            resume: true,
+            ..cfg
+        })
+        .unwrap();
+        let actual = batch_sweep(&mut resumed, n).unwrap();
+        assert_eq!(actual, expected);
+        assert_eq!(resumed.stats.skipped, n - 1);
+        assert_eq!(resumed.stats.executed, 1, "only the hung cell re-runs");
+        assert_eq!(
+            std::fs::read(&clean_path).unwrap(),
+            std::fs::read(&path).unwrap(),
+            "resumed journal is byte-identical to the uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&clean_path);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_resume_produces_byte_identical_final_journal() {
+        // Crash mid-append: the journal's last record is cut mid-byte.
+        // `--resume` must drop the torn line, truncate the file to the
+        // valid prefix, re-execute that cell, and end byte-identical to
+        // a never-interrupted run.
+        let n = 5;
+        let clean_path = temp_journal("torn-clean");
+        let mut clean = Runner::new(RunnerConfig {
+            journal_path: Some(clean_path.clone()),
+            resume: false,
+            ..RunnerConfig::default()
+        })
+        .unwrap();
+        let expected = sweep(&mut clean, n).unwrap();
+        drop(clean);
+
+        let path = temp_journal("torn-resume");
+        let cfg = RunnerConfig {
+            journal_path: Some(path.clone()),
+            resume: false,
+            ..RunnerConfig::default()
+        };
+        let mut first = Runner::new(cfg.clone()).unwrap();
+        sweep(&mut first, n).unwrap();
+        drop(first);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let mut resumed = Runner::new(RunnerConfig {
+            resume: true,
+            ..cfg
+        })
+        .unwrap();
+        let actual = sweep(&mut resumed, n).unwrap();
+        assert_eq!(actual, expected);
+        assert_eq!(resumed.stats.skipped, n - 1, "intact prefix replayed");
+        assert_eq!(resumed.stats.executed, 1, "torn cell re-executed");
+        assert_eq!(
+            std::fs::read(&clean_path).unwrap(),
+            std::fs::read(&path).unwrap(),
+            "truncate-then-append restores byte-identity"
+        );
+        let _ = std::fs::remove_file(&clean_path);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -202,6 +202,16 @@ fn run_epoch(
             Objective::GaussianNoise(sigma) => gaussian_augment(&images, *sigma, &mut rng),
         };
         let ctx = ExecCtx::train();
+        // Batch-boundary cancellation check: the ctx snapshots the
+        // ambient supervision token, so a watchdog-tripped deadline stops
+        // the epoch between batches — never mid-kernel, and with the
+        // model weights in a consistent (pre-step) state.
+        if ctx.is_cancelled() {
+            return Err(NnError::DeadlineExceeded {
+                epoch,
+                batch: batches,
+            });
+        }
         let logits = model.forward(&inputs, ctx)?;
         let out = loss_fn.forward(&logits, &labels)?;
         // Fault-injection hook (no-op unless a plan is installed) feeding
@@ -444,6 +454,24 @@ mod tests {
         let mut cfg = TrainConfig::paper_finetune(1, 8, 0.05, 0);
         cfg.batch_size = 0;
         assert!(train(&mut model, &data, &cfg).is_err());
+    }
+
+    #[test]
+    fn tripped_ambient_token_stops_training_at_a_batch_boundary() {
+        // With a pre-tripped supervision token ambient, the very first
+        // batch-boundary check fires: training returns the structured
+        // deadline error without touching the weights.
+        let (mut model, data) = smoke_setup();
+        let cfg = TrainConfig::paper_finetune(2, 8, 0.05, 11);
+        let scope = rt_par::CancelScope::new();
+        scope.trip();
+        let _ambient = rt_par::with_cancel(scope.token());
+        match train(&mut model, &data, &cfg) {
+            Err(NnError::DeadlineExceeded { epoch, batch }) => {
+                assert_eq!((epoch, batch), (0, 0));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property tests for the `RT_FAULTS` grammar.
+//!
+//! The grammar is the operator-facing surface of the fault-injection
+//! subsystem, so it gets the strongest guarantee we can state: for *any*
+//! constructible [`FaultPlan`], `parse(plan.to_string()) == plan`
+//! (display is a canonical, lossless encoding), and malformed entries
+//! mixed into an otherwise-valid spec are skipped without perturbing the
+//! valid part — a typo must never change which faults fire.
+
+use proptest::prelude::*;
+use rt_transfer::fault::FaultPlan;
+
+/// Budget fields: small numbers, a boundary value, and `inf`
+/// (`usize::MAX`, displayed as `inf`).
+fn times_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![0usize..100, Just(1), Just(usize::MAX)]
+}
+
+/// An arbitrary constructible plan, built through the public `with_*`
+/// combinators exactly as driver code would.
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let nan = (0usize..1000, 0usize..1000, times_strategy());
+    let panic = (0usize..1000, times_strategy());
+    let trunc = (0usize..100_000, times_strategy());
+    let hang = (0usize..1000, times_strategy());
+    let delay = (0usize..1000, 0u64..100_000, times_strategy());
+    (
+        prop::collection::vec(nan, 0..4),
+        prop::collection::vec(panic, 0..4),
+        prop::collection::vec(trunc, 0..4),
+        prop::collection::vec(hang, 0..4),
+        prop::collection::vec(delay, 0..4),
+    )
+        .prop_map(|(nans, panics, truncs, hangs, delays)| {
+            let mut plan = FaultPlan::default();
+            for (e, b, t) in nans {
+                plan = plan.with_nan_loss(e, b, t);
+            }
+            for (o, t) in panics {
+                plan = plan.with_panic_cell(o, t);
+            }
+            for (k, t) in truncs {
+                plan = plan.with_truncation(k, t);
+            }
+            for (o, t) in hangs {
+                plan = plan.with_hang(o, t);
+            }
+            for (o, ms, t) in delays {
+                plan = plan.with_delay(o, ms, t);
+            }
+            plan
+        })
+}
+
+/// Specs `FaultPlan::parse` must reject: wrong arity, unknown kinds,
+/// non-numeric fields, and `inf` where only a finite number is legal.
+fn malformed_spec() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("hang".to_string()),
+        Just("hang:x".to_string()),
+        Just("hang:1:2:3".to_string()),
+        Just("delay:3".to_string()),
+        Just("delay:1:inf".to_string()),
+        Just("delay:1:2:3:4".to_string()),
+        Just("panic-cell".to_string()),
+        Just("panic-cell:".to_string()),
+        Just("nan-loss:1:2".to_string()),
+        Just("nan-loss:a:b:c".to_string()),
+        Just("truncate".to_string()),
+        Just("bogus:1:2".to_string()),
+        Just(":::".to_string()),
+        Just("hang:-1".to_string()),
+        Just("delay:0:-250".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_display_round_trips(plan in plan_strategy()) {
+        let encoded = plan.to_string();
+        let reparsed = FaultPlan::parse(&encoded);
+        prop_assert_eq!(&reparsed, &plan, "display must be lossless: `{}`", encoded);
+        // Display is canonical: a second trip is byte-stable.
+        prop_assert_eq!(reparsed.to_string(), encoded);
+    }
+
+    #[test]
+    fn malformed_entries_never_perturb_the_valid_part(
+        plan in plan_strategy(),
+        bad in prop::collection::vec(malformed_spec(), 1..4),
+        front in any::<bool>(),
+    ) {
+        let valid = plan.to_string();
+        let noise = bad.join(",");
+        let mixed = if valid.is_empty() {
+            noise
+        } else if front {
+            format!("{noise},{valid}")
+        } else {
+            format!("{valid},{noise}")
+        };
+        prop_assert_eq!(
+            FaultPlan::parse(&mixed),
+            plan,
+            "malformed entries must be skipped, not misparsed: `{}`",
+            mixed
+        );
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(raw in "[a-z0-9:,\\-]{0,64}") {
+        // Parsing is total: any string yields *some* plan.
+        let _ = FaultPlan::parse(&raw);
+    }
+}
