@@ -23,7 +23,7 @@ echo "== sparse kernel smoke (bit-identity gate + speedup report) =="
 # different bytes than the masked-dense kernels, or if any thread count
 # diverges from the serial pool.
 cargo run --release -p rt-bench --bin bench_sparse -- --quick --reps 1 \
-    --out target/BENCH_sparse_ci.json
+    --out target/BENCH_sparse_ci.json --no-history
 
 echo "== supervision smoke (deadlines, cancellation, kill-and-resume) =="
 # The supervision acceptance surface, under both cell executors: the
@@ -59,7 +59,32 @@ echo "== supervision overhead gate (cancellation checks < 2% on kernels) =="
 # bench_kernels re-times GEMM/conv under a live (never tripped)
 # cancellation scope and exits nonzero if supervision costs > 2%.
 cargo run --release -p rt-bench --bin bench_kernels -- --quick --reps 3 \
-    --out target/BENCH_kernels_ci.json
+    --out target/BENCH_kernels_ci.json --no-history
+
+echo "== perf trend gate (bench_trend over a fresh two-run history) =="
+# Self-seeded and fully offline: two bench_kernels runs populate a
+# CI-local history, bench_trend must pass on the genuine second run (the
+# run-to-run delta sits inside the 10% noise band), and must FAIL when a
+# synthetic 20% regression is injected into the latest run — proving the
+# gate actually fires before we trust it with real history.
+rm -f target/BENCH_history_ci.jsonl
+for i in 1 2; do
+    cargo run --release -p rt-bench --bin bench_kernels -- --quick --reps 3 \
+        --out target/BENCH_kernels_ci.json --history target/BENCH_history_ci.jsonl
+done
+cargo run --release -p rt-bench --bin bench_trend -- \
+    --history target/BENCH_history_ci.jsonl
+set +e
+cargo run --release -p rt-bench --bin bench_trend -- \
+    --history target/BENCH_history_ci.jsonl --inject-regression 0.8 \
+    > /dev/null
+trend_status=$?
+set -e
+if [[ "$trend_status" == "0" ]]; then
+    echo "bench_trend: injected 20% regression was NOT caught"
+    exit 1
+fi
+rm -f target/BENCH_history_ci.jsonl
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -99,6 +124,27 @@ if [[ -n "$spawns" ]]; then
     echo "raw std::thread spawn outside rt-par — route the work through"
     echo "rt_par::run_tasks / par_chunks so chunking stays deterministic:"
     echo "$spawns"
+    exit 1
+fi
+
+echo "== timing discipline (no ad-hoc Instant::now outside the obs/bench layer) =="
+# All wall-clock timing in library crates must go through rt_obs
+# (Stopwatch / spans / histograms) so it is gated on the telemetry level
+# and lands in the trace. rt-obs and rt-par implement the clock plumbing
+# and are exempt; rt-bench is a harness whose timing IS the product.
+# Comments are skipped so docs may mention the API.
+timing=$(grep -rnE 'Instant::now' crates/*/src src \
+    --include='*.rs' \
+    | grep -v '^crates/rt-obs/src' \
+    | grep -v '^crates/rt-par/src' \
+    | grep -v '^crates/rt-bench/src' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' \
+    || true)
+if [[ -n "$timing" ]]; then
+    echo "ad-hoc Instant::now timing in library code — use rt_obs::Stopwatch"
+    echo "(start_if gates on the telemetry level) or a span/histogram so the"
+    echo "measurement reaches the trace:"
+    echo "$timing"
     exit 1
 fi
 

@@ -97,12 +97,12 @@ fn pgd_core(
 ) -> Result<Tensor> {
     let loss_fn = CrossEntropyLoss::new();
     // Hoisted: the handle is fetched once per attack, and the per-step
-    // `Instant::now()` pair only runs when the histogram is live.
+    // stopwatch only starts when the histogram is live.
     let step_hist = rt_obs::histogram("adv.pgd_step_ms");
     let time_steps = step_hist.is_active();
     let ctx = ExecCtx::eval();
     for _ in 0..config.steps {
-        let step_t0 = time_steps.then(std::time::Instant::now);
+        let step_t0 = rt_obs::Stopwatch::start_if(time_steps);
         let logits = model.forward(&adv, ctx)?;
         let out = loss_fn.forward(&logits, labels)?;
         model.zero_grad();
@@ -119,7 +119,7 @@ fn pgd_core(
             *a = a.clamp(x - config.epsilon, x + config.epsilon);
         }
         if let Some(t0) = step_t0 {
-            step_hist.observe(t0.elapsed().as_secs_f64() * 1e3);
+            step_hist.observe(t0.elapsed_ms());
         }
     }
     rt_obs::counter("adv.pgd_steps").add(config.steps as u64);

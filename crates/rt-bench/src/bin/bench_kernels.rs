@@ -22,6 +22,7 @@
 //! invisible at kernel granularity.
 
 use rt_adv::attack::{perturb_replicas, AttackConfig};
+use rt_bench::history::{append_history, default_history_path, HistoryEntry};
 use rt_nn::layers::{Conv2d, Conv2dConfig, Flatten, Linear, Relu};
 use rt_nn::{Layer, Sequential};
 use rt_tensor::conv::{conv2d_forward, ConvGeometry};
@@ -48,12 +49,14 @@ struct Args {
     out: PathBuf,
     reps: usize,
     quick: bool,
+    history: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("BENCH_kernels.json");
     let mut reps = 3usize;
     let mut quick = false;
+    let mut history = Some(default_history_path());
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -66,9 +69,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--reps: {e}"))?;
             }
             "--quick" => quick = true,
+            "--history" => {
+                history = Some(PathBuf::from(argv.next().ok_or("--history needs a path")?));
+            }
+            "--no-history" => history = None,
             "--help" | "-h" => {
                 return Err(
-                    "usage: bench_kernels [--out BENCH_kernels.json] [--reps N] [--quick]"
+                    "usage: bench_kernels [--out BENCH_kernels.json] [--reps N] [--quick] \
+                     [--history PATH | --no-history]"
                         .to_string(),
                 )
             }
@@ -78,7 +86,12 @@ fn parse_args() -> Result<Args, String> {
     if reps == 0 {
         return Err("--reps must be at least 1".to_string());
     }
-    Ok(Args { out, reps, quick })
+    Ok(Args {
+        out,
+        reps,
+        quick,
+        history,
+    })
 }
 
 /// One `(workload, thread count)` measurement.
@@ -87,6 +100,10 @@ struct Sample {
     threads: usize,
     best_ms: f64,
     throughput: f64,
+    /// Effective GFLOP/s from the cost model's FLOP count for one call —
+    /// the same number for every workload regardless of its native
+    /// `throughput` unit, so kernels are comparable on one roofline axis.
+    eff_gflops: f64,
 }
 
 /// One workload's thread sweep.
@@ -155,6 +172,7 @@ fn run_workload(
     unit: &'static str,
     reps: usize,
     work_per_call: f64,
+    gflops_per_call: f64,
     mut f: impl FnMut() -> Vec<f32>,
 ) -> Workload {
     let mut samples = Vec::new();
@@ -166,6 +184,7 @@ fn run_workload(
             threads: t,
             best_ms,
             throughput: work_per_call / (best_ms / 1e3),
+            eff_gflops: gflops_per_call / (best_ms / 1e3),
         });
         checksums.push(checksum);
     }
@@ -180,9 +199,10 @@ fn run_workload(
     };
     let speedup_4t = at(4) / at(1);
     rt_obs::console!(
-        "[bench] {name}: 1t {:.2} ms, 4t {:.2} ms ({speedup_4t:.2}x), deterministic={deterministic}",
+        "[bench] {name}: 1t {:.2} ms, 4t {:.2} ms ({speedup_4t:.2}x, {:.2} eff GFLOP/s), deterministic={deterministic}",
         samples[0].best_ms,
-        samples[2].best_ms
+        samples[2].best_ms,
+        samples[2].eff_gflops
     );
     Workload {
         name: name.to_string(),
@@ -257,11 +277,18 @@ fn main() {
     let a = init::normal(&[dim, dim], 0.0, 1.0, &mut rng);
     let b = init::normal(&[dim, dim], 0.0, 1.0, &mut rng);
     let gemm_flops = 2.0 * (dim * dim * dim) as f64 / 1e9;
-    let gemm_wl = run_workload(&format!("gemm_{dim}x{dim}x{dim}"), "gflops", args.reps, gemm_flops, || {
-        let mut out = Tensor::zeros(&[dim, dim]);
-        gemm(&a, &b, Gemm::new(), &mut out).expect("gemm");
-        out.into_vec()
-    });
+    let gemm_wl = run_workload(
+        &format!("gemm_{dim}x{dim}x{dim}"),
+        "gflops",
+        args.reps,
+        gemm_flops,
+        gemm_flops,
+        || {
+            let mut out = Tensor::zeros(&[dim, dim]);
+            gemm(&a, &b, Gemm::new(), &mut out).expect("gemm");
+            out.into_vec()
+        },
+    );
 
     // --- Convolution: batched same-3x3 forward. -----------------------
     let (n, c, co, hw) = (4 * scale, 8, 16, 16);
@@ -274,6 +301,7 @@ fn main() {
         "gflops",
         args.reps,
         conv_flops,
+        conv_flops,
         || conv2d_forward(&x, &w, None, geo).expect("conv").into_vec(),
     );
 
@@ -283,6 +311,11 @@ fn main() {
     let images = init::uniform(&[pgd_batch, 3, 12, 12], 0.0, 1.0, &mut rng);
     let labels: Vec<usize> = (0..pgd_batch).map(|i| i % 10).collect();
     let config = AttackConfig::pgd(8.0 / 255.0, pgd_steps);
+    // Cost-model FLOPs for one attack call: each PGD step runs a forward
+    // plus a backward (2× forward work) over the replica model — a same
+    // 3×3 conv (3→8 on 12×12) and a 1152→10 linear — per image.
+    let pgd_model_flops = (2 * 8 * 3 * 9 * 12 * 12 + 2 * (8 * 12 * 12) * 10) as f64;
+    let pgd_gflops = 3.0 * pgd_model_flops * (pgd_batch * pgd_steps) as f64 / 1e9;
     let pgd_wl = {
         let mut samples = Vec::new();
         let mut checksums = Vec::new();
@@ -303,6 +336,7 @@ fn main() {
                 threads: t,
                 best_ms,
                 throughput: pgd_batch as f64 / (best_ms / 1e3),
+                eff_gflops: pgd_gflops / (best_ms / 1e3),
             });
             checksums.push(checksum);
         }
@@ -371,6 +405,26 @@ fn main() {
         ExitCode::PersistentFailure.exit();
     }
     rt_obs::console!("[bench] wrote {}", args.out.display());
+    if let Some(hist_path) = &args.history {
+        let mut entry = HistoryEntry::new("bench_kernels", args.quick)
+            .metric("cancel_overhead_pct", report.cancel_overhead_pct);
+        for w in &report.workloads {
+            entry = entry.metric(&format!("{}_speedup_4t", w.name), w.speedup_4t);
+            for s in &w.samples {
+                if s.threads == 1 || s.threads == 4 {
+                    entry = entry.metric(
+                        &format!("{}_{}t_eff_gflops", w.name, s.threads),
+                        s.eff_gflops,
+                    );
+                }
+            }
+        }
+        if let Err(e) = append_history(hist_path, &entry) {
+            eprintln!("cannot append history {}: {e}", hist_path.display());
+        } else {
+            rt_obs::console!("[bench] history += {}", hist_path.display());
+        }
+    }
     if !all_deterministic {
         eprintln!("DETERMINISM VIOLATION: some thread count diverged from the serial pool");
         ExitCode::PersistentFailure.exit();

@@ -16,6 +16,7 @@
 //! pool — the benchmark doubles as a bit-identity gate on real layer
 //! shapes.
 
+use rt_bench::history::{append_history, default_history_path, HistoryEntry};
 use rt_nn::layers::{Conv2d, Conv2dConfig, Linear};
 use rt_nn::{ExecCtx, Layer};
 use rt_tensor::rng::rng_from_seed;
@@ -35,12 +36,14 @@ struct Args {
     out: PathBuf,
     reps: usize,
     quick: bool,
+    history: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("BENCH_sparse.json");
     let mut reps = 3usize;
     let mut quick = false;
+    let mut history = Some(default_history_path());
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -53,9 +56,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--reps: {e}"))?;
             }
             "--quick" => quick = true,
+            "--history" => {
+                history = Some(PathBuf::from(argv.next().ok_or("--history needs a path")?));
+            }
+            "--no-history" => history = None,
             "--help" | "-h" => {
                 return Err(
-                    "usage: bench_sparse [--out BENCH_sparse.json] [--reps N] [--quick]"
+                    "usage: bench_sparse [--out BENCH_sparse.json] [--reps N] [--quick] \
+                     [--history PATH | --no-history]"
                         .to_string(),
                 )
             }
@@ -65,7 +73,12 @@ fn parse_args() -> Result<Args, String> {
     if reps == 0 {
         return Err("--reps must be at least 1".to_string());
     }
-    Ok(Args { out, reps, quick })
+    Ok(Args {
+        out,
+        reps,
+        quick,
+        history,
+    })
 }
 
 /// One `(configuration, thread count)` measurement.
@@ -75,6 +88,10 @@ struct Sample {
     sparse_ms: f64,
     /// dense_ms / sparse_ms — what the compiled plan actually buys.
     speedup: f64,
+    /// Effective GFLOP/s of the sparse path: the *dense-equivalent* FLOP
+    /// count (from the plan's cost model) over the sparse wall time, so
+    /// a plan that skips work scores above the hardware's dense roofline.
+    eff_gflops: f64,
 }
 
 /// One masked-layer configuration's sweep.
@@ -158,6 +175,7 @@ fn run_masked_layer(
     layer: &mut dyn Layer,
     mask: Tensor,
     x: &Tensor,
+    units: usize,
 ) -> SparseWorkload {
     layer.params_mut()[0]
         .set_mask(mask)
@@ -167,6 +185,15 @@ fn run_masked_layer(
         .as_ref()
         .map(|p| p.kind.name().to_string())
         .unwrap_or_else(|| "none".to_string());
+    // Dense-equivalent FLOPs of one forward call, from the plan's cost
+    // model (falling back to 2·|W|·units when no plan compiled).
+    let dense_gflops = layer.params()[0]
+        .plan
+        .as_ref()
+        .map(|p| p.dense_flops(units))
+        .unwrap_or(2 * layer.params()[0].data.data().len() as u64 * units as u64)
+        as f64
+        / 1e9;
     let mut samples = Vec::new();
     let mut bit_identical = true;
     let mut sparse_checksums = Vec::new();
@@ -191,14 +218,16 @@ fn run_masked_layer(
             dense_ms,
             sparse_ms,
             speedup: dense_ms / sparse_ms,
+            eff_gflops: dense_gflops / (sparse_ms / 1e3),
         });
     }
     rt_par::set_threads(1);
     let deterministic = sparse_checksums.iter().all(|&c| c == sparse_checksums[0]);
     rt_obs::console!(
-        "[bench] {name} ({granularity} @{sparsity}, {plan_kind}): 1t {:.2}x, 4t {:.2}x, bit_identical={bit_identical}",
+        "[bench] {name} ({granularity} @{sparsity}, {plan_kind}): 1t {:.2}x, 4t {:.2}x ({:.2} eff GFLOP/s), bit_identical={bit_identical}",
         samples[0].speedup,
-        samples[2].speedup
+        samples[2].speedup,
+        samples[2].eff_gflops
     );
     SparseWorkload {
         name: name.to_string(),
@@ -236,11 +265,12 @@ fn encode_json(reps: usize, quick: bool, workloads: &[SparseWorkload]) -> String
         s.push_str("      \"samples\": [\n");
         for (si, sm) in w.samples.iter().enumerate() {
             s.push_str(&format!(
-                "        {{\"threads\": {}, \"dense_ms\": {:.6}, \"sparse_ms\": {:.6}, \"speedup\": {:.4}}}{}\n",
+                "        {{\"threads\": {}, \"dense_ms\": {:.6}, \"sparse_ms\": {:.6}, \"speedup\": {:.4}, \"eff_gflops\": {:.4}}}{}\n",
                 sm.threads,
                 sm.dense_ms,
                 sm.sparse_ms,
                 sm.speedup,
+                sm.eff_gflops,
                 if si + 1 < w.samples.len() { "," } else { "" }
             ));
         }
@@ -288,6 +318,7 @@ fn main() {
             &mut layer,
             mask,
             &x,
+            batch,
         ));
     }
 
@@ -305,6 +336,8 @@ fn main() {
             &mut conv,
             mask,
             &xc,
+            // Same-3x3 conv: one GEMM unit per output pixel per sample.
+            n * hw * hw,
         ));
     }
 
@@ -316,6 +349,24 @@ fn main() {
         ExitCode::PersistentFailure.exit();
     }
     rt_obs::console!("[bench] wrote {}", args.out.display());
+    if let Some(hist_path) = &args.history {
+        let mut entry = HistoryEntry::new("bench_sparse", args.quick);
+        for w in &workloads {
+            let key = format!("{}_{}_s{:.2}", w.name, w.granularity, w.sparsity);
+            for s in &w.samples {
+                if s.threads == 1 || s.threads == 4 {
+                    entry = entry
+                        .metric(&format!("{key}_{}t_speedup", s.threads), s.speedup)
+                        .metric(&format!("{key}_{}t_eff_gflops", s.threads), s.eff_gflops);
+                }
+            }
+        }
+        if let Err(e) = append_history(hist_path, &entry) {
+            eprintln!("cannot append history {}: {e}", hist_path.display());
+        } else {
+            rt_obs::console!("[bench] history += {}", hist_path.display());
+        }
+    }
     if !all_identical {
         eprintln!("BIT DIVERGENCE: sparse plan output differs from masked-dense");
         ExitCode::PersistentFailure.exit();

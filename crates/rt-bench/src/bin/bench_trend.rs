@@ -1,0 +1,183 @@
+//! **bench_trend** — the perf-regression gate over the bench history.
+//!
+//! Reads `results/BENCH_history.jsonl` (see [`rt_bench::history`]),
+//! compares each bench's latest run against the trailing median of its
+//! prior runs with a noise band (see [`rt_bench::trend`] for the math),
+//! prints a verdict table, and **exits nonzero when any metric
+//! regressed** — wire it after the bench steps in CI and a perf
+//! regression fails the build like a test failure.
+//!
+//! ```text
+//! bench_trend [--history PATH] [--bench NAME] [--window N]
+//!             [--noise-floor F] [--inject-regression FACTOR]
+//! ```
+//!
+//! Runs are grouped by `(bench, quick)` so reduced `--quick` workloads
+//! never baseline full-size ones. A bench with no prior runs is reported
+//! `skipped`, never failed — the gate self-seeds from the first two runs.
+//!
+//! `--inject-regression 0.8` synthetically worsens the latest run's
+//! metrics by 20% (throughputs scaled down, latencies up) *after*
+//! loading — the self-test CI uses it to prove the gate actually fires.
+
+use rt_bench::history::{default_history_path, load_history, HistoryEntry};
+use rt_bench::trend::{direction_for, evaluate, Direction, Status, TrendCfg, Verdict};
+use rt_transfer::runner::ExitCode;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+struct Args {
+    history: PathBuf,
+    bench: Option<String>,
+    cfg: TrendCfg,
+    inject: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut history = default_history_path();
+    let mut bench = None;
+    let mut cfg = TrendCfg::default();
+    let mut inject = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--history" => history = PathBuf::from(argv.next().ok_or("--history needs a path")?),
+            "--bench" => bench = Some(argv.next().ok_or("--bench needs a name")?),
+            "--window" => {
+                cfg.window = argv
+                    .next()
+                    .ok_or("--window needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
+            "--noise-floor" => {
+                cfg.noise_floor = argv
+                    .next()
+                    .ok_or("--noise-floor needs a fraction")?
+                    .parse()
+                    .map_err(|e| format!("--noise-floor: {e}"))?;
+            }
+            "--inject-regression" => {
+                inject = Some(
+                    argv.next()
+                        .ok_or("--inject-regression needs a factor")?
+                        .parse()
+                        .map_err(|e| format!("--inject-regression: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_trend [--history PATH] [--bench NAME] [--window N] \
+                     [--noise-floor F] [--inject-regression FACTOR]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        history,
+        bench,
+        cfg,
+        inject,
+    })
+}
+
+/// Worsens every metric of `entry` by `factor` (< 1.0): higher-is-better
+/// values are scaled down, lower-is-better up.
+fn inject_regression(entry: &mut HistoryEntry, factor: f64) {
+    for (key, value) in entry.metrics.iter_mut() {
+        *value = match direction_for(key) {
+            Direction::HigherIsBetter => *value * factor,
+            Direction::LowerIsBetter => *value / factor,
+        };
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::Usage.exit();
+        }
+    };
+    let (entries, torn) = match load_history(&args.history) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("[trend] cannot read {}: {e}", args.history.display());
+            ExitCode::Usage.exit();
+        }
+    };
+    if torn > 0 {
+        eprintln!("[trend] {torn} torn line(s) in {} skipped", args.history.display());
+    }
+    if entries.is_empty() {
+        println!(
+            "[trend] no history at {} — run a bench_* binary first",
+            args.history.display()
+        );
+        return;
+    }
+
+    // Group runs by (bench, quick); within a group the file order is the
+    // time order.
+    let mut groups: BTreeMap<(String, bool), Vec<HistoryEntry>> = BTreeMap::new();
+    for e in entries {
+        if let Some(filter) = &args.bench {
+            if &e.bench != filter {
+                continue;
+            }
+        }
+        groups.entry((e.bench.clone(), e.quick)).or_default().push(e);
+    }
+
+    let mut verdicts: Vec<(String, Verdict)> = Vec::new();
+    for ((bench, quick), runs) in &groups {
+        let (latest, prior) = runs.split_last().expect("group is non-empty");
+        let mut latest = latest.clone();
+        if let Some(factor) = args.inject {
+            inject_regression(&mut latest, factor);
+        }
+        let label = if *quick {
+            format!("{bench} (quick)")
+        } else {
+            bench.clone()
+        };
+        for (key, &value) in &latest.metrics {
+            let series: Vec<f64> = prior
+                .iter()
+                .filter_map(|e| e.metrics.get(key).copied())
+                .collect();
+            verdicts.push((label.clone(), evaluate(key, value, &series, &args.cfg)));
+        }
+    }
+
+    println!(
+        "| {:<22} | {:<44} | {:>12} | {:>12} | {:>10} | {:>8} | {:<9} |",
+        "bench", "metric", "latest", "baseline", "band", "delta%", "status"
+    );
+    println!("|{0:-<24}|{0:-<46}|{0:-<14}|{0:-<14}|{0:-<12}|{0:-<10}|{0:-<11}|", "");
+    let mut regressed = 0usize;
+    let mut judged = 0usize;
+    for (bench, v) in &verdicts {
+        if v.status != Status::Skipped {
+            judged += 1;
+        }
+        if v.status == Status::Regressed {
+            regressed += 1;
+        }
+        println!(
+            "| {:<22} | {:<44} | {:>12.4} | {:>12.4} | {:>10.4} | {:>+8.2} | {:<9} |",
+            bench, v.key, v.latest, v.baseline, v.band, v.delta_pct, v.status
+        );
+    }
+    println!(
+        "\n[trend] {} metric(s), {judged} judged, {regressed} regression(s)",
+        verdicts.len()
+    );
+    if regressed > 0 {
+        eprintln!("PERF REGRESSION: {regressed} metric(s) worse than the trailing median + noise band");
+        ExitCode::PersistentFailure.exit();
+    }
+}

@@ -14,21 +14,27 @@
 //! With no file arguments, every `*.obs.jsonl` under `results/` is used.
 //! Torn final lines and unknown event kinds are tolerated (counted and
 //! reported, never fatal) so a crashed run's stream still yields a report.
+//!
+//! Unless `--no-history` is passed, a summary line (span coverage, wall
+//! ms, torn lines) is appended to the bench history for `bench_trend`.
 
+use rt_bench::history::{append_history, default_history_path, HistoryEntry};
 use rt_obs::report::{aggregate_streams, parse_jsonl};
-use std::path::PathBuf;
 use rt_transfer::runner::ExitCode;
+use std::path::PathBuf;
 
 struct Args {
     files: Vec<PathBuf>,
     out: PathBuf,
     top_k: usize,
+    history: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut files = Vec::new();
     let mut out = PathBuf::from("BENCH_obs.json");
     let mut top_k = 5usize;
+    let mut history = Some(default_history_path());
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -42,9 +48,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--top-k: {e}"))?;
             }
+            "--history" => {
+                history = Some(PathBuf::from(argv.next().ok_or("--history needs a path")?));
+            }
+            "--no-history" => history = None,
             "--help" | "-h" => {
-                return Err("usage: obs_report [files.jsonl ...] [--out BENCH_obs.json] [--top-k N]"
-                    .to_string())
+                return Err(
+                    "usage: obs_report [files.jsonl ...] [--out BENCH_obs.json] [--top-k N] \
+                     [--history PATH | --no-history]"
+                        .to_string(),
+                )
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -73,7 +86,12 @@ fn parse_args() -> Result<Args, String> {
             "no input: pass telemetry JSONL files or place *.obs.jsonl under results/".to_string(),
         );
     }
-    Ok(Args { files, out, top_k })
+    Ok(Args {
+        files,
+        out,
+        top_k,
+        history,
+    })
 }
 
 fn main() {
@@ -86,6 +104,7 @@ fn main() {
     };
 
     let mut streams = Vec::new();
+    let mut torn_total = 0usize;
     for path in &args.files {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -101,6 +120,7 @@ fn main() {
                 path.display()
             );
         }
+        torn_total += malformed;
         eprintln!(
             "[obs_report] {}: {} event(s)",
             path.display(),
@@ -109,8 +129,27 @@ fn main() {
         streams.push(events);
     }
 
-    let snapshot = aggregate_streams(&streams);
+    let mut snapshot = aggregate_streams(&streams);
+    // Parse-time damage belongs in the snapshot (and its rendered
+    // warning), not just in per-file stderr chatter.
+    snapshot.torn_lines += torn_total;
     println!("{}", snapshot.render_table_top_k(args.top_k));
+    println!("torn_lines: {}", snapshot.torn_lines);
+
+    if let Some(hist_path) = &args.history {
+        let mut entry = HistoryEntry::new("obs_report", false)
+            .metric("wall_ms", snapshot.wall_ms)
+            .metric("torn_lines", snapshot.torn_lines as f64);
+        if let Some(cov) = snapshot.coverage() {
+            entry = entry.metric("span_coverage", cov);
+        }
+        if let Err(e) = append_history(hist_path, &entry) {
+            eprintln!(
+                "[obs_report] cannot append history {}: {e}",
+                hist_path.display()
+            );
+        }
+    }
 
     match serde_json::to_vec_pretty(&snapshot) {
         Ok(bytes) => {

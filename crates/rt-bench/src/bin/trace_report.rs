@@ -1,0 +1,229 @@
+//! **trace_report** — self-contained top-k self-time summarizer for
+//! Chrome `trace_event` JSON files (the `RT_OBS_TRACE=path.json` output).
+//!
+//! ```text
+//! trace_report trace.json [--top-k N]
+//! ```
+//!
+//! Reads the exported trace, reconstructs per-thread nesting from the
+//! `ts`/`dur` intervals, and prints the top-k span names by **self
+//! time** — the wall time inside a span minus its direct children, i.e.
+//! where the run actually burned its cycles. The same numbers Perfetto
+//! shows, without leaving the terminal.
+
+use rt_transfer::runner::ExitCode;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Aggregated stats for one span name.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct NameStat {
+    count: u64,
+    total_us: i64,
+    self_us: i64,
+}
+
+/// One complete ("X") event lifted out of the JSON.
+#[derive(Debug, Clone)]
+struct XEvent {
+    name: String,
+    ts: i64,
+    dur: i64,
+}
+
+/// Pulls the event array out of either the object form
+/// (`{"traceEvents": [...]}`) or a bare JSON array.
+fn trace_events(doc: &Value) -> Option<&Vec<Value>> {
+    match doc {
+        Value::Array(a) => Some(a),
+        Value::Object(o) => o.get("traceEvents").and_then(Value::as_array),
+        _ => None,
+    }
+}
+
+/// Computes per-name self-time stats from a trace document.
+///
+/// Within each thread track, events are swept in start order with a
+/// nesting stack; every span's duration is subtracted from its direct
+/// parent's self time. The exporter guarantees intervals on one track
+/// are pairwise nested-or-disjoint, which is all the sweep needs.
+fn summarize(doc: &Value) -> BTreeMap<String, NameStat> {
+    let mut by_tid: BTreeMap<u64, Vec<XEvent>> = BTreeMap::new();
+    for e in trace_events(doc).into_iter().flatten() {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        let (Some(ts), Some(dur)) = (
+            e.get("ts").and_then(Value::as_i64),
+            e.get("dur").and_then(Value::as_i64),
+        ) else {
+            continue;
+        };
+        by_tid
+            .entry(e.get("tid").and_then(Value::as_u64).unwrap_or(0))
+            .or_default()
+            .push(XEvent {
+                name: e
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                ts,
+                dur,
+            });
+    }
+
+    let mut stats: BTreeMap<String, NameStat> = BTreeMap::new();
+    for events in by_tid.values_mut() {
+        // Start order; at equal starts the longer (outer) span first, so
+        // the stack sees parents before their children.
+        events.sort_by(|a, b| a.ts.cmp(&b.ts).then(b.dur.cmp(&a.dur)));
+        // Stack of (end_ts, name) for the currently open spans.
+        let mut open: Vec<(i64, String)> = Vec::new();
+        for e in events.iter() {
+            while open.last().is_some_and(|&(end, _)| end <= e.ts) {
+                open.pop();
+            }
+            if let Some((_, parent)) = open.last() {
+                // A child's duration is not its parent's self time.
+                stats.entry(parent.clone()).or_default().self_us -= e.dur;
+            }
+            let s = stats.entry(e.name.clone()).or_default();
+            s.count += 1;
+            s.total_us += e.dur;
+            s.self_us += e.dur;
+            open.push((e.ts + e.dur, e.name.clone()));
+        }
+    }
+    stats
+}
+
+fn main() {
+    let mut path = None;
+    let mut top_k = 10usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--top-k" => {
+                top_k = match argv.next().as_deref().map(str::parse) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("--top-k needs a number");
+                        ExitCode::Usage.exit();
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: trace_report trace.json [--top-k N]");
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                ExitCode::Usage.exit();
+            }
+            file => path = Some(file.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_report trace.json [--top-k N]");
+        ExitCode::Usage.exit();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[trace_report] cannot read {path}: {e}");
+            ExitCode::Usage.exit();
+        }
+    };
+    let doc: Value = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("[trace_report] {path} is not valid trace JSON: {e}");
+            ExitCode::Usage.exit();
+        }
+    };
+    let stats = summarize(&doc);
+    if stats.is_empty() {
+        println!("[trace_report] no complete (\"X\") events in {path}");
+        return;
+    }
+    let total_self: i64 = stats.values().map(|s| s.self_us).sum();
+    let mut rows: Vec<(&String, &NameStat)> = stats.iter().collect();
+    rows.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us));
+    println!(
+        "| {:<32} | {:>7} | {:>12} | {:>12} | {:>6} |",
+        "span", "count", "self ms", "total ms", "self%"
+    );
+    println!("|{0:-<34}|{0:-<9}|{0:-<14}|{0:-<14}|{0:-<8}|", "");
+    for (name, s) in rows.iter().take(top_k) {
+        println!(
+            "| {:<32} | {:>7} | {:>12.3} | {:>12.3} | {:>5.1}% |",
+            name,
+            s.count,
+            s.self_us as f64 / 1e3,
+            s.total_us as f64 / 1e3,
+            if total_self > 0 {
+                100.0 * s.self_us as f64 / total_self as f64
+            } else {
+                0.0
+            }
+        );
+    }
+    println!(
+        "\n[trace_report] {} span name(s), {:.3} ms total self time",
+        rows.len(),
+        total_self as f64 / 1e3
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // outer [0,100) ⊃ mid [10,60) ⊃ inner [20,30); leaf [70,80) is a
+        // second child of outer. Self: outer 100−50−10=40, mid 50−10=40,
+        // inner 10, leaf 10.
+        let doc = json!({ "traceEvents": [
+            {"ph": "X", "name": "outer", "tid": 1, "ts": 0,  "dur": 100},
+            {"ph": "X", "name": "mid",   "tid": 1, "ts": 10, "dur": 50},
+            {"ph": "X", "name": "inner", "tid": 1, "ts": 20, "dur": 10},
+            {"ph": "X", "name": "leaf",  "tid": 1, "ts": 70, "dur": 10},
+            {"ph": "M", "name": "thread_name", "tid": 1},
+        ]});
+        let stats = summarize(&doc);
+        assert_eq!(stats["outer"].self_us, 40);
+        assert_eq!(stats["outer"].total_us, 100);
+        assert_eq!(stats["mid"].self_us, 40);
+        assert_eq!(stats["inner"].self_us, 10);
+        assert_eq!(stats["leaf"].self_us, 10);
+    }
+
+    #[test]
+    fn threads_are_independent_and_names_aggregate() {
+        // The same name on two tracks: counts and times sum; a span on
+        // track 2 is never treated as a child of track 1's open span.
+        let doc = json!([
+            {"ph": "X", "name": "work", "tid": 1, "ts": 0, "dur": 50},
+            {"ph": "X", "name": "work", "tid": 2, "ts": 10, "dur": 20},
+        ]);
+        let stats = summarize(&doc);
+        assert_eq!(stats["work"].count, 2);
+        assert_eq!(stats["work"].total_us, 70);
+        assert_eq!(stats["work"].self_us, 70);
+    }
+
+    #[test]
+    fn tolerates_missing_fields_and_non_x_events() {
+        let doc = json!({ "traceEvents": [
+            {"ph": "i", "name": "instant", "ts": 5},
+            {"ph": "X", "name": "no-dur", "ts": 5},
+            {"ph": "X", "name": "ok", "tid": 3, "ts": 0, "dur": 7},
+        ]});
+        let stats = summarize(&doc);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats["ok"].self_us, 7);
+    }
+}

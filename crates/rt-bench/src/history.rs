@@ -1,0 +1,149 @@
+//! Append-only bench-history store.
+//!
+//! Every `BENCH_*.json` writer also appends one line of run metadata +
+//! key metrics to `results/BENCH_history.jsonl`, giving `bench_trend` a
+//! longitudinal record to gate regressions against. The file is JSONL so
+//! appends are atomic at line granularity and a torn final line (crash
+//! mid-append) costs exactly one record.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// History format version.
+pub const HISTORY_VERSION: u32 = 1;
+
+/// One bench run: identification + the scalar metrics worth trending.
+///
+/// `metrics` is a `BTreeMap` so serialized lines are key-sorted and
+/// diff-friendly; keys follow the direction convention documented in
+/// [`crate::trend::direction_for`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HistoryEntry {
+    /// Format version ([`HISTORY_VERSION`]).
+    pub v: u32,
+    /// Bench id (`bench_kernels`, `bench_sparse`, …).
+    pub bench: String,
+    /// Wall-clock timestamp, ms since the unix epoch.
+    pub unix_ms: u64,
+    /// `std::thread::available_parallelism` on the recording host —
+    /// trend comparisons across different machines are meaningless, and
+    /// this makes the mismatch visible.
+    pub host_parallelism: usize,
+    /// Whether the run used a reduced `--quick` workload.
+    pub quick: bool,
+    /// Key metrics, name → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl HistoryEntry {
+    /// A new entry stamped with the current time and host parallelism.
+    pub fn new(bench: &str, quick: bool) -> HistoryEntry {
+        HistoryEntry {
+            v: HISTORY_VERSION,
+            bench: bench.to_string(),
+            unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            host_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            quick,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style metric insert.
+    pub fn metric(mut self, key: &str, value: f64) -> HistoryEntry {
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+}
+
+/// Default history location, shared by every writer and `bench_trend`.
+pub fn default_history_path() -> PathBuf {
+    PathBuf::from("results/BENCH_history.jsonl")
+}
+
+/// Appends one entry as a single JSONL line, creating parent directories
+/// as needed.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the directory or file cannot be
+/// created/appended.
+pub fn append_history(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let line = serde_json::to_string(entry)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{line}")
+}
+
+/// Loads a history file, tolerating torn/malformed lines (each is counted,
+/// not fatal — the trend gate must survive a crash mid-append).
+///
+/// Returns `(entries, torn_lines)`; a missing file is an empty history.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error for anything other than a missing
+/// file.
+pub fn load_history(path: &Path) -> std::io::Result<(Vec<HistoryEntry>, usize)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    };
+    let mut entries = Vec::new();
+    let mut torn = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<HistoryEntry>(line) {
+            Ok(e) => entries.push(e),
+            Err(_) => torn += 1,
+        }
+    }
+    Ok((entries, torn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_tolerates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("rt-hist-{}", std::process::id()));
+        let path = dir.join("BENCH_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let (empty, torn) = load_history(&path).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(torn, 0);
+
+        let a = HistoryEntry::new("bench_kernels", true).metric("gemm_1t_gflops", 3.5);
+        let b = HistoryEntry::new("bench_kernels", true).metric("gemm_1t_gflops", 3.7);
+        append_history(&path, &a).unwrap();
+        append_history(&path, &b).unwrap();
+        // Torn tail: a crash mid-append leaves a partial line.
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"v\":1,\"bench\":\"ben").unwrap();
+        }
+        let (loaded, torn) = load_history(&path).unwrap();
+        assert_eq!(loaded, vec![a, b]);
+        assert_eq!(torn, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

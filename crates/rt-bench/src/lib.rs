@@ -20,6 +20,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
+pub mod trend;
+
 use rt_data::{Task, TaskFamily};
 use rt_models::ResNetConfig;
 use rt_transfer::experiment::{ExperimentRecord, Preset};

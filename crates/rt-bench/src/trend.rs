@@ -1,0 +1,264 @@
+//! Regression detection over bench history: latest value vs the trailing
+//! median of prior runs, with a noise band so ordinary jitter never trips
+//! the gate.
+//!
+//! Std-only by design — the math is testable without the workspace's
+//! serde stack.
+//!
+//! # The noise-band math
+//!
+//! For a metric with prior values `p_1..p_n` (most recent last) and a
+//! latest value `x`:
+//!
+//! * baseline `B` = median of the last `window` priors;
+//! * spread = MAD (median absolute deviation from `B`), a robust stand-in
+//!   for σ that one outlier run cannot inflate;
+//! * band = `max(noise_floor · |B|, mad_mult · MAD)` — the floor keeps
+//!   short histories (MAD ≈ 0 with 1–2 priors) from flagging ordinary
+//!   run-to-run jitter;
+//! * regression ⇔ `x` is worse than `B` by more than the band, in the
+//!   metric's direction ([`direction_for`]).
+//!
+//! Fewer than one prior value → [`Status::Skipped`]: a gate cannot judge
+//! a metric it has never seen.
+
+use std::fmt;
+
+/// Trend-gate tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendCfg {
+    /// How many trailing prior values form the baseline window.
+    pub window: usize,
+    /// Relative band floor: a change within ±`noise_floor · |baseline|`
+    /// is never a regression.
+    pub noise_floor: f64,
+    /// MAD multiplier for the adaptive part of the band.
+    pub mad_mult: f64,
+}
+
+impl Default for TrendCfg {
+    fn default() -> TrendCfg {
+        TrendCfg {
+            window: 8,
+            noise_floor: 0.10,
+            mad_mult: 3.0,
+        }
+    }
+}
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Latencies, overheads, error counts: smaller is better.
+    LowerIsBetter,
+    /// Throughputs, accuracies, coverage: bigger is better.
+    HigherIsBetter,
+}
+
+/// Infers a metric's direction from its key: suffixes `_ms`, `_pct`, and
+/// `_lines` mark lower-is-better (latencies, overhead percentages, torn
+/// line counts); everything else (throughputs, GFLOP/s, speedups) is
+/// higher-is-better.
+pub fn direction_for(key: &str) -> Direction {
+    if key.ends_with("_ms") || key.ends_with("_pct") || key.ends_with("_lines") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::HigherIsBetter
+    }
+}
+
+/// Gate outcome for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Not enough history to judge.
+    Skipped,
+    /// Within the noise band.
+    Ok,
+    /// Better than baseline by more than the band.
+    Improved,
+    /// Worse than baseline by more than the band — the gate fails.
+    Regressed,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Status::Skipped => "skipped",
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Regressed => "REGRESSED",
+        })
+    }
+}
+
+/// One metric's verdict: the inputs that produced it ride along so the
+/// report is self-explanatory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Metric key.
+    pub key: String,
+    /// Latest observed value.
+    pub latest: f64,
+    /// Trailing-median baseline (0.0 when skipped).
+    pub baseline: f64,
+    /// Allowed deviation before the gate reacts.
+    pub band: f64,
+    /// Relative change vs baseline, percent (0.0 when skipped or the
+    /// baseline is 0).
+    pub delta_pct: f64,
+    /// The outcome.
+    pub status: Status,
+}
+
+/// Median of a slice (mean of the two central order statistics for even
+/// lengths). Empty input → 0.0.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation around `center`.
+pub fn mad(xs: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// Judges `latest` against the trailing window of `prior` values
+/// (ordered oldest → newest) for metric `key`.
+pub fn evaluate(key: &str, latest: f64, prior: &[f64], cfg: &TrendCfg) -> Verdict {
+    if prior.is_empty() || cfg.window == 0 {
+        return Verdict {
+            key: key.to_string(),
+            latest,
+            baseline: 0.0,
+            band: 0.0,
+            delta_pct: 0.0,
+            status: Status::Skipped,
+        };
+    }
+    let window = &prior[prior.len().saturating_sub(cfg.window)..];
+    let baseline = median(window);
+    let band = (cfg.noise_floor * baseline.abs()).max(cfg.mad_mult * mad(window, baseline));
+    let delta = latest - baseline;
+    let delta_pct = if baseline.abs() > 0.0 {
+        100.0 * delta / baseline.abs()
+    } else {
+        0.0
+    };
+    let worse = match direction_for(key) {
+        Direction::LowerIsBetter => delta > band,
+        Direction::HigherIsBetter => delta < -band,
+    };
+    let better = match direction_for(key) {
+        Direction::LowerIsBetter => delta < -band,
+        Direction::HigherIsBetter => delta > band,
+    };
+    Verdict {
+        key: key.to_string(),
+        latest,
+        baseline,
+        band,
+        delta_pct,
+        status: if worse {
+            Status::Regressed
+        } else if better {
+            Status::Improved
+        } else {
+            Status::Ok
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 9.0]), 5.0);
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(mad(&[1.0, 5.0, 9.0], 5.0), 4.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0], 5.0), 0.0);
+    }
+
+    #[test]
+    fn direction_suffixes() {
+        assert_eq!(direction_for("gemm_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("cancel_overhead_pct"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("torn_lines"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("gemm_1t_gflops"), Direction::HigherIsBetter);
+        assert_eq!(direction_for("speedup"), Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn no_history_skips() {
+        let v = evaluate("x_gflops", 3.0, &[], &TrendCfg::default());
+        assert_eq!(v.status, Status::Skipped);
+    }
+
+    #[test]
+    fn single_prior_uses_the_noise_floor() {
+        // One prior → MAD = 0, so the band is the 10% floor: a 9% dip
+        // passes, a 20% dip fails.
+        let cfg = TrendCfg::default();
+        let ok = evaluate("t_gflops", 9.1, &[10.0], &cfg);
+        assert_eq!(ok.status, Status::Ok, "{ok:?}");
+        let bad = evaluate("t_gflops", 8.0, &[10.0], &cfg);
+        assert_eq!(bad.status, Status::Regressed, "{bad:?}");
+        assert!((bad.baseline - 10.0).abs() < 1e-12);
+        assert!((bad.band - 1.0).abs() < 1e-12);
+        assert!((bad.delta_pct + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_flips_the_gate() {
+        let cfg = TrendCfg::default();
+        // Latency up 20% → regression; throughput up 20% → improvement.
+        assert_eq!(
+            evaluate("step_ms", 12.0, &[10.0], &cfg).status,
+            Status::Regressed
+        );
+        assert_eq!(
+            evaluate("step_gflops", 12.0, &[10.0], &cfg).status,
+            Status::Improved
+        );
+    }
+
+    #[test]
+    fn mad_widens_the_band_for_noisy_series() {
+        // Noisy history (MAD 1.0 around median 10): band = 3·1 = 3, so a
+        // value that the 10% floor alone would flag still passes.
+        let cfg = TrendCfg::default();
+        let noisy = [9.0, 11.0, 10.0, 12.0, 8.0];
+        let v = evaluate("x_gflops", 7.5, &noisy, &cfg);
+        assert_eq!(v.status, Status::Ok, "{v:?}");
+        // But a collapse beyond the MAD band still trips.
+        let bad = evaluate("x_gflops", 5.0, &noisy, &cfg);
+        assert_eq!(bad.status, Status::Regressed, "{bad:?}");
+    }
+
+    #[test]
+    fn window_limits_the_baseline() {
+        let cfg = TrendCfg {
+            window: 3,
+            ..TrendCfg::default()
+        };
+        // Old slow values fall outside the window; baseline is the
+        // recent fast regime, so a return to the old speed regresses.
+        let prior = [1.0, 1.0, 1.0, 10.0, 10.0, 10.0];
+        let v = evaluate("x_gflops", 1.0, &prior, &cfg);
+        assert_eq!(v.baseline, 10.0);
+        assert_eq!(v.status, Status::Regressed);
+    }
+}

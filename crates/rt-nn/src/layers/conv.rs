@@ -200,7 +200,7 @@ impl Layer for Conv2d {
         // are bit-identical to the serial loop for every thread count, and
         // (when a sparse plan is active) to the dense masked lowering.
         let plan = self.active_plan(ctx);
-        let t0 = std::time::Instant::now();
+        let t0 = super::exec_timer();
         let out = conv2d_forward_planned(
             input,
             &w_mat,
@@ -208,9 +208,19 @@ impl Layer for Conv2d {
             self.geo,
             plan.as_deref(),
         )?;
-        if let Some(plan) = &plan {
-            super::observe_sparse_call(plan, n * h_out * w_out, t0.elapsed().as_secs_f64() * 1e3);
-        }
+        // Lowered GEMM batch dim: one unit per output pixel per sample.
+        let units = n * h_out * w_out;
+        let weight_len = self.weight.data.data().len();
+        let col = weight_len / self.out_channels; // C·k·k patch width
+        super::observe_exec(
+            &self.weight.name,
+            plan.as_deref(),
+            units,
+            1,
+            weight_len,
+            units * (col + self.out_channels),
+            t0,
+        );
         self.cache = Some(ConvCache {
             input: input.clone(),
             h_out,
@@ -240,7 +250,7 @@ impl Layer for Conv2d {
         // partials are folded in sample order, so gradients match the old
         // serial loop bit-for-bit.
         let plan = self.active_plan(ctx);
-        let t0 = std::time::Instant::now();
+        let t0 = super::exec_timer();
         let (grad_input, grad_w_mat, grad_bias) = conv2d_backward_planned(
             &cache.input,
             grad_output,
@@ -249,9 +259,18 @@ impl Layer for Conv2d {
             self.bias.is_some(),
             plan.as_deref(),
         )?;
-        if let Some(plan) = &plan {
-            super::observe_sparse_call(plan, n * h_out * w_out, t0.elapsed().as_secs_f64() * 1e3);
-        }
+        let units = n * h_out * w_out;
+        let weight_len = self.weight.data.data().len();
+        let col = weight_len / self.out_channels;
+        super::observe_exec(
+            &self.weight.name,
+            plan.as_deref(),
+            units,
+            2,
+            weight_len,
+            units * (col + self.out_channels),
+            t0,
+        );
         // Accumulate into the [O, C, k, k] gradient (identical flat layout).
         for (dst, &src) in self
             .weight

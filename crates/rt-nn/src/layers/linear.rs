@@ -117,7 +117,7 @@ impl Layer for Linear {
                 // y = x Wᵀ over the live entries only. Dead output
                 // features stay exactly +0.0, matching the zero-skipping
                 // dense kernel's accumulator.
-                let t0 = std::time::Instant::now();
+                let t0 = super::exec_timer();
                 sparse_kernels::csr_dot_xt(
                     input.data(),
                     n,
@@ -125,14 +125,22 @@ impl Layer for Linear {
                     &plan,
                     out.data_mut(),
                 );
-                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+                super::observe_exec(
+                    &self.weight.name,
+                    Some(&plan),
+                    n,
+                    1,
+                    self.out_features * self.in_features,
+                    n * (self.in_features + self.out_features),
+                    t0,
+                );
             }
             Some(plan) => {
                 // Compact: pack live rows × live columns of W into a small
                 // dense matrix, gather the matching input columns, run a
                 // plain GEMM, and scatter outputs back (dead features
                 // zero-filled).
-                let t0 = std::time::Instant::now();
+                let t0 = super::exec_timer();
                 let (lr, lg) = (&plan.live_rows, &plan.live_col_groups);
                 let mut pw = scratch::take(lr.len() * lg.len());
                 sparse_kernels::pack_matrix_groups(self.weight.data.data(), &plan, &mut pw);
@@ -152,11 +160,28 @@ impl Layer for Linear {
                 scratch::put(pw_t.into_vec());
                 scratch::put(xp_t.into_vec());
                 scratch::put(yp_t.into_vec());
-                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+                super::observe_exec(
+                    &self.weight.name,
+                    Some(&plan),
+                    n,
+                    1,
+                    self.out_features * self.in_features,
+                    n * (self.in_features + self.out_features),
+                    t0,
+                );
             }
             None => {
                 // y = x Wᵀ + b through the unified gemm entry point.
                 linalg::gemm(input, &self.weight.data, Gemm::new().trans_b(), &mut out)?;
+                super::observe_exec(
+                    &self.weight.name,
+                    None,
+                    n,
+                    1,
+                    self.out_features * self.in_features,
+                    n * (self.in_features + self.out_features),
+                    None,
+                );
             }
         }
         out.add_row_inplace(&self.bias.data)?;
@@ -185,7 +210,7 @@ impl Layer for Linear {
         let mut gx = Tensor::zeros(&[n, self.in_features]);
         match self.active_plan(ctx) {
             Some(plan) if plan.kind == PlanKind::Csr => {
-                let t0 = std::time::Instant::now();
+                let t0 = super::exec_timer();
                 // dW += dYᵀ X at live entries only (dead entries are left
                 // untouched; Param::mask_grad defines them as zero).
                 sparse_kernels::csr_grad_atb(
@@ -203,10 +228,18 @@ impl Layer for Linear {
                     &plan,
                     gx.data_mut(),
                 );
-                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+                super::observe_exec(
+                    &self.weight.name,
+                    Some(&plan),
+                    n,
+                    2,
+                    self.out_features * self.in_features,
+                    n * (self.in_features + self.out_features),
+                    t0,
+                );
             }
             Some(plan) => {
-                let t0 = std::time::Instant::now();
+                let t0 = super::exec_timer();
                 let (lr, lg) = (&plan.live_rows, &plan.live_col_groups);
                 let mut pw = scratch::take(lr.len() * lg.len());
                 sparse_kernels::pack_matrix_groups(self.weight.data.data(), &plan, &mut pw);
@@ -259,7 +292,15 @@ impl Layer for Linear {
                 scratch::put(xp_t.into_vec());
                 scratch::put(gwp_t.into_vec());
                 scratch::put(gxp_t.into_vec());
-                super::observe_sparse_call(&plan, n, t0.elapsed().as_secs_f64() * 1e3);
+                super::observe_exec(
+                    &self.weight.name,
+                    Some(&plan),
+                    n,
+                    2,
+                    self.out_features * self.in_features,
+                    n * (self.in_features + self.out_features),
+                    t0,
+                );
             }
             None => {
                 // dW += dYᵀ X ; dX = dY W.
@@ -270,6 +311,15 @@ impl Layer for Linear {
                     &mut self.weight.grad,
                 )?;
                 linalg::gemm(grad_output, &self.weight.data, Gemm::new(), &mut gx)?;
+                super::observe_exec(
+                    &self.weight.name,
+                    None,
+                    n,
+                    2,
+                    self.out_features * self.in_features,
+                    n * (self.in_features + self.out_features),
+                    None,
+                );
             }
         }
         Ok(gx)

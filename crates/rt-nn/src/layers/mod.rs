@@ -12,14 +12,69 @@ mod flatten;
 mod linear;
 mod pool;
 
-/// Records per-call sparse-execution telemetry (no-ops when metrics are
-/// disabled): how long the planned kernel took and how many multiply-adds
-/// the plan skipped relative to a dense pass over the same shapes.
-pub(crate) fn observe_sparse_call(plan: &rt_sparse::SparsePlan, batch: usize, elapsed_ms: f64) {
-    if rt_obs::metrics_enabled() {
-        rt_obs::histogram("sparse.gemm_ms").observe(elapsed_ms);
-        rt_obs::counter("sparse.flops_saved").add(plan.flops_saved(batch));
+/// Records one layer execution into the cost registry (and, for planned
+/// sparse kernels, the sparse timing metrics). No-op below telemetry
+/// level `all` — disabled sites pay one relaxed atomic load.
+///
+/// The cost model is integer-exact so reports cross-check against
+/// `rt-prune::stats::sparse_exec_report` with `==`:
+///
+/// * `flops = passes · plan_flops(units)` when a compiled plan executed,
+///   else `passes · 2 · weight_len · units` (the dense GEMM count);
+/// * `dense_flops` is always the dense count — the sparse saving is the
+///   gap between the two;
+/// * `bytes = 4 · passes · (io_elems + live_weights)`: every f32 moved is
+///   4 bytes, activations (`io_elems`) plus the weights the executed
+///   kernel actually reads (`plan.live_weights()`, or the whole matrix
+///   when running dense).
+///
+/// `units` is the GEMM batch dimension (rows for linear, output pixels
+/// for conv); `passes` is 1 for forward and 2 for backward (dW and dX
+/// products). `timer` is the gated stopwatch started before a *planned*
+/// kernel ran (`None` on dense paths or when metrics are off).
+pub(crate) fn observe_exec(
+    name: &str,
+    plan: Option<&rt_sparse::SparsePlan>,
+    units: usize,
+    passes: u64,
+    weight_len: usize,
+    io_elems: usize,
+    timer: Option<rt_obs::Stopwatch>,
+) {
+    if !rt_obs::metrics_enabled() {
+        return;
     }
+    let (flops, dense_flops, live) = match plan {
+        Some(p) => (
+            passes * p.plan_flops(units),
+            passes * p.dense_flops(units),
+            p.live_weights(),
+        ),
+        None => {
+            let dense = passes * 2 * (weight_len as u64) * (units as u64);
+            (dense, dense, weight_len as u64)
+        }
+    };
+    rt_obs::cost::record_cost(
+        name,
+        rt_obs::cost::CostDelta {
+            flops,
+            dense_flops,
+            bytes: 4 * passes * (io_elems as u64 + live),
+            params_total: weight_len as u64,
+            params_live: live,
+        },
+    );
+    if let (Some(p), Some(t)) = (plan, timer) {
+        rt_obs::histogram("sparse.gemm_ms").observe(t.elapsed_ms());
+        rt_obs::counter("sparse.flops_saved").add(passes * p.flops_saved(units));
+    }
+}
+
+/// Starts the per-kernel stopwatch iff metrics are recording — the gated
+/// timing idiom shared by the sparse execution paths.
+pub(crate) fn exec_timer() -> Option<rt_obs::Stopwatch> {
+    rt_obs::Stopwatch::start_if(rt_obs::metrics_enabled())
 }
 
 pub use activation::Relu;

@@ -1,0 +1,134 @@
+//! FLOP/byte cost accounting: a process-global registry of how much
+//! arithmetic each accounting site (typically one layer) actually
+//! performed, what a dense execution would have needed, and how much data
+//! it moved.
+//!
+//! Sites call [`record_cost`] with an integer-exact [`CostDelta`] per
+//! execution; `rt-nn`'s layers derive the deltas from their shapes and —
+//! when a ticket mask is active — from the compiled `rt-sparse` plan's
+//! `plan_flops`/`dense_flops`, so the registry reports the *real* FLOPs
+//! saved by robust-ticket sparsity, cross-checkable against
+//! `rt-prune::stats::sparse_exec_report` with exact `==`.
+//!
+//! Recording is gated on [`crate::metrics_enabled`] (level `all`): when
+//! telemetry is off a site pays one relaxed atomic load and nothing else.
+//! Aggregated state surfaces three ways: the `model.flops`/`model.bytes`
+//! counters (so cell spans can attach per-cell deltas), per-site
+//! [`crate::report::CostStat`] rows in [`crate::snapshot`] (rendered as
+//! the roofline-style table), and `cost` events in the JSONL stream at
+//! [`crate::finalize`].
+
+use crate::report::CostStat;
+
+/// The integer-exact cost of one execution of a site.
+///
+/// All fields are exact counts, never estimates: reports built from them
+/// are compared against `sparse_exec_report` with integer equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostDelta {
+    /// FLOPs actually executed (plan-aware when a sparse plan ran).
+    pub flops: u64,
+    /// FLOPs a dense execution of the same shapes would have needed.
+    pub dense_flops: u64,
+    /// Bytes moved: activations read + written plus live weights read.
+    pub bytes: u64,
+    /// Total parameter count of the site (dense weight length).
+    pub params_total: u64,
+    /// Live (unpruned) parameter count of the site.
+    pub params_live: u64,
+}
+
+/// Records one execution of `name`. No-op below level `all` — the
+/// registry never grows and nothing allocates. Work fields accumulate;
+/// parameter counts are descriptive and last-wins.
+///
+/// Also feeds the `model.flops` / `model.bytes` counters so coarse
+/// consumers (e.g. the runner's per-cell spans) can read deltas without
+/// walking the per-site table.
+pub fn record_cost(name: &str, delta: CostDelta) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    // Counter handles take the registry lock themselves, so bump them
+    // before entering `with_inner` (the lock is not reentrant).
+    crate::counter("model.flops").add(delta.flops);
+    crate::counter("model.bytes").add(delta.bytes);
+    crate::with_inner(|inner| {
+        let stat = inner
+            .costs
+            .entry(name.to_string())
+            .or_insert_with(|| CostStat::new(name));
+        stat.calls += 1;
+        stat.flops += delta.flops;
+        stat.dense_flops += delta.dense_flops;
+        stat.bytes += delta.bytes;
+        stat.params_total = delta.params_total;
+        stat.params_live = delta.params_live;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{testing, Level};
+
+    fn delta(flops: u64) -> CostDelta {
+        CostDelta {
+            flops,
+            dense_flops: flops * 2,
+            bytes: flops * 4,
+            params_total: 10,
+            params_live: 5,
+        }
+    }
+
+    #[test]
+    fn record_accumulates_work_and_keeps_params() {
+        let _t = testing::lock();
+        crate::init_memory(Level::All);
+        record_cost("layer.w", delta(100));
+        record_cost("layer.w", delta(50));
+        let snap = crate::snapshot();
+        assert_eq!(snap.costs.len(), 1);
+        let c = &snap.costs[0];
+        assert_eq!(c.name, "layer.w");
+        assert_eq!(c.calls, 2);
+        assert_eq!(c.flops, 150);
+        assert_eq!(c.dense_flops, 300);
+        assert_eq!(c.bytes, 600);
+        assert_eq!(c.params_total, 10);
+        assert_eq!(c.params_live, 5);
+        // The coarse counters mirror the totals.
+        assert_eq!(snap.counters.get("model.flops"), Some(&150));
+        assert_eq!(snap.counters.get("model.bytes"), Some(&600));
+    }
+
+    #[test]
+    fn below_level_all_recording_is_a_noop() {
+        let _t = testing::lock();
+        crate::init_manual(Level::Spans, None).unwrap();
+        record_cost("dead.w", delta(100));
+        assert_eq!(crate::snapshot().costs.len(), 0);
+        assert_eq!(crate::registry_len(), 0);
+    }
+
+    #[test]
+    fn finalize_emits_cost_events_that_round_trip() {
+        let _t = testing::lock();
+        let handle = crate::init_memory(Level::All);
+        record_cost("b.w", delta(7));
+        record_cost("a.w", delta(3));
+        crate::finalize();
+        let text = handle.lines().join("\n");
+        let (events, malformed) = crate::report::parse_jsonl(&text);
+        assert_eq!(malformed, 0);
+        let offline = crate::report::aggregate(&events);
+        assert_eq!(offline.costs.len(), 2);
+        // Sorted by name, integer-exact round trip.
+        assert_eq!(offline.costs[0].name, "a.w");
+        assert_eq!(offline.costs[0].flops, 3);
+        assert_eq!(offline.costs[1].name, "b.w");
+        assert_eq!(offline.costs[1].dense_flops, 14);
+        assert_eq!(offline.costs, crate::snapshot().costs);
+    }
+}

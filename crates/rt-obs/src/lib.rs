@@ -47,10 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
+pub mod trace_tree;
 
 pub use metrics::{Counter, Gauge, Histogram};
 pub use sink::{AttrValue, Event, MemoryHandle};
@@ -58,10 +61,50 @@ pub use span::SpanGuard;
 
 use sink::{JsonlSink, MemorySink, Sink};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The sanctioned wall-clock timer for instrumentation code.
+///
+/// `ci.sh` bans ad-hoc `std::time::Instant::now()` timing outside
+/// `rt-obs`/`rt-par`/`rt-bench` so every measurement flows through one
+/// auditable type; production crates time things with a `Stopwatch`
+/// (usually gated, via [`Stopwatch::start_if`], on a telemetry-level
+/// check so the off level performs no clock read at all).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts a stopwatch (reads the monotonic clock).
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Starts a stopwatch only when `active` — the gated-timing idiom:
+    /// `let t0 = Stopwatch::start_if(hist.is_active());`. When `active`
+    /// is false no clock is read, keeping disabled telemetry at exactly
+    /// one relaxed atomic load per site.
+    pub fn start_if(active: bool) -> Option<Stopwatch> {
+        active.then(Stopwatch::start)
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed milliseconds since start.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed seconds since start.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
 
 /// Telemetry verbosity. See the crate docs for what each level records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -111,6 +154,13 @@ static INITIALIZED: AtomicBool = AtomicBool::new(false);
 /// Monotone event sequence number (shared by every sink write).
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// In-memory Chrome-trace capture: span/point events retained until
+/// [`finalize`] converts them into a `trace_event` JSON file at `path`.
+struct TraceBuf {
+    path: PathBuf,
+    events: Vec<Event>,
+}
+
 /// Everything behind the slow path: the sink and the metric/span registry.
 struct Inner {
     start: Instant,
@@ -119,6 +169,8 @@ struct Inner {
     gauges: HashMap<String, std::sync::Arc<AtomicU64>>,
     histograms: HashMap<String, std::sync::Arc<metrics::HistogramInner>>,
     span_stats: HashMap<String, report::SpanStat>,
+    costs: HashMap<String, report::CostStat>,
+    trace: Option<TraceBuf>,
 }
 
 impl Inner {
@@ -130,6 +182,8 @@ impl Inner {
             gauges: HashMap::new(),
             histograms: HashMap::new(),
             span_stats: HashMap::new(),
+            costs: HashMap::new(),
+            trace: None,
         }
     }
 
@@ -141,6 +195,13 @@ impl Inner {
         if let Some(sink) = self.sink.as_mut() {
             if let Ok(line) = serde_json::to_string(event) {
                 sink.emit_line(&line);
+            }
+        }
+        if let Some(tb) = self.trace.as_mut() {
+            // Only spans and points draw in the trace viewer; snapshots
+            // (counters/hists/costs) would just bloat the buffer.
+            if matches!(event, Event::Span { .. } | Event::Point { .. }) {
+                tb.events.push(event.clone());
             }
         }
     }
@@ -187,8 +248,11 @@ pub(crate) fn next_seq() -> u64 {
 /// may call it defensively.
 ///
 /// * `RT_OBS=path.jsonl` — stream events to `path` (JSONL).
+/// * `RT_OBS_TRACE=path.json` — additionally capture spans/events and
+///   write a Chrome `trace_event` JSON file at [`finalize`] (open it in
+///   `chrome://tracing` or Perfetto).
 /// * `RT_OBS_LEVEL=off|spans|all` — verbosity; defaults to `all` when
-///   `RT_OBS` is set and `off` otherwise.
+///   `RT_OBS` or `RT_OBS_TRACE` is set and `off` otherwise.
 ///
 /// With an effective level of `off` **nothing** is created: no file, no
 /// registry, no background state.
@@ -197,10 +261,17 @@ pub fn init_from_env() {
         return;
     }
     let path = std::env::var("RT_OBS").ok().filter(|p| !p.trim().is_empty());
+    let trace_path = std::env::var("RT_OBS_TRACE")
+        .ok()
+        .filter(|p| !p.trim().is_empty());
     let level = std::env::var("RT_OBS_LEVEL")
         .ok()
         .and_then(|s| Level::parse(&s))
-        .unwrap_or(if path.is_some() { Level::All } else { Level::Off });
+        .unwrap_or(if path.is_some() || trace_path.is_some() {
+            Level::All
+        } else {
+            Level::Off
+        });
     if level == Level::Off {
         return;
     }
@@ -217,6 +288,29 @@ pub fn init_from_env() {
         },
     };
     install(level, sink);
+    if let Some(p) = trace_path {
+        set_trace_output(Path::new(&p));
+    }
+}
+
+/// Enables Chrome-trace capture: spans and structured events recorded
+/// from now on are buffered and written to `path` as a `trace_event`
+/// JSON document by [`finalize`] (atomically, so a watcher never reads a
+/// torn file). No-op at level `off`. Idempotent per path; calling again
+/// redirects future output and keeps already-buffered events.
+pub fn set_trace_output(path: &Path) {
+    if level() == Level::Off {
+        return;
+    }
+    with_inner(|inner| match inner.trace.as_mut() {
+        Some(tb) => tb.path = path.to_path_buf(),
+        None => {
+            inner.trace = Some(TraceBuf {
+                path: path.to_path_buf(),
+                events: Vec::new(),
+            });
+        }
+    });
 }
 
 /// Explicit (re)initialization — used by tools and tests. Replaces any
@@ -287,22 +381,58 @@ fn install(level: Level, sink: Option<Box<dyn Sink>>) {
 pub fn install_par_observer() -> bool {
     rt_par::set_observer(rt_par::ParObserver {
         on_tasks: |n| counter("par.tasks").add(n),
-        on_queue_ms: |ms| histogram("par.queue_ms").observe(ms),
+        on_queue_ms: |ms| {
+            histogram("par.queue_ms").observe(ms);
+            trace_queue_point(ms);
+        },
         on_pool_threads: |n| gauge("par.pool_threads").set(n as f64),
         on_watchdog_trip: |n| counter("watchdog.trips").add(n),
         on_worker_respawn: |n| counter("par.worker_respawns").add(n),
     })
 }
 
-/// Flushes telemetry durably: snapshots every counter/gauge/histogram
-/// into the event stream (level `all`), then flushes and fsyncs the sink
-/// — the telemetry analog of `rt-nn`'s atomic checkpoint writes. Call at
-/// the end of a run; in-memory aggregates survive, so [`snapshot`] still
-/// works afterwards.
+/// Appends a `par.queue` instant to the trace buffer (only — the JSONL
+/// stream already carries the `par.queue_ms` histogram, and per-batch
+/// points would bloat it) so pool queue/idle time shows up as a track in
+/// the exported flamegraph.
+fn trace_queue_point(queue_ms: f64) {
+    if !spans_enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        if inner.trace.is_none() {
+            return;
+        }
+        let ts_ms = inner.ts_ms();
+        let mut attrs = serde_json::Map::new();
+        attrs.insert("queue_ms".into(), serde_json::Value::from(queue_ms));
+        let ev = Event::Point {
+            name: "par.queue".to_string(),
+            ts_ms,
+            attrs,
+            seq: next_seq(),
+        };
+        if let Some(tb) = inner.trace.as_mut() {
+            tb.events.push(ev);
+        }
+    });
+}
+
+/// Flushes telemetry durably: drains any spans still open on this thread
+/// (so early-exit paths like the runner's `ExitCode::exit` — which calls
+/// `process::exit` and therefore skips `Drop` — still record their root
+/// spans), snapshots every counter/gauge/histogram/cost into the event
+/// stream (level `all`), writes the Chrome trace file when capture is on,
+/// then flushes and fsyncs the sink — the telemetry analog of `rt-nn`'s
+/// atomic checkpoint writes. Call at the end of a run; in-memory
+/// aggregates survive, so [`snapshot`] still works afterwards.
 pub fn finalize() {
     if level() == Level::Off {
         return;
     }
+    // Must happen before the registry snapshot (closing spans folds their
+    // stats in) and outside `with_inner` (span close takes the lock).
+    span::drain_open_spans();
     let snap_events = metrics_enabled();
     with_inner(|inner| {
         if snap_events {
@@ -347,8 +477,33 @@ pub fn finalize() {
                     seq: next_seq(),
                 });
             }
+            let mut costs: Vec<&report::CostStat> = inner.costs.values().collect();
+            costs.sort_by(|a, b| a.name.cmp(&b.name));
+            let cost_events: Vec<Event> = costs
+                .into_iter()
+                .map(|c| Event::Cost {
+                    name: c.name.clone(),
+                    calls: c.calls,
+                    flops: c.flops,
+                    dense_flops: c.dense_flops,
+                    bytes: c.bytes,
+                    params_total: c.params_total,
+                    params_live: c.params_live,
+                    seq: next_seq(),
+                })
+                .collect();
+            events.extend(cost_events);
             for event in &events {
                 inner.emit(event);
+            }
+        }
+        if let Some(tb) = inner.trace.as_ref() {
+            // Atomic rewrite from the retained buffer: finalize may run
+            // more than once (ObsSession drop + explicit exit paths) and
+            // each write must be a complete, parseable document.
+            let json = trace::chrome_trace_json(&tb.events);
+            if let Err(e) = sink::atomic_write(&tb.path, json.as_bytes()) {
+                eprintln!("[rt-obs] cannot write trace {}: {e}", tb.path.display());
             }
         }
         if let Some(sink) = inner.sink.as_mut() {
@@ -378,6 +533,8 @@ pub fn snapshot() -> report::Snapshot {
         snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
         snap.spans = inner.span_stats.values().cloned().collect();
         snap.spans.sort_by(|a, b| a.path.cmp(&b.path));
+        snap.costs = inner.costs.values().cloned().collect();
+        snap.costs.sort_by(|a, b| a.name.cmp(&b.name));
         snap
     })
     .unwrap_or_default()
@@ -387,7 +544,11 @@ pub fn snapshot() -> report::Snapshot {
 /// prove the `off` level produces zero registry growth.
 pub fn registry_len() -> usize {
     with_inner(|inner| {
-        inner.counters.len() + inner.gauges.len() + inner.histograms.len() + inner.span_stats.len()
+        inner.counters.len()
+            + inner.gauges.len()
+            + inner.histograms.len()
+            + inner.span_stats.len()
+            + inner.costs.len()
     })
     .unwrap_or(0)
 }
@@ -640,6 +801,33 @@ mod tests {
         for line in &lines {
             serde_json::from_str::<serde_json::Value>(line).expect("well-formed JSONL");
         }
+    }
+
+    #[test]
+    fn finalize_writes_an_atomic_trace_file() {
+        let _t = testing::lock();
+        let path = std::env::temp_dir().join("rt-obs-trace-test.json");
+        let _ = std::fs::remove_file(&path);
+        init_memory(Level::All);
+        set_trace_output(&path);
+        {
+            let _outer = span!("outer");
+            let _inner = span!("inner", "k" => 7u64);
+        }
+        event("mark", &[("n", AttrValue::from(1u64))]);
+        finalize();
+        let text = std::fs::read_to_string(&path).expect("trace file written");
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("object form");
+        let xs: Vec<_> = events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(xs.len(), 2, "both spans exported: {events:?}");
+        assert!(events.iter().any(|e| e["ph"] == "i"), "instant exported");
+        assert!(events.iter().any(|e| e["ph"] == "M"), "thread track named");
+        // finalize again: the file is rewritten whole, still parseable.
+        finalize();
+        let again = std::fs::read_to_string(&path).unwrap();
+        serde_json::from_str::<serde_json::Value>(&again).expect("still valid");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -90,6 +90,49 @@ impl HistSnapshot {
     }
 }
 
+/// Accumulated cost-model state of one accounting site (one layer): how
+/// many FLOPs it actually executed vs. what dense execution would have
+/// needed, bytes moved, and its live-vs-total parameter counts. Fed by
+/// [`crate::cost::record_cost`]; integer-exact so reports can be
+/// cross-checked against `rt-prune`'s `sparse_exec_report` with `==`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CostStat {
+    /// Site name (typically the layer's parameter name).
+    pub name: String,
+    /// Number of recorded executions.
+    pub calls: u64,
+    /// Accumulated FLOPs actually executed (plan-aware).
+    pub flops: u64,
+    /// Accumulated FLOPs a dense execution would have needed.
+    pub dense_flops: u64,
+    /// Accumulated bytes moved (activations + live weights).
+    pub bytes: u64,
+    /// Total parameter count (last-wins).
+    pub params_total: u64,
+    /// Live (unpruned) parameter count (last-wins).
+    pub params_live: u64,
+}
+
+impl CostStat {
+    /// An empty stat for `name`.
+    pub fn new(name: &str) -> Self {
+        CostStat {
+            name: name.to_string(),
+            ..CostStat::default()
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte moved — the x-axis of a
+    /// roofline plot (0.0 when no bytes were recorded).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
 /// A complete telemetry snapshot: span aggregates + metric registry +
 /// observed wall time. Serializable — this is the `snapshot` payload of
 /// `BENCH_obs.json`.
@@ -103,9 +146,18 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram states, sorted by name.
     pub histograms: Vec<HistSnapshot>,
+    /// Per-layer cost-model stats, sorted by name (empty when no cost
+    /// accounting ran; `default` keeps old BENCH_obs.json readable).
+    #[serde(default)]
+    pub costs: Vec<CostStat>,
     /// Observed wall time, milliseconds (process uptime for live
     /// snapshots; the largest event timestamp for offline aggregation).
     pub wall_ms: f64,
+    /// Malformed JSONL lines dropped during offline parsing (always 0 for
+    /// live snapshots). Surfaced by the report so torn streams are never
+    /// silently under-counted.
+    #[serde(default)]
+    pub torn_lines: usize,
 }
 
 impl Snapshot {
@@ -170,7 +222,87 @@ impl Snapshot {
                     cov * 100.0,
                     self.wall_ms
                 ));
+                if cov < 0.90 {
+                    out.push_str(&format!(
+                        "WARNING: span coverage {:.1}% < 90% — {:.1} ms of wall time is \
+                         unaccounted for (missing instrumentation or a torn stream?)\n",
+                        cov * 100.0,
+                        self.wall_ms * (1.0 - cov)
+                    ));
+                }
             }
+        }
+        if self.torn_lines > 0 {
+            out.push_str(&format!(
+                "torn_lines: {} malformed JSONL line(s) dropped during parsing\n",
+                self.torn_lines
+            ));
+        }
+        if !self.costs.is_empty() {
+            out.push_str("\n== cost model (per layer) ==\n");
+            let name_width = self
+                .costs
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap_or(5)
+                .max(5)
+                .max("TOTAL".len());
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>16}  {:>16}  {:>7}  {:>14}  {:>11}  {:>11}  {:>8}\n",
+                "layer",
+                "calls",
+                "flops",
+                "dense_flops",
+                "saved%",
+                "bytes",
+                "params",
+                "live",
+                "flop/B"
+            ));
+            let mut total = CostStat::new("TOTAL");
+            for c in &self.costs {
+                let saved = if c.dense_flops == 0 {
+                    0.0
+                } else {
+                    100.0 * (1.0 - c.flops as f64 / c.dense_flops as f64)
+                };
+                out.push_str(&format!(
+                    "{:<name_width$}  {:>8}  {:>16}  {:>16}  {:>6.1}%  {:>14}  {:>11}  {:>11}  {:>8.2}\n",
+                    c.name,
+                    c.calls,
+                    c.flops,
+                    c.dense_flops,
+                    saved,
+                    c.bytes,
+                    c.params_total,
+                    c.params_live,
+                    c.intensity()
+                ));
+                total.calls += c.calls;
+                total.flops += c.flops;
+                total.dense_flops += c.dense_flops;
+                total.bytes += c.bytes;
+                total.params_total += c.params_total;
+                total.params_live += c.params_live;
+            }
+            let saved = if total.dense_flops == 0 {
+                0.0
+            } else {
+                100.0 * (1.0 - total.flops as f64 / total.dense_flops as f64)
+            };
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>16}  {:>16}  {:>6.1}%  {:>14}  {:>11}  {:>11}  {:>8.2}\n",
+                total.name,
+                total.calls,
+                total.flops,
+                total.dense_flops,
+                saved,
+                total.bytes,
+                total.params_total,
+                total.params_live,
+                total.intensity()
+            ));
         }
         if !self.histograms.is_empty() {
             out.push_str("\n== histograms ==\n");
@@ -269,6 +401,30 @@ pub fn aggregate(events: &[Event]) -> Snapshot {
             Event::Gauge { name, value, .. } => {
                 snap.gauges.insert(name.clone(), *value);
             }
+            Event::Cost {
+                name,
+                calls,
+                flops,
+                dense_flops,
+                bytes,
+                params_total,
+                params_live,
+                ..
+            } => {
+                // Snapshot semantics (like counters): a later emission of
+                // the same site carries the accumulated state, so within
+                // one stream the last event wins.
+                snap.costs.retain(|c| c.name != *name);
+                snap.costs.push(CostStat {
+                    name: name.clone(),
+                    calls: *calls,
+                    flops: *flops,
+                    dense_flops: *dense_flops,
+                    bytes: *bytes,
+                    params_total: *params_total,
+                    params_live: *params_live,
+                });
+            }
             Event::Hist {
                 name,
                 bounds,
@@ -291,6 +447,7 @@ pub fn aggregate(events: &[Event]) -> Snapshot {
     }
     snap.spans = spans.into_values().collect();
     snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.costs.sort_by(|a, b| a.name.cmp(&b.name));
     snap
 }
 
@@ -335,9 +492,26 @@ pub fn aggregate_streams(streams: &[Vec<Event>]) -> Snapshot {
                 None => merged.histograms.push(h),
             }
         }
+        for c in snap.costs {
+            match merged.costs.iter_mut().find(|m| m.name == c.name) {
+                Some(m) => {
+                    // Each stream is an independent run: work accumulates,
+                    // parameter counts describe the model (last-wins).
+                    m.calls += c.calls;
+                    m.flops += c.flops;
+                    m.dense_flops += c.dense_flops;
+                    m.bytes += c.bytes;
+                    m.params_total = c.params_total;
+                    m.params_live = c.params_live;
+                }
+                None => merged.costs.push(c),
+            }
+        }
+        merged.torn_lines += snap.torn_lines;
     }
     merged.spans.sort_by(|a, b| a.path.cmp(&b.path));
     merged.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    merged.costs.sort_by(|a, b| a.name.cmp(&b.name));
     merged
 }
 
@@ -459,6 +633,99 @@ mod tests {
         assert!(table.contains("fig1"), "{table}");
         assert!(table.contains("  pretrain"), "child indented: {table}");
         assert!(table.contains("95.2%"), "coverage rendered: {table}");
+    }
+
+    #[test]
+    fn cost_events_aggregate_last_wins_then_sum_across_streams() {
+        let cost = |calls: u64, flops: u64| Event::Cost {
+            name: "head.weight".into(),
+            calls,
+            flops,
+            dense_flops: flops * 2,
+            bytes: flops * 4,
+            params_total: 100,
+            params_live: 40,
+            seq: 0,
+        };
+        // Two snapshots in one stream (finalize ran twice): last wins.
+        let stream = vec![cost(1, 10), cost(3, 30)];
+        let snap = aggregate(&stream);
+        assert_eq!(snap.costs.len(), 1);
+        assert_eq!(snap.costs[0].calls, 3);
+        assert_eq!(snap.costs[0].flops, 30);
+        // Two independent streams: work sums, params stay descriptive.
+        let merged = aggregate_streams(&[stream.clone(), stream]);
+        assert_eq!(merged.costs[0].calls, 6);
+        assert_eq!(merged.costs[0].flops, 60);
+        assert_eq!(merged.costs[0].dense_flops, 120);
+        assert_eq!(merged.costs[0].params_total, 100);
+        assert_eq!(merged.costs[0].params_live, 40);
+    }
+
+    #[test]
+    fn render_table_shows_cost_model_and_totals() {
+        let snap = Snapshot {
+            costs: vec![
+                CostStat {
+                    calls: 2,
+                    flops: 60,
+                    dense_flops: 100,
+                    bytes: 30,
+                    params_total: 50,
+                    params_live: 30,
+                    ..CostStat::new("stem.weight")
+                },
+                CostStat {
+                    calls: 2,
+                    flops: 40,
+                    dense_flops: 100,
+                    bytes: 10,
+                    params_total: 50,
+                    params_live: 20,
+                    ..CostStat::new("head.weight")
+                },
+            ],
+            ..Snapshot::default()
+        };
+        let table = snap.render_table();
+        assert!(table.contains("cost model"), "{table}");
+        assert!(table.contains("stem.weight"), "{table}");
+        // Totals row: 100 flops vs 200 dense -> 50.0% saved, exact ints.
+        assert!(table.contains("TOTAL"), "{table}");
+        assert!(table.contains("50.0%"), "{table}");
+        assert!((snap.costs[0].intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_coverage_warns_and_torn_lines_are_visible() {
+        let snap = Snapshot {
+            spans: vec![SpanStat {
+                count: 1,
+                total_ms: 50.0,
+                self_ms: 50.0,
+                ..SpanStat::new("run", "run", 0)
+            }],
+            wall_ms: 100.0,
+            torn_lines: 3,
+            ..Snapshot::default()
+        };
+        let table = snap.render_table();
+        assert!(table.contains("WARNING"), "coverage 50% must warn: {table}");
+        assert!(table.contains("torn_lines: 3"), "{table}");
+        // Healthy coverage, clean stream: neither line appears.
+        let healthy = Snapshot {
+            spans: vec![SpanStat {
+                count: 1,
+                total_ms: 95.0,
+                self_ms: 95.0,
+                ..SpanStat::new("run", "run", 0)
+            }],
+            wall_ms: 100.0,
+            ..Snapshot::default()
+        };
+        let table = healthy.render_table();
+        assert!(!table.contains("WARNING"), "{table}");
+        assert!(!table.contains("torn_lines"), "{table}");
     }
 
     #[test]

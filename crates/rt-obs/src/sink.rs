@@ -186,6 +186,28 @@ pub enum Event {
         /// Global event sequence number.
         seq: u64,
     },
+    /// Per-site cost-model snapshot (emitted by [`crate::finalize`]):
+    /// accumulated FLOPs / bytes moved and last-seen parameter counts for
+    /// one accounting site (typically one layer).
+    #[serde(rename = "cost")]
+    Cost {
+        /// Accounting site name (e.g. the layer's parameter name).
+        name: String,
+        /// Number of recorded executions.
+        calls: u64,
+        /// Accumulated FLOPs actually executed (plan-aware).
+        flops: u64,
+        /// Accumulated FLOPs a dense execution would have needed.
+        dense_flops: u64,
+        /// Accumulated bytes moved (activations + live weights).
+        bytes: u64,
+        /// Total parameter count of the site (last-wins).
+        params_total: u64,
+        /// Live (unpruned) parameter count of the site (last-wins).
+        params_live: u64,
+        /// Global event sequence number.
+        seq: u64,
+    },
     /// Histogram snapshot (emitted by [`crate::finalize`]).
     #[serde(rename = "hist")]
     Hist {

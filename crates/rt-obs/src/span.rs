@@ -102,8 +102,41 @@ impl Drop for SpanGuard {
         if !self.active {
             return;
         }
+        close_top_frame();
+    }
+}
+
+/// Drains every span still open on the *current* thread, closing them
+/// innermost-first as if their guards had dropped. Returns how many were
+/// closed.
+///
+/// This exists for early-exit paths: `std::process::exit` (used by the
+/// runner's `ExitCode::exit`, e.g. on deadline-budget exhaustion) skips
+/// `Drop`, so without draining, the root `ObsSession` span — and with it
+/// the run's coverage and its trace file — would be lost. [`crate::finalize`]
+/// calls this first; spans on *other* threads cannot be drained from here,
+/// but every exit path runs on the thread that owns the root spans.
+pub(crate) fn drain_open_spans() -> usize {
+    let mut closed = 0usize;
+    while STACK.with(|stack| !stack.borrow().is_empty()) {
+        attach_attr("drained", AttrValue::B(true));
+        if !close_top_frame() {
+            break;
+        }
+        closed += 1;
+    }
+    closed
+}
+
+/// Closes the innermost open frame on this thread (the shared body of
+/// `SpanGuard::drop` and [`drain_open_spans`]): pops it, computes total
+/// and self time, credits the parent's child time, folds the stats into
+/// the registry, and emits a `span` event when a sink is recording.
+/// Returns whether a frame was actually closed.
+fn close_top_frame() -> bool {
+    {
         let Some(frame) = STACK.with(|stack| stack.borrow_mut().pop()) else {
-            return; // unbalanced (test reset mid-span); never panic in Drop
+            return false; // unbalanced (test reset mid-span); never panic in Drop
         };
         let total = frame.start.elapsed();
         let self_time = total.saturating_sub(frame.child);
@@ -147,6 +180,7 @@ impl Drop for SpanGuard {
             }
         });
     }
+    true
 }
 
 #[cfg(test)]
@@ -260,6 +294,38 @@ mod tests {
         let a = snap.spans.iter().find(|s| s.path == "root/a").unwrap();
         let b = snap.spans.iter().find(|s| s.path == "root/b").unwrap();
         assert!(root.total_ms + 1e-6 >= a.total_ms + b.total_ms);
+    }
+
+    #[test]
+    fn drain_closes_open_spans_for_early_exit() {
+        let _t = testing::lock();
+        let handle = crate::init_memory(Level::All);
+        let root = crate::span!("session");
+        let inner = crate::span!("cell");
+        // Simulate the ExitCode::exit path: finalize before any Drop runs.
+        crate::finalize();
+        let lines = handle.lines();
+        let spans: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"t\":\"span\""))
+            .collect();
+        assert_eq!(spans.len(), 2, "both open spans recorded: {lines:?}");
+        assert!(
+            spans.iter().all(|l| l.contains("\"drained\":true")),
+            "force-closed spans are marked: {spans:?}"
+        );
+        // Innermost closes first, so the root still nests correctly.
+        assert!(spans[0].contains("session/cell"), "{spans:?}");
+        let snap = snapshot();
+        assert!(snap.spans.iter().any(|s| s.path == "session"));
+        // The guards drop afterwards onto an empty stack: harmless no-ops.
+        drop(inner);
+        drop(root);
+        assert_eq!(
+            snapshot().spans.iter().map(|s| s.count).sum::<u64>(),
+            2,
+            "late guard drops must not double-count"
+        );
     }
 
     #[test]

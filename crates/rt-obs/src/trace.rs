@@ -1,0 +1,290 @@
+//! Chrome `trace_event` export: turns recorded span/point events into a
+//! JSON document that `chrome://tracing` and Perfetto open as a
+//! flamegraph.
+//!
+//! Spans are recorded at *close* time (`ts_ms` = close timestamp, `ms` =
+//! duration), so the exporter first reconstructs each thread's span
+//! forest from the close order + depths ([`crate::trace_tree`]), then
+//! clamps the integer-microsecond intervals so the viewer never sees a
+//! child outside its parent or overlapping siblings (float-rounding can
+//! produce both), and finally emits:
+//!
+//! * one `M` (`thread_name`) metadata record per thread track,
+//! * one `X` (complete) event per span — `args` carry the span's
+//!   attributes plus its hierarchical `path` and `self_ms`,
+//! * one `i` (instant) event per structured point event, on a dedicated
+//!   `events` track (points carry no thread field).
+//!
+//! The document is the standard object form `{"traceEvents": [...]}`.
+//! Capture is wired up by `RT_OBS_TRACE=path.json` (see
+//! [`crate::init_from_env`]); [`crate::finalize`] writes the file
+//! atomically. Offline, [`jsonl_to_trace`] converts an existing
+//! `RT_OBS` JSONL stream into the same document.
+
+use crate::sink::Event;
+use crate::trace_tree::{build_forest, clamp_forest, flatten, CloseRec};
+use serde_json::{json, Map, Value};
+
+/// Synthetic tid of the instant-event track.
+const EVENTS_TID: u64 = 0;
+
+/// Converts recorded events into a Chrome `trace_event` JSON document
+/// (object form). Only `span` and `event` records contribute; everything
+/// else in the stream is ignored.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    build_trace(events).to_string()
+}
+
+/// Converts a JSONL telemetry stream (an `RT_OBS` file) into a Chrome
+/// trace document — the offline path for runs that only kept the stream.
+/// Returns the document and the number of malformed lines skipped.
+pub fn jsonl_to_trace(text: &str) -> (String, usize) {
+    let (events, malformed) = crate::report::parse_jsonl(text);
+    (chrome_trace_json(&events), malformed)
+}
+
+/// [`chrome_trace_json`] as a structured value (used by tests).
+pub fn build_trace(events: &[Event]) -> Value {
+    let mut trace_events: Vec<Value> = Vec::new();
+
+    // --- Group span closes by thread, preserving stream order. --------
+    // (name, attrs-ref, self_ms) per close, parallel to the CloseRecs.
+    type SpanRef<'a> = (&'a str, &'a Map<String, Value>, f64, &'a str);
+    let mut threads: Vec<(String, Vec<CloseRec>, Vec<SpanRef>)> = Vec::new();
+    let mut points: Vec<&Event> = Vec::new();
+    for ev in events {
+        match ev {
+            Event::Span {
+                name,
+                path,
+                depth,
+                ms,
+                self_ms,
+                ts_ms,
+                thread,
+                attrs,
+                ..
+            } => {
+                let label = if thread.is_empty() { "main" } else { thread };
+                let idx = match threads.iter().position(|(t, _, _)| t == label) {
+                    Some(i) => i,
+                    None => {
+                        threads.push((label.to_string(), Vec::new(), Vec::new()));
+                        threads.len() - 1
+                    }
+                };
+                let end_us = (ts_ms * 1e3).round() as i64;
+                let start_us = ((ts_ms - ms) * 1e3).round() as i64;
+                threads[idx].1.push(CloseRec {
+                    depth: *depth,
+                    start_us,
+                    end_us,
+                });
+                threads[idx].2.push((name, attrs, *self_ms, path));
+            }
+            Event::Point { .. } => points.push(ev),
+            _ => {}
+        }
+    }
+
+    // --- Thread-name metadata tracks (tid = first-appearance order). --
+    if !points.is_empty() {
+        trace_events.push(thread_meta(EVENTS_TID, "events"));
+    }
+    for (i, (label, _, _)) in threads.iter().enumerate() {
+        trace_events.push(thread_meta(i as u64 + 1, label));
+    }
+
+    // --- Spans: rebuild each thread's forest, clamp, emit X events. ---
+    for (i, (_, closes, refs)) in threads.iter().enumerate() {
+        let tid = i as u64 + 1;
+        let mut forest = build_forest(closes);
+        clamp_forest(&mut forest);
+        for span in flatten(&forest) {
+            let (name, attrs, self_ms, path) = refs[span.rec];
+            let mut args = attrs.clone();
+            args.insert("path".into(), Value::from(path));
+            args.insert("self_ms".into(), Value::from(self_ms));
+            trace_events.push(json!({
+                "name": name,
+                "cat": "span",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": span.start_us,
+                "dur": span.dur_us,
+                "args": Value::Object(args),
+            }));
+        }
+    }
+
+    // --- Points: instants on the dedicated events track. --------------
+    for ev in points {
+        if let Event::Point {
+            name, ts_ms, attrs, ..
+        } = ev
+        {
+            trace_events.push(json!({
+                "name": name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": EVENTS_TID,
+                "ts": (ts_ms * 1e3).round() as i64,
+                "args": Value::Object(attrs.clone()),
+            }));
+        }
+    }
+
+    json!({ "traceEvents": trace_events })
+}
+
+fn thread_meta(tid: u64, label: &str) -> Value {
+    json!({
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": tid,
+        "args": { "name": label },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        name: &str,
+        path: &str,
+        depth: usize,
+        ms: f64,
+        ts_ms: f64,
+        thread: &str,
+    ) -> Event {
+        Event::Span {
+            name: name.into(),
+            path: path.into(),
+            depth,
+            ms,
+            self_ms: ms,
+            ts_ms,
+            thread: thread.into(),
+            attrs: Map::new(),
+            seq: 0,
+        }
+    }
+
+    fn x_events(doc: &Value) -> Vec<&Value> {
+        doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .collect()
+    }
+
+    #[test]
+    fn nested_spans_stay_nested_in_export() {
+        // child [40,90] closes before parent [0,100] (RAII order).
+        let events = vec![
+            span("child", "parent/child", 1, 50.0, 90.0, ""),
+            span("parent", "parent", 0, 100.0, 100.0, ""),
+        ];
+        let doc = build_trace(&events);
+        let xs = x_events(&doc);
+        assert_eq!(xs.len(), 2);
+        let parent = xs.iter().find(|e| e["name"] == "parent").unwrap();
+        let child = xs.iter().find(|e| e["name"] == "child").unwrap();
+        let (p0, pd) = (parent["ts"].as_i64().unwrap(), parent["dur"].as_i64().unwrap());
+        let (c0, cd) = (child["ts"].as_i64().unwrap(), child["dur"].as_i64().unwrap());
+        assert!(p0 <= c0 && c0 + cd <= p0 + pd, "child within parent");
+        assert_eq!(pd, 100_000, "100 ms = 100_000 us");
+        assert_eq!(child["args"]["path"], "parent/child");
+    }
+
+    #[test]
+    fn threads_get_separate_named_tracks() {
+        let events = vec![
+            span("a", "a", 0, 1.0, 1.0, ""),
+            span("b", "b", 0, 1.0, 1.5, "rt-par-0"),
+        ];
+        let doc = build_trace(&events);
+        let all = doc["traceEvents"].as_array().unwrap();
+        let metas: Vec<&Value> = all.iter().filter(|e| e["ph"] == "M").collect();
+        let names: Vec<&str> = metas
+            .iter()
+            .map(|m| m["args"]["name"].as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["main", "rt-par-0"]);
+        let a = x_events(&doc).into_iter().find(|e| e["name"] == "a").unwrap()["tid"]
+            .as_u64()
+            .unwrap();
+        let b = x_events(&doc).into_iter().find(|e| e["name"] == "b").unwrap()["tid"]
+            .as_u64()
+            .unwrap();
+        assert_ne!(a, b, "per-thread tracks");
+    }
+
+    #[test]
+    fn attrs_become_args_and_points_become_instants() {
+        let mut attrs = Map::new();
+        attrs.insert("epoch".into(), Value::from(3u64));
+        let events = vec![
+            Event::Span {
+                name: "train.epoch".into(),
+                path: "train.epoch".into(),
+                depth: 0,
+                ms: 2.0,
+                self_ms: 1.5,
+                ts_ms: 2.0,
+                thread: String::new(),
+                attrs: attrs.clone(),
+                seq: 0,
+            },
+            Event::Point {
+                name: "runner.cell".into(),
+                ts_ms: 1.0,
+                attrs,
+                seq: 1,
+            },
+        ];
+        let doc = build_trace(&events);
+        let x = &x_events(&doc)[0];
+        assert_eq!(x["args"]["epoch"], 3);
+        assert_eq!(x["args"]["self_ms"], 1.5);
+        let inst = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["ph"] == "i")
+            .expect("instant emitted");
+        assert_eq!(inst["name"], "runner.cell");
+        assert_eq!(inst["tid"].as_u64(), Some(EVENTS_TID));
+        assert_eq!(inst["args"]["epoch"], 3);
+    }
+
+    #[test]
+    fn non_trace_events_are_ignored() {
+        let events = vec![Event::Counter {
+            name: "n".into(),
+            value: 1,
+            seq: 0,
+        }];
+        let doc = build_trace(&events);
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn jsonl_round_trip_produces_parseable_trace() {
+        let lines = [
+            serde_json::to_string(&span("inner", "outer/inner", 1, 5.0, 8.0, "")).unwrap(),
+            serde_json::to_string(&span("outer", "outer", 0, 10.0, 10.0, "")).unwrap(),
+            "{\"t\":\"span\",\"name\":\"torn".to_string(),
+        ];
+        let (json, malformed) = jsonl_to_trace(&lines.join("\n"));
+        assert_eq!(malformed, 1);
+        let doc: Value = serde_json::from_str(&json).expect("valid JSON document");
+        assert_eq!(x_events(&doc).len(), 2);
+    }
+}

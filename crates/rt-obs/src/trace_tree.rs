@@ -1,0 +1,321 @@
+//! Span-forest reconstruction and timestamp sanitization for trace export.
+//!
+//! The JSONL stream records spans **at close time** (RAII guards emit on
+//! Drop), so a thread's spans arrive in post-order: every child closes
+//! before its parent, and siblings close in chronological order. This
+//! module rebuilds the forest from that close order plus the recorded
+//! depths, then clamps the integer-microsecond intervals so that any two
+//! spans on one thread are either properly nested or disjoint — the
+//! invariant Chrome's `trace_event` viewer and Perfetto require to draw a
+//! flamegraph instead of garbage.
+//!
+//! Clamping matters because span timestamps are reconstructed from two
+//! floating-point millisecond fields (`ts_ms` at close, `ms` duration):
+//! rounding each to integer microseconds independently can make a child
+//! appear to start 1 µs before its parent or overlap a sibling by 1 µs.
+//! The viewer treats such traces as malformed. `clamp_forest` repairs
+//! them deterministically: parents win over children, earlier siblings
+//! win over later ones, and durations only ever shrink to fit.
+//!
+//! Everything here is std-only and pure (no I/O, no globals) so the
+//! module is testable standalone; the serde-facing conversion lives in
+//! [`crate::trace`].
+
+/// One closed span as it appears in the stream, in close (emit) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloseRec {
+    /// Nesting depth at record time (0 = top-level span of its thread).
+    pub depth: usize,
+    /// Start timestamp in integer microseconds (may be inconsistent).
+    pub start_us: i64,
+    /// End timestamp in integer microseconds (may be inconsistent).
+    pub end_us: i64,
+}
+
+/// A reconstructed span node; `rec` indexes the input slice so callers
+/// can recover names/attrs without this module knowing about them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub rec: usize,
+    pub start_us: i64,
+    pub end_us: i64,
+    /// Children in chronological (close) order.
+    pub children: Vec<Node>,
+}
+
+/// A flattened span ready for emission: `[start_us, start_us + dur_us)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatSpan {
+    pub rec: usize,
+    pub start_us: i64,
+    pub dur_us: i64,
+}
+
+/// Rebuilds the span forest of ONE thread from its close-ordered records.
+///
+/// A close at depth `d` adopts every pending node at depth `d + 1`: those
+/// are exactly the children that closed since the previous depth-`d` span
+/// was consumed (RAII guarantees children close before their parent).
+/// Records at a depth deeper than `parent_depth + 1` (possible if a
+/// stream was torn mid-run) are treated as children of the next shallower
+/// close; depth gaps never panic.
+pub fn build_forest(closes: &[CloseRec]) -> Vec<Node> {
+    // pending[d] = completed subtrees at depth d awaiting their parent.
+    let mut pending: Vec<Vec<Node>> = Vec::new();
+    for (i, rec) in closes.iter().enumerate() {
+        let d = rec.depth;
+        if pending.len() <= d + 1 {
+            pending.resize_with(d + 2, Vec::new);
+        }
+        // Adopt everything strictly deeper than this close, deepest level
+        // first so a torn stream's orphans attach to the nearest parent.
+        let mut children = Vec::new();
+        for level in pending.iter_mut().skip(d + 1).rev() {
+            // Orphans from deeper levels are spliced in close order.
+            let mut adopted = std::mem::take(level);
+            adopted.extend(children);
+            children = adopted;
+        }
+        children.sort_by_key(|c| c.rec); // restore stream (close) order
+        pending[d].push(Node {
+            rec: i,
+            start_us: rec.start_us,
+            end_us: rec.end_us,
+            children,
+        });
+    }
+    // Whatever remains below depth 0 are orphans of torn parents; promote
+    // them to roots so no recorded span is silently dropped.
+    let mut roots = Vec::new();
+    for level in pending.into_iter() {
+        roots.extend(level);
+    }
+    roots.sort_by_key(|n| n.rec);
+    roots
+}
+
+/// Clamps every interval so the forest is viewer-consistent: children lie
+/// within `[parent.start, parent.end]`, siblings are disjoint and in
+/// order, and every duration is non-negative. Earlier spans win.
+pub fn clamp_forest(forest: &mut [Node]) {
+    let mut cursor = i64::MIN;
+    for node in forest.iter_mut() {
+        clamp_node(node, cursor, i64::MAX);
+        cursor = node.end_us;
+    }
+}
+
+fn clamp_node(node: &mut Node, min_start: i64, max_end: i64) {
+    node.start_us = node.start_us.clamp(min_start, max_end);
+    node.end_us = node.end_us.clamp(node.start_us, max_end);
+    let mut cursor = node.start_us;
+    for child in node.children.iter_mut() {
+        clamp_node(child, cursor, node.end_us);
+        cursor = child.end_us;
+    }
+}
+
+/// Pre-order flatten of a (clamped) forest into emission-ready spans.
+pub fn flatten(forest: &[Node]) -> Vec<FlatSpan> {
+    let mut out = Vec::new();
+    for node in forest {
+        flatten_into(node, &mut out);
+    }
+    out
+}
+
+fn flatten_into(node: &Node, out: &mut Vec<FlatSpan>) {
+    out.push(FlatSpan {
+        rec: node.rec,
+        start_us: node.start_us,
+        dur_us: node.end_us - node.start_us,
+    });
+    for child in &node.children {
+        flatten_into(child, out);
+    }
+}
+
+/// Checks the viewer invariant on flattened spans paired with their
+/// depths: any two spans are disjoint or properly nested. Used by tests
+/// (including the proptest in `tests/trace_export.rs`); exported so the
+/// test harness does not reimplement the predicate.
+pub fn intervals_consistent(spans: &[FlatSpan]) -> bool {
+    for (i, a) in spans.iter().enumerate() {
+        if a.dur_us < 0 {
+            return false;
+        }
+        let (a0, a1) = (a.start_us, a.start_us + a.dur_us);
+        for b in spans.iter().skip(i + 1) {
+            let (b0, b1) = (b.start_us, b.start_us + b.dur_us);
+            let disjoint = a1 <= b0 || b1 <= a0;
+            let a_in_b = b0 <= a0 && a1 <= b1;
+            let b_in_a = a0 <= b0 && b1 <= a1;
+            if !(disjoint || a_in_b || b_in_a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(depth: usize, start_us: i64, end_us: i64) -> CloseRec {
+        CloseRec { depth, start_us, end_us }
+    }
+
+    #[test]
+    fn single_span_roundtrips() {
+        let forest = build_forest(&[rec(0, 100, 200)]);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].rec, 0);
+        assert!(forest[0].children.is_empty());
+    }
+
+    #[test]
+    fn child_closes_before_parent() {
+        // Stream order: child (depth 1) then parent (depth 0).
+        let forest = build_forest(&[rec(1, 110, 150), rec(0, 100, 200)]);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].rec, 1);
+        assert_eq!(forest[0].children.len(), 1);
+        assert_eq!(forest[0].children[0].rec, 0);
+    }
+
+    #[test]
+    fn siblings_attach_to_their_own_parent() {
+        // parent A {child a}, parent B {child b} — four closes.
+        let closes = [
+            rec(1, 10, 20),  // a
+            rec(0, 0, 30),   // A adopts a
+            rec(1, 40, 50),  // b
+            rec(0, 35, 60),  // B adopts b (a was already consumed)
+        ];
+        let forest = build_forest(&closes);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].children.len(), 1);
+        assert_eq!(forest[0].children[0].rec, 0);
+        assert_eq!(forest[1].children.len(), 1);
+        assert_eq!(forest[1].children[0].rec, 2);
+    }
+
+    #[test]
+    fn deep_nesting_reconstructs() {
+        // d2 inside d1 inside d0, closing inner-out.
+        let closes = [rec(2, 3, 4), rec(1, 2, 5), rec(0, 1, 6)];
+        let forest = build_forest(&closes);
+        assert_eq!(forest.len(), 1);
+        let d0 = &forest[0];
+        assert_eq!(d0.children.len(), 1);
+        assert_eq!(d0.children[0].children.len(), 1);
+        assert_eq!(d0.children[0].children[0].rec, 0);
+    }
+
+    #[test]
+    fn torn_stream_orphans_become_roots() {
+        // A depth-1 close whose parent never closed (process killed).
+        let forest = build_forest(&[rec(1, 10, 20)]);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].rec, 0);
+    }
+
+    #[test]
+    fn depth_gap_adopts_nearest_parent() {
+        // depth 3 close followed directly by depth 1 (depth 2 torn).
+        let forest = build_forest(&[rec(3, 10, 20), rec(1, 5, 30)]);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].rec, 1);
+        assert_eq!(forest[0].children.len(), 1);
+        assert_eq!(forest[0].children[0].rec, 0);
+    }
+
+    #[test]
+    fn clamp_pulls_child_inside_parent() {
+        // Child [90, 250] sticks out of parent [100, 200] on both sides.
+        let mut forest = build_forest(&[rec(1, 90, 250), rec(0, 100, 200)]);
+        clamp_forest(&mut forest);
+        let child = &forest[0].children[0];
+        assert_eq!(child.start_us, 100);
+        assert_eq!(child.end_us, 200);
+        assert!(intervals_consistent(&flatten(&forest)));
+    }
+
+    #[test]
+    fn clamp_separates_overlapping_siblings() {
+        let closes = [rec(0, 0, 100), rec(0, 50, 150)];
+        let mut forest = build_forest(&closes);
+        clamp_forest(&mut forest);
+        assert_eq!(forest[0].end_us, 100);
+        assert_eq!(forest[1].start_us, 100); // pushed after sibling
+        assert!(intervals_consistent(&flatten(&forest)));
+    }
+
+    #[test]
+    fn clamp_never_negative_duration() {
+        // End before start, child "later" than parent — worst case.
+        let closes = [rec(1, 500, 400), rec(0, 300, 100)];
+        let mut forest = build_forest(&closes);
+        clamp_forest(&mut forest);
+        for s in flatten(&forest) {
+            assert!(s.dur_us >= 0);
+        }
+        assert!(intervals_consistent(&flatten(&forest)));
+    }
+
+    #[test]
+    fn consistent_input_is_untouched() {
+        let closes = [
+            rec(1, 10, 20),
+            rec(1, 25, 40),
+            rec(0, 0, 50),
+            rec(0, 60, 90),
+        ];
+        let mut forest = build_forest(&closes);
+        let before = flatten(&forest);
+        clamp_forest(&mut forest);
+        assert_eq!(before, flatten(&forest));
+    }
+
+    /// Splitmix64 — deterministic generator for the fuzz sweep below
+    /// (keeps this module std-only; the real proptest lives in
+    /// tests/trace_export.rs).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn fuzz_random_close_sequences_stay_consistent() {
+        let mut state = 0x5EED_0007u64;
+        for _case in 0..500 {
+            let n = (splitmix(&mut state) % 12 + 1) as usize;
+            let mut depth = 0usize;
+            let mut closes = Vec::new();
+            for _ in 0..n {
+                // Random walk over depths, biased downward so parents
+                // actually close; timings are arbitrary garbage.
+                let step = splitmix(&mut state) % 3;
+                depth = match step {
+                    0 => depth + 1,
+                    _ => depth.saturating_sub(1),
+                };
+                let a = (splitmix(&mut state) % 10_000) as i64;
+                let b = (splitmix(&mut state) % 10_000) as i64;
+                closes.push(rec(depth, a, b));
+            }
+            let mut forest = build_forest(&closes);
+            clamp_forest(&mut forest);
+            let flat = flatten(&forest);
+            assert_eq!(flat.len(), closes.len(), "no span dropped");
+            assert!(
+                intervals_consistent(&flat),
+                "inconsistent intervals for closes {closes:?} -> {flat:?}"
+            );
+        }
+    }
+}

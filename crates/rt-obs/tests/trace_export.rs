@@ -1,0 +1,146 @@
+//! Trace-export integration tests: live span trees → Chrome `trace_event`
+//! JSON round trips, and a proptest that exported `ts`/`dur` pairs never
+//! overlap incorrectly within a thread — whatever garbage the recorded
+//! float timestamps held.
+
+use proptest::prelude::*;
+use rt_obs::trace::build_trace;
+use rt_obs::trace_tree::{build_forest, clamp_forest, flatten, intervals_consistent, CloseRec};
+use rt_obs::{Event, Level};
+use serde_json::Value;
+
+/// A real nested run captured through the in-memory sink, exported, and
+/// checked structurally: nesting, thread track, attrs-as-args.
+#[test]
+fn live_span_tree_round_trips_to_trace_json() {
+    let _t = rt_obs::testing::lock();
+    let handle = rt_obs::init_memory(Level::All);
+    {
+        let _run = rt_obs::span!("run", "scale" => "smoke");
+        {
+            let _pre = rt_obs::span!("pretrain");
+            let _ep = rt_obs::span!("train.epoch", "epoch" => 0usize);
+        }
+        let _fin = rt_obs::span!("finetune");
+    }
+    rt_obs::finalize();
+    let text = handle.lines().join("\n");
+    let (events, malformed) = rt_obs::report::parse_jsonl(&text);
+    assert_eq!(malformed, 0);
+    let doc = build_trace(&events);
+    let all = doc["traceEvents"].as_array().expect("object form");
+
+    let xs: Vec<&Value> = all.iter().filter(|e| e["ph"] == "X").collect();
+    assert_eq!(xs.len(), 4, "every span exported: {all:?}");
+
+    // All four spans ran on the test thread -> one shared tid + a
+    // thread_name metadata record for it.
+    let tid = xs[0]["tid"].as_u64().unwrap();
+    assert!(xs.iter().all(|e| e["tid"].as_u64() == Some(tid)));
+    assert!(
+        all.iter()
+            .any(|e| e["ph"] == "M" && e["tid"].as_u64() == Some(tid)),
+        "thread track is named"
+    );
+
+    // Attrs became args; the hierarchical path rides along.
+    let find = |name: &str| xs.iter().find(|e| e["name"] == name).unwrap();
+    assert_eq!(find("run")["args"]["scale"], "smoke");
+    assert_eq!(find("train.epoch")["args"]["epoch"], 0);
+    assert_eq!(
+        find("train.epoch")["args"]["path"],
+        "run/pretrain/train.epoch"
+    );
+
+    // Nesting survives: each child interval lies within its parent's.
+    let interval = |name: &str| {
+        let e = find(name);
+        let t = e["ts"].as_i64().unwrap();
+        (t, t + e["dur"].as_i64().unwrap())
+    };
+    let (r0, r1) = interval("run");
+    let (p0, p1) = interval("pretrain");
+    let (e0, e1) = interval("train.epoch");
+    let (f0, f1) = interval("finetune");
+    assert!(r0 <= p0 && p1 <= r1, "pretrain inside run");
+    assert!(p0 <= e0 && e1 <= p1, "epoch inside pretrain");
+    assert!(r0 <= f0 && f1 <= r1, "finetune inside run");
+    assert!(p1 <= f0, "siblings ordered and disjoint");
+}
+
+/// Close-ordered depth walks with arbitrary (inconsistent) timings: the
+/// exported intervals must always be pairwise nested-or-disjoint and
+/// non-negative, and no span may be dropped.
+proptest! {
+    #[test]
+    fn exported_intervals_never_overlap_incorrectly(
+        walk in proptest::collection::vec((0u8..3, 0i64..20_000, 0i64..20_000), 1..40)
+    ) {
+        // Turn the random walk into a legal close sequence: depth moves
+        // like a stack (RAII), timings stay arbitrary garbage.
+        let mut depth = 0usize;
+        let closes: Vec<CloseRec> = walk
+            .iter()
+            .map(|&(step, a, b)| {
+                depth = match step {
+                    0 => depth + 1,
+                    _ => depth.saturating_sub(1),
+                };
+                CloseRec { depth, start_us: a, end_us: b }
+            })
+            .collect();
+        let mut forest = build_forest(&closes);
+        clamp_forest(&mut forest);
+        let flat = flatten(&forest);
+        prop_assert_eq!(flat.len(), closes.len(), "no span dropped");
+        prop_assert!(intervals_consistent(&flat), "overlap in {:?}", flat);
+    }
+}
+
+/// The same property end-to-end through the serde layer: random float
+/// ms-timestamped span events on one thread export to consistent
+/// integer-µs `ts`/`dur` pairs.
+proptest! {
+    #[test]
+    fn trace_json_ts_dur_pairs_are_consistent(
+        walk in proptest::collection::vec((0u8..3, 0.0f64..100.0, 0.0f64..100.0), 1..25)
+    ) {
+        let mut depth = 0usize;
+        let events: Vec<Event> = walk
+            .iter()
+            .enumerate()
+            .map(|(i, &(step, ms, ts_ms))| {
+                depth = match step {
+                    0 => depth + 1,
+                    _ => depth.saturating_sub(1),
+                };
+                Event::Span {
+                    name: format!("s{i}"),
+                    path: format!("s{i}"),
+                    depth,
+                    ms,
+                    self_ms: 0.0,
+                    ts_ms,
+                    thread: String::new(),
+                    attrs: serde_json::Map::new(),
+                    seq: i as u64,
+                }
+            })
+            .collect();
+        let doc = build_trace(&events);
+        let spans: Vec<rt_obs::trace_tree::FlatSpan> = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .enumerate()
+            .map(|(i, e)| rt_obs::trace_tree::FlatSpan {
+                rec: i,
+                start_us: e["ts"].as_i64().unwrap(),
+                dur_us: e["dur"].as_i64().unwrap(),
+            })
+            .collect();
+        prop_assert_eq!(spans.len(), events.len());
+        prop_assert!(intervals_consistent(&spans), "overlap in {:?}", spans);
+    }
+}

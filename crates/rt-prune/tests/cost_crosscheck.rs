@@ -1,0 +1,119 @@
+//! Cross-check of the two FLOP accountants: the live cost registry
+//! (`rt-obs::cost`, fed by every Linear/Conv2d execution) against the
+//! static plan inspector (`rt_prune::stats::sparse_exec_report`).
+//!
+//! Both derive from the same integer cost model, so the comparison is
+//! **exact** — no tolerances:
+//!
+//! * recorded `flops · report.dense_flops == recorded dense_flops ·
+//!   report.plan_flops` (the sparse/dense ratio is identical), and
+//! * recorded `dense_flops` is a whole multiple of the report's per-unit
+//!   `dense_flops`, with `flops == multiple · report.plan_flops`.
+//!
+//! Checked with sparse execution on (compiled plans run) and off (masked
+//! dense kernels, where recorded flops must equal recorded dense_flops).
+
+use rt_models::{MicroResNet, ResNetConfig};
+use rt_nn::loss::CrossEntropyLoss;
+use rt_nn::{ExecCtx, Layer};
+use rt_obs::Level;
+use rt_prune::stats::sparse_exec_report;
+use rt_prune::{omp, Granularity, OmpConfig, PruneScope};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::init;
+
+fn checked_model() -> MicroResNet {
+    let mut model =
+        MicroResNet::new(&ResNetConfig::smoke(2), &mut rng_from_seed(5)).expect("model");
+    let ticket = omp(&model, &OmpConfig::structured(0.5, Granularity::Channel)).expect("omp");
+    ticket.apply(&mut model).expect("apply");
+    model
+}
+
+fn check(sparse: bool) {
+    let mut model = checked_model();
+    // `all_weights` covers exactly the GEMM-shaped params the executor
+    // records costs for (the OMP ticket itself still has backbone scope,
+    // so the head's report entry is dense — also worth cross-checking).
+    let report = sparse_exec_report(&model, &PruneScope::all_weights());
+    assert!(!report.is_empty(), "smoke model has prunable layers");
+
+    let _handle = rt_obs::init_memory(Level::All);
+    let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng_from_seed(11));
+    let ctx = if sparse {
+        ExecCtx::eval().with_sparse(true)
+    } else {
+        ExecCtx::eval().with_sparse(false)
+    };
+    let logits = model.forward(&x, ctx).expect("forward");
+    let out = CrossEntropyLoss::new()
+        .forward(&logits, &[0, 1, 0, 1])
+        .expect("loss");
+    model.backward(&out.grad, ctx).expect("backward");
+    let snap = rt_obs::snapshot();
+    rt_obs::finalize();
+
+    let mut total_flops = 0u64;
+    let mut total_bytes = 0u64;
+    for rep in &report {
+        let cost = snap
+            .costs
+            .iter()
+            .find(|c| c.name == rep.name)
+            .unwrap_or_else(|| panic!("no cost recorded for layer {}", rep.name));
+        total_flops += cost.flops;
+        total_bytes += cost.bytes;
+        assert!(cost.bytes > 0, "{}: bytes recorded", rep.name);
+
+        if sparse {
+            // Same integer cost model on both sides: the sparse/dense
+            // ratios must agree exactly (cross-multiplied to stay in u64).
+            assert_eq!(
+                cost.flops as u128 * rep.dense_flops as u128,
+                cost.dense_flops as u128 * rep.plan_flops as u128,
+                "{}: registry flops ratio != report ratio",
+                rep.name
+            );
+            // The recorded totals are per-unit report numbers scaled by
+            // (units summed over forward + backward passes).
+            assert_eq!(
+                cost.dense_flops % rep.dense_flops,
+                0,
+                "{}: dense flops are a whole multiple of the per-unit count",
+                rep.name
+            );
+            let unit_passes = cost.dense_flops / rep.dense_flops;
+            assert!(unit_passes > 0, "{}: layer actually executed", rep.name);
+            assert_eq!(
+                cost.flops,
+                unit_passes * rep.plan_flops,
+                "{}: exact per-unit plan flops",
+                rep.name
+            );
+        } else {
+            // Masked-dense execution does the full dense work.
+            assert_eq!(
+                cost.flops, cost.dense_flops,
+                "{}: dense path records dense flops",
+                rep.name
+            );
+            assert_eq!(cost.dense_flops % rep.dense_flops, 0, "{}", rep.name);
+        }
+    }
+
+    // The model-wide counters are the same sums the trace attrs use.
+    assert_eq!(snap.counters.get("model.flops"), Some(&total_flops));
+    assert_eq!(snap.counters.get("model.bytes"), Some(&total_bytes));
+}
+
+#[test]
+fn cost_registry_matches_sparse_exec_report_with_plans() {
+    let _t = rt_obs::testing::lock();
+    check(true);
+}
+
+#[test]
+fn cost_registry_matches_sparse_exec_report_masked_dense() {
+    let _t = rt_obs::testing::lock();
+    check(false);
+}

@@ -206,6 +206,23 @@ impl SparsePlan {
             self.dense_flops(1) as f64 / plan as f64
         }
     }
+
+    /// Number of weights the selected plan actually touches per product:
+    /// the whole matrix for Dense, the packed live rectangle for Compact
+    /// (its GEMM reads every packed entry, live or not), and `nnz` for
+    /// CSR. By construction `plan_flops(b) == 2 · live_weights() · b`, so
+    /// this is the byte-accounting counterpart of the FLOP model.
+    pub fn live_weights(&self) -> u64 {
+        match self.kind {
+            PlanKind::Dense => self.dims.len() as u64,
+            PlanKind::Compact => {
+                (self.live_rows.len() as u64)
+                    * (self.live_col_groups.len() as u64)
+                    * (self.dims.col_group as u64)
+            }
+            PlanKind::Csr => self.nnz as u64,
+        }
+    }
 }
 
 /// Analyzes a mask against its matrix view and selects the cheapest
@@ -394,6 +411,35 @@ mod tests {
         assert_eq!(plan.dense_flops(1), 2 * 5 * 6);
         assert!(plan.theoretical_speedup() > 2.0);
         assert_eq!(plan.live_idx.len(), 12);
+    }
+
+    #[test]
+    fn live_weights_matches_plan_flops_at_every_kind() {
+        // Dense: whole matrix.
+        let dense = build_plan(&BitMask::ones(32), MatrixDims::linear(4, 8));
+        assert_eq!(dense.live_weights(), 32);
+        // Compact: the packed rectangle, not nnz.
+        let dims = MatrixDims::linear(5, 6);
+        let mut bits = BitMask::zeros(30);
+        for r in [1usize, 3] {
+            for c in 0..6 {
+                bits.set(r * 6 + c, true);
+            }
+        }
+        let compact = build_plan(&bits, dims);
+        assert_eq!(compact.kind, PlanKind::Compact);
+        assert_eq!(compact.live_weights(), 2 * 6);
+        // CSR: exactly nnz.
+        let csr = build_plan(&random_mask(16 * 32, 0.1, 7), MatrixDims::linear(16, 32));
+        assert_eq!(csr.kind, PlanKind::Csr);
+        assert_eq!(csr.live_weights(), csr.nnz as u64);
+        // The invariant the cost model relies on, for every kind.
+        for (plan, batch) in [(&dense, 3usize), (&compact, 5), (&csr, 2)] {
+            assert_eq!(
+                plan.plan_flops(batch),
+                2 * plan.live_weights() * batch as u64
+            );
+        }
     }
 
     #[test]

@@ -731,11 +731,11 @@ mod tests {
     #[test]
     fn delay_budget_is_consumed() {
         let _g = scoped(FaultPlan::default().with_delay(4, 1, 1));
-        let t0 = std::time::Instant::now();
+        let t0 = rt_obs::Stopwatch::start();
         fire_delay_cell(3, "other"); // not armed
         assert!(t0.elapsed() < std::time::Duration::from_millis(50));
         fire_delay_cell(4, "victim"); // sleeps ~1ms, consumes budget
-        let t1 = std::time::Instant::now();
+        let t1 = rt_obs::Stopwatch::start();
         fire_delay_cell(4, "victim"); // budget spent: no sleep
         assert!(t1.elapsed() < std::time::Duration::from_millis(50));
     }

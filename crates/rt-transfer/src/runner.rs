@@ -45,7 +45,8 @@ use std::fmt;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use rt_obs::Stopwatch;
+use std::time::Duration;
 
 /// Journal format version.
 const JOURNAL_VERSION: u32 = 1;
@@ -352,7 +353,7 @@ pub struct Runner {
     completed: HashMap<String, serde_json::Value>,
     journal: Option<std::fs::File>,
     next_ordinal: usize,
-    started: Instant,
+    started: Stopwatch,
     summary_written: bool,
     /// Execution counters.
     pub stats: RunnerStats,
@@ -420,7 +421,7 @@ impl Runner {
             completed,
             journal,
             next_ordinal: 0,
-            started: Instant::now(),
+            started: Stopwatch::start(),
             summary_written: false,
             stats: RunnerStats::default(),
         })
@@ -477,7 +478,20 @@ impl Runner {
         }
 
         let cell_span = rt_obs::span!("runner.cell", "key" => key, "ordinal" => ordinal);
-        let cell_t0 = Instant::now();
+        let cell_t0 = Stopwatch::start();
+        // Cost-registry watermarks: the per-cell delta of the model-wide
+        // FLOP/byte counters becomes span attrs, so a trace shows what
+        // each sweep cell actually computed. Both reads are no-ops (0)
+        // below level `all`.
+        let track_cost = rt_obs::metrics_enabled();
+        let (flops_before, bytes_before) = if track_cost {
+            (
+                rt_obs::counter("model.flops").get(),
+                rt_obs::counter("model.bytes").get(),
+            )
+        } else {
+            (0, 0)
+        };
         let mut attempt = 0usize;
         loop {
             let ctx = CellCtx {
@@ -490,7 +504,7 @@ impl Runner {
             // `rt-par` batches, and the hang fault all inherit it) and
             // the watchdog trips it once the deadline passes.
             let scope = rt_par::CancelScope::new();
-            let attempt_t0 = Instant::now();
+            let attempt_t0 = Stopwatch::start();
             let outcome = {
                 let _ambient = rt_par::with_cancel(scope.token());
                 let _deadline = self
@@ -511,8 +525,16 @@ impl Runner {
                 Ok(value) => {
                     self.record(key, attempt + 1, &value)?;
                     self.stats.executed += 1;
-                    self.stats.executed_ms += cell_t0.elapsed().as_secs_f64() * 1e3;
+                    self.stats.executed_ms += cell_t0.elapsed_ms();
                     cell_span.attr("attempts", attempt + 1);
+                    if track_cost {
+                        let df = rt_obs::counter("model.flops").get() - flops_before;
+                        let db = rt_obs::counter("model.bytes").get() - bytes_before;
+                        if df > 0 || db > 0 {
+                            cell_span.attr("model.flops", df);
+                            cell_span.attr("model.bytes", db);
+                        }
+                    }
                     rt_obs::counter("runner.cells_executed").inc();
                     rt_obs::event(
                         "runner.cell",
@@ -531,7 +553,7 @@ impl Runner {
                     // payload from a chunk boundary, or a panic racing
                     // the cancellation — counts as a deadline trip.
                     let deadline_hit = scope.tripped();
-                    let attempt_ms = attempt_t0.elapsed().as_secs_f64() * 1e3;
+                    let attempt_ms = attempt_t0.elapsed_ms();
                     let detail = if deadline_hit {
                         let budget_ms = self.cfg.deadline.map(|d| d.as_millis()).unwrap_or(0);
                         format!(
@@ -563,7 +585,7 @@ impl Runner {
                     );
                     if attempt >= self.cfg.max_retries {
                         self.stats.failed += 1;
-                        self.stats.executed_ms += cell_t0.elapsed().as_secs_f64() * 1e3;
+                        self.stats.executed_ms += cell_t0.elapsed_ms();
                         cell_span.attr("failed", true);
                         cell_span.attr("attempts", attempt + 1);
                         rt_obs::counter("runner.cells_failed").inc();
@@ -699,7 +721,7 @@ impl Runner {
                 let i = pending[t];
                 let key = &keys[i];
                 let ordinal = base + i;
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let mut attempt = 0usize;
                 let mut trips: Vec<(usize, f64)> = Vec::new();
                 let outcome = loop {
@@ -713,7 +735,7 @@ impl Runner {
                     // worker itself runs under), so a watchdog trip
                     // cancels only this attempt.
                     let scope = rt_par::CancelScope::new();
-                    let attempt_t0 = Instant::now();
+                    let attempt_t0 = Stopwatch::start();
                     let attempt_outcome = {
                         let _ambient = rt_par::with_cancel(scope.token());
                         let _deadline = deadline.map(|d| rt_par::watchdog::arm(scope.token(), d));
@@ -727,13 +749,13 @@ impl Runner {
                             break Outcome::Done {
                                 value,
                                 attempts: attempt + 1,
-                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                elapsed_ms: t0.elapsed_ms(),
                                 trips,
                             }
                         }
                         Err(payload) => {
                             let deadline_hit = scope.tripped();
-                            let attempt_ms = attempt_t0.elapsed().as_secs_f64() * 1e3;
+                            let attempt_ms = attempt_t0.elapsed_ms();
                             if deadline_hit {
                                 trips.push((attempt + 1, attempt_ms));
                             }
@@ -751,7 +773,7 @@ impl Runner {
                                 break Outcome::Failed {
                                     attempts: attempt + 1,
                                     detail,
-                                    elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                    elapsed_ms: t0.elapsed_ms(),
                                     trips,
                                     deadline: deadline_hit,
                                 };
@@ -920,7 +942,7 @@ impl Runner {
         let summary = RunnerSummary {
             v: SUMMARY_VERSION,
             journal: journal_path.display().to_string(),
-            wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            wall_ms: self.started.elapsed_ms(),
             stats: self.stats,
         };
         let bytes = serde_json::to_vec_pretty(&summary).map_err(|e| RunnerError::Codec {

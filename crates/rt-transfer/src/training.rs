@@ -190,12 +190,12 @@ fn run_epoch(
     let mut epoch_loss = 0.0f64;
     let mut batches = 0usize;
     // Hoisted out of the batch loop: one registry lookup per epoch, and
-    // the per-batch `Instant::now()` pair only happens when the handle is
-    // live (level `all`).
+    // the per-batch stopwatch only starts when the handle is live
+    // (level `all`).
     let batch_hist = rt_obs::histogram("train.batch_ms");
     let time_batches = batch_hist.is_active();
     for (images, labels) in data.shuffled_batches(config.batch_size, &mut rng) {
-        let batch_t0 = time_batches.then(std::time::Instant::now);
+        let batch_t0 = rt_obs::Stopwatch::start_if(time_batches);
         let inputs = match &config.objective {
             Objective::Natural => images,
             Objective::Adversarial(attack) => perturb(model, &images, &labels, attack, &mut rng)?,
@@ -226,7 +226,7 @@ fn run_epoch(
         model.backward(&out.grad, ctx)?;
         opt.step(model)?;
         if let Some(t0) = batch_t0 {
-            batch_hist.observe(t0.elapsed().as_secs_f64() * 1e3);
+            batch_hist.observe(t0.elapsed_ms());
         }
         epoch_loss += batch_loss as f64;
         batches += 1;
@@ -315,12 +315,12 @@ pub fn train_with_recovery(
             "epoch" => epoch,
             "lr" => lr as f64,
         );
-        let epoch_t0 = epoch_span.is_active().then(std::time::Instant::now);
+        let epoch_t0 = rt_obs::Stopwatch::start_if(epoch_span.is_active());
         match run_epoch(model, data, config, &loss_fn, lr, epoch, root_seed) {
             Ok(mean) => {
                 epoch_span.attr("loss", mean);
                 if let Some(t0) = epoch_t0 {
-                    let secs = t0.elapsed().as_secs_f64();
+                    let secs = t0.elapsed_s();
                     if secs > 0.0 {
                         epoch_span.attr("imgs_per_sec", data.len() as f64 / secs);
                     }
