@@ -25,6 +25,21 @@ echo "== sparse kernel smoke (bit-identity gate + speedup report) =="
 cargo run --release -p rt-bench --bin bench_sparse -- --quick --reps 1 \
     --out target/BENCH_sparse_ci.json --no-history
 
+echo "== serve smoke (batched inference: bit-identity + drain + history) =="
+# bench_serve drives the rt-serve batching service with 1/2/4/8 closed-loop
+# clients against a dense baseline and a density-0.125 ticket, and exits
+# nonzero if any batched response's bytes differ from serial single-sample
+# execution. The CI-local history append proves the loadgen feeds the
+# perf-trend pipeline.
+rm -f target/BENCH_serve_history_ci.jsonl
+cargo run --release -p rt-bench --bin bench_serve -- --quick \
+    --out target/BENCH_serve_ci.json --history target/BENCH_serve_history_ci.jsonl
+if [[ ! -s target/BENCH_serve_history_ci.jsonl ]]; then
+    echo "bench_serve did not append to the benchmark history"
+    exit 1
+fi
+rm -f target/BENCH_serve_history_ci.jsonl
+
 echo "== supervision smoke (deadlines, cancellation, kill-and-resume) =="
 # The supervision acceptance surface, under both cell executors: the
 # serial run_cell loop and the parallel batch fan-out (RT_PAR_CELLS=1).
@@ -167,6 +182,26 @@ if [[ -n "$maskmul" ]]; then
     echo "through Param::set_mask / BitMask::zero_pruned (assignment keeps"
     echo "pruned entries at +0.0, which the sparse plans rely on):"
     echo "$maskmul"
+    exit 1
+fi
+
+echo "== gemm discipline (the deprecated matmul entry points stay deleted) =="
+# The four pre-unification matmul shims (matmul / matmul_acc / matmul_at_b
+# / matmul_a_bt) were removed in favor of the single tiled `linalg::gemm`
+# entry point — every new call site must route through it so transpose
+# handling, accumulation order, and rt-par chunking stay in one place.
+# rt-sparse's `ref_matmul*` test oracles are independent reference
+# implementations, not calls into the old API, and are exempt via the
+# word boundary on the left. Comments are skipped so docs may name the
+# history.
+oldgemm=$(grep -rnE '(^|[^a-zA-Z0-9_])(matmul|matmul_acc|matmul_at_b|matmul_a_bt)\s*\(' \
+    crates/*/src src --include='*.rs' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' \
+    || true)
+if [[ -n "$oldgemm" ]]; then
+    echo "call to a deleted matmul shim — route matrix products through"
+    echo "rt_tensor::linalg::gemm (GemmOp handles transposes and accumulation):"
+    echo "$oldgemm"
     exit 1
 fi
 

@@ -4,7 +4,7 @@
 //! fixed, and reports downstream finetuning accuracy of the final ticket.
 
 use rt_adv::attack::AttackConfig;
-use rt_bench::{family_for, finish, pretrained_model, source_task, Protocol};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task, Protocol};
 use rt_prune::ImpConfig;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 use rt_transfer::ticket::imp_ticket_trajectory;
@@ -12,14 +12,19 @@ use rt_transfer::training::Objective;
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("ablate_aimp_strength");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("ablate-aimp-strength", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let task = family.downstream_task(&preset.c10_spec())?;
 
     let arch = preset.arch_r18();
-    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
+    let robust = pretrained_model(preset, "r18", &arch, &source, preset.adversarial_scheme())?;
 
     let base_eps = preset.pretrain_attack.epsilon;
     let epsilons = [0.0f32, base_eps * 0.5, base_eps, base_eps * 2.0];
@@ -27,7 +32,7 @@ fn main() {
     let mut record = ExperimentRecord::new(
         "ablate-aimp-strength",
         "A-IMP adversarial strength sweep (PGD epsilon during pruning rounds)",
-        scale,
+        preset.scale,
     );
     for (k, &eps) in epsilons.iter().enumerate() {
         let label = format!("eps={eps:.2}");
@@ -38,26 +43,23 @@ fn main() {
         };
         let imp_cfg = ImpConfig::paper(preset.imp_final_sparsity, preset.imp_rounds);
         let round_cfg = preset.imp_round_cfg(objective, 99 + k as u64);
-        let mut model = robust.fresh_model(5 + k as u64).expect("model");
-        model
-            .replace_head(
-                task.train.num_classes(),
-                &mut rt_tensor::rng::SeedStream::new(6).rng(),
-            )
-            .expect("head");
+        let mut model = robust.fresh_model(5 + k as u64)?;
+        model.replace_head(
+            task.train.num_classes(),
+            &mut rt_tensor::rng::SeedStream::new(6).rng(),
+        )?;
         let trajectory =
-            imp_ticket_trajectory(&mut model, &robust, &task.train, &imp_cfg, &round_cfg)
-                .expect("imp");
+            imp_ticket_trajectory(&mut model, &robust, &task.train, &imp_cfg, &round_cfg)?;
         let mut series = Series::new(label.clone());
         for (i, (sparsity, ticket)) in trajectory.iter().enumerate() {
             let acc = rt_bench::score_ticket_avg(
-                &preset,
+                preset,
                 &robust,
                 ticket,
                 &task,
                 Protocol::Finetune,
                 800 + i as u64,
-            );
+            )?;
             eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
             series.push(*sparsity, acc);
         }
@@ -69,5 +71,6 @@ fn main() {
          the pruning signal"
             .to_string(),
     );
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

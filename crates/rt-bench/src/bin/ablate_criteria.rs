@@ -9,7 +9,9 @@
 //! robust dense model's accuracy under the gradient-free Square attack as
 //! a gradient-masking sanity check (PGD and Square should roughly agree).
 
-use rt_bench::{family_for, finish, pretrained_model, score_ticket_avg, source_task, Protocol};
+use rt_bench::{
+    abort_on_error, family_for, finish, pretrained_model, score_ticket_avg, source_task, Protocol,
+};
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::{ExecCtx, Layer};
 use rt_prune::{omp, random_ticket, saliency_ticket, OmpConfig, PruneScope};
@@ -19,40 +21,41 @@ use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("ablate_criteria");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("ablate-criteria", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let task = family.downstream_task(&preset.c10_spec())?;
 
     let arch = preset.arch_r18();
-    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
+    let robust = pretrained_model(preset, "r18", &arch, &source, preset.adversarial_scheme())?;
 
     let mut record = ExperimentRecord::new(
         "ablate-criteria",
         "ticket selection criteria: magnitude vs saliency vs random (robust R18)",
-        scale,
+        preset.scale,
     );
     for criterion in ["magnitude", "saliency", "random"] {
         let mut series = Series::new(criterion);
         for (i, &sparsity) in preset.sparsity_grid.iter().enumerate() {
-            let mut model = robust.fresh_model(900 + i as u64).expect("model");
+            let mut model = robust.fresh_model(900 + i as u64)?;
             let ticket = match criterion {
-                "magnitude" => omp(&model, &OmpConfig::unstructured(sparsity)).expect("omp"),
+                "magnitude" => omp(&model, &OmpConfig::unstructured(sparsity))?,
                 "saliency" => {
                     // Accumulate source-task gradients for the saliency
                     // scores (one pass over a gradient batch).
                     let (images, labels) = source
                         .train
-                        .gather(&(0..EVAL_BATCH.min(source.train.len())).collect::<Vec<_>>())
-                        .expect("batch");
-                    let logits = model.forward(&images, ExecCtx::train()).expect("forward");
-                    let out = CrossEntropyLoss::new()
-                        .forward(&logits, &labels)
-                        .expect("loss");
-                    model.backward(&out.grad, ExecCtx::default()).expect("backward");
-                    let t = saliency_ticket(&model, sparsity, &PruneScope::backbone())
-                        .expect("saliency");
+                        .gather(&(0..EVAL_BATCH.min(source.train.len())).collect::<Vec<_>>())?;
+                    let logits = model.forward(&images, ExecCtx::train())?;
+                    let out = CrossEntropyLoss::new().forward(&logits, &labels)?;
+                    model.backward(&out.grad, ExecCtx::default())?;
+                    let t = saliency_ticket(&model, sparsity, &PruneScope::backbone())?;
                     model.zero_grad();
                     t
                 }
@@ -61,17 +64,16 @@ fn main() {
                     sparsity,
                     &PruneScope::backbone(),
                     &mut SeedStream::new(77).child_idx(i as u64).rng(),
-                )
-                .expect("random"),
+                )?,
             };
             let acc = score_ticket_avg(
-                &preset,
+                preset,
                 &robust,
                 &ticket,
                 &task,
                 Protocol::Finetune,
                 40 + i as u64,
-            );
+            )?;
             eprintln!("[{criterion}] s={sparsity:.3} acc={acc:.4}");
             series.push(sparsity, acc);
         }
@@ -79,24 +81,21 @@ fn main() {
     }
 
     // Gradient-masking sanity check on the dense robust model.
-    let mut model = robust.fresh_model(1).expect("model");
+    let mut model = robust.fresh_model(1)?;
     let (images, labels) = source
         .test
-        .gather(&(0..EVAL_BATCH.min(source.test.len())).collect::<Vec<_>>())
-        .expect("batch");
+        .gather(&(0..EVAL_BATCH.min(source.test.len())).collect::<Vec<_>>())?;
     let mut rng = SeedStream::new(5).rng();
     let pgd_acc = {
         let adv =
-            rt_adv::attack::perturb(&mut model, &images, &labels, &preset.eval_attack, &mut rng)
-                .expect("pgd");
-        rt_adv::eval::clean_accuracy(&mut model, &adv, &labels).expect("acc")
+            rt_adv::attack::perturb(&mut model, &images, &labels, &preset.eval_attack, &mut rng)?;
+        rt_adv::eval::clean_accuracy(&mut model, &adv, &labels)?
     };
     let square_cfg = rt_adv::SquareConfig::new(preset.eval_attack.epsilon).with_iterations(60);
     let square_acc = {
         let adv =
-            rt_adv::square::square_attack(&mut model, &images, &labels, &square_cfg, &mut rng)
-                .expect("square");
-        rt_adv::eval::clean_accuracy(&mut model, &adv, &labels).expect("acc")
+            rt_adv::square::square_attack(&mut model, &images, &labels, &square_cfg, &mut rng)?;
+        rt_adv::eval::clean_accuracy(&mut model, &adv, &labels)?
     };
     record.notes.push(format!(
         "gradient-masking check on the dense robust model: PGD acc {pgd_acc:.3} vs \
@@ -108,5 +107,6 @@ fn main() {
          any informed prior dominates chance"
             .to_string(),
     );
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

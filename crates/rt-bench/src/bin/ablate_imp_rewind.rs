@@ -3,7 +3,7 @@
 //! weights after each pruning round; the ablation keeps training from the
 //! current weights instead.
 
-use rt_bench::{family_for, finish, pretrained_model, source_task, Protocol};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task, Protocol};
 use rt_prune::ImpConfig;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 use rt_transfer::ticket::imp_ticket_trajectory;
@@ -11,44 +11,46 @@ use rt_transfer::training::Objective;
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("ablate_imp_rewind");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("ablate-imp-rewind", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let task = family.downstream_task(&preset.c10_spec())?;
 
     let arch = preset.arch_r18();
-    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
+    let robust = pretrained_model(preset, "r18", &arch, &source, preset.adversarial_scheme())?;
 
     let mut record = ExperimentRecord::new(
         "ablate-imp-rewind",
         "A-IMP with vs without weight rewinding (robust R18, DS pruning)",
-        scale,
+        preset.scale,
     );
     for (label, rewind) in [("rewind", true), ("no-rewind", false)] {
         let imp_cfg =
             ImpConfig::paper(preset.imp_final_sparsity, preset.imp_rounds).with_rewind(rewind);
         let round_cfg = preset.imp_round_cfg(Objective::Adversarial(preset.pretrain_attack), 88);
-        let mut model = robust.fresh_model(3).expect("model");
-        model
-            .replace_head(
-                task.train.num_classes(),
-                &mut rt_tensor::rng::SeedStream::new(4).rng(),
-            )
-            .expect("head");
+        let mut model = robust.fresh_model(3)?;
+        model.replace_head(
+            task.train.num_classes(),
+            &mut rt_tensor::rng::SeedStream::new(4).rng(),
+        )?;
         let trajectory =
-            imp_ticket_trajectory(&mut model, &robust, &task.train, &imp_cfg, &round_cfg)
-                .expect("imp");
+            imp_ticket_trajectory(&mut model, &robust, &task.train, &imp_cfg, &round_cfg)?;
         let mut series = Series::new(label);
         for (i, (sparsity, ticket)) in trajectory.iter().enumerate() {
             let acc = rt_bench::score_ticket_avg(
-                &preset,
+                preset,
                 &robust,
                 ticket,
                 &task,
                 Protocol::Finetune,
                 650 + i as u64,
-            );
+            )?;
             eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
             series.push(*sparsity, acc);
         }
@@ -60,5 +62,6 @@ fn main() {
          transferred from pretrained initialization"
             .to_string(),
     );
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

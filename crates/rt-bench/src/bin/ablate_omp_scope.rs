@@ -3,40 +3,45 @@
 //! thresholds force uniform per-layer sparsity. Run on the robust R18
 //! analog, whole-model finetuning on the CIFAR-10 analog.
 
-use rt_bench::{family_for, finish, pretrained_model, source_task, Protocol};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task, Protocol};
 use rt_prune::{omp, OmpConfig};
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("ablate_omp_scope");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("ablate-omp-scope", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let task = family.downstream_task(&preset.c10_spec())?;
 
     let arch = preset.arch_r18();
-    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
+    let robust = pretrained_model(preset, "r18", &arch, &source, preset.adversarial_scheme())?;
 
     let mut record = ExperimentRecord::new(
         "ablate-omp-scope",
         "global vs layer-wise OMP thresholds (robust R18 tickets)",
-        scale,
+        preset.scale,
     );
     for (label, layerwise) in [("global", false), ("layerwise", true)] {
         let mut series = Series::new(label);
         for (i, &sparsity) in preset.sparsity_grid.iter().enumerate() {
-            let model = robust.fresh_model(600 + i as u64).expect("model");
+            let model = robust.fresh_model(600 + i as u64)?;
             let cfg = OmpConfig::unstructured(sparsity).with_layerwise(layerwise);
-            let ticket = omp(&model, &cfg).expect("omp");
+            let ticket = omp(&model, &cfg)?;
             let acc = rt_bench::score_ticket_avg(
-                &preset,
+                preset,
                 &robust,
                 &ticket,
                 &task,
                 Protocol::Finetune,
                 21 + i as u64,
-            );
+            )?;
             eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
             series.push(sparsity, acc);
         }
@@ -47,5 +52,6 @@ fn main() {
          sparsity, where uniform thresholds over-prune thin layers"
             .to_string(),
     );
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

@@ -1,0 +1,432 @@
+//! **bench_serve** — closed-loop load generator for the batched
+//! ticket-inference service (`rt-serve`).
+//!
+//! Serves two variants of the same two-layer MLP snapshot — the dense
+//! baseline and a channel-structured ticket at density 1/8 executed
+//! through its compiled sparse plans — and drives each with 1/2/4/8
+//! closed-loop clients (every client keeps exactly one request in
+//! flight). Per client count it reports p50/p99 request latency and
+//! throughput, plus the sparse-vs-dense throughput speedup, and writes
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve [--out BENCH_serve.json] [--iters N] [--quick]
+//!             [--history PATH | --no-history]
+//! ```
+//!
+//! The run **fails** if any served response's bytes differ from a serial
+//! single-sample forward through an identically restored model — the
+//! loadgen doubles as the end-to-end bit-identity gate on the batching
+//! path (requests coalesce into micro-batches whose per-row results must
+//! be byte-equal to batch-size-1 execution).
+
+use rt_bench::history::{append_history, default_history_path, HistoryEntry};
+use rt_nn::checkpoint::StateDict;
+use rt_nn::layers::{Linear, Relu};
+use rt_nn::{Layer, Sequential};
+use rt_prune::TicketMask;
+use rt_serve::{ModelSpec, ServeConfig, Service};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::Tensor;
+use rt_transfer::runner::ExitCode;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Closed-loop client counts swept per variant.
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Distinct request payloads cycled through by the clients (also the
+/// serial-reference set for the bit-identity check).
+const DISTINCT_SAMPLES: usize = 16;
+
+/// Rows kept by the ticket: 1 in `ROW_KEEP` output units per Linear —
+/// density 0.125, inside the acceptance band (≤ 0.2).
+const ROW_KEEP: usize = 8;
+
+/// Schema version of `BENCH_serve.json`.
+const BENCH_VERSION: u32 = 1;
+
+struct Args {
+    out: PathBuf,
+    iters: usize,
+    quick: bool,
+    history: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut iters = 40usize;
+    let mut quick = false;
+    let mut history = Some(default_history_path());
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(argv.next().ok_or("--out needs a path")?),
+            "--iters" => {
+                iters = argv
+                    .next()
+                    .ok_or("--iters needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--quick" => quick = true,
+            "--history" => {
+                history = Some(PathBuf::from(argv.next().ok_or("--history needs a path")?));
+            }
+            "--no-history" => history = None,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_serve [--out BENCH_serve.json] [--iters N] [--quick] \
+                     [--history PATH | --no-history]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if iters == 0 {
+        return Err("--iters must be at least 1".to_string());
+    }
+    Ok(Args {
+        out,
+        iters,
+        quick,
+        history,
+    })
+}
+
+/// The served architecture: a square two-layer MLP, large enough that the
+/// forward dominates queueing overhead.
+fn mlp(dim: usize, seed: u64) -> Sequential {
+    let mut rng = rng_from_seed(seed);
+    Sequential::new(vec![
+        Box::new(Linear::new(dim, dim, &mut rng).expect("linear 1")),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(dim, dim, &mut rng).expect("linear 2")),
+    ])
+}
+
+/// Channel-structured ticket keeping one in [`ROW_KEEP`] output units of
+/// each Linear (slots 0 and 2): the mask compiles to compact row plans,
+/// the configuration where sparse execution actually skips work.
+fn row_ticket(dim: usize, model: &Sequential) -> TicketMask {
+    let mut ticket = TicketMask::dense(model);
+    for slot in [0usize, 2] {
+        ticket.set_slot(
+            slot,
+            Some(Tensor::from_fn(&[dim, dim], |i| {
+                if (i / dim) % ROW_KEEP == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })),
+        );
+    }
+    ticket
+}
+
+/// Deterministic request payload `s` (one of [`DISTINCT_SAMPLES`]).
+fn sample(dim: usize, s: usize) -> Tensor {
+    Tensor::from_fn(&[dim], |j| ((s * 31 + j * 7) % 13) as f32 / 6.5 - 1.0)
+}
+
+/// Exact bitwise fold of a float slice — equal folds mean equal bytes.
+fn bitfold(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in data {
+        h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One `(variant, client count)` closed-loop measurement.
+struct Sample {
+    clients: usize,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+/// One served variant's sweep over client counts.
+struct ServeWorkload {
+    name: &'static str,
+    sparse: bool,
+    samples: Vec<Sample>,
+    /// Every response byte-equal to its serial single-sample reference.
+    bit_identical: bool,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Drives one service variant with every client count. Each client is a
+/// `rt_par` task holding one request in flight; responses are folded and
+/// checked against `reference` (bitfolds of the serial forwards).
+fn run_variant(
+    name: &'static str,
+    sparse: bool,
+    service: &Service,
+    key: u64,
+    dim: usize,
+    iters: usize,
+    reference: &[u64],
+) -> ServeWorkload {
+    let mut samples = Vec::new();
+    let mut bit_identical = true;
+    for &clients in &CLIENT_COUNTS {
+        let latencies: Vec<Mutex<Vec<f64>>> =
+            (0..clients).map(|_| Mutex::new(Vec::new())).collect();
+        let divergences = Mutex::new(0usize);
+        let t0 = Instant::now();
+        rt_par::run_tasks(clients, &|c| {
+            let mut local = Vec::with_capacity(iters);
+            let mut diverged = 0usize;
+            for i in 0..iters {
+                let s = (c * iters + i) % DISTINCT_SAMPLES;
+                let req = Instant::now();
+                let y = service
+                    .infer(key, sample(dim, s))
+                    .expect("loadgen request failed");
+                local.push(req.elapsed().as_secs_f64() * 1e3);
+                if bitfold(y.data()) != reference[s] {
+                    diverged += 1;
+                }
+            }
+            *latencies[c].lock().unwrap() = local;
+            *divergences.lock().unwrap() += diverged;
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let mut all: Vec<f64> = latencies
+            .iter()
+            .flat_map(|m| m.lock().unwrap().clone())
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let total = (clients * iters) as f64;
+        let diverged = *divergences.lock().unwrap();
+        bit_identical &= diverged == 0;
+        let s = Sample {
+            clients,
+            throughput_rps: total / wall_s,
+            p50_ms: percentile(&all, 0.50),
+            p99_ms: percentile(&all, 0.99),
+            mean_ms: all.iter().sum::<f64>() / total,
+        };
+        rt_obs::console!(
+            "[bench] {name} x{clients}: {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms, divergences={diverged}",
+            s.throughput_rps,
+            s.p50_ms,
+            s.p99_ms
+        );
+        samples.push(s);
+    }
+    ServeWorkload {
+        name,
+        sparse,
+        samples,
+        bit_identical,
+    }
+}
+
+/// Hand-rolled JSON encoding — flat schema, minimal dependency surface
+/// (mirrors `bench_sparse`).
+fn encode_json(
+    iters: usize,
+    quick: bool,
+    dim: usize,
+    density: f64,
+    workloads: &[ServeWorkload],
+    speedups: &[(usize, f64)],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"v\": {BENCH_VERSION},\n"));
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    s.push_str(&format!("  \"generated_unix_ms\": {now},\n"));
+    s.push_str(&format!("  \"iters_per_client\": {iters},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"dim\": {dim},\n"));
+    s.push_str(&format!("  \"ticket_density\": {density},\n"));
+    s.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        s.push_str(&format!("      \"sparse\": {},\n", w.sparse));
+        s.push_str(&format!("      \"bit_identical\": {},\n", w.bit_identical));
+        s.push_str("      \"samples\": [\n");
+        for (si, sm) in w.samples.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"clients\": {}, \"throughput_rps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"mean_ms\": {:.4}}}{}\n",
+                sm.clients,
+                sm.throughput_rps,
+                sm.p50_ms,
+                sm.p99_ms,
+                sm.mean_ms,
+                if si + 1 < w.samples.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"sparse_speedup\": [\n");
+    for (i, (clients, speedup)) in speedups.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clients\": {clients}, \"speedup\": {speedup:.4}}}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let best = speedups.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+    s.push_str(&format!("  \"sparse_speedup_best\": {best:.4}\n"));
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::Usage.exit();
+        }
+    };
+    rt_obs::init_from_env();
+    let dim = if args.quick { 256 } else { 768 };
+    let iters = if args.quick {
+        args.iters.min(12)
+    } else {
+        args.iters
+    };
+    // Enough pool threads that every swept client count runs concurrently.
+    rt_par::set_threads(*CLIENT_COUNTS.last().unwrap());
+
+    let reference_model = mlp(dim, 42);
+    let snapshot = StateDict::capture(&reference_model);
+    let density = 1.0 / ROW_KEEP as f64;
+
+    // Serial single-sample references, per variant: restore exactly as the
+    // service will, forward each distinct payload at batch size 1.
+    let serial_refs = |with_ticket: bool| -> Vec<u64> {
+        let mut m = mlp(dim, 0);
+        snapshot.restore(&mut m).expect("restore reference");
+        if with_ticket {
+            row_ticket(dim, &reference_model)
+                .apply(&mut m)
+                .expect("apply reference ticket");
+        }
+        let ctx = rt_nn::ExecCtx::eval().with_sparse(with_ticket);
+        (0..DISTINCT_SAMPLES)
+            .map(|s| {
+                let flat = sample(dim, s);
+                let mut data = Vec::with_capacity(dim);
+                data.extend_from_slice(flat.data());
+                let x = Tensor::from_vec(vec![1, dim], data).expect("reference batch");
+                let y = m.forward(&x, ctx).expect("reference forward");
+                bitfold(y.data())
+            })
+            .collect()
+    };
+    let dense_refs = serial_refs(false);
+    let sparse_refs = serial_refs(true);
+
+    // `max_wait_ms(0)` makes this a pure closed-loop adaptive batcher:
+    // batches form from whatever queued while the previous batch ran, and
+    // a lone client never stalls on the flush timer.
+    let serve_cfg = |sparse: bool| -> ServeConfig {
+        ServeConfig::builder()
+            .max_batch(*CLIENT_COUNTS.last().unwrap())
+            .max_wait_ms(0)
+            .queue_cap(64)
+            .sparse(Some(sparse))
+            .build()
+            .expect("serve config")
+    };
+
+    let mut workloads = Vec::new();
+    for (name, sparse) in [("dense", false), ("sparse_ticket", true)] {
+        let service = Service::new(serve_cfg(sparse));
+        let mut spec = ModelSpec::new(snapshot.clone(), {
+            let d = dim;
+            move || Ok(Box::new(mlp(d, 0)))
+        });
+        if sparse {
+            spec = spec.with_ticket(row_ticket(dim, &reference_model));
+        }
+        let key = service.admit(spec).expect("admit");
+        let reference = if sparse { &sparse_refs } else { &dense_refs };
+        workloads.push(run_variant(
+            name, sparse, &service, key, dim, iters, reference,
+        ));
+        service.shutdown();
+        let stats = service.stats();
+        assert_eq!(
+            stats.completed,
+            (CLIENT_COUNTS.iter().sum::<usize>() * iters) as u64,
+            "drain must complete every admitted request"
+        );
+    }
+
+    let speedups: Vec<(usize, f64)> = workloads[0]
+        .samples
+        .iter()
+        .zip(&workloads[1].samples)
+        .map(|(d, s)| (d.clients, s.throughput_rps / d.throughput_rps))
+        .collect();
+    for (clients, speedup) in &speedups {
+        rt_obs::console!("[bench] sparse/dense throughput x{clients}: {speedup:.2}x");
+    }
+    let best = speedups.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+    if best < 2.0 {
+        rt_obs::console!(
+            "[bench] WARNING: best sparse speedup {best:.2}x below the 2x acceptance bar"
+        );
+    }
+
+    let all_identical = workloads.iter().all(|w| w.bit_identical);
+    let json = encode_json(iters, args.quick, dim, density, &workloads, &speedups);
+    if let Err(e) = rt_nn::checkpoint::atomic_write(&args.out, json.as_bytes()) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        ExitCode::PersistentFailure.exit();
+    }
+    rt_obs::console!("[bench] wrote {}", args.out.display());
+    if let Some(hist_path) = &args.history {
+        let mut entry = HistoryEntry::new("bench_serve", args.quick);
+        for w in &workloads {
+            for s in &w.samples {
+                entry = entry.metric(
+                    &format!("serve_{}_{}c_rps", w.name, s.clients),
+                    s.throughput_rps,
+                );
+                if s.clients == 4 {
+                    entry = entry.metric(&format!("serve_{}_4c_p99_ms", w.name), s.p99_ms);
+                }
+            }
+        }
+        for (clients, speedup) in &speedups {
+            entry = entry.metric(&format!("serve_speedup_{clients}c"), *speedup);
+        }
+        if let Err(e) = append_history(hist_path, &entry) {
+            eprintln!("cannot append history {}: {e}", hist_path.display());
+        } else {
+            rt_obs::console!("[bench] history += {}", hist_path.display());
+        }
+    }
+    if !all_identical {
+        eprintln!("BIT DIVERGENCE: a batched response differs from serial execution");
+        ExitCode::PersistentFailure.exit();
+    }
+}

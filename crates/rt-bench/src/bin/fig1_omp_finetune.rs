@@ -11,22 +11,26 @@
 //! integration test exercises the exact production code path. Run with
 //! `--resume` to continue an interrupted sweep from its journal.
 
-use rt_bench::{abort_on_runner_error, fig1_record, finish, runner_for};
+use rt_bench::{abort_on_error, fig1_record, finish, runner_for};
 use rt_transfer::experiment::{Preset, Scale};
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig1_omp_finetune");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let mut runner = runner_for(&preset, "fig1");
-    match fig1_record(&preset, &mut runner) {
-        Ok(record) => {
-            eprintln!(
-                "[fig1] cells: {} executed, {} resumed, {} retried",
-                runner.stats.executed, runner.stats.skipped, runner.stats.retries
-            );
-            finish(&record, &preset);
-        }
-        Err(e) => abort_on_runner_error("fig1", e),
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig1", e);
     }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let mut runner = runner_for(preset, "fig1")?;
+    let record = fig1_record(preset, &mut runner)?;
+    rt_obs::console!(
+        "[fig1] cells: {} executed, {} resumed, {} retried",
+        runner.stats.executed,
+        runner.stats.skipped,
+        runner.stats.retries
+    );
+    finish(&record, preset);
+    Ok(())
 }

@@ -7,8 +7,8 @@
 //! robust features tolerate the domain shift far better.
 
 use rt_bench::{
-    abort_on_runner_error, family_for, finish, omp_sweep, pretrained_model, source_task,
-    win_count, Protocol,
+    abort_on_error, family_for, finish, omp_sweep, pretrained_model, source_task, win_count,
+    Protocol,
 };
 use rt_prune::Granularity;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
@@ -16,44 +16,48 @@ use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig2_omp_linear");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let mut runner = rt_bench::runner_for(&preset, "fig2");
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig2", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let mut runner = rt_bench::runner_for(preset, "fig2")?;
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
     let tasks = [
-        family.downstream_task(&preset.c10_spec()).expect("c10"),
-        family.downstream_task(&preset.c100_spec()).expect("c100"),
+        family.downstream_task(&preset.c10_spec())?,
+        family.downstream_task(&preset.c100_spec())?,
     ];
 
     let mut record = ExperimentRecord::new(
         "fig2",
         "OMP tickets, linear evaluation: robust vs natural",
-        scale,
+        preset.scale,
     );
     for (arch_label, arch) in [("r18", preset.arch_r18()), ("r50", preset.arch_r50())] {
         let natural =
-            pretrained_model(&preset, arch_label, &arch, &source, PretrainScheme::Natural);
+            pretrained_model(preset, arch_label, &arch, &source, PretrainScheme::Natural)?;
         let robust = pretrained_model(
-            &preset,
+            preset,
             arch_label,
             &arch,
             &source,
             preset.adversarial_scheme(),
-        );
+        )?;
         for task in &tasks {
             for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
                 let series = omp_sweep(
                     &mut runner,
-                    &preset,
+                    preset,
                     pre,
                     task,
                     Granularity::Element,
                     Protocol::Linear,
                     format!("{kind}/{arch_label}/{}", task.name),
                     &preset.sparsity_grid,
-                )
-                .unwrap_or_else(|e| abort_on_runner_error("fig2", e));
+                )?;
                 record.series.push(series);
             }
         }
@@ -75,5 +79,6 @@ fn main() {
          (paper: aggressive robust wins under linear evaluation)",
         gap_sum / total.max(1) as f64
     ));
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

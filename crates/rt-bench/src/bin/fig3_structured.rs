@@ -7,8 +7,8 @@
 //! inherit fewer robustness priors.
 
 use rt_bench::{
-    abort_on_runner_error, family_for, finish, omp_sweep, pretrained_model, source_task,
-    win_count, Protocol,
+    abort_on_error, family_for, finish, omp_sweep, pretrained_model, source_task, win_count,
+    Protocol,
 };
 use rt_prune::{omp, sparse_exec_report, Granularity, OmpConfig, PruneScope};
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
@@ -16,16 +16,21 @@ use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig3_structured");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let mut runner = rt_bench::runner_for(&preset, "fig3");
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig3", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let mut runner = rt_bench::runner_for(preset, "fig3")?;
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let task = family.downstream_task(&preset.c10_spec())?;
 
     let arch = preset.arch_r50();
-    let natural = pretrained_model(&preset, "r50", &arch, &source, PretrainScheme::Natural);
-    let robust = pretrained_model(&preset, "r50", &arch, &source, preset.adversarial_scheme());
+    let natural = pretrained_model(preset, "r50", &arch, &source, PretrainScheme::Natural)?;
+    let robust = pretrained_model(preset, "r50", &arch, &source, preset.adversarial_scheme())?;
 
     // Structured pruning is harsher; cap the sweep below the extreme tail.
     let sparsities: Vec<f64> = preset
@@ -38,7 +43,7 @@ fn main() {
     let mut record = ExperimentRecord::new(
         "fig3",
         "structured OMP tickets (row/kernel/channel) from the R50 analog",
-        scale,
+        preset.scale,
     );
     let mut per_gran_gap = Vec::new();
     for granularity in Granularity::structured() {
@@ -50,15 +55,14 @@ fn main() {
             for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
                 let series = omp_sweep(
                     &mut runner,
-                    &preset,
+                    preset,
                     pre,
                     &task,
                     granularity,
                     protocol,
                     format!("{kind}/{gran_label}/{}", protocol.label()),
                     &sparsities,
-                )
-                .unwrap_or_else(|e| abort_on_runner_error("fig3", e));
+                )?;
                 pair.push(series);
             }
             let (_, _) = win_count(&pair[1], &pair[0]);
@@ -84,10 +88,9 @@ fn main() {
     let deepest = sparsities.iter().copied().fold(0.0f64, f64::max);
     for granularity in Granularity::structured() {
         let gran_label = format!("{granularity:?}").to_lowercase();
-        let mut m = robust.fresh_model(0).expect("model");
-        let ticket =
-            omp(&m, &OmpConfig::structured(deepest, granularity)).expect("omp ticket");
-        ticket.apply(&mut m).expect("apply ticket");
+        let mut m = robust.fresh_model(0)?;
+        let ticket = omp(&m, &OmpConfig::structured(deepest, granularity))?;
+        ticket.apply(&mut m)?;
         let report = sparse_exec_report(&m, &PruneScope::backbone());
         let dense: u64 = report.iter().map(|l| l.dense_flops).sum();
         let plan: u64 = report.iter().map(|l| l.plan_flops).sum();
@@ -111,5 +114,6 @@ fn main() {
          the sparsity pattern coarsens (row > kernel > channel)"
             .to_string(),
     );
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

@@ -9,7 +9,7 @@
 //! (CIFAR-100-analog) task natural tickets may overtake at extreme
 //! sparsity.
 
-use rt_bench::{abort_on_runner_error, family_for, finish, pretrained_model, source_task, Protocol};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task, Protocol};
 use rt_data::Task;
 use rt_prune::ImpConfig;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
@@ -57,6 +57,7 @@ fn imp_curve(
         // four-curve-per-panel structure averages out per-point noise.
         let mut single = preset.clone();
         single.eval_seeds = 1;
+        // Unwrap inside the cell: panic is the runner's failure channel.
         let acc = rt_bench::score_ticket_avg(
             &single,
             pre,
@@ -64,7 +65,8 @@ fn imp_curve(
             eval_task,
             Protocol::Finetune,
             100 + i as u64 + seed_bump,
-        );
+        )
+        .expect("score ticket");
         eprintln!("[{label}] s={sparsity:.3} acc={acc:.4}");
         series.push(*sparsity, acc);
     }
@@ -83,88 +85,91 @@ fn imp_cell(
     eval_task: &Task,
     objective: Objective,
     label: String,
-) -> Series {
-    runner
-        .run_cell(&label, |ctx| {
-            imp_curve(
-                preset,
-                pre,
-                prune_data_task,
-                eval_task,
-                objective,
-                &label,
-                ctx.seed_bump,
-            )
-        })
-        .unwrap_or_else(|e| abort_on_runner_error("fig4", e))
+) -> rt_bench::Result<Series> {
+    Ok(runner.run_cell(&label, |ctx| {
+        imp_curve(
+            preset,
+            pre,
+            prune_data_task,
+            eval_task,
+            objective,
+            &label,
+            ctx.seed_bump,
+        )
+    })?)
 }
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig4_imp");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let mut runner = rt_bench::runner_for(&preset, "fig4");
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig4", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let mut runner = rt_bench::runner_for(preset, "fig4")?;
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
     let tasks = [
-        family.downstream_task(&preset.c10_spec()).expect("c10"),
-        family.downstream_task(&preset.c100_spec()).expect("c100"),
+        family.downstream_task(&preset.c10_spec())?,
+        family.downstream_task(&preset.c100_spec())?,
     ];
 
     let mut record = ExperimentRecord::new(
         "fig4",
         "A-IMP (robust) vs IMP (natural) tickets, upstream vs downstream",
-        scale,
+        preset.scale,
     );
     for (arch_label, arch) in [("r18", preset.arch_r18()), ("r50", preset.arch_r50())] {
         let natural =
-            pretrained_model(&preset, arch_label, &arch, &source, PretrainScheme::Natural);
+            pretrained_model(preset, arch_label, &arch, &source, PretrainScheme::Natural)?;
         let robust = pretrained_model(
-            &preset,
+            preset,
             arch_label,
             &arch,
             &source,
             preset.adversarial_scheme(),
-        );
+        )?;
         let adv_objective = Objective::Adversarial(preset.pretrain_attack);
         for task in &tasks {
             // US curves prune on the source data, DS curves on the task data.
             record.series.push(imp_cell(
                 &mut runner,
-                &preset,
+                preset,
                 &robust,
                 &source,
                 task,
                 adv_objective,
                 format!("robust-US/{arch_label}/{}", task.name),
-            ));
+            )?);
             record.series.push(imp_cell(
                 &mut runner,
-                &preset,
+                preset,
                 &robust,
                 task,
                 task,
                 adv_objective,
                 format!("robust-DS/{arch_label}/{}", task.name),
-            ));
+            )?);
             record.series.push(imp_cell(
                 &mut runner,
-                &preset,
+                preset,
                 &natural,
                 &source,
                 task,
                 Objective::Natural,
                 format!("natural-US/{arch_label}/{}", task.name),
-            ));
+            )?);
             record.series.push(imp_cell(
                 &mut runner,
-                &preset,
+                preset,
                 &natural,
                 task,
                 task,
                 Objective::Natural,
                 format!("natural-DS/{arch_label}/{}", task.name),
-            ));
+            )?);
         }
     }
 
@@ -190,5 +195,6 @@ fn main() {
          sparsity cells (paper: robust wins most, natural can take extreme \
          sparsity on the harder task)"
     ));
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

@@ -7,7 +7,7 @@
 //! — robust pretrained models contain better task-specific subnetworks
 //! even without any weight finetuning.
 
-use rt_bench::{family_for, finish, pretrained_model, source_task, win_count};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task, win_count};
 use rt_data::Task;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 use rt_transfer::pretrain::{PretrainScheme, Pretrained};
@@ -20,28 +20,33 @@ fn lmp_curve(
     init: LmpScoreInit,
     label: String,
     sparsities: &[f64],
-) -> Series {
+) -> rt_bench::Result<Series> {
     let mut series = Series::new(label.clone());
     for (i, &sparsity) in sparsities.iter().enumerate() {
-        let mut model = pre.fresh_model(300 + i as u64).expect("model");
+        let mut model = pre.fresh_model(300 + i as u64)?;
         let mut cfg = preset.lmp_cfg(sparsity, 17 + i as u64);
         cfg.init = init;
-        let outcome = lmp_run(&mut model, task, &cfg).expect("lmp run");
+        let outcome = lmp_run(&mut model, task, &cfg)?;
         eprintln!("[{label}] s={sparsity:.3} acc={:.4}", outcome.test_accuracy);
         series.push(sparsity, outcome.test_accuracy);
     }
-    series
+    Ok(series)
 }
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig5_lmp");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig5", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
     let tasks = [
-        family.downstream_task(&preset.c10_spec()).expect("c10"),
-        family.downstream_task(&preset.c100_spec()).expect("c100"),
+        family.downstream_task(&preset.c10_spec())?,
+        family.downstream_task(&preset.c100_spec())?,
     ];
     // LMP cannot exceed moderate sparsity meaningfully without weight
     // training; sweep the paper's practical range.
@@ -55,43 +60,43 @@ fn main() {
     let mut record = ExperimentRecord::new(
         "fig5",
         "LMP tickets on frozen weights: robust vs natural",
-        scale,
+        preset.scale,
     );
     for (arch_label, arch) in [("r18", preset.arch_r18()), ("r50", preset.arch_r50())] {
         let natural =
-            pretrained_model(&preset, arch_label, &arch, &source, PretrainScheme::Natural);
+            pretrained_model(preset, arch_label, &arch, &source, PretrainScheme::Natural)?;
         let robust = pretrained_model(
-            &preset,
+            preset,
             arch_label,
             &arch,
             &source,
             preset.adversarial_scheme(),
-        );
+        )?;
         for task in &tasks {
             for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
                 record.series.push(lmp_curve(
-                    &preset,
+                    preset,
                     pre,
                     task,
                     LmpScoreInit::Magnitude,
                     format!("{kind}/{arch_label}/{}", task.name),
                     &sparsities,
-                ));
+                )?);
             }
         }
     }
 
     // Score-init ablation on one panel (r18 / c10-analog).
     let arch = preset.arch_r18();
-    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
+    let robust = pretrained_model(preset, "r18", &arch, &source, preset.adversarial_scheme())?;
     record.series.push(lmp_curve(
-        &preset,
+        preset,
         &robust,
         &tasks[0],
         LmpScoreInit::Random,
         format!("robust-randinit/r18/{}", tasks[0].name),
         &sparsities,
-    ));
+    )?);
 
     let mut wins = 0;
     let mut total = 0;
@@ -109,5 +114,6 @@ fn main() {
          init on the r18/c10 panel"
             .to_string(),
     );
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

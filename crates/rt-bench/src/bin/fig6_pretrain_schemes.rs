@@ -7,7 +7,7 @@
 //! inferior to PGD-robust tickets but still ahead of natural ones.
 
 use rt_bench::{
-    abort_on_runner_error, family_for, finish, omp_sweep, pretrained_model, source_task, Protocol,
+    abort_on_error, family_for, finish, omp_sweep, pretrained_model, source_task, Protocol,
 };
 use rt_prune::Granularity;
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale};
@@ -15,12 +15,17 @@ use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig6_pretrain_schemes");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let mut runner = rt_bench::runner_for(&preset, "fig6");
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig6", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let mut runner = rt_bench::runner_for(preset, "fig6")?;
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let task = family.downstream_task(&preset.c10_spec())?;
 
     let arch = preset.arch_r50();
     let schemes = [
@@ -32,22 +37,21 @@ fn main() {
     let mut record = ExperimentRecord::new(
         "fig6",
         "tickets from different pretraining schemes (natural / PGD / RS)",
-        scale,
+        preset.scale,
     );
     for protocol in [Protocol::Finetune, Protocol::Linear] {
         for (kind, scheme) in &schemes {
-            let pre = pretrained_model(&preset, "r50", &arch, &source, *scheme);
+            let pre = pretrained_model(preset, "r50", &arch, &source, *scheme)?;
             let series = omp_sweep(
                 &mut runner,
-                &preset,
+                preset,
                 &pre,
                 &task,
                 Granularity::Element,
                 protocol,
                 format!("{kind}/{}", protocol.label()),
                 &preset.sparsity_grid,
-            )
-            .unwrap_or_else(|e| abort_on_runner_error("fig6", e));
+            )?;
             record.series.push(series);
         }
     }
@@ -65,5 +69,6 @@ fn main() {
             chunk[0].label.split('/').next_back().unwrap_or("?")
         ));
     }
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

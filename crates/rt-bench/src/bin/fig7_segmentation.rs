@@ -6,7 +6,7 @@
 //! Expected shape: robust tickets achieve consistently higher mIoU,
 //! especially at mild sparsity.
 
-use rt_bench::{family_for, finish, pretrained_model, source_task};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task};
 use rt_data::SegTask;
 use rt_metrics::mean_iou;
 use rt_models::SegmentationNet;
@@ -24,8 +24,8 @@ use rt_transfer::pretrain::{PretrainScheme, Pretrained};
 /// backbone's 8× downsample leaves a 4×4 feature map — without this, a
 /// 16×16 scene collapses to 2×2 cells, below the object size, and every
 /// model degenerates to predicting background (see DESIGN.md §5 notes).
-fn upsample_scenes(task: &SegTask) -> SegTask {
-    let images = upsample2x(task.images()).expect("upsample");
+fn upsample_scenes(task: &SegTask) -> rt_bench::Result<SegTask> {
+    let images = upsample2x(task.images())?;
     let s = task.images().shape().to_vec();
     let (n, h, w) = (s[0], s[2], s[3]);
     let mut labels = Vec::with_capacity(n * 4 * h * w);
@@ -36,7 +36,7 @@ fn upsample_scenes(task: &SegTask) -> SegTask {
             }
         }
     }
-    SegTask::from_parts(images, labels, task.num_classes())
+    Ok(SegTask::from_parts(images, labels, task.num_classes()))
 }
 
 /// Trains a segmentation net on the scenes and returns test mIoU.
@@ -47,11 +47,11 @@ fn train_and_score(
     test: &SegTask,
     sparsity: f64,
     seed: u64,
-) -> f64 {
+) -> rt_bench::Result<f64> {
     let seeds = SeedStream::new(seed);
-    let mut backbone = pre.fresh_model(seed).expect("backbone");
-    let ticket = omp(&backbone, &OmpConfig::unstructured(sparsity)).expect("omp");
-    ticket.apply(&mut backbone).expect("apply");
+    let mut backbone = pre.fresh_model(seed)?;
+    let ticket = omp(&backbone, &OmpConfig::unstructured(sparsity))?;
+    ticket.apply(&mut backbone)?;
     // Scenes arrive pre-upsampled 2×; the backbone downsamples 8×, so
     // three 2× upsamplings restore the (upsampled) input resolution.
     let upsample_steps = 3;
@@ -60,8 +60,7 @@ fn train_and_score(
         train.num_classes(),
         upsample_steps,
         &mut seeds.child("head").rng(),
-    )
-    .expect("segnet");
+    )?;
 
     let loss_fn = CrossEntropyLoss::new();
     // Dense prediction needs a hotter head than classification finetuning.
@@ -70,17 +69,17 @@ fn train_and_score(
         .with_weight_decay(1e-4);
     for _epoch in 0..preset.seg_epochs {
         for (images, labels) in train.batches(4) {
-            let logits = net.forward(&images, ExecCtx::train()).expect("forward");
-            let out = loss_fn.forward_pixels(&logits, &labels).expect("loss");
-            net.backward(&out.grad, ExecCtx::default()).expect("backward");
-            opt.step(&mut net).expect("step");
+            let logits = net.forward(&images, ExecCtx::train())?;
+            let out = loss_fn.forward_pixels(&logits, &labels)?;
+            net.backward(&out.grad, ExecCtx::default())?;
+            opt.step(&mut net)?;
         }
     }
 
     // mIoU over the test scenes.
     let mut preds = Vec::new();
     for (images, _) in test.batches(4) {
-        let logits = net.forward(&images, ExecCtx::eval()).expect("forward");
+        let logits = net.forward(&images, ExecCtx::eval())?;
         let s = logits.shape().to_vec();
         let (n, k, h, w) = (s[0], s[1], s[2], s[3]);
         // Per-pixel argmax over the class axis (manual: NCHW layout).
@@ -100,15 +99,20 @@ fn train_and_score(
             }
         }
     }
-    mean_iou(&preds, test.labels(), test.num_classes())
+    Ok(mean_iou(&preds, test.labels(), test.num_classes()))
 }
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig7_segmentation");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig7", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
     // The paper's segmentation target (PASCAL VOC) sits far from the
     // pretraining domain; generate the scenes at a matching domain gap.
     let pool = SegTask::generate_with_gap(
@@ -116,24 +120,23 @@ fn main() {
         preset.seg_classes,
         preset.seg_train + preset.seg_test,
         0.5,
-    )
-    .expect("seg scenes");
+    )?;
     let (train_raw, test_raw) = pool.split_at(preset.seg_train);
-    let (train, test) = (upsample_scenes(&train_raw), upsample_scenes(&test_raw));
+    let (train, test) = (upsample_scenes(&train_raw)?, upsample_scenes(&test_raw)?);
 
     let arch = preset.arch_r50();
-    let natural = pretrained_model(&preset, "r50", &arch, &source, PretrainScheme::Natural);
-    let robust = pretrained_model(&preset, "r50", &arch, &source, preset.adversarial_scheme());
+    let natural = pretrained_model(preset, "r50", &arch, &source, PretrainScheme::Natural)?;
+    let robust = pretrained_model(preset, "r50", &arch, &source, preset.adversarial_scheme())?;
 
     let mut record = ExperimentRecord::new(
         "fig7",
         "segmentation transfer (mIoU vs sparsity): robust vs natural",
-        scale,
+        preset.scale,
     );
     for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
         let mut series = Series::new(kind);
         for (i, &sparsity) in preset.sparsity_grid.iter().enumerate() {
-            let miou = train_and_score(&preset, pre, &train, &test, sparsity, 400 + i as u64);
+            let miou = train_and_score(preset, pre, &train, &test, sparsity, 400 + i as u64)?;
             eprintln!("[{kind}] s={sparsity:.3} miou={miou:.4}");
             series.push(sparsity, miou);
         }
@@ -145,5 +148,6 @@ fn main() {
         "shape check: robust mIoU wins {wins}/{total} sparsity cells \
          (paper: consistently higher mIoU, largest gains at mild sparsity)"
     ));
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

@@ -7,7 +7,7 @@
 //! a wide margin; calibration is mixed (the paper's natural tickets have
 //! slightly better ECE at low sparsity).
 
-use rt_bench::{family_for, finish, pretrained_model, source_task};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task};
 use rt_prune::ImpConfig;
 use rt_transfer::evaluate::{evaluate_adversarial, ood_auc};
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
@@ -21,17 +21,22 @@ const TABLE1_GRID: [f64; 4] = [0.2, 0.5904, 0.7908, 0.8926];
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig8_properties");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let task = family.downstream_task(&preset.c10_spec()).expect("c10");
-    let ood = family.ood_dataset(preset.ood_samples).expect("ood");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig8", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let task = family.downstream_task(&preset.c10_spec())?;
+    let ood = family.ood_dataset(preset.ood_samples)?;
 
     let mut record = ExperimentRecord::new(
         "fig8",
         "ticket properties: Acc / ECE / NLL / Adv-Acc / OoD ROC-AUC (Table I)",
-        scale,
+        preset.scale,
     );
     let mut table_rows: Vec<String> = Vec::new();
 
@@ -44,20 +49,17 @@ fn main() {
             ),
             ("natural", PretrainScheme::Natural, Objective::Natural),
         ] {
-            let pre = pretrained_model(&preset, arch_label, &arch, &source, scheme);
+            let pre = pretrained_model(preset, arch_label, &arch, &source, scheme)?;
             // One DS IMP run yields tickets at every Table I sparsity.
-            let mut model = pre.fresh_model(1).expect("model");
-            model
-                .replace_head(
-                    task.train.num_classes(),
-                    &mut rt_tensor::rng::SeedStream::new(2).rng(),
-                )
-                .expect("head");
+            let mut model = pre.fresh_model(1)?;
+            model.replace_head(
+                task.train.num_classes(),
+                &mut rt_tensor::rng::SeedStream::new(2).rng(),
+            )?;
             let imp_cfg = ImpConfig::with_schedule(TABLE1_GRID.to_vec());
             let round_cfg = preset.imp_round_cfg(objective, 33);
             let trajectory =
-                imp_ticket_trajectory(&mut model, &pre, &task.train, &imp_cfg, &round_cfg)
-                    .expect("imp");
+                imp_ticket_trajectory(&mut model, &pre, &task.train, &imp_cfg, &round_cfg)?;
 
             let mut acc_s = Series::new(format!("{kind}/{arch_label}/acc"));
             let mut ece_s = Series::new(format!("{kind}/{arch_label}/ece"));
@@ -69,16 +71,15 @@ fn main() {
                 let n = preset.eval_seeds.max(1);
                 let (mut acc, mut ece, mut nll, mut adv, mut auc) = (0.0, 0.0, 0.0, 0.0, 0.0);
                 for k in 0..n as u64 {
-                    let mut m = pre.fresh_model(500 + i as u64 + 31 * k).expect("model");
-                    ticket.apply(&mut m).expect("apply");
-                    let r =
-                        finetune(&mut m, &task, &preset.finetune_cfg(44 + 977 * k)).expect("ft");
+                    let mut m = pre.fresh_model(500 + i as u64 + 31 * k)?;
+                    ticket.apply(&mut m)?;
+                    let r = finetune(&mut m, &task, &preset.finetune_cfg(44 + 977 * k))?;
                     acc += r.accuracy;
                     ece += r.ece;
                     nll += r.nll;
-                    adv += evaluate_adversarial(&mut m, &task.test, &preset.eval_attack, 55 + k)
-                        .expect("adv eval");
-                    auc += ood_auc(&mut m, &task.test, &ood).expect("ood");
+                    adv +=
+                        evaluate_adversarial(&mut m, &task.test, &preset.eval_attack, 55 + k)?;
+                    auc += ood_auc(&mut m, &task.test, &ood)?;
                 }
                 let inv = 1.0 / n as f64;
                 let report = rt_transfer::EvalReport {
@@ -125,5 +126,6 @@ fn main() {
          sparsity; ECE/NLL mixed; robust improves the larger model's OoD AUC"
             .to_string(),
     );
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }

@@ -8,7 +8,7 @@
 //! tasks and only match/lose on the lowest-FID tasks, so the win margin
 //! correlates positively with FID.
 
-use rt_bench::{family_for, finish, pretrained_model, source_task};
+use rt_bench::{abort_on_error, family_for, finish, pretrained_model, source_task};
 use rt_data::fid::fid;
 use rt_prune::{omp, OmpConfig};
 use rt_transfer::evaluate::extract_features;
@@ -18,27 +18,30 @@ use rt_transfer::pretrain::PretrainScheme;
 
 fn main() {
     let _obs = rt_bench::ObsSession::start("fig9_vtab");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("fig9", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
 
     let arch = preset.arch_r18();
-    let natural = pretrained_model(&preset, "r18", &arch, &source, PretrainScheme::Natural);
-    let robust = pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme());
+    let natural = pretrained_model(preset, "r18", &arch, &source, PretrainScheme::Natural)?;
+    let robust = pretrained_model(preset, "r18", &arch, &source, preset.adversarial_scheme())?;
 
     // FID reference: features of the dense natural model on source images
     // (the paper samples 8000 ImageNet images; we use the preset's budget).
-    let mut fid_model = natural.fresh_model(900).expect("model");
+    let mut fid_model = natural.fresh_model(900)?;
     let source_feats = extract_features(
         &mut fid_model,
         &source
             .train
             .images()
-            .slice_rows(0, preset.fid_samples.min(source.train.len()))
-            .expect("slice"),
-    )
-    .expect("features");
+            .slice_rows(0, preset.fid_samples.min(source.train.len()))?,
+    )?;
 
     // High-sparsity ticket (the paper counts winners "under high sparsity").
     let high_sparsity = 0.9;
@@ -47,7 +50,7 @@ fn main() {
     let mut record = ExperimentRecord::new(
         "fig9",
         "VTAB-like suite: linear eval of robust vs natural tickets + FID (Table II)",
-        scale,
+        preset.scale,
     );
     let mut fid_series = Series::new("fid-vs-source");
     let mut robust_series = Series::new(format!("robust-lin@s{high_sparsity}"));
@@ -56,26 +59,24 @@ fn main() {
     let mut corr_data: Vec<(f64, f64)> = Vec::new(); // (fid, robust margin)
 
     for (idx, spec) in suite.iter().enumerate() {
-        let task = family.downstream_task(spec).expect("task");
+        let task = family.downstream_task(spec)?;
         let task_feats = extract_features(
             &mut fid_model,
             &task
                 .test
                 .images()
-                .slice_rows(0, preset.fid_samples.min(task.test.len()))
-                .expect("slice"),
-        )
-        .expect("features");
-        let task_fid = fid(&source_feats, &task_feats).expect("fid");
+                .slice_rows(0, preset.fid_samples.min(task.test.len()))?,
+        )?;
+        let task_fid = fid(&source_feats, &task_feats)?;
 
         let mut accs = [0.0f64; 2];
         for (slot, pre) in [(0usize, &natural), (1, &robust)] {
-            let mut model = pre.fresh_model(700 + idx as u64).expect("model");
-            let ticket = omp(&model, &OmpConfig::unstructured(high_sparsity)).expect("omp");
-            ticket.apply(&mut model).expect("apply");
+            let mut model = pre.fresh_model(700 + idx as u64)?;
+            let ticket = omp(&model, &OmpConfig::unstructured(high_sparsity))?;
+            ticket.apply(&mut model)?;
             let mut cfg = preset.linear;
             cfg.seed = 13 + idx as u64;
-            accs[slot] = linear_eval(&mut model, &task, &cfg).expect("linear");
+            accs[slot] = linear_eval(&mut model, &task, &cfg)?;
         }
         let margin = accs[1] - accs[0];
         let winner = if margin > 0.005 {
@@ -129,7 +130,8 @@ fn main() {
          {spearman:+.3} (paper shape: positive — robust wins where the \
          domain gap is large)"
     ));
-    finish(&record, &preset);
+    finish(&record, preset);
+    Ok(())
 }
 
 /// Spearman rank correlation of `(x, y)` pairs.

@@ -9,7 +9,7 @@
 //! by printing the aggregated wall-time breakdown table (also streamed to
 //! `RT_OBS=path.jsonl` when set).
 
-use rt_bench::{family_for, pretrained_model, source_task, ObsSession};
+use rt_bench::{abort_on_error, family_for, pretrained_model, source_task, ObsSession};
 use rt_prune::{omp, OmpConfig};
 use rt_transfer::evaluate::{evaluate, evaluate_adversarial};
 use rt_transfer::experiment::{Preset, Scale};
@@ -25,29 +25,33 @@ fn main() {
         std::env::set_var("RT_OBS_LEVEL", "spans");
     }
     let _obs = ObsSession::start("probe_hypothesis");
-    let scale = Scale::from_args();
-    let preset = Preset::new(scale);
-    let family = family_for(&preset);
-    let source = source_task(&preset, &family);
-    let c10 = family.downstream_task(&preset.c10_spec()).expect("task");
+    let preset = Preset::new(Scale::from_args());
+    if let Err(e) = run(&preset) {
+        abort_on_error("probe-hypothesis", e);
+    }
+}
+
+fn run(preset: &Preset) -> rt_bench::Result<()> {
+    let family = family_for(preset);
+    let source = source_task(preset, &family)?;
+    let c10 = family.downstream_task(&preset.c10_spec())?;
 
     let arch = preset.arch_r18();
     let natural = {
         let _s = rt_obs::span!("natural_pretrain");
-        pretrained_model(&preset, "r18", &arch, &source, PretrainScheme::Natural)
+        pretrained_model(preset, "r18", &arch, &source, PretrainScheme::Natural)?
     };
     let robust = {
         let _s = rt_obs::span!("adversarial_pretrain");
-        pretrained_model(&preset, "r18", &arch, &source, preset.adversarial_scheme())
+        pretrained_model(preset, "r18", &arch, &source, preset.adversarial_scheme())?
     };
 
     // Source-task sanity: clean and adversarial accuracy of both models.
     for (name, pre) in [("natural", &natural), ("robust", &robust)] {
         let _s = rt_obs::span!("source_eval", "model" => name);
-        let mut m = pre.fresh_model(1).expect("model");
-        let clean = evaluate(&mut m, &source.test).expect("eval");
-        let adv =
-            evaluate_adversarial(&mut m, &source.test, &preset.eval_attack, 7).expect("adv eval");
+        let mut m = pre.fresh_model(1)?;
+        let clean = evaluate(&mut m, &source.test)?;
+        let adv = evaluate_adversarial(&mut m, &source.test, &preset.eval_attack, 7)?;
         println!("source {name}: clean={:.3} adv={:.3}", clean.accuracy, adv);
     }
 
@@ -58,11 +62,11 @@ fn main() {
                 "model" => name,
                 "sparsity" => sparsity,
             );
-            let mut m = pre.fresh_model(2).expect("model");
-            let ticket = omp(&m, &OmpConfig::unstructured(sparsity)).expect("omp");
-            ticket.apply(&mut m).expect("apply");
-            let lin = linear_eval(&mut m, &c10, &preset.linear).expect("linear");
-            let ft = finetune(&mut m, &c10, &preset.finetune_cfg(11)).expect("finetune");
+            let mut m = pre.fresh_model(2)?;
+            let ticket = omp(&m, &OmpConfig::unstructured(sparsity))?;
+            ticket.apply(&mut m)?;
+            let lin = linear_eval(&mut m, &c10, &preset.linear)?;
+            let ft = finetune(&mut m, &c10, &preset.finetune_cfg(11))?;
             println!(
                 "s={sparsity:.2} {name}: linear={lin:.3} finetune={:.3}",
                 ft.accuracy,
@@ -72,4 +76,5 @@ fn main() {
 
     // Where the time went (the whole point of this probe).
     eprintln!("\n{}", rt_obs::snapshot().render_table());
+    Ok(())
 }

@@ -25,9 +25,15 @@ pub mod trend;
 
 use rt_data::{Task, TaskFamily};
 use rt_models::ResNetConfig;
+use rt_nn::RtError;
 use rt_transfer::experiment::{ExperimentRecord, Preset};
 use rt_transfer::pretrain::{pretrain_cached, PretrainScheme, Pretrained};
-use rt_transfer::runner::{resume_from_args, Runner, RunnerConfig, RunnerError};
+use rt_transfer::runner::{resume_from_args, Runner, RunnerConfig};
+
+/// Driver-level result alias: every fallible helper returns the unified
+/// [`rt_nn::RtError`], so a driver `main` is one `?`-chain ending in
+/// [`abort_on_error`].
+pub type Result<T> = std::result::Result<T, RtError>;
 
 /// Telemetry session for a driver binary: initializes `rt-obs` from the
 /// environment (`RT_OBS` / `RT_OBS_LEVEL`), opens a root span named after
@@ -72,31 +78,29 @@ pub fn family_for(preset: &Preset) -> TaskFamily {
 
 /// Materializes the source task for a preset.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on internal generator errors (deterministic construction).
-pub fn source_task(preset: &Preset, family: &TaskFamily) -> Task {
-    family
-        .source_task(preset.source_train, preset.source_test)
-        .expect("source task generation is infallible for valid presets")
+/// Propagates generator errors as the unified [`RtError`].
+pub fn source_task(preset: &Preset, family: &TaskFamily) -> Result<Task> {
+    Ok(family.source_task(preset.source_train, preset.source_test)?)
 }
 
 /// Pretrains (or loads from cache) a dense model for `(arch, scheme)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on training errors — drivers are binaries, failing loudly is the
-/// right behavior.
+/// Propagates training and cache-IO errors as the unified [`RtError`];
+/// drivers surface them through [`abort_on_error`].
 pub fn pretrained_model(
     preset: &Preset,
     arch_label: &str,
     arch: &ResNetConfig,
     source: &Task,
     scheme: PretrainScheme,
-) -> Pretrained {
+) -> Result<Pretrained> {
     let key = preset.cache_key(arch_label, &scheme);
     rt_obs::console!("[pretrain] {key}");
-    pretrain_cached(
+    Ok(pretrain_cached(
         &preset.cache_dir(),
         &key,
         arch,
@@ -105,8 +109,7 @@ pub fn pretrained_model(
         preset.pretrain_epochs,
         preset.pretrain_lr,
         preset.seed ^ 0x5eed,
-    )
-    .expect("pretraining failed")
+    )?)
 }
 
 /// Transfer protocol used when scoring a ticket downstream.
@@ -130,26 +133,27 @@ impl Protocol {
 
 /// Scores one already-masked model on `task` under `protocol`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on pipeline errors (drivers fail loudly).
+/// Propagates finetune/linear-eval errors as the unified [`RtError`].
 pub fn score_ticketed_model(
     model: &mut rt_models::MicroResNet,
     task: &Task,
     preset: &Preset,
     protocol: Protocol,
     seed: u64,
-) -> f64 {
+) -> Result<f64> {
     match protocol {
         Protocol::Finetune => {
-            rt_transfer::finetune::finetune(model, task, &preset.finetune_cfg(seed))
-                .expect("finetune failed")
-                .accuracy
+            Ok(
+                rt_transfer::finetune::finetune(model, task, &preset.finetune_cfg(seed))?
+                    .accuracy,
+            )
         }
         Protocol::Linear => {
             let mut cfg = preset.linear;
             cfg.seed = seed;
-            rt_transfer::linear::linear_eval(model, task, &cfg).expect("linear eval failed")
+            Ok(rt_transfer::linear::linear_eval(model, task, &cfg)?)
         }
     }
 }
@@ -159,9 +163,10 @@ pub fn score_ticketed_model(
 /// of a single finetune run at this scale would otherwise swamp the
 /// robust-vs-natural gaps.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on pipeline errors.
+/// Propagates model-restoration, mask, and scoring errors as the unified
+/// [`RtError`].
 pub fn score_ticket_avg(
     preset: &Preset,
     pre: &Pretrained,
@@ -169,21 +174,21 @@ pub fn score_ticket_avg(
     task: &Task,
     protocol: Protocol,
     base_seed: u64,
-) -> f64 {
+) -> Result<f64> {
     let n = preset.eval_seeds.max(1);
     let mut total = 0.0;
     for k in 0..n {
-        let mut model = pre.fresh_model(base_seed + 31 * k as u64).expect("model");
-        ticket.apply(&mut model).expect("apply ticket");
+        let mut model = pre.fresh_model(base_seed + 31 * k as u64)?;
+        ticket.apply(&mut model)?;
         total += score_ticketed_model(
             &mut model,
             task,
             preset,
             protocol,
             base_seed + 977 * k as u64,
-        );
+        )?;
     }
-    total / n as f64
+    Ok(total / n as f64)
 }
 
 /// Builds the fault-tolerant [`Runner`] a driver routes its sweep
@@ -191,10 +196,10 @@ pub fn score_ticket_avg(
 /// honoring the `--resume` flag, and any `RT_FAULTS` fault plan from the
 /// environment installed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the journal file cannot be opened (drivers fail loudly).
-pub fn runner_for(preset: &Preset, id: &str) -> Runner {
+/// Propagates a journal-open failure as the unified [`RtError`].
+pub fn runner_for(preset: &Preset, id: &str) -> Result<Runner> {
     rt_transfer::fault::install_from_env();
     let cfg = RunnerConfig::for_experiment(
         &preset.results_dir(),
@@ -202,7 +207,7 @@ pub fn runner_for(preset: &Preset, id: &str) -> Runner {
         &preset.scale.to_string(),
         resume_from_args(),
     );
-    Runner::new(cfg).expect("could not open the sweep journal")
+    Ok(Runner::new(cfg)?)
 }
 
 /// Sweeps OMP sparsities for one pretrained model / downstream task /
@@ -212,13 +217,14 @@ pub fn runner_for(preset: &Preset, id: &str) -> Runner {
 ///
 /// # Errors
 ///
-/// Returns [`RunnerError`] when a cell fails after every retry or the
-/// journal cannot be written.
+/// Returns the unified [`RtError`] when a cell fails after every retry or
+/// the journal cannot be written.
 ///
 /// # Panics
 ///
 /// Panics on pipeline errors inside a cell (caught by the runner's
-/// isolation boundary and converted into retries).
+/// isolation boundary and converted into retries — panic *is* a cell's
+/// failure channel, so the closure body deliberately unwraps).
 pub fn omp_sweep(
     runner: &mut Runner,
     preset: &Preset,
@@ -228,7 +234,7 @@ pub fn omp_sweep(
     protocol: Protocol,
     label: String,
     sparsities: &[f64],
-) -> Result<rt_transfer::experiment::Series, RunnerError> {
+) -> Result<rt_transfer::experiment::Series> {
     let mut series = rt_transfer::experiment::Series::new(label.clone());
     for (i, &sparsity) in sparsities.iter().enumerate() {
         let key = format!("{label}/s{sparsity:.4}");
@@ -249,6 +255,7 @@ pub fn omp_sweep(
                 protocol,
                 7 + i as u64 + ctx.seed_bump,
             )
+            .expect("score ticket")
         })?;
         rt_obs::console!("[{label}] s={sparsity:.3} acc={acc:.4}");
         series.push(sparsity, acc);
@@ -263,20 +270,14 @@ pub fn omp_sweep(
 ///
 /// # Errors
 ///
-/// Returns [`RunnerError`] when a sweep cell fails after every retry.
-///
-/// # Panics
-///
-/// Panics on pretraining/task-generation errors (drivers fail loudly).
-pub fn fig1_record(
-    preset: &Preset,
-    runner: &mut Runner,
-) -> Result<ExperimentRecord, RunnerError> {
+/// Returns the unified [`RtError`] when pretraining, task generation, or
+/// a sweep cell (after every retry) fails.
+pub fn fig1_record(preset: &Preset, runner: &mut Runner) -> Result<ExperimentRecord> {
     let family = family_for(preset);
-    let source = source_task(preset, &family);
+    let source = source_task(preset, &family)?;
     let tasks = [
-        family.downstream_task(&preset.c10_spec()).expect("c10"),
-        family.downstream_task(&preset.c100_spec()).expect("c100"),
+        family.downstream_task(&preset.c10_spec())?,
+        family.downstream_task(&preset.c100_spec())?,
     ];
 
     let mut record = ExperimentRecord::new(
@@ -285,14 +286,15 @@ pub fn fig1_record(
         preset.scale,
     );
     for (arch_label, arch) in [("r18", preset.arch_r18()), ("r50", preset.arch_r50())] {
-        let natural = pretrained_model(preset, arch_label, &arch, &source, PretrainScheme::Natural);
+        let natural =
+            pretrained_model(preset, arch_label, &arch, &source, PretrainScheme::Natural)?;
         let robust = pretrained_model(
             preset,
             arch_label,
             &arch,
             &source,
             preset.adversarial_scheme(),
-        );
+        )?;
         for task in &tasks {
             for (kind, pre) in [("natural", &natural), ("robust", &robust)] {
                 record.series.push(omp_sweep(
@@ -366,16 +368,17 @@ pub fn finish(record: &ExperimentRecord, preset: &Preset) {
     }
 }
 
-/// Reports a sweep-level runner failure and exits nonzero. Drivers call
-/// this instead of panicking so an exhausted-retries cell produces a
-/// clean diagnostic (and the journal keeps every completed cell for the
-/// next `--resume`). The exit status follows the
-/// [`rt_transfer::runner::ExitCode`] convention — a deadline-budget
-/// abort (3) is distinguishable from a persistent crash (1).
-pub fn abort_on_runner_error(id: &str, err: RunnerError) -> ! {
-    rt_obs::console!("[{id}] sweep aborted: {err}");
-    rt_obs::console!("[{id}] completed cells are journaled; rerun with --resume to continue");
-    rt_transfer::runner::ExitCode::for_error(&err).exit();
+/// Reports a driver-level failure and exits nonzero. Drivers call this
+/// instead of panicking so any [`RtError`] — an exhausted-retries sweep
+/// cell, a pretraining failure, a cache-IO error — produces one clean
+/// diagnostic (and, for sweeps, the journal keeps every completed cell
+/// for the next `--resume`). The exit status follows the
+/// [`rt_transfer::runner::ExitCode`] convention — a deadline abort (3)
+/// is distinguishable from a persistent crash (1).
+pub fn abort_on_error(id: &str, err: RtError) -> ! {
+    rt_obs::console!("[{id}] aborted: {err}");
+    rt_obs::console!("[{id}] completed sweep cells are journaled; rerun with --resume to continue");
+    rt_transfer::runner::ExitCode::for_rt_error(&err).exit();
 }
 
 #[cfg(test)]
@@ -387,7 +390,7 @@ mod tests {
     fn smoke_universe_materializes() {
         let preset = Preset::new(Scale::Smoke);
         let family = family_for(&preset);
-        let source = source_task(&preset, &family);
+        let source = source_task(&preset, &family).unwrap();
         assert_eq!(source.train.len(), preset.source_train);
         assert_eq!(source.train.num_classes(), preset.family.base_classes);
     }

@@ -7,6 +7,13 @@ use rt_bench::{
 use rt_prune::{omp, Granularity, OmpConfig};
 use rt_transfer::experiment::{ExperimentRecord, Preset, Scale, Series};
 use rt_transfer::pretrain::PretrainScheme;
+use rt_transfer::runner::{Runner, RunnerConfig};
+
+/// Ephemeral (journal-less) runner for sweeps whose fault tolerance is
+/// not under test here.
+fn ephemeral_runner() -> Runner {
+    Runner::new(RunnerConfig::default()).expect("ephemeral runner")
+}
 
 fn preset_with_tmp_cache() -> Preset {
     // Use the default target-dir cache; keys are scale-prefixed so smoke
@@ -18,7 +25,7 @@ fn preset_with_tmp_cache() -> Preset {
 fn omp_sweep_produces_monotone_x_and_valid_accuracies() {
     let preset = preset_with_tmp_cache();
     let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let source = source_task(&preset, &family).expect("source");
     let task = family.downstream_task(&preset.c10_spec()).expect("task");
     let pre = pretrained_model(
         &preset,
@@ -26,9 +33,12 @@ fn omp_sweep_produces_monotone_x_and_valid_accuracies() {
         &preset.arch_r18(),
         &source,
         PretrainScheme::Natural,
-    );
+    )
+    .expect("pretrain");
+    let mut runner = ephemeral_runner();
     for protocol in [Protocol::Finetune, Protocol::Linear] {
         let series = omp_sweep(
+            &mut runner,
             &preset,
             &pre,
             &task,
@@ -36,7 +46,8 @@ fn omp_sweep_produces_monotone_x_and_valid_accuracies() {
             protocol,
             format!("test/{}", protocol.label()),
             &preset.sparsity_grid,
-        );
+        )
+        .expect("sweep");
         assert_eq!(series.points.len(), preset.sparsity_grid.len());
         for pair in series.points.windows(2) {
             assert!(pair[0].x < pair[1].x);
@@ -49,7 +60,7 @@ fn omp_sweep_produces_monotone_x_and_valid_accuracies() {
 fn score_ticket_avg_is_deterministic_and_bounded() {
     let preset = preset_with_tmp_cache();
     let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let source = source_task(&preset, &family).expect("source");
     let task = family.downstream_task(&preset.c10_spec()).expect("task");
     let pre = pretrained_model(
         &preset,
@@ -57,11 +68,12 @@ fn score_ticket_avg_is_deterministic_and_bounded() {
         &preset.arch_r18(),
         &source,
         PretrainScheme::Natural,
-    );
+    )
+    .expect("pretrain");
     let model = pre.fresh_model(0).expect("model");
     let ticket = omp(&model, &OmpConfig::unstructured(0.5)).expect("omp");
-    let a = score_ticket_avg(&preset, &pre, &ticket, &task, Protocol::Linear, 3);
-    let b = score_ticket_avg(&preset, &pre, &ticket, &task, Protocol::Linear, 3);
+    let a = score_ticket_avg(&preset, &pre, &ticket, &task, Protocol::Linear, 3).expect("score");
+    let b = score_ticket_avg(&preset, &pre, &ticket, &task, Protocol::Linear, 3).expect("score");
     assert_eq!(a, b, "same seed, same score");
     assert!((0.0..=1.0).contains(&a));
 }
@@ -103,7 +115,7 @@ fn records_round_trip_through_the_results_directory() {
 fn pretrain_cache_is_shared_between_driver_invocations() {
     let preset = preset_with_tmp_cache();
     let family = family_for(&preset);
-    let source = source_task(&preset, &family);
+    let source = source_task(&preset, &family).expect("source");
     // Two calls with the same key: the second must load the first's weights.
     let a = pretrained_model(
         &preset,
@@ -111,13 +123,15 @@ fn pretrain_cache_is_shared_between_driver_invocations() {
         &preset.arch_r18(),
         &source,
         PretrainScheme::Natural,
-    );
+    )
+    .expect("pretrain a");
     let b = pretrained_model(
         &preset,
         "r18",
         &preset.arch_r18(),
         &source,
         PretrainScheme::Natural,
-    );
+    )
+    .expect("pretrain b");
     assert_eq!(a.snapshot, b.snapshot);
 }

@@ -13,6 +13,17 @@ use rt_transfer::fault::{self, FaultPlan};
 use rt_transfer::runner::{Runner, RunnerConfig, RunnerError};
 use std::path::PathBuf;
 
+/// `fig1_record` now returns the unified error; runner failures arrive
+/// boxed in `RtError::Layer` and are recovered by downcasting.
+fn as_runner_error(err: &rt_nn::RtError) -> &RunnerError {
+    match err {
+        rt_nn::RtError::Layer { source, .. } => source
+            .downcast_ref::<RunnerError>()
+            .expect("runner failures box a RunnerError source"),
+        other => panic!("expected a boxed RunnerError, got {other:?}"),
+    }
+}
+
 fn temp_journal(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("rt-bench-resume-test");
     let _ = std::fs::create_dir_all(&dir);
@@ -58,10 +69,13 @@ fn fig1_interrupted_sweep_resumes_byte_identically() {
         let _g = fault::scoped(FaultPlan::default().with_panic_cell(KILL_AT, usize::MAX));
         let mut doomed = Runner::new(cfg_b.clone()).expect("interrupted journal");
         match fig1_record(&preset, &mut doomed) {
-            Err(RunnerError::CellFailed { attempts, .. }) => {
-                assert_eq!(attempts, 1, "max_retries=0 means a single attempt");
-            }
-            other => panic!("expected CellFailed from the injected kill, got {other:?}"),
+            Err(err) => match as_runner_error(&err) {
+                RunnerError::CellFailed { attempts, .. } => {
+                    assert_eq!(*attempts, 1, "max_retries=0 means a single attempt");
+                }
+                other => panic!("expected CellFailed from the injected kill, got {other:?}"),
+            },
+            Ok(_) => panic!("the injected kill should have aborted the sweep"),
         }
         assert_eq!(
             doomed.stats.executed, KILL_AT,

@@ -17,6 +17,17 @@ use rt_transfer::runner::{Runner, RunnerConfig, RunnerError};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+/// `fig1_record` now returns the unified error; runner failures arrive
+/// boxed in `RtError::Layer` and are recovered by downcasting.
+fn as_runner_error(err: &rt_nn::RtError) -> &RunnerError {
+    match err {
+        rt_nn::RtError::Layer { source, .. } => source
+            .downcast_ref::<RunnerError>()
+            .expect("runner failures box a RunnerError source"),
+        other => panic!("expected a boxed RunnerError, got {other:?}"),
+    }
+}
+
 fn temp_journal(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("rt-bench-supervision-test");
     let _ = std::fs::create_dir_all(&dir);
@@ -71,11 +82,18 @@ fn fig1_hang_flow(threads: usize, seed: u64, tag: &str) {
         .expect("hung journal");
         let t0 = Instant::now();
         match fig1_record(&preset, &mut doomed) {
-            Err(RunnerError::DeadlineExceeded { attempts, deadline_ms, .. }) => {
-                assert_eq!(attempts, 1, "max_retries=0 means a single attempt");
-                assert_eq!(deadline_ms, deadline.as_millis() as u64);
-            }
-            other => panic!("expected DeadlineExceeded from the injected hang, got {other:?}"),
+            Err(err) => match as_runner_error(&err) {
+                RunnerError::DeadlineExceeded {
+                    attempts,
+                    deadline_ms,
+                    ..
+                } => {
+                    assert_eq!(*attempts, 1, "max_retries=0 means a single attempt");
+                    assert_eq!(*deadline_ms, deadline.as_millis() as u64);
+                }
+                other => panic!("expected DeadlineExceeded from the injected hang, got {other:?}"),
+            },
+            Ok(_) => panic!("the injected hang should have aborted the sweep"),
         }
         assert_eq!(doomed.stats.deadline_trips, 1);
         assert_eq!(

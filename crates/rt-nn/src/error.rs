@@ -1,6 +1,136 @@
 use rt_tensor::TensorError;
 use std::fmt;
 
+/// The workspace-unified error: every layer's failure converges here so
+/// drivers and the serving stack propagate with `?` instead of
+/// stringifying at each boundary.
+///
+/// Low layers keep their precise local types ([`TensorError`],
+/// [`NnError`]) — this enum is the *top* of the funnel, hosted in `rt-nn`
+/// because it is the lowest crate every consumer already depends on.
+/// Crates above `rt-nn` in the graph (e.g. the experiment runner) join
+/// the funnel through the [`RtError::Layer`] variant: they box their
+/// local error and provide the `From` impl on their side, which keeps the
+/// crate graph acyclic while still letting callers downcast
+/// (`source.downcast_ref::<TheirError>()`) when they need structure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RtError {
+    /// A tensor kernel failed.
+    Tensor(TensorError),
+    /// A layer/loss/optimizer/checkpoint operation failed.
+    Nn(NnError),
+    /// File-system failure (journals, checkpoints, result records).
+    Io(std::io::Error),
+    /// A request was refused at an admission boundary (serving
+    /// backpressure) — see [`Rejected`] for the structured reason.
+    Rejected(Rejected),
+    /// A request's wall-clock budget expired before its work completed.
+    Deadline {
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+        /// Where in the pipeline the expiry was observed.
+        stage: &'static str,
+    },
+    /// An error from a crate above `rt-nn` in the dependency graph,
+    /// boxed. The originating crate supplies the `From` impl; consumers
+    /// needing structure can downcast `source`.
+    Layer {
+        /// Short layer tag (`"runner"`, …) for display and routing.
+        layer: &'static str,
+        /// The boxed original error.
+        source: Box<dyn std::error::Error + Send + Sync + 'static>,
+    },
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Tensor(e) => write!(f, "tensor: {e}"),
+            RtError::Nn(e) => write!(f, "nn: {e}"),
+            RtError::Io(e) => write!(f, "io: {e}"),
+            RtError::Rejected(r) => write!(f, "rejected: {r}"),
+            RtError::Deadline { budget_ms, stage } => {
+                write!(f, "deadline: {budget_ms} ms budget expired during {stage}")
+            }
+            RtError::Layer { layer, source } => write!(f, "{layer}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtError::Tensor(e) => Some(e),
+            RtError::Nn(e) => Some(e),
+            RtError::Io(e) => Some(e),
+            RtError::Rejected(r) => Some(r),
+            RtError::Deadline { .. } => None,
+            RtError::Layer { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl From<TensorError> for RtError {
+    fn from(e: TensorError) -> Self {
+        RtError::Tensor(e)
+    }
+}
+
+impl From<NnError> for RtError {
+    fn from(e: NnError) -> Self {
+        RtError::Nn(e)
+    }
+}
+
+impl From<std::io::Error> for RtError {
+    fn from(e: std::io::Error) -> Self {
+        RtError::Io(e)
+    }
+}
+
+impl From<Rejected> for RtError {
+    fn from(r: Rejected) -> Self {
+        RtError::Rejected(r)
+    }
+}
+
+/// Structured admission-control rejection: why a bounded-resource layer
+/// refused new work. Explicit backpressure — callers match on the reason
+/// (shed load vs. retry elsewhere) instead of parsing a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rejected {
+    /// The admission queue is at capacity; retry later or shed load.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The service is draining toward shutdown and admits nothing new.
+    Draining,
+    /// The requested model key was never admitted to the service.
+    UnknownModel {
+        /// The unknown cache key.
+        key: u64,
+    },
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            Rejected::Draining => f.write_str("service is draining"),
+            Rejected::UnknownModel { key } => {
+                write!(f, "unknown model key {key:#018x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
 /// Error type for layer, loss, and optimizer operations.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -133,5 +263,52 @@ mod tests {
     fn send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<NnError>();
+        assert_send_sync::<RtError>();
+        assert_send_sync::<Rejected>();
+    }
+
+    #[test]
+    fn rt_error_unifies_the_lower_layers() {
+        use std::error::Error as _;
+        let t: RtError = TensorError::EmptyTensor { op: "sum" }.into();
+        assert!(matches!(t, RtError::Tensor(_)));
+        assert!(t.source().is_some());
+        let n: RtError = NnError::InvalidConfig {
+            detail: "lr".into(),
+        }
+        .into();
+        assert!(n.to_string().contains("invalid config"));
+        let io: RtError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, RtError::Io(_)));
+    }
+
+    #[test]
+    fn rejection_is_structured_and_matchable() {
+        let r: RtError = Rejected::QueueFull { capacity: 8 }.into();
+        match r {
+            RtError::Rejected(Rejected::QueueFull { capacity }) => assert_eq!(capacity, 8),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert!(Rejected::Draining.to_string().contains("draining"));
+    }
+
+    #[test]
+    fn layer_variant_downcasts_to_the_original() {
+        use std::error::Error as _;
+        #[derive(Debug)]
+        struct Upstream;
+        impl fmt::Display for Upstream {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("upstream broke")
+            }
+        }
+        impl std::error::Error for Upstream {}
+        let e = RtError::Layer {
+            layer: "runner",
+            source: Box::new(Upstream),
+        };
+        assert!(e.to_string().contains("upstream broke"));
+        let src = e.source().expect("layer errors carry a source");
+        assert!(src.downcast_ref::<Upstream>().is_some());
     }
 }

@@ -64,7 +64,7 @@ pub mod loss;
 pub mod optim;
 pub mod schedule;
 
-pub use error::NnError;
+pub use error::{NnError, Rejected, RtError};
 pub use layer::{set_sparse_exec_default, sparse_exec_default, ExecCtx, Layer, Mode, Sequential};
 pub use param::{Param, ParamKind};
 

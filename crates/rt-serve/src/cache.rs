@@ -1,0 +1,334 @@
+//! Checksum-keyed LRU model cache.
+//!
+//! A [`ModelSpec`] is the *recipe* for a servable model: a checkpoint
+//! snapshot, an optional ticket mask, and a constructor for the bare
+//! architecture. Loading a spec (restore + ticket application, which
+//! compiles the mask's `rt-sparse` plans) happens **once on admission**;
+//! the loaded model lives in [`ModelCache`] under a key derived from the
+//! checkpoint checksum and the exact mask bits, and is evicted
+//! least-recently-used when the cache's byte budget overflows. Byte
+//! accounting is reported through `rt-obs`'s cost registry
+//! (`record_cost`), so the serving cache shows up in the same roofline
+//! table as the model's own FLOP/byte costs.
+
+use crate::Result;
+use rt_nn::checkpoint::StateDict;
+use rt_nn::Layer;
+use rt_prune::TicketMask;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The recipe for one servable model: snapshot + optional ticket +
+/// architecture constructor.
+pub struct ModelSpec {
+    snapshot: StateDict,
+    ticket: Option<TicketMask>,
+    build: Box<dyn Fn() -> rt_nn::Result<Box<dyn Layer>> + Send + Sync>,
+}
+
+impl ModelSpec {
+    /// A spec for `snapshot` restored into the architecture `build`
+    /// constructs (weights are overwritten by the snapshot, so the
+    /// constructor's own initialization seed is irrelevant).
+    pub fn new<F>(snapshot: StateDict, build: F) -> ModelSpec
+    where
+        F: Fn() -> rt_nn::Result<Box<dyn Layer>> + Send + Sync + 'static,
+    {
+        ModelSpec {
+            snapshot,
+            ticket: None,
+            build: Box::new(build),
+        }
+    }
+
+    /// Attaches a ticket mask, applied (and its sparse plans compiled)
+    /// once at load time.
+    #[must_use]
+    pub fn with_ticket(mut self, ticket: TicketMask) -> ModelSpec {
+        self.ticket = Some(ticket);
+        self
+    }
+
+    /// The cache key: FNV-1a over the checkpoint checksum and the exact
+    /// mask bits, so two admissions of the same weights + same ticket
+    /// share one cached model while any bit of drift (different weights,
+    /// different support) yields a distinct key.
+    pub fn key(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        fold(self.snapshot.checksum());
+        if let Some(ticket) = &self.ticket {
+            for (slot, mask) in ticket.masks().iter().enumerate() {
+                if let Some(packed) = mask {
+                    fold(slot as u64);
+                    for &bit in packed.to_tensor().data() {
+                        fold(u64::from(bit.to_bits()));
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Builds, restores, and masks the model (compiling sparse plans).
+    fn load(&self) -> Result<Box<dyn Layer>> {
+        let mut model = (self.build)()?;
+        self.snapshot.restore(model.as_mut())?;
+        if let Some(ticket) = &self.ticket {
+            ticket.apply(model.as_mut())?;
+        }
+        Ok(model)
+    }
+}
+
+impl std::fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSpec")
+            .field("checksum", &format_args!("{:#018x}", self.snapshot.checksum()))
+            .field("ticket", &self.ticket.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A loaded model plus its byte footprint. The model sits behind its own
+/// mutex so a batch can execute while the cache itself stays unlocked.
+pub struct LoadedModel {
+    /// The restored, masked, plan-compiled model.
+    pub model: Mutex<Box<dyn Layer>>,
+    /// Resident bytes (parameters + buffers, f32).
+    pub bytes: u64,
+}
+
+struct Entry {
+    loaded: Arc<LoadedModel>,
+    last_used: u64,
+}
+
+/// Byte-bounded LRU cache of loaded models.
+///
+/// Not internally synchronized — [`crate::Service`] owns one behind its
+/// state lock. Handing out `Arc<LoadedModel>` means eviction never
+/// invalidates a model that a batch is currently executing on; the
+/// memory is reclaimed when the last in-flight batch drops its handle.
+pub struct ModelCache {
+    capacity: u64,
+    tick: u64,
+    resident: u64,
+    entries: BTreeMap<u64, Entry>,
+}
+
+impl ModelCache {
+    /// An empty cache bounded by `capacity` bytes.
+    pub fn new(capacity: u64) -> ModelCache {
+        ModelCache {
+            capacity,
+            tick: 0,
+            resident: 0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident
+    }
+
+    /// Returns the cached model for `key`, loading it from `spec` on a
+    /// miss. A load past the byte budget evicts least-recently-used
+    /// entries (never the one just loaded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction/restore/mask errors from the spec.
+    pub fn get_or_load(&mut self, key: u64, spec: &ModelSpec) -> Result<Arc<LoadedModel>> {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.tick;
+            rt_obs::counter("serve.cache.hit").inc();
+            return Ok(Arc::clone(&entry.loaded));
+        }
+        rt_obs::counter("serve.cache.miss").inc();
+        let model = spec.load()?;
+        let (bytes, params_total, params_live) = footprint(model.as_ref());
+        rt_obs::cost::record_cost(
+            "serve.cache.load",
+            rt_obs::cost::CostDelta {
+                bytes,
+                params_total,
+                params_live,
+                ..Default::default()
+            },
+        );
+        let loaded = Arc::new(LoadedModel {
+            model: Mutex::new(model),
+            bytes,
+        });
+        self.resident += bytes;
+        self.entries.insert(
+            key,
+            Entry {
+                loaded: Arc::clone(&loaded),
+                last_used: self.tick,
+            },
+        );
+        self.evict_past_budget(key);
+        rt_obs::gauge("serve.cache.bytes").set(self.resident as f64);
+        Ok(loaded)
+    }
+
+    /// Evicts LRU entries (excluding `keep`) until the budget holds or
+    /// only `keep` remains.
+    fn evict_past_budget(&mut self, keep: u64) {
+        while self.resident > self.capacity && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(evicted) = self.entries.remove(&k) {
+                        self.resident -= evicted.loaded.bytes;
+                        rt_obs::counter("serve.cache.evict").inc();
+                        rt_obs::event(
+                            "serve.cache.evict",
+                            &[
+                                ("key", format!("{k:#018x}").into()),
+                                ("bytes", (evicted.loaded.bytes as i64).into()),
+                            ],
+                        );
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Resident footprint of a model: `(bytes, params_total, params_live)`.
+/// Bytes cover parameter and buffer scalars at f32 width; live counts
+/// come from the compiled plans where a mask is installed.
+fn footprint(model: &dyn Layer) -> (u64, u64, u64) {
+    let mut total = 0u64;
+    let mut live = 0u64;
+    let mut scalars = 0u64;
+    for p in model.params() {
+        let n = p.data.data().len() as u64;
+        total += n;
+        scalars += n;
+        live += match &p.plan {
+            Some(plan) => plan.live_weights(),
+            None => n,
+        };
+    }
+    for b in model.buffers() {
+        scalars += b.data().len() as u64;
+    }
+    (scalars * 4, total, live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_nn::layers::Linear;
+    use rt_tensor::rng::rng_from_seed;
+    use rt_tensor::Tensor;
+
+    fn linear_spec(seed: u64) -> ModelSpec {
+        let model = Linear::new(4, 3, &mut rng_from_seed(seed)).unwrap();
+        let snapshot = StateDict::capture(&model);
+        ModelSpec::new(snapshot, || {
+            Ok(Box::new(Linear::new(4, 3, &mut rng_from_seed(0))?))
+        })
+    }
+
+    #[test]
+    fn keys_depend_on_weights_and_ticket() {
+        let a = linear_spec(1);
+        let b = linear_spec(2);
+        assert_ne!(a.key(), b.key());
+
+        let model = Linear::new(4, 3, &mut rng_from_seed(1)).unwrap();
+        let mut masks = TicketMask::dense(&model);
+        let same_weights = linear_spec(1);
+        assert_eq!(a.key(), same_weights.key());
+        masks.set_slot(
+            0,
+            Some(Tensor::from_fn(&[3, 4], |i| if i % 2 == 0 { 1.0 } else { 0.0 })),
+        );
+        let ticketed = linear_spec(1).with_ticket(masks);
+        assert_ne!(a.key(), ticketed.key());
+    }
+
+    #[test]
+    fn loads_once_and_hits_thereafter() {
+        let spec = linear_spec(3);
+        let key = spec.key();
+        let mut cache = ModelCache::new(u64::MAX);
+        let first = cache.get_or_load(key, &spec).unwrap();
+        let second = cache.get_or_load(key, &spec).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn evicts_lru_by_bytes_but_keeps_inflight_arcs_alive() {
+        let specs: Vec<ModelSpec> = (0..3).map(linear_spec).collect();
+        let one_model_bytes = {
+            let mut probe = ModelCache::new(u64::MAX);
+            probe
+                .get_or_load(specs[0].key(), &specs[0])
+                .unwrap()
+                .bytes
+        };
+        // Budget for two models: the third load must evict the LRU one.
+        let mut cache = ModelCache::new(2 * one_model_bytes);
+        let a = cache.get_or_load(specs[0].key(), &specs[0]).unwrap();
+        let _b = cache.get_or_load(specs[1].key(), &specs[1]).unwrap();
+        // Touch A so B is the LRU victim.
+        let _ = cache.get_or_load(specs[0].key(), &specs[0]).unwrap();
+        let _c = cache.get_or_load(specs[2].key(), &specs[2]).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.resident_bytes() <= 2 * one_model_bytes);
+        // The evicted Arc (if any outstanding) still works: models in
+        // flight are never invalidated by eviction.
+        let guard = a.model.lock().unwrap();
+        assert_eq!(guard.params().len(), 2);
+    }
+
+    #[test]
+    fn ticket_application_compiles_plans_at_load() {
+        let model = Linear::new(4, 3, &mut rng_from_seed(5)).unwrap();
+        let snapshot = StateDict::capture(&model);
+        let mut ticket = TicketMask::dense(&model);
+        ticket.set_slot(
+            0,
+            Some(Tensor::from_fn(&[3, 4], |i| if i < 4 { 1.0 } else { 0.0 })),
+        );
+        let spec = ModelSpec::new(snapshot, || {
+            Ok(Box::new(Linear::new(4, 3, &mut rng_from_seed(0))?))
+        })
+        .with_ticket(ticket);
+        let mut cache = ModelCache::new(u64::MAX);
+        let loaded = cache.get_or_load(spec.key(), &spec).unwrap();
+        let guard = loaded.model.lock().unwrap();
+        assert!(
+            guard.params()[0].plan.is_some(),
+            "admission must compile the ticket's sparse plan"
+        );
+    }
+}

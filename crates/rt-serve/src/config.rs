@@ -1,0 +1,221 @@
+//! Service configuration: builder-constructed, env-overridable,
+//! validated before a [`crate::Service`] can exist.
+
+use crate::Result;
+use rt_nn::NnError;
+use std::time::Duration;
+
+/// Tuning knobs of a [`crate::Service`].
+///
+/// Construct through [`ServeConfig::builder`]; validation happens in
+/// [`ServeConfigBuilder::build`] so an invalid combination can never
+/// reach the batcher. Drivers map the build error to the workspace
+/// `ExitCode::Usage` (2) convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush threshold: a batch executes as soon as this many compatible
+    /// requests are queued (≥ 1; 1 disables coalescing).
+    pub max_batch: usize,
+    /// Flush deadline: the oldest queued request never waits longer than
+    /// this for batch-mates before executing.
+    pub max_wait: Duration,
+    /// Admission-queue bound; a full queue rejects with
+    /// [`rt_nn::Rejected::QueueFull`] (≥ 1).
+    pub queue_cap: usize,
+    /// Model-cache capacity in bytes; admission past this evicts
+    /// least-recently-used models (see [`crate::ModelCache`]).
+    pub cache_bytes: u64,
+    /// Force sparse execution on (`Some(true)`) or off (`Some(false)`)
+    /// for every forward; `None` follows the process default
+    /// ([`rt_nn::sparse_exec_default`], i.e. `RT_SPARSE`). The flag only
+    /// trades speed — sparse and dense execution are bit-identical.
+    pub sparse: Option<bool>,
+}
+
+impl ServeConfig {
+    /// Starts a builder from the defaults: batch 8, wait 2 ms, queue 64,
+    /// unbounded cache, process-default sparse execution.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            max_batch: 8,
+            max_wait_ms: 2,
+            queue_cap: 64,
+            cache_bytes: u64::MAX,
+            sparse: None,
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]. All setters are infallible; every
+/// validation error is reported by [`ServeConfigBuilder::build`] so a
+/// driver has exactly one place to map onto `ExitCode::Usage`.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    max_batch: usize,
+    max_wait_ms: u64,
+    queue_cap: usize,
+    cache_bytes: u64,
+    sparse: Option<bool>,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the flush threshold (validated ≥ 1 at build).
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets the flush deadline in milliseconds.
+    #[must_use]
+    pub fn max_wait_ms(mut self, ms: u64) -> Self {
+        self.max_wait_ms = ms;
+        self
+    }
+
+    /// Sets the admission-queue bound (validated ≥ 1 at build).
+    #[must_use]
+    pub fn queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n;
+        self
+    }
+
+    /// Sets the model-cache byte capacity.
+    #[must_use]
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Forces sparse execution on or off for every forward.
+    #[must_use]
+    pub fn sparse(mut self, sparse: Option<bool>) -> Self {
+        self.sparse = sparse;
+        self
+    }
+
+    /// Applies the serving environment overrides: `RT_SERVE_BATCH`
+    /// (flush threshold), `RT_SERVE_QUEUE` (admission bound), and
+    /// `RT_SERVE_WAIT_MS` (flush deadline). Unlike the runner's
+    /// fail-safe envs, these are *strict*: a present-but-malformed value
+    /// is a usage error — a typo silently reverting to defaults would
+    /// invalidate a load test without anyone noticing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] (as [`rt_nn::RtError`]) naming
+    /// the offending variable and value.
+    pub fn env_overrides(mut self) -> Result<Self> {
+        if let Some(v) = parse_env("RT_SERVE_BATCH")? {
+            self.max_batch = v as usize;
+        }
+        if let Some(v) = parse_env("RT_SERVE_QUEUE")? {
+            self.queue_cap = v as usize;
+        }
+        if let Some(v) = parse_env("RT_SERVE_WAIT_MS")? {
+            self.max_wait_ms = v;
+        }
+        Ok(self)
+    }
+
+    /// Validates and finalizes the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] (as [`rt_nn::RtError`]) when
+    /// `max_batch` or `queue_cap` is zero, or when `max_batch` exceeds
+    /// `queue_cap` (a batch could then never fill).
+    pub fn build(self) -> Result<ServeConfig> {
+        if self.max_batch == 0 {
+            return Err(invalid("max_batch must be at least 1"));
+        }
+        if self.queue_cap == 0 {
+            return Err(invalid("queue_cap must be at least 1"));
+        }
+        if self.max_batch > self.queue_cap {
+            return Err(invalid(&format!(
+                "max_batch ({}) exceeds queue_cap ({}); a full batch could never assemble",
+                self.max_batch, self.queue_cap
+            )));
+        }
+        Ok(ServeConfig {
+            max_batch: self.max_batch,
+            max_wait: Duration::from_millis(self.max_wait_ms),
+            queue_cap: self.queue_cap,
+            cache_bytes: self.cache_bytes,
+            sparse: self.sparse,
+        })
+    }
+}
+
+fn invalid(detail: &str) -> rt_nn::RtError {
+    NnError::InvalidConfig {
+        detail: detail.to_string(),
+    }
+    .into()
+}
+
+/// Reads one strict numeric env override: absent → `None`, present and a
+/// non-negative integer → `Some(v)`, anything else → usage error.
+fn parse_env(name: &str) -> Result<Option<u64>> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(v) => Ok(Some(v)),
+            Err(_) => Err(invalid(&format!(
+                "{name}={raw:?} is not a non-negative integer"
+            ))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let cfg = ServeConfig::builder().build().unwrap();
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.queue_cap, 64);
+        assert_eq!(cfg.max_wait, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn zero_batch_and_zero_queue_are_usage_errors() {
+        assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        assert!(ServeConfig::builder().queue_cap(0).build().is_err());
+        let e = ServeConfig::builder()
+            .max_batch(16)
+            .queue_cap(4)
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("exceeds queue_cap"), "{e}");
+    }
+
+    #[test]
+    fn env_overrides_are_strict() {
+        // Serialize env mutation against other tests in this binary.
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RT_SERVE_BATCH", "3");
+        std::env::set_var("RT_SERVE_QUEUE", "12");
+        std::env::set_var("RT_SERVE_WAIT_MS", "7");
+        let cfg = ServeConfig::builder()
+            .env_overrides()
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_batch, 3);
+        assert_eq!(cfg.queue_cap, 12);
+        assert_eq!(cfg.max_wait, Duration::from_millis(7));
+
+        std::env::set_var("RT_SERVE_BATCH", "lots");
+        let err = ServeConfig::builder().env_overrides().unwrap_err();
+        assert!(err.to_string().contains("RT_SERVE_BATCH"), "{err}");
+        std::env::remove_var("RT_SERVE_BATCH");
+        std::env::remove_var("RT_SERVE_QUEUE");
+        std::env::remove_var("RT_SERVE_WAIT_MS");
+    }
+
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

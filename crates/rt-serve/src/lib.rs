@@ -1,0 +1,73 @@
+//! Batched ticket-inference serving: the deployment layer that cashes the
+//! efficiency check the pruning stack writes.
+//!
+//! [`Service`] accepts single-sample requests, coalesces them into
+//! dynamic micro-batches (flushed at [`ServeConfig::max_batch`] or after
+//! [`ServeConfig::max_wait`]), and executes each batch through one
+//! forward pass of a sparse-compiled model on the `rt-par` pool. The
+//! design commitments, in order of importance:
+//!
+//! 1. **Bit-identity.** A batched forward returns, for every request,
+//!    exactly the bytes a serial single-sample forward would have —
+//!    because every kernel in the workspace accumulates each output
+//!    element independently in a fixed reduction order, the batch
+//!    dimension only tiles work, never reassociates floats. Batching is
+//!    therefore purely a throughput decision; results are independent of
+//!    batch composition, arrival order, and `RT_THREADS`.
+//! 2. **Explicit backpressure.** The admission queue is bounded; a full
+//!    queue rejects with [`rt_nn::Rejected::QueueFull`] instead of
+//!    buffering unboundedly, and a draining service rejects with
+//!    [`rt_nn::Rejected::Draining`]. All errors surface as the unified
+//!    [`rt_nn::RtError`].
+//! 3. **Deadlines are wired to `rt-par` cancellation.** A request may
+//!    carry a wall-clock budget; the batch executor arms the `rt-par`
+//!    watchdog for the tightest budget in the batch, the kernels observe
+//!    the tripped token at chunk boundaries, expired requests fail with
+//!    [`rt_nn::RtError::Deadline`], and unexpired batch-mates are
+//!    requeued and re-executed (bit-identically, see 1).
+//! 4. **No threads of its own.** There is no background batcher thread:
+//!    the service uses a leader/follower protocol in which one waiting
+//!    client thread becomes the flusher. This keeps the crate inside the
+//!    workspace thread discipline (all parallelism flows through
+//!    `rt-par`) and means an idle service costs nothing.
+//!
+//! Models enter the service through [`Service::admit`]: a checkpoint
+//! snapshot ([`rt_nn::checkpoint::StateDict`]) plus an optional
+//! [`rt_prune::TicketMask`]. Admission restores the weights, applies the
+//! ticket (compiling its `rt-sparse` plans exactly once), and installs
+//! the model in an LRU cache keyed by checkpoint checksum and evicted by
+//! bytes — see [`cache`].
+//!
+//! ```no_run
+//! use rt_serve::{ModelSpec, ServeConfig, Service};
+//! # fn demo(snapshot: rt_nn::checkpoint::StateDict,
+//! #         ticket: rt_prune::TicketMask,
+//! #         sample: rt_tensor::Tensor) -> Result<(), rt_nn::RtError> {
+//! let service = Service::new(ServeConfig::builder().max_batch(8).build()?);
+//! let key = service.admit(
+//!     ModelSpec::new(snapshot, || {
+//!         // Build the architecture the snapshot restores into.
+//! #       unimplemented!()
+//!     })
+//!     .with_ticket(ticket),
+//! )?;
+//! let logits = service.infer(key, sample)?;
+//! service.shutdown(); // drains every admitted request first
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod config;
+mod service;
+
+pub use cache::{ModelCache, ModelSpec};
+pub use config::{ServeConfig, ServeConfigBuilder};
+pub use service::{Service, ServiceStats};
+
+/// Crate-level result alias: every fallible path returns the unified
+/// [`rt_nn::RtError`].
+pub type Result<T> = std::result::Result<T, rt_nn::RtError>;

@@ -1,0 +1,575 @@
+//! The batching inference service: admission, coalescing, execution,
+//! deadlines, and drain.
+//!
+//! # Batching policy
+//!
+//! Requests queue FIFO in one bounded admission queue. A batch is the
+//! oldest request's *cohort*: up to [`ServeConfig::max_batch`] queued
+//! requests for the same model key and sample shape, in arrival order.
+//! A flush happens when the queue holds `max_batch` requests, when the
+//! oldest request has waited [`ServeConfig::max_wait`], or when the
+//! service is draining.
+//!
+//! # Leader/follower execution
+//!
+//! There is no batcher thread. Every thread blocked in
+//! [`Service::infer`] participates in a leader/follower protocol: when a
+//! flush is due and no leader is active, one waiter promotes itself,
+//! drains the cohort, executes it (with the service state *unlocked*, so
+//! admission continues during compute), delivers each result to its
+//! request's slot, and steps down. The forward itself fans out on the
+//! `rt-par` pool exactly as training does.
+//!
+//! # Why batched bytes equal serial bytes
+//!
+//! Every kernel in the workspace computes each output element as an
+//! independent fixed-order reduction; the leading (batch) dimension only
+//! adds more independent rows (see `rt-tensor::linalg`'s determinism
+//! notes). Stacking K samples and splitting the result rows therefore
+//! yields, for every request, exactly the bytes of a one-sample forward
+//! — the property the `serve_bit_identity` proptests and the
+//! `bench_serve` CI gate both enforce.
+
+use crate::cache::{LoadedModel, ModelSpec};
+use crate::config::ServeConfig;
+use crate::{cache::ModelCache, Result};
+use rt_nn::{ExecCtx, Rejected, RtError};
+use rt_obs::Stopwatch;
+use rt_par::{with_cancel, CancelScope, Cancelled};
+use rt_tensor::Tensor;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// One queued request: the sample, its response slot, and its budget.
+struct Pending {
+    model_key: u64,
+    sample: Tensor,
+    enqueued: Stopwatch,
+    budget: Option<Duration>,
+    slot: Arc<Slot>,
+}
+
+impl Pending {
+    /// Whether this request's wall-clock budget has expired.
+    fn expired(&self) -> bool {
+        self.budget.is_some_and(|b| self.enqueued.elapsed() >= b)
+    }
+
+    fn budget_ms(&self) -> u64 {
+        self.budget.map_or(0, |b| b.as_millis() as u64)
+    }
+}
+
+/// Single-assignment response mailbox; the submitting thread takes the
+/// value, everyone else only writes it.
+struct Slot(Mutex<Option<Result<Tensor>>>);
+
+impl Slot {
+    fn deliver(&self, result: Result<Tensor>) {
+        *self.0.lock().expect("response slot poisoned") = Some(result);
+    }
+
+    fn take(&self) -> Option<Result<Tensor>> {
+        self.0.lock().expect("response slot poisoned").take()
+    }
+}
+
+/// Carrier for a batch-executor panic that was not a cooperative
+/// cancellation: the panic message, re-raised as a structured error so
+/// no panic ever crosses the service boundary.
+#[derive(Debug)]
+struct ServeFailure(String);
+
+impl std::fmt::Display for ServeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch execution failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServeFailure {}
+
+/// Mutable service state, all behind one mutex.
+struct State {
+    specs: BTreeMap<u64, ModelSpec>,
+    cache: ModelCache,
+    queue: VecDeque<Pending>,
+    leader_active: bool,
+    draining: bool,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    deadline_expired: u64,
+}
+
+/// A point-in-time snapshot of the service's counters (test and
+/// introspection surface; the live telemetry goes through `rt-obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests refused at admission (queue full / draining / unknown).
+    pub rejected: u64,
+    /// Requests completed with a model output.
+    pub completed: u64,
+    /// Requests failed by deadline expiry (queued or executing).
+    pub deadline_expired: u64,
+    /// Requests currently queued.
+    pub queued: usize,
+    /// Models resident in the cache.
+    pub cached_models: usize,
+    /// Bytes resident in the cache.
+    pub cached_bytes: u64,
+}
+
+/// What one batch execution asks the flusher to do next.
+struct ExecOutcome {
+    /// Unexpired requests whose batch was cancelled — put back at the
+    /// front of the queue, in order, for re-execution.
+    requeue: Vec<Pending>,
+    completed: u64,
+    expired: u64,
+}
+
+/// The batched-inference service. See the module docs for the design;
+/// all methods take `&self` and are safe to call from any number of
+/// threads (the expected callers are `rt-par` pool tasks).
+pub struct Service {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Service {
+    /// A service with no admitted models and an empty queue.
+    pub fn new(cfg: ServeConfig) -> Service {
+        let cache = ModelCache::new(cfg.cache_bytes);
+        Service {
+            cfg,
+            state: Mutex::new(State {
+                specs: BTreeMap::new(),
+                cache,
+                queue: VecDeque::new(),
+                leader_active: false,
+                draining: false,
+                admitted: 0,
+                rejected: 0,
+                completed: 0,
+                deadline_expired: 0,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Admits a model: registers the spec and loads it immediately, so
+    /// snapshot restore and ticket-plan compilation happen exactly once,
+    /// here, and never on the request path (a later cache miss after
+    /// eviction reloads from the retained spec). Returns the cache key
+    /// requests pass to [`Service::infer`].
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Draining`] after [`Service::shutdown`];
+    /// construction/restore/mask errors from the spec.
+    pub fn admit(&self, spec: ModelSpec) -> Result<u64> {
+        let _span = rt_obs::span!("serve.admit");
+        let key = spec.key();
+        let mut st = self.lock();
+        if st.draining {
+            return Err(Rejected::Draining.into());
+        }
+        st.specs.insert(key, spec);
+        let State { specs, cache, .. } = &mut *st;
+        let spec = specs.get(&key).expect("spec was just inserted");
+        cache.get_or_load(key, spec)?;
+        rt_obs::counter("serve.model_admitted").inc();
+        Ok(key)
+    }
+
+    /// Runs one sample through an admitted model, without a deadline.
+    /// Blocks until the result is ready; the calling thread may serve as
+    /// the batch flusher while it waits.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] variants at admission; model errors from execution.
+    pub fn infer(&self, model: u64, sample: Tensor) -> Result<Tensor> {
+        self.infer_with_deadline(model, sample, None)
+    }
+
+    /// [`Service::infer`] with a wall-clock budget measured from
+    /// admission. Expiry — in the queue or mid-execution, where it is
+    /// enforced through the `rt-par` watchdog tripping the batch's
+    /// cancellation token — fails the request with
+    /// [`RtError::Deadline`]; batch-mates with remaining budget are
+    /// requeued and re-executed bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] variants at admission, [`RtError::Deadline`] on
+    /// expiry, model errors from execution.
+    pub fn infer_with_deadline(
+        &self,
+        model: u64,
+        sample: Tensor,
+        budget: Option<Duration>,
+    ) -> Result<Tensor> {
+        let slot = Arc::new(Slot(Mutex::new(None)));
+        {
+            let mut st = self.lock();
+            if st.draining {
+                st.rejected += 1;
+                rt_obs::counter("serve.reject").inc();
+                rt_obs::counter("serve.reject.draining").inc();
+                return Err(Rejected::Draining.into());
+            }
+            if !st.specs.contains_key(&model) {
+                st.rejected += 1;
+                rt_obs::counter("serve.reject").inc();
+                rt_obs::counter("serve.reject.unknown_model").inc();
+                return Err(Rejected::UnknownModel { key: model }.into());
+            }
+            if st.queue.len() >= self.cfg.queue_cap {
+                st.rejected += 1;
+                rt_obs::counter("serve.reject").inc();
+                rt_obs::counter("serve.reject.queue_full").inc();
+                return Err(Rejected::QueueFull {
+                    capacity: self.cfg.queue_cap,
+                }
+                .into());
+            }
+            st.admitted += 1;
+            st.queue.push_back(Pending {
+                model_key: model,
+                sample,
+                enqueued: Stopwatch::start(),
+                budget,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.wake.notify_all();
+        self.pump(&slot)
+    }
+
+    /// Drains and stops the service: admission is closed immediately
+    /// (new requests get [`Rejected::Draining`]), then every request
+    /// already in the queue — including any requeued by a deadline trip
+    /// — is executed to completion before this returns. The caller acts
+    /// as the flusher, so drain completes even with no client threads
+    /// still waiting.
+    pub fn shutdown(&self) {
+        let _span = rt_obs::span!("serve.drain");
+        let mut st = self.lock();
+        st.draining = true;
+        self.wake.notify_all();
+        loop {
+            if st.queue.is_empty() && !st.leader_active {
+                rt_obs::counter("serve.drained").inc();
+                return;
+            }
+            if !st.leader_active && !st.queue.is_empty() {
+                st = self.lead_one_flush(st);
+                continue;
+            }
+            // A leader elsewhere is mid-flush; yield until it finishes.
+            let (guard, _) = self
+                .wake
+                .wait_timeout(st, Duration::from_millis(5))
+                .expect("service state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Whether [`Service::shutdown`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.lock();
+        ServiceStats {
+            admitted: st.admitted,
+            rejected: st.rejected,
+            completed: st.completed,
+            deadline_expired: st.deadline_expired,
+            queued: st.queue.len(),
+            cached_models: st.cache.len(),
+            cached_bytes: st.cache.resident_bytes(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("service state poisoned")
+    }
+
+    /// Waits for `slot` to fill, flushing batches whenever this thread
+    /// finds a due flush and no active leader.
+    fn pump(&self, slot: &Arc<Slot>) -> Result<Tensor> {
+        let mut st = self.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            if !st.leader_active && self.flush_due(&st) {
+                st = self.lead_one_flush(st);
+                continue;
+            }
+            let (guard, _) = self
+                .wake
+                .wait_timeout(st, self.wait_budget(&st))
+                .expect("service state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Whether the oldest queued request should flush now.
+    fn flush_due(&self, st: &State) -> bool {
+        match st.queue.front() {
+            None => false,
+            Some(front) => {
+                st.draining
+                    || st.queue.len() >= self.cfg.max_batch
+                    || front.enqueued.elapsed() >= self.cfg.max_wait
+                    || front.expired()
+            }
+        }
+    }
+
+    /// How long a waiter may sleep before re-checking flush conditions.
+    fn wait_budget(&self, st: &State) -> Duration {
+        match st.queue.front() {
+            None => Duration::from_millis(20),
+            Some(front) => self
+                .cfg
+                .max_wait
+                .saturating_sub(front.enqueued.elapsed())
+                .max(Duration::from_micros(200)),
+        }
+    }
+
+    /// Promotes the caller to leader for exactly one flush, then steps
+    /// down and wakes everyone.
+    fn lead_one_flush<'a>(&'a self, mut st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        st.leader_active = true;
+        let mut st = self.flush_one_batch(st);
+        st.leader_active = false;
+        drop(st);
+        self.wake.notify_all();
+        self.lock()
+    }
+
+    /// Drains the oldest cohort and executes it with the state unlocked.
+    fn flush_one_batch<'a>(&'a self, mut st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        let (key, shape) = match st.queue.front() {
+            Some(p) => (p.model_key, p.sample.shape().to_vec()),
+            None => return st,
+        };
+        // Cohort selection: FIFO scan for same model + same sample shape.
+        let mut batch: Vec<Pending> = Vec::new();
+        let mut rest: VecDeque<Pending> = VecDeque::with_capacity(st.queue.len());
+        while let Some(p) = st.queue.pop_front() {
+            if batch.len() < self.cfg.max_batch
+                && p.model_key == key
+                && p.sample.shape() == shape.as_slice()
+            {
+                batch.push(p);
+            } else {
+                rest.push_back(p);
+            }
+        }
+        st.queue = rest;
+
+        // Fail queue-expired requests without executing them.
+        let mut run: Vec<Pending> = Vec::new();
+        for p in batch {
+            if p.expired() {
+                st.deadline_expired += 1;
+                rt_obs::counter("serve.deadline.queue").inc();
+                p.slot.deliver(Err(RtError::Deadline {
+                    budget_ms: p.budget_ms(),
+                    stage: "queue",
+                }));
+            } else {
+                run.push(p);
+            }
+        }
+        if run.is_empty() {
+            return st;
+        }
+
+        let loaded = {
+            let State { specs, cache, .. } = &mut *st;
+            match specs.get(&key) {
+                Some(spec) => cache.get_or_load(key, spec),
+                None => Err(Rejected::UnknownModel { key }.into()),
+            }
+        };
+        let loaded = match loaded {
+            Ok(l) => l,
+            Err(e) => {
+                for p in &run {
+                    p.slot.deliver(Err(clone_error(&e)));
+                }
+                return st;
+            }
+        };
+
+        drop(st); // admission and other models proceed during compute
+        let outcome = self.execute(&loaded, run);
+        let mut st = self.lock();
+        st.completed += outcome.completed;
+        st.deadline_expired += outcome.expired;
+        for p in outcome.requeue.into_iter().rev() {
+            st.queue.push_front(p);
+        }
+        st
+    }
+
+    /// Executes one cohort as a single stacked forward and distributes
+    /// per-request rows. Returns requests to requeue after a deadline
+    /// trip cancelled the batch under them.
+    fn execute(&self, loaded: &LoadedModel, batch: Vec<Pending>) -> ExecOutcome {
+        let _span = rt_obs::span!("serve.batch", "size" => batch.len());
+        rt_obs::histogram("serve.batch_size").observe(batch.len() as f64);
+        let queue_ms = rt_obs::histogram("serve.queue_ms");
+        for p in &batch {
+            queue_ms.observe(p.enqueued.elapsed_ms());
+        }
+        let mut outcome = ExecOutcome {
+            requeue: Vec::new(),
+            completed: 0,
+            expired: 0,
+        };
+
+        // Per-request deadlines → one rt-par cancellation scope per
+        // batch, its watchdog armed for the tightest remaining budget.
+        // Kernels observe the tripped token at chunk boundaries.
+        let tightest = batch
+            .iter()
+            .filter_map(|p| p.budget.map(|b| b.saturating_sub(p.enqueued.elapsed())))
+            .min();
+        let scope = CancelScope::new();
+        let _deadline = tightest.map(|d| rt_par::watchdog::arm(scope.token(), d));
+        let _ambient = with_cancel(scope.token());
+
+        // Stack the cohort: [K, sample_shape...].
+        let sample_len = batch[0].sample.data().len();
+        let mut shape = Vec::with_capacity(batch[0].sample.shape().len() + 1);
+        shape.push(batch.len());
+        shape.extend_from_slice(batch[0].sample.shape());
+        let mut data = Vec::with_capacity(batch.len() * sample_len);
+        for p in &batch {
+            data.extend_from_slice(p.sample.data());
+        }
+        let x = match Tensor::from_vec(shape, data) {
+            Ok(t) => t,
+            Err(e) => {
+                for p in &batch {
+                    p.slot.deliver(Err(RtError::Tensor(e.clone())));
+                }
+                return outcome;
+            }
+        };
+
+        // Build the context *after* installing the ambient token so the
+        // batch's cancellation threads through `ExecCtx`.
+        let mut ctx = ExecCtx::eval();
+        if let Some(sparse) = self.cfg.sparse {
+            ctx = ctx.with_sparse(sparse);
+        }
+
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // Recover the model mutex from a previous cancelled attempt's
+            // poisoning: forwards fully overwrite their caches, so the
+            // model is valid regardless of where an unwind stopped it.
+            let mut model = loaded
+                .model
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            model.forward(&x, ctx)
+        }));
+        match result {
+            Ok(Ok(y)) => {
+                let row_shape: Vec<usize> = y.shape()[1..].to_vec();
+                let row_len: usize = row_shape.iter().product();
+                for (i, p) in batch.iter().enumerate() {
+                    let row = y.data()[i * row_len..(i + 1) * row_len].to_vec();
+                    p.slot
+                        .deliver(Tensor::from_vec(row_shape.clone(), row).map_err(Into::into));
+                    outcome.completed += 1;
+                }
+            }
+            Ok(Err(e)) => {
+                for p in &batch {
+                    p.slot.deliver(Err(RtError::Nn(e.clone())));
+                }
+            }
+            Err(payload) if payload.downcast_ref::<Cancelled>().is_some() => {
+                // The watchdog tripped the batch: expired members fail,
+                // the rest go back to the front of the queue. Their
+                // re-execution is bit-identical (batch composition never
+                // changes result bytes), so a trip costs latency only.
+                rt_obs::counter("serve.deadline.tripped").inc();
+                for p in batch {
+                    if p.expired() {
+                        outcome.expired += 1;
+                        p.slot.deliver(Err(RtError::Deadline {
+                            budget_ms: p.budget_ms(),
+                            stage: "execute",
+                        }));
+                    } else {
+                        outcome.requeue.push(p);
+                    }
+                }
+            }
+            Err(payload) => {
+                let detail = panic_message(payload);
+                rt_obs::counter("serve.batch_panic").inc();
+                for p in &batch {
+                    p.slot.deliver(Err(RtError::Layer {
+                        layer: "serve",
+                        source: Box::new(ServeFailure(detail.clone())),
+                    }));
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// Best-effort structural clone for broadcasting one failure to every
+/// request of a batch (the unified error is deliberately not `Clone` —
+/// it can carry `io::Error` and boxed sources).
+fn clone_error(e: &RtError) -> RtError {
+    match e {
+        RtError::Tensor(t) => RtError::Tensor(t.clone()),
+        RtError::Nn(n) => RtError::Nn(n.clone()),
+        RtError::Rejected(r) => RtError::Rejected(*r),
+        RtError::Deadline { budget_ms, stage } => RtError::Deadline {
+            budget_ms: *budget_ms,
+            stage,
+        },
+        other => RtError::Layer {
+            layer: "serve",
+            source: Box::new(ServeFailure(other.to_string())),
+        },
+    }
+}
+
+/// Renders a non-`Cancelled` panic payload for the structured error.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,391 @@
+//! End-to-end service tests: batched-vs-serial bit-identity under
+//! arbitrary interleavings, structured rejection, deadline expiry, and
+//! drain-on-shutdown.
+//!
+//! Concurrency in these tests flows through `rt_par::run_tasks` (the
+//! workspace's only sanctioned fan-out), with each task index acting as
+//! one closed-loop client.
+
+use proptest::prelude::*;
+use rt_nn::checkpoint::StateDict;
+use rt_nn::layers::{Linear, Relu};
+use rt_nn::{ExecCtx, Layer, Rejected, RtError, Sequential};
+use rt_prune::TicketMask;
+use rt_serve::{ModelSpec, ServeConfig, Service};
+use rt_tensor::rng::rng_from_seed;
+use rt_tensor::Tensor;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const IN_DIM: usize = 6;
+const OUT_DIM: usize = 4;
+
+fn mlp(seed: u64) -> Sequential {
+    let mut rng = rng_from_seed(seed);
+    Sequential::new(vec![
+        Box::new(Linear::new(IN_DIM, 16, &mut rng).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(16, OUT_DIM, &mut rng).unwrap()),
+    ])
+}
+
+fn sample(i: usize) -> Tensor {
+    Tensor::from_fn(&[IN_DIM], |j| ((i * 31 + j * 7) % 13) as f32 / 6.5 - 1.0)
+}
+
+/// The ground truth the service must reproduce bitwise: a one-sample
+/// forward (`[1, IN_DIM]`) through an identically restored model.
+fn serial_bits(model: &mut dyn Layer, i: usize) -> Vec<u32> {
+    let s = sample(i);
+    let mut data = Vec::with_capacity(IN_DIM);
+    data.extend_from_slice(s.data());
+    let x = Tensor::from_vec(vec![1, IN_DIM], data).unwrap();
+    let y = model.forward(&x, ExecCtx::eval()).unwrap();
+    y.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn bits_of(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn spec_for(seed: u64) -> ModelSpec {
+    let model = mlp(seed);
+    let snapshot = StateDict::capture(&model);
+    ModelSpec::new(snapshot, move || Ok(Box::new(mlp(0))))
+}
+
+/// A mask keeping roughly a quarter of the first Linear's weights.
+fn quarter_ticket(seed: u64) -> TicketMask {
+    let model = mlp(seed);
+    let mut ticket = TicketMask::dense(&model);
+    ticket.set_slot(
+        0,
+        Some(Tensor::from_fn(&[16, IN_DIM], |i| {
+            if i % 4 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })),
+    );
+    ticket
+}
+
+/// Submits `n` concurrent clients and returns each request's result.
+fn run_clients(
+    service: &Service,
+    key: u64,
+    n: usize,
+    budget: impl Fn(usize) -> Option<Duration> + Sync,
+) -> Vec<Result<Tensor, RtError>> {
+    let results: Vec<Mutex<Option<Result<Tensor, RtError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    rt_par::run_tasks(n, &|i| {
+        let out = service.infer_with_deadline(key, sample(i), budget(i));
+        *results[i].lock().unwrap() = Some(out);
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("client task completed"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tentpole invariant: for any request count, flush threshold,
+    /// and thread count, every concurrent client receives exactly the
+    /// bytes a serial one-sample forward produces — batch composition
+    /// and arrival order are unobservable in the output.
+    #[test]
+    fn any_interleaving_is_bit_identical_to_serial(
+        n in 1usize..12,
+        max_batch in 1usize..6,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let _env = rt_obs::testing::lock();
+        rt_par::set_threads(threads);
+        let mut reference = mlp(7);
+        let expected: Vec<Vec<u32>> =
+            (0..n).map(|i| serial_bits(&mut reference, i)).collect();
+
+        let cfg = ServeConfig::builder()
+            .max_batch(max_batch)
+            .max_wait_ms(1)
+            .queue_cap(64)
+            .build()
+            .unwrap();
+        let service = Service::new(cfg);
+        let key = service.admit(spec_for(7)).unwrap();
+        let got = run_clients(&service, key, n, |_| None);
+        service.shutdown();
+
+        for (i, result) in got.into_iter().enumerate() {
+            let y = result.unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+            prop_assert_eq!(y.shape(), &[OUT_DIM][..]);
+            prop_assert_eq!(bits_of(&y), expected[i].clone());
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.completed, n as u64);
+        prop_assert_eq!(stats.queued, 0);
+    }
+}
+
+#[test]
+fn ticketed_model_serves_bit_identically_and_sparse_plans_compile() {
+    let _env = rt_obs::testing::lock();
+    rt_par::set_threads(4);
+    // Serial reference: restore + mask by hand, then one-sample forwards.
+    let mut reference = mlp(11);
+    let snapshot = StateDict::capture(&reference);
+    let ticket = quarter_ticket(11);
+    snapshot.restore(&mut reference).unwrap();
+    ticket.apply(&mut reference).unwrap();
+    assert!(
+        reference.params()[0].plan.is_some(),
+        "mask application must compile a sparse plan"
+    );
+    let expected: Vec<Vec<u32>> = (0..6).map(|i| serial_bits(&mut reference, i)).collect();
+
+    let cfg = ServeConfig::builder()
+        .max_batch(3)
+        .max_wait_ms(1)
+        .build()
+        .unwrap();
+    let service = Service::new(cfg);
+    let key = service
+        .admit(spec_for(11).with_ticket(quarter_ticket(11)))
+        .unwrap();
+    let got = run_clients(&service, key, 6, |_| None);
+    service.shutdown();
+    for (i, result) in got.into_iter().enumerate() {
+        assert_eq!(bits_of(&result.unwrap()), expected[i], "request {i}");
+    }
+}
+
+/// A layer that stalls in forward before delegating — long enough for
+/// admissions (or a watchdog) to land while a batch is mid-execution.
+struct Slow {
+    inner: Sequential,
+    stall: Duration,
+}
+
+impl Layer for Slow {
+    fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> rt_nn::Result<Tensor> {
+        std::thread::sleep(self.stall);
+        self.inner.forward(input, ctx)
+    }
+    fn backward(&mut self, grad: &Tensor, ctx: ExecCtx) -> rt_nn::Result<Tensor> {
+        self.inner.backward(grad, ctx)
+    }
+    fn params(&self) -> Vec<&rt_nn::Param> {
+        self.inner.params()
+    }
+    fn params_mut(&mut self) -> Vec<&mut rt_nn::Param> {
+        self.inner.params_mut()
+    }
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.inner.buffers()
+    }
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.inner.buffers_mut()
+    }
+}
+
+fn slow_spec(seed: u64, stall: Duration) -> ModelSpec {
+    let model = mlp(seed);
+    let snapshot = StateDict::capture(&model);
+    ModelSpec::new(snapshot, move || {
+        Ok(Box::new(Slow {
+            inner: mlp(0),
+            stall,
+        }))
+    })
+}
+
+#[test]
+fn full_queue_rejects_with_structured_backpressure() {
+    let _env = rt_obs::testing::lock();
+    rt_par::set_threads(4);
+    // One leader stalls 200 ms per flush; with a queue bound of 2 and
+    // four concurrent clients, the last arrival must be turned away.
+    let cfg = ServeConfig::builder()
+        .max_batch(1)
+        .max_wait_ms(0)
+        .queue_cap(2)
+        .build()
+        .unwrap();
+    let service = Service::new(cfg);
+    let key = service
+        .admit(slow_spec(3, Duration::from_millis(200)))
+        .unwrap();
+    let results = run_clients(&service, key, 4, |_| None);
+    service.shutdown();
+
+    let rejected: Vec<&RtError> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err())
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "four clients through a 2-deep queue must overflow"
+    );
+    for e in &rejected {
+        assert!(
+            matches!(
+                e,
+                RtError::Rejected(Rejected::QueueFull { capacity: 2 })
+            ),
+            "expected QueueFull, got: {e}"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.rejected, rejected.len() as u64);
+    assert_eq!(
+        stats.completed + stats.rejected,
+        4,
+        "every request either completed or was rejected — no losses"
+    );
+}
+
+#[test]
+fn deadline_expiry_is_a_structured_error_at_both_stages() {
+    let _env = rt_obs::testing::lock();
+    rt_par::set_threads(2);
+    let cfg = ServeConfig::builder()
+        .max_batch(1)
+        .max_wait_ms(1)
+        .build()
+        .unwrap();
+    let service = Service::new(cfg);
+    let key = service
+        .admit(slow_spec(5, Duration::from_millis(80)))
+        .unwrap();
+
+    // Stage "queue": an already-expired budget fails before execution.
+    let queue_expired = run_clients(&service, key, 1, |_| Some(Duration::ZERO));
+    match &queue_expired[0] {
+        Err(RtError::Deadline { stage, .. }) => assert_eq!(*stage, "queue"),
+        other => panic!("expected queue-stage deadline, got {other:?}"),
+    }
+
+    // Stage "execute": the budget expires mid-forward; the watchdog trips
+    // the batch token and the kernels unwind cooperatively.
+    let exec_expired =
+        run_clients(&service, key, 1, |_| Some(Duration::from_millis(20)));
+    match &exec_expired[0] {
+        Err(RtError::Deadline { stage, budget_ms }) => {
+            assert_eq!(*stage, "execute");
+            assert_eq!(*budget_ms, 20);
+        }
+        other => panic!("expected execute-stage deadline, got {other:?}"),
+    }
+    service.shutdown();
+    assert_eq!(service.stats().deadline_expired, 2);
+}
+
+#[test]
+fn deadline_trip_requeues_unexpired_batchmates_bit_identically() {
+    let _env = rt_obs::testing::lock();
+    rt_par::set_threads(4);
+    let mut reference = Slow {
+        inner: mlp(9),
+        stall: Duration::ZERO,
+    };
+    let snapshot = StateDict::capture(&reference.inner);
+    snapshot.restore(&mut reference).unwrap();
+    let expected: Vec<Vec<u32>> = (0..3).map(|i| serial_bits(&mut reference, i)).collect();
+
+    // All three clients land in one batch (flush threshold 3). Client 0's
+    // 20 ms budget expires during the 60 ms stall: the trip fails client 0
+    // and requeues clients 1 and 2, whose re-execution must still produce
+    // the serial bytes.
+    let cfg = ServeConfig::builder()
+        .max_batch(3)
+        .max_wait_ms(200)
+        .build()
+        .unwrap();
+    let service = Service::new(cfg);
+    let key = service
+        .admit(slow_spec(9, Duration::from_millis(60)))
+        .unwrap();
+    let results = run_clients(&service, key, 3, |i| {
+        (i == 0).then_some(Duration::from_millis(20))
+    });
+    service.shutdown();
+
+    assert!(
+        matches!(results[0], Err(RtError::Deadline { .. })),
+        "budgeted client must expire, got {:?}",
+        results[0]
+    );
+    for i in 1..3 {
+        let y = results[i].as_ref().unwrap_or_else(|e| {
+            panic!("requeued client {i} must complete: {e}")
+        });
+        assert_eq!(bits_of(y), expected[i], "requeued client {i}");
+    }
+}
+
+#[test]
+fn shutdown_drains_every_admitted_request_then_rejects() {
+    let _env = rt_obs::testing::lock();
+    rt_par::set_threads(4);
+    // A flush threshold the three clients can never reach on their own:
+    // only the drain can release them.
+    let cfg = ServeConfig::builder()
+        .max_batch(8)
+        .max_wait_ms(10_000)
+        .queue_cap(8)
+        .build()
+        .unwrap();
+    let service = Service::new(cfg);
+    let key = service.admit(spec_for(13)).unwrap();
+
+    let results: Vec<Mutex<Option<Result<Tensor, RtError>>>> =
+        (0..3).map(|_| Mutex::new(None)).collect();
+    rt_par::run_tasks(4, &|i| {
+        if i < 3 {
+            let out = service.infer(key, sample(i));
+            *results[i].lock().unwrap() = Some(out);
+        } else {
+            // The drain task: wait until all three clients are queued,
+            // then shut down — every admitted request must complete.
+            while service.stats().admitted < 3 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            service.shutdown();
+        }
+    });
+
+    for (i, slot) in results.iter().enumerate() {
+        let r = slot.lock().unwrap().take().expect("client finished");
+        assert!(r.is_ok(), "request {i} must complete during drain: {r:?}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.queued, 0);
+    assert!(service.is_draining());
+
+    // Post-drain admission and inference are structured rejections.
+    match service.infer(key, sample(0)) {
+        Err(RtError::Rejected(Rejected::Draining)) => {}
+        other => panic!("expected Draining, got {other:?}"),
+    }
+    match service.admit(spec_for(14)) {
+        Err(RtError::Rejected(Rejected::Draining)) => {}
+        other => panic!("expected Draining on admit, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_model_is_a_structured_rejection() {
+    let _env = rt_obs::testing::lock();
+    let service = Service::new(ServeConfig::builder().build().unwrap());
+    match service.infer(0xdead_beef, sample(0)) {
+        Err(RtError::Rejected(Rejected::UnknownModel { key })) => {
+            assert_eq!(key, 0xdead_beef);
+        }
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+}

@@ -259,68 +259,6 @@ pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
     Ok(())
 }
 
-/// Computes `C = A × B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
-///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
-/// [`TensorError::MatmulDim`] when the inner dimensions disagree.
-#[deprecated(since = "0.1.0", note = "use `gemm(a, b, Gemm::new(), &mut out)`")]
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, _) = as_matrix(a, "matmul")?;
-    let (_, n) = as_matrix(b, "matmul")?;
-    let mut out = Tensor::zeros(&[m, n]);
-    gemm(a, b, Gemm::new(), &mut out)?;
-    Ok(out)
-}
-
-/// Accumulating matrix multiply: `C += A × B`.
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`], plus [`TensorError::ShapeMismatch`] if `c`
-/// is not `[m, n]`.
-#[deprecated(since = "0.1.0", note = "use `gemm(a, b, Gemm::new().acc(), c)`")]
-pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<()> {
-    gemm(a, b, Gemm::new().acc(), c)
-}
-
-/// Computes `C = Aᵀ × B` without materializing the transpose.
-///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDim`] as for
-/// [`matmul`] (with `A`'s dimensions read post-transpose).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `gemm(a, b, Gemm::new().trans_a(), &mut out)`"
-)]
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (_, m) = as_matrix(a, "matmul_at_b")?;
-    let (_, n) = as_matrix(b, "matmul_at_b")?;
-    let mut out = Tensor::zeros(&[m, n]);
-    gemm(a, b, Gemm::new().trans_a(), &mut out)?;
-    Ok(out)
-}
-
-/// Computes `C = A × Bᵀ` without materializing the transpose.
-///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDim`] as for
-/// [`matmul`] (with `B`'s dimensions read post-transpose).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `gemm(a, b, Gemm::new().trans_b(), &mut out)`"
-)]
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, _) = as_matrix(a, "matmul_a_bt")?;
-    let (n, _) = as_matrix(b, "matmul_a_bt")?;
-    let mut out = Tensor::zeros(&[m, n]);
-    gemm(a, b, Gemm::new().trans_b(), &mut out)?;
-    Ok(out)
-}
-
 /// Returns the transpose of a rank-2 tensor.
 ///
 /// # Errors
@@ -554,27 +492,6 @@ mod tests {
         let mut c2 = Tensor::full(&[1, 1], 10.0);
         gemm(&a, &bt, Gemm::new().trans_b().acc(), &mut c2).unwrap();
         assert_eq!(c2.data(), &[15.0]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_gemm() {
-        let a = t(&[3, 4], &(0..12).map(|i| (i as f32) * 0.5 - 2.0).collect::<Vec<_>>());
-        let b = t(&[4, 2], &(0..8).map(|i| (i as f32) - 3.0).collect::<Vec<_>>());
-        assert_eq!(matmul(&a, &b).unwrap(), mm(&a, &b));
-        let mut acc = Tensor::full(&[3, 2], 1.0);
-        let mut acc2 = Tensor::full(&[3, 2], 1.0);
-        matmul_acc(&a, &b, &mut acc).unwrap();
-        gemm(&a, &b, Gemm::new().acc(), &mut acc2).unwrap();
-        assert_eq!(acc, acc2);
-        assert_eq!(
-            matmul_at_b(&a, &a).unwrap(),
-            run(&a, &a, Gemm::new().trans_a()).unwrap()
-        );
-        assert_eq!(
-            matmul_a_bt(&a, &a).unwrap(),
-            run(&a, &a, Gemm::new().trans_b()).unwrap()
-        );
     }
 
     #[test]

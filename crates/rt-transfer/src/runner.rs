@@ -153,6 +153,22 @@ impl ExitCode {
         }
     }
 
+    /// Maps a terminal unified [`rt_nn::RtError`] to its conventional exit
+    /// code: deadline expiry (serving or a boxed
+    /// [`RunnerError::DeadlineExceeded`]) is `3`, everything else is `1`.
+    /// Usage errors never reach this — drivers exit [`ExitCode::Usage`]
+    /// straight from argument parsing.
+    pub fn for_rt_error(err: &rt_nn::RtError) -> Self {
+        match err {
+            rt_nn::RtError::Deadline { .. } => ExitCode::DeadlineBudgetExhausted,
+            rt_nn::RtError::Layer { source, .. } => match source.downcast_ref::<RunnerError>() {
+                Some(r) => ExitCode::for_error(r),
+                None => ExitCode::PersistentFailure,
+            },
+            _ => ExitCode::PersistentFailure,
+        }
+    }
+
     /// Terminates the process with this code, flushing telemetry first so
     /// the observability journal records the failure.
     pub fn exit(self) -> ! {
@@ -173,6 +189,20 @@ impl std::error::Error for RunnerError {
 impl From<std::io::Error> for RunnerError {
     fn from(e: std::io::Error) -> Self {
         RunnerError::Journal(e)
+    }
+}
+
+/// Joins the workspace error funnel: runner failures box into
+/// [`rt_nn::RtError::Layer`] so drivers propagate them with `?` alongside
+/// tensor/nn errors. The impl lives here (not in `rt-nn`) because the
+/// funnel sits below this crate in the dependency graph; consumers
+/// recover the structure by downcasting the boxed source.
+impl From<RunnerError> for rt_nn::RtError {
+    fn from(e: RunnerError) -> Self {
+        rt_nn::RtError::Layer {
+            layer: "runner",
+            source: Box::new(e),
+        }
     }
 }
 
@@ -230,6 +260,13 @@ impl Default for RunnerConfig {
 }
 
 impl RunnerConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> RunnerConfigBuilder {
+        RunnerConfigBuilder {
+            cfg: RunnerConfig::default(),
+        }
+    }
+
     /// Conventional config for an experiment driver: journal under
     /// `results_dir/<id>-<scale>.journal.jsonl`. Parallel cell execution
     /// is enabled when the `RT_PAR_CELLS` environment variable is `1`
@@ -242,14 +279,91 @@ impl RunnerConfig {
         scale_label: &str,
         resume: bool,
     ) -> Self {
-        RunnerConfig {
-            journal_path: Some(results_dir.join(format!("{id}-{scale_label}.journal.jsonl"))),
-            resume,
-            parallel: std::env::var("RT_PAR_CELLS").as_deref() == Ok("1"),
-            deadline: deadline_from_env(),
-            retry_backoff_ms: 250,
-            ..RunnerConfig::default()
+        RunnerConfig::builder()
+            .journal_path(results_dir.join(format!("{id}-{scale_label}.journal.jsonl")))
+            .resume(resume)
+            .retry_backoff_ms(250)
+            .env_overrides()
+            .build()
+    }
+}
+
+/// Builder for [`RunnerConfig`] (the driver-facing construction path —
+/// field-struct literals stay available for tests that want a one-liner).
+#[derive(Debug, Clone)]
+pub struct RunnerConfigBuilder {
+    cfg: RunnerConfig,
+}
+
+impl RunnerConfigBuilder {
+    /// Journals cells under `path` (enables resume/replay).
+    #[must_use]
+    pub fn journal_path(mut self, path: PathBuf) -> Self {
+        self.cfg.journal_path = Some(path);
+        self
+    }
+
+    /// Whether to replay an existing journal instead of truncating it.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.cfg.resume = resume;
+        self
+    }
+
+    /// Retry budget for failed cells (0 = fail on first panic).
+    #[must_use]
+    pub fn max_retries(mut self, retries: usize) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    /// Per-attempt seed offset (see [`RunnerConfig::seed_bump`]).
+    #[must_use]
+    pub fn seed_bump(mut self, bump: u64) -> Self {
+        self.cfg.seed_bump = bump;
+        self
+    }
+
+    /// Executes independent batch cells on the `rt-par` pool.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.cfg.parallel = parallel;
+        self
+    }
+
+    /// Arms the per-cell wall-clock watchdog.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.cfg.deadline = deadline;
+        self
+    }
+
+    /// Base for exponential retry backoff, in milliseconds.
+    #[must_use]
+    pub fn retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.cfg.retry_backoff_ms = ms;
+        self
+    }
+
+    /// Applies the runner's environment overrides: `RT_PAR_CELLS=1`
+    /// enables parallel cell execution and `RT_DEADLINE=secs` arms the
+    /// watchdog. Both are fail-safe parses (a typo keeps the default
+    /// rather than changing sweep behavior), matching the long-standing
+    /// semantics of [`RunnerConfig::for_experiment`].
+    #[must_use]
+    pub fn env_overrides(mut self) -> Self {
+        if std::env::var("RT_PAR_CELLS").as_deref() == Ok("1") {
+            self.cfg.parallel = true;
         }
+        if let Some(d) = deadline_from_env() {
+            self.cfg.deadline = Some(d);
+        }
+        self
+    }
+
+    /// Finalizes the config.
+    pub fn build(self) -> RunnerConfig {
+        self.cfg
     }
 }
 
