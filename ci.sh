@@ -70,9 +70,12 @@ if [[ "$hang_status" != "3" ]]; then
 fi
 rm -f results/fig1-smoke.journal.jsonl results/fig1-smoke.stats.json
 
-echo "== supervision overhead gate (cancellation checks < 2% on kernels) =="
-# bench_kernels re-times GEMM/conv under a live (never tripped)
-# cancellation scope and exits nonzero if supervision costs > 2%.
+echo "== kernel gates (packed speedup + bit-identity, supervision overhead) =="
+# bench_kernels exits nonzero if (a) the cache-blocked packed GEMM is not
+# at least 1.5x faster than the legacy ikj kernel at 1 thread on the
+# fixed 192^3 gate shape, (b) packed output bytes diverge from legacy at
+# 1 or 4 pool threads, (c) any workload's bytes change across thread
+# counts, or (d) a live (never tripped) cancellation scope costs > 2%.
 cargo run --release -p rt-bench --bin bench_kernels -- --quick --reps 3 \
     --out target/BENCH_kernels_ci.json --no-history
 
@@ -182,6 +185,26 @@ if [[ -n "$maskmul" ]]; then
     echo "through Param::set_mask / BitMask::zero_pruned (assignment keeps"
     echo "pruned entries at +0.0, which the sparse plans rely on):"
     echo "$maskmul"
+    exit 1
+fi
+
+echo "== allocation discipline (layer hot paths lease scratch from the pool) =="
+# The steady-state training step is allocation-free: every f32 scratch
+# buffer in the rt-nn layer forward/backward paths must be leased from
+# rt_tensor::pool (take / take_zeroed / lease), never freshly allocated
+# per call. Only non-test code is scanned (each layer file's #[cfg(test)]
+# module is its tail); shape/param vecs of references are not buffers and
+# are not matched. The zero-alloc property itself is pinned by
+# rt-nn's steady_state_training_step_reuses_pool_buffers test.
+allocs=$(for f in crates/rt-nn/src/layers/*.rs; do
+    awk -v f="$f" '/#\[cfg\(test\)\]/{exit}
+        /vec!\[0\.|vec!\[0f|vec!\[0u8|Vec::with_capacity/{print f":"FNR": "$0}' "$f"
+done)
+if [[ -n "$allocs" ]]; then
+    echo "fresh buffer allocation in a layer hot path — lease it from"
+    echo "rt_tensor::pool (take/take_zeroed/lease + put) so the steady-state"
+    echo "training step stays allocation-free:"
+    echo "$allocs"
     exit 1
 fi
 

@@ -20,13 +20,19 @@
 //! [`MAX_CANCEL_OVERHEAD_PCT`] over the unsupervised baseline — the
 //! cooperative checks are one relaxed atomic load per chunk and must stay
 //! invisible at kernel granularity.
+//!
+//! Finally it is the packed-kernel acceptance gate: the cache-blocked
+//! packed GEMM (`rt_tensor::kern`) is raced against the legacy ikj kernel
+//! on a fixed [`PACKED_GATE_DIM`]³ shape. The run fails if the packed
+//! kernel is slower than [`PACKED_MIN_SPEEDUP`]× legacy at 1 thread, or
+//! if its output bits diverge from legacy at 1 or 4 threads.
 
 use rt_adv::attack::{perturb_replicas, AttackConfig};
-use rt_bench::history::{append_history, default_history_path, HistoryEntry};
+use rt_bench::history::{append_history, default_history_path, repo_path, HistoryEntry};
 use rt_nn::layers::{Conv2d, Conv2dConfig, Flatten, Linear, Relu};
 use rt_nn::{Layer, Sequential};
 use rt_tensor::conv::{conv2d_forward, ConvGeometry};
-use rt_tensor::linalg::{gemm, Gemm};
+use rt_tensor::linalg::{gemm, gemm_via, Gemm, Kernel};
 use rt_tensor::rng::rng_from_seed;
 use rt_tensor::{init, Tensor};
 use rt_transfer::runner::ExitCode;
@@ -39,11 +45,21 @@ use std::time::{Duration, Instant};
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Schema version of `BENCH_kernels.json`.
-const BENCH_VERSION: u32 = 1;
+const BENCH_VERSION: u32 = 2;
 
 /// Ceiling on the supervised-over-baseline slowdown of the GEMM and conv
 /// workloads, in percent.
 const MAX_CANCEL_OVERHEAD_PCT: f64 = 2.0;
+
+/// Side of the square GEMM used by the packed-kernel gate. Fixed (not
+/// scaled by `--quick`) so the gated number means the same thing in CI
+/// and in full runs.
+const PACKED_GATE_DIM: usize = 192;
+
+/// Floor on the packed kernel's 1-thread speedup over the legacy ikj
+/// kernel at [`PACKED_GATE_DIM`]³ — below this the packing overhead is
+/// not paying for itself and the run fails.
+const PACKED_MIN_SPEEDUP: f64 = 1.5;
 
 struct Args {
     out: PathBuf,
@@ -53,7 +69,7 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut out = PathBuf::from("BENCH_kernels.json");
+    let mut out = repo_path("BENCH_kernels.json");
     let mut reps = 3usize;
     let mut quick = false;
     let mut history = Some(default_history_path());
@@ -129,6 +145,20 @@ struct CancelOverhead {
     overhead_pct: f64,
 }
 
+/// Packed-vs-legacy GEMM race on the gate shape (since `v: 2`).
+#[derive(Debug, Serialize)]
+struct PackedGemm {
+    shape: String,
+    /// Best-of-reps wall clock of the legacy ikj kernel at 1 thread.
+    legacy_ms: f64,
+    /// Best-of-reps wall clock of the packed kernel at 1 thread.
+    packed_ms: f64,
+    /// `legacy_ms / packed_ms` (gated against [`PACKED_MIN_SPEEDUP`]).
+    speedup: f64,
+    /// Packed output bytes equal legacy bytes at 1 and 4 pool threads.
+    bit_identical: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     v: u32,
@@ -137,6 +167,8 @@ struct Report {
     quick: bool,
     host_parallelism: usize,
     workloads: Vec<Workload>,
+    /// Packed-kernel acceptance measurement (gated).
+    packed_gemm: PackedGemm,
     /// Per-kernel supervision overhead measurements.
     cancel_overhead: Vec<CancelOverhead>,
     /// Worst `overhead_pct` across `cancel_overhead` (the gated number).
@@ -357,6 +389,41 @@ fn main() {
         }
     };
 
+    // --- Packed vs legacy GEMM: the rt-kern acceptance gate. ----------
+    let packed_gemm = {
+        let pdim = PACKED_GATE_DIM;
+        let pa = init::normal(&[pdim, pdim], 0.0, 1.0, &mut rng);
+        let pb = init::normal(&[pdim, pdim], 0.0, 1.0, &mut rng);
+        let mut run_kernel = |k: Kernel| {
+            let mut out = Tensor::zeros(&[pdim, pdim]);
+            gemm_via(k, &pa, &pb, Gemm::new(), &mut out).expect("gemm_via");
+            out.into_vec()
+        };
+        // Bit-identity first: packed must reproduce legacy bytes exactly
+        // at both the serial pool and a parallel one.
+        let mut bit_identical = true;
+        for t in [1usize, 4] {
+            rt_par::set_threads(t);
+            bit_identical &= run_kernel(Kernel::Legacy) == run_kernel(Kernel::Packed);
+        }
+        // Speedup at 1 thread: the per-core win, uninflated by scaling.
+        rt_par::set_threads(1);
+        let (legacy_ms, _) = best_of(args.reps, || bitfold(&black_box(run_kernel(Kernel::Legacy))));
+        let (packed_ms, _) = best_of(args.reps, || bitfold(&black_box(run_kernel(Kernel::Packed))));
+        let speedup = legacy_ms / packed_ms;
+        rt_obs::console!(
+            "[bench] packed_gemm_{pdim}: legacy {legacy_ms:.2} ms, packed {packed_ms:.2} ms \
+             ({speedup:.2}x at 1t), bit_identical={bit_identical}"
+        );
+        PackedGemm {
+            shape: format!("{pdim}x{pdim}x{pdim}"),
+            legacy_ms,
+            packed_ms,
+            speedup,
+            bit_identical,
+        }
+    };
+
     // --- Supervision overhead: the same GEMM/conv bodies re-timed under
     // a live, never-tripped cancellation scope. ------------------------
     let cancel_overhead = vec![
@@ -388,6 +455,7 @@ fn main() {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         workloads: vec![gemm_wl, conv_wl, pgd_wl],
+        packed_gemm,
         cancel_overhead,
         cancel_overhead_pct,
     };
@@ -407,7 +475,8 @@ fn main() {
     rt_obs::console!("[bench] wrote {}", args.out.display());
     if let Some(hist_path) = &args.history {
         let mut entry = HistoryEntry::new("bench_kernels", args.quick)
-            .metric("cancel_overhead_pct", report.cancel_overhead_pct);
+            .metric("cancel_overhead_pct", report.cancel_overhead_pct)
+            .metric("packed_gemm_speedup", report.packed_gemm.speedup);
         for w in &report.workloads {
             entry = entry.metric(&format!("{}_speedup_4t", w.name), w.speedup_4t);
             for s in &w.samples {
@@ -427,6 +496,22 @@ fn main() {
     }
     if !all_deterministic {
         eprintln!("DETERMINISM VIOLATION: some thread count diverged from the serial pool");
+        ExitCode::PersistentFailure.exit();
+    }
+    if !report.packed_gemm.bit_identical {
+        eprintln!(
+            "PACKED GEMM DIVERGENCE: packed kernel bytes differ from the legacy kernel \
+             on {} (packed kernels must be bit-identical to the reference)",
+            report.packed_gemm.shape
+        );
+        ExitCode::PersistentFailure.exit();
+    }
+    if report.packed_gemm.speedup < PACKED_MIN_SPEEDUP {
+        eprintln!(
+            "PACKED GEMM SPEEDUP VIOLATION: {:.2}x < {PACKED_MIN_SPEEDUP}x on {} \
+             (the cache-blocked kernel must beat legacy ikj at 1 thread)",
+            report.packed_gemm.speedup, report.packed_gemm.shape
+        );
         ExitCode::PersistentFailure.exit();
     }
     if report.cancel_overhead_pct > MAX_CANCEL_OVERHEAD_PCT {

@@ -20,7 +20,7 @@
 //! path (requests coalesce into micro-batches whose per-row results must
 //! be byte-equal to batch-size-1 execution).
 
-use rt_bench::history::{append_history, default_history_path, HistoryEntry};
+use rt_bench::history::{append_history, default_history_path, repo_path, HistoryEntry};
 use rt_nn::checkpoint::StateDict;
 use rt_nn::layers::{Linear, Relu};
 use rt_nn::{Layer, Sequential};
@@ -55,7 +55,7 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut out = repo_path("BENCH_serve.json");
     let mut iters = 40usize;
     let mut quick = false;
     let mut history = Some(default_history_path());

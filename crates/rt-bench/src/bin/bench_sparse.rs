@@ -16,7 +16,7 @@
 //! pool — the benchmark doubles as a bit-identity gate on real layer
 //! shapes.
 
-use rt_bench::history::{append_history, default_history_path, HistoryEntry};
+use rt_bench::history::{append_history, default_history_path, repo_path, HistoryEntry};
 use rt_nn::layers::{Conv2d, Conv2dConfig, Linear};
 use rt_nn::{ExecCtx, Layer};
 use rt_tensor::rng::rng_from_seed;
@@ -40,7 +40,7 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut out = PathBuf::from("BENCH_sparse.json");
+    let mut out = repo_path("BENCH_sparse.json");
     let mut reps = 3usize;
     let mut quick = false;
     let mut history = Some(default_history_path());

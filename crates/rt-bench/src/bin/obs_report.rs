@@ -18,7 +18,7 @@
 //! Unless `--no-history` is passed, a summary line (span coverage, wall
 //! ms, torn lines) is appended to the bench history for `bench_trend`.
 
-use rt_bench::history::{append_history, default_history_path, HistoryEntry};
+use rt_bench::history::{append_history, default_history_path, repo_path, HistoryEntry};
 use rt_obs::report::{aggregate_streams, parse_jsonl};
 use rt_transfer::runner::ExitCode;
 use std::path::PathBuf;
@@ -32,7 +32,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut files = Vec::new();
-    let mut out = PathBuf::from("BENCH_obs.json");
+    let mut out = repo_path("BENCH_obs.json");
     let mut top_k = 5usize;
     let mut history = Some(default_history_path());
     let mut argv = std::env::args().skip(1);

@@ -62,9 +62,40 @@ impl HistoryEntry {
     }
 }
 
+/// The workspace root: the nearest ancestor of the current directory
+/// whose `Cargo.toml` declares a `[workspace]` table.
+///
+/// Bench bins write `BENCH_*.json` and the shared history file relative
+/// to this anchor, so artifacts land in the same place whether a bin is
+/// launched from the repo root, a crate directory (`cargo run -p …` from
+/// `crates/rt-bench`), or a CI scratch dir. Falls back to the current
+/// directory when no workspace marker exists above it (e.g. an installed
+/// binary run outside the repo).
+pub fn repo_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    repo_root_from(&cwd)
+}
+
+fn repo_root_from(start: &Path) -> PathBuf {
+    for dir in start.ancestors() {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    start.to_path_buf()
+}
+
+/// A path anchored at [`repo_root`] — the canonical location for bench
+/// artifacts (`BENCH_*.json`, `results/…`).
+pub fn repo_path(rel: &str) -> PathBuf {
+    repo_root().join(rel)
+}
+
 /// Default history location, shared by every writer and `bench_trend`.
 pub fn default_history_path() -> PathBuf {
-    PathBuf::from("results/BENCH_history.jsonl")
+    repo_path("results/BENCH_history.jsonl")
 }
 
 /// Appends one entry as a single JSONL line, creating parent directories
@@ -121,6 +152,28 @@ pub fn load_history(path: &Path) -> std::io::Result<(Vec<HistoryEntry>, usize)> 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn repo_root_walks_up_to_workspace_manifest() {
+        let base = std::env::temp_dir().join(format!("rt-root-{}", std::process::id()));
+        let nested = base.join("ws/crates/deep");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(base.join("ws/Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+        // A crate-level manifest between the start dir and the workspace
+        // root must not terminate the walk.
+        std::fs::write(
+            base.join("ws/crates/Cargo.toml"),
+            "[package]\nname = \"x\"\n",
+        )
+        .unwrap();
+        assert_eq!(repo_root_from(&nested), base.join("ws"));
+        // No workspace marker above: fall back to the start dir itself.
+        let orphan = base.join("orphan");
+        std::fs::create_dir_all(&orphan).unwrap();
+        let resolved = repo_root_from(&orphan);
+        assert!(resolved == orphan || resolved.join("Cargo.toml").exists());
+        let _ = std::fs::remove_dir_all(&base);
+    }
 
     #[test]
     fn round_trips_and_tolerates_torn_tail() {

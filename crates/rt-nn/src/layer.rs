@@ -200,6 +200,39 @@ pub trait Layer: Send {
         self.params().iter().map(|p| p.len()).sum()
     }
 
+    /// Whether this layer is a plain ReLU activation. [`Sequential`]'s
+    /// eval-mode peephole uses this marker to ask the *preceding* layer
+    /// for a fused `forward + ReLU` via [`Layer::forward_relu_fused`].
+    /// Default `false`.
+    fn is_relu(&self) -> bool {
+        false
+    }
+
+    /// Eval-mode fused `forward` + trailing ReLU, if this layer has one.
+    ///
+    /// Returning `Some(y)` means `y` is bit-identical to
+    /// `relu(self.forward(input, ctx))` — typically computed by folding
+    /// `max(v + b, 0)` into the GEMM store epilogue (see
+    /// `rt_tensor::kern::Epilogue`) so the pre-activation tensor is never
+    /// materialised. Returning `None` (the default) tells the caller to
+    /// run `forward` and the activation separately; implementations
+    /// should also return `None` in train mode or on any shape they
+    /// cannot fuse, letting the plain path produce its usual errors and
+    /// backward caches.
+    fn forward_relu_fused(&mut self, _input: &Tensor, _ctx: ExecCtx) -> Option<Result<Tensor>> {
+        None
+    }
+
+    /// For layers that report [`Layer::is_relu`]: rebuild the backward
+    /// cache from the **post-activation** output of a fused
+    /// `layer → ReLU` step, exactly as if `forward` had seen the
+    /// pre-activation (`max(x, 0) > 0 ⟺ x > 0`, so the gradient mask is
+    /// bit-identical). [`Sequential`] calls this on the skipped
+    /// activation after a successful fusion, keeping eval-mode backward —
+    /// adversarial attacks take input gradients through eval forwards —
+    /// correct. Default: no-op.
+    fn prime_relu_cache(&mut self, _output: &Tensor) {}
+
     /// Non-trainable state that must survive checkpointing (e.g. BatchNorm
     /// running statistics), in a stable order. Empty by default.
     fn buffers(&self) -> Vec<&Tensor> {
@@ -287,8 +320,25 @@ impl std::fmt::Debug for Sequential {
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let mut x = input.clone();
-        for child in &mut self.children {
-            x = child.forward(&x, ctx)?;
+        let mut i = 0;
+        while i < self.children.len() {
+            // Eval-mode peephole: a `layer → ReLU` pair runs the layer's
+            // fused epilogue and skips the activation entirely. Fusion is
+            // bit-identical by contract and eval-only: train mode needs
+            // the activation's own forward to populate its backward cache.
+            if !ctx.is_train() && self.children.get(i + 1).is_some_and(|c| c.is_relu()) {
+                if let Some(res) = self.children[i].forward_relu_fused(&x, ctx) {
+                    x = res?;
+                    // Rebuild the skipped activation's backward cache from
+                    // the post-activation bytes: eval-mode backward (e.g.
+                    // adversarial input gradients) must keep working.
+                    self.children[i + 1].prime_relu_cache(&x);
+                    i += 2;
+                    continue;
+                }
+            }
+            x = self.children[i].forward(&x, ctx)?;
+            i += 1;
         }
         Ok(x)
     }
@@ -348,6 +398,53 @@ mod tests {
         assert!(seq.params().iter().any(|p| p.grad.l1_norm() > 0.0));
         seq.zero_grad();
         assert!(seq.params().iter().all(|p| p.grad.l1_norm() == 0.0));
+    }
+
+    /// The eval-mode `layer → ReLU` peephole must be invisible: same
+    /// bits as running the pair unfused, and disabled in train mode so
+    /// the activation's backward cache still gets populated.
+    #[test]
+    fn sequential_relu_peephole_is_bit_identical() {
+        let mk = || {
+            let mut rng = rng_from_seed(3);
+            Sequential::new(vec![
+                Box::new(Linear::new(24, 20, &mut rng).unwrap()) as Box<dyn Layer>,
+                Box::new(Relu::new()),
+                Box::new(Linear::new(20, 6, &mut rng).unwrap()),
+            ])
+        };
+        // 32×24 input makes the first pair packable → fused epilogue.
+        let x = Tensor::from_fn(&[32, 24], |i| ((i % 11) as f32 - 5.0) * 0.3);
+        let mut fused = mk();
+        let y_eval = fused.forward(&x, ExecCtx::eval()).unwrap();
+        // Unfused reference: run children one by one (no peephole).
+        let mut plain = mk();
+        let mut want = x.clone();
+        for child in 0..plain.len() {
+            want = plain.children_mut()[child].forward(&want, ExecCtx::eval()).unwrap();
+        }
+        for (a, b) in y_eval.data().iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "peephole changed eval bits");
+        }
+        // Eval-mode backward must still work after fusion (adversarial
+        // attacks take input gradients through eval forwards) and match
+        // the unfused chain bit-for-bit: the skipped ReLU's cache is
+        // primed from the post-activation bytes.
+        let g = Tensor::from_fn(&[32, 6], |i| ((i % 7) as f32 - 3.0) * 0.5);
+        let gin_fused = fused.backward(&g, ExecCtx::eval()).unwrap();
+        let mut gin_plain = g.clone();
+        for child in (0..plain.len()).rev() {
+            gin_plain = plain.children_mut()[child].backward(&gin_plain, ExecCtx::eval()).unwrap();
+        }
+        for (a, b) in gin_fused.data().iter().zip(gin_plain.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "peephole changed eval backward bits");
+        }
+        // Train mode takes the plain path and backward works end to end.
+        let mut train = mk();
+        let y_train = train.forward(&x, ExecCtx::train()).unwrap();
+        assert_eq!(y_train.shape(), &[32, 6]);
+        let gin = train.backward(&Tensor::ones(&[32, 6]), ExecCtx::train()).unwrap();
+        assert_eq!(gin.shape(), &[32, 24]);
     }
 
     #[test]

@@ -23,10 +23,21 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn is_relu(&self) -> bool {
+        true
+    }
+
     fn forward(&mut self, input: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {
         self.positive = Some(input.data().iter().map(|&x| x > 0.0).collect());
         self.shape = input.shape().to_vec();
         Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn prime_relu_cache(&mut self, output: &Tensor) {
+        // `output` is max(x, 0): strictly positive exactly where the
+        // pre-activation was, so this is the same mask `forward` caches.
+        self.positive = Some(output.data().iter().map(|&y| y > 0.0).collect());
+        self.shape = output.shape().to_vec();
     }
 
     fn backward(&mut self, grad_output: &Tensor, _ctx: ExecCtx) -> Result<Tensor> {

@@ -1,7 +1,9 @@
 use crate::{ExecCtx, Layer, NnError, Param, ParamKind, Result};
 use rand::Rng;
 use rt_sparse::SparsePlan;
-use rt_tensor::conv::{conv2d_backward_planned, conv2d_forward_planned, ConvGeometry};
+use rt_tensor::conv::{
+    conv2d_backward_planned, conv2d_forward_fused, conv2d_forward_planned, ConvGeometry,
+};
 use rt_tensor::{init, Tensor, TensorError};
 use std::sync::Arc;
 
@@ -229,6 +231,58 @@ impl Layer for Conv2d {
         Ok(out)
     }
 
+    fn forward_relu_fused(&mut self, input: &Tensor, ctx: ExecCtx) -> Option<Result<Tensor>> {
+        // Eval-only `conv → ReLU` fusion: the planned conv entry point
+        // applies the ReLU in the GEMM store epilogue (fast arm) or as an
+        // in-place pass over the freshly written output (sparse/legacy
+        // arms) — both bit-identical to running the activation after.
+        // Train mode and invalid shapes fall back to the plain pair so
+        // error reporting and backward caches stay on the ordinary path.
+        if ctx.is_train() || input.ndim() != 4 || input.shape()[1] != self.in_channels {
+            return None;
+        }
+        let [n, h, w] = [input.shape()[0], input.shape()[2], input.shape()[3]];
+        let (h_out, w_out) = match (self.geo.out_dim(h), self.geo.out_dim(w)) {
+            (Ok(h_out), Ok(w_out)) => (h_out, w_out),
+            _ => return None,
+        };
+        let w_mat = match self.weight_matrix() {
+            Ok(m) => m,
+            Err(_) => return None,
+        };
+        let plan = self.active_plan(ctx);
+        let t0 = super::exec_timer();
+        let out = match conv2d_forward_fused(
+            input,
+            &w_mat,
+            self.bias.as_ref().map(|b| b.data.data()),
+            self.geo,
+            plan.as_deref(),
+            true,
+        ) {
+            Ok(out) => out,
+            Err(e) => return Some(Err(e.into())),
+        };
+        let units = n * h_out * w_out;
+        let weight_len = self.weight.data.data().len();
+        let col = weight_len / self.out_channels;
+        super::observe_exec(
+            &self.weight.name,
+            plan.as_deref(),
+            units,
+            1,
+            weight_len,
+            units * (col + self.out_channels),
+            t0,
+        );
+        self.cache = Some(ConvCache {
+            input: input.clone(),
+            h_out,
+            w_out,
+        });
+        Some(Ok(out))
+    }
+
     fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
         let cache = self
             .cache
@@ -443,6 +497,30 @@ mod tests {
         for (a, b) in bs.grad.data().iter().zip(bd.grad.data()) {
             assert_eq!(a.to_bits(), b.to_bits(), "bias grad diverged");
         }
+    }
+
+    /// Eval-mode `conv → ReLU` fusion must match the plain forward
+    /// followed by a ReLU, bit-for-bit, on every plan kind.
+    #[test]
+    fn fused_relu_matches_plain_forward() {
+        let mut rng = rng_from_seed(8);
+        let mut conv =
+            Conv2d::new(3, 8, Conv2dConfig::same3x3().with_bias(true), &mut rng).unwrap();
+        let x = Tensor::from_fn(&[2, 3, 12, 12], |i| ((i % 13) as f32 - 6.0) * 0.25);
+        let want = conv
+            .forward(&x, ExecCtx::eval())
+            .unwrap()
+            .map(|v| v.max(0.0));
+        let got = conv
+            .forward_relu_fused(&x, ExecCtx::eval())
+            .expect("conv always has a fused eval path")
+            .unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fused conv relu diverged");
+        }
+        // Train mode must refuse so ReLU's backward cache gets written.
+        assert!(conv.forward_relu_fused(&x, ExecCtx::train()).is_none());
     }
 
     #[test]

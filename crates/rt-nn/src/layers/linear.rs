@@ -1,8 +1,8 @@
 use crate::{ExecCtx, Layer, NnError, Param, ParamKind, Result};
 use rand::Rng;
-use rt_sparse::{kernels as sparse_kernels, scratch, PlanKind, SparsePlan};
+use rt_sparse::{kernels as sparse_kernels, PlanKind, SparsePlan};
 use rt_tensor::linalg::Gemm;
-use rt_tensor::{init, linalg, reduce, Tensor, TensorError};
+use rt_tensor::{init, kern, linalg, pool, reduce, Tensor, TensorError};
 use std::sync::Arc;
 
 /// Fully connected layer: `y = x Wᵀ + b` over `[N, in_features]` inputs.
@@ -112,6 +112,7 @@ impl Layer for Linear {
         }
         let n = input.shape()[0];
         let mut out = Tensor::zeros(&[n, self.out_features]);
+        let mut bias_fused = false;
         match self.active_plan(ctx) {
             Some(plan) if plan.kind == PlanKind::Csr => {
                 // y = x Wᵀ over the live entries only. Dead output
@@ -142,13 +143,13 @@ impl Layer for Linear {
                 // zero-filled).
                 let t0 = super::exec_timer();
                 let (lr, lg) = (&plan.live_rows, &plan.live_col_groups);
-                let mut pw = scratch::take(lr.len() * lg.len());
+                let mut pw = pool::take(lr.len() * lg.len());
                 sparse_kernels::pack_matrix_groups(self.weight.data.data(), &plan, &mut pw);
-                let mut xp = scratch::take(n * lg.len());
+                let mut xp = pool::take(n * lg.len());
                 sparse_kernels::gather_cols(input.data(), n, self.in_features, lg, &mut xp);
                 let pw_t = Tensor::from_vec(vec![lr.len(), lg.len()], pw)?;
                 let xp_t = Tensor::from_vec(vec![n, lg.len()], xp)?;
-                let mut yp_t = Tensor::from_vec(vec![n, lr.len()], scratch::take(n * lr.len()))?;
+                let mut yp_t = Tensor::from_vec(vec![n, lr.len()], pool::take(n * lr.len()))?;
                 linalg::gemm(&xp_t, &pw_t, Gemm::new().trans_b(), &mut yp_t)?;
                 sparse_kernels::scatter_cols_clear(
                     yp_t.data(),
@@ -157,9 +158,9 @@ impl Layer for Linear {
                     self.out_features,
                     out.data_mut(),
                 );
-                scratch::put(pw_t.into_vec());
-                scratch::put(xp_t.into_vec());
-                scratch::put(yp_t.into_vec());
+                pool::put(pw_t.into_vec());
+                pool::put(xp_t.into_vec());
+                pool::put(yp_t.into_vec());
                 super::observe_exec(
                     &self.weight.name,
                     Some(&plan),
@@ -171,8 +172,30 @@ impl Layer for Linear {
                 );
             }
             None => {
-                // y = x Wᵀ + b through the unified gemm entry point.
-                linalg::gemm(input, &self.weight.data, Gemm::new().trans_b(), &mut out)?;
+                // y = x Wᵀ + b. When the packed kernel applies, the bias
+                // add is fused into the GEMM store epilogue (`v + b[col]`
+                // is the same float op as `add_row_inplace`'s `*v += bv`,
+                // so the result is bit-identical to gemm-then-add).
+                if kern::enabled() && kern::worth_packing(n, self.in_features, self.out_features) {
+                    kern::gemm(
+                        input.data(),
+                        self.weight.data.data(),
+                        n,
+                        self.in_features,
+                        self.out_features,
+                        kern::KernCfg {
+                            trans_a: false,
+                            trans_b: true,
+                            acc: false,
+                            parallel: true,
+                        },
+                        kern::Epilogue::BiasCol(self.bias.data.data()),
+                        out.data_mut(),
+                    );
+                    bias_fused = true;
+                } else {
+                    linalg::gemm(input, &self.weight.data, Gemm::new().trans_b(), &mut out)?;
+                }
                 super::observe_exec(
                     &self.weight.name,
                     None,
@@ -184,9 +207,58 @@ impl Layer for Linear {
                 );
             }
         }
-        out.add_row_inplace(&self.bias.data)?;
+        if !bias_fused {
+            out.add_row_inplace(&self.bias.data)?;
+        }
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_relu_fused(&mut self, input: &Tensor, ctx: ExecCtx) -> Option<Result<Tensor>> {
+        // Eval-only dense fast path: fold `max(v + b, 0)` into the packed
+        // GEMM store. Anything the fused path cannot handle (train mode,
+        // sparse plans, odd shapes, kernel disabled) returns `None` so the
+        // caller runs the plain forward + activation pair, which also
+        // keeps error reporting on the ordinary path.
+        if ctx.is_train() || !kern::enabled() {
+            return None;
+        }
+        if input.ndim() != 2 || input.shape()[1] != self.in_features {
+            return None;
+        }
+        let n = input.shape()[0];
+        if !kern::worth_packing(n, self.in_features, self.out_features)
+            || self.active_plan(ctx).is_some()
+        {
+            return None;
+        }
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        kern::gemm(
+            input.data(),
+            self.weight.data.data(),
+            n,
+            self.in_features,
+            self.out_features,
+            kern::KernCfg {
+                trans_a: false,
+                trans_b: true,
+                acc: false,
+                parallel: true,
+            },
+            kern::Epilogue::BiasColRelu(self.bias.data.data()),
+            out.data_mut(),
+        );
+        super::observe_exec(
+            &self.weight.name,
+            None,
+            n,
+            1,
+            self.out_features * self.in_features,
+            n * (self.in_features + self.out_features),
+            None,
+        );
+        self.cached_input = Some(input.clone());
+        Some(Ok(out))
     }
 
     fn backward(&mut self, grad_output: &Tensor, ctx: ExecCtx) -> Result<Tensor> {
@@ -241,9 +313,9 @@ impl Layer for Linear {
             Some(plan) => {
                 let t0 = super::exec_timer();
                 let (lr, lg) = (&plan.live_rows, &plan.live_col_groups);
-                let mut pw = scratch::take(lr.len() * lg.len());
+                let mut pw = pool::take(lr.len() * lg.len());
                 sparse_kernels::pack_matrix_groups(self.weight.data.data(), &plan, &mut pw);
-                let mut dyp = scratch::take(n * lr.len());
+                let mut dyp = pool::take(n * lr.len());
                 sparse_kernels::gather_cols(
                     grad_output.data(),
                     n,
@@ -251,7 +323,7 @@ impl Layer for Linear {
                     lr,
                     &mut dyp,
                 );
-                let mut xp = scratch::take(n * lg.len());
+                let mut xp = pool::take(n * lg.len());
                 sparse_kernels::gather_cols(input.data(), n, self.in_features, lg, &mut xp);
                 let pw_t = Tensor::from_vec(vec![lr.len(), lg.len()], pw)?;
                 let dyp_t = Tensor::from_vec(vec![n, lr.len()], dyp)?;
@@ -261,7 +333,7 @@ impl Layer for Linear {
                 // the rectangle are untouched).
                 let mut gwp_t = Tensor::from_vec(
                     vec![lr.len(), lg.len()],
-                    scratch::take(lr.len() * lg.len()),
+                    pool::take(lr.len() * lg.len()),
                 )?;
                 sparse_kernels::pack_matrix_groups(
                     self.weight.grad.data(),
@@ -278,7 +350,7 @@ impl Layer for Linear {
                 // width (dead input features get exact +0.0, same as the
                 // dense kernel produces).
                 let mut gxp_t =
-                    Tensor::from_vec(vec![n, lg.len()], scratch::take(n * lg.len()))?;
+                    Tensor::from_vec(vec![n, lg.len()], pool::take(n * lg.len()))?;
                 linalg::gemm(&dyp_t, &pw_t, Gemm::new(), &mut gxp_t)?;
                 sparse_kernels::scatter_cols_clear(
                     gxp_t.data(),
@@ -287,11 +359,11 @@ impl Layer for Linear {
                     self.in_features,
                     gx.data_mut(),
                 );
-                scratch::put(pw_t.into_vec());
-                scratch::put(dyp_t.into_vec());
-                scratch::put(xp_t.into_vec());
-                scratch::put(gwp_t.into_vec());
-                scratch::put(gxp_t.into_vec());
+                pool::put(pw_t.into_vec());
+                pool::put(dyp_t.into_vec());
+                pool::put(xp_t.into_vec());
+                pool::put(gwp_t.into_vec());
+                pool::put(gxp_t.into_vec());
                 super::observe_exec(
                     &self.weight.name,
                     Some(&plan),
@@ -452,6 +524,31 @@ mod tests {
             .map(|j| if (j * 7) % 13 < 3 { 1.0 } else { 0.0 })
             .collect();
         assert_sparse_matches_dense(mask);
+    }
+
+    /// The eval-mode fused `GEMM + bias + ReLU` epilogue must match
+    /// running the plain forward and then a ReLU, bit-for-bit.
+    #[test]
+    fn fused_bias_relu_matches_plain_forward() {
+        let (i, o, n) = (24usize, 20usize, 32usize); // n*i*o ≥ 8192 → packable
+        let mut rng = rng_from_seed(9);
+        let mut lin = Linear::new(i, o, &mut rng).unwrap();
+        let x = Tensor::from_fn(&[n, i], |idx| ((idx % 11) as f32 - 5.0) * 0.3);
+        let want = lin.forward(&x, ExecCtx::eval()).unwrap().map(|v| v.max(0.0));
+        match lin.forward_relu_fused(&x, ExecCtx::eval()) {
+            Some(got) => {
+                let got = got.unwrap();
+                assert_eq!(got.shape(), want.shape());
+                for (a, b) in got.data().iter().zip(want.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "fused relu diverged");
+                }
+            }
+            // RT_KERN=0 in the environment: nothing to fuse, and that is
+            // exactly the contract — the caller falls back.
+            None => assert!(!rt_tensor::kern::enabled()),
+        }
+        // Train mode must always refuse so the activation cache exists.
+        assert!(lin.forward_relu_fused(&x, ExecCtx::train()).is_none());
     }
 
     #[test]

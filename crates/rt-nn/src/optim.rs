@@ -300,7 +300,7 @@ impl Adam {
 mod tests {
     use super::*;
     use crate::layers::Linear;
-    use crate::{Mode, Sequential};
+    use crate::Sequential;
     use rt_tensor::rng::rng_from_seed;
     use rt_tensor::Tensor;
 
@@ -490,7 +490,7 @@ mod tests {
     #[test]
     fn adam_reduces_loss_on_toy_regression() {
         use crate::loss::MseLoss;
-        use crate::{Layer as _, Mode};
+        use crate::Layer as _;
         let mut model = toy_model();
         let mut opt = Adam::new(0.05);
         let x =
@@ -558,5 +558,47 @@ mod tests {
         assert_eq!(opt.lr(), 0.05);
         assert!(opt.set_lr(0.0).is_err());
         assert!(opt.set_lr(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn steady_state_training_step_reuses_pool_buffers() {
+        use crate::layers::{Conv2d, Conv2dConfig, Flatten, Relu};
+        use crate::loss::CrossEntropyLoss;
+        use rt_tensor::{init, pool};
+
+        // 1 pool thread runs every task inline on this thread, so the
+        // thread-local lease counters see the whole step (the process-wide
+        // counters would race with other tests).
+        rt_par::set_threads(1);
+        pool::set_enabled(true); // the property needs recycling on, whatever RT_POOL says
+        let mut rng = rng_from_seed(42);
+        let mut model = Sequential::new(vec![
+            Box::new(Conv2d::new(3, 8, Conv2dConfig::same3x3(), &mut rng).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(8 * 8 * 8, 10, &mut rng).unwrap()),
+        ]);
+        let x = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let labels = [0usize, 1, 2, 3];
+        let loss = CrossEntropyLoss::new();
+        let opt = Sgd::new(0.01);
+        let step = |model: &mut Sequential| {
+            let out = model.forward(&x, ExecCtx::train()).unwrap();
+            let l = loss.forward(&out, &labels).unwrap();
+            model.backward(&l.grad, ExecCtx::train()).unwrap();
+            opt.step(model).unwrap();
+        };
+        step(&mut model); // warm the pool: every buffer size gets cached
+        pool::reset_thread_stats();
+        step(&mut model);
+        let stats = pool::thread_stats();
+        assert!(
+            stats.hits > 0,
+            "the hot path must lease its scratch from the pool"
+        );
+        assert_eq!(
+            stats.misses, 0,
+            "steady-state training step allocated fresh pool buffers"
+        );
     }
 }

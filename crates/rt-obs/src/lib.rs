@@ -358,6 +358,7 @@ fn install(level: Level, sink: Option<Box<dyn Sink>>) {
     LEVEL.store(level as u8, Ordering::SeqCst);
     if level > Level::Off {
         install_par_observer();
+        install_pool_observer();
     }
 }
 
@@ -388,6 +389,36 @@ pub fn install_par_observer() -> bool {
         on_pool_threads: |n| gauge("par.pool_threads").set(n as f64),
         on_watchdog_trip: |n| counter("watchdog.trips").add(n),
         on_worker_respawn: |n| counter("par.worker_respawns").add(n),
+    })
+}
+
+/// Wires the [`rt_tensor::pool`] buffer pool's telemetry hooks into this
+/// crate's metrics:
+///
+/// * recycled leases add their byte size to `pool.hits` (count) and
+///   `pool.bytes_leased`,
+/// * leases that had to allocate fresh memory increment `pool.misses`
+///   (and also count toward `pool.bytes_leased`),
+/// * new process-wide peaks of outstanding leased bytes move the
+///   `mem.peak_pool_bytes` gauge.
+///
+/// Like [`install_par_observer`], this injects plain function pointers
+/// (`rt_tensor::pool::set_observer`) because `rt-tensor` sits below
+/// `rt-obs` in the crate graph. Installation is first-call-wins, the
+/// hooks degrade to no-op metric handles when telemetry is disabled, and
+/// every `init_*` path invokes it automatically; returns whether this
+/// call performed the installation.
+pub fn install_pool_observer() -> bool {
+    rt_tensor::pool::set_observer(rt_tensor::pool::PoolObserver {
+        on_hit: |bytes| {
+            counter("pool.hits").add(1);
+            counter("pool.bytes_leased").add(bytes);
+        },
+        on_miss: |bytes| {
+            counter("pool.misses").add(1);
+            counter("pool.bytes_leased").add(bytes);
+        },
+        on_peak: |bytes| gauge("mem.peak_pool_bytes").set(bytes as f64),
     })
 }
 

@@ -304,6 +304,28 @@ impl Snapshot {
                 total.intensity()
             ));
         }
+        let pool_hits = self.counters.get("pool.hits").copied().unwrap_or(0);
+        let pool_misses = self.counters.get("pool.misses").copied().unwrap_or(0);
+        if pool_hits + pool_misses > 0 {
+            // Buffer-pool health belongs next to the roofline numbers: a
+            // steady-state hit rate below ~100% means the hot path is
+            // still allocating, which moves the bytes column for real.
+            let leased = self
+                .counters
+                .get("pool.bytes_leased")
+                .copied()
+                .unwrap_or(0);
+            let peak = self
+                .gauges
+                .get("mem.peak_pool_bytes")
+                .copied()
+                .unwrap_or(0.0);
+            out.push_str(&format!(
+                "pool: {:.1}% hit rate ({pool_hits} hits, {pool_misses} misses), \
+                 {leased} bytes leased, peak {peak:.0} bytes outstanding\n",
+                100.0 * pool_hits as f64 / (pool_hits + pool_misses) as f64
+            ));
+        }
         if !self.histograms.is_empty() {
             out.push_str("\n== histograms ==\n");
             let mut hists = self.histograms.clone();
@@ -694,6 +716,21 @@ mod tests {
         assert!(table.contains("TOTAL"), "{table}");
         assert!(table.contains("50.0%"), "{table}");
         assert!((snap.costs[0].intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_surfaces_pool_stats() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("pool.hits".into(), 3);
+        snap.counters.insert("pool.misses".into(), 1);
+        snap.counters.insert("pool.bytes_leased".into(), 4096);
+        snap.gauges.insert("mem.peak_pool_bytes".into(), 1024.0);
+        let table = snap.render_table();
+        assert!(table.contains("75.0% hit rate"), "{table}");
+        assert!(table.contains("4096 bytes leased"), "{table}");
+        assert!(table.contains("peak 1024 bytes"), "{table}");
+        // No pool traffic → no pool line.
+        assert!(!Snapshot::default().render_table().contains("pool:"));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod bitset;
 pub mod kernels;
 pub mod plan;
+#[doc(hidden)] // deprecated: superseded by `rt_tensor::pool`
 pub mod scratch;
 
 pub use bitset::BitMask;

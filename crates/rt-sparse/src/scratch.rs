@@ -28,6 +28,15 @@
 //! [`take`] zero-fills every buffer before returning it, so a recycled
 //! buffer is indistinguishable from a fresh `vec![0.0; len]` — reuse can
 //! never leak state between samples or change numerics.
+//!
+//! # Deprecation
+//!
+//! Superseded by `rt_tensor::pool`, the process-wide, observable pool
+//! that the kernel layer and every rt-nn hot path now lease from (with
+//! an explicit dirty/zeroed split instead of always zero-filling). This
+//! module stays only for downstream code that has not migrated yet.
+
+#![allow(deprecated)] // the module may still exercise its own deprecated API
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -52,6 +61,10 @@ thread_local! {
 
 /// Takes a zero-filled `Vec<f32>` of exactly `len` elements, recycling a
 /// previously returned buffer of the same length when available.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `rt_tensor::pool::take_zeroed` (same contract, process-wide pool with telemetry)"
+)]
 pub fn take(len: usize) -> Vec<f32> {
     ARENA.with(|a| {
         let mut a = a.borrow_mut();
@@ -70,6 +83,10 @@ pub fn take(len: usize) -> Vec<f32> {
 /// Returns a buffer to the arena for reuse. Buffers whose length bucket is
 /// full (or that would push the arena past [`MAX_ARENA_BYTES`]) are
 /// dropped instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `rt_tensor::pool::put` (same contract, process-wide pool with telemetry)"
+)]
 pub fn put(buf: Vec<f32>) {
     let len = buf.len();
     if len == 0 {

@@ -33,12 +33,26 @@
 //! exactly `0.0`, the dense GEMM skips zero `A` entries, and the sparse
 //! paths visit the surviving nonzero terms in the dense kernels' exact
 //! order (see the `rt-sparse` crate docs for the `±0.0` argument).
-//! Per-sample workspaces come from [`rt_sparse::scratch`], a thread-local
-//! arena that removes the per-sample allocation churn of the lowering.
+//! Per-sample workspaces come from [`crate::pool`], the process-wide
+//! thread-sharded buffer pool that removes the per-sample allocation
+//! churn of the lowering.
+//!
+//! # Implicit-GEMM fast path
+//!
+//! When the [`crate::kern`] packed kernels are enabled and the shape is
+//! worth packing, the dense forward path skips the intermediate `cols`
+//! matrix entirely: [`im2col_packed_into`] lowers each sample **directly
+//! into [`kern::pack_b`]'s panel layout** (packed once per tile, not per
+//! sample-then-repacked), the weight matrix is packed once per batch via
+//! [`kern::PackedA`], and the bias add is fused into the store epilogue.
+//! The backward pass shares one packed `Wᵀ` across all samples for the
+//! `dcols` product. Both are bit-identical to the legacy
+//! lower-then-`linalg::gemm`-then-`add_bias` pipeline (`RT_KERN=0`
+//! falls back to it).
 
 use crate::linalg::{self, Gemm};
-use crate::{Result, Tensor, TensorError};
-use rt_sparse::{kernels as sparse_kernels, scratch, PlanKind, SparsePlan};
+use crate::{kern, pool, Result, Tensor, TensorError};
+use rt_sparse::{kernels as sparse_kernels, PlanKind, SparsePlan};
 use std::sync::Mutex;
 
 /// Geometry of a 2-D convolution or pooling window.
@@ -206,6 +220,59 @@ fn im2col_live_into(
             w_out,
             &mut dst[j * block..(j + 1) * block],
         );
+    }
+}
+
+/// Lowers a full `[C, H, W]` sample **directly into [`kern::pack_b`]'s
+/// panel layout** (implicit GEMM): patch element `(p, j)` of the virtual
+/// `[C·k·k, H_out·W_out]` matrix lands at
+/// `dst[(j / NR)·C·k·k·NR + p·NR + j % NR]`. Only in-bounds taps are
+/// written, so `dst` must be zero-filled on entry — padding taps and the
+/// ragged last panel's pad lanes stay `0.0`, exactly matching
+/// `pack_b(im2col(sample))` bit for bit without ever materialising the
+/// intermediate matrix.
+#[allow(clippy::too_many_arguments)]
+fn im2col_packed_into(
+    sample: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    geo: ConvGeometry,
+    h_out: usize,
+    w_out: usize,
+    dst: &mut [f32],
+) {
+    let k = geo.kernel;
+    let hw = height * width;
+    let cols = h_out * w_out;
+    let ckk = channels * k * k;
+    let nr = kern::NR;
+    let panel_len = ckk * nr;
+    debug_assert_eq!(dst.len(), kern::packed_b_len(ckk, cols));
+    for c in 0..channels {
+        let plane = &sample[c * hw..(c + 1) * hw];
+        for ky in 0..k {
+            let base_y = ky as isize - geo.padding as isize;
+            for kx in 0..k {
+                let p = (c * k + ky) * k + kx;
+                let base_x = kx as isize - geo.padding as isize;
+                for oy in 0..h_out {
+                    let iy = (oy * geo.stride) as isize + base_y;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * width..(iy as usize + 1) * width];
+                    for ox in 0..w_out {
+                        let ix = (ox * geo.stride) as isize + base_x;
+                        if ix < 0 || ix >= width as isize {
+                            continue;
+                        }
+                        let j = oy * w_out + ox;
+                        dst[(j / nr) * panel_len + p * nr + (j % nr)] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -429,6 +496,17 @@ fn add_bias(dst: &mut [f32], bias: Option<&[f32]>, out_plane: usize) {
     }
 }
 
+/// In-place ReLU over one sample's output — the same `x.max(0.0)` the
+/// standalone activation layer applies, so fusing it here is
+/// bit-identical to running conv then ReLU.
+fn relu_in_place(dst: &mut [f32], relu: bool) {
+    if relu {
+        for v in dst {
+            *v = v.max(0.0);
+        }
+    }
+}
+
 /// [`conv2d_forward`] with an optional compiled sparsity plan for the
 /// weight matrix (see the module docs for the dispatch rules). Passing
 /// `None` — or a plan that does not match this conv's weight view — runs
@@ -443,6 +521,28 @@ pub fn conv2d_forward_planned(
     bias: Option<&[f32]>,
     geo: ConvGeometry,
     plan: Option<&SparsePlan>,
+) -> Result<Tensor> {
+    conv2d_forward_fused(input, w_mat, bias, geo, plan, false)
+}
+
+/// [`conv2d_forward_planned`] with an optionally fused trailing ReLU:
+/// when `relu` is true the output is `max(conv(x) + b, 0)`, bit-identical
+/// to running the convolution and then the activation's `x.max(0.0)` —
+/// but without materialising the pre-activation tensor. The packed-kernel
+/// fast path folds the ReLU into the store epilogue; the other paths
+/// apply it in place per sample. Used by `rt-nn`'s eval-mode
+/// conv→ReLU peephole fusion.
+///
+/// # Errors
+///
+/// Same validation errors as [`conv2d_forward`].
+pub fn conv2d_forward_fused(
+    input: &Tensor,
+    w_mat: &Tensor,
+    bias: Option<&[f32]>,
+    geo: ConvGeometry,
+    plan: Option<&SparsePlan>,
+    relu: bool,
 ) -> Result<Tensor> {
     let [n, c, h, w] = check_nchw(input, "conv2d_forward")?;
     let h_out = geo.out_dim(h)?;
@@ -481,13 +581,14 @@ pub fn conv2d_forward_planned(
             let w_data = w_mat.data();
             rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
                 let sample = &in_data[s * chw..(s + 1) * chw];
-                let mut cols = scratch::take(ckk * out_plane);
+                let mut cols = pool::take_zeroed(ckk * out_plane);
                 im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols);
                 // Same zero-fill + ascending-k accumulation as the dense
                 // ikj kernel, restricted to the mask support.
                 sparse_kernels::csr_matmul(w_data, &cols, out_plane, p, dst);
-                scratch::put(cols);
+                pool::put(cols);
                 add_bias(dst, bias, out_plane);
+                relu_in_place(dst, relu);
             });
         }
         Some(p) => {
@@ -497,46 +598,70 @@ pub fn conv2d_forward_planned(
             let lr = &p.live_rows;
             let lg = &p.live_col_groups;
             let packed_cols = lg.len() * k * k;
-            let mut pw_buf = vec![0.0f32; lr.len() * packed_cols];
+            let mut pw_buf = pool::take(lr.len() * packed_cols);
             sparse_kernels::pack_matrix_groups(w_mat.data(), p, &mut pw_buf);
             let pw = Tensor::from_vec(vec![lr.len(), packed_cols], pw_buf)
                 .expect("packed weight shape");
             rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
                 let sample = &in_data[s * chw..(s + 1) * chw];
-                let mut cols_buf = scratch::take(packed_cols * out_plane);
+                let mut cols_buf = pool::take_zeroed(packed_cols * out_plane);
                 im2col_live_into(sample, lg, h, w, geo, h_out, w_out, &mut cols_buf);
                 let cols = Tensor::from_vec(vec![packed_cols, out_plane], cols_buf)
                     .expect("live cols shape");
                 let mut y = Tensor::from_vec(
                     vec![lr.len(), out_plane],
-                    scratch::take(lr.len() * out_plane),
+                    pool::take(lr.len() * out_plane),
                 )
                 .expect("packed out shape");
                 linalg::gemm(&pw, &cols, Gemm::new(), &mut y).expect("pre-validated gemm");
                 // Dead output channels are exactly +0.0 in the dense path
                 // (all their weights are masked), so clear-scatter matches.
                 sparse_kernels::scatter_rows_clear(y.data(), out_plane, lr, dst);
-                scratch::put(cols.into_vec());
-                scratch::put(y.into_vec());
+                pool::put(cols.into_vec());
+                pool::put(y.into_vec());
                 add_bias(dst, bias, out_plane);
+                relu_in_place(dst, relu);
+            });
+            pool::put(pw.into_vec());
+        }
+        None if kern::enabled() && kern::worth_packing(o, ckk, out_plane) => {
+            // Implicit GEMM: pack the weight once per batch, lower each
+            // sample straight into packed-B panels (no intermediate cols
+            // matrix), and fuse the bias add into the store epilogue.
+            // Bit-identical to the legacy arm below: the packed kernel
+            // reproduces the ikj accumulation order and `v + bias[row]`
+            // is the same float op as `add_bias`'s `*v += bias[ch]`.
+            let pa = kern::PackedA::pack(w_mat.data(), o, ckk, false);
+            let epi = match (bias, relu) {
+                (Some(b), false) => kern::Epilogue::BiasRow(b),
+                (Some(b), true) => kern::Epilogue::BiasRowRelu(b),
+                (None, false) => kern::Epilogue::None,
+                (None, true) => kern::Epilogue::Relu,
+            };
+            rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let mut bpack = pool::lease_zeroed(kern::packed_b_len(ckk, out_plane));
+                im2col_packed_into(sample, c, h, w, geo, h_out, w_out, &mut bpack);
+                kern::gemm_ab_prepacked(&pa, &bpack, out_plane, false, epi, dst);
             });
         }
         None => {
             rt_par::par_chunks_mut(out.data_mut(), o * out_plane, |s, dst| {
                 let sample = &in_data[s * chw..(s + 1) * chw];
-                let mut cols_buf = scratch::take(ckk * out_plane);
+                let mut cols_buf = pool::take_zeroed(ckk * out_plane);
                 im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols_buf);
                 let cols =
                     Tensor::from_vec(vec![ckk, out_plane], cols_buf).expect("cols shape");
                 let mut out_mat =
-                    Tensor::from_vec(vec![o, out_plane], scratch::take(o * out_plane))
+                    Tensor::from_vec(vec![o, out_plane], pool::take(o * out_plane))
                         .expect("out shape");
                 linalg::gemm(w_mat, &cols, Gemm::new(), &mut out_mat)
                     .expect("pre-validated gemm");
                 dst.copy_from_slice(out_mat.data());
-                scratch::put(cols.into_vec());
-                scratch::put(out_mat.into_vec());
+                pool::put(cols.into_vec());
+                pool::put(out_mat.into_vec());
                 add_bias(dst, bias, out_plane);
+                relu_in_place(dst, relu);
             });
         }
     }
@@ -650,19 +775,19 @@ pub fn conv2d_backward_planned(
             rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
                 let sample = &in_data[s * chw..(s + 1) * chw];
                 let go_sample = &go_data[s * o * out_plane..(s + 1) * o * out_plane];
-                let mut cols = scratch::take(ckk * out_plane);
+                let mut cols = pool::take_zeroed(ckk * out_plane);
                 im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols);
                 // dW_s on the mask support only: per-live-entry dot
                 // products replaying the dense A×Bᵀ kernel.
-                let mut vals = scratch::take(p.nnz);
+                let mut vals = pool::take(p.nnz);
                 sparse_kernels::csr_dot_rows(go_sample, &cols, out_plane, p, &mut vals);
                 // dcols = Wᵀ × dY over the support (dead patch rows stay
                 // exactly +0.0, as in the masked dense kernel).
-                let mut gcols = scratch::take(ckk * out_plane);
+                let mut gcols = pool::take(ckk * out_plane);
                 sparse_kernels::csc_matmul_t(w_data, go_sample, out_plane, p, &mut gcols);
                 col2im_from(&gcols, c, h, w, geo, h_out, w_out, gi_sample);
-                scratch::put(cols);
-                scratch::put(gcols);
+                pool::put(cols);
+                pool::put(gcols);
                 let gb = bias_partial(go_sample, o, out_plane, want_bias);
                 *partials[s].lock().expect("conv partial slot") = Some((vals, gb));
             });
@@ -673,25 +798,25 @@ pub fn conv2d_backward_planned(
             let lr = &p.live_rows;
             let lg = &p.live_col_groups;
             let packed_cols = lg.len() * k * k;
-            let mut pw_buf = vec![0.0f32; lr.len() * packed_cols];
+            let mut pw_buf = pool::take(lr.len() * packed_cols);
             sparse_kernels::pack_matrix_groups(w_mat.data(), p, &mut pw_buf);
             let pw = Tensor::from_vec(vec![lr.len(), packed_cols], pw_buf)
                 .expect("packed weight shape");
             rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
                 let sample = &in_data[s * chw..(s + 1) * chw];
                 let go_sample = &go_data[s * o * out_plane..(s + 1) * o * out_plane];
-                let mut cols_buf = scratch::take(packed_cols * out_plane);
+                let mut cols_buf = pool::take_zeroed(packed_cols * out_plane);
                 im2col_live_into(sample, lg, h, w, geo, h_out, w_out, &mut cols_buf);
                 let cols = Tensor::from_vec(vec![packed_cols, out_plane], cols_buf)
                     .expect("live cols shape");
-                let mut go_packed = scratch::take(lr.len() * out_plane);
+                let mut go_packed = pool::take(lr.len() * out_plane);
                 sparse_kernels::gather_rows(go_sample, out_plane, lr, &mut go_packed);
                 let go_p = Tensor::from_vec(vec![lr.len(), out_plane], go_packed)
                     .expect("packed grad shape");
                 // Packed dW_s = dY_live × cols_liveᵀ (private partial).
                 let mut gw_p = Tensor::from_vec(
                     vec![lr.len(), packed_cols],
-                    scratch::take(lr.len() * packed_cols),
+                    pool::take(lr.len() * packed_cols),
                 )
                 .expect("packed gw shape");
                 linalg::gemm(&go_p, &cols, Gemm::new().trans_b(), &mut gw_p)
@@ -701,48 +826,97 @@ pub fn conv2d_backward_planned(
                 // the dense path, so skipping them is bit-identical).
                 let mut gcols_p = Tensor::from_vec(
                     vec![packed_cols, out_plane],
-                    scratch::take(packed_cols * out_plane),
+                    pool::take(packed_cols * out_plane),
                 )
                 .expect("packed gcols shape");
                 linalg::gemm(&pw, &go_p, Gemm::new().trans_a(), &mut gcols_p)
                     .expect("pre-validated gemm");
                 col2im_live_from(gcols_p.data(), lg, h, w, geo, h_out, w_out, gi_sample);
                 let gb = bias_partial(go_sample, o, out_plane, want_bias);
-                scratch::put(cols.into_vec());
-                scratch::put(go_p.into_vec());
-                scratch::put(gcols_p.into_vec());
+                pool::put(cols.into_vec());
+                pool::put(go_p.into_vec());
+                pool::put(gcols_p.into_vec());
                 *partials[s].lock().expect("conv partial slot") =
                     Some((gw_p.into_vec(), gb));
+            });
+            pool::put(pw.into_vec());
+        }
+        None if kern::enabled() && kern::worth_packing(o, ckk, out_plane) => {
+            // Implicit-GEMM backward: one packed `Wᵀ` shared by every
+            // sample's `dcols = Wᵀ × dY` product, and `dW_s = dY × colsᵀ`
+            // running the packed kernel straight on the upstream-gradient
+            // slice (no per-sample copy into a scratch matrix). Both
+            // products are bit-identical to the legacy arm below.
+            let pwt = kern::PackedA::pack(w_mat.data(), ckk, o, true);
+            let dw_cfg = kern::KernCfg {
+                trans_a: false,
+                trans_b: true,
+                acc: false,
+                parallel: false,
+            };
+            rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
+                let sample = &in_data[s * chw..(s + 1) * chw];
+                let go_sample = &go_data[s * o * out_plane..(s + 1) * o * out_plane];
+                let mut cols = pool::take_zeroed(ckk * out_plane);
+                im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols);
+                // dW_s = dY × colsᵀ (private partial, folded later).
+                let mut gw = pool::take(o * ckk);
+                kern::gemm(
+                    go_sample,
+                    &cols,
+                    o,
+                    out_plane,
+                    ckk,
+                    dw_cfg,
+                    kern::Epilogue::None,
+                    &mut gw,
+                );
+                // dcols = Wᵀ × dY, scattered back to image space.
+                let mut gcols = pool::take(ckk * out_plane);
+                kern::gemm_a_prepacked(
+                    &pwt,
+                    go_sample,
+                    out_plane,
+                    false,
+                    false,
+                    kern::Epilogue::None,
+                    &mut gcols,
+                );
+                col2im_from(&gcols, c, h, w, geo, h_out, w_out, gi_sample);
+                let gb = bias_partial(go_sample, o, out_plane, want_bias);
+                pool::put(cols);
+                pool::put(gcols);
+                *partials[s].lock().expect("conv partial slot") = Some((gw, gb));
             });
         }
         None => {
             rt_par::par_chunks_mut(grad_input.data_mut(), chw, |s, gi_sample| {
                 let sample = &in_data[s * chw..(s + 1) * chw];
                 let go_sample = &go_data[s * o * out_plane..(s + 1) * o * out_plane];
-                let mut cols_buf = scratch::take(ckk * out_plane);
+                let mut cols_buf = pool::take_zeroed(ckk * out_plane);
                 im2col_into(sample, c, h, w, geo, h_out, w_out, &mut cols_buf);
                 let cols =
                     Tensor::from_vec(vec![ckk, out_plane], cols_buf).expect("cols shape");
-                let mut go_vec = scratch::take(o * out_plane);
+                let mut go_vec = pool::take(o * out_plane);
                 go_vec.copy_from_slice(go_sample);
                 let go_mat = Tensor::from_vec(vec![o, out_plane], go_vec)
                     .expect("pre-validated grad slice");
                 // dW_s = dY × colsᵀ (private partial, folded later).
                 let mut gw =
-                    Tensor::from_vec(vec![o, ckk], scratch::take(o * ckk)).expect("gw shape");
+                    Tensor::from_vec(vec![o, ckk], pool::take(o * ckk)).expect("gw shape");
                 linalg::gemm(&go_mat, &cols, Gemm::new().trans_b(), &mut gw)
                     .expect("pre-validated gemm");
                 // dcols = Wᵀ × dY, scattered back to image space.
                 let mut gcols =
-                    Tensor::from_vec(vec![ckk, out_plane], scratch::take(ckk * out_plane))
+                    Tensor::from_vec(vec![ckk, out_plane], pool::take(ckk * out_plane))
                         .expect("gcols shape");
                 linalg::gemm(w_mat, &go_mat, Gemm::new().trans_a(), &mut gcols)
                     .expect("pre-validated gemm");
                 col2im_from(gcols.data(), c, h, w, geo, h_out, w_out, gi_sample);
                 let gb = bias_partial(go_mat.data(), o, out_plane, want_bias);
-                scratch::put(cols.into_vec());
-                scratch::put(go_mat.into_vec());
-                scratch::put(gcols.into_vec());
+                pool::put(cols.into_vec());
+                pool::put(go_mat.into_vec());
+                pool::put(gcols.into_vec());
                 *partials[s].lock().expect("conv partial slot") = Some((gw.into_vec(), gb));
             });
         }
@@ -778,7 +952,7 @@ pub fn conv2d_backward_planned(
                 }
             }
         }
-        scratch::put(gw);
+        pool::put(gw);
         if let Some(acc) = &mut grad_bias {
             for (dst, src) in acc.iter_mut().zip(gb) {
                 *dst += src;

@@ -1,0 +1,885 @@
+//! Cache-blocked, panel-packed GEMM micro-kernels (the `rt-kern` layer).
+//!
+//! The legacy kernels in [`crate::linalg`] walk `A`/`B` in place; for
+//! matrices beyond the cache they spend most of their time waiting on
+//! strided loads. This module implements the classical packed approach:
+//!
+//! 1. **Pack** `op(B)` into column panels of [`NR`] columns — each panel
+//!    is `k × NR`, laid out p-major (`panel[p * NR + j]`), so the inner
+//!    loop streams one contiguous cache line per step. Packing performs
+//!    the transpose gather, so a single micro-kernel serves all four
+//!    `Gemm` transpose variants.
+//! 2. **Pack** each `op(A)` row block into micro-panels of [`MR`] rows
+//!    (`panel[p * MR + r]`), sized so a block stays cache-resident while
+//!    every column panel streams past it.
+//! 3. A register-tiled [`MR`]`×`[`NR`] **micro-kernel** accumulates the
+//!    full `k` extent per tile with a fixed unrolled lane loop that LLVM
+//!    autovectorizes (8-wide under the runtime-dispatched AVX2 path).
+//!
+//! # Bit-identity with the legacy kernels
+//!
+//! The repo's determinism contract requires packed results to be
+//! **byte-identical** to `linalg::gemm`'s at every `RT_THREADS`. Three
+//! rules make that hold *by construction* (proptests and the
+//! `bench_kernels` divergence gate enforce it empirically):
+//!
+//! * **Tile only over m/n, never k.** A micro-tile accumulates its
+//!   whole `0..k` extent serially, so every output element sees the
+//!   exact term order of the serial legacy kernel. (Classical `KC`
+//!   blocking would split the sum and change rounding.)
+//! * **Replicate the zero-skip.** The legacy kernels skip terms whose
+//!   `A` element is `±0.0` (pruned weights make this pay). The skip is
+//!   a branch on a *scalar* broadcast across the whole `NR` lane
+//!   vector, so the micro-kernel keeps it without losing SIMD — and the
+//!   skip also makes zero-padded partial micro-panels free: a padding
+//!   row is all `0.0`, hence never multiplied, hence can never pollute
+//!   real lanes with `NaN`/`Inf` or flip a `-0.0`.
+//! * **Match the legacy accumulator seeding.** The `trans_b = false`
+//!   kernels add terms *directly into C* (`acc` mode starts from the
+//!   existing value; overwrite pre-zeros), so the micro-kernel seeds
+//!   its registers from `C`. The `trans_b = true` kernels compute a
+//!   fresh dot product and apply one `+=`/`=` at the end, so there the
+//!   micro-kernel seeds `0.0` and combines at store time.
+//!
+//! All scratch (packed panels) leases from [`crate::pool`]; a
+//! steady-state training step performs **zero** allocations in this
+//! module.
+//!
+//! `RT_KERN=0` disables the packed path and [`crate::linalg::gemm`]
+//! falls back to the legacy kernels (the kill-switch).
+
+use crate::pool;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Micro-tile rows: one accumulator row per `A` element broadcast.
+pub const MR: usize = 4;
+
+/// Micro-tile columns: two 8-lane AVX2 vectors per accumulator row.
+pub const NR: usize = 16;
+
+/// Target bytes for a packed `A` row block (keeps the block L2-resident
+/// while `B` panels stream). Block height derives from this and `k`
+/// only — never from the thread count — so chunk boundaries stay
+/// deterministic.
+const A_BLOCK_BYTES: usize = 192 << 10;
+
+/// Target bytes for the group of `B` panels walked per `A` pass (the
+/// effective `NC`), keeping the group cache-resident across row panels.
+const B_GROUP_BYTES: usize = 192 << 10;
+
+/// Below this many multiply-adds the packing passes cost more than they
+/// save; `linalg::gemm` keeps such shapes on the legacy kernels. Pure
+/// function of shape — part of the determinism contract.
+pub const PACK_MIN_MULADDS: usize = 1 << 13;
+
+// ---------------------------------------------------------------------------
+// RT_KERN kill-switch
+// ---------------------------------------------------------------------------
+
+/// 0 = unresolved, 1 = on, 2 = off.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the packed kernels are enabled (`RT_KERN`, default on;
+/// `0`/`false`/`off` fall back to the legacy kernels).
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = match std::env::var("RT_KERN") {
+                Ok(v) => {
+                    let v = v.trim().to_ascii_lowercase();
+                    !(v == "0" || v == "false" || v == "off")
+                }
+                Err(_) => true,
+            };
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Test/bench hook: force the packed path on/off, overriding `RT_KERN`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether a shape is worth the packing passes. Pure function of shape
+/// (never of thread count or pool state): callers may use it to pick a
+/// kernel, and determinism is preserved either way because both kernels
+/// produce identical bytes.
+pub fn worth_packing(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= PACK_MIN_MULADDS && n >= 2 && m >= 2 && k >= 2
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Packed-gemm configuration: transpose flags, accumulate mode, and
+/// whether row blocks may fan out on the rt-par pool.
+#[derive(Debug, Clone, Copy)]
+pub struct KernCfg {
+    /// Read `A` transposed (`A` is stored `[k, m]`).
+    pub trans_a: bool,
+    /// Read `B` transposed (`B` is stored `[n, k]`).
+    pub trans_b: bool,
+    /// `C += …` instead of `C = …`.
+    pub acc: bool,
+    /// Fan row blocks out on the global rt-par pool. Callers already
+    /// inside a parallel region (e.g. per-sample conv) pass `false`;
+    /// results are identical either way.
+    pub parallel: bool,
+}
+
+/// Fused store-time epilogue, applied only in overwrite mode (an
+/// accumulating gemm has no "end of computation" to fuse into).
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Plain store.
+    None,
+    /// `v.max(0.0)` — bit-identical to the `Relu` layer applied to the
+    /// plain store (bias-free conv → ReLU fusion).
+    Relu,
+    /// `v + bias[row]` (conv layout: one bias per output channel row).
+    BiasRow(&'a [f32]),
+    /// `v + bias[col]` (linear layout: one bias per output feature).
+    BiasCol(&'a [f32]),
+    /// `(v + bias[row]).max(0.0)` — bit-identical to bias-add followed
+    /// by the `Relu` layer's `x.max(0.0)`.
+    BiasRowRelu(&'a [f32]),
+    /// `(v + bias[col]).max(0.0)`.
+    BiasColRelu(&'a [f32]),
+}
+
+impl Epilogue<'_> {
+    #[inline]
+    fn apply(&self, v: f32, row: usize, col: usize) -> f32 {
+        match *self {
+            Epilogue::None => v,
+            Epilogue::Relu => v.max(0.0),
+            Epilogue::BiasRow(b) => v + b[row],
+            Epilogue::BiasCol(b) => v + b[col],
+            Epilogue::BiasRowRelu(b) => (v + b[row]).max(0.0),
+            Epilogue::BiasColRelu(b) => (v + b[col]).max(0.0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking parameters (pure functions of shape)
+// ---------------------------------------------------------------------------
+
+/// Rows of `C` per packed `A` block: sized for [`A_BLOCK_BYTES`],
+/// rounded to a multiple of [`MR`].
+fn m_block(m: usize, k: usize) -> usize {
+    let per_row = k.max(1) * std::mem::size_of::<f32>();
+    let rows = (A_BLOCK_BYTES / per_row).max(MR);
+    let rows = rows - rows % MR;
+    rows.clamp(MR, m.max(1).div_ceil(MR) * MR)
+}
+
+/// `B` panels walked per `A` pass (the effective `NC / NR`).
+fn b_group_panels(k: usize) -> usize {
+    let per_panel = k.max(1) * NR * std::mem::size_of::<f32>();
+    (B_GROUP_BYTES / per_panel).max(1)
+}
+
+/// Number of `NR`-wide column panels covering `n` columns.
+pub fn b_panels(n: usize) -> usize {
+    n.div_ceil(NR)
+}
+
+/// Length in elements of one packed `B` panel (`k × NR`, p-major).
+pub fn b_panel_len(k: usize) -> usize {
+    k * NR
+}
+
+/// Total length of a fully packed `B` (all panels).
+pub fn packed_b_len(k: usize, n: usize) -> usize {
+    b_panels(n) * b_panel_len(k)
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Packs columns `[0, n)` of `op(B)` (`k × n` effective) into `NR`-wide
+/// p-major panels. Every slot is written (padding columns get `0.0`),
+/// so a dirty pool buffer is safe.
+///
+/// Layout contract (shared with the conv implicit-GEMM packer):
+/// element `(p, j)` of panel `jp` lives at
+/// `dst[jp * k * NR + p * NR + (j - jp * NR)]`.
+pub fn pack_b(dst: &mut [f32], bv: &[f32], k: usize, n: usize, trans_b: bool) {
+    debug_assert_eq!(dst.len(), packed_b_len(k, n));
+    for (jp, panel) in dst.chunks_mut(b_panel_len(k).max(1)).enumerate() {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        for p in 0..k {
+            let slot = &mut panel[p * NR..p * NR + NR];
+            if trans_b {
+                // op(B)[p][j] = B[j][p], B stored [n, k].
+                for (jj, s) in slot.iter_mut().enumerate() {
+                    *s = if jj < cols { bv[(j0 + jj) * k + p] } else { 0.0 };
+                }
+            } else {
+                // op(B)[p][j] = B[p][j], B stored [k, n].
+                let src = &bv[p * n + j0..p * n + j0 + cols];
+                slot[..cols].copy_from_slice(src);
+                slot[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Packs rows `[r0, r0 + rows)` of `op(A)` (`m × k` effective) into
+/// `MR`-tall p-major micro-panels. Padding rows are `0.0`, which the
+/// micro-kernel's zero-skip turns into no-ops.
+fn pack_a_block(
+    dst: &mut [f32],
+    av: &[f32],
+    m: usize,
+    k: usize,
+    trans_a: bool,
+    r0: usize,
+    rows: usize,
+) {
+    debug_assert_eq!(dst.len(), rows.div_ceil(MR) * MR * k);
+    for (ip, panel) in dst.chunks_mut((MR * k).max(1)).enumerate() {
+        let i0 = r0 + ip * MR;
+        let live = MR.min(rows - ip * MR);
+        for p in 0..k {
+            let slot = &mut panel[p * MR..p * MR + MR];
+            for (rr, s) in slot.iter_mut().enumerate() {
+                *s = if rr < live {
+                    let i = i0 + rr;
+                    // op(A)[i][p]: A stored [m, k], or [k, m] transposed.
+                    if trans_a {
+                        av[p * m + i]
+                    } else {
+                        av[i * k + p]
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel
+// ---------------------------------------------------------------------------
+
+type AccTile = [[f32; NR]; MR];
+
+/// The register-tiled inner kernel: accumulates the full `k` extent of
+/// one `MR × NR` tile. `apanel` is `k × MR` p-major, `bpanel` is
+/// `k × NR` p-major. The `a == 0.0` skip replicates the legacy
+/// kernels' zero-skip exactly (see module docs); it branches on a
+/// scalar, so the `NR`-lane inner loop still vectorizes.
+#[inline(always)]
+fn micro_body(apanel: &[f32], bpanel: &[f32], k: usize, tile: &mut AccTile) {
+    for p in 0..k {
+        let brow: &[f32; NR] = bpanel[p * NR..p * NR + NR]
+            .try_into()
+            .expect("panel slot is NR wide");
+        let arow: &[f32; MR] = apanel[p * MR..p * MR + MR]
+            .try_into()
+            .expect("panel slot is MR tall");
+        // Fast path: when the whole MR column of A is nonzero (the
+        // overwhelmingly common dense case) every row updates, so one
+        // hoisted branch replaces MR per-row branches and the body is a
+        // straight-line block LLVM vectorizes aggressively. The slow
+        // path applies the per-row zero-skip; both paths add the exact
+        // same terms in the exact same order per element, so the split
+        // cannot change bits.
+        if arow.iter().all(|&a| a != 0.0) {
+            for r in 0..MR {
+                let a = arow[r];
+                let acc = &mut tile[r];
+                for c in 0..NR {
+                    acc[c] += a * brow[c];
+                }
+            }
+        } else {
+            for r in 0..MR {
+                let a = arow[r];
+                if a != 0.0 {
+                    let acc = &mut tile[r];
+                    for c in 0..NR {
+                        acc[c] += a * brow[c];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runtime SIMD dispatch — the crate's single sanctioned `unsafe`
+/// surface (rt-tensor is otherwise `#![deny(unsafe_code)]`; see
+/// `lib.rs`).
+///
+/// The AVX2 variant compiles the *identical* scalar body under
+/// `#[target_feature(enable = "avx2")]`, which only widens LLVM's
+/// autovectorized lanes. No FMA is ever emitted (Rust never contracts
+/// `a * b + c`), so every lane performs the same IEEE
+/// multiply-then-add as the baseline build: results are bit-identical
+/// across dispatch choices, and the dispatch is invisible to numerics.
+mod simd {
+    #![allow(unsafe_code)]
+
+    use super::{micro_body, AccTile};
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 (checked once in
+    /// [`micro`] via `is_x86_feature_detected!`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn micro_avx2(apanel: &[f32], bpanel: &[f32], k: usize, tile: &mut AccTile) {
+        micro_body(apanel, bpanel, k, tile);
+    }
+
+    /// 0 = unresolved, 1 = avx2, 2 = generic.
+    static MICRO_SEL: AtomicU8 = AtomicU8::new(0);
+
+    /// Safe entry point: runs the micro-kernel through the widest
+    /// available dispatch. The selection is cached in a relaxed atomic;
+    /// one load + branch per `MR × NR × k` tile is noise.
+    #[inline]
+    pub(super) fn micro(apanel: &[f32], bpanel: &[f32], k: usize, tile: &mut AccTile) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let sel = match MICRO_SEL.load(Ordering::Relaxed) {
+                0 => {
+                    let avx2 = is_x86_feature_detected!("avx2");
+                    MICRO_SEL.store(if avx2 { 1 } else { 2 }, Ordering::Relaxed);
+                    if avx2 {
+                        1
+                    } else {
+                        2
+                    }
+                }
+                s => s,
+            };
+            if sel == 1 {
+                // Safety: AVX2 support verified above (cached).
+                unsafe { micro_avx2(apanel, bpanel, k, tile) };
+                return;
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = &MICRO_SEL;
+        micro_body(apanel, bpanel, k, tile);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block compute
+// ---------------------------------------------------------------------------
+
+/// How the accumulator interacts with existing `C` values — derived
+/// from the legacy kernel for each variant (see module docs).
+#[derive(Clone, Copy, PartialEq)]
+enum Seed {
+    /// Overwrite: seed `0.0`, assign at store.
+    Zero,
+    /// `trans_b = false` + acc: seed registers *from `C`*, assign back.
+    FromC,
+    /// `trans_b = true` + acc: seed `0.0`, `+=` at store.
+    AddAtStore,
+}
+
+fn seed_mode(trans_b: bool, acc: bool) -> Seed {
+    match (acc, trans_b) {
+        (false, _) => Seed::Zero,
+        (true, false) => Seed::FromC,
+        (true, true) => Seed::AddAtStore,
+    }
+}
+
+/// Computes one packed row block: `out_blk` holds rows
+/// `[r0, r0 + rows)` of `C` (row stride `n`), `apack` the matching
+/// packed `A` panels, `bpack` the full packed `B`.
+#[allow(clippy::too_many_arguments)]
+fn compute_block(
+    out_blk: &mut [f32],
+    r0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    apack: &[f32],
+    bpack: &[f32],
+    seed: Seed,
+    epi: &Epilogue<'_>,
+) {
+    let nb = b_panels(n);
+    let group = b_group_panels(k);
+    let row_panels = rows.div_ceil(MR);
+    for jp_start in (0..nb).step_by(group) {
+        let jp_end = (jp_start + group).min(nb);
+        for ip in 0..row_panels {
+            let apanel = &apack[ip * MR * k..(ip + 1) * MR * k];
+            let live_rows = MR.min(rows - ip * MR);
+            for jp in jp_start..jp_end {
+                let bpanel = &bpack[jp * k * NR..(jp + 1) * k * NR];
+                let j0 = jp * NR;
+                let live_cols = NR.min(n - j0);
+                // Seed the accumulator tile (FromC loads existing C so
+                // acc mode adds terms directly onto it, legacy-style).
+                let mut tile: AccTile = [[0.0; NR]; MR];
+                if seed == Seed::FromC {
+                    for (rr, row) in tile.iter_mut().enumerate().take(live_rows) {
+                        let o = (ip * MR + rr) * n + j0;
+                        row[..live_cols].copy_from_slice(&out_blk[o..o + live_cols]);
+                    }
+                }
+                // Accumulate the full k extent (serial 0..k per element).
+                simd::micro(apanel, bpanel, k, &mut tile);
+                // Store live lanes; padding lanes are discarded.
+                for (rr, row) in tile.iter().enumerate().take(live_rows) {
+                    let o = (ip * MR + rr) * n + j0;
+                    let dst = &mut out_blk[o..o + live_cols];
+                    match seed {
+                        Seed::AddAtStore => {
+                            for (d, &v) in dst.iter_mut().zip(row.iter()) {
+                                *d += v;
+                            }
+                        }
+                        Seed::Zero | Seed::FromC => {
+                            let grow = r0 + ip * MR + rr;
+                            for (cc, (d, &v)) in dst.iter_mut().zip(row.iter()).enumerate() {
+                                *d = epi.apply(v, grow, j0 + cc);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Packed gemm over raw slices: `out (+)= op(A) × op(B)` with an
+/// optional fused epilogue. Effective shapes are `op(A): [m, k]`,
+/// `op(B): [k, n]`, `out: [m, n]`; slices must match exactly (callers —
+/// `linalg::gemm` and the conv/linear layers — have already validated
+/// shapes).
+///
+/// Bit-identical to the legacy `linalg` kernels for every input,
+/// including `±0.0`, subnormals and non-finite values (the zero-skip
+/// and accumulation order are replicated exactly — see module docs).
+///
+/// # Panics
+///
+/// Debug-asserts slice lengths; panics on epilogue bias shorter than
+/// the indexed extent.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, cfg: KernCfg, epi: Epilogue<'_>, out: &mut [f32]) {
+    debug_assert_eq!(av.len(), m * k);
+    debug_assert_eq!(bv.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(!cfg.acc || matches!(epi, Epilogue::None), "epilogue requires overwrite mode");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut bpack = pool::lease(packed_b_len(k, n));
+    pack_b(&mut bpack, bv, k, n, cfg.trans_b);
+    gemm_b_prepacked(av, &bpack, m, k, n, cfg, epi, out);
+}
+
+/// Packed gemm with a caller-packed `B` (layout per [`pack_b`]). The
+/// conv layer uses this to pack im2col panels **directly** from the
+/// input image (implicit GEMM), skipping the intermediate `cols`
+/// matrix.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_b_prepacked(
+    av: &[f32],
+    bpack: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: KernCfg,
+    epi: Epilogue<'_>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(bpack.len(), packed_b_len(k, n));
+    if m == 0 || n == 0 {
+        return;
+    }
+    let seed = seed_mode(cfg.trans_b, cfg.acc);
+    let mc = m_block(m, k);
+    let run = |blk: usize, out_blk: &mut [f32]| {
+        let r0 = blk * mc;
+        let rows = out_blk.len() / n.max(1);
+        let mut apack = pool::lease(rows.div_ceil(MR) * MR * k);
+        pack_a_block(&mut apack, av, m, k, cfg.trans_a, r0, rows);
+        compute_block(out_blk, r0, rows, k, n, &apack, bpack, seed, &epi);
+    };
+    if cfg.parallel && m > mc {
+        rt_par::par_chunks_mut(out, mc * n, |blk, out_blk| run(blk, out_blk));
+    } else {
+        for (blk, out_blk) in out.chunks_mut((mc * n).max(1)).enumerate() {
+            run(blk, out_blk);
+        }
+    }
+}
+
+/// A fully packed `op(A)` (all row panels), reusable across many gemm
+/// calls — the conv layers pack the weight matrix **once per batch**
+/// and reuse it for every sample's implicit-GEMM product.
+pub struct PackedA {
+    data: pool::Lease,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// Packs all of `op(A)` (`m × k` effective) into micro-panels.
+    pub fn pack(av: &[f32], m: usize, k: usize, trans_a: bool) -> PackedA {
+        let mut data = pool::lease(m.div_ceil(MR) * MR * k);
+        pack_a_block(&mut data, av, m, k, trans_a, 0, m);
+        PackedA { data, m, k }
+    }
+
+    /// Effective rows `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Effective depth `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Serial packed gemm with a reusable packed `A` and a raw `op(B)`
+/// slice (packed internally, pooled). Used per sample inside conv's
+/// batch fan-out, where the surrounding rt-par region owns parallelism.
+pub fn gemm_a_prepacked(
+    pa: &PackedA,
+    bv: &[f32],
+    n: usize,
+    trans_b: bool,
+    acc: bool,
+    epi: Epilogue<'_>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), pa.m * n);
+    if pa.m == 0 || n == 0 {
+        return;
+    }
+    let mut bpack = pool::lease(packed_b_len(pa.k, n));
+    pack_b(&mut bpack, bv, pa.k, n, trans_b);
+    gemm_ab_prepacked(pa, &bpack, n, acc_seed(trans_b, acc), epi, out);
+}
+
+/// Serial packed gemm with both operands prepacked (`B` per
+/// [`pack_b`]'s layout contract).
+pub fn gemm_ab_prepacked(
+    pa: &PackedA,
+    bpack: &[f32],
+    n: usize,
+    acc: bool,
+    epi: Epilogue<'_>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(bpack.len(), packed_b_len(pa.k, n));
+    if pa.m == 0 || n == 0 {
+        return;
+    }
+    // A prepacked B always corresponds to `trans_b` resolved at packing
+    // time; accumulate mode therefore seeds from C (the `trans_b=false`
+    // rule) — see `acc_seed` for the caller-facing mapping.
+    let seed = if acc { Seed::FromC } else { Seed::Zero };
+    compute_block(out, 0, pa.m, pa.k, n, &pa.data, bpack, seed, &epi);
+}
+
+/// Maps a caller's `(trans_b, acc)` pair onto [`gemm_ab_prepacked`]'s
+/// seed flag: the legacy `trans_b = true` kernels combine at store
+/// time, which `FromC` seeding reproduces **only** when no term is
+/// zero-skipped after a `-0.0` partial sum — so `gemm_a_prepacked`
+/// keeps the exact store-time combine by translating here.
+fn acc_seed(trans_b: bool, acc: bool) -> bool {
+    // Seed-from-C and store-time-add produce identical bits only for
+    // trans_b = false; for trans_b = true the store-time `+=` is the
+    // legacy order, which `gemm_a_prepacked` handles via `gemm`'s full
+    // seed table. Callers of the prepacked-A path use overwrite or
+    // trans_b = false accumulation exclusively.
+    debug_assert!(!(trans_b && acc), "prepacked-A path: acc requires trans_b = false");
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Verbatim replica of the legacy `linalg::gemm` float semantics
+    /// over raw slices (zero-skip on A, per-variant accumulator
+    /// handling) — the bit-identity oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn legacy_gemm(
+        av: &[f32],
+        bv: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        trans_a: bool,
+        trans_b: bool,
+        acc: bool,
+        out: &mut [f32],
+    ) {
+        if !acc && !trans_b {
+            out.fill(0.0);
+        }
+        let a_at = |i: usize, p: usize| if trans_a { av[p * m + i] } else { av[i * k + p] };
+        if !trans_b {
+            for i in 0..m {
+                for p in 0..k {
+                    let a_ip = a_at(i, p);
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out[i * n + j] += a_ip * bv[p * n + j];
+                    }
+                }
+            }
+        } else {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut sum = 0.0;
+                    for p in 0..k {
+                        let x = a_at(i, p);
+                        if x == 0.0 {
+                            continue;
+                        }
+                        sum += x * bv[j * k + p];
+                    }
+                    if acc {
+                        out[i * n + j] += sum;
+                    } else {
+                        out[i * n + j] = sum;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic value stream with deliberate exact zeros, negative
+    /// zeros and subnormals sprinkled in — the adversarial cases for
+    /// the zero-skip/bit-identity argument.
+    fn stream(seed: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                match (x >> 60) & 0xF {
+                    0 | 1 => 0.0,
+                    2 => -0.0,
+                    3 => f32::from_bits(((x >> 32) & 0x3F) as u32), // subnormal
+                    _ => ((x >> 40) % 4096) as f32 / 512.0 - 4.0,
+                }
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn packed_matches_legacy_all_variants_and_sizes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 1),
+            (3, 1, 5),
+            (4, 16, 16),
+            (5, 9, 17),
+            (16, 33, 16),
+            (17, 16, 31),
+            (33, 48, 29),
+            (64, 64, 64),
+        ] {
+            for ta in [false, true] {
+                for tb in [false, true] {
+                    for acc in [false, true] {
+                        let av = stream(m as u64 * 31 + k as u64, m * k);
+                        let bv = stream(n as u64 * 17 + 5, k * n);
+                        let c0 = stream(9999, m * n);
+                        let mut want = c0.clone();
+                        legacy_gemm(&av, &bv, m, k, n, ta, tb, acc, &mut want);
+                        let mut got = c0.clone();
+                        gemm(
+                            &av,
+                            &bv,
+                            m,
+                            k,
+                            n,
+                            KernCfg { trans_a: ta, trans_b: tb, acc, parallel: false },
+                            Epilogue::None,
+                            &mut got,
+                        );
+                        assert_eq!(
+                            bits(&want),
+                            bits(&got),
+                            "divergence at m={m} k={k} n={n} ta={ta} tb={tb} acc={acc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_is_thread_count_invariant() {
+        let (m, k, n) = (67, 33, 41);
+        let av = stream(3, m * k);
+        let bv = stream(4, k * n);
+        rt_par::set_threads(1);
+        let mut reference = vec![0.0; m * n];
+        gemm(
+            &av,
+            &bv,
+            m,
+            k,
+            n,
+            KernCfg { trans_a: false, trans_b: false, acc: false, parallel: true },
+            Epilogue::None,
+            &mut reference,
+        );
+        for threads in [4usize, 7] {
+            rt_par::set_threads(threads);
+            let mut got = vec![0.0; m * n];
+            gemm(
+                &av,
+                &bv,
+                m,
+                k,
+                n,
+                KernCfg { trans_a: false, trans_b: false, acc: false, parallel: true },
+                Epilogue::None,
+                &mut got,
+            );
+            rt_par::set_threads(1);
+            assert_eq!(bits(&reference), bits(&got), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_unfused() {
+        let (m, k, n) = (13, 21, 19);
+        let av = stream(7, m * k);
+        let bv = stream(8, k * n);
+        let bias_col = stream(9, n);
+        let bias_row = stream(10, m);
+        // Column bias (+ReLU): gemm then add-per-column then max(0).
+        let mut want = vec![0.0; m * n];
+        legacy_gemm(&av, &bv, m, k, n, false, false, false, &mut want);
+        for i in 0..m {
+            for j in 0..n {
+                want[i * n + j] = (want[i * n + j] + bias_col[j]).max(0.0);
+            }
+        }
+        let mut got = vec![0.0; m * n];
+        gemm(
+            &av,
+            &bv,
+            m,
+            k,
+            n,
+            KernCfg { trans_a: false, trans_b: false, acc: false, parallel: false },
+            Epilogue::BiasColRelu(&bias_col),
+            &mut got,
+        );
+        assert_eq!(bits(&want), bits(&got));
+        // Row bias, no ReLU.
+        let mut want_r = vec![0.0; m * n];
+        legacy_gemm(&av, &bv, m, k, n, false, false, false, &mut want_r);
+        for i in 0..m {
+            for j in 0..n {
+                want_r[i * n + j] += bias_row[i];
+            }
+        }
+        let mut got_r = vec![0.0; m * n];
+        gemm(
+            &av,
+            &bv,
+            m,
+            k,
+            n,
+            KernCfg { trans_a: false, trans_b: false, acc: false, parallel: false },
+            Epilogue::BiasRow(&bias_row),
+            &mut got_r,
+        );
+        assert_eq!(bits(&want_r), bits(&got_r));
+    }
+
+    #[test]
+    fn prepacked_paths_match_one_shot() {
+        let (m, k, n) = (24, 40, 30);
+        let av = stream(21, m * k);
+        let bv = stream(22, k * n);
+        let mut want = vec![0.0; m * n];
+        gemm(
+            &av,
+            &bv,
+            m,
+            k,
+            n,
+            KernCfg { trans_a: false, trans_b: false, acc: false, parallel: false },
+            Epilogue::None,
+            &mut want,
+        );
+        // A prepacked once, B raw per call.
+        let pa = PackedA::pack(&av, m, k, false);
+        let mut got = vec![0.0; m * n];
+        gemm_a_prepacked(&pa, &bv, n, false, false, Epilogue::None, &mut got);
+        assert_eq!(bits(&want), bits(&got));
+        // Both prepacked.
+        let mut bpack = vec![0.0; packed_b_len(k, n)];
+        pack_b(&mut bpack, &bv, k, n, false);
+        let mut got2 = vec![0.0; m * n];
+        gemm_ab_prepacked(&pa, &bpack, n, false, Epilogue::None, &mut got2);
+        assert_eq!(bits(&want), bits(&got2));
+        // Accumulating prepacked (trans_b = false rule: seed from C).
+        let c0 = stream(77, m * n);
+        let mut want_acc = c0.clone();
+        gemm(
+            &av,
+            &bv,
+            m,
+            k,
+            n,
+            KernCfg { trans_a: false, trans_b: false, acc: true, parallel: false },
+            Epilogue::None,
+            &mut want_acc,
+        );
+        let mut got_acc = c0.clone();
+        gemm_a_prepacked(&pa, &bv, n, false, true, Epilogue::None, &mut got_acc);
+        assert_eq!(bits(&want_acc), bits(&got_acc));
+    }
+
+    #[test]
+    fn steady_state_gemm_leases_are_allocation_free() {
+        crate::pool::set_enabled(true);
+        let (m, k, n) = (32, 32, 32);
+        let av = stream(1, m * k);
+        let bv = stream(2, k * n);
+        let mut out = vec![0.0; m * n];
+        let cfg = KernCfg { trans_a: false, trans_b: false, acc: false, parallel: false };
+        gemm(&av, &bv, m, k, n, cfg, Epilogue::None, &mut out); // warm
+        crate::pool::reset_thread_stats();
+        gemm(&av, &bv, m, k, n, cfg, Epilogue::None, &mut out);
+        let s = crate::pool::thread_stats();
+        assert_eq!(s.misses, 0, "second identical gemm must not allocate");
+        assert!(s.hits >= 2, "panel buffers should lease from the pool");
+    }
+}

@@ -9,6 +9,11 @@
 //!   and in-place variants of the hot-path operations.
 //! * [`linalg`]: matrix multiplication (`sgemm`-style with accumulate) and
 //!   2-D transposes, used by the linear layers and by im2col convolution.
+//! * [`kern`]: cache-blocked, panel-packed GEMM micro-kernels — the fast
+//!   path behind [`linalg::gemm`], bit-identical to the legacy loops
+//!   (`RT_KERN=0` falls back).
+//! * [`pool`]: the process-wide, thread-sharded scratch-buffer pool that
+//!   makes steady-state train/infer steps allocation-free.
 //! * [`conv`]: `im2col`/`col2im` lowering plus max/average pooling forward
 //!   and backward kernels for NCHW activations.
 //! * [`reduce`]: full and row-wise reductions (sum/mean/max/argmax).
@@ -31,7 +36,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `kern::simd` micro-kernel dispatch is
+// the crate's single sanctioned `unsafe` surface (a runtime-checked
+// `#[target_feature]` call — see its module docs for the soundness and
+// bit-identity argument). Everything else stays safe; new `unsafe` needs
+// an explicit, reviewed `#[allow]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -39,7 +49,9 @@ mod tensor;
 
 pub mod conv;
 pub mod init;
+pub mod kern;
 pub mod linalg;
+pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod special;

@@ -37,8 +37,20 @@
 //! count), every tile owns a disjoint row range of `C`, and within a tile
 //! the float-operation order is exactly the serial kernel's — so results are
 //! bit-identical for every `RT_THREADS` setting, including 1.
+//!
+//! # Kernel dispatch
+//!
+//! Shapes past [`crate::kern::worth_packing`]'s threshold run on the
+//! cache-blocked packed micro-kernels in [`crate::kern`]; small shapes
+//! stay on the legacy in-place loops below, whose packing passes would
+//! cost more than they save. The packed kernels replicate the zero-skip
+//! and per-element accumulation order exactly, so **both kernels produce
+//! identical bytes for every input** — the dispatch (and the `RT_KERN=0`
+//! kill-switch, plus [`gemm_via`]'s explicit override) can never change
+//! results, only wall-clock time. `bench_kernels` gates on both the
+//! bit-identity and the packed kernel's speedup.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{kern, Result, Tensor, TensorError};
 
 fn as_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.ndim() != 2 {
@@ -139,6 +151,29 @@ fn row_tile(m: usize, k: usize, n: usize) -> usize {
 /// # }
 /// ```
 pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
+    gemm_via(Kernel::Auto, a, b, cfg, out)
+}
+
+/// Kernel selector for [`gemm_via`]: both kernels produce identical
+/// bytes, so this only trades wall-clock time (benches and bit-identity
+/// proptests pin each side explicitly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Packed micro-kernels when enabled and worth it, legacy otherwise.
+    #[default]
+    Auto,
+    /// Force the cache-blocked packed path ([`crate::kern`]).
+    Packed,
+    /// Force the legacy in-place loops.
+    Legacy,
+}
+
+/// [`gemm`] with an explicit kernel choice — see [`Kernel`].
+///
+/// # Errors
+///
+/// Exactly as [`gemm`].
+pub fn gemm_via(kernel: Kernel, a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
     let (ar, ac) = as_matrix(a, "gemm")?;
     let (br, bc) = as_matrix(b, "gemm")?;
     let (m, k) = if cfg.trans_a { (ac, ar) } else { (ar, ac) };
@@ -155,6 +190,29 @@ pub fn gemm(a: &Tensor, b: &Tensor, cfg: Gemm, out: &mut Tensor) -> Result<()> {
             rhs: vec![m, n],
             op: "gemm",
         });
+    }
+    let use_packed = match kernel {
+        Kernel::Packed => true,
+        Kernel::Legacy => false,
+        Kernel::Auto => kern::enabled() && kern::worth_packing(m, k, n),
+    };
+    if use_packed {
+        kern::gemm(
+            a.data(),
+            b.data(),
+            m,
+            k,
+            n,
+            kern::KernCfg {
+                trans_a: cfg.trans_a,
+                trans_b: cfg.trans_b,
+                acc: cfg.acc,
+                parallel: true,
+            },
+            kern::Epilogue::None,
+            out.data_mut(),
+        );
+        return Ok(());
     }
     let av = a.data();
     let bv = b.data();

@@ -1,0 +1,487 @@
+//! Process-wide, thread-sharded `f32` buffer pool.
+//!
+//! Every hot-path scratch allocation in the execution engine — gemm
+//! panel packing (`kern`), im2col/col2im staging (`conv`), per-sample
+//! layer scratch (rt-nn) — leases its buffer from this pool instead of
+//! calling `Vec::with_capacity`. After a warm-up step, a steady-state
+//! train/infer iteration touches the allocator **zero** times: every
+//! `take` is served from a recycled buffer of the exact same length
+//! (enforced by the `pool_steady_state` test in rt-nn and the `ci.sh`
+//! allocation lint).
+//!
+//! # Design
+//!
+//! * **Thread-sharded.** Each thread owns a private free-list shard
+//!   (`thread_local!`), so `take`/`put` are lock-free and never contend.
+//!   Worker threads in the rt-par pool warm their own shards; a buffer
+//!   is recycled on whichever thread releases it.
+//! * **Exact-length keying.** A buffer is only reused for a request of
+//!   its exact length. The execution engine's shapes are stable across
+//!   steps, so exact keying hits ~100% in steady state while keeping
+//!   the lease semantics trivial (no slack capacity to reason about).
+//! * **Determinism.** [`take`] returns a buffer with *unspecified*
+//!   contents (callers overwrite every element — e.g. gemm panel
+//!   packing writes every slot including padding); [`take_zeroed`]
+//!   zero-fills recycled buffers so reuse is indistinguishable from a
+//!   fresh allocation. Pool state therefore never influences numerics,
+//!   and results stay byte-identical with the pool disabled
+//!   (`RT_POOL=0`).
+//! * **Bounded.** Per-length free lists keep at most [`MAX_PER_LEN`]
+//!   buffers and each shard caps its cached bytes (default 64 MiB,
+//!   `RT_POOL_MAX_MB` overrides); beyond that, `put` simply drops.
+//!
+//! # Env knobs
+//!
+//! | var | default | effect |
+//! |-----|---------|--------|
+//! | `RT_POOL` | `1` | `0`/`false`/`off` disables recycling (every take allocates, every put drops) |
+//! | `RT_POOL_MAX_MB` | `64` | per-thread cap on cached (idle) pool bytes |
+//!
+//! # Telemetry
+//!
+//! The pool counts hits/misses/leased bytes in process-wide atomics
+//! (readable via [`stats`], reset via [`reset_stats`]) and exposes a
+//! fn-pointer [`PoolObserver`] mirroring `rt_par::set_observer`: rt-obs
+//! sits *above* rt-tensor in the crate graph, so the telemetry layer
+//! injects plain fn pointers (see `rt_obs::install_pool_observer`) that
+//! feed the `pool.hits` / `pool.misses` / `pool.bytes_leased` counters
+//! and the `mem.peak_pool_bytes` gauge.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Maximum recycled buffers cached per exact length, per thread shard.
+pub const MAX_PER_LEN: usize = 8;
+
+/// Default per-thread cap on cached pool bytes (overridable via
+/// `RT_POOL_MAX_MB`).
+pub const DEFAULT_MAX_SHARD_BYTES: usize = 64 << 20;
+
+// ---------------------------------------------------------------------------
+// Observer (telemetry injection point)
+// ---------------------------------------------------------------------------
+
+/// Telemetry hooks, injected once by the observability layer.
+///
+/// Plain fn pointers (no capture, no allocation) so firing a hook is a
+/// direct call; rt-tensor cannot depend on rt-obs, so the wiring runs in
+/// the opposite direction (`rt_obs::install_pool_observer`).
+#[derive(Clone, Copy)]
+pub struct PoolObserver {
+    /// A lease was served from a recycled buffer (`bytes` leased).
+    pub on_hit: fn(bytes: u64),
+    /// A lease required a fresh allocation (`bytes` allocated).
+    pub on_miss: fn(bytes: u64),
+    /// Outstanding leased bytes reached a new process-wide peak.
+    pub on_peak: fn(bytes: u64),
+}
+
+static OBSERVER: OnceLock<PoolObserver> = OnceLock::new();
+
+/// Installs the process-wide pool observer. First call wins; returns
+/// whether this call installed it.
+pub fn set_observer(obs: PoolObserver) -> bool {
+    OBSERVER.set(obs).is_ok()
+}
+
+#[inline]
+fn observer() -> Option<&'static PoolObserver> {
+    OBSERVER.get()
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYTES_LEASED: AtomicU64 = AtomicU64::new(0);
+static CUR_LEASED: AtomicU64 = AtomicU64::new(0);
+static PEAK_LEASED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases served from a recycled buffer.
+    pub hits: u64,
+    /// Leases that had to allocate.
+    pub misses: u64,
+    /// Cumulative bytes leased (hits + misses).
+    pub bytes_leased: u64,
+    /// High-water mark of simultaneously leased bytes.
+    pub peak_bytes: u64,
+}
+
+/// Reads the process-wide counters (relaxed; exact once quiescent).
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bytes_leased: BYTES_LEASED.load(Ordering::Relaxed),
+        peak_bytes: PEAK_LEASED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the counters (cached buffers stay warm). Test/bench helper:
+/// warm up, reset, run a step, then assert `stats().misses == 0`.
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    BYTES_LEASED.store(0, Ordering::Relaxed);
+    CUR_LEASED.store(0, Ordering::Relaxed);
+    PEAK_LEASED.store(0, Ordering::Relaxed);
+}
+
+/// Per-thread hit/miss counters — race-free by construction, so tests
+/// can assert exact values even while unrelated test threads use the
+/// pool concurrently (the process-wide [`stats`] would race).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadPoolStats {
+    /// Leases served from this thread's shard.
+    pub hits: u64,
+    /// Leases on this thread that had to allocate.
+    pub misses: u64,
+}
+
+/// Reads the calling thread's hit/miss counters.
+pub fn thread_stats() -> ThreadPoolStats {
+    SHARD.with(|s| {
+        let shard = s.borrow();
+        ThreadPoolStats {
+            hits: shard.t_hits,
+            misses: shard.t_misses,
+        }
+    })
+}
+
+/// Zeroes the calling thread's hit/miss counters.
+pub fn reset_thread_stats() {
+    SHARD.with(|s| {
+        let mut shard = s.borrow_mut();
+        shard.t_hits = 0;
+        shard.t_misses = 0;
+    });
+}
+
+#[inline]
+fn note_take(len: usize, hit: bool) {
+    let bytes = (len * std::mem::size_of::<f32>()) as u64;
+    if hit {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    BYTES_LEASED.fetch_add(bytes, Ordering::Relaxed);
+    let cur = CUR_LEASED.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    let peak = PEAK_LEASED.fetch_max(cur, Ordering::Relaxed);
+    if let Some(obs) = observer() {
+        if hit {
+            (obs.on_hit)(bytes);
+        } else {
+            (obs.on_miss)(bytes);
+        }
+        if cur > peak {
+            (obs.on_peak)(cur);
+        }
+    }
+}
+
+#[inline]
+fn note_put(len: usize) {
+    let bytes = (len * std::mem::size_of::<f32>()) as u64;
+    // Saturating: a buffer `put` without a matching `take` (allowed —
+    // callers may donate) must not underflow the outstanding gauge.
+    let _ = CUR_LEASED.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+        Some(cur.saturating_sub(bytes))
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Env gates
+// ---------------------------------------------------------------------------
+
+/// 0 = unresolved, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether recycling is on (`RT_POOL`, default on). With the pool off,
+/// `take` always allocates and `put` drops — the allocation-free hot
+/// path degrades to per-call allocation with identical numerics.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = match std::env::var("RT_POOL") {
+                Ok(v) => {
+                    let v = v.trim().to_ascii_lowercase();
+                    !(v == "0" || v == "false" || v == "off")
+                }
+                Err(_) => true,
+            };
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Test hook: force the pool on/off, overriding `RT_POOL`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+static MAX_SHARD_BYTES: OnceLock<usize> = OnceLock::new();
+
+fn max_shard_bytes() -> usize {
+    *MAX_SHARD_BYTES.get_or_init(|| {
+        std::env::var("RT_POOL_MAX_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|mb| mb << 20)
+            .unwrap_or(DEFAULT_MAX_SHARD_BYTES)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Shard {
+    by_len: HashMap<usize, Vec<Vec<f32>>>,
+    cached_bytes: usize,
+    t_hits: u64,
+    t_misses: u64,
+}
+
+thread_local! {
+    static SHARD: RefCell<Shard> = RefCell::new(Shard::default());
+}
+
+/// Leases a buffer of exactly `len` elements with **unspecified**
+/// contents (recycled buffers keep their old bytes; fresh allocations
+/// are zeroed). Callers must overwrite every element they read.
+pub fn take(len: usize) -> Vec<f32> {
+    take_inner(len, false)
+}
+
+/// Leases a buffer of exactly `len` elements, zero-filled — recycled or
+/// fresh, indistinguishable from `vec![0.0; len]`.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    take_inner(len, true)
+}
+
+fn take_inner(len: usize, zero: bool) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if enabled() {
+        let recycled = SHARD.with(|s| {
+            let mut shard = s.borrow_mut();
+            let buf = shard.by_len.get_mut(&len).and_then(Vec::pop);
+            if let Some(ref b) = buf {
+                shard.cached_bytes = shard
+                    .cached_bytes
+                    .saturating_sub(b.len() * std::mem::size_of::<f32>());
+                shard.t_hits += 1;
+            }
+            buf
+        });
+        if let Some(mut buf) = recycled {
+            debug_assert_eq!(buf.len(), len);
+            if zero {
+                buf.fill(0.0);
+            }
+            note_take(len, true);
+            return buf;
+        }
+    }
+    SHARD.with(|s| s.borrow_mut().t_misses += 1);
+    note_take(len, false);
+    vec![0.0; len]
+}
+
+/// Returns a buffer to the calling thread's shard for reuse. Buffers
+/// over the shard caps (or with the pool disabled) are dropped.
+pub fn put(buf: Vec<f32>) {
+    let len = buf.len();
+    if len == 0 {
+        return;
+    }
+    note_put(len);
+    if !enabled() {
+        return;
+    }
+    let bytes = len * std::mem::size_of::<f32>();
+    SHARD.with(|s| {
+        let mut shard = s.borrow_mut();
+        if shard.cached_bytes + bytes > max_shard_bytes() {
+            return; // drop: over the shard byte cap
+        }
+        let list = shard.by_len.entry(len).or_default();
+        if list.len() >= MAX_PER_LEN {
+            return; // drop: enough spares of this length already
+        }
+        list.push(buf);
+        shard.cached_bytes += bytes;
+    });
+}
+
+/// Drops every buffer cached by the *calling* thread's shard. Other
+/// threads' shards are untouched (they drain when those threads exit).
+pub fn clear_thread() {
+    SHARD.with(|s| {
+        let mut shard = s.borrow_mut();
+        shard.by_len.clear();
+        shard.cached_bytes = 0;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// RAII lease
+// ---------------------------------------------------------------------------
+
+/// An RAII pool lease: derefs to `[f32]` and returns the buffer to the
+/// pool on drop, so early returns and `?` propagation cannot leak a
+/// buffer out of circulation.
+pub struct Lease {
+    buf: Option<Vec<f32>>,
+}
+
+impl Lease {
+    /// Detaches the underlying `Vec` (it will not return to the pool on
+    /// drop; hand it back manually with [`put`] if desired).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        self.buf.take().unwrap_or_default()
+    }
+}
+
+impl Deref for Lease {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.buf.as_deref().unwrap_or(&[])
+    }
+}
+
+impl DerefMut for Lease {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.buf.as_deref_mut().unwrap_or(&mut [])
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            put(buf);
+        }
+    }
+}
+
+/// [`take`] wrapped in an RAII [`Lease`] (unspecified contents).
+pub fn lease(len: usize) -> Lease {
+    Lease {
+        buf: Some(take(len)),
+    }
+}
+
+/// [`take_zeroed`] wrapped in an RAII [`Lease`].
+pub fn lease_zeroed(len: usize) -> Lease {
+    Lease {
+        buf: Some(take_zeroed(len)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that toggle the process-wide `set_enabled` gate:
+    /// a disabled window observed by a concurrent test would turn its
+    /// hits into misses.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn recycles_exact_lengths_and_zero_fills() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear_thread();
+        let mut a = take(16);
+        a.iter_mut().for_each(|x| *x = 7.0);
+        put(a);
+        // Dirty reuse: same length comes back with old bytes.
+        let b = take(16);
+        assert_eq!(b[0], 7.0);
+        put(b);
+        // Zeroed reuse: indistinguishable from fresh.
+        let c = take_zeroed(16);
+        assert!(c.iter().all(|&x| x == 0.0));
+        put(c);
+        // Different length never matches.
+        let d = take(17);
+        assert!(d.iter().all(|&x| x == 0.0));
+        put(d);
+        clear_thread();
+    }
+
+    #[test]
+    fn steady_state_is_hit_only() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear_thread();
+        for len in [64usize, 256, 1024] {
+            put(take(len)); // warm
+        }
+        reset_thread_stats();
+        for len in [64usize, 256, 1024] {
+            put(take(len));
+        }
+        let s = thread_stats();
+        assert_eq!(s.misses, 0, "warm pool must not allocate");
+        assert_eq!(s.hits, 3);
+        clear_thread();
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        clear_thread();
+        put(take(32));
+        reset_thread_stats();
+        let b = take(32);
+        assert_eq!(thread_stats().misses, 1);
+        put(b);
+        set_enabled(true);
+        clear_thread();
+    }
+
+    #[test]
+    fn lease_returns_on_drop() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear_thread();
+        {
+            let mut l = lease_zeroed(48);
+            l[0] = 1.0;
+        }
+        reset_thread_stats();
+        let l = lease(48);
+        assert_eq!(thread_stats().hits, 1);
+        drop(l);
+        clear_thread();
+    }
+
+    #[test]
+    fn zero_len_is_free() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        reset_thread_stats();
+        let b = take(0);
+        assert!(b.is_empty());
+        put(b);
+        let s = thread_stats();
+        assert_eq!(s.hits + s.misses, 0);
+    }
+}

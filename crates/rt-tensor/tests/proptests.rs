@@ -307,3 +307,98 @@ proptest! {
         })?;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Packed-kernel equivalence: the rt_tensor::kern contract. The cache-blocked
+// packed GEMM must reproduce the legacy kernels' bytes exactly for every
+// transpose/accumulate variant, and the pooled conv lowering must be
+// insensitive to dirty reused buffers.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every `(trans_a, trans_b, acc)` variant of the packed kernel must
+    /// produce the legacy kernel's bytes exactly, at a serial and a
+    /// parallel pool. Sizes straddle `kern::worth_packing`'s threshold,
+    /// so both the micro-kernel interior and the edge-tile paths run.
+    #[test]
+    fn packed_gemm_is_bit_identical_to_legacy(
+        m in 1usize..=64, k in 1usize..=64, n in 1usize..=64,
+        ta in proptest::bool::ANY, tb in proptest::bool::ANY,
+        acc in proptest::bool::ANY, seed in any::<u64>(),
+    ) {
+        let (ra, ca) = if ta { (k, m) } else { (m, k) };
+        let (rb, cb) = if tb { (n, k) } else { (k, n) };
+        let a = Tensor::from_vec(vec![ra, ca], stream(seed, ra * ca)).unwrap();
+        let b = Tensor::from_vec(vec![rb, cb], stream(seed ^ 0xABCD, rb * cb)).unwrap();
+        // acc=true reads the initial C, so both kernels must start from
+        // the same bytes; acc=false must overwrite them regardless.
+        let c0 = Tensor::from_vec(vec![m, n], stream(seed ^ 0x1EE7, m * n)).unwrap();
+        let cfg = Gemm { trans_a: ta, trans_b: tb, acc };
+        for threads in [1usize, 4] {
+            rt_par::set_threads(threads);
+            let mut run = |kernel| {
+                let mut out = c0.clone();
+                linalg::gemm_via(kernel, &a, &b, cfg, &mut out).unwrap();
+                out.into_vec()
+            };
+            let legacy: Vec<u32> = run(linalg::Kernel::Legacy).iter().map(|v| v.to_bits()).collect();
+            let packed: Vec<u32> = run(linalg::Kernel::Packed).iter().map(|v| v.to_bits()).collect();
+            rt_par::set_threads(1);
+            prop_assert_eq!(
+                &packed, &legacy,
+                "threads={} ta={} tb={} acc={}", threads, ta, tb, acc
+            );
+        }
+    }
+
+    /// The full conv forward (packed implicit-GEMM or legacy im2col,
+    /// whichever dispatch picks for the shape) must equal an independently
+    /// lowered im2col → legacy-GEMM → bias reference, and a second call —
+    /// which leases the now-dirty pooled buffers — must not change a byte.
+    #[test]
+    fn conv_forward_matches_im2col_reference_and_pool_reuse(
+        bn in 1usize..=3, c in 1usize..=3, co in 1usize..=8, hw in 4usize..=12,
+        with_bias in proptest::bool::ANY, seed in any::<u64>(),
+    ) {
+        let x = Tensor::from_vec(vec![bn, c, hw, hw], stream(seed, bn * c * hw * hw)).unwrap();
+        let w = Tensor::from_vec(vec![co, c * 9], stream(seed ^ 0x55, co * c * 9)).unwrap();
+        let bias = stream(seed ^ 0xB1A5, co);
+        let bias_opt = if with_bias { Some(&bias[..]) } else { None };
+        let geo = conv::ConvGeometry::new(3, 1, 1);
+        let plane = {
+            let oh = geo.out_dim(hw).unwrap();
+            oh * oh
+        };
+        let mut reference = Vec::with_capacity(bn * co * plane);
+        for s in 0..bn {
+            let sample = &x.data()[s * c * hw * hw..(s + 1) * c * hw * hw];
+            let cols = conv::im2col_single(sample, c, hw, hw, geo).unwrap();
+            let mut out_s = Tensor::zeros(&[co, plane]);
+            linalg::gemm_via(linalg::Kernel::Legacy, &w, &cols, Gemm::new(), &mut out_s).unwrap();
+            let mut out_s = out_s.into_vec();
+            if let Some(b) = bias_opt {
+                for (ch, &bv) in b.iter().enumerate() {
+                    for v in &mut out_s[ch * plane..(ch + 1) * plane] {
+                        *v += bv;
+                    }
+                }
+            }
+            reference.extend(out_s);
+        }
+        let reference: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+        for threads in [1usize, 4] {
+            rt_par::set_threads(threads);
+            let mut run = || -> Vec<u32> {
+                let out = conv::conv2d_forward(&x, &w, bias_opt, geo).unwrap();
+                out.into_vec().iter().map(|v| v.to_bits()).collect()
+            };
+            let first = run();
+            let again = run();
+            rt_par::set_threads(1);
+            prop_assert_eq!(&first, &reference, "threads={}", threads);
+            prop_assert_eq!(&again, &reference, "pool reuse diverged at threads={}", threads);
+        }
+    }
+}
