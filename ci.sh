@@ -79,6 +79,26 @@ echo "== kernel gates (packed speedup + bit-identity, supervision overhead) =="
 cargo run --release -p rt-bench --bin bench_kernels -- --quick --reps 3 \
     --out target/BENCH_kernels_ci.json --no-history
 
+echo "== pipeline gate (prefetch + activation cache: bit-identity + speedup) =="
+# bench_pipeline trains a frozen-prefix finetune workload under all eight
+# {RT_PREFETCH, RT_ACT_CACHE_MB, RT_THREADS in {1,4}} combinations and
+# exits nonzero if any diverges from the all-off serial reference, or if
+# the steady-state (epochs 2+) epoch throughput with both features on is
+# below 1.3x the all-off baseline. The CI-local history append proves it
+# feeds the perf-trend pipeline; the JSON must record bit_identical=true.
+rm -f target/BENCH_pipeline_history_ci.jsonl
+cargo run --release -p rt-bench --bin bench_pipeline -- --quick --reps 2 \
+    --out target/BENCH_pipeline_ci.json --history target/BENCH_pipeline_history_ci.jsonl
+if [[ ! -s target/BENCH_pipeline_history_ci.jsonl ]]; then
+    echo "bench_pipeline did not append to the benchmark history"
+    exit 1
+fi
+if ! grep -q '"bit_identical": true' target/BENCH_pipeline_ci.json; then
+    echo "bench_pipeline report does not record bit_identical=true"
+    exit 1
+fi
+rm -f target/BENCH_pipeline_history_ci.jsonl
+
 echo "== perf trend gate (bench_trend over a fresh two-run history) =="
 # Self-seeded and fully offline: two bench_kernels runs populate a
 # CI-local history, bench_trend must pass on the genuine second run (the
@@ -205,6 +225,27 @@ if [[ -n "$allocs" ]]; then
     echo "rt_tensor::pool (take/take_zeroed/lease + put) so the steady-state"
     echo "training step stays allocation-free:"
     echo "$allocs"
+    exit 1
+fi
+
+echo "== loader discipline (training epochs route through PrefetchLoader) =="
+# The finetune pipeline's determinism + zero-alloc contract lives in
+# rt_data::PrefetchLoader (persistent permutation buffer, pool-leased
+# batch buffers, deterministic staging). Direct dataset iteration inside
+# the training loop would bypass the prefetch/cache path and silently
+# fork the epoch semantics — the loop must consume batches only via the
+# loader API. Comments are skipped so docs may name the legacy entry
+# points.
+rawiter=$(grep -rnHE 'shuffled_batches|\.batches\(' \
+    crates/rt-transfer/src/training.rs \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' \
+    || true)
+if [[ -n "$rawiter" ]]; then
+    echo "direct dataset iteration in rt-transfer::training — epochs must"
+    echo "consume batches through rt_data::PrefetchLoader (begin_epoch /"
+    echo "next_batch / release) so prefetch, caching, and the zero-alloc"
+    echo "contract stay on one code path:"
+    echo "$rawiter"
     exit 1
 fi
 

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Schema version of `BENCH_kernels.json`.
-const BENCH_VERSION: u32 = 2;
+const BENCH_VERSION: u32 = 3;
 
 /// Ceiling on the supervised-over-baseline slowdown of the GEMM and conv
 /// workloads, in percent.
@@ -166,6 +166,11 @@ struct Report {
     reps: usize,
     quick: bool,
     host_parallelism: usize,
+    /// True when the host had one core (since `v: 3`): the thread sweep
+    /// was time-sliced, every `speedup_4t` is ~1.0 by construction, and
+    /// scaling numbers from this run must not baseline multi-core runs
+    /// (`bench_trend` skips `*_speedup_4t` for such entries).
+    single_core_host: bool,
     workloads: Vec<Workload>,
     /// Packed-kernel acceptance measurement (gated).
     packed_gemm: PackedGemm,
@@ -443,6 +448,15 @@ fn main() {
         .map(|o| o.overhead_pct)
         .fold(f64::NEG_INFINITY, f64::max);
 
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if host_parallelism == 1 {
+        rt_obs::console!(
+            "[bench] single-core host: thread-scaling numbers are time-sliced (flat ~1.0x) \
+             and exempt from trend gating"
+        );
+    }
     let report = Report {
         v: BENCH_VERSION,
         generated_unix_ms: std::time::SystemTime::now()
@@ -451,9 +465,8 @@ fn main() {
             .unwrap_or(0),
         reps: args.reps,
         quick: args.quick,
-        host_parallelism: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+        host_parallelism,
+        single_core_host: host_parallelism == 1,
         workloads: vec![gemm_wl, conv_wl, pgd_wl],
         packed_gemm,
         cancel_overhead,

@@ -1,0 +1,368 @@
+//! **bench_pipeline** — acceptance gate of the pipelined finetune engine.
+//!
+//! Times a frozen-prefix finetune workload (a frozen two-conv backbone
+//! ahead of a trainable linear head, the paper's ticket-transfer shape —
+//! the cacheable prefix covers 5 of 6 children, the backbone plus the
+//! param-free `Flatten`) with the PR-10 pipeline features on and off,
+//! and writes a machine-readable `BENCH_pipeline.json` (atomically):
+//!
+//! ```text
+//! bench_pipeline [--out BENCH_pipeline.json] [--reps N] [--quick]
+//!                [--history PATH | --no-history]
+//! ```
+//!
+//! Two numbers are gated:
+//!
+//! * **bit identity** — per-epoch losses and final parameter bytes must
+//!   be identical across every combination of `RT_PREFETCH` on/off,
+//!   `RT_ACT_CACHE_MB` 0/on, and `RT_THREADS` ∈ {1, 4} (eight configs).
+//!   Any divergence fails the run: the pipeline is a perf feature under
+//!   a hard determinism contract, never a numerics knob.
+//! * **steady-state speedup** — epochs 2+ with prefetch + activation
+//!   cache on must run at least [`PIPELINE_MIN_SPEEDUP`]× the epoch
+//!   throughput of both features off. Epoch 1 (cache population) is
+//!   excluded: the win the cache buys is *later* epochs skipping the
+//!   frozen-prefix forward entirely.
+//!
+//! Steady-state epoch time is measured as `(T(E) - T(1)) / (E - 1)` on
+//! fresh models — the epochs-1..E marginal cost — so the warm-up epoch
+//! never dilutes the gated number.
+
+use rt_bench::history::{append_history, default_history_path, repo_path, HistoryEntry};
+use rt_data::{set_prefetch_default, Dataset, FamilyConfig, TaskFamily};
+use rt_nn::layers::{Conv2d, Conv2dConfig, Flatten, Linear, Relu};
+use rt_nn::{set_act_cache_default_mb, Layer, Sequential};
+use rt_tensor::rng::rng_from_seed;
+use rt_transfer::runner::ExitCode;
+use rt_transfer::training::{train, Objective, SchedulePolicy, TrainConfig, TrainReport};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Schema version of `BENCH_pipeline.json`.
+const BENCH_VERSION: u32 = 1;
+
+/// Floor on the steady-state epoch speedup of (prefetch + activation
+/// cache) over both features off. The activation cache alone must clear
+/// this even on a single-core host — it removes the frozen-prefix
+/// forward from epochs 2+, it does not rely on overlap.
+const PIPELINE_MIN_SPEEDUP: f64 = 1.3;
+
+/// Cache capacity handed to the "features on" configs, MiB.
+const CACHE_MB: usize = 256;
+
+struct Args {
+    out: PathBuf,
+    reps: usize,
+    quick: bool,
+    history: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = repo_path("BENCH_pipeline.json");
+    let mut reps = 3usize;
+    let mut quick = false;
+    let mut history = Some(default_history_path());
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(argv.next().ok_or("--out needs a path")?),
+            "--reps" => {
+                reps = argv
+                    .next()
+                    .ok_or("--reps needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--quick" => quick = true,
+            "--history" => {
+                history = Some(PathBuf::from(argv.next().ok_or("--history needs a path")?));
+            }
+            "--no-history" => history = None,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_pipeline [--out BENCH_pipeline.json] [--reps N] [--quick] \
+                     [--history PATH | --no-history]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok(Args {
+        out,
+        reps,
+        quick,
+        history,
+    })
+}
+
+/// One (prefetch, cache, threads) combination of the bit-identity matrix.
+#[derive(Debug, Serialize)]
+struct ConfigCheck {
+    prefetch: bool,
+    cache_mb: usize,
+    threads: usize,
+    final_loss: f64,
+    /// Equal losses AND equal parameter bytes vs the all-off serial
+    /// reference.
+    matches_reference: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    v: u32,
+    generated_unix_ms: u64,
+    reps: usize,
+    quick: bool,
+    host_parallelism: usize,
+    /// True when the host had one core: the prefetch overlap cannot help
+    /// here, so the speedup below is the activation cache's alone.
+    single_core_host: bool,
+    /// Workload id: model shape, dataset size, batch size, epochs.
+    workload: String,
+    /// Frozen-prefix length found by `split_at_trainable` / total layers.
+    prefix_split: usize,
+    layers: usize,
+    /// Epoch-1 wall clock with features on (cache population + first
+    /// prefetch), best-of-reps, ms.
+    warm_epoch_ms: f64,
+    /// Steady-state (epochs 2+) epoch wall clock with features on, ms.
+    steady_epoch_ms: f64,
+    /// Steady-state epoch wall clock with both features off, ms.
+    baseline_epoch_ms: f64,
+    /// `baseline_epoch_ms / steady_epoch_ms` (gated).
+    speedup: f64,
+    /// Every config below reproduced the reference bytes (gated).
+    bit_identical: bool,
+    configs: Vec<ConfigCheck>,
+}
+
+/// The benchmark model: a frozen two-conv backbone ahead of a trainable
+/// linear head — the finetune shape the activation cache exists for. The
+/// cacheable prefix is 5 of 6 children (backbone + `Flatten`).
+fn ticket_model(seed: u64, image: usize, classes: usize) -> Sequential {
+    let mut rng = rng_from_seed(seed);
+    let mut seq = Sequential::new(vec![
+        Box::new(Conv2d::new(3, 16, Conv2dConfig::same3x3(), &mut rng).expect("conv1"))
+            as Box<dyn Layer>,
+        Box::new(Relu::new()),
+        Box::new(Conv2d::new(16, 16, Conv2dConfig::same3x3(), &mut rng).expect("conv2")),
+        Box::new(Relu::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(16 * image * image, classes, &mut rng).expect("head")),
+    ]);
+    for child in seq.children_mut()[..4].iter_mut() {
+        for p in child.params_mut() {
+            p.trainable = false;
+        }
+    }
+    seq
+}
+
+fn train_cfg(epochs: usize, batch: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: batch,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: SchedulePolicy::Constant,
+        objective: Objective::Natural,
+        seed: 42,
+    }
+}
+
+/// Exact bitwise fold of every parameter tensor — equal folds mean equal
+/// trained bytes.
+fn params_bitfold(model: &Sequential) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in model.params() {
+        for &v in p.data.data() {
+            h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Installs a feature combination process-wide.
+fn set_features(prefetch: bool, cache_mb: usize) {
+    set_prefetch_default(prefetch);
+    set_act_cache_default_mb(cache_mb);
+}
+
+/// Trains a fresh model for `epochs` and returns the report, the trained
+/// parameter fold, and the wall clock in ms.
+fn timed_train(data: &Dataset, image: usize, epochs: usize, batch: usize) -> (TrainReport, u64, f64) {
+    let mut model = ticket_model(5, image, data.num_classes());
+    let t0 = Instant::now();
+    let report = train(&mut model, data, &train_cfg(epochs, batch)).expect("train");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (report, params_bitfold(&model), ms)
+}
+
+/// Best-of-reps steady-state epoch time for the active feature set:
+/// the epochs-1..E marginal cost on fresh models, so epoch 1 (cache
+/// population) never dilutes the number. Also returns the best epoch-1
+/// time.
+fn measure_steady(
+    data: &Dataset,
+    image: usize,
+    epochs: usize,
+    batch: usize,
+    reps: usize,
+) -> (f64, f64) {
+    assert!(epochs >= 2, "steady state needs at least two epochs");
+    let mut warm = f64::INFINITY;
+    let mut steady = f64::INFINITY;
+    // One throwaway run to warm allocator pools and caches.
+    let _ = timed_train(data, image, epochs, batch);
+    for _ in 0..reps {
+        let (_, _, t1) = timed_train(data, image, 1, batch);
+        let (_, _, te) = timed_train(data, image, epochs, batch);
+        warm = warm.min(t1);
+        steady = steady.min((te - t1).max(0.0) / (epochs - 1) as f64);
+    }
+    (warm, steady)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::Usage.exit();
+        }
+    };
+    rt_obs::init_from_env();
+
+    // Workload: the paper-scale synthetic family (16×16×3, 12 classes).
+    // `--quick` shrinks samples and epochs, not the shape — the gated
+    // ratio means the same thing in CI and full runs.
+    let (samples, epochs) = if args.quick { (96, 3) } else { (256, 5) };
+    let batch = 16usize;
+    let family = TaskFamily::new(FamilyConfig::paper(), 11);
+    let task = family.source_task(samples, 8).expect("source task");
+    let data = task.train;
+    let image = FamilyConfig::paper().image_size;
+
+    let probe = ticket_model(5, image, data.num_classes());
+    let layers = probe.children().len();
+    let prefix_split = probe.split_at_trainable();
+    drop(probe);
+    assert!(
+        prefix_split * 2 >= layers,
+        "bench model must freeze at least half its layers ({prefix_split}/{layers})"
+    );
+
+    // --- Bit-identity matrix: 8 configs vs the all-off serial run. ----
+    let mut configs = Vec::new();
+    let (reference, ref_params) = {
+        rt_par::set_threads(1);
+        set_features(false, 0);
+        let (report, fold, _) = timed_train(&data, image, epochs, batch);
+        (report, fold)
+    };
+    let mut bit_identical = true;
+    for threads in [1usize, 4] {
+        rt_par::set_threads(threads);
+        for (prefetch, cache_mb) in [(false, 0), (true, 0), (false, CACHE_MB), (true, CACHE_MB)] {
+            set_features(prefetch, cache_mb);
+            let (report, fold, _) = timed_train(&data, image, epochs, batch);
+            let matches = report == reference && fold == ref_params;
+            bit_identical &= matches;
+            configs.push(ConfigCheck {
+                prefetch,
+                cache_mb,
+                threads,
+                final_loss: report.final_loss(),
+                matches_reference: matches,
+            });
+        }
+    }
+
+    // --- Throughput: steady-state epochs, features off vs on. ---------
+    rt_par::set_threads(4);
+    set_features(false, 0);
+    let (_, baseline_epoch_ms) = measure_steady(&data, image, epochs, batch, args.reps);
+    set_features(true, CACHE_MB);
+    let (warm_epoch_ms, steady_epoch_ms) = measure_steady(&data, image, epochs, batch, args.reps);
+    rt_par::set_threads(1);
+    set_features(true, 256);
+    let speedup = baseline_epoch_ms / steady_epoch_ms;
+
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let report = Report {
+        v: BENCH_VERSION,
+        generated_unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        reps: args.reps,
+        quick: args.quick,
+        host_parallelism,
+        single_core_host: host_parallelism == 1,
+        workload: format!(
+            "conv3x3_16c_prefix{prefix_split}of{layers}_n{samples}_b{batch}_e{epochs}_{image}x{image}"
+        ),
+        prefix_split,
+        layers,
+        warm_epoch_ms,
+        steady_epoch_ms,
+        baseline_epoch_ms,
+        speedup,
+        bit_identical,
+        configs,
+    };
+    rt_obs::console!(
+        "[bench] pipeline: baseline {baseline_epoch_ms:.1} ms/epoch, warm {warm_epoch_ms:.1} ms, \
+         steady {steady_epoch_ms:.1} ms/epoch ({speedup:.2}x), bit_identical={bit_identical}"
+    );
+
+    let bytes = match serde_json::to_vec_pretty(&report) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot encode report: {e}");
+            ExitCode::PersistentFailure.exit();
+        }
+    };
+    if let Err(e) = rt_nn::checkpoint::atomic_write(&args.out, &bytes) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        ExitCode::PersistentFailure.exit();
+    }
+    rt_obs::console!("[bench] wrote {}", args.out.display());
+    if let Some(hist_path) = &args.history {
+        let entry = HistoryEntry::new("bench_pipeline", args.quick)
+            .metric("pipeline_speedup", report.speedup)
+            .metric("steady_epoch_ms", report.steady_epoch_ms)
+            .metric("baseline_epoch_ms", report.baseline_epoch_ms)
+            .metric("warm_epoch_ms", report.warm_epoch_ms);
+        if let Err(e) = append_history(hist_path, &entry) {
+            eprintln!("cannot append history {}: {e}", hist_path.display());
+        } else {
+            rt_obs::console!("[bench] history += {}", hist_path.display());
+        }
+    }
+
+    if !report.bit_identical {
+        eprintln!(
+            "PIPELINE DETERMINISM VIOLATION: some prefetch/cache/thread combination diverged \
+             from the all-off serial reference (see configs in {})",
+            args.out.display()
+        );
+        ExitCode::PersistentFailure.exit();
+    }
+    if report.speedup < PIPELINE_MIN_SPEEDUP {
+        eprintln!(
+            "PIPELINE SPEEDUP VIOLATION: {:.2}x < {PIPELINE_MIN_SPEEDUP}x steady-state epoch \
+             throughput (the activation cache must pay for itself on a frozen-prefix finetune)",
+            report.speedup
+        );
+        ExitCode::PersistentFailure.exit();
+    }
+}

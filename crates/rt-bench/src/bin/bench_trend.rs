@@ -15,13 +15,19 @@
 //! Runs are grouped by `(bench, quick)` so reduced `--quick` workloads
 //! never baseline full-size ones. A bench with no prior runs is reported
 //! `skipped`, never failed — the gate self-seeds from the first two runs.
+//! Thread-scaling metrics (`*_speedup_4t`) are likewise skipped, never
+//! judged, when the latest run's `host_parallelism` is 1: a single-core
+//! host time-slices the thread sweep and pins those ratios at ~1.0, a
+//! hardware condition no code change can regress or fix.
 //!
 //! `--inject-regression 0.8` synthetically worsens the latest run's
 //! metrics by 20% (throughputs scaled down, latencies up) *after*
 //! loading — the self-test CI uses it to prove the gate actually fires.
 
 use rt_bench::history::{default_history_path, load_history, HistoryEntry};
-use rt_bench::trend::{direction_for, evaluate, Direction, Status, TrendCfg, Verdict};
+use rt_bench::trend::{
+    direction_for, evaluate, is_thread_scaling, skip, Direction, Status, TrendCfg, Verdict,
+};
 use rt_transfer::runner::ExitCode;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -145,6 +151,13 @@ fn main() {
             bench.clone()
         };
         for (key, &value) in &latest.metrics {
+            // Thread-scaling ratios are meaningless on a single-core
+            // host (flat ~1.0 by construction): skip them rather than
+            // fail a hardware condition as a code regression.
+            if latest.host_parallelism == 1 && is_thread_scaling(key) {
+                verdicts.push((label.clone(), skip(key, value)));
+                continue;
+            }
             let series: Vec<f64> = prior
                 .iter()
                 .filter_map(|e| e.metrics.get(key).copied())

@@ -67,6 +67,29 @@ pub fn direction_for(key: &str) -> Direction {
     }
 }
 
+/// True for thread-scaling metrics (`*_speedup_4t`): ratios of a
+/// 4-thread run over a 1-thread run. On a single-core host these sit at
+/// ~1.0 by construction — time-slicing cannot scale — so judging them
+/// (in either direction, against a multi-core baseline or from one)
+/// would gate on hardware, not code.
+pub fn is_thread_scaling(key: &str) -> bool {
+    key.ends_with("_speedup_4t")
+}
+
+/// A [`Status::Skipped`] verdict carrying the observed value — for
+/// metrics declared unjudgeable up front (thread scaling on a
+/// single-core host) rather than merely lacking history.
+pub fn skip(key: &str, latest: f64) -> Verdict {
+    Verdict {
+        key: key.to_string(),
+        latest,
+        baseline: 0.0,
+        band: 0.0,
+        delta_pct: 0.0,
+        status: Status::Skipped,
+    }
+}
+
 /// Gate outcome for one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -199,6 +222,18 @@ mod tests {
         assert_eq!(direction_for("torn_lines"), Direction::LowerIsBetter);
         assert_eq!(direction_for("gemm_1t_gflops"), Direction::HigherIsBetter);
         assert_eq!(direction_for("speedup"), Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn thread_scaling_keys_are_recognized_and_skippable() {
+        assert!(is_thread_scaling("gemm_96x96x96_speedup_4t"));
+        assert!(is_thread_scaling("pgd_b4_s3_speedup_4t"));
+        assert!(!is_thread_scaling("gemm_96x96x96_1t_eff_gflops"));
+        assert!(!is_thread_scaling("pipeline_speedup"));
+        let v = skip("gemm_speedup_4t", 0.99);
+        assert_eq!(v.status, Status::Skipped);
+        assert_eq!(v.latest, 0.99);
+        assert_eq!(v.baseline, 0.0);
     }
 
     #[test]

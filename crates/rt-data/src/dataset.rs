@@ -2,12 +2,18 @@ use crate::Result;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rt_tensor::Tensor;
+use std::sync::Arc;
 
 /// An in-memory labeled image dataset (NCHW images + class labels).
+///
+/// The storage is `Arc`-shared: cloning a dataset is O(1) and never copies
+/// pixels, which is what lets the [`crate::PrefetchLoader`] hand owned
+/// handles to background staging tasks without lifetime gymnastics (the
+/// crate forbids `unsafe`, so borrow erasure is not an option).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
-    images: Tensor,
-    labels: Vec<usize>,
+    images: Arc<Tensor>,
+    labels: Arc<Vec<usize>>,
     num_classes: usize,
 }
 
@@ -30,8 +36,8 @@ impl Dataset {
             "label out of range"
         );
         Dataset {
-            images,
-            labels,
+            images: Arc::new(images),
+            labels: Arc::new(labels),
             num_classes,
         }
     }
@@ -48,12 +54,18 @@ impl Dataset {
 
     /// The images, shape `[N, C, H, W]`.
     pub fn images(&self) -> &Tensor {
-        &self.images
+        self.images.as_ref()
     }
 
     /// The class labels.
     pub fn labels(&self) -> &[usize] {
-        &self.labels
+        self.labels.as_slice()
+    }
+
+    /// O(1) handles to the shared storage, for background staging tasks
+    /// that need `'static` ownership (see [`crate::PrefetchLoader`]).
+    pub(crate) fn shared_parts(&self) -> (Arc<Tensor>, Arc<Vec<usize>>) {
+        (Arc::clone(&self.images), Arc::clone(&self.labels))
     }
 
     /// Number of classes.
@@ -75,22 +87,55 @@ impl Dataset {
     pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>)> {
         let [c, h, w] = self.sample_shape();
         let sample_len = c * h * w;
-        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut data = vec![0.0f32; indices.len() * sample_len];
         let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
-            if i >= self.len() {
-                return Err(rt_tensor::TensorError::IndexOutOfBounds {
-                    index: vec![i],
-                    shape: self.images.shape().to_vec(),
-                });
-            }
-            data.extend_from_slice(&self.images.data()[i * sample_len..(i + 1) * sample_len]);
-            labels.push(self.labels[i]);
-        }
+        self.gather_into(indices, &mut data, &mut labels)?;
         Ok((
             Tensor::from_vec(vec![indices.len(), c, h, w], data)?,
             labels,
         ))
+    }
+
+    /// [`Dataset::gather`] into caller-owned storage: overwrites every
+    /// element of `out` (which must hold exactly `indices.len()` samples)
+    /// and refills `labels_out`. This is the allocation-free primitive the
+    /// [`crate::PrefetchLoader`] builds on — `out` is typically leased
+    /// from `rt_tensor::pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error if any index is out of bounds, or a shape
+    /// error if `out` has the wrong length.
+    pub fn gather_into(
+        &self,
+        indices: &[usize],
+        out: &mut [f32],
+        labels_out: &mut Vec<usize>,
+    ) -> Result<()> {
+        let [c, h, w] = self.sample_shape();
+        let sample_len = c * h * w;
+        if out.len() != indices.len() * sample_len {
+            return Err(rt_tensor::TensorError::ShapeMismatch {
+                lhs: vec![out.len()],
+                rhs: vec![indices.len() * sample_len],
+                op: "dataset.gather_into",
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.len()) {
+            return Err(rt_tensor::TensorError::IndexOutOfBounds {
+                index: vec![bad],
+                shape: self.images.shape().to_vec(),
+            });
+        }
+        gather_raw(
+            &self.images,
+            &self.labels,
+            indices,
+            sample_len,
+            out,
+            labels_out,
+        );
+        Ok(())
     }
 
     /// Returns a new dataset containing the first `n` samples.
@@ -141,10 +186,31 @@ impl Dataset {
     /// Per-class sample counts (useful for balance assertions in tests).
     pub fn class_histogram(&self) -> Vec<usize> {
         let mut hist = vec![0usize; self.num_classes];
-        for &l in &self.labels {
+        for &l in self.labels.iter() {
             hist[l] += 1;
         }
         hist
+    }
+}
+
+/// The bounds-unchecked core of [`Dataset::gather_into`], shaped so the
+/// prefetch loader's staging closure (which owns `Arc` handles, not a
+/// `Dataset`) can call it directly. Callers guarantee indices are in
+/// range and `out.len() == indices.len() * sample_len`.
+pub(crate) fn gather_raw(
+    images: &Tensor,
+    labels_src: &[usize],
+    indices: &[usize],
+    sample_len: usize,
+    out: &mut [f32],
+    labels_out: &mut Vec<usize>,
+) {
+    let src = images.data();
+    labels_out.clear();
+    for (k, &i) in indices.iter().enumerate() {
+        out[k * sample_len..(k + 1) * sample_len]
+            .copy_from_slice(&src[i * sample_len..(i + 1) * sample_len]);
+        labels_out.push(labels_src[i]);
     }
 }
 

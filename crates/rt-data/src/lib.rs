@@ -34,9 +34,11 @@ mod prototype;
 pub mod augment;
 pub mod family;
 pub mod fid;
+pub mod loader;
 pub mod seg;
 
 pub use dataset::Dataset;
+pub use loader::{prefetch_default, set_prefetch_default, Batch, PrefetchLoader};
 pub use family::{DownstreamSpec, FamilyConfig, Task, TaskFamily};
 pub use seg::SegTask;
 

@@ -1,0 +1,448 @@
+//! Double-buffered batch loading for the training loop.
+//!
+//! [`PrefetchLoader`] owns the epoch iteration protocol that
+//! `rt-transfer`'s training loop consumes: shuffle once per epoch, then
+//! hand out minibatches whose **composition is a pure function of the
+//! caller's RNG state** — bit-identical to the legacy
+//! [`Dataset::shuffled_batches`] path at any `RT_THREADS`, with or without
+//! prefetch. While the consumer trains on batch *k*, the loader stages the
+//! gather of batch *k + 1* on the `rt-par` staging thread
+//! ([`rt_par::stage`]), hiding the memory-bound copy behind compute.
+//!
+//! # Determinism contract
+//!
+//! * `begin_epoch` consumes the RNG exactly like `shuffled_batches` did
+//!   (one Fisher–Yates pass over a `0..len` permutation), so downstream
+//!   draws (PGD restarts, Gaussian noise) see an unchanged stream.
+//! * Chunk boundaries are `order.chunks(batch_size)` — identical batches,
+//!   identical order, identical bytes, whether a batch was gathered inline
+//!   or on the staging thread.
+//! * Prefetch (`RT_PREFETCH`, default on; [`PrefetchLoader::set_prefetch`])
+//!   therefore only trades latency, never results.
+//!
+//! # Allocation discipline
+//!
+//! Image buffers are leased from `rt_tensor::pool` **on the consumer
+//! thread** (the pool is thread-sharded; leasing at staging-submission
+//! time keeps take/put on one shard), and index/label vectors cycle
+//! through small free lists — a steady-state epoch performs no fresh
+//! buffer allocations once the pool is warm. Callers opt in by returning
+//! finished batches via [`PrefetchLoader::release`].
+//!
+//! # Supervision
+//!
+//! The loader never *enqueues* staging work after the ambient
+//! [`rt_par::CancelToken`] trips; an epoch already in flight keeps serving
+//! batches inline so the training loop's own batch-boundary check (which
+//! owns cancellation semantics) decides how to stop.
+
+use crate::dataset::gather_raw;
+use crate::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rt_tensor::{pool, Tensor};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One minibatch: gathered images, labels, and the source sample indices
+/// (the per-sample keys the activation cache layers on).
+#[derive(Debug)]
+pub struct Batch {
+    images: Tensor,
+    labels: Vec<usize>,
+    indices: Vec<usize>,
+}
+
+impl Batch {
+    /// The gathered images, shape `[B, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per gathered sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The dataset indices this batch was gathered from, in batch order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty (never produced by the loader).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Process-wide default for prefetching: `0`/`1` = resolved, `2` = unset.
+static PREFETCH_DEFAULT: AtomicU8 = AtomicU8::new(2);
+
+/// The process-wide prefetch default: `true` unless `RT_PREFETCH` is set
+/// to `0`/`false`/`off` (read once and cached). Tests and benchmarks
+/// should use [`set_prefetch_default`] instead of mutating the
+/// environment.
+pub fn prefetch_default() -> bool {
+    match PREFETCH_DEFAULT.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = !matches!(
+                std::env::var("RT_PREFETCH").as_deref(),
+                Ok("0") | Ok("false") | Ok("off")
+            );
+            PREFETCH_DEFAULT.store(on as u8, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the process-wide prefetch default (numerics-neutral: the
+/// loader is bit-identical either way — this only trades latency).
+pub fn set_prefetch_default(on: bool) {
+    PREFETCH_DEFAULT.store(on as u8, Ordering::Relaxed);
+}
+
+/// Double-buffered minibatch loader; see the module docs for the
+/// determinism, allocation, and supervision contracts.
+pub struct PrefetchLoader {
+    data: Dataset,
+    sample_len: usize,
+    sample_shape: [usize; 3],
+    prefetch: bool,
+    batch_size: usize,
+    /// Persistent epoch permutation, reshuffled in place every
+    /// [`PrefetchLoader::begin_epoch`] — never reallocated.
+    order: Vec<usize>,
+    /// Next un-dispensed position in `order` (batches at or past it have
+    /// been neither staged nor served).
+    cursor: usize,
+    pending: Option<rt_par::Staged<Batch>>,
+    free_labels: Vec<Vec<usize>>,
+    free_indices: Vec<Vec<usize>>,
+    wait_hist: rt_obs::Histogram,
+}
+
+impl std::fmt::Debug for PrefetchLoader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefetchLoader")
+            .field("samples", &self.data.len())
+            .field("batch_size", &self.batch_size)
+            .field("prefetch", &self.prefetch)
+            .finish()
+    }
+}
+
+impl PrefetchLoader {
+    /// Creates a loader over `data` (an O(1) shared-storage clone), with
+    /// prefetching set from [`prefetch_default`].
+    pub fn new(data: &Dataset) -> Self {
+        let sample_shape = data.sample_shape();
+        PrefetchLoader {
+            data: data.clone(),
+            sample_len: sample_shape.iter().product(),
+            sample_shape,
+            prefetch: prefetch_default(),
+            batch_size: 0,
+            order: Vec::new(),
+            cursor: 0,
+            pending: None,
+            free_labels: Vec::new(),
+            free_indices: Vec::new(),
+            wait_hist: rt_obs::histogram("data.prefetch_hit_ms"),
+        }
+    }
+
+    /// Forces prefetching on or off for this loader (numerics-neutral).
+    pub fn set_prefetch(&mut self, on: bool) {
+        self.prefetch = on;
+    }
+
+    /// Whether this loader stages batches asynchronously.
+    pub fn prefetch(&self) -> bool {
+        self.prefetch
+    }
+
+    /// The dataset this loader serves.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Starts a new epoch: reshuffles the persistent permutation with
+    /// `rng` (consuming it exactly like [`Dataset::shuffled_batches`])
+    /// and, with prefetch on, stages the first batch immediately.
+    ///
+    /// Any batch still staged from an abandoned epoch (divergence bail,
+    /// cancellation) is drained and its buffers recycled first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn begin_epoch<R: Rng>(&mut self, batch_size: usize, rng: &mut R) {
+        assert!(batch_size > 0, "batch size must be positive");
+        if let Some(staged) = self.pending.take() {
+            let stale = staged.wait();
+            self.release(stale);
+        }
+        self.batch_size = batch_size;
+        self.order.clear();
+        self.order.extend(0..self.data.len());
+        self.order.shuffle(rng);
+        self.cursor = 0;
+        if self.prefetch {
+            self.stage_next();
+        }
+    }
+
+    /// The next batch of the current epoch, or `None` when exhausted.
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        if !self.prefetch {
+            if self.cursor >= self.order.len() {
+                return None;
+            }
+            return Some(self.gather_chunk());
+        }
+        let batch = match self.pending.take() {
+            Some(staged) => {
+                let t0 = rt_obs::Stopwatch::start_if(self.wait_hist.is_active());
+                let batch = staged.wait();
+                if let Some(t0) = t0 {
+                    self.wait_hist.observe(t0.elapsed_ms());
+                }
+                batch
+            }
+            // Staging was suppressed (tripped ambient token) but the epoch
+            // is not exhausted: serve inline so the training loop's
+            // batch-boundary check owns the stop decision.
+            None if self.cursor < self.order.len() => self.gather_chunk(),
+            None => return None,
+        };
+        self.stage_next();
+        Some(batch)
+    }
+
+    /// Returns a finished batch's buffers to the loader: the image buffer
+    /// goes back to the `rt_tensor` pool and the index/label vectors to
+    /// the free lists, keeping the steady-state epoch allocation-free.
+    pub fn release(&mut self, batch: Batch) {
+        let Batch {
+            images,
+            mut labels,
+            mut indices,
+        } = batch;
+        pool::put(images.into_vec());
+        labels.clear();
+        indices.clear();
+        self.free_labels.push(labels);
+        self.free_indices.push(indices);
+    }
+
+    /// Pops (or creates) a recycled index/label vector pair.
+    fn lease_vecs(&mut self) -> (Vec<usize>, Vec<usize>) {
+        (
+            self.free_indices.pop().unwrap_or_default(),
+            self.free_labels.pop().unwrap_or_default(),
+        )
+    }
+
+    /// Claims the next chunk of `order`, advancing the cursor.
+    fn claim_chunk(&mut self) -> (Vec<usize>, Vec<usize>, usize) {
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let (mut indices, labels) = self.lease_vecs();
+        indices.extend_from_slice(&self.order[self.cursor..end]);
+        let n = end - self.cursor;
+        self.cursor = end;
+        (indices, labels, n)
+    }
+
+    /// Gathers the next chunk inline on the calling thread.
+    fn gather_chunk(&mut self) -> Batch {
+        let (indices, mut labels, n) = self.claim_chunk();
+        let mut buf = pool::take(n * self.sample_len);
+        gather_raw(
+            self.data.images(),
+            self.data.labels(),
+            &indices,
+            self.sample_len,
+            &mut buf,
+            &mut labels,
+        );
+        let [c, h, w] = self.sample_shape;
+        let images =
+            Tensor::from_vec(vec![n, c, h, w], buf).expect("gathered batch shape is consistent");
+        Batch {
+            images,
+            labels,
+            indices,
+        }
+    }
+
+    /// Stages the gather of the next chunk on the `rt-par` staging
+    /// thread. The image buffer is leased *here*, on the consumer thread,
+    /// so the pool's thread-sharded take/put pairing stays local; the
+    /// closure only fills it. No-op when the epoch is exhausted or the
+    /// ambient supervision token has tripped.
+    fn stage_next(&mut self) {
+        debug_assert!(self.pending.is_none(), "one staged batch at a time");
+        if self.cursor >= self.order.len() || rt_par::current_cancel().is_cancelled() {
+            return;
+        }
+        let (indices, labels, n) = self.claim_chunk();
+        let buf = pool::take(n * self.sample_len);
+        let (images, all_labels) = self.data.shared_parts();
+        let sample_len = self.sample_len;
+        let [c, h, w] = self.sample_shape;
+        self.pending = Some(rt_par::stage(move || {
+            let mut buf = buf;
+            let mut labels = labels;
+            gather_raw(&images, &all_labels, &indices, sample_len, &mut buf, &mut labels);
+            let images = Tensor::from_vec(vec![n, c, h, w], buf)
+                .expect("gathered batch shape is consistent");
+            Batch {
+                images,
+                labels,
+                indices,
+            }
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_tensor::rng::rng_from_seed;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 2, 3, 3], |i| i as f32 * 0.25);
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        Dataset::new(images, labels, 4)
+    }
+
+    /// Drains one epoch through the loader, releasing every batch, and
+    /// returns owned copies for comparison.
+    fn drain_epoch(
+        loader: &mut PrefetchLoader,
+        batch: usize,
+        seed: u64,
+    ) -> Vec<(Vec<f32>, Vec<usize>)> {
+        let mut rng = rng_from_seed(seed);
+        loader.begin_epoch(batch, &mut rng);
+        let mut out = Vec::new();
+        while let Some(b) = loader.next_batch() {
+            out.push((b.images().data().to_vec(), b.labels().to_vec()));
+            loader.release(b);
+        }
+        out
+    }
+
+    #[test]
+    fn loader_is_bit_identical_to_shuffled_batches() {
+        let data = dataset(23);
+        let reference = data.shuffled_batches(5, &mut rng_from_seed(7));
+        for prefetch in [false, true] {
+            let mut loader = PrefetchLoader::new(&data);
+            loader.set_prefetch(prefetch);
+            let got = drain_epoch(&mut loader, 5, 7);
+            assert_eq!(got.len(), reference.len(), "prefetch={prefetch}");
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.0, r.0.data(), "prefetch={prefetch}");
+                assert_eq!(g.1, r.1, "prefetch={prefetch}");
+            }
+        }
+    }
+
+    #[test]
+    fn rng_consumption_matches_the_legacy_path() {
+        // After one epoch, the caller's RNG must be in exactly the state
+        // shuffled_batches would have left it in — downstream draws (PGD,
+        // noise) depend on it.
+        use rand::Rng as _;
+        let data = dataset(17);
+        let mut legacy_rng = rng_from_seed(3);
+        let _ = data.shuffled_batches(4, &mut legacy_rng);
+        let mut loader = PrefetchLoader::new(&data);
+        let mut loader_rng = rng_from_seed(3);
+        loader.begin_epoch(4, &mut loader_rng);
+        assert_eq!(legacy_rng.gen::<u64>(), loader_rng.gen::<u64>());
+    }
+
+    #[test]
+    fn batches_carry_their_source_indices() {
+        let data = dataset(10);
+        let mut loader = PrefetchLoader::new(&data);
+        let mut rng = rng_from_seed(1);
+        loader.begin_epoch(3, &mut rng);
+        let mut seen: Vec<usize> = Vec::new();
+        while let Some(b) = loader.next_batch() {
+            // Index i must point at the sample whose first pixel is
+            // i * sample_len * 0.25 (from_fn fill above).
+            for (k, &i) in b.indices().iter().enumerate() {
+                assert_eq!(b.images().data()[k * 18], (i * 18) as f32 * 0.25);
+            }
+            seen.extend_from_slice(b.indices());
+            loader.release(b);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steady_state_epochs_reuse_pool_buffers() {
+        rt_par::set_threads(1);
+        pool::set_enabled(true);
+        let data = dataset(13);
+        let mut loader = PrefetchLoader::new(&data);
+        // Warm epoch caches both buffer lengths (full + tail chunk).
+        let _ = drain_epoch(&mut loader, 4, 0);
+        pool::reset_thread_stats();
+        let _ = drain_epoch(&mut loader, 4, 1);
+        let _ = drain_epoch(&mut loader, 4, 2);
+        let stats = pool::thread_stats();
+        assert!(stats.hits > 0, "batch buffers must come from the pool");
+        assert_eq!(
+            stats.misses, 0,
+            "steady-state epochs allocated fresh batch buffers"
+        );
+    }
+
+    #[test]
+    fn tripped_ambient_token_suppresses_staging_but_not_batches() {
+        let data = dataset(9);
+        let scope = rt_par::CancelScope::new();
+        scope.trip();
+        let _ambient = rt_par::with_cancel(scope.token());
+        let mut loader = PrefetchLoader::new(&data);
+        loader.set_prefetch(true);
+        let got = drain_epoch(&mut loader, 4, 5);
+        // The epoch still serves every batch (inline) — stopping is the
+        // training loop's decision, not the loader's.
+        assert_eq!(got.len(), 3);
+        let reference = data.shuffled_batches(4, &mut rng_from_seed(5));
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.0, r.0.data());
+        }
+    }
+
+    #[test]
+    fn abandoned_epoch_is_drained_on_the_next_begin() {
+        let data = dataset(12);
+        let mut loader = PrefetchLoader::new(&data);
+        loader.set_prefetch(true);
+        let mut rng = rng_from_seed(2);
+        loader.begin_epoch(4, &mut rng);
+        let first = loader.next_batch().unwrap();
+        loader.release(first);
+        // Abandon mid-epoch (a staged batch is in flight) and start over.
+        let got = drain_epoch(&mut loader, 4, 6);
+        assert_eq!(got.len(), 3);
+        let reference = data.shuffled_batches(4, &mut rng_from_seed(6));
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.0, r.0.data());
+            assert_eq!(g.1, r.1);
+        }
+    }
+}

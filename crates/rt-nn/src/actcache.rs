@@ -1,0 +1,440 @@
+//! Frozen-prefix activation cache.
+//!
+//! Finetuning a ticket re-runs the same frozen, masked backbone prefix on
+//! the same samples every epoch — the per-sample prefix outputs never
+//! change, because every layer in the prefix is a pure per-sample
+//! function ([`crate::Layer::forward_is_pure`]) of frozen parameters.
+//! [`ActCache`] stores those outputs keyed by **sample index** so epochs
+//! after the first skip the prefix forward (and backward) entirely.
+//!
+//! # Correctness by construction
+//!
+//! * **Per-sample keying.** Eligible layers produce sample `i`'s output
+//!   from sample `i`'s input alone, in a fixed floating-point order
+//!   regardless of batch composition (the GEMM kernels accumulate each
+//!   output row independently in fixed k-order). A cached slice is
+//!   therefore bit-identical to recomputation under any shuffle.
+//! * **Checksum invalidation.** The cache remembers an FNV-1a fingerprint
+//!   of the prefix (split point, every parameter's data bits, mask
+//!   presence and bits). [`ActCache::begin_epoch`] compares fingerprints
+//!   and drops everything on mismatch — a perturbed prefix weight, a
+//!   re-pruned mask, or a different split can never serve stale bytes.
+//! * **All-or-nothing assembly.** A batch is served from cache only when
+//!   *every* sample is present; otherwise the caller recomputes the whole
+//!   batch (and re-inserts), so a partially-warm cache never mixes code
+//!   paths within one batch.
+//!
+//! # Capacity
+//!
+//! `RT_ACT_CACHE_MB` caps the payload bytes (default 256 MiB; `0`
+//! disables caching entirely — the kill switch). Over-cap inserts evict
+//! least-recently-served samples; with fewer budgeted samples than the
+//! dataset the cache degrades to partial hit rates, never to wrong bytes.
+//!
+//! Observability: `cache.act_hits` / `cache.act_misses` count *samples*
+//! served / recomputed, and the `cache.act_bytes` gauge tracks residency.
+
+use crate::{Param, Sequential};
+use rt_tensor::{pool, Tensor};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Process-wide default cache capacity in MiB: `-1` = unresolved.
+static CACHE_MB_DEFAULT: AtomicI64 = AtomicI64::new(-1);
+
+/// Built-in default capacity when `RT_ACT_CACHE_MB` is unset.
+const DEFAULT_CACHE_MB: usize = 256;
+
+/// The process-wide activation-cache capacity in MiB: `RT_ACT_CACHE_MB`
+/// if set to a valid integer (0 disables caching), else 256 — read once
+/// and cached. Tests and benchmarks should use
+/// [`set_act_cache_default_mb`] instead of mutating the environment.
+pub fn act_cache_default_mb() -> usize {
+    let cur = CACHE_MB_DEFAULT.load(Ordering::Relaxed);
+    if cur >= 0 {
+        return cur as usize;
+    }
+    let mb = std::env::var("RT_ACT_CACHE_MB")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_CACHE_MB);
+    CACHE_MB_DEFAULT.store(mb as i64, Ordering::Relaxed);
+    mb
+}
+
+/// Overrides the process-wide activation-cache capacity (numerics-neutral:
+/// the cache is bit-identical to recomputation at any capacity).
+pub fn set_act_cache_default_mb(mb: usize) {
+    CACHE_MB_DEFAULT.store(mb as i64, Ordering::Relaxed);
+}
+
+/// FNV-1a over the cacheable prefix's identity: the split point and every
+/// prefix parameter's data bits, mask presence, and mask bits. Any change
+/// to what the prefix computes changes this fingerprint.
+pub fn prefix_fingerprint(seq: &Sequential, split: usize) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold_u64 = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    fold_u64(split as u64);
+    let fold_param = |fold_u64: &mut dyn FnMut(u64), p: &Param| {
+        fold_u64(p.data.len() as u64);
+        for &v in p.data.data() {
+            fold_u64(u64::from(v.to_bits()));
+        }
+        match &p.mask {
+            None => fold_u64(0),
+            Some(mask) => {
+                fold_u64(1);
+                for &v in mask.data() {
+                    fold_u64(u64::from(v.to_bits()));
+                }
+            }
+        }
+    };
+    for child in &seq.children()[..split.min(seq.len())] {
+        for p in child.params() {
+            fold_param(&mut fold_u64, p);
+        }
+    }
+    h
+}
+
+struct Entry {
+    data: Vec<f32>,
+    tick: u64,
+}
+
+/// Epoch-persistent cache of frozen-prefix activations; see the module
+/// docs for the keying, invalidation, and capacity contracts.
+pub struct ActCache {
+    capacity_bytes: usize,
+    fingerprint: Option<u64>,
+    /// Flat length of one cached sample; learned at first insert and
+    /// enforced thereafter (a shape change implies a fingerprint change,
+    /// which clears the cache first).
+    sample_len: usize,
+    /// Trailing (per-sample) shape of the cached activation.
+    sample_shape: Vec<usize>,
+    entries: HashMap<usize, Entry>,
+    /// LRU order: tick → sample index. Ticks are unique (monotone
+    /// counter), so this is a total order on residents.
+    lru: BTreeMap<u64, usize>,
+    tick: u64,
+    /// Recycled entry buffers from evictions.
+    free: Vec<Vec<f32>>,
+    hits: rt_obs::Counter,
+    misses: rt_obs::Counter,
+    bytes_gauge: rt_obs::Gauge,
+}
+
+impl std::fmt::Debug for ActCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActCache")
+            .field("entries", &self.entries.len())
+            .field("bytes", &self.bytes())
+            .field("capacity_bytes", &self.capacity_bytes)
+            .finish()
+    }
+}
+
+impl Default for ActCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActCache {
+    /// A cache with the process-wide default capacity
+    /// ([`act_cache_default_mb`]).
+    pub fn new() -> Self {
+        Self::with_capacity_mb(act_cache_default_mb())
+    }
+
+    /// A cache capped at `mb` MiB of payload; `0` disables caching.
+    pub fn with_capacity_mb(mb: usize) -> Self {
+        ActCache {
+            capacity_bytes: mb << 20,
+            fingerprint: None,
+            sample_len: 0,
+            sample_shape: Vec::new(),
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            free: Vec::new(),
+            hits: rt_obs::counter("cache.act_hits"),
+            misses: rt_obs::counter("cache.act_misses"),
+            bytes_gauge: rt_obs::gauge("cache.act_bytes"),
+        }
+    }
+
+    /// Whether the cache can hold anything (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Number of resident samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no samples are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * self.sample_len * std::mem::size_of::<f32>()
+    }
+
+    /// Declares the prefix identity for the coming epoch. A fingerprint
+    /// mismatch (perturbed weight, new mask, different split — e.g. after
+    /// an LR-rewind restore touched the prefix) drops every entry.
+    pub fn begin_epoch(&mut self, fingerprint: u64) {
+        if self.fingerprint != Some(fingerprint) {
+            if !self.entries.is_empty() {
+                rt_obs::counter("cache.act_invalidations").inc();
+            }
+            self.clear();
+            self.fingerprint = Some(fingerprint);
+        }
+    }
+
+    /// Drops every resident sample (buffers are recycled internally).
+    pub fn clear(&mut self) {
+        for (_, entry) in self.entries.drain() {
+            self.free.push(entry.data);
+        }
+        self.lru.clear();
+        self.bytes_gauge.set(0.0);
+    }
+
+    /// Serves a whole batch from cache, or `None` if any sample (or the
+    /// cache itself) is missing. On success the returned tensor — leased
+    /// from `rt_tensor::pool`; callers should `pool::put` it back — is
+    /// bit-identical to recomputing the prefix on this batch, and every
+    /// served sample's LRU position is refreshed.
+    pub fn assemble(&mut self, indices: &[usize]) -> Option<Tensor> {
+        if !self.is_enabled() || indices.is_empty() {
+            return None;
+        }
+        if !indices.iter().all(|i| self.entries.contains_key(i)) {
+            self.misses.add(indices.len() as u64);
+            return None;
+        }
+        let mut buf = pool::take(indices.len() * self.sample_len);
+        for (k, i) in indices.iter().enumerate() {
+            let entry = self.entries.get_mut(i).expect("presence checked above");
+            buf[k * self.sample_len..(k + 1) * self.sample_len].copy_from_slice(&entry.data);
+            self.lru.remove(&entry.tick);
+            entry.tick = self.tick;
+            self.lru.insert(self.tick, *i);
+            self.tick += 1;
+        }
+        self.hits.add(indices.len() as u64);
+        let mut shape = Vec::with_capacity(1 + self.sample_shape.len());
+        shape.push(indices.len());
+        shape.extend_from_slice(&self.sample_shape);
+        Some(Tensor::from_vec(shape, buf).expect("cached sample shape is consistent"))
+    }
+
+    /// Inserts a freshly-computed batch of prefix outputs (`acts` shape
+    /// `[B, ...]`, one leading batch axis). Evicts least-recently-served
+    /// samples while over capacity; samples too large for the whole
+    /// budget are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts`'s leading dimension differs from `indices.len()`,
+    /// or if its per-sample shape changes between inserts without an
+    /// intervening [`ActCache::begin_epoch`] invalidation.
+    pub fn insert(&mut self, indices: &[usize], acts: &Tensor) {
+        if !self.is_enabled() || indices.is_empty() {
+            return;
+        }
+        assert_eq!(
+            acts.shape().first().copied().unwrap_or(0),
+            indices.len(),
+            "activation batch / index count mismatch"
+        );
+        let sample_shape = &acts.shape()[1..];
+        let sample_len: usize = sample_shape.iter().product();
+        if self.entries.is_empty() && self.lru.is_empty() {
+            self.sample_len = sample_len;
+            self.sample_shape = sample_shape.to_vec();
+            // Entry buffers recycled from a differently-shaped prefix are
+            // useless now.
+            self.free.retain(|b| b.len() == sample_len);
+        } else {
+            assert_eq!(
+                self.sample_len, sample_len,
+                "prefix output shape changed without invalidation"
+            );
+        }
+        let entry_bytes = sample_len * std::mem::size_of::<f32>();
+        if entry_bytes > self.capacity_bytes {
+            return; // one sample alone blows the budget
+        }
+        let src = acts.data();
+        for (k, &i) in indices.iter().enumerate() {
+            // Refresh rather than duplicate: identical bytes by the purity
+            // contract, so only the LRU position moves.
+            if let Some(entry) = self.entries.get_mut(&i) {
+                self.lru.remove(&entry.tick);
+                entry.tick = self.tick;
+                self.lru.insert(self.tick, i);
+                self.tick += 1;
+                continue;
+            }
+            while self.bytes() + entry_bytes > self.capacity_bytes {
+                let (_, oldest) = self.lru.pop_first().expect("over-cap cache has residents");
+                let evicted = self.entries.remove(&oldest).expect("lru tracks residents");
+                self.free.push(evicted.data);
+            }
+            let mut data = self.free.pop().unwrap_or_default();
+            data.clear();
+            data.extend_from_slice(&src[k * sample_len..(k + 1) * sample_len]);
+            self.entries.insert(
+                i,
+                Entry {
+                    data,
+                    tick: self.tick,
+                },
+            );
+            self.lru.insert(self.tick, i);
+            self.tick += 1;
+        }
+        self.bytes_gauge.set(self.bytes() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::{ExecCtx, Layer};
+    use rt_tensor::rng::rng_from_seed;
+
+    fn frozen_then_head() -> Sequential {
+        let mut rng = rng_from_seed(5);
+        let mut seq = Sequential::new(vec![
+            Box::new(Linear::new(6, 8, &mut rng).unwrap()) as Box<dyn Layer>,
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 3, &mut rng).unwrap()),
+        ]);
+        for p in seq.children_mut()[0].params_mut() {
+            p.trainable = false;
+        }
+        seq
+    }
+
+    #[test]
+    fn split_covers_frozen_pure_prefix_only() {
+        let seq = frozen_then_head();
+        // Frozen linear + relu qualify; the trainable head stops the scan.
+        assert_eq!(seq.split_at_trainable(), 2);
+        let mut all_trainable = frozen_then_head();
+        for p in all_trainable.children_mut()[0].params_mut() {
+            p.trainable = true;
+        }
+        assert_eq!(all_trainable.split_at_trainable(), 0);
+    }
+
+    #[test]
+    fn assemble_round_trips_inserted_bits() {
+        let mut seq = frozen_then_head();
+        let split = seq.split_at_trainable();
+        let x = Tensor::from_fn(&[4, 6], |i| (i as f32 - 10.0) * 0.3);
+        let mid = seq.forward_prefix(&x, ExecCtx::train(), split).unwrap();
+        let mut cache = ActCache::with_capacity_mb(4);
+        cache.begin_epoch(prefix_fingerprint(&seq, split));
+        let indices = [7usize, 3, 11, 0];
+        assert!(cache.assemble(&indices).is_none(), "cold cache must miss");
+        cache.insert(&indices, &mid);
+        assert_eq!(cache.len(), 4);
+        // Same samples, different batch order: per-sample keying.
+        let shuffled = [3usize, 7, 0, 11];
+        let got = cache.assemble(&shuffled).expect("warm cache must hit");
+        for (k, &i) in shuffled.iter().enumerate() {
+            let row = indices.iter().position(|&j| j == i).unwrap();
+            let want = &mid.data()[row * 8..(row + 1) * 8];
+            let have = &got.data()[k * 8..(k + 1) * 8];
+            for (a, b) in have.iter().zip(want) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        rt_tensor::pool::put(got.into_vec());
+    }
+
+    #[test]
+    fn fingerprint_change_invalidates() {
+        let mut seq = frozen_then_head();
+        let split = seq.split_at_trainable();
+        let fp = prefix_fingerprint(&seq, split);
+        let x = Tensor::ones(&[2, 6]);
+        let mid = seq.forward_prefix(&x, ExecCtx::train(), split).unwrap();
+        let mut cache = ActCache::with_capacity_mb(4);
+        cache.begin_epoch(fp);
+        cache.insert(&[0, 1], &mid);
+        assert_eq!(cache.len(), 2);
+        // Same fingerprint: entries survive the epoch boundary.
+        cache.begin_epoch(fp);
+        assert_eq!(cache.len(), 2);
+        // Perturb one frozen weight: fingerprint moves, cache drops.
+        seq.children_mut()[0].params_mut()[0].data.data_mut()[0] += 0.5;
+        let fp2 = prefix_fingerprint(&seq, split);
+        assert_ne!(fp, fp2);
+        cache.begin_epoch(fp2);
+        assert!(cache.is_empty(), "stale entries must be dropped");
+    }
+
+    #[test]
+    fn mask_identity_is_part_of_the_fingerprint() {
+        let mut seq = frozen_then_head();
+        let split = seq.split_at_trainable();
+        let fp_unmasked = prefix_fingerprint(&seq, split);
+        let ones = Tensor::ones(&[8, 6]);
+        seq.children_mut()[0].params_mut()[0]
+            .set_mask(ones)
+            .unwrap();
+        // An all-ones mask changes no weight bytes — the fingerprint must
+        // still move (mask presence is identity).
+        assert_ne!(fp_unmasked, prefix_fingerprint(&seq, split));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_served() {
+        let mut cache = ActCache::with_capacity_mb(1);
+        // 64 KiB samples -> 16 fit in 1 MiB.
+        let n = 64 * 1024 / 4;
+        let batch = Tensor::from_fn(&[1, n], |i| i as f32);
+        cache.begin_epoch(99);
+        for i in 0..16 {
+            cache.insert(&[i], &batch);
+        }
+        assert_eq!(cache.len(), 16);
+        // Touch sample 0 so sample 1 is the LRU victim.
+        let got = cache.assemble(&[0]).unwrap();
+        rt_tensor::pool::put(got.into_vec());
+        cache.insert(&[100], &batch);
+        assert_eq!(cache.len(), 16, "insert over cap must evict, not grow");
+        assert!(cache.assemble(&[0]).is_some(), "recently served survives");
+        assert!(cache.assemble(&[1]).is_none(), "LRU victim evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let mut cache = ActCache::with_capacity_mb(0);
+        assert!(!cache.is_enabled());
+        cache.begin_epoch(1);
+        cache.insert(&[0], &Tensor::ones(&[1, 4]));
+        assert!(cache.is_empty());
+        assert!(cache.assemble(&[0]).is_none());
+    }
+}

@@ -244,6 +244,27 @@ pub trait Layer: Send {
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
         Vec::new()
     }
+
+    /// Whether **train-mode** `forward` is a pure per-sample function of
+    /// `(input, params)`: no randomness (Dropout draws a fresh mask), no
+    /// cross-sample coupling, and no state mutation beyond the backward
+    /// cache (BatchNorm mixes batch statistics into every sample and
+    /// advances its running estimates). Only pure layers may sit in a
+    /// cacheable frozen prefix (see [`crate::ActCache`]): their per-sample
+    /// outputs are reproducible from the sample alone, independent of
+    /// batch composition. Default `true` — stateful/stochastic layers
+    /// must opt out.
+    fn forward_is_pure(&self) -> bool {
+        true
+    }
+
+    /// Returns `Some` if this layer is a [`Sequential`] container, the
+    /// only shape the frozen-prefix machinery (`split_at_trainable`,
+    /// prefix/suffix execution) understands. Object-safe stand-in for
+    /// downcasting; default `None`.
+    fn as_sequential_mut(&mut self) -> Option<&mut Sequential> {
+        None
+    }
 }
 
 /// A layer that runs its children in order, threading activations forward
@@ -305,6 +326,91 @@ impl Sequential {
     /// Mutable access to the child layers.
     pub fn children_mut(&mut self) -> &mut [Box<dyn Layer>] {
         &mut self.children
+    }
+
+    /// Length of the longest cacheable frozen prefix: the run of leading
+    /// children that are pure per-sample functions
+    /// ([`Layer::forward_is_pure`]), carry no mutable buffers, and whose
+    /// parameters are all frozen (`trainable == false`, which also pins
+    /// their masks — the optimizer never touches them). Everything before
+    /// the returned index recomputes identical per-sample activations
+    /// every epoch; `0` means no cacheable prefix.
+    pub fn split_at_trainable(&self) -> usize {
+        self.children
+            .iter()
+            .position(|c| {
+                !c.forward_is_pure()
+                    || !c.buffers().is_empty()
+                    || c.params().iter().any(|p| p.trainable)
+            })
+            .unwrap_or(self.children.len())
+    }
+
+    /// Runs children `[0, split)` in order — the plain (unfused) path, so
+    /// the result is bit-identical to the corresponding segment of a
+    /// train-mode [`Layer::forward`]. With `split == 0` this is the
+    /// identity.
+    ///
+    /// # Errors
+    ///
+    /// As [`Layer::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split > self.len()`.
+    pub fn forward_prefix(&mut self, input: &Tensor, ctx: ExecCtx, split: usize) -> Result<Tensor> {
+        assert!(split <= self.children.len(), "split out of range");
+        let mut x = input.clone();
+        for child in &mut self.children[..split] {
+            x = child.forward(&x, ctx)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs children `[split, len)` in order on `mid` (the prefix output,
+    /// fresh or cache-assembled — identical bytes either way), the plain
+    /// path as in [`Sequential::forward_prefix`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Layer::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split > self.len()`.
+    pub fn forward_suffix(&mut self, mid: &Tensor, ctx: ExecCtx, split: usize) -> Result<Tensor> {
+        assert!(split <= self.children.len(), "split out of range");
+        let mut x = mid.clone();
+        for child in &mut self.children[split..] {
+            x = child.forward(&x, ctx)?;
+        }
+        Ok(x)
+    }
+
+    /// Backpropagates through children `[split, len)` only, returning the
+    /// gradient at the split boundary. Skipping the frozen prefix is
+    /// unobservable: its parameters are non-trainable, so the optimizer
+    /// zeroes (and never applies) any gradient they would have received.
+    ///
+    /// # Errors
+    ///
+    /// As [`Layer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split > self.len()`.
+    pub fn backward_suffix(
+        &mut self,
+        grad_output: &Tensor,
+        ctx: ExecCtx,
+        split: usize,
+    ) -> Result<Tensor> {
+        assert!(split <= self.children.len(), "split out of range");
+        let mut g = grad_output.clone();
+        for child in self.children[split..].iter_mut().rev() {
+            g = child.backward(&g, ctx)?;
+        }
+        Ok(g)
     }
 }
 
@@ -371,6 +477,10 @@ impl Layer for Sequential {
             .iter_mut()
             .flat_map(|c| c.buffers_mut())
             .collect()
+    }
+
+    fn as_sequential_mut(&mut self) -> Option<&mut Sequential> {
+        Some(self)
     }
 }
 

@@ -241,6 +241,12 @@ impl Layer for BatchNorm2d {
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
         vec![&mut self.running_mean, &mut self.running_var]
     }
+
+    /// Train-mode BatchNorm couples every sample to the batch statistics
+    /// and advances its running estimates — never cacheable per sample.
+    fn forward_is_pure(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

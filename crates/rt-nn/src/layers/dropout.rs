@@ -116,6 +116,11 @@ impl Layer for Dropout {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
     }
+
+    /// Train-mode dropout draws a fresh mask every call — never cacheable.
+    fn forward_is_pure(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,9 @@
 //!   gradient.
 //! * [`optim`]: SGD with momentum/weight-decay that re-applies pruning masks
 //!   after every step, plus LR schedules in [`schedule`].
+//! * [`ActCache`]: the frozen-prefix activation cache (checksum-keyed,
+//!   LRU-capped) that lets finetuning skip a frozen backbone prefix after
+//!   the first epoch, bit-identically.
 //! * [`checkpoint`]: state-dict save/load.
 //! * [`gradcheck`]: finite-difference gradient verification used throughout
 //!   the workspace's test suites.
@@ -53,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod actcache;
 mod error;
 mod layer;
 mod param;
@@ -64,6 +68,9 @@ pub mod loss;
 pub mod optim;
 pub mod schedule;
 
+pub use actcache::{
+    act_cache_default_mb, prefix_fingerprint, set_act_cache_default_mb, ActCache,
+};
 pub use error::{NnError, Rejected, RtError};
 pub use layer::{set_sparse_exec_default, sparse_exec_default, ExecCtx, Layer, Mode, Sequential};
 pub use param::{Param, ParamKind};

@@ -590,7 +590,15 @@ mod tests {
         };
         step(&mut model); // warm the pool: every buffer size gets cached
         pool::reset_thread_stats();
-        step(&mut model);
+        // Two full epochs of steps, not just one step: the zero-alloc
+        // guarantee must hold across epoch boundaries (the epoch loop
+        // reuses the same buffer sizes batch after batch, epoch after
+        // epoch).
+        for _epoch in 0..2 {
+            for _batch in 0..3 {
+                step(&mut model);
+            }
+        }
         let stats = pool::thread_stats();
         assert!(
             stats.hits > 0,
@@ -598,7 +606,7 @@ mod tests {
         );
         assert_eq!(
             stats.misses, 0,
-            "steady-state training step allocated fresh pool buffers"
+            "steady-state training epochs allocated fresh pool buffers"
         );
     }
 }

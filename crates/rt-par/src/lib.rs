@@ -70,9 +70,11 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 pub mod cancel;
+pub mod stage;
 pub mod watchdog;
 
 pub use cancel::{current_cancel, with_cancel, AmbientGuard, CancelScope, CancelToken, Cancelled};
+pub use stage::{stage, Staged};
 
 // ---------------------------------------------------------------------------
 // Observer hooks (wired to rt-obs by `rt_obs::install_par_observer`)

@@ -1,0 +1,285 @@
+//! Single-slot asynchronous staging for pipelined producers.
+//!
+//! [`stage`] hands a closure to a dedicated background thread and returns a
+//! [`Staged`] handle; [`Staged::wait`] later collects the result. The
+//! intended shape is a double-buffered pipeline: while the consumer works
+//! on item *k*, the producer closure for item *k + 1* runs off the
+//! critical path (the `rt-data` prefetch loader is the canonical user).
+//!
+//! # Determinism
+//!
+//! The closure's *result* is what matters, never *where* it ran: a staged
+//! job may execute on the background thread or be claimed by the waiting
+//! caller ([`Staged::wait`] steals still-pending jobs), and both paths
+//! produce the same bytes because the closure itself is deterministic.
+//! Staging therefore never changes numerics — it only overlaps latency.
+//!
+//! # Scheduling
+//!
+//! One lazily-spawned worker (`rt-par-stage`) drains a FIFO queue. A
+//! single thread is deliberate: staging exists to hide producer latency
+//! behind consumer compute, not to parallelise producers — the compute
+//! pool ([`crate::run_tasks`]) stays in charge of real parallelism, and a
+//! lone staging thread cannot oversubscribe it. If the worker cannot be
+//! spawned (or is busy), the claim-on-wait path keeps every pipeline
+//! live-lock free: `wait` never blocks on a job nobody is running.
+//!
+//! # Supervision
+//!
+//! The caller's ambient [`CancelToken`] at [`stage`] time is re-installed
+//! around the closure's execution, so staged work inherits cooperative
+//! cancellation exactly like pool tasks. A panic inside the closure is
+//! captured and re-thrown from [`Staged::wait`] on the consumer thread;
+//! the staging worker itself survives.
+
+use crate::cancel::{current_cancel, with_cancel, CancelToken};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Lifecycle of one staged job.
+enum State<T> {
+    /// Not yet claimed; the closure is waiting to run.
+    Pending(Box<dyn FnOnce() -> T + Send>),
+    /// Claimed by the worker or a stealing waiter; result not ready yet.
+    Running,
+    /// Finished; the value waits for [`Staged::wait`].
+    Done(T),
+    /// The closure panicked; the payload is re-thrown at [`Staged::wait`].
+    Panicked(Box<dyn Any + Send>),
+}
+
+struct Slot<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    /// The submitter's ambient supervision token, re-installed around the
+    /// closure so nested `rt-par` work inherits cancellation.
+    cancel: CancelToken,
+}
+
+/// Object-safe face of a [`Slot`] so the queue can hold mixed result types.
+trait Job: Send + Sync {
+    /// Claims and executes the job if it is still pending; no-op otherwise.
+    fn run(&self);
+}
+
+impl<T: Send> Job for Slot<T> {
+    fn run(&self) {
+        let f = {
+            let mut st = self.state.lock().expect("stage slot poisoned");
+            match std::mem::replace(&mut *st, State::Running) {
+                State::Pending(f) => f,
+                other => {
+                    // Already claimed (or finished) by the other side;
+                    // restore whatever was there and walk away.
+                    *st = other;
+                    return;
+                }
+            }
+        };
+        let _ambient = with_cancel(self.cancel);
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        let mut st = self.state.lock().expect("stage slot poisoned");
+        *st = match outcome {
+            Ok(v) => State::Done(v),
+            Err(payload) => State::Panicked(payload),
+        };
+        self.cv.notify_all();
+    }
+}
+
+struct StageQueue {
+    jobs: Mutex<VecDeque<Arc<dyn Job>>>,
+    cv: Condvar,
+}
+
+fn queue() -> &'static StageQueue {
+    static QUEUE: OnceLock<StageQueue> = OnceLock::new();
+    QUEUE.get_or_init(|| StageQueue {
+        jobs: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+    })
+}
+
+/// Spawns the staging worker on first use. Spawn failure is tolerated:
+/// jobs are then executed by their waiters via the steal path.
+fn ensure_worker() {
+    static WORKER: OnceLock<bool> = OnceLock::new();
+    WORKER.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("rt-par-stage".to_string())
+            .spawn(worker_loop)
+            .is_ok()
+    });
+}
+
+fn worker_loop() {
+    let q = queue();
+    loop {
+        let job = {
+            let mut jobs = q.jobs.lock().expect("stage queue poisoned");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = q.cv.wait(jobs).expect("stage queue poisoned");
+            }
+        };
+        // `run` catches closure panics internally, so the worker survives
+        // arbitrary job failures.
+        job.run();
+    }
+}
+
+/// Handle to a staged closure; redeem it with [`Staged::wait`].
+///
+/// Dropping the handle without waiting is allowed — the job still runs (or
+/// is discarded with the queue's reference once executed) and its result
+/// is dropped.
+pub struct Staged<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T: Send + 'static> Staged<T> {
+    /// Whether the result is already available (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        matches!(
+            *self.slot.state.lock().expect("stage slot poisoned"),
+            State::Done(_) | State::Panicked(_)
+        )
+    }
+
+    /// Blocks until the staged closure has run and returns its result.
+    ///
+    /// If the job is still pending (worker busy or unavailable), the
+    /// caller claims and runs it inline — waiting can never deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws the closure's panic payload if it panicked (including the
+    /// [`crate::Cancelled`] unwind used by cooperative cancellation).
+    pub fn wait(self) -> T {
+        // Steal-if-pending: a no-op when the worker already claimed it.
+        self.slot.run();
+        let mut st = self.slot.state.lock().expect("stage slot poisoned");
+        loop {
+            match std::mem::replace(&mut *st, State::Running) {
+                State::Done(v) => return v,
+                State::Panicked(payload) => {
+                    drop(st);
+                    resume_unwind(payload);
+                }
+                running => {
+                    *st = running;
+                    st = self
+                        .slot
+                        .cv
+                        .wait(st)
+                        .expect("stage slot poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// Stages `f` for background execution and returns a handle to its result.
+///
+/// The closure runs at most once — on the `rt-par-stage` worker, or inline
+/// on the first [`Staged::wait`] that finds it still pending. The caller's
+/// ambient [`CancelToken`] is captured now and re-installed around the
+/// closure wherever it executes.
+pub fn stage<T, F>(f: F) -> Staged<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let slot = Arc::new(Slot {
+        state: Mutex::new(State::Pending(Box::new(f))),
+        cv: Condvar::new(),
+        cancel: current_cancel(),
+    });
+    ensure_worker();
+    {
+        let q = queue();
+        q.jobs
+            .lock()
+            .expect("stage queue poisoned")
+            .push_back(Arc::clone(&slot) as Arc<dyn Job>);
+        q.cv.notify_one();
+    }
+    Staged { slot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CancelScope;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn staged_value_round_trips() {
+        let s = stage(|| 40 + 2);
+        assert_eq!(s.wait(), 42);
+    }
+
+    #[test]
+    fn many_staged_jobs_all_complete() {
+        let handles: Vec<_> = (0..64).map(|i| stage(move || i * i)).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), i * i);
+        }
+    }
+
+    #[test]
+    fn wait_steals_pending_work() {
+        // Saturate the single worker with a slow job, then verify a later
+        // job still completes promptly via the caller's steal path.
+        let slow = stage(|| {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            1
+        });
+        let fast = stage(|| 2);
+        assert_eq!(fast.wait(), 2);
+        assert_eq!(slow.wait(), 1);
+    }
+
+    #[test]
+    fn closure_panic_is_rethrown_at_wait() {
+        let s = stage(|| -> usize { panic!("staged boom") });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| s.wait()))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "staged boom");
+        // The worker must survive a panicking job.
+        assert_eq!(stage(|| 7).wait(), 7);
+    }
+
+    #[test]
+    fn dropped_handle_still_executes_without_blocking_later_jobs() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        drop(stage(|| RAN.fetch_add(1, Ordering::SeqCst)));
+        // A later job completing proves the queue drained past the
+        // orphaned one (single FIFO worker).
+        assert_eq!(stage(|| 5).wait(), 5);
+        assert_eq!(RAN.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn ambient_cancel_token_reaches_the_staged_closure() {
+        let scope = CancelScope::new();
+        let staged = {
+            let _ambient = crate::with_cancel(scope.token());
+            stage(|| crate::current_cancel().is_cancelled())
+        };
+        // Not tripped: the closure sees a live token (false) regardless of
+        // which thread ran it.
+        assert!(!staged.wait());
+        scope.trip();
+        let staged = {
+            let _ambient = crate::with_cancel(scope.token());
+            stage(|| crate::current_cancel().is_cancelled())
+        };
+        assert!(staged.wait(), "tripped token must be visible in the job");
+    }
+}

@@ -16,12 +16,13 @@
 use crate::Result;
 use rt_adv::attack::{perturb, AttackConfig};
 use rt_adv::smoothing::gaussian_augment;
-use rt_data::Dataset;
+use rt_data::{Dataset, PrefetchLoader};
 use rt_nn::checkpoint::StateDict;
 use rt_nn::loss::CrossEntropyLoss;
 use rt_nn::optim::Sgd;
 use rt_nn::schedule::{ConstantLr, CosineLr, LrSchedule, StepDecay};
-use rt_nn::{ExecCtx, Layer, NnError};
+use rt_nn::{prefix_fingerprint, ActCache, ExecCtx, Layer, NnError};
+use rt_tensor::pool;
 use rt_tensor::rng::SeedStream;
 use serde::{Deserialize, Serialize};
 
@@ -168,14 +169,42 @@ impl RecoveryPolicy {
     }
 }
 
-/// Runs one epoch: shuffle, (optionally) attack/noise, forward, loss,
-/// backward, step. Returns the mean batch loss.
+/// The frozen-prefix split this epoch trains under, or `None` when the
+/// activation cache cannot engage. Engagement requires all of:
+///
+/// * a **Natural** objective — PGD differentiates through the prefix to
+///   the pixels, and noise objectives randomize the prefix *input*, so
+///   neither can skip it;
+/// * a [`rt_nn::Sequential`] model (the only splittable container);
+/// * a non-empty cacheable prefix (pure per-sample layers, all frozen);
+/// * a non-zero cache capacity (`RT_ACT_CACHE_MB=0` is the kill switch).
+fn engaged_split(model: &mut dyn Layer, config: &TrainConfig, cache: &ActCache) -> Option<usize> {
+    if !matches!(config.objective, Objective::Natural) || !cache.is_enabled() {
+        return None;
+    }
+    model
+        .as_sequential_mut()
+        .map(|seq| seq.split_at_trainable())
+        .filter(|&split| split > 0)
+}
+
+/// Runs one epoch: shuffle (via the prefetch loader), (optionally)
+/// attack/noise, forward (serving the frozen prefix from the activation
+/// cache when engaged), loss, backward, step. Returns the mean batch loss.
 ///
 /// The batch loss is checked for finiteness *before* the backward pass so
 /// a diverged batch never poisons the weights with NaN gradients.
+///
+/// # Determinism
+///
+/// Bit-identical to the legacy serial loop: the loader consumes `rng`
+/// exactly like `Dataset::shuffled_batches` and serves identical batches
+/// (prefetch only hides gather latency), and the cache path recomposes
+/// per-sample prefix outputs whose bytes equal a fresh prefix forward.
 fn run_epoch(
     model: &mut dyn Layer,
-    data: &Dataset,
+    loader: &mut PrefetchLoader,
+    cache: &mut ActCache,
     config: &TrainConfig,
     loss_fn: &CrossEntropyLoss,
     lr: f32,
@@ -187,6 +216,15 @@ fn run_epoch(
         .with_weight_decay(config.weight_decay);
     let seeds = SeedStream::new(root_seed);
     let mut rng = seeds.child("epoch").child_idx(epoch as u64).rng();
+    loader.begin_epoch(config.batch_size, &mut rng);
+    let split = engaged_split(model, config, cache);
+    if let Some(split) = split {
+        // Declare the prefix identity: a mismatch (perturbed weight, new
+        // mask, different split) drops every cached activation before the
+        // first batch can consult it.
+        let seq = model.as_sequential_mut().expect("split implies sequential");
+        cache.begin_epoch(prefix_fingerprint(seq, split));
+    }
     let mut epoch_loss = 0.0f64;
     let mut batches = 0usize;
     // Hoisted out of the batch loop: one registry lookup per epoch, and
@@ -194,37 +232,81 @@ fn run_epoch(
     // (level `all`).
     let batch_hist = rt_obs::histogram("train.batch_ms");
     let time_batches = batch_hist.is_active();
-    for (images, labels) in data.shuffled_batches(config.batch_size, &mut rng) {
+    while let Some(batch) = loader.next_batch() {
         let batch_t0 = rt_obs::Stopwatch::start_if(time_batches);
-        let inputs = match &config.objective {
-            Objective::Natural => images,
-            Objective::Adversarial(attack) => perturb(model, &images, &labels, attack, &mut rng)?,
-            Objective::GaussianNoise(sigma) => gaussian_augment(&images, *sigma, &mut rng),
-        };
         let ctx = ExecCtx::train();
         // Batch-boundary cancellation check: the ctx snapshots the
         // ambient supervision token, so a watchdog-tripped deadline stops
         // the epoch between batches — never mid-kernel, and with the
         // model weights in a consistent (pre-step) state.
         if ctx.is_cancelled() {
+            loader.release(batch);
             return Err(NnError::DeadlineExceeded {
                 epoch,
                 batch: batches,
             });
         }
-        let logits = model.forward(&inputs, ctx)?;
-        let out = loss_fn.forward(&logits, &labels)?;
+        let inputs = match &config.objective {
+            // Natural training consumes the gathered batch directly.
+            Objective::Natural => None,
+            Objective::Adversarial(attack) => Some(perturb(
+                model,
+                batch.images(),
+                batch.labels(),
+                attack,
+                &mut rng,
+            )?),
+            Objective::GaussianNoise(sigma) => {
+                Some(gaussian_augment(batch.images(), *sigma, &mut rng))
+            }
+        };
+        let logits = match split {
+            Some(split) => {
+                let seq = model.as_sequential_mut().expect("split implies sequential");
+                match cache.assemble(batch.indices()) {
+                    // Every sample resident: skip the prefix forward, the
+                    // assembled tensor is bit-identical to recomputing it.
+                    Some(mid) => {
+                        let y = seq.forward_suffix(&mid, ctx, split)?;
+                        pool::put(mid.into_vec());
+                        y
+                    }
+                    None => {
+                        let mid = seq.forward_prefix(batch.images(), ctx, split)?;
+                        cache.insert(batch.indices(), &mid);
+                        seq.forward_suffix(&mid, ctx, split)?
+                    }
+                }
+            }
+            None => model.forward(inputs.as_ref().unwrap_or(batch.images()), ctx)?,
+        };
+        let out = loss_fn.forward(&logits, batch.labels())?;
         // Fault-injection hook (no-op unless a plan is installed) feeding
         // the divergence guard.
         let batch_loss = crate::fault::corrupt_loss(epoch, batches, out.loss);
         if !batch_loss.is_finite() {
+            loader.release(batch);
             return Err(NnError::Diverged {
                 epoch,
                 batch: batches,
             });
         }
-        model.backward(&out.grad, ctx)?;
+        match split {
+            // The prefix is frozen: the optimizer zeroes (and never
+            // applies) its gradients, so stopping backward at the split
+            // is unobservable in every trained byte.
+            Some(split) => {
+                model
+                    .as_sequential_mut()
+                    .expect("split implies sequential")
+                    .backward_suffix(&out.grad, ctx, split)?;
+            }
+            None => {
+                model.backward(&out.grad, ctx)?;
+            }
+        }
         opt.step(model)?;
+        loader.release(batch);
         if let Some(t0) = batch_t0 {
             batch_hist.observe(t0.elapsed_ms());
         }
@@ -295,6 +377,13 @@ pub fn train_with_recovery(
     );
     let loss_fn = CrossEntropyLoss::new();
     let schedule = make_schedule(config);
+    // The pipeline state lives for the whole run: the loader's permutation
+    // and batch buffers recycle across epochs (allocation-free steady
+    // state), and the activation cache persists so epochs after the first
+    // skip the frozen prefix — surviving rewinds too, because restoring
+    // trainable params leaves the (fingerprinted) frozen prefix untouched.
+    let mut loader = PrefetchLoader::new(data);
+    let mut cache = ActCache::new();
     let mut report = TrainReport {
         epoch_losses: Vec::with_capacity(config.epochs),
         rewinds: 0,
@@ -316,7 +405,16 @@ pub fn train_with_recovery(
             "lr" => lr as f64,
         );
         let epoch_t0 = rt_obs::Stopwatch::start_if(epoch_span.is_active());
-        match run_epoch(model, data, config, &loss_fn, lr, epoch, root_seed) {
+        match run_epoch(
+            model,
+            &mut loader,
+            &mut cache,
+            config,
+            &loss_fn,
+            lr,
+            epoch,
+            root_seed,
+        ) {
             Ok(mean) => {
                 epoch_span.attr("loss", mean);
                 if let Some(t0) = epoch_t0 {

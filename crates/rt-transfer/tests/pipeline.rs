@@ -1,0 +1,209 @@
+//! Acceptance properties of the pipelined finetune engine.
+//!
+//! The two PR-10 features — async batch prefetch (`RT_PREFETCH`) and the
+//! frozen-prefix activation cache (`RT_ACT_CACHE_MB`) — are performance
+//! features under a hard bit-identity contract: for ANY seed, batch size,
+//! and pool width, training with a feature on must produce exactly the
+//! per-epoch losses and final parameter bytes of training with it off.
+//! These tests pin that contract, plus the cache-invalidation guarantee
+//! on the rewind path (a perturbed prefix can never serve stale bytes).
+
+use proptest::prelude::*;
+use rt_data::{set_prefetch_default, Dataset, FamilyConfig, TaskFamily};
+use rt_nn::layers::{Conv2d, Conv2dConfig, Flatten, Linear, Relu};
+use rt_nn::{
+    prefix_fingerprint, set_act_cache_default_mb, ActCache, ExecCtx, Layer, Sequential,
+};
+use rt_tensor::rng::rng_from_seed;
+use rt_transfer::training::{train, Objective, SchedulePolicy, TrainConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that flip the process-wide pipeline defaults
+/// (prefetch, cache capacity) so concurrent test threads never observe
+/// each other's overrides mid-comparison.
+fn pipeline_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Restores both pipeline defaults on drop, so a failing assertion never
+/// leaks an override into later tests.
+struct DefaultsGuard;
+
+impl Drop for DefaultsGuard {
+    fn drop(&mut self) {
+        set_prefetch_default(true);
+        set_act_cache_default_mb(256);
+    }
+}
+
+fn smoke_data() -> Dataset {
+    let family = TaskFamily::new(FamilyConfig::smoke(), 11);
+    family.source_task(32, 16).unwrap().train
+}
+
+/// A finetune-shaped model: a two-conv backbone (4 of 6 children) ahead
+/// of a trainable linear head. With the backbone frozen,
+/// `split_at_trainable` covers the conv/relu prefix plus the param-free
+/// `Flatten` — 5 of 6 children, well over half the layers.
+fn ticket_model(seed: u64, num_classes: usize, freeze_backbone: bool) -> Sequential {
+    let mut rng = rng_from_seed(seed);
+    let mut seq = Sequential::new(vec![
+        Box::new(Conv2d::new(3, 8, Conv2dConfig::same3x3(), &mut rng).unwrap())
+            as Box<dyn Layer>,
+        Box::new(Relu::new()),
+        Box::new(Conv2d::new(8, 8, Conv2dConfig::same3x3(), &mut rng).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(8 * 8 * 8, num_classes, &mut rng).unwrap()),
+    ]);
+    if freeze_backbone {
+        for child in seq.children_mut()[..4].iter_mut() {
+            for p in child.params_mut() {
+                p.trainable = false;
+            }
+        }
+    }
+    seq
+}
+
+fn train_cfg(epochs: usize, batch_size: usize, seed: u64) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: SchedulePolicy::Constant,
+        objective: Objective::Natural,
+        seed,
+    }
+}
+
+/// Every parameter byte of both models, bit-compared.
+fn assert_params_bit_equal(a: &Sequential, b: &Sequential, what: &str) {
+    let (pa, pb) = (a.params(), b.params());
+    assert_eq!(pa.len(), pb.len(), "{what}: param count");
+    for (x, y) in pa.iter().zip(&pb) {
+        assert_eq!(x.name, y.name, "{what}: param order");
+        for (u, v) in x.data.data().iter().zip(y.data.data()) {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "{what}: {} diverged",
+                x.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// (a) Prefetch on vs off: bit-identical per-epoch losses and final
+    /// params, at 1 and 4 pool threads.
+    #[test]
+    fn prefetch_is_bit_identical(seed in 0u64..1000, batch in 4usize..13) {
+        let _serial = pipeline_lock();
+        let _restore = DefaultsGuard;
+        let data = smoke_data();
+        let cfg = train_cfg(2, batch, seed);
+        for threads in [1usize, 4] {
+            rt_par::set_threads(threads);
+            set_prefetch_default(false);
+            let mut serial = ticket_model(seed, data.num_classes(), true);
+            let serial_report = train(&mut serial, &data, &cfg).unwrap();
+            set_prefetch_default(true);
+            let mut prefetched = ticket_model(seed, data.num_classes(), true);
+            let prefetched_report = train(&mut prefetched, &data, &cfg).unwrap();
+            prop_assert_eq!(&serial_report, &prefetched_report);
+            assert_params_bit_equal(&serial, &prefetched, "prefetch");
+        }
+    }
+
+    /// (b) Activation cache on vs off: bit-identical per-epoch losses and
+    /// final params, at 1 and 4 pool threads. Three epochs so epochs 2–3
+    /// actually serve from the warm cache.
+    #[test]
+    fn activation_cache_is_bit_identical(seed in 0u64..1000, batch in 4usize..13) {
+        let _serial = pipeline_lock();
+        let _restore = DefaultsGuard;
+        let data = smoke_data();
+        let cfg = train_cfg(3, batch, seed);
+        for threads in [1usize, 4] {
+            rt_par::set_threads(threads);
+            set_act_cache_default_mb(0);
+            let mut plain = ticket_model(seed, data.num_classes(), true);
+            let plain_report = train(&mut plain, &data, &cfg).unwrap();
+            set_act_cache_default_mb(256);
+            let mut cached = ticket_model(seed, data.num_classes(), true);
+            let cached_report = train(&mut cached, &data, &cfg).unwrap();
+            prop_assert_eq!(&plain_report, &cached_report);
+            assert_params_bit_equal(&plain, &cached, "act-cache");
+        }
+    }
+}
+
+/// The cache-invalidation property on the rewind path: warm the cache,
+/// perturb a *frozen prefix* weight (what an LR-rewind restore would do if
+/// it ever touched the prefix), and keep training — cached vs uncached
+/// runs must stay bit-identical, which is only possible if the perturbed
+/// fingerprint dropped every stale entry.
+#[test]
+fn perturbed_prefix_invalidates_instead_of_serving_stale_bytes() {
+    let _serial = pipeline_lock();
+    let _restore = DefaultsGuard;
+    let data = smoke_data();
+    let classes = data.num_classes();
+    let perturb = |model: &mut Sequential| {
+        let p = &mut model.children_mut()[0].params_mut()[0];
+        p.data.data_mut()[0] += 0.25;
+    };
+    set_act_cache_default_mb(256);
+    let mut cached = ticket_model(21, classes, true);
+    let warm = train(&mut cached, &data, &train_cfg(2, 8, 77)).unwrap();
+    perturb(&mut cached);
+    let after = train(&mut cached, &data, &train_cfg(2, 8, 78)).unwrap();
+    set_act_cache_default_mb(0);
+    let mut plain = ticket_model(21, classes, true);
+    let warm_plain = train(&mut plain, &data, &train_cfg(2, 8, 77)).unwrap();
+    perturb(&mut plain);
+    let after_plain = train(&mut plain, &data, &train_cfg(2, 8, 78)).unwrap();
+    assert_eq!(warm, warm_plain);
+    assert_eq!(after, after_plain, "stale cache bytes leaked past a prefix change");
+    assert_params_bit_equal(&cached, &plain, "post-perturbation");
+}
+
+/// Direct witness that the invalidation is the *cache dropping entries*
+/// (not luck): the real prefix fingerprint moves under a one-weight
+/// perturbation and `begin_epoch` clears residents.
+#[test]
+fn fingerprint_tracks_the_real_prefix() {
+    let mut model = ticket_model(3, 4, true);
+    let split = model.split_at_trainable();
+    assert_eq!(
+        split, 5,
+        "cacheable prefix must cover the frozen backbone plus Flatten"
+    );
+    let fp = prefix_fingerprint(&model, split);
+    let x = rt_tensor::Tensor::from_fn(&[2, 3, 8, 8], |i| (i % 7) as f32 * 0.1);
+    let mid = model.forward_prefix(&x, ExecCtx::train(), split).unwrap();
+    let mut cache = ActCache::with_capacity_mb(16);
+    cache.begin_epoch(fp);
+    cache.insert(&[0, 1], &mid);
+    assert_eq!(cache.len(), 2);
+    model.children_mut()[0].params_mut()[0].data.data_mut()[0] += 0.5;
+    let fp2 = prefix_fingerprint(&model, split);
+    assert_ne!(fp, fp2, "prefix fingerprint must track weight bytes");
+    cache.begin_epoch(fp2);
+    assert!(cache.is_empty(), "stale entries survived a prefix change");
+}
+
+/// An unfrozen backbone must disable the cache entirely (split 0): the
+/// engine never caches activations that tomorrow's step would change.
+#[test]
+fn unfrozen_backbone_has_no_cacheable_prefix() {
+    let model = ticket_model(9, 4, false);
+    assert_eq!(model.split_at_trainable(), 0);
+}
